@@ -1,0 +1,74 @@
+//! Ablation: energy-averaging window (paper §4.3).
+//!
+//! "In choosing the averaging window size, there is a tradeoff between the
+//! precision we get in finding the start and end of the peaks and the
+//! confidence with which we can determine both the start and end of a peak.
+//! Since the minimum timing we currently detect is 802.11 SIFS (10 µs or 80
+//! samples), we use an averaging window of 2.5 µs (20 samples)."
+//!
+//! We sweep the window and measure peak count (splits/merges), edge error,
+//! and the SIFS detector's miss rate at a moderate SNR where the tradeoff
+//! actually bites.
+//!
+//! Run: `cargo bench -p rfd-bench --bench ablation_avg_window`
+
+use rfd_bench::*;
+use rfd_phy::Protocol;
+use rfdump::chunk::SampleChunk;
+use rfdump::detect::{FastDetector, WifiSifsDetector};
+use rfdump::peak::{PeakDetector, PeakDetectorConfig};
+
+fn main() {
+    // 12 dB: high enough to detect, low enough that smoothing matters.
+    let trace = unicast_trace(scaled(20), 400, 12.0, 777);
+    let fs = trace.band.sample_rate;
+    let truth_count = trace.truth.iter().filter(|t| t.in_band).count();
+
+    let mut rows = Vec::new();
+    for window in [4usize, 10, 20, 40, 80] {
+        let cfg = PeakDetectorConfig {
+            avg_window: window,
+            noise_floor: Some(trace.noise_power),
+            ..Default::default()
+        };
+        let chunks = SampleChunk::chunk_trace(&trace.samples, fs, rfdump::CHUNK_SAMPLES);
+        let mut det = PeakDetector::new(cfg, fs);
+        let mut peaks = Vec::new();
+        for c in &chunks {
+            det.push_chunk(c, &mut peaks);
+        }
+        det.finish(&mut peaks);
+
+        let mut sifs = WifiSifsDetector::new();
+        let mut classified = Vec::new();
+        for pb in &peaks {
+            for c in sifs.on_peak(pb) {
+                if let Some(src) = peaks.iter().find(|x| x.peak.id == c.peak_id) {
+                    classified.push(rfdump::eval::ClassifiedPeak {
+                        protocol: c.protocol,
+                        start_sample: src.peak.start,
+                        end_sample: src.peak.end,
+                    });
+                }
+            }
+        }
+        let rep = detector_report(&trace, Protocol::Wifi, &classified, true);
+
+        rows.push(vec![
+            format!("{window} ({:.2} us)", window as f64 / fs * 1e6),
+            format!("{}", peaks.len()),
+            format!("{truth_count}"),
+            fmt_rate(rep.miss_rate),
+        ]);
+    }
+    print_table(
+        "Ablation — energy averaging window (paper picks 20 samples = 2.5 us)",
+        &["window", "peaks found", "true packets", "sifs miss @12dB"],
+        &rows,
+    );
+    println!(
+        "\nexpected: tiny windows split packets on noise (peaks ≫ packets,\n\
+         SIFS gaps destroyed); windows approaching the 80-sample SIFS smear\n\
+         adjacent transmissions together. 20 samples sits in the valley."
+    );
+}

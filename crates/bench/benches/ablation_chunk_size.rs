@@ -1,0 +1,98 @@
+//! Ablation: sample-chunk size (paper §4.2).
+//!
+//! "There is a tradeoff to make when chunking samples. On the one hand,
+//! chunking reduces the amount of metadata required to be sent per sample
+//! ... However, larger chunk sizes can lead to more noise data being sent
+//! along with useful samples ... we have chosen a chunk size of 25 µs
+//! (200 samples) as a tradeoff between these factors."
+//!
+//! We sweep the chunk size and measure (a) the CPU cost of the
+//! protocol-agnostic stage, (b) peak-edge accuracy against ground truth, and
+//! (c) the SIFS timing detector's miss rate, which depends on those edges.
+//!
+//! Run: `cargo bench -p rfd-bench --bench ablation_chunk_size`
+
+use rfd_bench::*;
+use rfd_phy::Protocol;
+use rfdump::chunk::SampleChunk;
+use rfdump::detect::{FastDetector, WifiSifsDetector};
+use rfdump::peak::{PeakDetector, PeakDetectorConfig};
+use std::time::Instant;
+
+fn main() {
+    let trace = unicast_trace(scaled(20), 400, 25.0, 4242);
+    let fs = trace.band.sample_rate;
+    let real = trace.samples.len() as f64 / fs;
+
+    let mut rows = Vec::new();
+    for chunk_samples in [50usize, 100, 200, 400, 800, 1600] {
+        let chunks = SampleChunk::chunk_trace(&trace.samples, fs, chunk_samples);
+        let t0 = Instant::now();
+        let mut det = PeakDetector::new(
+            PeakDetectorConfig { noise_floor: Some(trace.noise_power), ..Default::default() },
+            fs,
+        );
+        let mut peaks = Vec::new();
+        for c in &chunks {
+            det.push_chunk(c, &mut peaks);
+        }
+        det.finish(&mut peaks);
+        let cpu = t0.elapsed().as_secs_f64();
+
+        // Edge accuracy: mean |error| of peak starts vs ground truth.
+        let mut err_sum = 0.0f64;
+        let mut matched = 0usize;
+        for t in trace.truth.iter().filter(|t| t.in_band) {
+            if let Some(p) = peaks
+                .iter()
+                .map(|pb| pb.peak)
+                .filter(|p| p.end > t.start_sample as u64 && p.start < t.end_sample as u64)
+                .min_by_key(|p| (p.start as i64 - t.start_sample as i64).unsigned_abs())
+            {
+                err_sum += (p.start as i64 - t.start_sample as i64).unsigned_abs() as f64;
+                matched += 1;
+            }
+        }
+        let edge_err_us = if matched > 0 {
+            err_sum / matched as f64 / fs * 1e6
+        } else {
+            f64::NAN
+        };
+
+        // SIFS detector accuracy on those peaks.
+        let mut sifs = WifiSifsDetector::new();
+        let mut classified = Vec::new();
+        for pb in &peaks {
+            for c in sifs.on_peak(pb) {
+                if let Some(src) = peaks.iter().find(|x| x.peak.id == c.peak_id) {
+                    classified.push(rfdump::eval::ClassifiedPeak {
+                        protocol: c.protocol,
+                        start_sample: src.peak.start,
+                        end_sample: src.peak.end,
+                    });
+                }
+            }
+        }
+        let rep = detector_report(&trace, Protocol::Wifi, &classified, true);
+
+        rows.push(vec![
+            format!("{chunk_samples} ({:.1} us)", chunk_samples as f64 / fs * 1e6),
+            format!("{:.4}", cpu / real),
+            format!("{}", peaks.len()),
+            format!("{edge_err_us:.2}"),
+            fmt_rate(rep.miss_rate),
+        ]);
+    }
+    print_table(
+        "Ablation — chunk size (paper picks 200 samples = 25 us)",
+        &["chunk", "detect cpu/RT", "peaks", "edge err (us)", "sifs miss"],
+        &rows,
+    );
+    println!(
+        "\nexpected: CPU falls as chunks grow (fewer per-chunk overheads and\n\
+         more chances to skip quiet chunks wholesale), while edge accuracy\n\
+         and timing-detector accuracy stay flat until chunks grow so large\n\
+         that idle-skip granularity hurts; 200 samples sits on the flat part\n\
+         of both curves."
+    );
+}

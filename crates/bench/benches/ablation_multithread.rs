@@ -1,0 +1,89 @@
+//! Ablation: multi-threaded scheduler (paper §2.2).
+//!
+//! "Note that the RFDump architecture ... has inherent parallelism that can
+//! be exploited using multi-threading. This is, of course, important on
+//! today's multi-core CPUs. Unfortunately, our platform (GNU Radio)
+//! currently does not support multi-threading, so the measurements in this
+//! paper only use a single core."
+//!
+//! Our flowgraph has both schedulers, so we can run the experiment the
+//! paper could not: same graphs, single-threaded vs one-thread-per-block,
+//! comparing wall-clock time (total CPU is expected to be similar or
+//! slightly higher threaded; wall time is what parallelism buys).
+//!
+//! Run: `cargo bench -p rfd-bench --bench ablation_multithread`
+
+use rfd_bench::*;
+use rfdump::arch::{run_architecture, ArchConfig, ArchKind, DetectorSet};
+
+fn main() {
+    let trace = utilization_trace(0.6, 150_000.0 * scale(), 4040);
+    let real = trace.samples.len() as f64 / trace.band.sample_rate;
+
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("naive", ArchKind::Naive),
+        ("rfdump timing+phase", ArchKind::RfDump(DetectorSet::TimingAndPhase)),
+    ] {
+        let mut per_sched = Vec::new();
+        for threaded in [false, true] {
+            let cfg = ArchConfig {
+                kind,
+                demodulate: true,
+                band: trace.band,
+                piconets: vec![piconet()],
+                noise_floor: Some(trace.noise_power),
+                zigbee: false,
+                microwave: false,
+                threaded,
+            };
+            let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
+            per_sched.push((
+                out.stats.wall.as_secs_f64() / real,
+                out.cpu_over_realtime(),
+                out.records.len(),
+            ));
+        }
+        let (st_wall, st_cpu, st_n) = per_sched[0];
+        let (mt_wall, mt_cpu, mt_n) = per_sched[1];
+        assert_eq!(st_n, mt_n, "schedulers must produce the same packet count");
+        rows.push(vec![
+            label.to_string(),
+            format!("{st_wall:.3}"),
+            format!("{mt_wall:.3}"),
+            format!("{:.2}x", st_wall / mt_wall),
+            format!("{st_cpu:.3}"),
+            format!("{mt_cpu:.3}"),
+            format!("{st_n}"),
+        ]);
+    }
+    print_table(
+        "Ablation — single- vs multi-threaded scheduler (wall/RT)",
+        &["graph", "wall ST", "wall MT", "speedup", "cpu ST", "cpu MT", "packets"],
+        &rows,
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("\navailable cores: {cores}");
+    if cores > 1 {
+        println!(
+            "expected with {cores} cores: the naive graph parallelizes well (the\n\
+             Wi-Fi receiver and the per-channel Bluetooth receivers are\n\
+             independent, heavy, and fed by a cheap tee — up to ~8-way); the\n\
+             rfdump graph is already far below real time single-threaded, so\n\
+             threading buys little there — the architecture, not the\n\
+             scheduler, is what makes real-time monitoring feasible."
+        );
+    } else {
+        println!(
+            "expected with 1 core: no speedup is possible — the MT rows only\n\
+             verify that the threaded scheduler produces identical results at\n\
+             a modest synchronization overhead. On a multi-core machine the\n\
+             naive graph's independent demodulator blocks (1 Wi-Fi + one per\n\
+             Bluetooth channel) parallelize up to ~8-way."
+        );
+    }
+    println!(
+        "in both cases the schedulers must produce identical packet counts\n\
+         (asserted above)."
+    );
+}

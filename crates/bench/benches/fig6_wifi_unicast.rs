@@ -1,0 +1,48 @@
+//! Figure 6: 802.11 unicast microbenchmark — packet miss rate vs SNR for
+//! the SIFS timing detector and the DBPSK phase detector.
+//!
+//! Paper workload: 250 ICMP echo requests + replies (1000 packets with MAC
+//! ACKs); both detectors reach ~0 misses above ~9 dB SNR and fall apart
+//! rapidly below it. We run a scaled-down flow per SNR point; shapes, not
+//! absolute counts, are the comparison.
+//!
+//! Run: `cargo bench -p rfd-bench --bench fig6_wifi_unicast`
+
+use rfd_bench::*;
+use rfd_phy::Protocol;
+use rfdump::detect::{WifiPhaseDetector, WifiSifsDetector};
+
+fn main() {
+    let n_pings = scaled(25); // 100 packets per point
+    let snrs = [3.0f32, 5.0, 7.0, 9.0, 12.0, 15.0, 20.0, 25.0, 30.0];
+    let mut rows = Vec::new();
+    for (i, &snr) in snrs.iter().enumerate() {
+        let trace = unicast_trace(n_pings, 500, snr, 600 + i as u64);
+        let mut sifs = WifiSifsDetector::new();
+        let sifs_cls = classify_with_detector(&trace, &mut sifs);
+        let sifs_rep = detector_report(&trace, Protocol::Wifi, &sifs_cls, true);
+
+        let mut phase = WifiPhaseDetector::new(trace.band.sample_rate);
+        let phase_cls = classify_with_detector(&trace, &mut phase);
+        let phase_rep = detector_report(&trace, Protocol::Wifi, &phase_cls, true);
+
+        rows.push(vec![
+            format!("{snr:.0}"),
+            format!("{}", sifs_rep.total_true),
+            fmt_rate(sifs_rep.miss_rate),
+            fmt_rate(phase_rep.miss_rate),
+            fmt_rate(sifs_rep.false_positive_rate),
+            fmt_rate(phase_rep.false_positive_rate),
+        ]);
+    }
+    print_table(
+        "Figure 6 — 802.11 unicast: packet miss rate vs SNR",
+        &["snr_db", "packets", "miss(sifs-timing)", "miss(dbpsk-phase)", "fp(sifs)", "fp(phase)"],
+        &rows,
+    );
+    println!(
+        "\npaper: both detectors ~0 misses above ~9 dB; rapid rise below \
+         (peak-detection threshold is noise floor + 4 dB).\n\
+         workload: {n_pings} echo pairs per point (paper: 250)."
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 7: 802.11 broadcast microbenchmark — packet miss rate vs SNR for
+//! the DIFS + k·slot timing detector.
+//!
+//! Paper workload: a single node flooding broadcast ICMP echoes (4000
+//! packets), consecutive frames spaced DIFS + k·slot. The DIFS detector has
+//! near-zero misses above ~9 dB.
+//!
+//! Run: `cargo bench -p rfd-bench --bench fig7_wifi_broadcast`
+
+use rfd_bench::*;
+use rfd_phy::Protocol;
+use rfdump::detect::WifiDifsDetector;
+
+fn main() {
+    let n_frames = scaled(120);
+    let snrs = [3.0f32, 5.0, 7.0, 9.0, 12.0, 15.0, 20.0, 25.0, 30.0];
+    let mut rows = Vec::new();
+    for (i, &snr) in snrs.iter().enumerate() {
+        let trace = broadcast_trace(n_frames, 500, snr, 700 + i as u64);
+        let mut difs = WifiDifsDetector::new();
+        let cls = classify_with_detector(&trace, &mut difs);
+        let rep = detector_report(&trace, Protocol::Wifi, &cls, true);
+        rows.push(vec![
+            format!("{snr:.0}"),
+            format!("{}", rep.total_true),
+            fmt_rate(rep.miss_rate),
+            fmt_rate(rep.false_positive_rate),
+        ]);
+    }
+    print_table(
+        "Figure 7 — 802.11 broadcast: packet miss rate vs SNR (DIFS timing)",
+        &["snr_db", "packets", "miss(difs-timing)", "fp(difs)"],
+        &rows,
+    );
+    println!(
+        "\npaper: almost zero misses above ~9 dB, sharp degradation below.\n\
+         note: the first frame of the flood has no predecessor gap and is\n\
+         structurally missed — visible as a small constant floor.\n\
+         workload: {n_frames} broadcast frames per point (paper: 4000)."
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 8: Bluetooth microbenchmark — packet miss rate vs SNR for the
+//! slot-timing detector and the GFSK phase detector.
+//!
+//! Paper workload: `l2ping` DH5 exchanges (6000 over all 79 channels; only
+//! the ~1/10 hopping into the monitored 8 MHz are observable). Timing
+//! detection works down to ~6 dB but misses the first packet of each
+//! session; phase detection is clean at high SNR and needs ~9 dB.
+//!
+//! Run: `cargo bench -p rfd-bench --bench fig8_bluetooth`
+
+use rfd_bench::*;
+use rfd_phy::Protocol;
+use rfdump::detect::{BtPhaseDetector, BtTimingDetector};
+
+fn main() {
+    // Enough l2pings that a usable number land in band (~1/10th).
+    let n_pings = scaled(300);
+    let snrs = [3.0f32, 5.0, 6.0, 7.0, 9.0, 12.0, 15.0, 20.0, 25.0, 30.0];
+    let mut rows = Vec::new();
+    for (i, &snr) in snrs.iter().enumerate() {
+        let trace = bluetooth_trace(n_pings, snr, 800 + i as u64);
+        let in_band = trace
+            .truth
+            .iter()
+            .filter(|t| t.protocol == Protocol::Bluetooth && t.in_band)
+            .count();
+
+        let mut timing = BtTimingDetector::new();
+        let t_cls = classify_with_detector(&trace, &mut timing);
+        let t_rep = detector_report(&trace, Protocol::Bluetooth, &t_cls, true);
+
+        let mut phase = BtPhaseDetector::new(trace.band.center_hz);
+        let p_cls = classify_with_detector(&trace, &mut phase);
+        let p_rep = detector_report(&trace, Protocol::Bluetooth, &p_cls, true);
+
+        rows.push(vec![
+            format!("{snr:.0}"),
+            format!("{in_band}"),
+            fmt_rate(t_rep.miss_rate),
+            fmt_rate(p_rep.miss_rate),
+            fmt_rate(t_rep.false_positive_rate),
+            fmt_rate(p_rep.false_positive_rate),
+        ]);
+    }
+    print_table(
+        "Figure 8 — Bluetooth: packet miss rate vs SNR",
+        &["snr_db", "in_band", "miss(slot-timing)", "miss(gfsk-phase)", "fp(timing)", "fp(phase)"],
+        &rows,
+    );
+    println!(
+        "\npaper: timing detects ~99.99% down to 6 dB but always misses the\n\
+         first packet of a session (a small constant floor); phase misses\n\
+         nothing at high SNR and degrades below ~9 dB.\n\
+         workload: {n_pings} l2pings per point over 79 channels (paper: 6000);\n\
+         miss rates count only the packets that hop into the monitored band."
+    );
+}

@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the hot kernels the architecture's cost
+//! model stands on: the per-sample work of detection (energy windows, phase
+//! extraction, FFT) vs demodulation (channelizer FIR, Barker despreading,
+//! resampling).
+//!
+//! Run: `cargo bench -p rfd-bench --bench micro_dsp`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rfd_dsp::fft::Fft;
+use rfd_dsp::fir::{lowpass, Fir};
+use rfd_dsp::nco::Nco;
+use rfd_dsp::phase::FmDiscriminator;
+use rfd_dsp::resample::resample_windowed_sinc;
+use rfd_dsp::rng::GaussianGen;
+use rfd_dsp::window::Window;
+use rfd_dsp::Complex32;
+use rfdump::chunk::SampleChunk;
+use rfdump::peak::{PeakDetector, PeakDetectorConfig};
+use std::hint::black_box;
+
+fn noise(n: usize, seed: u64) -> Vec<Complex32> {
+    let mut v = vec![Complex32::ZERO; n];
+    GaussianGen::new(seed).add_awgn(&mut v, 1.0);
+    v
+}
+
+fn bench_detection_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    let n = 65_536;
+    let sig = noise(n, 1);
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("peak_detector_quiet_stream", |b| {
+        // Quiet stream: exercises the cheap energy-filter path.
+        let quiet: Vec<Complex32> = sig.iter().map(|z| z.scale(0.01)).collect();
+        let chunks = SampleChunk::chunk_trace(&quiet, 8e6, rfdump::CHUNK_SAMPLES);
+        b.iter(|| {
+            let mut det = PeakDetector::new(
+                PeakDetectorConfig { noise_floor: Some(1e-4), ..Default::default() },
+                8e6,
+            );
+            let mut out = Vec::new();
+            for ch in &chunks {
+                det.push_chunk(ch, &mut out);
+            }
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function("phase_diff_arctan_per_sample", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for w in sig.windows(2) {
+                acc += (w[1] * w[0].conj()).arg();
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("fft64_power_spectrum", |b| {
+        let fft = Fft::new(64);
+        let mut ps = vec![0.0f32; 64];
+        b.iter(|| {
+            for chunk in sig.chunks_exact(64) {
+                fft.power_spectrum(chunk, &mut ps);
+            }
+            black_box(ps[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_demod_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demodulation");
+    let n = 65_536;
+    let sig = noise(n, 2);
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("bt_channelizer_fir41", |b| {
+        let taps = lowpass(600e3, 8e6, 41, Window::Hamming);
+        b.iter(|| {
+            let mut fir = Fir::new(taps.clone());
+            let mut nco = Nco::new(-2e6, 8e6);
+            let mut acc = Complex32::ZERO;
+            for &x in &sig {
+                acc += fir.push(x * nco.next());
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("fm_discriminator", |b| {
+        b.iter(|| {
+            let mut disc = FmDiscriminator::new(8e6);
+            let mut out = Vec::with_capacity(n);
+            disc.process(&sig, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function("resample_8_to_11_msps_polyphase", |b| {
+        b.iter(|| black_box(resample_windowed_sinc(&sig, 8e6, 11e6, 8).len()))
+    });
+
+    g.bench_function("barker_despread_per_symbol", |b| {
+        b.iter(|| {
+            let mut acc = Complex32::ZERO;
+            for chunk in sig.chunks_exact(11) {
+                acc += rfd_phy::wifi::barker::despread_symbol(chunk);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_detection_kernels, bench_demod_kernels
+}
+criterion_main!(benches);

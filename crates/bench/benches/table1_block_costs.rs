@@ -1,0 +1,91 @@
+//! Table 1: CPU time / real time for individual processing blocks.
+//!
+//! Paper (GNU Radio on a 2.13 GHz Core 2 Duo, 8 Msps stream):
+//!
+//! ```text
+//! 802.11 demodulation (1 Mbps)   0.6
+//! Bluetooth demodulation         0.7
+//! Peak/Energy detection          0.05
+//! ```
+//!
+//! We time the equivalent blocks of this implementation over a busy 8 Msps
+//! trace. Absolute ratios shift with hardware and implementation maturity;
+//! the load-bearing relation is demodulation ≫ detection.
+//!
+//! Run: `cargo bench -p rfd-bench --bench table1_block_costs`
+
+use rfd_bench::*;
+use rfdump::chunk::SampleChunk;
+use rfdump::peak::{PeakDetector, PeakDetectorConfig};
+use std::time::Instant;
+
+fn main() {
+    // A busy trace: back-to-back unicast traffic at ~80% utilization.
+    let trace = utilization_trace(0.8, 150_000.0 * scale(), 42);
+    let fs = trace.band.sample_rate;
+    let real = trace.samples.len() as f64 / fs;
+
+    // 802.11 continuous demodulation.
+    let t0 = Instant::now();
+    let mut wifi = rfd_phy::wifi::WifiRx::new(fs);
+    for block in trace.samples.chunks(8192) {
+        wifi.process(block);
+    }
+    let wifi_found = wifi.take_results().len();
+    let wifi_cpu = t0.elapsed().as_secs_f64();
+
+    // Bluetooth demodulation, single channel (paper reports per-block cost;
+    // the naive architecture runs one of these per covered channel).
+    let t0 = Instant::now();
+    let mut bt = rfd_phy::bluetooth::demod::BtChannelRx::new(35, fs, 0.0, vec![piconet()]);
+    for block in trace.samples.chunks(8192) {
+        bt.process(block);
+    }
+    let _ = bt.finish();
+    let bt_cpu = t0.elapsed().as_secs_f64();
+
+    // Peak/energy detection.
+    let t0 = Instant::now();
+    let chunks = SampleChunk::chunk_trace(&trace.samples, fs, rfdump::CHUNK_SAMPLES);
+    let mut det = PeakDetector::new(
+        PeakDetectorConfig { noise_floor: Some(trace.noise_power), ..Default::default() },
+        fs,
+    );
+    let mut peaks = Vec::new();
+    for c in &chunks {
+        det.push_chunk(c, &mut peaks);
+    }
+    det.finish(&mut peaks);
+    let peak_cpu = t0.elapsed().as_secs_f64();
+
+    let rows = vec![
+        vec![
+            "802.11 demodulation (1 Mbps)".into(),
+            format!("{:.3}", wifi_cpu / real),
+            "0.6".into(),
+        ],
+        vec![
+            "Bluetooth demodulation (1 ch)".into(),
+            format!("{:.3}", bt_cpu / real),
+            "0.7".into(),
+        ],
+        vec![
+            "Peak/Energy detection".into(),
+            format!("{:.3}", peak_cpu / real),
+            "0.05".into(),
+        ],
+    ];
+    print_table(
+        "Table 1 — CPU time / real time of individual blocks",
+        &["block", "measured", "paper"],
+        &rows,
+    );
+    println!(
+        "\ntrace: {:.0} ms at 8 Msps, ~80% utilization; {} peaks, {} wifi \
+         frames decoded.\nshape to check: demodulators cost an order of \
+         magnitude more than peak/energy detection.",
+        real * 1e3,
+        peaks.len(),
+        wifi_found
+    );
+}

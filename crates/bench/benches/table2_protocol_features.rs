@@ -1,0 +1,15 @@
+//! Table 2: relevant features of the 2.4 GHz ISM protocols, as encoded in
+//! the protocol registry the fast detectors are parameterized from.
+//!
+//! Run: `cargo bench -p rfd-bench --bench table2_protocol_features`
+
+fn main() {
+    println!("\n== Table 2 — protocol features in the 2.4 GHz ISM band ==");
+    print!("{}", rfdump::protocols::render_table2());
+    println!(
+        "\npaper values: 802.11b slot 20 us / SIFS 10 us, Barker or CCK over\n\
+         22 MHz; Bluetooth 625 us slots, GFSK + FHSS over 1 MHz channels;\n\
+         802.15.4 backoff 320 us / tACK 192 us, (O-)QPSK over 5 MHz;\n\
+         microwave follows the 16667/20000 us AC cycle."
+    );
+}

@@ -1,0 +1,111 @@
+//! Table 3: traffic-mix results — simultaneous 802.11b pings and Bluetooth
+//! l2pings at high SNR; packet miss rate and false-positive sample rate per
+//! detector.
+//!
+//! Paper:
+//!
+//! ```text
+//! detector   miss(802.11b)  miss(bt)  fp(802.11b)  fp(bt)
+//! timing     0.018          0.024     0.0007       0.007
+//! phase      0.018          0.012     0.01         0.0002
+//! ```
+//!
+//! and "a small fraction of packets collided ... roughly 0.016 for 802.11
+//! and 0.012 for Bluetooth. If we discount this fraction, both detectors
+//! have a packet miss rate of almost zero."
+//!
+//! Run: `cargo bench -p rfd-bench --bench table3_traffic_mix`
+
+use rfd_bench::*;
+use rfd_phy::Protocol;
+use rfdump::detect::{
+    BtPhaseDetector, BtTimingDetector, WifiDifsDetector, WifiPhaseDetector, WifiSifsDetector,
+};
+use rfdump::eval::ClassifiedPeak;
+
+fn main() {
+    let n_wifi = scaled(40); // 160 wifi packets
+    let n_bt = scaled(250); // 500 bt packets, ~50 in band
+    let trace = mix_trace(n_wifi, n_bt, 30.0, 333);
+    let collided = trace.collided_ids();
+    let wifi_truth = trace
+        .truth
+        .iter()
+        .filter(|t| t.protocol == Protocol::Wifi)
+        .count();
+    let bt_truth_inband = trace
+        .truth
+        .iter()
+        .filter(|t| t.protocol == Protocol::Bluetooth && t.in_band)
+        .count();
+    let wifi_collided = trace
+        .truth
+        .iter()
+        .filter(|t| t.protocol == Protocol::Wifi && collided.contains(&t.id))
+        .count();
+    let bt_collided = trace
+        .truth
+        .iter()
+        .filter(|t| t.protocol == Protocol::Bluetooth && t.in_band && collided.contains(&t.id))
+        .count();
+
+    // "Timing detector" = SIFS + DIFS + BT slot timing; "phase detector" =
+    // DBPSK + GFSK, as in the paper's two rows.
+    let timing_cls: Vec<ClassifiedPeak> = {
+        let mut all = classify_with_detector(&trace, &mut WifiSifsDetector::new());
+        all.extend(classify_with_detector(&trace, &mut WifiDifsDetector::new()));
+        all.extend(classify_with_detector(&trace, &mut BtTimingDetector::new()));
+        all
+    };
+    let phase_cls: Vec<ClassifiedPeak> = {
+        let mut all =
+            classify_with_detector(&trace, &mut WifiPhaseDetector::new(trace.band.sample_rate));
+        all.extend(classify_with_detector(
+            &trace,
+            &mut BtPhaseDetector::new(trace.band.center_hz),
+        ));
+        all
+    };
+
+    let mut rows = Vec::new();
+    for (label, cls, paper) in [
+        ("timing", &timing_cls, ["0.018", "0.024", "0.0007", "0.007"]),
+        ("phase", &phase_cls, ["0.018", "0.012", "0.01", "0.0002"]),
+    ] {
+        let wifi = detector_report(&trace, Protocol::Wifi, cls, false);
+        let bt = detector_report(&trace, Protocol::Bluetooth, cls, false);
+        let wifi_nc = detector_report(&trace, Protocol::Wifi, cls, true);
+        let bt_nc = detector_report(&trace, Protocol::Bluetooth, cls, true);
+        rows.push(vec![
+            label.to_string(),
+            fmt_rate(wifi.miss_rate),
+            fmt_rate(bt.miss_rate),
+            fmt_rate(wifi.false_positive_rate),
+            fmt_rate(bt.false_positive_rate),
+            fmt_rate(wifi_nc.miss_rate),
+            fmt_rate(bt_nc.miss_rate),
+            format!("{}/{}/{}/{}", paper[0], paper[1], paper[2], paper[3]),
+        ]);
+    }
+    print_table(
+        "Table 3 — traffic mix (simultaneous 802.11b + Bluetooth)",
+        &[
+            "detector",
+            "miss(wifi)",
+            "miss(bt)",
+            "fp(wifi)",
+            "fp(bt)",
+            "miss(wifi,-coll)",
+            "miss(bt,-coll)",
+            "paper miss-w/miss-b/fp-w/fp-b",
+        ],
+        &rows,
+    );
+    println!(
+        "\ntrace: {wifi_truth} 802.11 packets ({wifi_collided} collided), \
+         {bt_truth_inband} in-band Bluetooth packets ({bt_collided} collided), \
+         over {:.0} ms.\npaper shape: miss rates ~2% dominated by collisions \
+         (→ ~0 after discounting), false-positive sample rates ≤ 1%.",
+        trace.duration() * 1e3
+    );
+}

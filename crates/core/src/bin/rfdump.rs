@@ -1,0 +1,159 @@
+//! `rfdump` — the command-line monitor.
+//!
+//! The wireless analogue of `tcpdump -r`: reads a recorded sample trace (the
+//! USRP-style `.rfdt` format written by `rfd_ether::trace`) and prints one
+//! line per monitored transmission.
+//!
+//! ```text
+//! rfdump -r trace.rfdt [options]
+//!
+//!   -r FILE          trace file to read (required)
+//!   -a ARCH          rfdump | naive | naive-energy      (default rfdump)
+//!   -d SET           timing | phase | both | all        (default both)
+//!   -n               detection only, no demodulation
+//!   -p LAP:UAP       piconet to acquire (hex, e.g. 9e8b33:47); repeatable
+//!   -z               enable the ZigBee detectors/analyzer
+//!   -s               print per-stage CPU statistics
+//!   -q               suppress packet lines (stats only)
+//! ```
+
+use rfdump::arch::{run_architecture, ArchConfig, ArchKind, DetectorSet};
+use rfdump::protocols::render_table2;
+use std::process::ExitCode;
+
+struct Options {
+    trace: Option<String>,
+    arch: ArchKind,
+    demodulate: bool,
+    piconets: Vec<rfd_phy::bluetooth::demod::PiconetId>,
+    zigbee: bool,
+    stats: bool,
+    quiet: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rfdump -r FILE [-a rfdump|naive|naive-energy] [-d timing|phase|both|all]\n\
+         \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q]\n\
+         \x20      rfdump --protocols   (print the protocol feature table)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        trace: None,
+        arch: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+        demodulate: true,
+        piconets: Vec::new(),
+        zigbee: false,
+        stats: false,
+        quiet: false,
+    };
+    let mut detector_set = DetectorSet::TimingAndPhase;
+    let mut arch_name = String::from("rfdump");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-r" => opts.trace = Some(args.next().ok_or("-r needs a file")?),
+            "-a" => arch_name = args.next().ok_or("-a needs an architecture")?,
+            "-d" => {
+                detector_set = match args.next().ok_or("-d needs a set")?.as_str() {
+                    "timing" => DetectorSet::Timing,
+                    "phase" => DetectorSet::Phase,
+                    "both" => DetectorSet::TimingAndPhase,
+                    "all" => DetectorSet::All,
+                    other => return Err(format!("unknown detector set '{other}'")),
+                }
+            }
+            "-n" => opts.demodulate = false,
+            "-p" => {
+                let spec = args.next().ok_or("-p needs LAP:UAP")?;
+                let (lap_s, uap_s) =
+                    spec.split_once(':').ok_or("piconet must be LAP:UAP")?;
+                let lap = u32::from_str_radix(lap_s, 16).map_err(|e| e.to_string())?;
+                let uap = u8::from_str_radix(uap_s, 16).map_err(|e| e.to_string())?;
+                opts.piconets
+                    .push(rfd_phy::bluetooth::demod::PiconetId { lap, uap });
+            }
+            "-z" => opts.zigbee = true,
+            "-s" => opts.stats = true,
+            "-q" => opts.quiet = true,
+            "--protocols" => {
+                print!("{}", render_table2());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    opts.arch = match arch_name.as_str() {
+        "rfdump" => ArchKind::RfDump(detector_set),
+        "naive" => ArchKind::Naive,
+        "naive-energy" => ArchKind::NaiveEnergy,
+        other => return Err(format!("unknown architecture '{other}'")),
+    };
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rfdump: {e}");
+            return usage();
+        }
+    };
+    let Some(path) = &opts.trace else {
+        return usage();
+    };
+    let (header, samples) = match rfd_ether::trace::read_trace(std::path::Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rfdump: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "rfdump: {} samples at {:.1} Msps ({:.1} ms), band center {:.1} MHz",
+        header.n_samples,
+        header.sample_rate / 1e6,
+        header.n_samples as f64 / header.sample_rate * 1e3,
+        header.center_hz / 1e6,
+    );
+
+    let cfg = ArchConfig {
+        kind: opts.arch,
+        demodulate: opts.demodulate,
+        band: rfd_ether::Band {
+            sample_rate: header.sample_rate,
+            center_hz: header.center_hz,
+        },
+        piconets: opts.piconets,
+        noise_floor: None,
+        zigbee: opts.zigbee,
+        microwave: true,
+        threaded: false,
+    };
+    let out = run_architecture(&cfg, &samples, header.sample_rate);
+
+    if !opts.quiet {
+        for rec in &out.records {
+            println!("{}", rec.format_line());
+        }
+    }
+    eprintln!(
+        "rfdump: {} packets, CPU/RT {:.3}",
+        out.records.len(),
+        out.cpu_over_realtime()
+    );
+    if opts.stats {
+        eprint!("{}", out.stats.table());
+        if let Some(ds) = &out.dispatch_stats {
+            eprintln!(
+                "peaks: {} total, {} unclassified",
+                ds.total_peaks, ds.unclassified_peaks
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,206 @@
+//! Collision detection — the paper's declared future work, implemented.
+//!
+//! §5.1.5: "As we have not incorporated collision detection in our detectors
+//! yet, these collisions appear as missed packets." Two transmissions that
+//! physically overlap at the monitor merge into one peak whose power profile
+//! carries the evidence: a sustained step up where the second transmitter
+//! keys on and a step down where the first ends. This module finds such
+//! steps with a windowed power changepoint scan, letting the pipeline tag
+//! collision peaks instead of silently misclassifying them.
+
+use crate::chunk::PeakBlock;
+use rfd_dsp::complex::mean_power;
+
+/// Collision-scan configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CollisionConfig {
+    /// Window (samples) over which power is averaged on each side of a
+    /// candidate changepoint.
+    pub window: usize,
+    /// Minimum sustained power step, as a linear ratio (≈3 dB default).
+    pub min_step_ratio: f32,
+    /// Steps within this many samples of the peak edges are ignored
+    /// (ordinary ramp-up/down).
+    pub edge_guard: usize,
+}
+
+impl Default for CollisionConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            min_step_ratio: 2.0, // 3 dB
+            edge_guard: 96,
+        }
+    }
+}
+
+/// Evidence of a collision inside one peak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionEvidence {
+    /// Sample offsets (relative to the peak start) of detected power steps.
+    pub steps: Vec<usize>,
+    /// Largest step ratio seen (linear).
+    pub max_ratio: f32,
+}
+
+/// Scans a peak for sustained mid-peak power steps. Returns `None` when the
+/// peak looks like a single transmission.
+pub fn detect_collision(pb: &PeakBlock, cfg: &CollisionConfig) -> Option<CollisionEvidence> {
+    let samples = pb.peak_samples();
+    let w = cfg.window;
+    if samples.len() < 2 * w + 2 * cfg.edge_guard {
+        return None;
+    }
+    let mut steps = Vec::new();
+    let mut max_ratio = 1.0f32;
+    // Slide a two-window comparator; require the step to be sustained (both
+    // windows fully inside the peak and away from the edges).
+    let mut i = cfg.edge_guard;
+    let end = samples.len() - cfg.edge_guard - 2 * w;
+    while i < end {
+        let before = mean_power(&samples[i..i + w]);
+        let after = mean_power(&samples[i + w..i + 2 * w]);
+        if before > 0.0 && after > 0.0 {
+            let ratio = if after > before { after / before } else { before / after };
+            if ratio >= cfg.min_step_ratio {
+                steps.push(i + w);
+                max_ratio = max_ratio.max(ratio);
+                // Skip past this step; adjacent windows see the same edge.
+                i += 2 * w;
+                continue;
+            }
+        }
+        i += w / 2;
+    }
+    if steps.is_empty() {
+        None
+    } else {
+        Some(CollisionEvidence { steps, max_ratio })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Peak;
+    use rfd_dsp::rng::GaussianGen;
+    use rfd_dsp::Complex32;
+    use std::sync::Arc;
+
+    fn pb_from(samples: Vec<Complex32>) -> PeakBlock {
+        let n = samples.len() as u64;
+        PeakBlock {
+            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+            samples: Arc::new(samples),
+            sample_start: 0,
+            sample_rate: 8e6,
+        }
+    }
+
+    /// Two constant-envelope signals overlapping in the middle third.
+    fn colliding(n: usize, seed: u64) -> Vec<Complex32> {
+        let mut sig = vec![Complex32::ZERO; n];
+        for (i, z) in sig.iter_mut().enumerate() {
+            let mut v = Complex32::ZERO;
+            if i < 2 * n / 3 {
+                v += Complex32::cis(i as f32 * 0.7);
+            }
+            if i >= n / 3 {
+                v += Complex32::cis(i as f32 * 1.3 + 1.0);
+            }
+            *z = v;
+        }
+        GaussianGen::new(seed).add_awgn(&mut sig, 1e-3);
+        sig
+    }
+
+    #[test]
+    fn overlapping_transmissions_are_flagged() {
+        let pb = pb_from(colliding(6000, 1));
+        let ev = detect_collision(&pb, &CollisionConfig::default())
+            .expect("collision must be detected");
+        assert!(!ev.steps.is_empty());
+        assert!(ev.max_ratio >= 1.8, "ratio {}", ev.max_ratio);
+        // Steps near the overlap boundaries (n/3 = 2000, 2n/3 = 4000).
+        assert!(
+            ev.steps.iter().any(|&s| (1700..2400).contains(&s))
+                || ev.steps.iter().any(|&s| (3700..4400).contains(&s)),
+            "steps {:?}",
+            ev.steps
+        );
+    }
+
+    #[test]
+    fn single_transmission_is_clean() {
+        let mut sig: Vec<Complex32> = (0..6000).map(|i| Complex32::cis(i as f32 * 0.7)).collect();
+        GaussianGen::new(2).add_awgn(&mut sig, 1e-3);
+        assert!(detect_collision(&pb_from(sig), &CollisionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn real_wifi_frame_is_clean() {
+        use rfd_phy::wifi::frame::{icmp_echo_body, MacAddr, MacFrame};
+        use rfd_phy::wifi::modulator::{modulate, WifiTxConfig};
+        let psdu = MacFrame::data(
+            MacAddr::station(1),
+            MacAddr::station(2),
+            MacAddr::station(0),
+            0,
+            icmp_echo_body(0, 300),
+        )
+        .to_bytes();
+        let w = modulate(&psdu, WifiTxConfig::default());
+        let mut at8 = rfd_dsp::resample::resample_windowed_sinc(&w.samples, 11e6, 8e6, 8);
+        GaussianGen::new(3).add_awgn(&mut at8, 1e-3);
+        assert!(
+            detect_collision(&pb_from(at8), &CollisionConfig::default()).is_none(),
+            "a clean frame must not look like a collision"
+        );
+    }
+
+    #[test]
+    fn rendered_ether_collision_is_flagged() {
+        // Two Wi-Fi frames overlapping via the ether, different gains.
+        use rfd_mac::{TxContent, TxEvent};
+        use rfd_phy::wifi::frame::{icmp_echo_body, MacAddr, MacFrame};
+        use rfd_phy::wifi::plcp::WifiRate;
+        let mk = |node: u16, start_us: f64, id: u64| TxEvent {
+            node,
+            start_us,
+            content: TxContent::Wifi {
+                psdu: MacFrame::data(
+                    MacAddr::station(node),
+                    MacAddr::BROADCAST,
+                    MacAddr::station(0),
+                    0,
+                    icmp_echo_body(0, 200),
+                )
+                .to_bytes(),
+                rate: WifiRate::R1,
+            },
+            id,
+            tag: "c",
+        };
+        let mut scene = rfd_ether::scene::Scene::new(1e-4, 4);
+        scene.set_node(1, 0.0, 0.0);
+        scene.set_node(2, 5.0, 0.0); // the interloper is 5 dB stronger
+        let trace = scene.render(&[mk(1, 0.0, 0), mk(2, 900.0, 1)], 4_000.0);
+        let peaks = crate::peak::detect_peaks(
+            &trace.samples,
+            trace.band.sample_rate,
+            crate::peak::PeakDetectorConfig {
+                noise_floor: Some(trace.noise_power),
+                ..Default::default()
+            },
+        );
+        assert_eq!(peaks.len(), 1, "overlap must merge into one peak");
+        let ev = detect_collision(&peaks[0], &CollisionConfig::default());
+        assert!(ev.is_some(), "rendered collision must be flagged");
+    }
+
+    #[test]
+    fn short_peaks_are_skipped() {
+        let sig = vec![Complex32::ONE; 200];
+        assert!(detect_collision(&pb_from(sig), &CollisionConfig::default()).is_none());
+    }
+}

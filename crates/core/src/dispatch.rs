@@ -1,0 +1,302 @@
+//! The dispatcher: collects detector votes per peak and forwards promising
+//! peaks to the per-protocol analyzers (§2.2's "selectively forward only
+//! those blocks of samples to the analysis phase").
+//!
+//! Because timing detectors classify peaks *retroactively* (a data frame is
+//! only recognizable as 802.11 once its SIFS-spaced ACK appears), the
+//! dispatcher holds each peak in a small pending window before finalizing
+//! its classification. RFDump tolerates this latency by design — the paper's
+//! monitoring requirement is throughput, not reaction time.
+
+use crate::chunk::PeakBlock;
+use crate::detect::Classification;
+use rfd_phy::Protocol;
+use std::collections::BTreeMap;
+
+/// Dispatcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchConfig {
+    /// Minimum vote confidence to forward a peak to a protocol's analyzer.
+    pub confidence_threshold: f32,
+    /// Peaks held pending retroactive votes before finalizing.
+    pub hold_peaks: usize,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self { confidence_threshold: 0.5, hold_peaks: 8 }
+    }
+}
+
+/// One vote accepted for a peak.
+#[derive(Debug, Clone, Copy)]
+pub struct Vote {
+    /// Protocol voted for.
+    pub protocol: Protocol,
+    /// Confidence.
+    pub confidence: f32,
+    /// Channel hint.
+    pub channel: Option<u8>,
+    /// Sample sub-range worth forwarding.
+    pub range: Option<(u64, u64)>,
+}
+
+/// A finalized classification: the peak plus everything the analyzers need.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// The peak and its samples.
+    pub block: PeakBlock,
+    /// Winning votes, one per protocol (the best vote for each protocol
+    /// above threshold), sorted by descending confidence.
+    pub votes: Vec<Vote>,
+}
+
+impl Dispatch {
+    /// The best vote for a given protocol, if any.
+    pub fn vote_for(&self, p: Protocol) -> Option<&Vote> {
+        self.votes.iter().find(|v| v.protocol == p)
+    }
+
+    /// Samples forwarded for a protocol (honoring the vote's range).
+    pub fn forwarded_samples(&self, p: Protocol) -> u64 {
+        match self.vote_for(p) {
+            None => 0,
+            Some(v) => match v.range {
+                Some((a, b)) => b.saturating_sub(a),
+                None => self.block.peak.len(),
+            },
+        }
+    }
+}
+
+/// Per-protocol forwarding statistics (drives the false-positive-rate and
+/// selectivity numbers in Tables 3 and 4).
+#[derive(Debug, Clone, Default)]
+pub struct DispatchStats {
+    /// Samples forwarded per protocol.
+    pub forwarded_samples: BTreeMap<Protocol, u64>,
+    /// Peaks forwarded per protocol.
+    pub forwarded_peaks: BTreeMap<Protocol, u64>,
+    /// Peaks that received no qualifying vote (dropped before analysis).
+    pub unclassified_peaks: u64,
+    /// Total peaks seen.
+    pub total_peaks: u64,
+}
+
+struct PendingPeak {
+    block: PeakBlock,
+    votes: Vec<Classification>,
+}
+
+/// The dispatcher.
+pub struct Dispatcher {
+    cfg: DispatchConfig,
+    pending: std::collections::VecDeque<PendingPeak>,
+    stats: DispatchStats,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher.
+    pub fn new(cfg: DispatchConfig) -> Self {
+        Self { cfg, pending: Default::default(), stats: Default::default() }
+    }
+
+    /// Offers a new peak together with the votes the detector bank produced
+    /// when it saw the peak. Votes may reference *earlier* peaks still in
+    /// the pending window. Returns any peaks whose classification is now
+    /// final.
+    pub fn on_peak(&mut self, block: PeakBlock, votes: Vec<Classification>) -> Vec<Dispatch> {
+        self.stats.total_peaks += 1;
+        self.pending.push_back(PendingPeak { block, votes: Vec::new() });
+        self.absorb_votes(votes);
+        let mut out = Vec::new();
+        while self.pending.len() > self.cfg.hold_peaks {
+            let p = self.pending.pop_front().expect("nonempty");
+            if let Some(d) = self.finalize(p) {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// Routes votes to the pending peaks they reference (votes for peaks
+    /// already finalized are dropped — the hold window bounds latency).
+    fn absorb_votes(&mut self, votes: Vec<Classification>) {
+        for v in votes {
+            if let Some(p) = self.pending.iter_mut().find(|p| p.block.peak.id == v.peak_id) {
+                p.votes.push(v);
+            }
+        }
+    }
+
+    /// Flushes all pending peaks at end of stream.
+    pub fn finish(&mut self) -> Vec<Dispatch> {
+        let mut out = Vec::new();
+        while let Some(p) = self.pending.pop_front() {
+            if let Some(d) = self.finalize(p) {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &DispatchStats {
+        &self.stats
+    }
+
+    fn finalize(&mut self, p: PendingPeak) -> Option<Dispatch> {
+        // Best vote per protocol above threshold.
+        let mut best: BTreeMap<Protocol, Vote> = BTreeMap::new();
+        for c in &p.votes {
+            if c.confidence < self.cfg.confidence_threshold {
+                continue;
+            }
+            let vote = Vote {
+                protocol: c.protocol,
+                confidence: c.confidence,
+                channel: c.channel,
+                range: c.range,
+            };
+            best.entry(c.protocol)
+                .and_modify(|b| {
+                    if vote.confidence > b.confidence {
+                        // Keep the channel hint if the stronger vote lacks
+                        // one.
+                        let channel = vote.channel.or(b.channel);
+                        *b = Vote { channel, ..vote };
+                    } else if b.channel.is_none() {
+                        b.channel = vote.channel;
+                    }
+                })
+                .or_insert(vote);
+        }
+        if best.is_empty() {
+            self.stats.unclassified_peaks += 1;
+            return None;
+        }
+        let mut votes: Vec<Vote> = best.into_values().collect();
+        votes.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+        let d = Dispatch { block: p.block, votes };
+        for v in &d.votes {
+            *self.stats.forwarded_samples.entry(v.protocol).or_default() +=
+                d.forwarded_samples(v.protocol);
+            *self.stats.forwarded_peaks.entry(v.protocol).or_default() += 1;
+        }
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Peak;
+    use std::sync::Arc;
+
+    fn pb(id: u64, len: u64) -> PeakBlock {
+        PeakBlock {
+            peak: Peak { id, start: id * 10_000, end: id * 10_000 + len, mean_power: 1.0, noise_floor: 1e-4 },
+            samples: Arc::new(vec![]),
+            sample_start: id * 10_000,
+            sample_rate: 8e6,
+        }
+    }
+
+    fn vote(peak_id: u64, protocol: Protocol, confidence: f32) -> Classification {
+        Classification { peak_id, protocol, confidence, channel: None, range: None }
+    }
+
+    #[test]
+    fn classified_peak_is_dispatched_on_eviction() {
+        let mut d = Dispatcher::new(DispatchConfig { hold_peaks: 2, ..Default::default() });
+        assert!(d
+            .on_peak(pb(0, 100), vec![vote(0, Protocol::Wifi, 0.9)])
+            .is_empty());
+        assert!(d.on_peak(pb(1, 100), vec![]).is_empty());
+        let out = d.on_peak(pb(2, 100), vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].block.peak.id, 0);
+        assert_eq!(out[0].votes[0].protocol, Protocol::Wifi);
+    }
+
+    #[test]
+    fn retroactive_votes_reach_pending_peaks() {
+        let mut d = Dispatcher::new(DispatchConfig { hold_peaks: 4, ..Default::default() });
+        d.on_peak(pb(0, 500), vec![]);
+        // Peak 1 arrives and the SIFS detector votes for both 0 and 1.
+        d.on_peak(
+            pb(1, 100),
+            vec![vote(0, Protocol::Wifi, 0.9), vote(1, Protocol::Wifi, 0.9)],
+        );
+        let out = d.finish();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|x| x.vote_for(Protocol::Wifi).is_some()));
+    }
+
+    #[test]
+    fn unclassified_peaks_are_dropped_and_counted() {
+        let mut d = Dispatcher::new(DispatchConfig::default());
+        d.on_peak(pb(0, 100), vec![]);
+        d.on_peak(pb(1, 100), vec![vote(1, Protocol::Bluetooth, 0.8)]);
+        let out = d.finish();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.stats().unclassified_peaks, 1);
+        assert_eq!(d.stats().total_peaks, 2);
+    }
+
+    #[test]
+    fn low_confidence_votes_do_not_qualify() {
+        let mut d = Dispatcher::new(DispatchConfig { confidence_threshold: 0.5, hold_peaks: 1 });
+        d.on_peak(pb(0, 100), vec![vote(0, Protocol::Zigbee, 0.3)]);
+        let out = d.finish();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_protocol_votes_forward_to_both() {
+        let mut d = Dispatcher::new(DispatchConfig::default());
+        d.on_peak(
+            pb(0, 200),
+            vec![vote(0, Protocol::Wifi, 0.6), vote(0, Protocol::Bluetooth, 0.7)],
+        );
+        let out = d.finish();
+        assert_eq!(out[0].votes.len(), 2);
+        // Sorted by confidence.
+        assert_eq!(out[0].votes[0].protocol, Protocol::Bluetooth);
+        assert_eq!(d.stats().forwarded_peaks[&Protocol::Wifi], 1);
+        assert_eq!(d.stats().forwarded_peaks[&Protocol::Bluetooth], 1);
+    }
+
+    #[test]
+    fn range_limits_forwarded_samples() {
+        let mut d = Dispatcher::new(DispatchConfig::default());
+        let block = pb(0, 1000);
+        let start = block.peak.start;
+        d.on_peak(
+            block,
+            vec![Classification {
+                peak_id: 0,
+                protocol: Protocol::Wifi,
+                confidence: 0.9,
+                channel: None,
+                range: Some((start, start + 250)),
+            }],
+        );
+        let out = d.finish();
+        assert_eq!(out[0].forwarded_samples(Protocol::Wifi), 250);
+        assert_eq!(d.stats().forwarded_samples[&Protocol::Wifi], 250);
+    }
+
+    #[test]
+    fn channel_hint_survives_vote_merging() {
+        let mut d = Dispatcher::new(DispatchConfig::default());
+        let mut v1 = vote(0, Protocol::Bluetooth, 0.6);
+        v1.channel = Some(37);
+        let v2 = vote(0, Protocol::Bluetooth, 0.9); // stronger but no hint
+        d.on_peak(pb(0, 100), vec![v1, v2]);
+        let out = d.finish();
+        let v = out[0].vote_for(Protocol::Bluetooth).unwrap();
+        assert_eq!(v.confidence, 0.9);
+        assert_eq!(v.channel, Some(37), "hint from the weaker vote must survive");
+    }
+}

@@ -1,0 +1,188 @@
+//! Packet records — RFDump's output, the wireless analogue of a tcpdump
+//! line.
+
+use rfd_phy::bluetooth::packet::BtPacketType;
+use rfd_phy::wifi::frame::{MacAddr, MacFrameKind};
+use rfd_phy::wifi::plcp::WifiRate;
+use rfd_phy::Protocol;
+
+/// Decoded (or merely detected) details of one monitored transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketInfo {
+    /// A decoded 802.11 frame.
+    Wifi {
+        /// PSDU rate from the PLCP header.
+        rate: WifiRate,
+        /// Frame type if the MAC parse succeeded.
+        kind: Option<MacFrameKind>,
+        /// Source address (absent on ACKs).
+        src: Option<MacAddr>,
+        /// Destination / receiver address.
+        dst: Option<MacAddr>,
+        /// Sequence number.
+        seq: Option<u16>,
+        /// PSDU length in bytes.
+        psdu_len: usize,
+        /// Whether the FCS verified.
+        fcs_ok: bool,
+    },
+    /// A decoded Bluetooth baseband packet.
+    Bluetooth {
+        /// LAP of the piconet.
+        lap: u32,
+        /// Packet type, when the header decoded.
+        ptype: Option<BtPacketType>,
+        /// Payload bytes.
+        payload_len: usize,
+        /// Whether the payload CRC verified.
+        crc_ok: bool,
+    },
+    /// A decoded 802.15.4 frame.
+    Zigbee {
+        /// Payload length (bytes before FCS).
+        payload_len: usize,
+    },
+    /// Microwave-oven interference burst.
+    Microwave,
+    /// Classified by the fast detectors but not (successfully) demodulated.
+    DetectedOnly {
+        /// Best detector confidence.
+        confidence: f32,
+    },
+}
+
+/// One monitored transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketRecord {
+    /// Protocol tag.
+    pub protocol: Protocol,
+    /// Start time, µs from trace start.
+    pub start_us: f64,
+    /// End time, µs.
+    pub end_us: f64,
+    /// SNR estimate from the peak detector, dB.
+    pub snr_db: f32,
+    /// Bluetooth RF channel, when known.
+    pub channel: Option<u8>,
+    /// Details.
+    pub info: PacketInfo,
+}
+
+impl PacketRecord {
+    /// Renders a tcpdump-style one-liner.
+    pub fn format_line(&self) -> String {
+        let t = self.start_us / 1e6;
+        let dur = self.end_us - self.start_us;
+        let head = format!("{t:12.6} {:<10}", self.protocol.name());
+        let body = match &self.info {
+            PacketInfo::Wifi { rate, kind, src, dst, seq, psdu_len, fcs_ok } => {
+                let kind_s = kind.map(|k| format!("{k:?}")).unwrap_or_else(|| "?".into());
+                let src_s = src.map(|a| a.to_string()).unwrap_or_else(|| "-".into());
+                let dst_s = dst.map(|a| a.to_string()).unwrap_or_else(|| "-".into());
+                format!(
+                    "{rate} {kind_s} {src_s} > {dst_s} seq {} len {psdu_len}{}",
+                    seq.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                    if *fcs_ok { "" } else { " [bad fcs]" },
+                )
+            }
+            PacketInfo::Bluetooth { lap, ptype, payload_len, crc_ok } => format!(
+                "lap {lap:06x} {} ch {} len {payload_len}{}",
+                ptype.map(|p| format!("{p:?}")).unwrap_or_else(|| "?".into()),
+                self.channel.map(|c| c.to_string()).unwrap_or_else(|| "?".into()),
+                if *crc_ok { "" } else { " [bad crc]" },
+            ),
+            PacketInfo::Zigbee { payload_len } => format!("802.15.4 len {payload_len}"),
+            PacketInfo::Microwave => format!("burst {dur:.0} us"),
+            PacketInfo::DetectedOnly { confidence } => {
+                format!("detected (conf {confidence:.2}) {dur:.0} us")
+            }
+        };
+        format!("{head} snr {:5.1} dB  {body}", self.snr_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_line_contains_key_fields() {
+        let r = PacketRecord {
+            protocol: Protocol::Wifi,
+            start_us: 1234.5,
+            end_us: 5938.5,
+            snr_db: 23.4,
+            channel: None,
+            info: PacketInfo::Wifi {
+                rate: WifiRate::R1,
+                kind: Some(MacFrameKind::Data),
+                src: Some(MacAddr::station(1)),
+                dst: Some(MacAddr::station(2)),
+                seq: Some(7),
+                psdu_len: 532,
+                fcs_ok: true,
+            },
+        };
+        let line = r.format_line();
+        assert!(line.contains("802.11"));
+        assert!(line.contains("1 Mbps"));
+        assert!(line.contains("seq 7"));
+        assert!(line.contains("len 532"));
+        assert!(!line.contains("bad fcs"));
+    }
+
+    #[test]
+    fn bad_fcs_is_flagged() {
+        let r = PacketRecord {
+            protocol: Protocol::Wifi,
+            start_us: 0.0,
+            end_us: 100.0,
+            snr_db: 10.0,
+            channel: None,
+            info: PacketInfo::Wifi {
+                rate: WifiRate::R2,
+                kind: None,
+                src: None,
+                dst: None,
+                seq: None,
+                psdu_len: 10,
+                fcs_ok: false,
+            },
+        };
+        assert!(r.format_line().contains("bad fcs"));
+    }
+
+    #[test]
+    fn bluetooth_line_shows_channel_and_lap() {
+        let r = PacketRecord {
+            protocol: Protocol::Bluetooth,
+            start_us: 625.0,
+            end_us: 991.0,
+            snr_db: 18.0,
+            channel: Some(37),
+            info: PacketInfo::Bluetooth {
+                lap: 0x9E8B33,
+                ptype: Some(BtPacketType::Dh5),
+                payload_len: 300,
+                crc_ok: true,
+            },
+        };
+        let line = r.format_line();
+        assert!(line.contains("9e8b33"));
+        assert!(line.contains("ch 37"));
+        assert!(line.contains("Dh5"));
+    }
+
+    #[test]
+    fn detected_only_shows_confidence() {
+        let r = PacketRecord {
+            protocol: Protocol::Microwave,
+            start_us: 0.0,
+            end_us: 8000.0,
+            snr_db: 30.0,
+            channel: None,
+            info: PacketInfo::DetectedOnly { confidence: 0.8 },
+        };
+        assert!(r.format_line().contains("conf 0.80"));
+    }
+}

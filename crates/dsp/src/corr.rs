@@ -1,0 +1,147 @@
+//! Correlation helpers.
+//!
+//! Used by the Wi-Fi DBPSK detector (correlating a precomputed Barker
+//! phase-change pattern against the incoming phase-difference stream, §4.5),
+//! the 802.11b despreader, and the Bluetooth access-code search.
+
+use crate::complex::Complex32;
+
+/// Sliding normalized cross-correlation of a real `pattern` against a real
+/// `signal`.
+///
+/// Output `out[i]` is the correlation coefficient (in `[-1, 1]`) of
+/// `signal[i .. i+pattern.len()]` with `pattern`; output length is
+/// `signal.len() - pattern.len() + 1` (empty if the signal is shorter than
+/// the pattern). Windows with near-zero energy correlate to 0.
+pub fn normalized_xcorr_real(signal: &[f32], pattern: &[f32]) -> Vec<f32> {
+    let m = pattern.len();
+    if m == 0 || signal.len() < m {
+        return Vec::new();
+    }
+    let p_energy: f64 = pattern.iter().map(|&x| (x as f64).powi(2)).sum();
+    let p_norm = p_energy.sqrt();
+    let n_out = signal.len() - m + 1;
+    let mut out = Vec::with_capacity(n_out);
+    // Running window energy for normalization.
+    let mut w_energy: f64 = signal[..m].iter().map(|&x| (x as f64).powi(2)).sum();
+    for i in 0..n_out {
+        let mut dot = 0.0f64;
+        for (k, &p) in pattern.iter().enumerate() {
+            dot += p as f64 * signal[i + k] as f64;
+        }
+        let denom = p_norm * w_energy.max(0.0).sqrt();
+        out.push(if denom > 1e-12 { (dot / denom) as f32 } else { 0.0 });
+        if i + m < signal.len() {
+            w_energy += (signal[i + m] as f64).powi(2) - (signal[i] as f64).powi(2);
+        }
+    }
+    out
+}
+
+/// Sliding complex correlation `out[i] = sum_k signal[i+k] * conj(pattern[k])`
+/// (unnormalized). Output length is `signal.len() - pattern.len() + 1`.
+pub fn xcorr_complex(signal: &[Complex32], pattern: &[Complex32]) -> Vec<Complex32> {
+    let m = pattern.len();
+    if m == 0 || signal.len() < m {
+        return Vec::new();
+    }
+    let n_out = signal.len() - m + 1;
+    let mut out = Vec::with_capacity(n_out);
+    for i in 0..n_out {
+        let mut acc = Complex32::ZERO;
+        for (k, &p) in pattern.iter().enumerate() {
+            acc += signal[i + k] * p.conj();
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Finds the index and value of the maximum of a slice. Returns `None` for
+/// an empty slice.
+pub fn argmax(xs: &[f32]) -> Option<(usize, f32)> {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, &v)| (i, v))
+}
+
+/// Finds the index and magnitude of the largest-magnitude complex value.
+pub fn argmax_abs(xs: &[Complex32]) -> Option<(usize, f32)> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, z)| (i, z.abs()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Counts matching bit positions between two equal-length bit slices.
+pub fn bit_agreement(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).filter(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_correlates_to_one() {
+        let pat = vec![1.0, -1.0, 1.0, 1.0, -1.0];
+        let mut sig = vec![0.0; 3];
+        sig.extend_from_slice(&pat);
+        sig.extend_from_slice(&[0.0; 3]);
+        let c = normalized_xcorr_real(&sig, &pat);
+        let (idx, v) = argmax(&c).unwrap();
+        assert_eq!(idx, 3);
+        assert!((v - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverted_match_correlates_to_minus_one() {
+        let pat = vec![1.0, -1.0, 1.0];
+        let sig: Vec<f32> = pat.iter().map(|x| -x).collect();
+        let c = normalized_xcorr_real(&sig, &pat);
+        assert!((c[0] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scaling_does_not_change_normalized_correlation() {
+        let pat = vec![1.0, 2.0, -1.0, 0.5];
+        let sig: Vec<f32> = pat.iter().map(|x| x * 7.3).collect();
+        let c = normalized_xcorr_real(&sig, &pat);
+        assert!((c[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_window_correlates_to_zero() {
+        let pat = vec![1.0, -1.0];
+        let sig = vec![0.0, 0.0, 0.0];
+        let c = normalized_xcorr_real(&sig, &pat);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn short_signal_yields_empty() {
+        assert!(normalized_xcorr_real(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(xcorr_complex(&[Complex32::ONE], &[Complex32::ONE, Complex32::ONE]).is_empty());
+    }
+
+    #[test]
+    fn complex_xcorr_peak_at_alignment() {
+        let pattern: Vec<Complex32> = (0..8).map(|i| Complex32::cis(i as f32 * 0.9)).collect();
+        let mut sig = vec![Complex32::ZERO; 5];
+        sig.extend(pattern.iter().map(|z| z.scale(2.0)));
+        sig.extend(vec![Complex32::ZERO; 5]);
+        let c = xcorr_complex(&sig, &pattern);
+        let (idx, mag) = argmax_abs(&c).unwrap();
+        assert_eq!(idx, 5);
+        assert!((mag - 16.0).abs() < 1e-3); // 8 taps * |2 * conj(unit)| = 16
+    }
+
+    #[test]
+    fn bit_agreement_counts() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert_eq!(bit_agreement(&a, &b), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Power/energy utilities: dB conversion, running averages and noise-floor
+//! estimation.
+//!
+//! The RFDump peak detector (§4.3) computes "the average energy of the last
+//! window of samples within the chunk" and compares it against "a certain
+//! threshold (4 dB more than the noise floor)"; these helpers provide that
+//! machinery.
+
+use crate::complex::Complex32;
+
+/// Converts a linear power ratio to decibels. Clamps at -300 dB for zero.
+#[inline]
+pub fn power_to_db(p: f32) -> f32 {
+    if p <= 0.0 {
+        -300.0
+    } else {
+        10.0 * p.log10()
+    }
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn db_to_power(db: f32) -> f32 {
+    10f32.powf(db / 10.0)
+}
+
+/// A running average of instantaneous power over a fixed window of samples.
+///
+/// The paper uses a 2.5 µs (20-sample) window so that the smallest timing it
+/// must resolve (802.11 SIFS, 10 µs) spans several windows.
+#[derive(Debug, Clone)]
+pub struct RunningPower {
+    window: Vec<f32>,
+    pos: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl RunningPower {
+    /// Creates an averager over `window` samples.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        Self {
+            window: vec![0.0; window],
+            pos: 0,
+            filled: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Window length in samples.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Pushes one sample and returns the current windowed average power.
+    /// Until the window fills, the average is over the samples seen so far.
+    #[inline]
+    pub fn push(&mut self, z: Complex32) -> f32 {
+        let p = z.norm_sqr();
+        self.sum -= self.window[self.pos] as f64;
+        self.window[self.pos] = p;
+        self.sum += p as f64;
+        self.pos = (self.pos + 1) % self.window.len();
+        if self.filled < self.window.len() {
+            self.filled += 1;
+        }
+        (self.sum / self.filled as f64) as f32
+    }
+
+    /// Current average without pushing.
+    pub fn average(&self) -> f32 {
+        if self.filled == 0 {
+            0.0
+        } else {
+            (self.sum / self.filled as f64) as f32
+        }
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        self.window.fill(0.0);
+        self.sum = 0.0;
+        self.pos = 0;
+        self.filled = 0;
+    }
+}
+
+/// Estimates the noise floor of a trace as a low percentile of windowed
+/// power, which is robust to packets occupying a large fraction of airtime.
+///
+/// * `samples` — the trace (or a representative prefix).
+/// * `window` — averaging window in samples.
+/// * `percentile` — e.g. `0.1` for the 10th percentile.
+///
+/// Returns linear power. Returns 0.0 for an empty trace.
+pub fn estimate_noise_floor(samples: &[Complex32], window: usize, percentile: f64) -> f32 {
+    assert!(window > 0);
+    assert!((0.0..=1.0).contains(&percentile));
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut powers: Vec<f32> = samples
+        .chunks(window)
+        .map(crate::complex::mean_power)
+        .collect();
+    powers.sort_by(f32::total_cmp);
+    let idx = ((powers.len() - 1) as f64 * percentile).round() as usize;
+    powers[idx]
+}
+
+/// Signal-to-noise ratio in dB given linear signal and noise powers.
+#[inline]
+pub fn snr_db(signal_power: f32, noise_power: f32) -> f32 {
+    power_to_db(signal_power) - power_to_db(noise_power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for db in [-30.0f32, -3.0, 0.0, 10.0, 27.5] {
+            assert!((power_to_db(db_to_power(db)) - db).abs() < 1e-4);
+        }
+        assert_eq!(power_to_db(0.0), -300.0);
+    }
+
+    #[test]
+    fn running_power_converges_to_signal_power() {
+        let mut rp = RunningPower::new(20);
+        let mut avg = 0.0;
+        for i in 0..100 {
+            avg = rp.push(Complex32::cis(i as f32 * 0.3).scale(2.0));
+        }
+        assert!((avg - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn running_power_partial_fill() {
+        let mut rp = RunningPower::new(10);
+        let a = rp.push(Complex32::new(1.0, 0.0));
+        assert!((a - 1.0).abs() < 1e-6); // average over 1 sample, not 10
+        rp.push(Complex32::ZERO);
+        assert!((rp.average() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn running_power_window_slides() {
+        let mut rp = RunningPower::new(4);
+        for _ in 0..4 {
+            rp.push(Complex32::new(1.0, 0.0));
+        }
+        for _ in 0..4 {
+            rp.push(Complex32::ZERO);
+        }
+        assert!(rp.average() < 1e-6);
+    }
+
+    #[test]
+    fn noise_floor_ignores_bursts() {
+        // 90% noise at power ~0.01, 10% burst at power ~1.
+        let mut sig = Vec::new();
+        for i in 0..1000 {
+            let p = if i >= 450 && i < 550 { 1.0f32 } else { 0.01 };
+            sig.push(Complex32::new(p.sqrt(), 0.0));
+        }
+        let nf = estimate_noise_floor(&sig, 20, 0.1);
+        assert!((nf - 0.01).abs() < 0.005, "floor {nf}");
+    }
+
+    #[test]
+    fn snr_db_is_difference_of_dbs() {
+        assert!((snr_db(1.0, 0.1) - 10.0).abs() < 1e-4);
+    }
+}

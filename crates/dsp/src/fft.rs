@@ -1,0 +1,236 @@
+//! Iterative radix-2 FFT.
+//!
+//! RFDump's frequency detector (§3.4/§4.6 of the paper) runs small FFTs over
+//! chunks of samples and bins the result into channels. Sizes are powers of
+//! two; the planner precomputes twiddles and the bit-reversal permutation so
+//! repeated transforms of the same size are allocation-free.
+
+use crate::complex::Complex32;
+use crate::TAU64;
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Create one with [`Fft::new`] and reuse it; planning precomputes twiddles.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Twiddle factors e^{-j 2 pi k / n} for k in 0..n/2 (forward direction).
+    twiddles: Vec<Complex32>,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plans a transform of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let angle = -(TAU64 * k as f64 / n as f64);
+                Complex32::new(angle.cos() as f32, angle.sin() as f32)
+            })
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        Self { n, twiddles, rev }
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the planned size is zero (never true; kept for API symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward transform. `buf.len()` must equal the planned size.
+    pub fn forward(&self, buf: &mut [Complex32]) {
+        self.transform(buf, false);
+    }
+
+    /// In-place inverse transform, including the `1/n` normalization, so that
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, buf: &mut [Complex32]) {
+        self.transform(buf, true);
+        let k = 1.0 / self.n as f32;
+        for z in buf.iter_mut() {
+            *z = z.scale(k);
+        }
+    }
+
+    fn transform(&self, buf: &mut [Complex32], inverse: bool) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length {} != planned FFT size {}", buf.len(), n);
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Iterative Cooley-Tukey butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Computes the power spectrum `|X_k|^2 / n` of `input` into `out`.
+    ///
+    /// `input` and `out` must both have the planned length. Uses `scratch`-free
+    /// internal copy; for repeated calls prefer [`Fft::forward`] on your own
+    /// buffer if you need the complex bins.
+    pub fn power_spectrum(&self, input: &[Complex32], out: &mut [f32]) {
+        assert_eq!(input.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let mut buf = input.to_vec();
+        self.forward(&mut buf);
+        let k = 1.0 / self.n as f32;
+        for (o, z) in out.iter_mut().zip(buf.iter()) {
+            *o = z.norm_sqr() * k;
+        }
+    }
+}
+
+/// Returns the center frequency (Hz) of FFT bin `k` for a transform of size
+/// `n` over complex baseband sampled at `fs`, in `[-fs/2, fs/2)`.
+///
+/// Bin 0 is DC; bins above `n/2` alias to negative frequencies.
+pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
+    let k = k % n;
+    let signed = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 };
+    signed * fs / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(48);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let fft = Fft::new(16);
+        let mut buf = vec![Complex32::ZERO; 16];
+        buf[0] = Complex32::ONE;
+        fft.forward(&mut buf);
+        for z in &buf {
+            assert!(approx(z.re, 1.0, 1e-5) && approx(z.im, 0.0, 1e-5));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let fft = Fft::new(n);
+        let bin = 37;
+        let mut buf: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::cis((TAU64 * bin as f64 * i as f64 / n as f64) as f32))
+            .collect();
+        fft.forward(&mut buf);
+        for (k, z) in buf.iter().enumerate() {
+            let mag = z.abs();
+            if k == bin {
+                assert!(approx(mag, n as f32, 0.01 * n as f32), "bin {k} mag {mag}");
+            } else {
+                assert!(mag < 0.02 * n as f32, "leak in bin {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_round_trips() {
+        let n = 128;
+        let fft = Fft::new(n);
+        let orig: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(orig.iter()) {
+            assert!(approx(a.re, b.re, 1e-4) && approx(a.im, b.im, 1e-4));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let sig: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.5).cos()))
+            .collect();
+        let time_energy: f32 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = sig.clone();
+        fft.forward(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|z| z.norm_sqr()).sum::<f32>() / n as f32;
+        assert!(approx(time_energy, freq_energy, 1e-2 * time_energy));
+    }
+
+    #[test]
+    fn power_spectrum_matches_forward() {
+        let n = 32;
+        let fft = Fft::new(n);
+        let sig: Vec<Complex32> = (0..n).map(|i| Complex32::cis(i as f32 * 0.7)).collect();
+        let mut ps = vec![0.0f32; n];
+        fft.power_spectrum(&sig, &mut ps);
+        let mut buf = sig.clone();
+        fft.forward(&mut buf);
+        for (p, z) in ps.iter().zip(buf.iter()) {
+            assert!(approx(*p, z.norm_sqr() / n as f32, 1e-4));
+        }
+    }
+
+    #[test]
+    fn bin_frequency_signs() {
+        assert_eq!(bin_frequency(0, 8, 8e6), 0.0);
+        assert_eq!(bin_frequency(1, 8, 8e6), 1e6);
+        assert_eq!(bin_frequency(7, 8, 8e6), -1e6);
+        assert_eq!(bin_frequency(4, 8, 8e6), 4e6); // Nyquist maps to +fs/2 here
+    }
+
+    #[test]
+    fn size_one_and_two() {
+        let fft1 = Fft::new(1);
+        let mut b = vec![Complex32::new(2.0, 3.0)];
+        fft1.forward(&mut b);
+        assert_eq!(b[0], Complex32::new(2.0, 3.0));
+
+        let fft2 = Fft::new(2);
+        let mut b = vec![Complex32::new(1.0, 0.0), Complex32::new(-1.0, 0.0)];
+        fft2.forward(&mut b);
+        assert!(approx(b[0].re, 0.0, 1e-6));
+        assert!(approx(b[1].re, 2.0, 1e-6));
+    }
+}

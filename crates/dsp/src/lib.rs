@@ -1,0 +1,54 @@
+//! # rfd-dsp — DSP substrate for the RFDump workspace
+//!
+//! This crate provides every signal-processing primitive the rest of the
+//! workspace builds on, implemented from scratch with no external numeric
+//! dependencies:
+//!
+//! * [`Complex32`] — a small, `Copy`, cache-friendly complex sample type.
+//! * [`fft`] — iterative radix-2 FFT/IFFT and power-spectrum helpers.
+//! * [`fir`] — FIR filtering plus classic designs (windowed-sinc low-pass,
+//!   Gaussian pulse shapers for GFSK, root-raised-cosine, half-sine).
+//! * [`window`] — analysis window functions.
+//! * [`resample`] — fractional-ratio resampling. The RFDump paper's USRP
+//!   front-end samples at 8 Msps while 802.11b chips at 11 Mcps; the awkward
+//!   11:8 ratio is central to the paper's Wi-Fi phase detector, so the
+//!   resampler is a first-class citizen here.
+//! * [`nco`] — numerically controlled oscillator / frequency translation.
+//! * [`phase`] — instantaneous-phase extraction, unwrapping, first and second
+//!   phase derivatives, and a quadrature FM discriminator. RFDump's phase
+//!   detectors (§3.3 of the paper) are built directly on these.
+//! * [`energy`] — dB conversions, running power averages and noise-floor
+//!   estimation used by the peak detector (§4.3).
+//! * [`corr`] — cross-correlation and pattern-matching helpers used by the
+//!   Barker-phase Wi-Fi detector and the Bluetooth access-code search.
+//! * [`coding`] — generic bit/byte utilities, a table-driven CRC engine,
+//!   self-synchronizing LFSR scramblers and additive whitening registers.
+//! * [`rng`] — deterministic SplitMix64/xoshiro random numbers and Gaussian
+//!   (AWGN) sample generation so every experiment in the workspace is
+//!   reproducible from a seed.
+//!
+//! Everything is synchronous and allocation-conscious: hot paths take slices
+//! and write into caller-provided buffers where that matters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coding;
+pub mod complex;
+pub mod corr;
+pub mod energy;
+pub mod fft;
+pub mod fir;
+pub mod nco;
+pub mod phase;
+pub mod resample;
+pub mod rng;
+pub mod window;
+
+pub use complex::Complex32;
+
+/// Two pi as `f32`, used pervasively when working with phases.
+pub const TAU32: f32 = std::f32::consts::TAU;
+
+/// Two pi as `f64`.
+pub const TAU64: f64 = std::f64::consts::TAU;

@@ -1,0 +1,188 @@
+//! Generic utility blocks: sources, sinks, map/filter, tee.
+
+use crate::{Block, Payload, WorkStatus};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A source emitting the elements of a `Vec<T>` in batches.
+pub struct VecSource<T: Send + 'static> {
+    name: String,
+    items: std::vec::IntoIter<T>,
+    batch: usize,
+}
+
+impl<T: Send + 'static> VecSource<T> {
+    /// Creates a source over `items`, emitting up to `batch` payloads per
+    /// scheduler call.
+    pub fn new(name: &str, items: Vec<T>, batch: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            items: items.into_iter(),
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl<T: Send + 'static> Block for VecSource<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        0
+    }
+    fn work(&mut self, _inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+        for _ in 0..self.batch {
+            match self.items.next() {
+                Some(x) => outputs[0].push(Box::new(x)),
+                None => return WorkStatus::Done,
+            }
+        }
+        WorkStatus::Again
+    }
+}
+
+/// A sink collecting payloads of type `T` into shared storage.
+pub struct VecSink<T: Send + 'static> {
+    name: String,
+    storage: Arc<parking_lot::Mutex<Vec<T>>>,
+}
+
+impl<T: Send + 'static> VecSink<T> {
+    /// Creates the sink.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            storage: Arc::new(parking_lot::Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Shared handle to the collected items.
+    pub fn storage(&self) -> Arc<parking_lot::Mutex<Vec<T>>> {
+        self.storage.clone()
+    }
+}
+
+impl<T: Send + 'static> Block for VecSink<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn work(&mut self, inputs: &mut [VecDeque<Payload>], _outputs: &mut [Vec<Payload>]) -> WorkStatus {
+        let mut guard = self.storage.lock();
+        while let Some(p) = inputs[0].pop_front() {
+            match p.downcast::<T>() {
+                Ok(x) => guard.push(*x),
+                Err(_) => panic!("{}: payload of unexpected type", self.name),
+            }
+        }
+        WorkStatus::Again
+    }
+}
+
+/// A 1-in/1-out block applying a function to each payload; `None` drops the
+/// item (filtering).
+pub struct FnBlock<T: Send + 'static, U: Send + 'static> {
+    name: String,
+    f: Box<dyn FnMut(T) -> Option<U> + Send>,
+}
+
+impl<T: Send + 'static, U: Send + 'static> FnBlock<T, U> {
+    /// Creates the block from a function.
+    pub fn new(name: &str, f: impl FnMut(T) -> Option<U> + Send + 'static) -> Self {
+        Self { name: name.to_string(), f: Box::new(f) }
+    }
+}
+
+impl<T: Send + 'static, U: Send + 'static> Block for FnBlock<T, U> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+        while let Some(p) = inputs[0].pop_front() {
+            match p.downcast::<T>() {
+                Ok(x) => {
+                    if let Some(y) = (self.f)(*x) {
+                        outputs[0].push(Box::new(y));
+                    }
+                }
+                Err(_) => panic!("{}: payload of unexpected type", self.name),
+            }
+        }
+        WorkStatus::Again
+    }
+}
+
+/// Duplicates clonable payloads to N output ports (explicit fan-out).
+pub struct Tee<T: Clone + Send + 'static> {
+    name: String,
+    n: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Clone + Send + 'static> Tee<T> {
+    /// Creates a tee with `n` outputs.
+    pub fn new(name: &str, n: usize) -> Self {
+        assert!(n >= 1);
+        Self { name: name.to_string(), n, _marker: Default::default() }
+    }
+}
+
+impl<T: Clone + Send + 'static> Block for Tee<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_outputs(&self) -> usize {
+        self.n
+    }
+    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+        while let Some(p) = inputs[0].pop_front() {
+            match p.downcast::<T>() {
+                Ok(x) => {
+                    for port in outputs.iter_mut() {
+                        port.push(Box::new((*x).clone()));
+                    }
+                }
+                Err(_) => panic!("{}: payload of unexpected type", self.name),
+            }
+        }
+        WorkStatus::Again
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Flowgraph;
+
+    #[test]
+    fn tee_duplicates_to_all_ports() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(Box::new(VecSource::new("src", vec![1i64, 2, 3], 2)));
+        let tee = fg.add(Box::new(Tee::<i64>::new("tee", 2)));
+        let s1 = Box::new(VecSink::<i64>::new("s1"));
+        let s2 = Box::new(VecSink::<i64>::new("s2"));
+        let o1 = s1.storage();
+        let o2 = s2.storage();
+        let k1 = fg.add(s1);
+        let k2 = fg.add(s2);
+        fg.connect(src, 0, tee, 0);
+        fg.connect(tee, 0, k1, 0);
+        fg.connect(tee, 1, k2, 0);
+        fg.run();
+        assert_eq!(*o1.lock(), vec![1, 2, 3]);
+        assert_eq!(*o2.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(Box::new(VecSource::new("src", vec![1i64], 1)));
+        let sink = Box::new(VecSink::<String>::new("sink"));
+        let sk = fg.add(sink);
+        fg.connect(src, 0, sk, 0);
+        fg.run();
+    }
+}

@@ -1,0 +1,153 @@
+//! 802.15.4 unslotted CSMA-CA timing.
+//!
+//! ZigBee is the paper's extensibility example: its timing grammar (Table 2)
+//! is backoff periods of 320 µs, a MAC-ACK turnaround of 192 µs, and
+//! LIFS/SIFS interframe spaces. This simulator produces periodic sensor-
+//! style reports with those gaps.
+
+use crate::{NodeId, TxContent, TxEvent};
+use rfd_dsp::rng::Xoshiro256;
+use rfd_phy::zigbee::{ZigbeeFrame, BACKOFF_US, LIFS_US, TACK_US};
+
+/// ZigBee workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ZigbeeConfig {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Coordinator (ACK sender).
+    pub coordinator: NodeId,
+    /// Number of reports.
+    pub count: usize,
+    /// Nominal report interval (µs).
+    pub interval_us: f64,
+    /// Report payload length (bytes, before FCS).
+    pub payload_len: usize,
+    /// Whether reports are acknowledged.
+    pub acked: bool,
+    /// Minimum backoff exponent (macMinBE): backoff is
+    /// `rand(0 .. 2^BE - 1) × 320 µs`.
+    pub min_be: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZigbeeConfig {
+    fn default() -> Self {
+        Self {
+            node: 20,
+            coordinator: 21,
+            count: 50,
+            interval_us: 20_000.0,
+            payload_len: 30,
+            acked: true,
+            min_be: 3,
+            seed: 3,
+        }
+    }
+}
+
+/// The CSMA simulator.
+#[derive(Debug)]
+pub struct ZigbeeSim {
+    cfg: ZigbeeConfig,
+    rng: Xoshiro256,
+}
+
+impl ZigbeeSim {
+    /// Creates the simulator.
+    pub fn new(cfg: ZigbeeConfig) -> Self {
+        Self { rng: Xoshiro256::new(cfg.seed), cfg }
+    }
+
+    /// Runs the workload.
+    pub fn run(&mut self) -> Vec<TxEvent> {
+        let cfg = self.cfg;
+        let mut events = Vec::new();
+        let mut id = 0u64;
+        let mut medium_free_at = 0.0f64;
+        for i in 0..cfg.count {
+            let arrival = i as f64 * cfg.interval_us;
+            let backoffs = self.rng.next_range(1 << cfg.min_be) as f64;
+            let start = arrival.max(medium_free_at + LIFS_US) + backoffs * BACKOFF_US;
+            let mut payload = vec![0u8; cfg.payload_len];
+            payload[0] = (i & 0xFF) as u8;
+            payload[1] = (i >> 8) as u8;
+            let frame = ZigbeeFrame::new(payload);
+            let airtime = frame.airtime_us();
+            events.push(TxEvent {
+                node: cfg.node,
+                start_us: start,
+                content: TxContent::Zigbee { frame },
+                id: { id += 1; id - 1 },
+                tag: "zb-report",
+            });
+            let mut end = start + airtime;
+            if cfg.acked {
+                // Imm-ACK: a 3-byte MPDU after tACK.
+                let ack = ZigbeeFrame::new(vec![0x02, 0x00, (i & 0xFF) as u8]);
+                let ack_air = ack.airtime_us();
+                events.push(TxEvent {
+                    node: cfg.coordinator,
+                    start_us: end + TACK_US,
+                    content: TxContent::Zigbee { frame: ack },
+                    id: { id += 1; id - 1 },
+                    tag: "zb-ack",
+                });
+                end += TACK_US + ack_air;
+            }
+            medium_free_at = end;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acks_follow_after_tack() {
+        let mut sim = ZigbeeSim::new(ZigbeeConfig { count: 10, ..Default::default() });
+        let events = sim.run();
+        assert_eq!(events.len(), 20);
+        for pair in events.chunks(2) {
+            assert_eq!(pair[0].tag, "zb-report");
+            assert_eq!(pair[1].tag, "zb-ack");
+            let gap = pair[1].start_us - pair[0].end_us();
+            assert!((gap - TACK_US).abs() < 1e-9, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn backoffs_are_multiples_of_320us() {
+        let mut sim = ZigbeeSim::new(ZigbeeConfig {
+            count: 30,
+            interval_us: 50_000.0,
+            ..Default::default()
+        });
+        let events = sim.run();
+        for e in events.iter().filter(|e| e.tag == "zb-report") {
+            let rel = e.start_us.rem_euclid(ZigbeeConfig::default().interval_us);
+            let _ = rel; // start = k*interval + m*320; check m integral:
+            let m = (e.start_us - (e.start_us / 50_000.0).floor() * 50_000.0) / BACKOFF_US;
+            assert!((m - m.round()).abs() < 1e-6, "backoff {m} not integral");
+        }
+    }
+
+    #[test]
+    fn no_overlaps() {
+        let mut sim = ZigbeeSim::new(ZigbeeConfig { count: 40, interval_us: 100.0, ..Default::default() });
+        let events = sim.run();
+        for w in events.windows(2) {
+            assert!(w[1].start_us >= w[0].end_us() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn unacked_mode_has_no_acks() {
+        let mut sim = ZigbeeSim::new(ZigbeeConfig { acked: false, count: 5, ..Default::default() });
+        let events = sim.run();
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| e.tag == "zb-report"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Frequency hopping and TDD slot timing.
+//!
+//! Bluetooth BR hops over 79 1-MHz channels, 1600 hops/s (625 µs slots),
+//! master and slave alternating. The spec's basic hop-selection kernel is a
+//! deliberately convoluted bit-mixing function of the master's address and
+//! clock; what matters for monitoring is only its *statistics* (uniform,
+//! pseudo-random, address+clock determined). We therefore substitute a
+//! SplitMix64-based kernel with the same inputs and statistics — documented
+//! as a substitution in DESIGN.md.
+
+use rfd_dsp::rng::SplitMix64;
+
+/// TDD slot length in microseconds.
+pub const SLOT_US: f64 = 625.0;
+
+/// Center frequency of RF channel `ch` (0-78) relative to 2.402 GHz = 0 Hz
+/// at channel 0, in Hz offset from the 2.4 GHz band start used by the ether
+/// simulator.
+pub fn channel_freq_hz(ch: u8) -> f64 {
+    assert!(ch < super::NUM_CHANNELS);
+    2e6 + ch as f64 * 1e6 // 2.402 GHz band start + ch MHz, relative to 2.4 GHz
+}
+
+/// A deterministic pseudo-random hop sequence for a piconet.
+#[derive(Debug, Clone)]
+pub struct HopSequence {
+    /// The 28 significant address bits (LAP + UAP low nibble) that seed the
+    /// kernel.
+    address: u32,
+}
+
+impl HopSequence {
+    /// Creates the hop sequence for a piconet address (LAP | UAP << 24).
+    pub fn new(address: u32) -> Self {
+        Self { address }
+    }
+
+    /// The RF channel used in the slot that starts at clock `clk` (CLK27-1;
+    /// hops occur on even clock values — every 2 clock ticks = 625 µs).
+    pub fn channel(&self, clk: u32) -> u8 {
+        let slot = clk >> 1;
+        let mut sm = SplitMix64::new(((self.address as u64) << 32) | slot as u64);
+        (sm.next_u64() % super::NUM_CHANNELS as u64) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_are_deterministic() {
+        let a = HopSequence::new(0x9E8B33);
+        let b = HopSequence::new(0x9E8B33);
+        for clk in (0..100).step_by(2) {
+            assert_eq!(a.channel(clk), b.channel(clk));
+        }
+    }
+
+    #[test]
+    fn hops_cover_all_channels_roughly_uniformly() {
+        let seq = HopSequence::new(0x123456);
+        let mut counts = [0u32; 79];
+        let n = 79 * 200;
+        for slot in 0..n {
+            counts[seq.channel(slot * 2) as usize] += 1;
+        }
+        let expected = n / 79;
+        for (ch, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "channel {ch} count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_piconets_hop_differently() {
+        let a = HopSequence::new(0x111111);
+        let b = HopSequence::new(0x222222);
+        let same = (0..200)
+            .filter(|&s| a.channel(s * 2) == b.channel(s * 2))
+            .count();
+        // Random collision rate is ~1/79; allow generous slack.
+        assert!(same < 20, "{same} collisions in 200 slots");
+    }
+
+    #[test]
+    fn odd_and_even_clk_in_same_slot_share_a_channel() {
+        let seq = HopSequence::new(0xABCDEF);
+        assert_eq!(seq.channel(10), seq.channel(11));
+    }
+
+    #[test]
+    fn channel_frequencies_span_79_mhz() {
+        assert_eq!(channel_freq_hz(0), 2e6);
+        assert_eq!(channel_freq_hz(78), 80e6);
+    }
+}

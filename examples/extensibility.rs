@@ -1,0 +1,81 @@
+//! The paper's "protocol extensible" requirement (§2.1): "it must be
+//! relatively simple to add support for new protocols."
+//!
+//! ZigBee is the paper's running example: its timing grammar (320 µs backoff
+//! periods, 192 µs ACK turnaround) and its O-QPSK/MSK phase signature are
+//! recognized by small metadata-matching blocks layered on the *existing*
+//! protocol-agnostic stage — no new per-sample machinery. This example runs
+//! the same trace through RFDump with and without the ZigBee detectors
+//! enabled, showing the new protocol light up while everything else is
+//! untouched.
+//!
+//! Run with: `cargo run --release -p rfd-examples --bin extensibility`
+
+use rfd_ether::scene::Scene;
+use rfd_mac::{DcfConfig, WifiDcfSim, ZigbeeConfig, ZigbeeSim};
+use rfd_phy::Protocol;
+use rfdump::arch::{run_architecture, ArchConfig};
+
+fn main() {
+    // A ZigBee sensor reporting every 15 ms next to light Wi-Fi traffic.
+    let mut zb = ZigbeeSim::new(ZigbeeConfig {
+        count: 12,
+        interval_us: 15_000.0,
+        payload_len: 40,
+        ..Default::default()
+    });
+    let mut wifi = WifiDcfSim::new(DcfConfig::default());
+    wifi.queue_ping_flow(1, 2, 4, 300, 40_000.0, 2_000.0);
+    let events = rfd_mac::merge_schedules(vec![zb.run(), wifi.run()]);
+
+    let mut scene = Scene::new(1e-4, 11);
+    for node in 0..32 {
+        scene.set_node(node, 0.0, 0.0);
+    }
+    let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
+    let trace = scene.render(&events, horizon);
+    let zb_truth = trace
+        .truth
+        .iter()
+        .filter(|t| t.protocol == Protocol::Zigbee)
+        .count();
+
+    let count = |cfg: &ArchConfig| {
+        let out = run_architecture(cfg, &trace.samples, trace.band.sample_rate);
+        let zb = out
+            .classified
+            .iter()
+            .filter(|c| c.protocol == Protocol::Zigbee)
+            .count();
+        let wifi = out
+            .classified
+            .iter()
+            .filter(|c| c.protocol == Protocol::Wifi)
+            .count();
+        let unclassified = out
+            .dispatch_stats
+            .as_ref()
+            .map(|d| d.unclassified_peaks)
+            .unwrap_or(0);
+        (zb, wifi, unclassified)
+    };
+
+    let mut cfg = ArchConfig::rfdump(vec![]);
+    cfg.zigbee = false;
+    let (zb0, wifi0, un0) = count(&cfg);
+    println!("without the ZigBee detectors:");
+    println!("  zigbee classified: {zb0:>3}   wifi classified: {wifi0:>3}   unclassified peaks: {un0}");
+
+    // "Adding support for more protocols is usually easy since the code in
+    // the protocol-specific detectors typically performs just simple
+    // operations on the metadata created by already existing
+    // protocol-agnostic modules."
+    cfg.zigbee = true;
+    let (zb1, wifi1, un1) = count(&cfg);
+    println!("with the ZigBee detectors (two metadata-matching blocks):");
+    println!("  zigbee classified: {zb1:>3}   wifi classified: {wifi1:>3}   unclassified peaks: {un1}");
+    println!("\nground truth: {zb_truth} ZigBee transmissions on the air");
+
+    assert!(zb1 > zb0, "the new detectors must classify the new protocol");
+    println!("\nextensibility demonstrated: the unclassified peaks became ZigBee packets.");
+}

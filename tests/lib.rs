@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rfd_ether::scene::{EtherTrace, Scene};
+use rfd_mac::{merge_schedules, DcfConfig, L2PingConfig, L2PingSim, WifiDcfSim};
+use rfd_phy::bluetooth::demod::PiconetId;
+
+/// The piconet used across integration tests.
+pub const LAP: u32 = 0x9E8B33;
+/// Its UAP.
+pub const UAP: u8 = 0x47;
+
+/// The test piconet id.
+pub fn piconet() -> PiconetId {
+    PiconetId { lap: LAP, uap: UAP }
+}
+
+/// Renders a mixed Wi-Fi + Bluetooth trace at the given SNR.
+pub fn mixed_trace(n_pings: usize, n_l2pings: usize, snr_db: f32, seed: u64) -> EtherTrace {
+    let mut wifi = WifiDcfSim::new(DcfConfig { seed, ..Default::default() });
+    wifi.queue_ping_flow(1, 2, n_pings, 300, 11_000.0, 0.0);
+    let mut bt = L2PingSim::new(L2PingConfig { count: n_l2pings, ..Default::default() });
+    let events = merge_schedules(vec![wifi.run(), bt.run()]);
+    let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
+    let mut scene = Scene::new(1e-4, seed);
+    let gain = snr_db + rfd_dsp::energy::power_to_db(1e-4);
+    for node in 0..16 {
+        scene.set_node(node, gain, (node as f64 - 4.0) * 400.0);
+    }
+    scene.render(&events, horizon)
+}

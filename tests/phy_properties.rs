@@ -1,0 +1,148 @@
+//! Property-based tests of the PHY layers: round-trip invariants over
+//! randomized payloads, rates, channel impairments.
+
+use proptest::prelude::*;
+use rfd_dsp::nco::frequency_shift;
+use rfd_dsp::resample::resample_windowed_sinc;
+use rfd_dsp::rng::GaussianGen;
+use rfd_dsp::Complex32;
+use rfd_phy::bluetooth::gfsk::{modulate as bt_modulate, BtTxConfig};
+use rfd_phy::bluetooth::packet::{parse_after_access_code, BtPacket, BtPacketType};
+use rfd_phy::wifi::frame::{MacAddr, MacFrame};
+use rfd_phy::wifi::modulator::{modulate as wifi_modulate, WifiTxConfig};
+use rfd_phy::wifi::plcp::WifiRate;
+
+fn pad(w: &[Complex32], lead: usize, tail: usize) -> Vec<Complex32> {
+    let mut v = vec![Complex32::ZERO; lead];
+    v.extend_from_slice(w);
+    v.extend(vec![Complex32::ZERO; tail]);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
+
+    /// demod(mod(frame)) == frame for random 802.11b payloads and rates,
+    /// at native chip rate.
+    #[test]
+    fn wifi_round_trip_native(
+        payload in proptest::collection::vec(any::<u8>(), 1..400),
+        rate_idx in 0usize..4,
+        lead in 20usize..200,
+    ) {
+        let rate = [WifiRate::R1, WifiRate::R2, WifiRate::R5_5, WifiRate::R11][rate_idx];
+        let psdu = MacFrame::data(
+            MacAddr::station(1),
+            MacAddr::station(2),
+            MacAddr::station(0),
+            (payload.len() % 4096) as u16,
+            payload,
+        )
+        .to_bytes();
+        let w = wifi_modulate(&psdu, WifiTxConfig { rate });
+        let rx = rfd_phy::wifi::demodulate(&pad(&w.samples, lead, 64), 11e6)
+            .expect("clean decode");
+        prop_assert!(rx.fcs_ok);
+        prop_assert_eq!(rx.psdu, psdu);
+        prop_assert_eq!(rx.header.rate, rate);
+    }
+
+    /// 1 Mbps frames survive the 8 Msps bottleneck with noise and CFO.
+    #[test]
+    fn wifi_1mbps_through_8msps_with_impairments(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        cfo in -15e3f64..15e3,
+        seed in 0u64..1000,
+    ) {
+        let psdu = MacFrame::data(
+            MacAddr::station(3),
+            MacAddr::station(4),
+            MacAddr::station(0),
+            7,
+            payload,
+        )
+        .to_bytes();
+        let w = wifi_modulate(&psdu, WifiTxConfig { rate: WifiRate::R1 });
+        let at8 = resample_windowed_sinc(&pad(&w.samples, 55, 55), 11e6, 8e6, 8);
+        let mut sig = frequency_shift(&at8, cfo, 8e6);
+        GaussianGen::new(seed).add_awgn(&mut sig, 1e-3); // 30 dB
+        let rx = rfd_phy::wifi::demodulate(&sig, 8e6).expect("decode");
+        prop_assert!(rx.fcs_ok);
+        prop_assert_eq!(rx.psdu, psdu);
+    }
+
+    /// Bluetooth baseband bits round-trip for every ACL type, any payload,
+    /// any clock.
+    #[test]
+    fn bt_air_bits_round_trip(
+        len_frac in 0.0f64..1.0,
+        type_idx in 0usize..6,
+        clock in 0u32..(1 << 20),
+        lt_addr in 1u8..8,
+    ) {
+        let ptype = [
+            BtPacketType::Dm1, BtPacketType::Dh1, BtPacketType::Dm3,
+            BtPacketType::Dh3, BtPacketType::Dm5, BtPacketType::Dh5,
+        ][type_idx];
+        let len = ((ptype.max_payload() as f64) * len_frac) as usize;
+        let payload: Vec<u8> = (0..len).map(|i| (i * 29 + 3) as u8).collect();
+        let pkt = BtPacket::new(0x9E8B33, 0x47, lt_addr, ptype, clock, payload.clone());
+        let air = pkt.to_air_bits();
+        let parsed = parse_after_access_code(&air[72..], 0x47).expect("parse");
+        prop_assert!(parsed.crc_ok);
+        prop_assert_eq!(parsed.ptype, ptype);
+        prop_assert_eq!(parsed.payload, payload);
+        prop_assert_eq!(parsed.lt_addr, lt_addr);
+    }
+
+    /// GFSK modulation + channel receiver round-trips DH1 packets under
+    /// moderate noise at random channel offsets.
+    #[test]
+    fn bt_gfsk_rf_round_trip(
+        len in 1usize..27,
+        clock in 0u32..64,
+        offset_mhz in -3i32..=3,
+        seed in 0u64..500,
+    ) {
+        let payload: Vec<u8> = (0..len).map(|i| (i * 17 + 1) as u8).collect();
+        let pkt = BtPacket::new(0x9E8B33, 0x47, 1, BtPacketType::Dh1, clock, payload.clone());
+        let w = bt_modulate(&pkt, BtTxConfig { sample_rate: 8e6 });
+        let mut sig = frequency_shift(&pad(&w.samples, 200, 200), offset_mhz as f64 * 1e6, 8e6);
+        GaussianGen::new(seed).add_awgn(&mut sig, 1e-3);
+        let mut rx = rfd_phy::bluetooth::demod::BtChannelRx::new(
+            0,
+            8e6,
+            offset_mhz as f64 * 1e6,
+            vec![rfd_phy::bluetooth::demod::PiconetId { lap: 0x9E8B33, uap: 0x47 }],
+        );
+        rx.process(&sig);
+        let results = rx.finish();
+        prop_assert_eq!(results.len(), 1);
+        let parsed = results[0].parsed.as_ref().expect("parsed");
+        prop_assert!(parsed.crc_ok);
+        prop_assert_eq!(&parsed.payload, &payload);
+    }
+
+    /// ZigBee frames round-trip for random payloads.
+    #[test]
+    fn zigbee_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 1..100),
+        lead in 16usize..120,
+    ) {
+        let frame = rfd_phy::zigbee::ZigbeeFrame::new(payload);
+        let w = rfd_phy::zigbee::modulate(&frame, 4);
+        let sig = pad(&w.samples, lead, 64);
+        let rx = rfd_phy::zigbee::demodulate(&sig, 4).expect("decode");
+        prop_assert_eq!(rx, frame);
+    }
+
+    /// Distinct LAPs always yield sync words at BCH distance >= 14.
+    #[test]
+    fn sync_word_distance(a in 0u32..0x100_0000, b in 0u32..0x100_0000) {
+        prop_assume!(a != b);
+        let d = (rfd_phy::bluetooth::access_code::sync_word(a)
+            ^ rfd_phy::bluetooth::access_code::sync_word(b))
+        .count_ones();
+        prop_assert!(d >= 14, "laps {a:06x}/{b:06x} distance {d}");
+    }
+}

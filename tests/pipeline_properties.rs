@@ -1,0 +1,234 @@
+//! Property-based tests of the monitoring pipeline's invariants: peak
+//! detection geometry, dispatcher bookkeeping, trace-format round trips,
+//! coding-layer guarantees.
+
+use proptest::prelude::*;
+use rfd_dsp::coding::{
+    bits_to_bytes_lsb, bytes_to_bits_lsb, hamming1510_decode, hamming1510_encode,
+    repeat3_decode, repeat3_encode, Crc, Scrambler, Whitener,
+};
+use rfd_dsp::rng::GaussianGen;
+use rfd_dsp::Complex32;
+use rfdump::peak::{detect_peaks, PeakDetectorConfig};
+
+fn bursty(n: usize, bursts: &[(usize, usize)], noise: f32, seed: u64) -> Vec<Complex32> {
+    let mut sig = vec![Complex32::ZERO; n];
+    for &(s, l) in bursts {
+        for i in s..(s + l).min(n) {
+            sig[i] = Complex32::cis(i as f32 * 0.7);
+        }
+    }
+    GaussianGen::new(seed).add_awgn(&mut sig, noise);
+    sig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+
+    /// Peaks are ordered, non-overlapping, and cover every strong burst.
+    #[test]
+    fn peak_detector_invariants(
+        gaps in proptest::collection::vec(2_000usize..20_000, 1..5),
+        lens in proptest::collection::vec(400usize..4_000, 5),
+        seed in 0u64..500,
+    ) {
+        let mut bursts = Vec::new();
+        let mut pos = 3_000usize;
+        for (i, g) in gaps.iter().enumerate() {
+            bursts.push((pos, lens[i % lens.len()]));
+            pos += lens[i % lens.len()] + g;
+        }
+        let n = pos + 3_000;
+        let sig = bursty(n, &bursts, 1e-4, seed);
+        let peaks = detect_peaks(
+            &sig,
+            8e6,
+            PeakDetectorConfig { noise_floor: Some(1e-4), ..Default::default() },
+        );
+        // One peak per burst.
+        prop_assert_eq!(peaks.len(), bursts.len());
+        // Ordered and non-overlapping, ids increasing.
+        for w in peaks.windows(2) {
+            prop_assert!(w[0].peak.end <= w[1].peak.start);
+            prop_assert!(w[0].peak.id < w[1].peak.id);
+        }
+        // Each burst covered with tight edges.
+        for ((s, l), pb) in bursts.iter().zip(peaks.iter()) {
+            let p = pb.peak;
+            prop_assert!((p.start as i64 - *s as i64).abs() <= 30, "start {} vs {}", p.start, s);
+            prop_assert!((p.end as i64 - (*s + *l) as i64).abs() <= 60, "end {} vs {}", p.end, s + l);
+            // PeakBlock samples must match the original stream.
+            let a = (p.start - pb.sample_start) as usize;
+            for k in (0..(p.len() as usize)).step_by(97) {
+                prop_assert_eq!(pb.samples[a + k], sig[p.start as usize + k]);
+            }
+        }
+    }
+
+    /// CRC engines detect every 1- and 2-bit error.
+    #[test]
+    fn crc_detects_small_errors(
+        data in proptest::collection::vec(any::<u8>(), 4..64),
+        which in 0usize..3,
+        b1 in 0usize..512,
+        b2 in 0usize..512,
+    ) {
+        let crc = [Crc::crc32_ieee(), Crc::crc16_x25(), Crc::crc16_802154()]
+            [which]
+            .clone();
+        let good = crc.compute(&data);
+        let nbits = data.len() * 8;
+        let (b1, b2) = (b1 % nbits, b2 % nbits);
+        let mut bad = data.clone();
+        bad[b1 / 8] ^= 1 << (b1 % 8);
+        prop_assert_ne!(crc.compute(&bad), good, "single-bit error missed");
+        if b2 != b1 {
+            bad[b2 / 8] ^= 1 << (b2 % 8);
+            prop_assert_ne!(crc.compute(&bad), good, "double-bit error missed");
+        }
+    }
+
+    /// Scrambler/descrambler and whitener are exact inverses; bit<->byte
+    /// packing round-trips.
+    #[test]
+    fn coding_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        seed in 0u8..0x80,
+        clk in 0u32..64,
+    ) {
+        let bits = bytes_to_bits_lsb(&data);
+        prop_assert_eq!(bits_to_bytes_lsb(&bits), data.clone());
+
+        let tx = Scrambler::new(seed).scramble(&bits);
+        prop_assert_eq!(Scrambler::new(seed).descramble(&tx), bits.clone());
+
+        let mut w = bits.clone();
+        Whitener::for_bt_clock(clk).apply(&mut w);
+        Whitener::for_bt_clock(clk).apply(&mut w);
+        prop_assert_eq!(w, bits.clone());
+
+        prop_assert_eq!(repeat3_decode(&repeat3_encode(&bits)), bits.clone());
+    }
+
+    /// (15,10) FEC corrects any single error per block.
+    #[test]
+    fn hamming_corrects_any_single_error(
+        blocks in 1usize..6,
+        flip in proptest::collection::vec(0usize..15, 1..6),
+        data_seed in any::<u64>(),
+    ) {
+        let nbits = blocks * 10;
+        let data: Vec<bool> = (0..nbits).map(|i| (data_seed >> (i % 64)) & 1 == 1).collect();
+        let mut coded = hamming1510_encode(&data);
+        for (blk, &f) in flip.iter().take(blocks).enumerate() {
+            coded[blk * 15 + f] = !coded[blk * 15 + f];
+        }
+        let (decoded, _) = hamming1510_decode(&coded);
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// Trace files round-trip arbitrary sample data within quantization.
+    #[test]
+    fn trace_format_round_trip(
+        vals in proptest::collection::vec((-3.0f32..3.0, -3.0f32..3.0), 1..500),
+        rate_mhz in 1u32..64,
+    ) {
+        let samples: Vec<Complex32> =
+            vals.iter().map(|&(re, im)| Complex32::new(re, im)).collect();
+        let header = rfd_ether::trace::TraceHeader {
+            sample_rate: rate_mhz as f64 * 1e6,
+            center_hz: 37e6,
+            n_samples: samples.len() as u64,
+            scale: rfd_ether::trace::auto_scale(&samples),
+        };
+        let bytes = rfd_ether::trace::encode_trace(&header, &samples);
+        let (h2, s2) = rfd_ether::trace::decode_trace(bytes).unwrap();
+        prop_assert_eq!(h2, header);
+        prop_assert_eq!(s2.len(), samples.len());
+        let tol = header.scale * 2e-4;
+        for (a, b) in samples.iter().zip(s2.iter()) {
+            prop_assert!((*a - *b).abs() <= tol, "{} vs {}", a, b);
+        }
+    }
+
+    /// PLCP headers round-trip for every rate/length combination.
+    #[test]
+    fn plcp_header_round_trip(len in 0usize..2400, rate_idx in 0usize..4) {
+        use rfd_phy::wifi::plcp::{PlcpHeader, WifiRate};
+        let rate = [WifiRate::R1, WifiRate::R2, WifiRate::R5_5, WifiRate::R11][rate_idx];
+        let h = PlcpHeader::for_psdu(len, rate);
+        let parsed = PlcpHeader::from_bits(&h.to_bits()).unwrap();
+        prop_assert_eq!(parsed.psdu_len(), len);
+        prop_assert_eq!(parsed.rate, rate);
+    }
+
+    /// MAC frames round-trip and corruption is always caught by the FCS.
+    #[test]
+    fn mac_frame_fcs_guarantees(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        seq in 0u16..4096,
+        flip_byte in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        use rfd_phy::wifi::frame::{MacAddr, MacFrame};
+        let f = MacFrame::data(
+            MacAddr::station(1),
+            MacAddr::station(2),
+            MacAddr::station(0),
+            seq,
+            body,
+        );
+        let bytes = f.to_bytes();
+        prop_assert_eq!(MacFrame::from_bytes(&bytes).unwrap(), f);
+        let mut bad = bytes.clone();
+        let idx = (flip_byte as usize) % bad.len();
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert!(MacFrame::from_bytes(&bad).is_none(), "corruption at byte {idx} accepted");
+    }
+}
+
+/// The dispatcher conserves peaks: every offered peak is either dispatched
+/// (≥1 vote) or counted unclassified — no loss, no duplication.
+#[test]
+fn dispatcher_conserves_peaks() {
+    use rfd_phy::Protocol;
+    use rfdump::chunk::{Peak, PeakBlock};
+    use rfdump::detect::Classification;
+    use rfdump::dispatch::{DispatchConfig, Dispatcher};
+    use std::sync::Arc;
+
+    let mut rng = rfd_dsp::rng::Xoshiro256::new(99);
+    let mut d = Dispatcher::new(DispatchConfig::default());
+    let total = 200u64;
+    let mut dispatched = 0u64;
+    for id in 0..total {
+        let pb = PeakBlock {
+            peak: Peak {
+                id,
+                start: id * 5_000,
+                end: id * 5_000 + 1_000,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
+            samples: Arc::new(vec![]),
+            sample_start: id * 5_000,
+            sample_rate: 8e6,
+        };
+        let votes = if rng.next_bool(0.6) {
+            vec![Classification {
+                peak_id: id,
+                protocol: if rng.next_bool(0.5) { Protocol::Wifi } else { Protocol::Bluetooth },
+                confidence: 0.5 + rng.next_f32() * 0.5,
+                channel: None,
+                range: None,
+            }]
+        } else {
+            vec![]
+        };
+        dispatched += d.on_peak(pb, votes).len() as u64;
+    }
+    dispatched += d.finish().len() as u64;
+    let stats = d.stats();
+    assert_eq!(stats.total_peaks, total);
+    assert_eq!(dispatched + stats.unclassified_peaks, total);
+}
