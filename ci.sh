@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI gate for the rfdump workspace. Runs entirely offline:
+#   1. formatting and lints (rustfmt, clippy -D warnings)
+#   2. tier-1: release build + full test suite
+#   3. a smoke run of the rfdump CLI over a tiny generated .rfdt trace,
+#      checking that --stats-json emits a document the in-repo parser and
+#      schema checks accept.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + test =="
+cargo build --release
+cargo test -q
+
+echo "== smoke: rfdump --stats-json on a generated trace =="
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+# trace_record_replay writes rfdump-example.rfdt into $TMPDIR; RFD_KEEP_TRACE
+# stops it from cleaning the file up so the CLI can replay it.
+TMPDIR="$work" RFD_KEEP_TRACE=1 \
+    cargo run --release -q -p rfd-examples --bin trace_record_replay >/dev/null
+trace="$work/rfdump-example.rfdt"
+[ -f "$trace" ] || { echo "trace file not generated"; exit 1; }
+
+./target/release/rfdump -r "$trace" -q -s \
+    --stats-json "$work/stats.json" --trace-out "$work/spans.json"
+[ -s "$work/stats.json" ] || { echo "stats json empty"; exit 1; }
+[ -s "$work/spans.json" ] || { echo "span trace empty"; exit 1; }
+
+# stats_inspect parses the document with the in-repo codec and asserts the
+# rfd-stats schema/version before printing; a malformed document fails here.
+cargo run --release -q -p rfd-examples --bin stats_inspect "$work/stats.json" >/dev/null
+
+echo "ci: all checks passed"

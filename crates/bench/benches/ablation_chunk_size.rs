@@ -29,7 +29,10 @@ fn main() {
         let chunks = SampleChunk::chunk_trace(&trace.samples, fs, chunk_samples);
         let t0 = Instant::now();
         let mut det = PeakDetector::new(
-            PeakDetectorConfig { noise_floor: Some(trace.noise_power), ..Default::default() },
+            PeakDetectorConfig {
+                noise_floor: Some(trace.noise_power),
+                ..Default::default()
+            },
             fs,
         );
         let mut peaks = Vec::new();
@@ -76,7 +79,10 @@ fn main() {
         let rep = detector_report(&trace, Protocol::Wifi, &classified, true);
 
         rows.push(vec![
-            format!("{chunk_samples} ({:.1} us)", chunk_samples as f64 / fs * 1e6),
+            format!(
+                "{chunk_samples} ({:.1} us)",
+                chunk_samples as f64 / fs * 1e6
+            ),
             format!("{:.4}", cpu / real),
             format!("{}", peaks.len()),
             format!("{edge_err_us:.2}"),
@@ -85,7 +91,13 @@ fn main() {
     }
     print_table(
         "Ablation — chunk size (paper picks 200 samples = 25 us)",
-        &["chunk", "detect cpu/RT", "peaks", "edge err (us)", "sifs miss"],
+        &[
+            "chunk",
+            "detect cpu/RT",
+            "peaks",
+            "edge err (us)",
+            "sifs miss",
+        ],
         &rows,
     );
     println!(

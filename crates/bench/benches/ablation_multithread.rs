@@ -23,7 +23,10 @@ fn main() {
     let mut rows = Vec::new();
     for (label, kind) in [
         ("naive", ArchKind::Naive),
-        ("rfdump timing+phase", ArchKind::RfDump(DetectorSet::TimingAndPhase)),
+        (
+            "rfdump timing+phase",
+            ArchKind::RfDump(DetectorSet::TimingAndPhase),
+        ),
     ] {
         let mut per_sched = Vec::new();
         for threaded in [false, true] {
@@ -36,6 +39,7 @@ fn main() {
                 zigbee: false,
                 microwave: false,
                 threaded,
+                telemetry: false,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             per_sched.push((
@@ -59,10 +63,14 @@ fn main() {
     }
     print_table(
         "Ablation — single- vs multi-threaded scheduler (wall/RT)",
-        &["graph", "wall ST", "wall MT", "speedup", "cpu ST", "cpu MT", "packets"],
+        &[
+            "graph", "wall ST", "wall MT", "speedup", "cpu ST", "cpu MT", "packets",
+        ],
         &rows,
     );
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("\navailable cores: {cores}");
     if cores > 1 {
         println!(

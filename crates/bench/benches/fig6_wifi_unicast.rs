@@ -37,7 +37,14 @@ fn main() {
     }
     print_table(
         "Figure 6 — 802.11 unicast: packet miss rate vs SNR",
-        &["snr_db", "packets", "miss(sifs-timing)", "miss(dbpsk-phase)", "fp(sifs)", "fp(phase)"],
+        &[
+            "snr_db",
+            "packets",
+            "miss(sifs-timing)",
+            "miss(dbpsk-phase)",
+            "fp(sifs)",
+            "fp(phase)",
+        ],
         &rows,
     );
     println!(

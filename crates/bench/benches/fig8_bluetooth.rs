@@ -44,7 +44,14 @@ fn main() {
     }
     print_table(
         "Figure 8 — Bluetooth: packet miss rate vs SNR",
-        &["snr_db", "in_band", "miss(slot-timing)", "miss(gfsk-phase)", "fp(timing)", "fp(phase)"],
+        &[
+            "snr_db",
+            "in_band",
+            "miss(slot-timing)",
+            "miss(gfsk-phase)",
+            "fp(timing)",
+            "fp(phase)",
+        ],
         &rows,
     );
     println!(

@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo bench -p rfd-bench --bench fig9_efficiency`
 
+use rfd_bench::report::BenchReport;
 use rfd_bench::*;
+use rfd_telemetry::json::JsonValue;
 use rfdump::arch::{run_architecture, ArchConfig, ArchKind, DetectorSet};
 
 fn main() {
@@ -23,15 +25,51 @@ fn main() {
         demod: bool,
     }
     let configs = [
-        Config { label: "naive", kind: ArchKind::Naive, demod: true },
-        Config { label: "naive+energy", kind: ArchKind::NaiveEnergy, demod: true },
-        Config { label: "naive+energy no-demod", kind: ArchKind::NaiveEnergy, demod: false },
-        Config { label: "rfdump timing", kind: ArchKind::RfDump(DetectorSet::Timing), demod: true },
-        Config { label: "rfdump phase", kind: ArchKind::RfDump(DetectorSet::Phase), demod: true },
-        Config { label: "rfdump timing+phase", kind: ArchKind::RfDump(DetectorSet::TimingAndPhase), demod: true },
-        Config { label: "rfdump timing no-demod", kind: ArchKind::RfDump(DetectorSet::Timing), demod: false },
-        Config { label: "rfdump phase no-demod", kind: ArchKind::RfDump(DetectorSet::Phase), demod: false },
-        Config { label: "rfdump t+p no-demod", kind: ArchKind::RfDump(DetectorSet::TimingAndPhase), demod: false },
+        Config {
+            label: "naive",
+            kind: ArchKind::Naive,
+            demod: true,
+        },
+        Config {
+            label: "naive+energy",
+            kind: ArchKind::NaiveEnergy,
+            demod: true,
+        },
+        Config {
+            label: "naive+energy no-demod",
+            kind: ArchKind::NaiveEnergy,
+            demod: false,
+        },
+        Config {
+            label: "rfdump timing",
+            kind: ArchKind::RfDump(DetectorSet::Timing),
+            demod: true,
+        },
+        Config {
+            label: "rfdump phase",
+            kind: ArchKind::RfDump(DetectorSet::Phase),
+            demod: true,
+        },
+        Config {
+            label: "rfdump timing+phase",
+            kind: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+            demod: true,
+        },
+        Config {
+            label: "rfdump timing no-demod",
+            kind: ArchKind::RfDump(DetectorSet::Timing),
+            demod: false,
+        },
+        Config {
+            label: "rfdump phase no-demod",
+            kind: ArchKind::RfDump(DetectorSet::Phase),
+            demod: false,
+        },
+        Config {
+            label: "rfdump t+p no-demod",
+            kind: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+            demod: false,
+        },
     ];
 
     // Pre-render one trace per utilization (shared across configs, as the
@@ -42,9 +80,15 @@ fn main() {
         .map(|(i, &u)| utilization_trace(u, duration_us, 900 + i as u64))
         .collect();
 
+    let mut report = BenchReport::new("fig9");
+    report.push(
+        "utilizations",
+        JsonValue::Arr(utils.iter().map(|&u| JsonValue::num(u)).collect()),
+    );
     let mut rows = Vec::new();
     for c in &configs {
         let mut row = vec![c.label.to_string()];
+        let mut ratios = Vec::new();
         for trace in &traces {
             let cfg = ArchConfig {
                 kind: c.kind,
@@ -55,15 +99,24 @@ fn main() {
                 zigbee: false,
                 microwave: false,
                 threaded: false,
+                telemetry: false,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             row.push(format!("{:.3}", out.cpu_over_realtime()));
+            ratios.push(JsonValue::num(out.cpu_over_realtime()));
         }
+        report.push(
+            c.label,
+            JsonValue::obj(vec![("cpu_over_realtime", JsonValue::Arr(ratios))]),
+        );
         rows.push(row);
     }
 
     let mut headers = vec!["configuration"];
-    let labels: Vec<String> = utils.iter().map(|u| format!("util {:.0}%", u * 100.0)).collect();
+    let labels: Vec<String> = utils
+        .iter()
+        .map(|u| format!("util {:.0}%", u * 100.0))
+        .collect();
     headers.extend(labels.iter().map(|s| s.as_str()));
     print_table(
         "Figure 9 — CPU time / real time vs medium utilization",
@@ -79,4 +132,8 @@ fn main() {
         duration_us / 1e3,
         7
     );
+    match report.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("failed to write bench json: {e}"),
+    }
 }

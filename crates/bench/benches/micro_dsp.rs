@@ -1,11 +1,14 @@
-//! Criterion micro-benchmarks of the hot kernels the architecture's cost
-//! model stands on: the per-sample work of detection (energy windows, phase
-//! extraction, FFT) vs demodulation (channelizer FIR, Barker despreading,
-//! resampling).
+//! Micro-benchmarks of the hot kernels the architecture's cost model stands
+//! on: the per-sample work of detection (energy windows, phase extraction,
+//! FFT) vs demodulation (channelizer FIR, Barker despreading, resampling).
+//!
+//! Prints a table of mean per-call times and throughputs, and writes
+//! `BENCH_micro_dsp.json`.
 //!
 //! Run: `cargo bench -p rfd-bench --bench micro_dsp`
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rfd_bench::print_table;
+use rfd_bench::report::{time_fn, BenchReport, Timing};
 use rfd_dsp::fft::Fft;
 use rfd_dsp::fir::{lowpass, Fir};
 use rfd_dsp::nco::Nco;
@@ -14,9 +17,15 @@ use rfd_dsp::resample::resample_windowed_sinc;
 use rfd_dsp::rng::GaussianGen;
 use rfd_dsp::window::Window;
 use rfd_dsp::Complex32;
+use rfd_telemetry::json::JsonValue;
 use rfdump::chunk::SampleChunk;
 use rfdump::peak::{PeakDetector, PeakDetectorConfig};
 use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 65_536;
+const MIN_ITERS: u64 = 20;
+const MIN_TIME: Duration = Duration::from_millis(200);
 
 fn noise(n: usize, seed: u64) -> Vec<Complex32> {
     let mut v = vec![Complex32::ZERO; n];
@@ -24,99 +33,133 @@ fn noise(n: usize, seed: u64) -> Vec<Complex32> {
     v
 }
 
-fn bench_detection_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("detection");
-    let n = 65_536;
-    let sig = noise(n, 1);
-    g.throughput(Throughput::Elements(n as u64));
+fn run(
+    report: &mut BenchReport,
+    rows: &mut Vec<Vec<String>>,
+    name: &str,
+    samples: usize,
+    f: impl FnMut(),
+) {
+    let t: Timing = time_fn(f, MIN_ITERS, MIN_TIME);
+    let msps = samples as f64 / (t.mean_ns / 1e9) / 1e6;
+    rows.push(vec![
+        name.to_string(),
+        t.fmt_mean(),
+        format!("{msps:.1} Msps"),
+        t.iters.to_string(),
+    ]);
+    let mut entry = t.to_json();
+    entry.push("samples_per_call", JsonValue::num(samples as f64));
+    entry.push("throughput_msps", JsonValue::num(msps));
+    report.push(name, entry);
+}
 
-    g.bench_function("peak_detector_quiet_stream", |b| {
-        // Quiet stream: exercises the cheap energy-filter path.
-        let quiet: Vec<Complex32> = sig.iter().map(|z| z.scale(0.01)).collect();
-        let chunks = SampleChunk::chunk_trace(&quiet, 8e6, rfdump::CHUNK_SAMPLES);
-        b.iter(|| {
+fn main() {
+    let mut report = BenchReport::new("micro_dsp");
+    let mut rows = Vec::new();
+
+    // -- detection-side kernels -------------------------------------------
+    let sig = noise(N, 1);
+
+    // Quiet stream: exercises the cheap energy-filter path.
+    let quiet: Vec<Complex32> = sig.iter().map(|z| z.scale(0.01)).collect();
+    let chunks = SampleChunk::chunk_trace(&quiet, 8e6, rfdump::CHUNK_SAMPLES);
+    run(
+        &mut report,
+        &mut rows,
+        "peak_detector_quiet_stream",
+        N,
+        || {
             let mut det = PeakDetector::new(
-                PeakDetectorConfig { noise_floor: Some(1e-4), ..Default::default() },
+                PeakDetectorConfig {
+                    noise_floor: Some(1e-4),
+                    ..Default::default()
+                },
                 8e6,
             );
             let mut out = Vec::new();
             for ch in &chunks {
                 det.push_chunk(ch, &mut out);
             }
-            black_box(out.len())
-        })
-    });
+            black_box(out.len());
+        },
+    );
 
-    g.bench_function("phase_diff_arctan_per_sample", |b| {
-        b.iter(|| {
+    run(
+        &mut report,
+        &mut rows,
+        "phase_diff_arctan_per_sample",
+        N,
+        || {
             let mut acc = 0.0f32;
             for w in sig.windows(2) {
                 acc += (w[1] * w[0].conj()).arg();
             }
-            black_box(acc)
-        })
+            black_box(acc);
+        },
+    );
+
+    let fft = Fft::new(64);
+    let mut ps = vec![0.0f32; 64];
+    run(&mut report, &mut rows, "fft64_power_spectrum", N, || {
+        for chunk in sig.chunks_exact(64) {
+            fft.power_spectrum(chunk, &mut ps);
+        }
+        black_box(ps[0]);
     });
 
-    g.bench_function("fft64_power_spectrum", |b| {
-        let fft = Fft::new(64);
-        let mut ps = vec![0.0f32; 64];
-        b.iter(|| {
-            for chunk in sig.chunks_exact(64) {
-                fft.power_spectrum(chunk, &mut ps);
-            }
-            black_box(ps[0])
-        })
-    });
-    g.finish();
-}
+    // -- demodulation-side kernels ----------------------------------------
+    let sig = noise(N, 2);
 
-fn bench_demod_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("demodulation");
-    let n = 65_536;
-    let sig = noise(n, 2);
-    g.throughput(Throughput::Elements(n as u64));
-
-    g.bench_function("bt_channelizer_fir41", |b| {
-        let taps = lowpass(600e3, 8e6, 41, Window::Hamming);
-        b.iter(|| {
-            let mut fir = Fir::new(taps.clone());
-            let mut nco = Nco::new(-2e6, 8e6);
-            let mut acc = Complex32::ZERO;
-            for &x in &sig {
-                acc += fir.push(x * nco.next());
-            }
-            black_box(acc)
-        })
+    let taps = lowpass(600e3, 8e6, 41, Window::Hamming);
+    run(&mut report, &mut rows, "bt_channelizer_fir41", N, || {
+        let mut fir = Fir::new(taps.clone());
+        let mut nco = Nco::new(-2e6, 8e6);
+        let mut acc = Complex32::ZERO;
+        for &x in &sig {
+            acc += fir.push(x * nco.next());
+        }
+        black_box(acc);
     });
 
-    g.bench_function("fm_discriminator", |b| {
-        b.iter(|| {
-            let mut disc = FmDiscriminator::new(8e6);
-            let mut out = Vec::with_capacity(n);
-            disc.process(&sig, &mut out);
-            black_box(out.len())
-        })
+    run(&mut report, &mut rows, "fm_discriminator", N, || {
+        let mut disc = FmDiscriminator::new(8e6);
+        let mut out = Vec::with_capacity(N);
+        disc.process(&sig, &mut out);
+        black_box(out.len());
     });
 
-    g.bench_function("resample_8_to_11_msps_polyphase", |b| {
-        b.iter(|| black_box(resample_windowed_sinc(&sig, 8e6, 11e6, 8).len()))
-    });
+    run(
+        &mut report,
+        &mut rows,
+        "resample_8_to_11_msps_polyphase",
+        N,
+        || {
+            black_box(resample_windowed_sinc(&sig, 8e6, 11e6, 8).len());
+        },
+    );
 
-    g.bench_function("barker_despread_per_symbol", |b| {
-        b.iter(|| {
+    run(
+        &mut report,
+        &mut rows,
+        "barker_despread_per_symbol",
+        N,
+        || {
             let mut acc = Complex32::ZERO;
             for chunk in sig.chunks_exact(11) {
                 acc += rfd_phy::wifi::barker::despread_symbol(chunk);
             }
-            black_box(acc)
-        })
-    });
-    g.finish();
-}
+            black_box(acc);
+        },
+    );
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_detection_kernels, bench_demod_kernels
+    print_table(
+        "Micro-benchmarks — detection vs demodulation kernels",
+        &["kernel", "mean/call", "throughput", "iters"],
+        &rows,
+    );
+    match report.write() {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\nfailed to write bench json: {e}"),
+    }
 }
-criterion_main!(benches);

@@ -48,7 +48,10 @@ fn main() {
     let t0 = Instant::now();
     let chunks = SampleChunk::chunk_trace(&trace.samples, fs, rfdump::CHUNK_SAMPLES);
     let mut det = PeakDetector::new(
-        PeakDetectorConfig { noise_floor: Some(trace.noise_power), ..Default::default() },
+        PeakDetectorConfig {
+            noise_floor: Some(trace.noise_power),
+            ..Default::default()
+        },
         fs,
     );
     let mut peaks = Vec::new();

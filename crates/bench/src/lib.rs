@@ -65,7 +65,10 @@ pub fn scene_at_snr(snr_db: f32, seed: u64) -> Scene {
 /// §5.1.2 workload: `n_pings` ICMP echo request/reply pairs of `payload`
 /// bytes between two stations (each data frame gets a SIFS-spaced MAC ACK).
 pub fn unicast_trace(n_pings: usize, payload: usize, snr_db: f32, seed: u64) -> EtherTrace {
-    let mut sim = WifiDcfSim::new(DcfConfig { seed, ..Default::default() });
+    let mut sim = WifiDcfSim::new(DcfConfig {
+        seed,
+        ..Default::default()
+    });
     sim.queue_ping_flow(1, 2, n_pings, payload, 12_000.0, 0.0);
     let events = sim.run();
     let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
@@ -74,7 +77,10 @@ pub fn unicast_trace(n_pings: usize, payload: usize, snr_db: f32, seed: u64) -> 
 
 /// §5.1.3 workload: a broadcast flood (DIFS + k·slot spacing, no ACKs).
 pub fn broadcast_trace(n_frames: usize, payload: usize, snr_db: f32, seed: u64) -> EtherTrace {
-    let mut sim = WifiDcfSim::new(DcfConfig { seed, ..Default::default() });
+    let mut sim = WifiDcfSim::new(DcfConfig {
+        seed,
+        ..Default::default()
+    });
     sim.queue_broadcast_flood(1, n_frames, payload, 0.0);
     let events = sim.run();
     let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
@@ -96,9 +102,15 @@ pub fn bluetooth_trace(n_pings: usize, snr_db: f32, seed: u64) -> EtherTrace {
 
 /// §5.1.5 workload: simultaneous 802.11b pings and Bluetooth l2pings.
 pub fn mix_trace(n_wifi_pings: usize, n_l2pings: usize, snr_db: f32, seed: u64) -> EtherTrace {
-    let mut wifi = WifiDcfSim::new(DcfConfig { seed, ..Default::default() });
+    let mut wifi = WifiDcfSim::new(DcfConfig {
+        seed,
+        ..Default::default()
+    });
     wifi.queue_ping_flow(1, 2, n_wifi_pings, 500, 40_000.0, 0.0);
-    let mut bt = L2PingSim::new(L2PingConfig { count: n_l2pings, ..Default::default() });
+    let mut bt = L2PingSim::new(L2PingConfig {
+        count: n_l2pings,
+        ..Default::default()
+    });
     let events = merge_schedules(vec![wifi.run(), bt.run()]);
     let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
     scene_at_snr(snr_db, seed).render(&events, horizon)
@@ -114,7 +126,10 @@ pub fn utilization_trace(target_util: f64, duration_us: f64, seed: u64) -> Ether
     let exchange_air = 2.0 * (data_air + ack_air);
     let interval = (exchange_air / target_util.clamp(0.02, 0.98)).max(exchange_air + 800.0);
     let n = (duration_us / interval).floor().max(1.0) as usize;
-    let mut sim = WifiDcfSim::new(DcfConfig { seed, ..Default::default() });
+    let mut sim = WifiDcfSim::new(DcfConfig {
+        seed,
+        ..Default::default()
+    });
     sim.queue_ping_flow(1, 2, n, payload, interval, 0.0);
     let events = sim.run();
     scene_at_snr(30.0, seed).render(&events, duration_us)
@@ -129,7 +144,10 @@ pub fn classify_with_detector(
     let fs = trace.band.sample_rate;
     let chunks = SampleChunk::chunk_trace(&trace.samples, fs, rfdump::CHUNK_SAMPLES);
     let mut det = PeakDetector::new(
-        PeakDetectorConfig { noise_floor: Some(trace.noise_power), ..Default::default() },
+        PeakDetectorConfig {
+            noise_floor: Some(trace.noise_power),
+            ..Default::default()
+        },
         fs,
     );
     let mut peaks = Vec::new();
@@ -157,9 +175,15 @@ fn push_classified(
     index: &std::collections::HashMap<u64, (u64, u64)>,
     c: &Classification,
 ) {
-    let Some(&(start, end)) = index.get(&c.peak_id) else { return };
+    let Some(&(start, end)) = index.get(&c.peak_id) else {
+        return;
+    };
     let (a, b) = c.range.unwrap_or((start, end));
-    out.push(ClassifiedPeak { protocol: c.protocol, start_sample: a, end_sample: b });
+    out.push(ClassifiedPeak {
+        protocol: c.protocol,
+        start_sample: a,
+        end_sample: b,
+    });
 }
 
 /// Scores a detector's classifications against a trace's ground truth.
@@ -175,7 +199,10 @@ pub fn detector_report(
         &trace.collided_ids(),
         classified,
         trace.samples.len() as u64,
-        EvalOptions { discount_collisions, ..Default::default() },
+        EvalOptions {
+            discount_collisions,
+            ..Default::default()
+        },
     )
 }
 
@@ -195,7 +222,10 @@ pub fn detector_report_with(
         &trace.collided_ids(),
         classified,
         trace.samples.len() as u64,
-        EvalOptions { discount_collisions, min_overlap },
+        EvalOptions {
+            discount_collisions,
+            min_overlap,
+        },
     )
 }
 
@@ -217,7 +247,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8) + 2))
             .collect::<String>()
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -232,6 +265,169 @@ pub fn fmt_rate(r: f64) -> String {
     }
 }
 
+pub mod report {
+    //! Machine-readable benchmark output (`BENCH_*.json`) plus a small
+    //! wall-clock timing harness.
+    //!
+    //! Each bench target prints its human table as before and *also* writes
+    //! a `BENCH_<name>.json` document next to the working directory (or into
+    //! `$RFD_BENCH_OUT` if set) so experiment scripts can consume runs
+    //! without scraping stdout. The document shares the repo's hand-rolled
+    //! JSON codec with `--stats-json`:
+    //!
+    //! ```json
+    //! {"schema": "rfd-bench", "version": 1, "bench": "fig9",
+    //!  "results": { ... bench-specific ... }}
+    //! ```
+
+    use rfd_telemetry::json::JsonValue;
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    /// Schema identifier carried in every bench document.
+    pub const BENCH_SCHEMA: &str = "rfd-bench";
+    /// Current bench document version.
+    pub const BENCH_VERSION: u64 = 1;
+
+    /// Wall-clock timing summary of a benchmarked closure.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Timing {
+        /// Number of timed iterations.
+        pub iters: u64,
+        /// Mean time per iteration, nanoseconds.
+        pub mean_ns: f64,
+        /// Fastest iteration, nanoseconds.
+        pub min_ns: f64,
+        /// Slowest iteration, nanoseconds.
+        pub max_ns: f64,
+    }
+
+    impl Timing {
+        /// The summary as a JSON object.
+        pub fn to_json(&self) -> JsonValue {
+            JsonValue::obj(vec![
+                ("iters", JsonValue::num(self.iters as f64)),
+                ("mean_ns", JsonValue::num(self.mean_ns)),
+                ("min_ns", JsonValue::num(self.min_ns)),
+                ("max_ns", JsonValue::num(self.max_ns)),
+            ])
+        }
+
+        /// Mean iteration time formatted for the text table.
+        pub fn fmt_mean(&self) -> String {
+            if self.mean_ns >= 1e6 {
+                format!("{:.3} ms", self.mean_ns / 1e6)
+            } else if self.mean_ns >= 1e3 {
+                format!("{:.3} µs", self.mean_ns / 1e3)
+            } else {
+                format!("{:.1} ns", self.mean_ns)
+            }
+        }
+    }
+
+    /// Times `f`: one warm-up call, then at least `min_iters` iterations and
+    /// at least `min_time` of accumulated wall clock, whichever takes longer.
+    pub fn time_fn(mut f: impl FnMut(), min_iters: u64, min_time: Duration) -> Timing {
+        f(); // warm-up: page in code and data, fill caches
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while iters < min_iters || total < min_time {
+            let t0 = Instant::now();
+            f();
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iters += 1;
+        }
+        Timing {
+            iters,
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns: min.as_nanos() as f64,
+            max_ns: max.as_nanos() as f64,
+        }
+    }
+
+    /// Collects one bench target's results and writes `BENCH_<name>.json`.
+    pub struct BenchReport {
+        name: String,
+        results: Vec<(String, JsonValue)>,
+    }
+
+    impl BenchReport {
+        /// A new, empty report for the bench target `name`.
+        pub fn new(name: &str) -> Self {
+            BenchReport {
+                name: name.to_string(),
+                results: Vec::new(),
+            }
+        }
+
+        /// Adds one named result (any JSON value).
+        pub fn push(&mut self, key: &str, value: JsonValue) {
+            self.results.push((key.to_string(), value));
+        }
+
+        /// The full document.
+        pub fn to_json(&self) -> JsonValue {
+            JsonValue::obj(vec![
+                ("schema", JsonValue::str(BENCH_SCHEMA)),
+                ("version", JsonValue::num(BENCH_VERSION as f64)),
+                ("bench", JsonValue::str(&self.name)),
+                (
+                    "results",
+                    JsonValue::Obj(
+                        self.results
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+
+        /// Writes `BENCH_<name>.json` into `$RFD_BENCH_OUT` (or the working
+        /// directory) and returns the path.
+        pub fn write(&self) -> std::io::Result<PathBuf> {
+            let dir = std::env::var_os("RFD_BENCH_OUT")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            let path = dir.join(format!("BENCH_{}.json", self.name));
+            std::fs::write(&path, self.to_json().to_json())?;
+            Ok(path)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn timing_runs_at_least_min_iters() {
+            let mut n = 0u64;
+            let t = time_fn(|| n += 1, 10, Duration::ZERO);
+            assert!(t.iters >= 10);
+            assert!(n >= 11); // warm-up + timed iterations
+            assert!(t.min_ns <= t.mean_ns && t.mean_ns <= t.max_ns);
+        }
+
+        #[test]
+        fn report_document_is_versioned_and_parses() {
+            let mut r = BenchReport::new("unit");
+            r.push("x", JsonValue::num(1.5));
+            let doc = rfd_telemetry::json::parse(&r.to_json().to_json()).unwrap();
+            assert_eq!(doc.get("schema").unwrap().as_str(), Some(BENCH_SCHEMA));
+            assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit"));
+            assert_eq!(
+                doc.get("results").unwrap().get("x").unwrap().as_f64(),
+                Some(1.5)
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,7 +436,11 @@ mod tests {
     #[test]
     fn unicast_trace_has_expected_truth() {
         let t = unicast_trace(3, 200, 25.0, 1);
-        let wifi = t.truth.iter().filter(|r| r.protocol == Protocol::Wifi).count();
+        let wifi = t
+            .truth
+            .iter()
+            .filter(|r| r.protocol == Protocol::Wifi)
+            .count();
         assert_eq!(wifi, 12); // req+rep+2 acks per ping
     }
 
@@ -251,7 +451,10 @@ mod tests {
         let classified = classify_with_detector(&t, &mut det);
         let report = detector_report(&t, Protocol::Wifi, &classified, true);
         assert_eq!(report.total_true, 16);
-        assert_eq!(report.missed, 0, "SIFS detector must find every unicast frame");
+        assert_eq!(
+            report.missed, 0,
+            "SIFS detector must find every unicast frame"
+        );
     }
 
     #[test]

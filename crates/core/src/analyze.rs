@@ -96,11 +96,14 @@ impl BtAnalyzer {
     pub fn new(sample_rate: f64, band_center_hz: f64, piconets: Vec<PiconetId>) -> Self {
         let half = sample_rate / 2.0;
         let channels = (0..rfd_phy::bluetooth::NUM_CHANNELS)
-            .filter(|&ch| {
-                (channel_freq_hz(ch) - band_center_hz).abs() + 0.5e6 <= half
-            })
+            .filter(|&ch| (channel_freq_hz(ch) - band_center_hz).abs() + 0.5e6 <= half)
             .collect();
-        Self { band_center_hz, sample_rate, piconets, channels }
+        Self {
+            band_center_hz,
+            sample_rate,
+            piconets,
+            channels,
+        }
     }
 
     fn try_channel(&self, d: &Dispatch, ch: u8) -> Option<PacketRecord> {
@@ -108,13 +111,11 @@ impl BtAnalyzer {
         let mut rx = BtChannelRx::new(ch, self.sample_rate, offset, self.piconets.clone());
         rx.process(&d.block.samples);
         let results = rx.finish();
-        let best = results
-            .into_iter()
-            .max_by(|a, b| {
-                let ka = a.parsed.as_ref().map(|p| p.crc_ok).unwrap_or(false);
-                let kb = b.parsed.as_ref().map(|p| p.crc_ok).unwrap_or(false);
-                ka.cmp(&kb)
-            })?;
+        let best = results.into_iter().max_by(|a, b| {
+            let ka = a.parsed.as_ref().map(|p| p.crc_ok).unwrap_or(false);
+            let kb = b.parsed.as_ref().map(|p| p.crc_ok).unwrap_or(false);
+            ka.cmp(&kb)
+        })?;
         let mut rec = base_record(d, Protocol::Bluetooth);
         rec.channel = Some(ch);
         rec.info = PacketInfo::Bluetooth {
@@ -147,9 +148,7 @@ impl Analyzer for BtAnalyzer {
         for ch in channels {
             if let Some(rec) = self.try_channel(d, ch) {
                 let ok = matches!(rec.info, PacketInfo::Bluetooth { crc_ok: true, .. });
-                if best.is_none() {
-                    best = Some(rec);
-                } else if ok {
+                if best.is_none() || ok {
                     best = Some(rec);
                 }
                 if ok {
@@ -171,7 +170,10 @@ impl ZigbeeAnalyzer {
     /// Creates the analyzer; `zigbee_center_hz` is where the 802.15.4
     /// channel sits relative to the 2.4 GHz band start.
     pub fn new(band_center_hz: f64, zigbee_center_hz: f64) -> Self {
-        Self { band_center_hz, zigbee_center_hz }
+        Self {
+            band_center_hz,
+            zigbee_center_hz,
+        }
     }
 }
 
@@ -198,7 +200,9 @@ impl Analyzer for ZigbeeAnalyzer {
         };
         if spc >= 2 && (fs - spc as f64 * rfd_phy::zigbee::CHIP_RATE).abs() < 1.0 {
             if let Some(frame) = rfd_phy::zigbee::demodulate(samples, spc) {
-                rec.info = PacketInfo::Zigbee { payload_len: frame.payload.len() };
+                rec.info = PacketInfo::Zigbee {
+                    payload_len: frame.payload.len(),
+                };
             }
         }
         vec![rec]
@@ -262,16 +266,31 @@ mod tests {
     use crate::dispatch::Vote;
     use std::sync::Arc;
 
-    fn dispatch_for(samples: Vec<rfd_dsp::Complex32>, protocol: Protocol, channel: Option<u8>) -> Dispatch {
+    fn dispatch_for(
+        samples: Vec<rfd_dsp::Complex32>,
+        protocol: Protocol,
+        channel: Option<u8>,
+    ) -> Dispatch {
         let n = samples.len() as u64;
         Dispatch {
             block: PeakBlock {
-                peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+                peak: Peak {
+                    id: 0,
+                    start: 0,
+                    end: n,
+                    mean_power: 1.0,
+                    noise_floor: 1e-4,
+                },
                 samples: Arc::new(samples),
                 sample_start: 0,
                 sample_rate: 8e6,
             },
-            votes: vec![Vote { protocol, confidence: 0.9, channel, range: None }],
+            votes: vec![Vote {
+                protocol,
+                confidence: 0.9,
+                channel,
+                range: None,
+            }],
         }
     }
 
@@ -322,10 +341,21 @@ mod tests {
         sig.extend(rfd_dsp::nco::frequency_shift(&w.samples, 2e6, 8e6));
         sig.extend(vec![rfd_dsp::Complex32::ZERO; 300]);
         let d = dispatch_for(sig, Protocol::Bluetooth, Some(37));
-        let mut az = BtAnalyzer::new(8e6, 37e6, vec![PiconetId { lap: 0x9E8B33, uap: 0x47 }]);
+        let mut az = BtAnalyzer::new(
+            8e6,
+            37e6,
+            vec![PiconetId {
+                lap: 0x9E8B33,
+                uap: 0x47,
+            }],
+        );
         let recs = az.analyze(&d);
         match &recs[0].info {
-            PacketInfo::Bluetooth { crc_ok, payload_len, .. } => {
+            PacketInfo::Bluetooth {
+                crc_ok,
+                payload_len,
+                ..
+            } => {
                 assert!(crc_ok);
                 assert_eq!(*payload_len, 15);
             }
@@ -344,7 +374,14 @@ mod tests {
         sig.extend(rfd_dsp::nco::frequency_shift(&w.samples, -3e6, 8e6)); // ch 32
         sig.extend(vec![rfd_dsp::Complex32::ZERO; 300]);
         let d = dispatch_for(sig, Protocol::Bluetooth, None);
-        let mut az = BtAnalyzer::new(8e6, 37e6, vec![PiconetId { lap: 0x9E8B33, uap: 0x47 }]);
+        let mut az = BtAnalyzer::new(
+            8e6,
+            37e6,
+            vec![PiconetId {
+                lap: 0x9E8B33,
+                uap: 0x47,
+            }],
+        );
         let recs = az.analyze(&d);
         match &recs[0].info {
             PacketInfo::Bluetooth { crc_ok, .. } => assert!(crc_ok),
@@ -363,13 +400,17 @@ mod tests {
         let d = dispatch_for(sig, Protocol::Zigbee, None);
         let mut az = ZigbeeAnalyzer::new(37e6, 37e6);
         let recs = az.analyze(&d);
-        assert!(matches!(recs[0].info, PacketInfo::Zigbee { payload_len: 8 }));
+        assert!(matches!(
+            recs[0].info,
+            PacketInfo::Zigbee { payload_len: 8 }
+        ));
     }
 
     #[test]
     fn microwave_analyzer_confirms_constant_envelope() {
-        let sig: Vec<rfd_dsp::Complex32> =
-            (0..5000).map(|i| rfd_dsp::Complex32::cis(i as f32 * 0.3)).collect();
+        let sig: Vec<rfd_dsp::Complex32> = (0..5000)
+            .map(|i| rfd_dsp::Complex32::cis(i as f32 * 0.3))
+            .collect();
         let d = dispatch_for(sig, Protocol::Microwave, None);
         let recs = MicrowaveAnalyzer.analyze(&d);
         assert!(matches!(recs[0].info, PacketInfo::Microwave));

@@ -28,9 +28,11 @@ use crate::records::{PacketInfo, PacketRecord};
 use rfd_dsp::Complex32;
 use rfd_ether::Band;
 use rfd_flowgraph::blocks::VecSink;
+use rfd_flowgraph::sync::Mutex;
 use rfd_flowgraph::{Block, Flowgraph, Payload, RunStats, WorkStatus};
 use rfd_phy::bluetooth::demod::PiconetId;
 use rfd_phy::Protocol;
+use rfd_telemetry::{Counter, Histogram, Registry};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +82,10 @@ pub struct ArchConfig {
     /// block). The paper notes this "inherent parallelism" but could not
     /// exploit it on 2009 GNU Radio; here it is a switch.
     pub threaded: bool,
+    /// Collect unified telemetry (metrics registry + span trace) during the
+    /// run. Off measures the pipeline's bare cost; the delta between the
+    /// two settings is the observability overhead.
+    pub telemetry: bool,
 }
 
 impl ArchConfig {
@@ -94,6 +100,7 @@ impl ArchConfig {
             zigbee: false,
             microwave: true,
             threaded: false,
+            telemetry: true,
         }
     }
 
@@ -108,6 +115,7 @@ impl ArchConfig {
             zigbee: false,
             microwave: false,
             threaded: false,
+            telemetry: true,
         }
     }
 }
@@ -126,6 +134,11 @@ pub struct ArchOutput {
     pub stats: RunStats,
     /// Trace duration in seconds.
     pub trace_seconds: f64,
+    /// Sample rate of the processed trace, Hz.
+    pub sample_rate: f64,
+    /// The telemetry registry, when [`ArchConfig::telemetry`] was set:
+    /// counters, gauges, histograms and the span trace from the run.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl ArchOutput {
@@ -146,12 +159,18 @@ fn run_graph(fg: &mut Flowgraph, threaded: bool) -> RunStats {
 /// Runs an architecture over a trace.
 pub fn run_architecture(cfg: &ArchConfig, samples: &[Complex32], fs: f64) -> ArchOutput {
     let trace_seconds = samples.len() as f64 / fs;
-    let chunks = SampleChunk::chunk_trace(samples, fs, crate::CHUNK_SAMPLES);
-    match cfg.kind {
-        ArchKind::Naive => run_naive(cfg, chunks, fs, trace_seconds, false),
-        ArchKind::NaiveEnergy => run_naive_energy(cfg, chunks, fs, trace_seconds),
-        ArchKind::RfDump(set) => run_rfdump(cfg, set, chunks, fs, trace_seconds),
+    let registry = cfg.telemetry.then(|| Arc::new(Registry::new()));
+    if let Some(reg) = &registry {
+        reg.counter("trace.samples").add(samples.len() as u64);
     }
+    let chunks = SampleChunk::chunk_trace(samples, fs, crate::CHUNK_SAMPLES);
+    let mut out = match cfg.kind {
+        ArchKind::Naive => run_naive(cfg, &registry, chunks, fs, trace_seconds, false),
+        ArchKind::NaiveEnergy => run_naive_energy(cfg, &registry, chunks, fs, trace_seconds),
+        ArchKind::RfDump(set) => run_rfdump(cfg, &registry, set, chunks, fs, trace_seconds),
+    };
+    out.registry = registry;
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -185,29 +204,55 @@ impl Block for ChunkSource {
 /// stage; doubles as the energy gate of the naïve+energy baseline).
 struct PeakDetectBlock {
     det: PeakDetector,
+    /// `peaks.detected` counter when telemetry is on.
+    peak_counter: Option<Arc<Counter>>,
+}
+
+impl PeakDetectBlock {
+    fn new(cfg: &ArchConfig, registry: &Option<Arc<Registry>>, fs: f64) -> Self {
+        Self {
+            det: PeakDetector::new(
+                PeakDetectorConfig {
+                    noise_floor: cfg.noise_floor,
+                    ..Default::default()
+                },
+                fs,
+            ),
+            peak_counter: registry.as_ref().map(|r| r.counter("peaks.detected")),
+        }
+    }
+
+    fn emit(&self, peaks: Vec<crate::chunk::PeakBlock>, outputs: &mut [Vec<Payload>]) {
+        if let Some(c) = &self.peak_counter {
+            c.add(peaks.len() as u64);
+        }
+        for pk in peaks {
+            outputs[0].push(Box::new(pk));
+        }
+    }
 }
 
 impl Block for PeakDetectBlock {
     fn name(&self) -> &str {
         "detect:peak/energy"
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         let mut peaks = Vec::new();
         while let Some(p) = inputs[0].pop_front() {
             let chunk = p.downcast::<SampleChunk>().expect("SampleChunk");
             self.det.push_chunk(&chunk, &mut peaks);
         }
-        for pk in peaks {
-            outputs[0].push(Box::new(pk));
-        }
+        self.emit(peaks, outputs);
         WorkStatus::Again
     }
     fn finish(&mut self, outputs: &mut [Vec<Payload>]) {
         let mut peaks = Vec::new();
         self.det.finish(&mut peaks);
-        for pk in peaks {
-            outputs[0].push(Box::new(pk));
-        }
+        self.emit(peaks, outputs);
     }
 }
 
@@ -223,7 +268,11 @@ impl Block for ChunkTee {
     fn num_outputs(&self) -> usize {
         self.n
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let chunk = p.downcast::<SampleChunk>().expect("SampleChunk");
             for port in outputs.iter_mut() {
@@ -278,7 +327,11 @@ impl Block for NaiveWifiBlock {
     fn name(&self) -> &str {
         "demod:wifi-continuous"
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let chunk = p.downcast::<SampleChunk>().expect("SampleChunk");
             self.buf.extend_from_slice(&chunk.samples);
@@ -338,7 +391,11 @@ impl Block for NaiveBtChannelBlock {
     fn name(&self) -> &str {
         &self.name
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let chunk = p.downcast::<SampleChunk>().expect("SampleChunk");
             self.rx.process(&chunk.samples);
@@ -357,6 +414,7 @@ impl Block for NaiveBtChannelBlock {
 
 fn run_naive(
     cfg: &ArchConfig,
+    registry: &Option<Arc<Registry>>,
     chunks: Vec<SampleChunk>,
     fs: f64,
     trace_seconds: f64,
@@ -372,8 +430,15 @@ fn run_naive(
         })
         .collect();
     let mut fg = Flowgraph::new();
-    let src = fg.add(Box::new(ChunkSource { chunks: chunks.into_iter() }));
-    let tee = fg.add(Box::new(ChunkTee { n: 1 + bt_channels.len() }));
+    if let Some(reg) = registry {
+        fg.set_telemetry(reg.clone());
+    }
+    let src = fg.add(Box::new(ChunkSource {
+        chunks: chunks.into_iter(),
+    }));
+    let tee = fg.add(Box::new(ChunkTee {
+        n: 1 + bt_channels.len(),
+    }));
     fg.connect(src, 0, tee, 0);
 
     let wifi = fg.add(Box::new(NaiveWifiBlock {
@@ -392,12 +457,7 @@ fn run_naive(
         let offset = rfd_phy::bluetooth::hop::channel_freq_hz(ch) - cfg.band.center_hz;
         let blk = fg.add(Box::new(NaiveBtChannelBlock {
             name: format!("demod:bt-ch{ch}-continuous"),
-            rx: rfd_phy::bluetooth::demod::BtChannelRx::new(
-                ch,
-                fs,
-                offset,
-                cfg.piconets.clone(),
-            ),
+            rx: rfd_phy::bluetooth::demod::BtChannelRx::new(ch, fs, offset, cfg.piconets.clone()),
             fs,
         }));
         let sink = Box::new(VecSink::<PacketRecord>::new("sink:records-bt"));
@@ -420,6 +480,8 @@ fn run_naive(
         dispatch_stats: None,
         stats,
         trace_seconds,
+        sample_rate: fs,
+        registry: None,
     }
 }
 
@@ -436,7 +498,11 @@ impl Block for DemodAllBlock {
     fn name(&self) -> &str {
         "demod:all-on-busy"
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let pk = p.downcast::<PeakBlock>().expect("PeakBlock");
             if !self.demodulate {
@@ -495,18 +561,19 @@ impl Block for DemodAllBlock {
 
 fn run_naive_energy(
     cfg: &ArchConfig,
+    registry: &Option<Arc<Registry>>,
     chunks: Vec<SampleChunk>,
     fs: f64,
     trace_seconds: f64,
 ) -> ArchOutput {
     let mut fg = Flowgraph::new();
-    let src = fg.add(Box::new(ChunkSource { chunks: chunks.into_iter() }));
-    let peak = fg.add(Box::new(PeakDetectBlock {
-        det: PeakDetector::new(
-            PeakDetectorConfig { noise_floor: cfg.noise_floor, ..Default::default() },
-            fs,
-        ),
+    if let Some(reg) = registry {
+        fg.set_telemetry(reg.clone());
+    }
+    let src = fg.add(Box::new(ChunkSource {
+        chunks: chunks.into_iter(),
     }));
+    let peak = fg.add(Box::new(PeakDetectBlock::new(cfg, registry, fs)));
     let channels: Vec<u8> = (0..rfd_phy::bluetooth::NUM_CHANNELS)
         .filter(|&ch| {
             (rfd_phy::bluetooth::hop::channel_freq_hz(ch) - cfg.band.center_hz).abs() + 0.5e6
@@ -536,6 +603,8 @@ fn run_naive_energy(
         dispatch_stats: None,
         stats,
         trace_seconds,
+        sample_rate: fs,
+        registry: None,
     }
 }
 
@@ -549,11 +618,14 @@ struct DetectDispatchBlock {
     detectors: Vec<Box<dyn FastDetector>>,
     dispatcher: Dispatcher,
     /// Per-detector CPU accumulation (merged into the stats table later).
-    timings: Arc<parking_lot::Mutex<Vec<(String, Duration)>>>,
-    classified: Arc<parking_lot::Mutex<Vec<ClassifiedPeak>>>,
-    stats_out: Arc<parking_lot::Mutex<Option<DispatchStats>>>,
+    timings: Arc<Mutex<Vec<(String, Duration)>>>,
+    classified: Arc<Mutex<Vec<ClassifiedPeak>>>,
+    stats_out: Arc<Mutex<Option<DispatchStats>>>,
     /// Protocol of each output port.
     ports: Vec<Protocol>,
+    /// Per-detector (vote counter, confidence histogram), parallel to
+    /// `detectors`; empty when telemetry is off.
+    det_tel: Vec<(Arc<Counter>, Arc<Histogram>)>,
 }
 
 impl DetectDispatchBlock {
@@ -580,14 +652,22 @@ impl DetectDispatchBlock {
     }
 }
 
+/// Name of the combined fast-detector + dispatcher block; the per-detector
+/// pseudo-rows in the stats table are carved out of this block's CPU.
+const DISPATCH_BLOCK_NAME: &str = "detect:fast-detectors+dispatch";
+
 impl Block for DetectDispatchBlock {
     fn name(&self) -> &str {
-        "detect:fast-detectors+dispatch"
+        DISPATCH_BLOCK_NAME
     }
     fn num_outputs(&self) -> usize {
         self.ports.len()
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let pk = p.downcast::<PeakBlock>().expect("PeakBlock");
             let mut votes: Vec<Classification> = Vec::new();
@@ -595,8 +675,15 @@ impl Block for DetectDispatchBlock {
                 let mut timings = self.timings.lock();
                 for (i, det) in self.detectors.iter_mut().enumerate() {
                     let t0 = Instant::now();
+                    let before = votes.len();
                     votes.extend(det.on_peak(&pk));
                     timings[i].1 += t0.elapsed();
+                    if let Some((counter, hist)) = self.det_tel.get(i) {
+                        counter.add((votes.len() - before) as u64);
+                        for v in &votes[before..] {
+                            hist.record(v.confidence as f64);
+                        }
+                    }
                 }
             }
             let dispatches = self.dispatcher.on_peak(*pk, votes);
@@ -621,17 +708,56 @@ impl Block for DetectDispatchBlock {
 struct AnalyzerBlock {
     analyzer: Box<dyn Analyzer>,
     demodulate: bool,
+    /// Registry for per-packet decode latency spans and histogram.
+    registry: Option<Arc<Registry>>,
+    /// `analyze.<protocol>.latency_us` (exponential buckets, µs).
+    latency: Option<Arc<Histogram>>,
+}
+
+impl AnalyzerBlock {
+    fn new(
+        analyzer: Box<dyn Analyzer>,
+        demodulate: bool,
+        registry: &Option<Arc<Registry>>,
+    ) -> Self {
+        let latency = registry.as_ref().map(|r| {
+            r.histogram(
+                &format!("analyze.{}.latency_us", analyzer.protocol().name()),
+                || Histogram::exponential(1.0, 1e6, 24),
+            )
+        });
+        Self {
+            analyzer,
+            demodulate,
+            registry: registry.clone(),
+            latency,
+        }
+    }
 }
 
 impl Block for AnalyzerBlock {
     fn name(&self) -> &str {
         self.analyzer.name()
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let d = p.downcast::<Dispatch>().expect("Dispatch");
             if self.demodulate {
-                for rec in self.analyzer.analyze(&d) {
+                let t0 = Instant::now();
+                let recs = self.analyzer.analyze(&d);
+                let dur = t0.elapsed();
+                if let Some(reg) = &self.registry {
+                    reg.tracer()
+                        .record(self.analyzer.name(), "analyze", t0, dur);
+                }
+                if let Some(h) = &self.latency {
+                    h.record(dur.as_secs_f64() * 1e6);
+                }
+                for rec in recs {
                     outputs[0].push(Box::new(rec));
                 }
             } else {
@@ -655,8 +781,14 @@ impl Block for AnalyzerBlock {
 }
 
 fn build_detectors(cfg: &ArchConfig, set: DetectorSet, fs: f64) -> Vec<Box<dyn FastDetector>> {
-    let timing = matches!(set, DetectorSet::Timing | DetectorSet::TimingAndPhase | DetectorSet::All);
-    let phase = matches!(set, DetectorSet::Phase | DetectorSet::TimingAndPhase | DetectorSet::All);
+    let timing = matches!(
+        set,
+        DetectorSet::Timing | DetectorSet::TimingAndPhase | DetectorSet::All
+    );
+    let phase = matches!(
+        set,
+        DetectorSet::Phase | DetectorSet::TimingAndPhase | DetectorSet::All
+    );
     let freq = matches!(set, DetectorSet::All);
     let mut v: Vec<Box<dyn FastDetector>> = Vec::new();
     if timing {
@@ -685,6 +817,7 @@ fn build_detectors(cfg: &ArchConfig, set: DetectorSet, fs: f64) -> Vec<Box<dyn F
 
 fn run_rfdump(
     cfg: &ArchConfig,
+    registry: &Option<Arc<Registry>>,
     set: DetectorSet,
     chunks: Vec<SampleChunk>,
     fs: f64,
@@ -693,10 +826,17 @@ fn run_rfdump(
     // Analyzer lineup.
     let mut analyzers: Vec<Box<dyn Analyzer>> = vec![
         Box::new(WifiAnalyzer),
-        Box::new(BtAnalyzer::new(fs, cfg.band.center_hz, cfg.piconets.clone())),
+        Box::new(BtAnalyzer::new(
+            fs,
+            cfg.band.center_hz,
+            cfg.piconets.clone(),
+        )),
     ];
     if cfg.zigbee {
-        analyzers.push(Box::new(ZigbeeAnalyzer::new(cfg.band.center_hz, cfg.band.center_hz)));
+        analyzers.push(Box::new(ZigbeeAnalyzer::new(
+            cfg.band.center_hz,
+            cfg.band.center_hz,
+        )));
     }
     if cfg.microwave {
         analyzers.push(Box::new(MicrowaveAnalyzer));
@@ -704,34 +844,58 @@ fn run_rfdump(
     let ports: Vec<Protocol> = analyzers.iter().map(|a| a.protocol()).collect();
 
     let detectors = build_detectors(cfg, set, fs);
-    let timings = Arc::new(parking_lot::Mutex::new(
-        detectors.iter().map(|d| (d.name().to_string(), Duration::ZERO)).collect::<Vec<_>>(),
+    let timings = Arc::new(Mutex::new(
+        detectors
+            .iter()
+            .map(|d| (d.name().to_string(), Duration::ZERO))
+            .collect::<Vec<_>>(),
     ));
-    let classified = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let dstats = Arc::new(parking_lot::Mutex::new(None));
+    let classified = Arc::new(Mutex::new(Vec::new()));
+    let dstats = Arc::new(Mutex::new(None));
+
+    // Per-detector vote counters and confidence histograms.
+    let det_tel: Vec<(Arc<Counter>, Arc<Histogram>)> = match registry {
+        Some(reg) => detectors
+            .iter()
+            .map(|d| {
+                (
+                    reg.counter(&format!("detector.{}.votes", d.name())),
+                    reg.histogram(&format!("detector.{}.confidence", d.name()), || {
+                        Histogram::linear(0.0, 1.0, 20)
+                    }),
+                )
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let dispatcher = match registry {
+        Some(reg) => Dispatcher::with_telemetry(DispatchConfig::default(), reg),
+        None => Dispatcher::new(DispatchConfig::default()),
+    };
 
     let mut fg = Flowgraph::new();
-    let src = fg.add(Box::new(ChunkSource { chunks: chunks.into_iter() }));
-    let peak = fg.add(Box::new(PeakDetectBlock {
-        det: PeakDetector::new(
-            PeakDetectorConfig { noise_floor: cfg.noise_floor, ..Default::default() },
-            fs,
-        ),
+    if let Some(reg) = registry {
+        fg.set_telemetry(reg.clone());
+    }
+    let src = fg.add(Box::new(ChunkSource {
+        chunks: chunks.into_iter(),
     }));
+    let peak = fg.add(Box::new(PeakDetectBlock::new(cfg, registry, fs)));
     let detect = fg.add(Box::new(DetectDispatchBlock {
         detectors,
-        dispatcher: Dispatcher::new(DispatchConfig::default()),
+        dispatcher,
         timings: timings.clone(),
         classified: classified.clone(),
         stats_out: dstats.clone(),
         ports: ports.clone(),
+        det_tel,
     }));
     fg.connect(src, 0, peak, 0);
     fg.connect(peak, 0, detect, 0);
 
     let mut outs = Vec::new();
     for (i, az) in analyzers.into_iter().enumerate() {
-        let blk = fg.add(Box::new(AnalyzerBlock { analyzer: az, demodulate: cfg.demodulate }));
+        let blk = fg.add(Box::new(AnalyzerBlock::new(az, cfg.demodulate, registry)));
         let sink = Box::new(VecSink::<PacketRecord>::new("sink:records"));
         outs.push(sink.storage());
         let k = fg.add(sink);
@@ -740,7 +904,18 @@ fn run_rfdump(
     }
 
     let mut stats = run_graph(&mut fg, cfg.threaded);
-    // Merge per-detector timings as pseudo-blocks.
+    // Break out per-detector timings as pseudo-blocks. Their CPU was spent
+    // inside the dispatch block's `work()` and is already counted there, so
+    // move it out of that row rather than adding it twice — `total_cpu()`
+    // must stay <= wall on a single thread.
+    let detector_cpu: Duration = timings.lock().iter().map(|(_, cpu)| *cpu).sum();
+    if let Some(b) = stats
+        .blocks
+        .iter_mut()
+        .find(|b| b.name == DISPATCH_BLOCK_NAME)
+    {
+        b.cpu = b.cpu.saturating_sub(detector_cpu);
+    }
     for (name, cpu) in timings.lock().iter() {
         stats.blocks.push(rfd_flowgraph::BlockStats {
             name: name.clone(),
@@ -766,6 +941,8 @@ fn run_rfdump(
         dispatch_stats,
         stats,
         trace_seconds,
+        sample_rate: fs,
+        registry: None,
     }
 }
 
@@ -855,6 +1032,62 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_registry_captures_the_pipeline() {
+        let trace = mixed_trace();
+        let cfg = ArchConfig::rfdump(piconets());
+        let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
+        let reg = out.registry.as_ref().expect("telemetry on by default");
+        let snap = reg.snapshot();
+        // The peak stage counted peaks and the dispatcher mirrored stats.
+        assert_eq!(snap.counters["trace.samples"], trace.samples.len() as u64);
+        let ds = out.dispatch_stats.as_ref().unwrap();
+        assert_eq!(snap.counters["peaks.detected"], ds.total_peaks);
+        assert_eq!(snap.counters["dispatch.total_peaks"], ds.total_peaks);
+        // Every detector has a vote counter and confidence histogram.
+        for name in ["detect:wifi-sifs-timing", "detect:bt-slot-timing"] {
+            assert!(
+                snap.counters
+                    .contains_key(&format!("detector.{name}.votes")),
+                "missing vote counter for {name}"
+            );
+            assert!(
+                snap.histograms
+                    .contains_key(&format!("detector.{name}.confidence")),
+                "missing confidence histogram for {name}"
+            );
+        }
+        // Scheduler metrics and analyzer latency histograms are present.
+        assert!(snap.counters["flowgraph.runs"] >= 1);
+        assert!(snap.histograms["analyze.802.11.latency_us"].count > 0);
+        // Spans were recorded for analyzer work.
+        assert!(reg.tracer().events().iter().any(|e| e.cat == "analyze"));
+
+        // With telemetry off, no registry is produced.
+        let mut cfg2 = ArchConfig::rfdump(piconets());
+        cfg2.telemetry = false;
+        let out2 = run_architecture(&cfg2, &trace.samples, trace.band.sample_rate);
+        assert!(out2.registry.is_none());
+    }
+
+    #[test]
+    fn stats_json_round_trips_for_a_real_run() {
+        let trace = mixed_trace();
+        let cfg = ArchConfig::rfdump(piconets());
+        let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
+        let text = crate::stats::stats_json(&out).to_json();
+        let doc = rfd_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("rfd-stats"));
+        let blocks = doc.get("blocks").unwrap().as_arr().unwrap();
+        assert!(
+            blocks.len() >= 4,
+            "expected full pipeline, got {}",
+            blocks.len()
+        );
+        assert!(doc.get("stages").unwrap().get("detect").is_some());
+        assert!(doc.get("dispatch").unwrap().get("per_protocol").is_some());
+    }
+
+    #[test]
     fn naive_decodes_the_same_trace() {
         let trace = mixed_trace();
         let cfg = ArchConfig::naive(piconets());
@@ -875,7 +1108,10 @@ mod tests {
             .iter()
             .filter(|t| t.protocol == Protocol::Bluetooth && t.in_band)
             .count();
-        assert!(bt_ok + 1 >= bt_inband, "naive decoded {bt_ok}/{bt_inband} bt");
+        assert!(
+            bt_ok + 1 >= bt_inband,
+            "naive decoded {bt_ok}/{bt_inband} bt"
+        );
     }
 
     #[test]

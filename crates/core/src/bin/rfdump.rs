@@ -15,6 +15,10 @@
 //!   -z               enable the ZigBee detectors/analyzer
 //!   -s               print per-stage CPU statistics
 //!   -q               suppress packet lines (stats only)
+//!   -t               multi-threaded scheduler (one thread per block)
+//!   --no-telemetry   disable the metrics registry / span trace
+//!   --stats-json F   write the versioned rfd-stats JSON document to F
+//!   --trace-out F    write the span trace as chrome://tracing JSON to F
 //! ```
 
 use rfdump::arch::{run_architecture, ArchConfig, ArchKind, DetectorSet};
@@ -29,12 +33,17 @@ struct Options {
     zigbee: bool,
     stats: bool,
     quiet: bool,
+    threaded: bool,
+    telemetry: bool,
+    stats_json: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rfdump -r FILE [-a rfdump|naive|naive-energy] [-d timing|phase|both|all]\n\
-         \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q]\n\
+         \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--no-telemetry]\n\
+         \x20             [--stats-json FILE] [--trace-out FILE]\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -49,6 +58,10 @@ fn parse_args() -> Result<Options, String> {
         zigbee: false,
         stats: false,
         quiet: false,
+        threaded: false,
+        telemetry: true,
+        stats_json: None,
+        trace_out: None,
     };
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
@@ -69,8 +82,7 @@ fn parse_args() -> Result<Options, String> {
             "-n" => opts.demodulate = false,
             "-p" => {
                 let spec = args.next().ok_or("-p needs LAP:UAP")?;
-                let (lap_s, uap_s) =
-                    spec.split_once(':').ok_or("piconet must be LAP:UAP")?;
+                let (lap_s, uap_s) = spec.split_once(':').ok_or("piconet must be LAP:UAP")?;
                 let lap = u32::from_str_radix(lap_s, 16).map_err(|e| e.to_string())?;
                 let uap = u8::from_str_radix(uap_s, 16).map_err(|e| e.to_string())?;
                 opts.piconets
@@ -79,6 +91,12 @@ fn parse_args() -> Result<Options, String> {
             "-z" => opts.zigbee = true,
             "-s" => opts.stats = true,
             "-q" => opts.quiet = true,
+            "-t" => opts.threaded = true,
+            "--no-telemetry" => opts.telemetry = false,
+            "--stats-json" => {
+                opts.stats_json = Some(args.next().ok_or("--stats-json needs a file")?)
+            }
+            "--trace-out" => opts.trace_out = Some(args.next().ok_or("--trace-out needs a file")?),
             "--protocols" => {
                 print!("{}", render_table2());
                 std::process::exit(0);
@@ -132,7 +150,8 @@ fn main() -> ExitCode {
         noise_floor: None,
         zigbee: opts.zigbee,
         microwave: true,
-        threaded: false,
+        threaded: opts.threaded,
+        telemetry: opts.telemetry || opts.stats_json.is_some() || opts.trace_out.is_some(),
     };
     let out = run_architecture(&cfg, &samples, header.sample_rate);
 
@@ -154,6 +173,20 @@ fn main() -> ExitCode {
                 ds.total_peaks, ds.unclassified_peaks
             );
         }
+    }
+    if let Some(path) = &opts.stats_json {
+        if let Err(e) = rfdump::stats::write_stats_json(&out, std::path::Path::new(path)) {
+            eprintln!("rfdump: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rfdump: stats written to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = rfdump::stats::write_chrome_trace(&out, std::path::Path::new(path)) {
+            eprintln!("rfdump: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rfdump: span trace written to {path}");
     }
     ExitCode::SUCCESS
 }

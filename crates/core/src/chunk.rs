@@ -131,7 +131,13 @@ mod tests {
 
     #[test]
     fn peak_geometry() {
-        let p = Peak { id: 0, start: 800, end: 1600, mean_power: 1.0, noise_floor: 0.01 };
+        let p = Peak {
+            id: 0,
+            start: 800,
+            end: 1600,
+            mean_power: 1.0,
+            noise_floor: 0.01,
+        };
         assert_eq!(p.len(), 800);
         assert!((p.duration_us(8e6) - 100.0).abs() < 1e-9);
         assert!((p.snr_db() - 20.0).abs() < 1e-4);
@@ -141,7 +147,13 @@ mod tests {
     fn peak_block_slicing() {
         let samples: Vec<Complex32> = (0..100).map(|i| Complex32::new(i as f32, 0.0)).collect();
         let pb = PeakBlock {
-            peak: Peak { id: 1, start: 1020, end: 1080, mean_power: 1.0, noise_floor: 0.1 },
+            peak: Peak {
+                id: 1,
+                start: 1020,
+                end: 1080,
+                mean_power: 1.0,
+                noise_floor: 0.1,
+            },
             samples: Arc::new(samples),
             sample_start: 1000,
             sample_rate: 8e6,

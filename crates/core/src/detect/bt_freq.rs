@@ -123,7 +123,13 @@ mod tests {
     fn block_from(samples: Vec<Complex32>) -> PeakBlock {
         let n = samples.len() as u64;
         PeakBlock {
-            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(samples),
             sample_start: 0,
             sample_rate: 8e6,

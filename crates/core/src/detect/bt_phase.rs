@@ -131,7 +131,13 @@ mod tests {
     fn block_from(samples: Vec<Complex32>, noise_floor: f32) -> PeakBlock {
         let n = samples.len() as u64;
         PeakBlock {
-            peak: Peak { id: 7, start: 0, end: n, mean_power: 1.0, noise_floor },
+            peak: Peak {
+                id: 7,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor,
+            },
             samples: Arc::new(samples),
             sample_start: 0,
             sample_rate: 8e6,
@@ -196,7 +202,10 @@ mod tests {
     #[test]
     fn rejects_low_snr_gfsk() {
         let mut d = BtPhaseDetector::new(37e6);
-        assert!(d.on_peak(&gfsk(800, 0.0, 2.0, 4)).is_empty(), "2 dB should defeat phase detection");
+        assert!(
+            d.on_peak(&gfsk(800, 0.0, 2.0, 4)).is_empty(),
+            "2 dB should defeat phase detection"
+        );
     }
 
     #[test]
@@ -205,7 +214,10 @@ mod tests {
         // faking the peak metadata.
         let pb0 = gfsk(2000, 0.0, 30.0, 5);
         let pb = PeakBlock {
-            peak: Peak { end: pb0.peak.start + 8_000 * 30, ..pb0.peak },
+            peak: Peak {
+                end: pb0.peak.start + 8_000 * 30,
+                ..pb0.peak
+            },
             ..pb0
         };
         let mut d = BtPhaseDetector::new(37e6);
@@ -218,7 +230,9 @@ mod tests {
         // channel.
         let mut d = BtPhaseDetector::new(37e6);
         let votes = d.on_peak(&gfsk(800, 0.5e6, 30.0, 6));
-        assert!(votes.is_empty(), "carrier between channels must not classify");
+        assert!(
+            votes.is_empty(),
+            "carrier between channels must not classify"
+        );
     }
 }
-

@@ -99,7 +99,7 @@ impl FastDetector for BtTimingDetector {
                         protocol: Protocol::Bluetooth,
                         confidence,
                         channel: None,
-                    range: None,
+                        range: None,
                     });
                     matched = true;
                     break;
@@ -118,7 +118,7 @@ impl FastDetector for BtTimingDetector {
                             protocol: Protocol::Bluetooth,
                             confidence: 0.6,
                             channel: None,
-                    range: None,
+                            range: None,
                         });
                         // Retroactively classify the session opener too.
                         out.push(Classification {
@@ -126,17 +126,16 @@ impl FastDetector for BtTimingDetector {
                             protocol: Protocol::Bluetooth,
                             confidence: 0.5,
                             channel: None,
-                    range: None,
+                            range: None,
                         });
                         // New cache entry (evict the lowest counter).
-                        let sess = Session { last_start_us: start, count: 1 };
+                        let sess = Session {
+                            last_start_us: start,
+                            count: 1,
+                        };
                         if self.cache.len() < self.cache_cap {
                             self.cache.push(sess);
-                        } else if let Some(victim) = self
-                            .cache
-                            .iter_mut()
-                            .min_by_key(|s| s.count)
-                        {
+                        } else if let Some(victim) = self.cache.iter_mut().min_by_key(|s| s.count) {
                             *victim = sess;
                         }
                         break;
@@ -159,7 +158,13 @@ mod tests {
         let start = (start_us * 8.0) as u64;
         let end = start + (len_us * 8.0) as u64;
         PeakBlock {
-            peak: Peak { id, start, end, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id,
+                start,
+                end,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: 8e6,
@@ -170,7 +175,10 @@ mod tests {
     fn slot_aligned_sequence_is_detected_after_first() {
         let mut d = BtTimingDetector::new();
         // Slots 0, 6, 12 (DH5 spacing).
-        assert!(d.on_peak(&pb(0, 0.0, 2870.0)).is_empty(), "first packet has no reference");
+        assert!(
+            d.on_peak(&pb(0, 0.0, 2870.0)).is_empty(),
+            "first packet has no reference"
+        );
         let v1 = d.on_peak(&pb(1, 6.0 * SLOT_US, 2870.0));
         assert!(v1.iter().any(|c| c.peak_id == 1));
         // The opener is classified retroactively.

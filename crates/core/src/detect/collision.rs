@@ -61,7 +61,11 @@ pub fn detect_collision(pb: &PeakBlock, cfg: &CollisionConfig) -> Option<Collisi
         let before = mean_power(&samples[i..i + w]);
         let after = mean_power(&samples[i + w..i + 2 * w]);
         if before > 0.0 && after > 0.0 {
-            let ratio = if after > before { after / before } else { before / after };
+            let ratio = if after > before {
+                after / before
+            } else {
+                before / after
+            };
             if ratio >= cfg.min_step_ratio {
                 steps.push(i + w);
                 max_ratio = max_ratio.max(ratio);
@@ -90,7 +94,13 @@ mod tests {
     fn pb_from(samples: Vec<Complex32>) -> PeakBlock {
         let n = samples.len() as u64;
         PeakBlock {
-            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(samples),
             sample_start: 0,
             sample_rate: 8e6,
@@ -117,8 +127,8 @@ mod tests {
     #[test]
     fn overlapping_transmissions_are_flagged() {
         let pb = pb_from(colliding(6000, 1));
-        let ev = detect_collision(&pb, &CollisionConfig::default())
-            .expect("collision must be detected");
+        let ev =
+            detect_collision(&pb, &CollisionConfig::default()).expect("collision must be detected");
         assert!(!ev.steps.is_empty());
         assert!(ev.max_ratio >= 1.8, "ratio {}", ev.max_ratio);
         // Steps near the overlap boundaries (n/3 = 2000, 2n/3 = 4000).

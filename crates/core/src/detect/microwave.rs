@@ -30,7 +30,9 @@ pub struct MicrowaveTimingDetector {
 impl MicrowaveTimingDetector {
     /// Creates the detector.
     pub fn new() -> Self {
-        Self { history: PeakHistory::new(16) }
+        Self {
+            history: PeakHistory::new(16),
+        }
     }
 
     fn burst_like(start_us: f64, end_us: f64) -> bool {
@@ -43,7 +45,7 @@ impl MicrowaveTimingDetector {
         let gap = start_us - prev.start_us;
         AC_PERIODS_US.iter().copied().find(|p| {
             let m = (gap / p).round();
-            m >= 1.0 && m <= 3.0 && (gap - m * p).abs() <= PERIOD_TOLERANCE_US * m
+            (1.0..=3.0).contains(&m) && (gap - m * p).abs() <= PERIOD_TOLERANCE_US * m
         })
     }
 
@@ -124,7 +126,13 @@ mod tests {
         let start = (start_us * 8.0) as u64;
         let end = start + (len_us * 8.0) as u64;
         PeakBlock {
-            peak: Peak { id, start, end, mean_power: power, noise_floor: 1e-4 },
+            peak: Peak {
+                id,
+                start,
+                end,
+                mean_power: power,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: 8e6,

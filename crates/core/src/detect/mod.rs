@@ -13,18 +13,18 @@
 //! passes.
 
 pub mod bt_freq;
-pub mod collision;
 pub mod bt_phase;
 pub mod bt_timing;
+pub mod collision;
 pub mod microwave;
 pub mod wifi_phase;
 pub mod wifi_timing;
 pub mod zigbee;
 
 pub use bt_freq::BtFreqDetector;
-pub use collision::{detect_collision, CollisionConfig, CollisionEvidence};
 pub use bt_phase::BtPhaseDetector;
 pub use bt_timing::BtTimingDetector;
+pub use collision::{detect_collision, CollisionConfig, CollisionEvidence};
 pub use microwave::MicrowaveTimingDetector;
 pub use wifi_phase::WifiPhaseDetector;
 pub use wifi_timing::{WifiDifsDetector, WifiSifsDetector};
@@ -95,7 +95,10 @@ pub struct PeakHistory {
 impl PeakHistory {
     /// Creates a history holding up to `cap` peaks.
     pub fn new(cap: usize) -> Self {
-        Self { entries: Default::default(), cap: cap.max(1) }
+        Self {
+            entries: Default::default(),
+            cap: cap.max(1),
+        }
     }
 
     /// Records a peak.
@@ -140,7 +143,12 @@ mod tests {
     fn history_is_bounded_and_ordered() {
         let mut h = PeakHistory::new(3);
         for i in 0..5u64 {
-            h.push(HistEntry { id: i, start_us: i as f64, end_us: i as f64 + 0.5, mean_power: 1.0 });
+            h.push(HistEntry {
+                id: i,
+                start_us: i as f64,
+                end_us: i as f64 + 0.5,
+                mean_power: 1.0,
+            });
         }
         assert_eq!(h.len(), 3);
         let ids: Vec<u64> = h.iter_recent().map(|e| e.id).collect();

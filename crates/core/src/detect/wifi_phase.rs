@@ -194,7 +194,13 @@ mod tests {
         GaussianGen::new(seed).add_awgn(&mut at8, noise);
         let n = at8.len() as u64;
         PeakBlock {
-            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: noise },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor: noise,
+            },
             samples: Arc::new(at8),
             sample_start: 0,
             sample_rate: 8e6,
@@ -203,11 +209,19 @@ mod tests {
 
     fn bt_block(seed: u64) -> PeakBlock {
         use rfd_phy::bluetooth::gfsk::{modulate_bits, BtTxConfig};
-        let bits: Vec<bool> = (0..2000).map(|i| (i * 7 + seed as usize) % 3 == 0).collect();
+        let bits: Vec<bool> = (0..2000)
+            .map(|i| (i * 7 + seed as usize).is_multiple_of(3))
+            .collect();
         let w = modulate_bits(&bits, BtTxConfig { sample_rate: 8e6 });
         let n = w.samples.len() as u64;
         PeakBlock {
-            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(w.samples),
             sample_start: 0,
             sample_rate: 8e6,
@@ -251,7 +265,10 @@ mod tests {
     #[test]
     fn rejects_gfsk() {
         let mut d = WifiPhaseDetector::new(8e6);
-        assert!(d.on_peak(&bt_block(5)).is_empty(), "GFSK must not look like Barker DBPSK");
+        assert!(
+            d.on_peak(&bt_block(5)).is_empty(),
+            "GFSK must not look like Barker DBPSK"
+        );
     }
 
     #[test]
@@ -260,7 +277,13 @@ mod tests {
         let mut sig = vec![Complex32::ZERO; 8000];
         GaussianGen::new(9).add_awgn(&mut sig, 1.0);
         let pb = PeakBlock {
-            peak: Peak { id: 0, start: 0, end: 8000, mean_power: 1.0, noise_floor: 1.0 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: 8000,
+                mean_power: 1.0,
+                noise_floor: 1.0,
+            },
             samples: Arc::new(sig),
             sample_start: 0,
             sample_rate: 8e6,
@@ -273,8 +296,15 @@ mod tests {
         let mut d = WifiPhaseDetector::new(8e6);
         let pb = wifi_block(WifiRate::R1, 150, 25.0, 4);
         let shifted = frequency_shift(&pb.samples, 30e3, 8e6);
-        let pb2 = PeakBlock { samples: Arc::new(shifted), ..pb };
-        assert_eq!(d.on_peak(&pb2).len(), 1, "30 kHz CFO must not defeat the detector");
+        let pb2 = PeakBlock {
+            samples: Arc::new(shifted),
+            ..pb
+        };
+        assert_eq!(
+            d.on_peak(&pb2).len(),
+            1,
+            "30 kHz CFO must not defeat the detector"
+        );
     }
 
     #[test]
@@ -282,7 +312,10 @@ mod tests {
         let mut d = WifiPhaseDetector::new(8e6);
         // At 0 dB (well below the paper's ~9 dB knee) detection should fail.
         let votes = d.on_peak(&wifi_block(WifiRate::R1, 200, 0.0, 6));
-        assert!(votes.is_empty(), "0 dB SNR should defeat the phase detector");
+        assert!(
+            votes.is_empty(),
+            "0 dB SNR should defeat the phase detector"
+        );
     }
 
     #[test]
@@ -290,7 +323,10 @@ mod tests {
         let mut d = WifiPhaseDetector::new(8e6);
         let pb = wifi_block(WifiRate::R1, 200, 25.0, 7);
         let short = PeakBlock {
-            peak: Peak { end: 100, ..pb.peak },
+            peak: Peak {
+                end: 100,
+                ..pb.peak
+            },
             samples: Arc::new(pb.samples[..100].to_vec()),
             ..pb
         };

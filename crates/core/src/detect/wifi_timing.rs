@@ -26,7 +26,9 @@ pub struct WifiSifsDetector {
 impl WifiSifsDetector {
     /// Creates the detector.
     pub fn new() -> Self {
-        Self { history: PeakHistory::new(64) }
+        Self {
+            history: PeakHistory::new(64),
+        }
     }
 }
 
@@ -82,7 +84,10 @@ pub struct WifiDifsDetector {
 impl WifiDifsDetector {
     /// Creates the detector with the paper's k ∈ [0, 64].
     pub fn new() -> Self {
-        Self { history: PeakHistory::new(64), max_k: 64 }
+        Self {
+            history: PeakHistory::new(64),
+            max_k: 64,
+        }
     }
 }
 
@@ -118,7 +123,7 @@ impl FastDetector for WifiDifsDetector {
                             protocol: Protocol::Wifi,
                             confidence: confidence.max(0.5),
                             channel: None,
-                    range: None,
+                            range: None,
                         });
                     }
                 }
@@ -140,7 +145,13 @@ mod tests {
         let start = (start_us * 8.0) as u64;
         let end = start + (len_us * 8.0) as u64;
         PeakBlock {
-            peak: Peak { id, start, end, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id,
+                start,
+                end,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: fs,
@@ -185,7 +196,9 @@ mod tests {
         let mut d2 = WifiDifsDetector::new();
         d2.on_peak(&pb(0, 0.0, 1000.0));
         // k = 100 > 64.
-        assert!(d2.on_peak(&pb(1, 1000.0 + 50.0 + 100.0 * 20.0, 100.0)).is_empty());
+        assert!(d2
+            .on_peak(&pb(1, 1000.0 + 50.0 + 100.0 * 20.0, 100.0))
+            .is_empty());
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub struct ZigbeeTimingDetector {
 impl ZigbeeTimingDetector {
     /// Creates the detector.
     pub fn new() -> Self {
-        Self { history: PeakHistory::new(64) }
+        Self {
+            history: PeakHistory::new(64),
+        }
     }
 }
 
@@ -103,7 +105,10 @@ pub struct ZigbeePhaseDetector {
 impl ZigbeePhaseDetector {
     /// Creates the detector.
     pub fn new() -> Self {
-        Self { max_samples: 4096, min_samples: 256 }
+        Self {
+            max_samples: 4096,
+            min_samples: 256,
+        }
     }
 }
 
@@ -180,7 +185,13 @@ mod tests {
         let start = (start_us * 8.0) as u64;
         let end = start + (len_us * 8.0) as u64;
         PeakBlock {
-            peak: Peak { id, start, end, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id,
+                start,
+                end,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: 8e6,
@@ -194,7 +205,13 @@ mod tests {
         GaussianGen::new(seed).add_awgn(&mut sig, rfd_dsp::energy::db_to_power(-snr_db));
         let n = sig.len() as u64;
         PeakBlock {
-            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(sig),
             sample_start: 0,
             sample_rate: 8e6,
@@ -240,7 +257,13 @@ mod tests {
         let w = modulate_bits(&bits, BtTxConfig { sample_rate: 8e6 });
         let n = w.samples.len() as u64;
         let pb = PeakBlock {
-            peak: Peak { id: 0, start: 0, end: n, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: n,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(w.samples),
             sample_start: 0,
             sample_rate: 8e6,
@@ -254,7 +277,13 @@ mod tests {
         let mut sig = vec![Complex32::ZERO; 4000];
         GaussianGen::new(2).add_awgn(&mut sig, 1.0);
         let pb = PeakBlock {
-            peak: Peak { id: 0, start: 0, end: 4000, mean_power: 1.0, noise_floor: 1.0 },
+            peak: Peak {
+                id: 0,
+                start: 0,
+                end: 4000,
+                mean_power: 1.0,
+                noise_floor: 1.0,
+            },
             samples: Arc::new(sig),
             sample_start: 0,
             sample_rate: 8e6,

@@ -11,7 +11,9 @@
 use crate::chunk::PeakBlock;
 use crate::detect::Classification;
 use rfd_phy::Protocol;
+use rfd_telemetry::{Counter, Registry};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Dispatcher configuration.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +26,10 @@ pub struct DispatchConfig {
 
 impl Default for DispatchConfig {
     fn default() -> Self {
-        Self { confidence_threshold: 0.5, hold_peaks: 8 }
+        Self {
+            confidence_threshold: 0.5,
+            hold_peaks: 8,
+        }
     }
 }
 
@@ -88,17 +93,57 @@ struct PendingPeak {
     votes: Vec<Classification>,
 }
 
+/// Registry handles mirroring [`DispatchStats`], pre-created so the hot
+/// path touches only plain atomics.
+struct DispatchTelemetry {
+    total_peaks: Arc<Counter>,
+    unclassified_peaks: Arc<Counter>,
+    forwarded_peaks: BTreeMap<Protocol, Arc<Counter>>,
+    forwarded_samples: BTreeMap<Protocol, Arc<Counter>>,
+}
+
+impl DispatchTelemetry {
+    fn new(reg: &Registry) -> Self {
+        let per_proto = |what: &str| {
+            Protocol::ALL
+                .iter()
+                .map(|&p| (p, reg.counter(&format!("dispatch.{}.{what}", p.name()))))
+                .collect()
+        };
+        Self {
+            total_peaks: reg.counter("dispatch.total_peaks"),
+            unclassified_peaks: reg.counter("dispatch.unclassified_peaks"),
+            forwarded_peaks: per_proto("forwarded_peaks"),
+            forwarded_samples: per_proto("forwarded_samples"),
+        }
+    }
+}
+
 /// The dispatcher.
 pub struct Dispatcher {
     cfg: DispatchConfig,
     pending: std::collections::VecDeque<PendingPeak>,
     stats: DispatchStats,
+    tel: Option<DispatchTelemetry>,
 }
 
 impl Dispatcher {
     /// Creates a dispatcher.
     pub fn new(cfg: DispatchConfig) -> Self {
-        Self { cfg, pending: Default::default(), stats: Default::default() }
+        Self {
+            cfg,
+            pending: Default::default(),
+            stats: Default::default(),
+            tel: None,
+        }
+    }
+
+    /// Creates a dispatcher that mirrors its statistics into `registry`
+    /// (`dispatch.total_peaks`, `dispatch.<protocol>.forwarded_peaks`, …).
+    pub fn with_telemetry(cfg: DispatchConfig, registry: &Registry) -> Self {
+        let mut d = Self::new(cfg);
+        d.tel = Some(DispatchTelemetry::new(registry));
+        d
     }
 
     /// Offers a new peak together with the votes the detector bank produced
@@ -107,7 +152,13 @@ impl Dispatcher {
     /// final.
     pub fn on_peak(&mut self, block: PeakBlock, votes: Vec<Classification>) -> Vec<Dispatch> {
         self.stats.total_peaks += 1;
-        self.pending.push_back(PendingPeak { block, votes: Vec::new() });
+        if let Some(t) = &self.tel {
+            t.total_peaks.inc();
+        }
+        self.pending.push_back(PendingPeak {
+            block,
+            votes: Vec::new(),
+        });
         self.absorb_votes(votes);
         let mut out = Vec::new();
         while self.pending.len() > self.cfg.hold_peaks {
@@ -123,7 +174,11 @@ impl Dispatcher {
     /// already finalized are dropped — the hold window bounds latency).
     fn absorb_votes(&mut self, votes: Vec<Classification>) {
         for v in votes {
-            if let Some(p) = self.pending.iter_mut().find(|p| p.block.peak.id == v.peak_id) {
+            if let Some(p) = self
+                .pending
+                .iter_mut()
+                .find(|p| p.block.peak.id == v.peak_id)
+            {
                 p.votes.push(v);
             }
         }
@@ -173,15 +228,25 @@ impl Dispatcher {
         }
         if best.is_empty() {
             self.stats.unclassified_peaks += 1;
+            if let Some(t) = &self.tel {
+                t.unclassified_peaks.inc();
+            }
             return None;
         }
         let mut votes: Vec<Vote> = best.into_values().collect();
         votes.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
-        let d = Dispatch { block: p.block, votes };
+        let d = Dispatch {
+            block: p.block,
+            votes,
+        };
         for v in &d.votes {
-            *self.stats.forwarded_samples.entry(v.protocol).or_default() +=
-                d.forwarded_samples(v.protocol);
+            let fwd = d.forwarded_samples(v.protocol);
+            *self.stats.forwarded_samples.entry(v.protocol).or_default() += fwd;
             *self.stats.forwarded_peaks.entry(v.protocol).or_default() += 1;
+            if let Some(t) = &self.tel {
+                t.forwarded_samples[&v.protocol].add(fwd);
+                t.forwarded_peaks[&v.protocol].inc();
+            }
         }
         Some(d)
     }
@@ -195,7 +260,13 @@ mod tests {
 
     fn pb(id: u64, len: u64) -> PeakBlock {
         PeakBlock {
-            peak: Peak { id, start: id * 10_000, end: id * 10_000 + len, mean_power: 1.0, noise_floor: 1e-4 },
+            peak: Peak {
+                id,
+                start: id * 10_000,
+                end: id * 10_000 + len,
+                mean_power: 1.0,
+                noise_floor: 1e-4,
+            },
             samples: Arc::new(vec![]),
             sample_start: id * 10_000,
             sample_rate: 8e6,
@@ -203,12 +274,21 @@ mod tests {
     }
 
     fn vote(peak_id: u64, protocol: Protocol, confidence: f32) -> Classification {
-        Classification { peak_id, protocol, confidence, channel: None, range: None }
+        Classification {
+            peak_id,
+            protocol,
+            confidence,
+            channel: None,
+            range: None,
+        }
     }
 
     #[test]
     fn classified_peak_is_dispatched_on_eviction() {
-        let mut d = Dispatcher::new(DispatchConfig { hold_peaks: 2, ..Default::default() });
+        let mut d = Dispatcher::new(DispatchConfig {
+            hold_peaks: 2,
+            ..Default::default()
+        });
         assert!(d
             .on_peak(pb(0, 100), vec![vote(0, Protocol::Wifi, 0.9)])
             .is_empty());
@@ -221,7 +301,10 @@ mod tests {
 
     #[test]
     fn retroactive_votes_reach_pending_peaks() {
-        let mut d = Dispatcher::new(DispatchConfig { hold_peaks: 4, ..Default::default() });
+        let mut d = Dispatcher::new(DispatchConfig {
+            hold_peaks: 4,
+            ..Default::default()
+        });
         d.on_peak(pb(0, 500), vec![]);
         // Peak 1 arrives and the SIFS detector votes for both 0 and 1.
         d.on_peak(
@@ -246,7 +329,10 @@ mod tests {
 
     #[test]
     fn low_confidence_votes_do_not_qualify() {
-        let mut d = Dispatcher::new(DispatchConfig { confidence_threshold: 0.5, hold_peaks: 1 });
+        let mut d = Dispatcher::new(DispatchConfig {
+            confidence_threshold: 0.5,
+            hold_peaks: 1,
+        });
         d.on_peak(pb(0, 100), vec![vote(0, Protocol::Zigbee, 0.3)]);
         let out = d.finish();
         assert!(out.is_empty());
@@ -257,7 +343,10 @@ mod tests {
         let mut d = Dispatcher::new(DispatchConfig::default());
         d.on_peak(
             pb(0, 200),
-            vec![vote(0, Protocol::Wifi, 0.6), vote(0, Protocol::Bluetooth, 0.7)],
+            vec![
+                vote(0, Protocol::Wifi, 0.6),
+                vote(0, Protocol::Bluetooth, 0.7),
+            ],
         );
         let out = d.finish();
         assert_eq!(out[0].votes.len(), 2);
@@ -288,6 +377,29 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counters_mirror_stats() {
+        let reg = rfd_telemetry::Registry::new();
+        let mut d = Dispatcher::with_telemetry(DispatchConfig::default(), &reg);
+        d.on_peak(pb(0, 100), vec![]);
+        d.on_peak(pb(1, 100), vec![vote(1, Protocol::Bluetooth, 0.8)]);
+        d.finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["dispatch.total_peaks"], d.stats().total_peaks);
+        assert_eq!(
+            snap.counters["dispatch.unclassified_peaks"],
+            d.stats().unclassified_peaks
+        );
+        assert_eq!(
+            snap.counters["dispatch.bluetooth.forwarded_peaks"],
+            d.stats().forwarded_peaks[&Protocol::Bluetooth]
+        );
+        assert_eq!(
+            snap.counters["dispatch.bluetooth.forwarded_samples"],
+            d.stats().forwarded_samples[&Protocol::Bluetooth]
+        );
+    }
+
+    #[test]
     fn channel_hint_survives_vote_merging() {
         let mut d = Dispatcher::new(DispatchConfig::default());
         let mut v1 = vote(0, Protocol::Bluetooth, 0.6);
@@ -297,6 +409,10 @@ mod tests {
         let out = d.finish();
         let v = out[0].vote_for(Protocol::Bluetooth).unwrap();
         assert_eq!(v.confidence, 0.9);
-        assert_eq!(v.channel, Some(37), "hint from the weaker vote must survive");
+        assert_eq!(
+            v.channel,
+            Some(37),
+            "hint from the weaker vote must survive"
+        );
     }
 }

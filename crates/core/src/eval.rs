@@ -55,7 +55,10 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        Self { discount_collisions: false, min_overlap: 0.5 }
+        Self {
+            discount_collisions: false,
+            min_overlap: 0.5,
+        }
     }
 }
 
@@ -121,9 +124,17 @@ pub fn score_detector(
     AccuracyReport {
         total_true,
         missed,
-        miss_rate: if total_true == 0 { 0.0 } else { missed as f64 / total_true as f64 },
+        miss_rate: if total_true == 0 {
+            0.0
+        } else {
+            missed as f64 / total_true as f64
+        },
         false_positive_samples: fp,
-        false_positive_rate: if trace_len == 0 { 0.0 } else { fp as f64 / trace_len as f64 },
+        false_positive_rate: if trace_len == 0 {
+            0.0
+        } else {
+            fp as f64 / trace_len as f64
+        },
         forwarded_samples: forwarded,
         forwarded_fraction: if trace_len == 0 {
             0.0
@@ -179,7 +190,11 @@ mod tests {
     }
 
     fn peak(protocol: Protocol, start: u64, end: u64) -> ClassifiedPeak {
-        ClassifiedPeak { protocol, start_sample: start, end_sample: end }
+        ClassifiedPeak {
+            protocol,
+            start_sample: start,
+            end_sample: end,
+        }
     }
 
     #[test]
@@ -264,7 +279,10 @@ mod tests {
             &collided,
             &[],
             100_000,
-            EvalOptions { discount_collisions: true, ..Default::default() },
+            EvalOptions {
+                discount_collisions: true,
+                ..Default::default()
+            },
         );
         assert_eq!(r.total_true, 0);
         let r2 = score_detector(

@@ -23,6 +23,10 @@
 //! with or without demodulation) — and [`eval`] scores any of them against
 //! `rfd-ether` ground truth (packet miss rate, false-positive sample rate,
 //! CPU time / real time), reproducing the paper's §5 methodology.
+//!
+//! Every stage reports through the `rfd-telemetry` registry (vote counters,
+//! confidence histograms, queue depths, decode-latency spans); [`stats`]
+//! folds a whole run into one versioned JSON document for `--stats-json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +40,7 @@ pub mod eval;
 pub mod peak;
 pub mod protocols;
 pub mod records;
+pub mod stats;
 
 pub use chunk::{Peak, PeakBlock, SampleChunk};
 pub use peak::{PeakDetector, PeakDetectorConfig};

@@ -253,13 +253,7 @@ impl PeakDetector {
         }
     }
 
-    fn refine_start(
-        &self,
-        samples: &[Complex32],
-        k: usize,
-        idx: u64,
-        threshold: f32,
-    ) -> u64 {
+    fn refine_start(&self, samples: &[Complex32], k: usize, idx: u64, threshold: f32) -> u64 {
         // Walk back while the instantaneous power stays above threshold —
         // a contiguous run bounded by one averaging window, so isolated
         // noise spikes before the packet cannot drag the start earlier.
@@ -317,7 +311,8 @@ impl PeakDetector {
         let keep = self.cfg.margin + self.cfg.avg_window;
         if samples.len() >= keep {
             self.tail.clear();
-            self.tail.extend_from_slice(&samples[samples.len() - keep..]);
+            self.tail
+                .extend_from_slice(&samples[samples.len() - keep..]);
         } else {
             let overflow = (self.tail.len() + samples.len()).saturating_sub(keep);
             self.tail.drain(..overflow);
@@ -338,7 +333,10 @@ impl PeakDetector {
         let from = (op.start - op.buf_start) as usize;
         let to = ((end - op.buf_start) as usize).min(op.buf.len());
         let mean_power = if to > from {
-            (op.buf[from..to].iter().map(|z| z.norm_sqr() as f64).sum::<f64>()
+            (op.buf[from..to]
+                .iter()
+                .map(|z| z.norm_sqr() as f64)
+                .sum::<f64>()
                 / (to - from) as f64) as f32
         } else {
             0.0
@@ -382,15 +380,24 @@ mod tests {
     use rfd_dsp::rng::GaussianGen;
 
     fn cfg_with_floor(floor: f32) -> PeakDetectorConfig {
-        PeakDetectorConfig { noise_floor: Some(floor), ..Default::default() }
+        PeakDetectorConfig {
+            noise_floor: Some(floor),
+            ..Default::default()
+        }
     }
 
     /// Builds noise with bursts at given (start, len) positions.
-    fn bursty(n: usize, bursts: &[(usize, usize)], noise: f32, amp: f32, seed: u64) -> Vec<Complex32> {
+    fn bursty(
+        n: usize,
+        bursts: &[(usize, usize)],
+        noise: f32,
+        amp: f32,
+        seed: u64,
+    ) -> Vec<Complex32> {
         let mut sig = vec![Complex32::ZERO; n];
         for &(s, l) in bursts {
-            for i in s..(s + l).min(n) {
-                sig[i] = Complex32::cis(i as f32 * 0.7).scale(amp);
+            for (i, z) in sig.iter_mut().enumerate().take((s + l).min(n)).skip(s) {
+                *z = Complex32::cis(i as f32 * 0.7).scale(amp);
             }
         }
         GaussianGen::new(seed).add_awgn(&mut sig, noise);
@@ -411,7 +418,13 @@ mod tests {
 
     #[test]
     fn finds_multiple_bursts() {
-        let sig = bursty(40_000, &[(2000, 800), (10_000, 1200), (30_000, 500)], 1e-4, 0.5, 2);
+        let sig = bursty(
+            40_000,
+            &[(2000, 800), (10_000, 1200), (30_000, 500)],
+            1e-4,
+            0.5,
+            2,
+        );
         let peaks = detect_peaks(&sig, 8e6, cfg_with_floor(1e-4));
         assert_eq!(peaks.len(), 3);
         assert!(peaks.windows(2).all(|w| w[0].peak.end <= w[1].peak.start));
@@ -421,7 +434,13 @@ mod tests {
     fn peaks_do_not_overlap_and_are_ordered() {
         let sig = bursty(
             60_000,
-            &[(100, 900), (1500, 300), (9000, 2000), (20_000, 80), (50_000, 4000)],
+            &[
+                (100, 900),
+                (1500, 300),
+                (9000, 2000),
+                (20_000, 80),
+                (50_000, 4000),
+            ],
             2e-4,
             0.8,
             3,
@@ -513,7 +532,10 @@ mod tests {
     #[test]
     fn online_noise_floor_converges() {
         let sig = bursty(200_000, &[(100_000, 2000)], 1e-3, 1.0, 11);
-        let cfg = PeakDetectorConfig { noise_floor: None, ..Default::default() };
+        let cfg = PeakDetectorConfig {
+            noise_floor: None,
+            ..Default::default()
+        };
         let chunks = SampleChunk::chunk_trace(&sig, 8e6, crate::CHUNK_SAMPLES);
         let mut det = PeakDetector::new(cfg, 8e6);
         let mut out = Vec::new();
@@ -522,7 +544,10 @@ mod tests {
         }
         det.finish(&mut out);
         let floor = det.noise_floor();
-        assert!((rfd_dsp::energy::power_to_db(floor) - (-30.0)).abs() < 3.0, "floor {floor}");
+        assert!(
+            (rfd_dsp::energy::power_to_db(floor) - (-30.0)).abs() < 3.0,
+            "floor {floor}"
+        );
         assert_eq!(out.len(), 1);
     }
 
@@ -535,4 +560,3 @@ mod tests {
         assert_eq!(peaks[0].peak.end, 8000);
     }
 }
-

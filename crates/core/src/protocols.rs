@@ -105,7 +105,9 @@ pub fn render_table2() -> String {
             "{:<11} {:<24} {:>7} {:<17} {:<11} {:<10} {:>8.1}\n",
             f.protocol.name(),
             f.variant,
-            f.slot_us.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+            f.slot_us
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
             if ifs.is_empty() { "-".into() } else { ifs },
             f.modulation,
             f.spreading,
@@ -123,7 +125,10 @@ mod tests {
     fn registry_covers_all_protocols() {
         let t = table2();
         for p in Protocol::ALL {
-            assert!(t.iter().any(|f| f.protocol == p), "{p} missing from Table 2");
+            assert!(
+                t.iter().any(|f| f.protocol == p),
+                "{p} missing from Table 2"
+            );
         }
     }
 
@@ -134,7 +139,10 @@ mod tests {
         assert_eq!(b1.slot_us, Some(20.0));
         assert_eq!(b1.ifs_us, &[10.0, 50.0]);
         assert_eq!(b1.channel_width_mhz, 22.0);
-        let bt = t.iter().find(|f| f.protocol == Protocol::Bluetooth).unwrap();
+        let bt = t
+            .iter()
+            .find(|f| f.protocol == Protocol::Bluetooth)
+            .unwrap();
         assert_eq!(bt.slot_us, Some(625.0));
         assert_eq!(bt.channel_width_mhz, 1.0);
         let zb = t.iter().find(|f| f.protocol == Protocol::Zigbee).unwrap();

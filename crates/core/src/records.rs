@@ -75,7 +75,15 @@ impl PacketRecord {
         let dur = self.end_us - self.start_us;
         let head = format!("{t:12.6} {:<10}", self.protocol.name());
         let body = match &self.info {
-            PacketInfo::Wifi { rate, kind, src, dst, seq, psdu_len, fcs_ok } => {
+            PacketInfo::Wifi {
+                rate,
+                kind,
+                src,
+                dst,
+                seq,
+                psdu_len,
+                fcs_ok,
+            } => {
                 let kind_s = kind.map(|k| format!("{k:?}")).unwrap_or_else(|| "?".into());
                 let src_s = src.map(|a| a.to_string()).unwrap_or_else(|| "-".into());
                 let dst_s = dst.map(|a| a.to_string()).unwrap_or_else(|| "-".into());
@@ -85,10 +93,19 @@ impl PacketRecord {
                     if *fcs_ok { "" } else { " [bad fcs]" },
                 )
             }
-            PacketInfo::Bluetooth { lap, ptype, payload_len, crc_ok } => format!(
+            PacketInfo::Bluetooth {
+                lap,
+                ptype,
+                payload_len,
+                crc_ok,
+            } => format!(
                 "lap {lap:06x} {} ch {} len {payload_len}{}",
-                ptype.map(|p| format!("{p:?}")).unwrap_or_else(|| "?".into()),
-                self.channel.map(|c| c.to_string()).unwrap_or_else(|| "?".into()),
+                ptype
+                    .map(|p| format!("{p:?}"))
+                    .unwrap_or_else(|| "?".into()),
+                self.channel
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "?".into()),
                 if *crc_ok { "" } else { " [bad crc]" },
             ),
             PacketInfo::Zigbee { payload_len } => format!("802.15.4 len {payload_len}"),

@@ -1,0 +1,264 @@
+//! Machine-readable run statistics (the `--stats-json` document).
+//!
+//! Everything the pipeline measures — per-block CPU accounting, per-stage
+//! CPU-over-real-time ratios (via [`rfd_telemetry::rt::RtMonitor`], keyed
+//! on `samples / sample_rate` exactly as the paper's headline metric),
+//! dispatcher forwarding statistics, and the full metrics registry — is
+//! folded into one versioned JSON document so experiment harnesses can
+//! consume runs without scraping tables.
+//!
+//! The schema is identified by `"schema": "rfd-stats"` and `"version"`;
+//! consumers must check both. Version history:
+//!
+//! * **1** — initial layout: `trace`, `blocks`, `total`, `stages`,
+//!   `dispatch` (null for naïve architectures), `counters`, `gauges`,
+//!   `histograms`.
+
+use crate::arch::ArchOutput;
+use rfd_telemetry::json::JsonValue;
+use rfd_telemetry::rt::RtMonitor;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier carried in every stats document.
+pub const STATS_SCHEMA: &str = "rfd-stats";
+/// Current stats document version.
+pub const STATS_VERSION: u64 = 1;
+
+/// The pipeline stage a block belongs to: the block-name prefix before the
+/// first `:` (`detect:peak/energy` → `detect`).
+fn stage_of(block_name: &str) -> &str {
+    block_name.split(':').next().unwrap_or(block_name)
+}
+
+/// Builds the versioned stats document for a finished architecture run.
+pub fn stats_json(out: &ArchOutput) -> JsonValue {
+    let total_samples = (out.trace_seconds * out.sample_rate).round();
+    let wall_s = out.stats.wall.as_secs_f64();
+
+    let mut doc = JsonValue::obj(vec![
+        ("schema", JsonValue::str(STATS_SCHEMA)),
+        ("version", JsonValue::num(STATS_VERSION as f64)),
+        (
+            "trace",
+            JsonValue::obj(vec![
+                ("seconds", JsonValue::num(out.trace_seconds)),
+                ("sample_rate", JsonValue::num(out.sample_rate)),
+                ("samples", JsonValue::num(total_samples)),
+            ]),
+        ),
+    ]);
+
+    // Per-block accounting, with the paper's ratio per block.
+    let mut blocks = Vec::new();
+    for b in &out.stats.blocks {
+        blocks.push(JsonValue::obj(vec![
+            ("name", JsonValue::str(&b.name)),
+            ("cpu_ms", JsonValue::num(b.cpu.as_secs_f64() * 1e3)),
+            ("items_in", JsonValue::num(b.items_in as f64)),
+            ("items_out", JsonValue::num(b.items_out as f64)),
+            (
+                "cpu_over_realtime",
+                JsonValue::num(if out.trace_seconds > 0.0 {
+                    b.cpu.as_secs_f64() / out.trace_seconds
+                } else {
+                    0.0
+                }),
+            ),
+        ]));
+    }
+    doc.push("blocks", JsonValue::Arr(blocks));
+
+    let total_cpu = out.stats.total_cpu();
+    doc.push(
+        "total",
+        JsonValue::obj(vec![
+            ("cpu_ms", JsonValue::num(total_cpu.as_secs_f64() * 1e3)),
+            ("wall_ms", JsonValue::num(wall_s * 1e3)),
+            ("cpu_over_realtime", JsonValue::num(out.cpu_over_realtime())),
+        ]),
+    );
+
+    // Per-stage ratios through the RtMonitor: every stage saw the whole
+    // trace, so the denominator is the full signal span.
+    let rt = RtMonitor::new(out.sample_rate);
+    for b in &out.stats.blocks {
+        rt.record(stage_of(&b.name), b.cpu, 0);
+    }
+    for stage in rt.snapshot().keys() {
+        rt.record(stage, std::time::Duration::ZERO, total_samples as u64);
+    }
+    doc.push("stages", rt.to_json());
+
+    // Dispatcher forwarding statistics (RFDump only).
+    match &out.dispatch_stats {
+        None => doc.push("dispatch", JsonValue::Null),
+        Some(ds) => {
+            let mut per_proto = JsonValue::Obj(Vec::new());
+            for (proto, &peaks) in &ds.forwarded_peaks {
+                let samples = ds.forwarded_samples.get(proto).copied().unwrap_or(0);
+                per_proto.push(
+                    proto.name(),
+                    JsonValue::obj(vec![
+                        ("forwarded_peaks", JsonValue::num(peaks as f64)),
+                        ("forwarded_samples", JsonValue::num(samples as f64)),
+                        (
+                            "forwarded_fraction",
+                            JsonValue::num(if total_samples > 0.0 {
+                                samples as f64 / total_samples
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ]),
+                );
+            }
+            doc.push(
+                "dispatch",
+                JsonValue::obj(vec![
+                    ("total_peaks", JsonValue::num(ds.total_peaks as f64)),
+                    (
+                        "unclassified_peaks",
+                        JsonValue::num(ds.unclassified_peaks as f64),
+                    ),
+                    ("per_protocol", per_proto),
+                ]),
+            );
+        }
+    }
+
+    // The full registry: counters, gauges, histograms.
+    let snap = out
+        .registry
+        .as_ref()
+        .map(|r| r.snapshot())
+        .unwrap_or_default();
+    let reg_json = snap.to_json();
+    for key in ["counters", "gauges", "histograms"] {
+        doc.push(key, reg_json.get(key).cloned().unwrap_or(JsonValue::Null));
+    }
+
+    doc
+}
+
+/// Writes the stats document to `path`.
+pub fn write_stats_json(out: &ArchOutput, path: &Path) -> io::Result<()> {
+    std::fs::write(path, stats_json(out).to_json())
+}
+
+/// Writes the run's span trace as chrome://tracing JSON to `path`.
+/// Returns `InvalidInput` if the run had no telemetry registry.
+pub fn write_chrome_trace(out: &ArchOutput, path: &Path) -> io::Result<()> {
+    let reg = out.registry.as_ref().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run had no telemetry (ArchConfig::telemetry was false)",
+        )
+    })?;
+    std::fs::write(path, reg.tracer().to_chrome_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::DispatchStats;
+    use rfd_flowgraph::{BlockStats, RunStats};
+    use std::time::Duration;
+
+    fn fake_output() -> ArchOutput {
+        let mut ds = DispatchStats {
+            total_peaks: 10,
+            unclassified_peaks: 2,
+            ..Default::default()
+        };
+        ds.forwarded_peaks.insert(rfd_phy::Protocol::Wifi, 8);
+        ds.forwarded_samples.insert(rfd_phy::Protocol::Wifi, 4000);
+        let reg = rfd_telemetry::Registry::new();
+        reg.counter("peaks.detected").add(10);
+        ArchOutput {
+            records: Vec::new(),
+            classified: Vec::new(),
+            dispatch_stats: Some(ds),
+            stats: RunStats {
+                blocks: vec![
+                    BlockStats {
+                        name: "detect:peak/energy".into(),
+                        cpu: Duration::from_millis(5),
+                        items_in: 40,
+                        items_out: 10,
+                    },
+                    BlockStats {
+                        name: "analyze:wifi-demod".into(),
+                        cpu: Duration::from_millis(20),
+                        items_in: 8,
+                        items_out: 8,
+                    },
+                ],
+                wall: Duration::from_millis(30),
+            },
+            trace_seconds: 0.01,
+            sample_rate: 8e6,
+            registry: Some(std::sync::Arc::new(reg)),
+        }
+    }
+
+    #[test]
+    fn document_is_versioned_and_parses() {
+        let doc_text = stats_json(&fake_output()).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
+        assert_eq!(doc.get("version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            doc.get("trace").unwrap().get("samples").unwrap().as_f64(),
+            Some(80_000.0)
+        );
+        let blocks = doc.get("blocks").unwrap().as_arr().unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(
+            blocks[0].get("name").unwrap().as_str(),
+            Some("detect:peak/energy")
+        );
+    }
+
+    #[test]
+    fn stage_ratios_use_signal_time_not_wall() {
+        let doc_text = stats_json(&fake_output()).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        let detect = doc.get("stages").unwrap().get("detect").unwrap();
+        // 5 ms CPU over 10 ms of signal = 0.5x.
+        let ratio = detect.get("cpu_over_realtime").unwrap().as_f64().unwrap();
+        assert!((ratio - 0.5).abs() < 1e-6, "detect ratio {ratio}");
+        let analyze = doc.get("stages").unwrap().get("analyze").unwrap();
+        let ratio = analyze.get("cpu_over_realtime").unwrap().as_f64().unwrap();
+        assert!((ratio - 2.0).abs() < 1e-6, "analyze ratio {ratio}");
+    }
+
+    #[test]
+    fn dispatch_section_reports_fractions() {
+        let doc_text = stats_json(&fake_output()).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        let d = doc.get("dispatch").unwrap();
+        assert_eq!(d.get("total_peaks").unwrap().as_f64(), Some(10.0));
+        let wifi = d.get("per_protocol").unwrap().get("802.11").unwrap();
+        assert_eq!(
+            wifi.get("forwarded_samples").unwrap().as_f64(),
+            Some(4000.0)
+        );
+        let frac = wifi.get("forwarded_fraction").unwrap().as_f64().unwrap();
+        assert!((frac - 0.05).abs() < 1e-9, "fraction {frac}");
+    }
+
+    #[test]
+    fn registry_counters_reach_the_document() {
+        let doc_text = stats_json(&fake_output()).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("peaks.detected")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+    }
+}

@@ -18,9 +18,17 @@ pub fn bytes_to_bits_lsb(bytes: &[u8]) -> Vec<bool> {
 /// Packs bits (LSB-first per byte) back into bytes. The bit count must be a
 /// multiple of 8.
 pub fn bits_to_bytes_lsb(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len() % 8 == 0, "bit count {} not a multiple of 8", bits.len());
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count {} not a multiple of 8",
+        bits.len()
+    );
     bits.chunks(8)
-        .map(|c| c.iter().enumerate().fold(0u8, |b, (i, &bit)| b | ((bit as u8) << i)))
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u8, |b, (i, &bit)| b | ((bit as u8) << i))
+        })
         .collect()
 }
 
@@ -32,7 +40,9 @@ pub fn u64_to_bits_lsb(v: u64, n: usize) -> Vec<bool> {
 /// Packs up to 64 bits (LSB first) into a `u64`.
 pub fn bits_to_u64_lsb(bits: &[bool]) -> u64 {
     assert!(bits.len() <= 64);
-    bits.iter().enumerate().fold(0u64, |v, (i, &b)| v | ((b as u64) << i))
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |v, (i, &b)| v | ((b as u64) << i))
 }
 
 // ---------------------------------------------------------------------------
@@ -59,7 +69,7 @@ impl Crc {
     ///   reflected init, which for all-ones/all-zeros is the same).
     /// * `xor_out` — final XOR.
     pub fn new(width: u32, poly: u64, init: u64, xor_out: u64) -> Self {
-        assert!(width >= 1 && width <= 64);
+        assert!((1..=64).contains(&width));
         Self {
             poly_reflected: reflect(poly, width),
             width,
@@ -232,7 +242,9 @@ impl Whitener {
     /// Creates a whitener seeded from the Bluetooth clock bits (CLK6-1 with
     /// bit 6 forced to 1, per spec).
     pub fn for_bt_clock(clk: u32) -> Self {
-        Self { state: ((clk as u8) & 0x3F) | 0x40 }
+        Self {
+            state: ((clk as u8) & 0x3F) | 0x40,
+        }
     }
 
     /// Raw seed constructor.
@@ -268,7 +280,7 @@ pub fn repeat3_encode(bits: &[bool]) -> Vec<bool> {
 /// Majority-decodes a rate-1/3 repetition stream. Input length must be a
 /// multiple of 3.
 pub fn repeat3_decode(bits: &[bool]) -> Vec<bool> {
-    assert!(bits.len() % 3 == 0);
+    assert!(bits.len().is_multiple_of(3));
     bits.chunks(3)
         .map(|c| (c[0] as u8 + c[1] as u8 + c[2] as u8) >= 2)
         .collect()
@@ -280,7 +292,7 @@ pub fn repeat3_decode(bits: &[bool]) -> Vec<bool> {
 /// Encodes 10 information bits into 15 (10 data + 5 parity). Input length
 /// must be a multiple of 10 (pad upstream per spec).
 pub fn hamming1510_encode(bits: &[bool]) -> Vec<bool> {
-    assert!(bits.len() % 10 == 0);
+    assert!(bits.len().is_multiple_of(10));
     const GEN: u128 = 0b110101; // degree 5
     let mut out = Vec::with_capacity(bits.len() / 10 * 15);
     for block in bits.chunks(10) {
@@ -299,7 +311,7 @@ pub fn hamming1510_encode(bits: &[bool]) -> Vec<bool> {
 /// Returns `(data_bits, corrected_error_count)`. Input length must be a
 /// multiple of 15.
 pub fn hamming1510_decode(bits: &[bool]) -> (Vec<bool>, usize) {
-    assert!(bits.len() % 15 == 0);
+    assert!(bits.len().is_multiple_of(15));
     const GEN: u128 = 0b110101;
     let mut out = Vec::with_capacity(bits.len() / 15 * 10);
     let mut corrected = 0;
@@ -351,9 +363,9 @@ mod tests {
         assert_eq!(bits_to_bytes_lsb(&bits), bytes);
         // LSB first: 0xA5 = 1010_0101 -> first bit is 1.
         let a5 = bytes_to_bits_lsb(&[0xA5]);
-        assert_eq!(a5[0], true);
-        assert_eq!(a5[1], false);
-        assert_eq!(a5[7], true);
+        assert!(a5[0]);
+        assert!(!a5[1]);
+        assert!(a5[7]);
     }
 
     #[test]
@@ -387,7 +399,10 @@ mod tests {
     fn crc_bits_matches_bytes() {
         let crc = Crc::crc32_ieee();
         let data = b"hello rfdump";
-        assert_eq!(crc.compute(data), crc.compute_bits(&bytes_to_bits_lsb(data)));
+        assert_eq!(
+            crc.compute(data),
+            crc.compute_bits(&bytes_to_bits_lsb(data))
+        );
     }
 
     #[test]
@@ -430,7 +445,7 @@ mod tests {
         // The 802.11b sync field is 128 scrambled ones; it must not be a
         // constant sequence.
         let mut s = Scrambler::new(0x1B);
-        let tx = s.scramble(&vec![true; 128]);
+        let tx = s.scramble(&[true; 128]);
         let ones = tx.iter().filter(|&&b| b).count();
         assert!(ones > 40 && ones < 90, "ones {ones}");
     }

@@ -278,11 +278,11 @@ mod tests {
     #[test]
     fn polar_round_trip() {
         for k in 0..16 {
-            let angle = (k as f32) * 0.3927 - 3.0;
+            let angle = (k as f32) * std::f32::consts::FRAC_PI_8 - 3.0;
             let z = Complex32::from_polar(2.5, angle);
             assert!(close(z.abs(), 2.5));
             let diff = (z.arg() - angle).rem_euclid(std::f32::consts::TAU);
-            assert!(diff < 1e-4 || diff > std::f32::consts::TAU - 1e-4);
+            assert!(!(1e-4..=std::f32::consts::TAU - 1e-4).contains(&diff));
         }
     }
 

@@ -30,7 +30,11 @@ pub fn normalized_xcorr_real(signal: &[f32], pattern: &[f32]) -> Vec<f32> {
             dot += p as f64 * signal[i + k] as f64;
         }
         let denom = p_norm * w_energy.max(0.0).sqrt();
-        out.push(if denom > 1e-12 { (dot / denom) as f32 } else { 0.0 });
+        out.push(if denom > 1e-12 {
+            (dot / denom) as f32
+        } else {
+            0.0
+        });
         if i + m < signal.len() {
             w_energy += (signal[i + m] as f64).powi(2) - (signal[i] as f64).powi(2);
         }

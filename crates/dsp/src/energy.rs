@@ -163,7 +163,11 @@ mod tests {
         // 90% noise at power ~0.01, 10% burst at power ~1.
         let mut sig = Vec::new();
         for i in 0..1000 {
-            let p = if i >= 450 && i < 550 { 1.0f32 } else { 0.01 };
+            let p = if (450..550).contains(&i) {
+                1.0f32
+            } else {
+                0.01
+            };
             sig.push(Complex32::new(p.sqrt(), 0.0));
         }
         let nf = estimate_noise_floor(&sig, 20, 0.1);

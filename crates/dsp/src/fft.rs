@@ -26,7 +26,10 @@ impl Fft {
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| {
                 let angle = -(TAU64 * k as f64 / n as f64);
@@ -35,7 +38,13 @@ impl Fft {
             .collect();
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         Self { n, twiddles, rev }
     }
@@ -69,7 +78,13 @@ impl Fft {
 
     fn transform(&self, buf: &mut [Complex32], inverse: bool) {
         let n = self.n;
-        assert_eq!(buf.len(), n, "buffer length {} != planned FFT size {}", buf.len(), n);
+        assert_eq!(
+            buf.len(),
+            n,
+            "buffer length {} != planned FFT size {}",
+            buf.len(),
+            n
+        );
         // Bit-reversal permutation.
         for i in 0..n {
             let j = self.rev[i] as usize;
@@ -121,7 +136,11 @@ impl Fft {
 /// Bin 0 is DC; bins above `n/2` alias to negative frequencies.
 pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
     let k = k % n;
-    let signed = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 };
+    let signed = if k <= n / 2 {
+        k as f64
+    } else {
+        k as f64 - n as f64
+    };
     signed * fs / n as f64
 }
 

@@ -125,15 +125,26 @@ pub fn convolve_real(taps: &[f32], input: &[f32]) -> Vec<f32> {
 ///
 /// Taps are normalized for unity DC gain.
 pub fn lowpass(cutoff_hz: f64, fs: f64, ntaps: usize, window: Window) -> Vec<f32> {
-    assert!(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0, "cutoff must be in (0, fs/2)");
-    let ntaps = if ntaps % 2 == 0 { ntaps + 1 } else { ntaps.max(1) };
+    assert!(
+        cutoff_hz > 0.0 && cutoff_hz < fs / 2.0,
+        "cutoff must be in (0, fs/2)"
+    );
+    let ntaps = if ntaps.is_multiple_of(2) {
+        ntaps + 1
+    } else {
+        ntaps.max(1)
+    };
     let m = (ntaps - 1) as f64 / 2.0;
     let wc = 2.0 * PI * cutoff_hz / fs;
     let win = generate(window, ntaps);
     let mut taps: Vec<f64> = (0..ntaps)
         .map(|i| {
             let x = i as f64 - m;
-            let sinc = if x.abs() < 1e-12 { wc / PI } else { (wc * x).sin() / (PI * x) };
+            let sinc = if x.abs() < 1e-12 {
+                wc / PI
+            } else {
+                (wc * x).sin() / (PI * x)
+            };
             sinc * win[i]
         })
         .collect();
@@ -270,8 +281,9 @@ mod tests {
     #[test]
     fn fir_streaming_matches_one_shot() {
         let taps = lowpass(1e6, 8e6, 31, Window::Hann);
-        let input: Vec<Complex32> =
-            (0..200).map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.17).cos())).collect();
+        let input: Vec<Complex32> = (0..200)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.17).cos()))
+            .collect();
         let mut a = Fir::new(taps.clone());
         let mut one = Vec::new();
         a.process(&input, &mut one);

@@ -45,6 +45,7 @@ impl Nco {
 
     /// Produces the next oscillator sample.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Complex32 {
         let z = Complex32::cis(self.phase as f32);
         self.phase += self.step;

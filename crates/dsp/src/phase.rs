@@ -107,7 +107,11 @@ pub struct PhaseStats {
 /// Computes [`PhaseStats`] over a slice. Returns zeros for an empty slice.
 pub fn phase_stats(seq: &[f32]) -> PhaseStats {
     if seq.is_empty() {
-        return PhaseStats { mean: 0.0, std_dev: 0.0, mean_abs: 0.0 };
+        return PhaseStats {
+            mean: 0.0,
+            std_dev: 0.0,
+            mean_abs: 0.0,
+        };
     }
     let n = seq.len() as f64;
     let mean = seq.iter().map(|&x| x as f64).sum::<f64>() / n;
@@ -217,7 +221,13 @@ mod tests {
     fn bpsk_fills_two_opposite_histogram_bins() {
         // Alternate 0 / pi phases, as a BPSK signal would (paper Fig. 4).
         let sig: Vec<Complex32> = (0..200)
-            .map(|i| if i % 2 == 0 { Complex32::ONE } else { -Complex32::ONE })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Complex32::ONE
+                } else {
+                    -Complex32::ONE
+                }
+            })
             .collect();
         let ph = instantaneous_phase(&sig);
         let hist = phase_histogram(&ph, 4);

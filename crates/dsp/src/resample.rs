@@ -55,14 +55,10 @@ impl LinearResampler {
         // measured from `prev` (index 0).
         let offset = if self.prev.is_some() { 1.0 } else { 0.0 };
         let get = |idx: usize| -> Complex32 {
-            if self.prev.is_some() {
-                if idx == 0 {
-                    self.prev.unwrap()
-                } else {
-                    input[idx - 1]
-                }
-            } else {
-                input[idx]
+            match self.prev {
+                Some(p) if idx == 0 => p,
+                Some(_) => input[idx - 1],
+                None => input[idx],
             }
         };
         let virtual_len = input.len() as f64 + offset;

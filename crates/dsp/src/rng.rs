@@ -116,6 +116,7 @@ impl GaussianGen {
     }
 
     /// Next standard-normal sample.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> f64 {
         if let Some(s) = self.spare.take() {
             return s;

@@ -31,9 +31,7 @@ pub fn generate(window: Window, n: usize) -> Vec<f64> {
                 Window::Rectangular => 1.0,
                 Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
                 Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-                Window::Blackman => {
-                    0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-                }
+                Window::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             }
         })
         .collect()
@@ -53,7 +51,10 @@ mod tests {
         for w in [Window::Hann, Window::Hamming, Window::Blackman] {
             let v = generate(w, 33);
             for i in 0..v.len() {
-                assert!((v[i] - v[v.len() - 1 - i]).abs() < 1e-12, "{w:?} not symmetric");
+                assert!(
+                    (v[i] - v[v.len() - 1 - i]).abs() < 1e-12,
+                    "{w:?} not symmetric"
+                );
             }
         }
     }

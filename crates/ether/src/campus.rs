@@ -88,7 +88,10 @@ pub fn campus_schedule(cfg: &CampusConfig) -> (Vec<TxEvent>, CampusExpectations)
             node,
             start_us,
             content: TxContent::Wifi { psdu, rate },
-            id: { id += 1; id - 1 },
+            id: {
+                id += 1;
+                id - 1
+            },
             tag,
         });
     };
@@ -102,7 +105,12 @@ pub fn campus_schedule(cfg: &CampusConfig) -> (Vec<TxEvent>, CampusExpectations)
     }
     let mut specs: Vec<Spec> = Vec::new();
     for _ in 0..cfg.n_r1 {
-        specs.push(Spec { rate: WifiRate::R1, payload: cfg.r1_payload, acked: false, tag: "r1-data" });
+        specs.push(Spec {
+            rate: WifiRate::R1,
+            payload: cfg.r1_payload,
+            acked: false,
+            tag: "r1-data",
+        });
     }
     let mut higher = Vec::new();
     for _ in 0..cfg.n_r2 {
@@ -117,7 +125,12 @@ pub fn campus_schedule(cfg: &CampusConfig) -> (Vec<TxEvent>, CampusExpectations)
     for rate in higher {
         let payload = 200 + rng.next_range(1000) as usize;
         let acked = rng.next_f64() < cfg.acked_fraction;
-        specs.push(Spec { rate, payload, acked, tag: "hi-data" });
+        specs.push(Spec {
+            rate,
+            payload,
+            acked,
+            tag: "hi-data",
+        });
     }
 
     // Place frames at jittered, non-overlapping times across the duration.
@@ -151,7 +164,11 @@ pub fn campus_schedule(cfg: &CampusConfig) -> (Vec<TxEvent>, CampusExpectations)
         let node = 1 + (rng.next_range(6) as u16);
         let frame = MacFrame::data(
             MacAddr::station(node),
-            if s.acked { MacAddr::station(7) } else { MacAddr::BROADCAST },
+            if s.acked {
+                MacAddr::station(7)
+            } else {
+                MacAddr::BROADCAST
+            },
             bssid,
             i as u16,
             icmp_echo_body(i as u16, s.payload),
@@ -264,4 +281,3 @@ mod tests {
         let _ = campus_schedule(&cfg);
     }
 }
-

@@ -43,7 +43,10 @@ pub struct Band {
 impl Band {
     /// The paper's setup: 8 MHz centered on Wi-Fi channel 6 (2.437 GHz).
     pub fn usrp_8mhz() -> Self {
-        Band { sample_rate: 8e6, center_hz: 37e6 }
+        Band {
+            sample_rate: 8e6,
+            center_hz: 37e6,
+        }
     }
 
     /// Whether a carrier at `freq_hz` (± `half_width` of signal) lies fully
@@ -70,9 +73,7 @@ mod tests {
         // inside and the two edge channels are partially visible.
         let band = Band::usrp_8mhz();
         let covered = (0..79)
-            .filter(|&ch| {
-                band.contains(rfd_phy::bluetooth::hop::channel_freq_hz(ch), 0.5e6)
-            })
+            .filter(|&ch| band.contains(rfd_phy::bluetooth::hop::channel_freq_hz(ch), 0.5e6))
             .count();
         assert_eq!(covered, 7);
     }

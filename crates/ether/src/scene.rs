@@ -29,7 +29,10 @@ pub struct NodeCfg {
 
 impl Default for NodeCfg {
     fn default() -> Self {
-        Self { gain_db: 0.0, cfo_hz: 0.0 }
+        Self {
+            gain_db: 0.0,
+            cfo_hz: 0.0,
+        }
     }
 }
 
@@ -198,7 +201,9 @@ impl Scene {
             let gain = 10f32.powf(cfg.gain_db / 20.0);
             let (wave, carrier_hz, half_width, channel, detail) = self.render_content(ev);
             let offset = self.band.offset(carrier_hz) + cfg.cfo_hz;
-            let in_band = self.band.contains(carrier_hz, half_width.min(fs / 2.0 * 0.99));
+            let in_band = self
+                .band
+                .contains(carrier_hz, half_width.min(fs / 2.0 * 0.99));
             // Signals whose center is way outside the band contribute
             // nothing; skip rendering but keep the truth record.
             let renderable = offset.abs() < fs / 2.0 + half_width;
@@ -229,7 +234,6 @@ impl Scene {
                 let len = (ev.content.airtime_us() * 1e-6 * fs).round() as usize;
                 end_sample = (start_sample + len).min(n.max(start_sample));
             }
-
 
             let snr_db = if self.noise_power > 0.0 && rendered_power > 0.0 {
                 power_to_db(rendered_power) - power_to_db(self.noise_power)
@@ -269,10 +273,7 @@ impl Scene {
 
     /// Renders one event's waveform at its natural rate and returns
     /// `(waveform, carrier_hz, half_width_hz, bt_channel, detail)`.
-    fn render_content(
-        &self,
-        ev: &TxEvent,
-    ) -> (Waveform, f64, f64, Option<u8>, TruthDetail) {
+    fn render_content(&self, ev: &TxEvent) -> (Waveform, f64, f64, Option<u8>, TruthDetail) {
         match &ev.content {
             TxContent::Wifi { psdu, rate } => {
                 let wave = rfd_phy::wifi::modulate(psdu, WifiTxConfig { rate: *rate });
@@ -282,13 +283,19 @@ impl Scene {
                     self.wifi_center_hz,
                     rfd_phy::wifi::CHANNEL_WIDTH_HZ / 2.0,
                     None,
-                    TruthDetail::Wifi { rate: *rate, psdu_len: psdu.len(), seq },
+                    TruthDetail::Wifi {
+                        rate: *rate,
+                        psdu_len: psdu.len(),
+                        seq,
+                    },
                 )
             }
             TxContent::Bluetooth { packet, channel } => {
                 let wave = rfd_phy::bluetooth::modulate(
                     packet,
-                    BtTxConfig { sample_rate: self.band.sample_rate },
+                    BtTxConfig {
+                        sample_rate: self.band.sample_rate,
+                    },
                 );
                 (
                     wave,
@@ -309,10 +316,15 @@ impl Scene {
                     self.zigbee_center_hz,
                     rfd_phy::zigbee::CHANNEL_WIDTH_HZ / 2.0,
                     None,
-                    TruthDetail::Zigbee { payload_len: frame.payload.len() },
+                    TruthDetail::Zigbee {
+                        payload_len: frame.payload.len(),
+                    },
                 )
             }
-            TxContent::Microwave { config, duration_us } => {
+            TxContent::Microwave {
+                config,
+                duration_us,
+            } => {
                 let wave = microwave::render(
                     config,
                     self.band.sample_rate,
@@ -379,7 +391,10 @@ mod tests {
 
     #[test]
     fn bluetooth_out_of_band_channels_are_marked() {
-        let mut sim = rfd_mac::L2PingSim::new(L2PingConfig { count: 40, ..Default::default() });
+        let mut sim = rfd_mac::L2PingSim::new(L2PingConfig {
+            count: 40,
+            ..Default::default()
+        });
         let events = sim.run();
         let scene = Scene::new(1e-4, 3);
         let horizon = events.last().unwrap().end_us() + 1000.0;
@@ -416,17 +431,22 @@ mod tests {
 
     #[test]
     fn decoding_rendered_bluetooth_in_band_packets() {
-        let mut sim = rfd_mac::L2PingSim::new(L2PingConfig { count: 30, ..Default::default() });
+        let mut sim = rfd_mac::L2PingSim::new(L2PingConfig {
+            count: 30,
+            ..Default::default()
+        });
         let events = sim.run();
         let scene = Scene::new(1e-4, 5);
         let horizon = events.last().unwrap().end_us() + 1000.0;
         let trace = scene.render(&events, horizon);
-        let expected: Vec<&TruthRecord> =
-            trace.truth.iter().filter(|t| t.in_band).collect();
+        let expected: Vec<&TruthRecord> = trace.truth.iter().filter(|t| t.in_band).collect();
         let mut bank = rfd_phy::bluetooth::BtRxBank::for_band(
             trace.band.sample_rate,
             trace.band.center_hz,
-            vec![rfd_phy::bluetooth::demod::PiconetId { lap: 0x9E8B33, uap: 0x47 }],
+            vec![rfd_phy::bluetooth::demod::PiconetId {
+                lap: 0x9E8B33,
+                uap: 0x47,
+            }],
         );
         for chunk in trace.samples.chunks(8192) {
             bank.process(chunk);

@@ -6,7 +6,6 @@
 //! i16 I/Q pairs (the USRP's native wire format) with a stored scale factor
 //! so unit-amplitude baseband round-trips without clipping.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rfd_dsp::complex::{from_i16_iq, to_i16_iq};
 use rfd_dsp::Complex32;
 use std::io::{self, Read, Write};
@@ -30,58 +29,106 @@ pub struct TraceHeader {
     pub scale: f32,
 }
 
+/// A little-endian read cursor over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+
+    fn get_i16_le(&mut self) -> i16 {
+        i16::from_le_bytes(self.take())
+    }
+}
+
 /// Serializes a trace (header + samples) into bytes.
-pub fn encode_trace(header: &TraceHeader, samples: &[Complex32]) -> Bytes {
+pub fn encode_trace(header: &TraceHeader, samples: &[Complex32]) -> Vec<u8> {
     assert_eq!(header.n_samples as usize, samples.len());
-    let mut buf = BytesMut::with_capacity(36 + samples.len() * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_f64_le(header.sample_rate);
-    buf.put_f64_le(header.center_hz);
-    buf.put_u64_le(header.n_samples);
-    buf.put_f32_le(header.scale);
+    let mut buf = Vec::with_capacity(36 + samples.len() * 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&header.sample_rate.to_le_bytes());
+    buf.extend_from_slice(&header.center_hz.to_le_bytes());
+    buf.extend_from_slice(&header.n_samples.to_le_bytes());
+    buf.extend_from_slice(&header.scale.to_le_bytes());
     let inv = 1.0 / header.scale;
     for &z in samples {
         let (i, q) = to_i16_iq(z.scale(inv));
-        buf.put_i16_le(i);
-        buf.put_i16_le(q);
+        buf.extend_from_slice(&i.to_le_bytes());
+        buf.extend_from_slice(&q.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a trace from bytes.
-pub fn decode_trace(mut data: Bytes) -> io::Result<(TraceHeader, Vec<Complex32>)> {
+pub fn decode_trace(data: &[u8]) -> io::Result<(TraceHeader, Vec<Complex32>)> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
-    if data.remaining() < 36 {
+    let mut cur = Cursor::new(data);
+    if cur.remaining() < 36 {
         return Err(bad("trace too short for header"));
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = cur.take();
     if &magic != MAGIC {
         return Err(bad("bad magic"));
     }
-    let version = data.get_u32_le();
+    let version = cur.get_u32_le();
     if version != VERSION {
         return Err(bad(&format!("unsupported version {version}")));
     }
-    let sample_rate = data.get_f64_le();
-    let center_hz = data.get_f64_le();
-    let n_samples = data.get_u64_le();
-    let scale = data.get_f32_le();
-    if !(sample_rate > 0.0) || !(scale > 0.0) {
+    let sample_rate = cur.get_f64_le();
+    let center_hz = cur.get_f64_le();
+    let n_samples = cur.get_u64_le();
+    let scale = cur.get_f32_le();
+    if !sample_rate.is_finite() || sample_rate <= 0.0 || !scale.is_finite() || scale <= 0.0 {
         return Err(bad("invalid header fields"));
     }
-    if data.remaining() < n_samples as usize * 4 {
+    if (cur.remaining() as u64) < n_samples.saturating_mul(4) {
         return Err(bad("truncated sample payload"));
     }
     let mut samples = Vec::with_capacity(n_samples as usize);
     for _ in 0..n_samples {
-        let i = data.get_i16_le();
-        let q = data.get_i16_le();
+        let i = cur.get_i16_le();
+        let q = cur.get_i16_le();
         samples.push(from_i16_iq(i, q).scale(scale));
     }
     Ok((
-        TraceHeader { sample_rate, center_hz, n_samples, scale },
+        TraceHeader {
+            sample_rate,
+            center_hz,
+            n_samples,
+            scale,
+        },
         samples,
     ))
 }
@@ -123,7 +170,7 @@ pub fn write_trace(
 pub fn read_trace(path: &Path) -> io::Result<(TraceHeader, Vec<Complex32>)> {
     let mut data = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut data)?;
-    decode_trace(Bytes::from(data))
+    decode_trace(&data)
 }
 
 #[cfg(test)]
@@ -146,7 +193,7 @@ mod tests {
             scale: auto_scale(&samples),
         };
         let bytes = encode_trace(&header, &samples);
-        let (h2, s2) = decode_trace(bytes).unwrap();
+        let (h2, s2) = decode_trace(&bytes).unwrap();
         assert_eq!(h2, header);
         assert_eq!(s2.len(), samples.len());
         for (a, b) in samples.iter().zip(s2.iter()) {
@@ -177,12 +224,11 @@ mod tests {
             scale: 1.0,
         };
         let bytes = encode_trace(&header, &samples);
-        let mut bad = bytes.to_vec();
+        let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(decode_trace(Bytes::from(bad)).is_err());
-        let truncated = bytes.slice(..bytes.len() - 8);
-        assert!(decode_trace(truncated).is_err());
-        assert!(decode_trace(Bytes::from(vec![0u8; 4])).is_err());
+        assert!(decode_trace(&bad).is_err());
+        assert!(decode_trace(&bytes[..bytes.len() - 8]).is_err());
+        assert!(decode_trace(&[0u8; 4]).is_err());
     }
 
     #[test]
@@ -192,9 +238,14 @@ mod tests {
 
     #[test]
     fn empty_trace_is_valid() {
-        let header = TraceHeader { sample_rate: 8e6, center_hz: 0.0, n_samples: 0, scale: 1.0 };
+        let header = TraceHeader {
+            sample_rate: 8e6,
+            center_hz: 0.0,
+            n_samples: 0,
+            scale: 1.0,
+        };
         let bytes = encode_trace(&header, &[]);
-        let (h, s) = decode_trace(bytes).unwrap();
+        let (h, s) = decode_trace(&bytes).unwrap();
         assert_eq!(h.n_samples, 0);
         assert!(s.is_empty());
     }

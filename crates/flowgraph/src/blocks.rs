@@ -30,7 +30,11 @@ impl<T: Send + 'static> Block for VecSource<T> {
     fn num_inputs(&self) -> usize {
         0
     }
-    fn work(&mut self, _inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        _inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         for _ in 0..self.batch {
             match self.items.next() {
                 Some(x) => outputs[0].push(Box::new(x)),
@@ -44,7 +48,7 @@ impl<T: Send + 'static> Block for VecSource<T> {
 /// A sink collecting payloads of type `T` into shared storage.
 pub struct VecSink<T: Send + 'static> {
     name: String,
-    storage: Arc<parking_lot::Mutex<Vec<T>>>,
+    storage: Arc<crate::sync::Mutex<Vec<T>>>,
 }
 
 impl<T: Send + 'static> VecSink<T> {
@@ -52,12 +56,12 @@ impl<T: Send + 'static> VecSink<T> {
     pub fn new(name: &str) -> Self {
         Self {
             name: name.to_string(),
-            storage: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            storage: Arc::new(crate::sync::Mutex::new(Vec::new())),
         }
     }
 
     /// Shared handle to the collected items.
-    pub fn storage(&self) -> Arc<parking_lot::Mutex<Vec<T>>> {
+    pub fn storage(&self) -> Arc<crate::sync::Mutex<Vec<T>>> {
         self.storage.clone()
     }
 }
@@ -69,7 +73,11 @@ impl<T: Send + 'static> Block for VecSink<T> {
     fn num_outputs(&self) -> usize {
         0
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], _outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        _outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         let mut guard = self.storage.lock();
         while let Some(p) = inputs[0].pop_front() {
             match p.downcast::<T>() {
@@ -91,7 +99,10 @@ pub struct FnBlock<T: Send + 'static, U: Send + 'static> {
 impl<T: Send + 'static, U: Send + 'static> FnBlock<T, U> {
     /// Creates the block from a function.
     pub fn new(name: &str, f: impl FnMut(T) -> Option<U> + Send + 'static) -> Self {
-        Self { name: name.to_string(), f: Box::new(f) }
+        Self {
+            name: name.to_string(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -99,7 +110,11 @@ impl<T: Send + 'static, U: Send + 'static> Block for FnBlock<T, U> {
     fn name(&self) -> &str {
         &self.name
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             match p.downcast::<T>() {
                 Ok(x) => {
@@ -125,7 +140,11 @@ impl<T: Clone + Send + 'static> Tee<T> {
     /// Creates a tee with `n` outputs.
     pub fn new(name: &str, n: usize) -> Self {
         assert!(n >= 1);
-        Self { name: name.to_string(), n, _marker: Default::default() }
+        Self {
+            name: name.to_string(),
+            n,
+            _marker: Default::default(),
+        }
     }
 }
 
@@ -136,7 +155,11 @@ impl<T: Clone + Send + 'static> Block for Tee<T> {
     fn num_outputs(&self) -> usize {
         self.n
     }
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             match p.downcast::<T>() {
                 Ok(x) => {

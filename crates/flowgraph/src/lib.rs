@@ -11,10 +11,14 @@
 //!   a **single-threaded** one matching the paper's constraint ("GNU Radio
 //!   does not support multi-threading, so the measurements use a single
 //!   core"), and a **multi-threaded** one (one thread per block, bounded
-//!   crossbeam channels) exploiting the "inherent parallelism" the paper
+//!   std mpsc channels) exploiting the "inherent parallelism" the paper
 //!   points out but could not use.
 //! * [`RunStats`] — per-block CPU time and item counts, the basis of every
 //!   "CPU time / real time" number in the evaluation.
+//!
+//! Attach an [`rfd_telemetry::Registry`] with [`Flowgraph::set_telemetry`]
+//! and both schedulers publish per-block CPU/item metrics; the threaded
+//! scheduler additionally maintains live queue-depth gauges per block.
 //!
 //! Payload granularity is up to the application; RFDump moves ~25 µs sample
 //! chunks, so scheduler overhead per payload is negligible compared to the
@@ -25,7 +29,39 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub mod sync {
+    //! Poison-ignoring lock wrappers over `std::sync`.
+    //!
+    //! The flowgraph treats a panicking block as fatal to the run (the
+    //! scheduler thread propagates it), so lock poisoning carries no extra
+    //! information here — these wrappers expose the ergonomic
+    //! guard-returning API the rest of the workspace uses.
+
+    /// A mutex whose `lock` never returns a poison error.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, recovering the data if a previous holder panicked.
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+}
 
 /// A unit of data moving along an edge.
 pub type Payload = Box<dyn Any + Send>;
@@ -63,8 +99,11 @@ pub trait Block: Send {
     }
 
     /// Process available input (or, for sources, produce output).
-    fn work(&mut self, inputs: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>])
-        -> WorkStatus;
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus;
 
     /// Flush at end of stream.
     fn finish(&mut self, _outputs: &mut [Vec<Payload>]) {}
@@ -111,18 +150,55 @@ impl RunStats {
             .sum()
     }
 
-    /// Formats a small table of per-block CPU time.
+    /// Formats a table of per-block CPU time, item counts and the
+    /// CPU-over-wall-clock ratio, followed by a total row and the
+    /// wall-clock duration of the run. The name column widens to fit the
+    /// longest block name, so long names stay aligned.
     pub fn table(&self) -> String {
-        let mut s = String::from("block                               cpu_ms     in      out\n");
+        let wall_s = self.wall.as_secs_f64();
+        let width = self
+            .blocks
+            .iter()
+            .map(|b| b.name.len())
+            .chain(["block".len(), "total".len()])
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let ratio = |cpu: Duration| {
+            if wall_s > 0.0 {
+                cpu.as_secs_f64() / wall_s
+            } else {
+                0.0
+            }
+        };
+        let mut s = format!(
+            "{:<width$}   {:>8} {:>9} {:>9} {:>8}\n",
+            "block", "cpu_ms", "in", "out", "cpu/rt"
+        );
+        let mut in_total = 0u64;
+        let mut out_total = 0u64;
         for b in &self.blocks {
+            in_total += b.items_in;
+            out_total += b.items_out;
             s.push_str(&format!(
-                "{:<34} {:>8.2} {:>7} {:>7}\n",
+                "{:<width$} {:>10.2} {:>9} {:>9} {:>8.3}\n",
                 b.name,
                 b.cpu.as_secs_f64() * 1e3,
                 b.items_in,
-                b.items_out
+                b.items_out,
+                ratio(b.cpu),
             ));
         }
+        let total = self.total_cpu();
+        s.push_str(&format!(
+            "{:<width$} {:>10.2} {:>9} {:>9} {:>8.3}\n",
+            "total",
+            total.as_secs_f64() * 1e3,
+            in_total,
+            out_total,
+            ratio(total),
+        ));
+        s.push_str(&format!("{:<width$} {:>10.2}\n", "wall", wall_s * 1e3));
         s
     }
 }
@@ -146,6 +222,7 @@ struct Node {
 pub struct Flowgraph {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
+    telemetry: Option<Arc<rfd_telemetry::Registry>>,
 }
 
 impl Default for Flowgraph {
@@ -157,7 +234,19 @@ impl Default for Flowgraph {
 impl Flowgraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), edges: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a metrics registry. After each run the scheduler publishes
+    /// `flowgraph.block.<name>.{cpu_us,items_in,items_out}` counters; the
+    /// threaded scheduler also keeps `flowgraph.queue.<name>.depth` gauges
+    /// live while running.
+    pub fn set_telemetry(&mut self, registry: Arc<rfd_telemetry::Registry>) {
+        self.telemetry = Some(registry);
     }
 
     /// Adds a block.
@@ -178,9 +267,20 @@ impl Flowgraph {
     /// Panics on port indices out of range or if the edge would create a
     /// cycle.
     pub fn connect(&mut self, src: BlockId, src_port: usize, dst: BlockId, dst_port: usize) {
-        assert!(src_port < self.nodes[src.0].block.num_outputs(), "src port out of range");
-        assert!(dst_port < self.nodes[dst.0].block.num_inputs(), "dst port out of range");
-        self.edges.push(Edge { src: src.0, src_port, dst: dst.0, dst_port });
+        assert!(
+            src_port < self.nodes[src.0].block.num_outputs(),
+            "src port out of range"
+        );
+        assert!(
+            dst_port < self.nodes[dst.0].block.num_inputs(),
+            "dst port out of range"
+        );
+        self.edges.push(Edge {
+            src: src.0,
+            src_port,
+            dst: dst.0,
+            dst_port,
+        });
         assert!(self.topo_order().is_some(), "connection creates a cycle");
     }
 
@@ -205,6 +305,20 @@ impl Flowgraph {
         (order.len() == n).then_some(order)
     }
 
+    /// Publishes per-block run stats into the attached registry, if any.
+    fn publish(&self, stats: &RunStats) {
+        let Some(reg) = &self.telemetry else { return };
+        for b in &stats.blocks {
+            reg.counter(&format!("flowgraph.block.{}.cpu_us", b.name))
+                .add(b.cpu.as_micros() as u64);
+            reg.counter(&format!("flowgraph.block.{}.items_in", b.name))
+                .add(b.items_in);
+            reg.counter(&format!("flowgraph.block.{}.items_out", b.name))
+                .add(b.items_out);
+        }
+        reg.counter("flowgraph.runs").inc();
+    }
+
     /// Runs the graph to completion on the current thread (the paper's
     /// single-core GNU Radio setting). Returns per-block stats.
     pub fn run(&mut self) -> RunStats {
@@ -213,7 +327,11 @@ impl Flowgraph {
         let n = self.nodes.len();
         // Input queues per (node, port).
         let mut inboxes: Vec<Vec<VecDeque<Payload>>> = (0..n)
-            .map(|i| (0..self.nodes[i].block.num_inputs()).map(|_| VecDeque::new()).collect())
+            .map(|i| {
+                (0..self.nodes[i].block.num_inputs())
+                    .map(|_| VecDeque::new())
+                    .collect()
+            })
             .collect();
         let mut outputs_scratch: Vec<Vec<Payload>> = Vec::new();
 
@@ -233,10 +351,11 @@ impl Flowgraph {
                 outputs_scratch.clear();
                 outputs_scratch.resize_with(self.nodes[i].block.num_outputs(), Vec::new);
                 let t0 = Instant::now();
-                let status = self.nodes[i].block.work(&mut inboxes[i], &mut outputs_scratch);
+                let status = self.nodes[i]
+                    .block
+                    .work(&mut inboxes[i], &mut outputs_scratch);
                 self.nodes[i].cpu += t0.elapsed();
-                let consumed: u64 =
-                    nin - inboxes[i].iter().map(|q| q.len() as u64).sum::<u64>();
+                let consumed: u64 = nin - inboxes[i].iter().map(|q| q.len() as u64).sum::<u64>();
                 self.nodes[i].items_in += consumed;
                 let produced: u64 = outputs_scratch.iter().map(|v| v.len() as u64).sum();
                 self.nodes[i].items_out += produced;
@@ -250,10 +369,11 @@ impl Flowgraph {
                 }
                 route(&self.edges, i, &mut outputs_scratch, &mut inboxes);
             }
-            let sources_done = (0..n)
-                .all(|i| self.nodes[i].block.num_inputs() != 0 || self.nodes[i].done);
-            let queues_empty =
-                inboxes.iter().all(|ports| ports.iter().all(|q| q.is_empty()));
+            let sources_done =
+                (0..n).all(|i| self.nodes[i].block.num_inputs() != 0 || self.nodes[i].done);
+            let queues_empty = inboxes
+                .iter()
+                .all(|ports| ports.iter().all(|q| q.is_empty()));
             if sources_done && queues_empty && !progressed {
                 break;
             }
@@ -287,8 +407,7 @@ impl Flowgraph {
                 let t0 = Instant::now();
                 let _ = self.nodes[j].block.work(&mut inboxes[j], &mut outs);
                 self.nodes[j].cpu += t0.elapsed();
-                let consumed: u64 =
-                    nin - inboxes[j].iter().map(|q| q.len() as u64).sum::<u64>();
+                let consumed: u64 = nin - inboxes[j].iter().map(|q| q.len() as u64).sum::<u64>();
                 self.nodes[j].items_in += consumed;
                 let produced: u64 = outs.iter().map(|v| v.len() as u64).sum();
                 self.nodes[j].items_out += produced;
@@ -296,7 +415,7 @@ impl Flowgraph {
             }
         }
 
-        RunStats {
+        let stats = RunStats {
             blocks: self
                 .nodes
                 .iter()
@@ -308,28 +427,66 @@ impl Flowgraph {
                 })
                 .collect(),
             wall: wall_start.elapsed(),
-        }
+        };
+        self.publish(&stats);
+        stats
     }
 
-    /// Runs the graph with one OS thread per block, bounded channels as
-    /// edges. Produces the same outputs as [`Flowgraph::run`] for
-    /// deterministic blocks (payload order per edge is preserved).
+    /// Runs the graph with one OS thread per block and bounded std mpsc
+    /// channels as edges (all inputs of a block merge into one channel,
+    /// tagged by destination port; per-edge FIFO order is preserved because
+    /// each upstream thread sends in emission order). Produces the same
+    /// outputs as [`Flowgraph::run`] for deterministic blocks.
     pub fn run_threaded(&mut self) -> RunStats {
-        use crossbeam::channel::{bounded, Receiver, Sender};
         let wall_start = Instant::now();
-        let order = self.topo_order().expect("graph must be acyclic");
         let n = self.nodes.len();
 
-        // Build channels: one per edge.
-        let mut senders: Vec<Vec<(usize, Sender<Payload>)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut receivers: Vec<Vec<(usize, Receiver<Payload>)>> =
-            (0..n).map(|_| Vec::new()).collect();
+        // One merged bounded channel per node that has inputs; capacity
+        // scales with fan-in so each edge gets ~256 slots of backpressure.
+        let mut indeg = vec![0usize; n];
         for e in &self.edges {
-            let (tx, rx) = bounded::<Payload>(256);
-            senders[e.src].push((e.src_port, tx));
-            receivers[e.dst].push((e.dst_port, rx));
+            indeg[e.dst] += 1;
         }
-        let _ = order;
+        let mut rxs: Vec<Option<std::sync::mpsc::Receiver<(usize, Payload)>>> =
+            (0..n).map(|_| None).collect();
+        let mut txs: Vec<Option<std::sync::mpsc::SyncSender<(usize, Payload)>>> =
+            (0..n).map(|_| None).collect();
+        for i in 0..n {
+            if self.nodes[i].block.num_inputs() > 0 {
+                let (tx, rx) = sync_channel::<(usize, Payload)>(256 * indeg[i].max(1));
+                txs[i] = Some(tx);
+                rxs[i] = Some(rx);
+            }
+        }
+
+        // Live queue-depth gauges (one per consuming block) when telemetry
+        // is attached; incremented at send, decremented at receive.
+        let depth_gauges: Vec<Option<Arc<rfd_telemetry::Gauge>>> = (0..n)
+            .map(|i| match (&self.telemetry, rxs[i].is_some()) {
+                (Some(reg), true) => Some(reg.gauge(&format!(
+                    "flowgraph.queue.{}.depth",
+                    self.nodes[i].block.name()
+                ))),
+                _ => None,
+            })
+            .collect();
+
+        // Per-source-node outgoing routes: (src_port, dst_port, sender,
+        // destination depth gauge).
+        type Route = (
+            usize,
+            usize,
+            std::sync::mpsc::SyncSender<(usize, Payload)>,
+            Option<Arc<rfd_telemetry::Gauge>>,
+        );
+        let mut routes: Vec<Vec<Route>> = (0..n).map(|_| Vec::new()).collect();
+        for e in &self.edges {
+            let tx = txs[e.dst].as_ref().expect("dst has inputs").clone();
+            routes[e.src].push((e.src_port, e.dst_port, tx, depth_gauges[e.dst].clone()));
+        }
+        // Drop the original senders so receivers disconnect once every
+        // upstream thread has finished and released its clones.
+        txs.clear();
 
         // Move blocks into threads.
         let blocks: Vec<(usize, Box<dyn Block>)> = self
@@ -339,13 +496,14 @@ impl Flowgraph {
             .map(|(i, nd)| (i, std::mem::replace(&mut nd.block, Box::new(NullBlock))))
             .collect();
 
-        let stats: Vec<parking_lot::Mutex<Option<BlockStats>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let stats: Vec<sync::Mutex<Option<BlockStats>>> =
+            (0..n).map(|_| sync::Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for (i, mut block) in blocks {
-                let my_senders = std::mem::take(&mut senders[i]);
-                let my_receivers = std::mem::take(&mut receivers[i]);
+                let my_routes = std::mem::take(&mut routes[i]);
+                let my_rx = rxs[i].take();
+                let my_gauge = depth_gauges[i].clone();
                 let stat_slot = &stats[i];
                 scope.spawn(move || {
                     let nin_ports = block.num_inputs();
@@ -360,13 +518,17 @@ impl Flowgraph {
                         for (port, payloads) in outs.iter_mut().enumerate() {
                             for pl in payloads.drain(..) {
                                 *items_out += 1;
-                                for (p, tx) in &my_senders {
-                                    if *p == port {
-                                        // Receiver gone => downstream died;
-                                        // drop payload.
-                                        let _ = tx.send(pl);
-                                        break;
+                                // Single consumer per output port (fan-out
+                                // uses an explicit tee block).
+                                if let Some((_, dst_port, tx, gauge)) =
+                                    my_routes.iter().find(|(p, ..)| *p == port)
+                                {
+                                    if let Some(g) = gauge {
+                                        g.add(1);
                                     }
+                                    // Receiver gone => downstream died;
+                                    // drop payload.
+                                    let _ = tx.send((*dst_port, pl));
                                 }
                             }
                         }
@@ -384,33 +546,21 @@ impl Flowgraph {
                                 break;
                             }
                         }
-                    } else {
-                        // Sink/intermediate: select over inputs until all
-                        // upstream channels disconnect.
-                        let mut open: Vec<(usize, &Receiver<Payload>)> =
-                            my_receivers.iter().map(|(p, r)| (*p, r)).collect();
-                        while !open.is_empty() {
-                            let mut sel = crossbeam::channel::Select::new();
-                            for (_, r) in &open {
-                                sel.recv(r);
+                    } else if let Some(rx) = my_rx {
+                        // Sink/intermediate: drain the merged channel until
+                        // every upstream sender has disconnected.
+                        while let Ok((port, pl)) = rx.recv() {
+                            if let Some(g) = &my_gauge {
+                                g.add(-1);
                             }
-                            let op = sel.select();
-                            let idx = op.index();
-                            match op.recv(open[idx].1) {
-                                Ok(pl) => {
-                                    inq[open[idx].0].push_back(pl);
-                                    items_in += 1;
-                                    outs.clear();
-                                    outs.resize_with(nout, Vec::new);
-                                    let t0 = Instant::now();
-                                    let _ = block.work(&mut inq, &mut outs);
-                                    cpu += t0.elapsed();
-                                    send_outs(&mut outs, &mut items_out);
-                                }
-                                Err(_) => {
-                                    open.remove(idx);
-                                }
-                            }
+                            inq[port].push_back(pl);
+                            items_in += 1;
+                            outs.clear();
+                            outs.resize_with(nout, Vec::new);
+                            let t0 = Instant::now();
+                            let _ = block.work(&mut inq, &mut outs);
+                            cpu += t0.elapsed();
+                            send_outs(&mut outs, &mut items_out);
                         }
                     }
                     // Flush.
@@ -420,7 +570,7 @@ impl Flowgraph {
                     block.finish(&mut outs);
                     cpu += t0.elapsed();
                     send_outs(&mut outs, &mut items_out);
-                    drop(my_senders); // disconnect downstream
+                    drop(my_routes); // disconnect downstream
                     *stat_slot.lock() = Some(BlockStats {
                         name: block.name().to_string(),
                         cpu,
@@ -431,13 +581,15 @@ impl Flowgraph {
             }
         });
 
-        RunStats {
+        let stats = RunStats {
             blocks: stats
                 .into_iter()
                 .map(|m| m.into_inner().expect("every block thread reports"))
                 .collect(),
             wall: wall_start.elapsed(),
-        }
+        };
+        self.publish(&stats);
+        stats
     }
 }
 
@@ -478,7 +630,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn build_double_graph(n: usize) -> (Flowgraph, Arc<parking_lot::Mutex<Vec<i64>>>) {
+    fn build_double_graph(n: usize) -> (Flowgraph, Arc<sync::Mutex<Vec<i64>>>) {
         let mut fg = Flowgraph::new();
         let src = fg.add(Box::new(VecSource::new(
             "src",
@@ -513,7 +665,15 @@ mod tests {
         let (mut fg2, out2) = build_double_graph(5000);
         let stats = fg2.run_threaded();
         assert_eq!(*out1.lock(), *out2.lock());
-        assert_eq!(stats.blocks.iter().map(|b| &b.name).filter(|n| *n == "sink").count(), 1);
+        assert_eq!(
+            stats
+                .blocks
+                .iter()
+                .map(|b| &b.name)
+                .filter(|n| *n == "sink")
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -529,8 +689,14 @@ mod tests {
     #[test]
     fn filter_blocks_can_drop_items() {
         let mut fg = Flowgraph::new();
-        let src = fg.add(Box::new(VecSource::new("src", (0..100i64).collect::<Vec<_>>(), 7)));
-        let odd = fg.add(Box::new(FnBlock::new("odd", |x: i64| (x % 2 == 1).then_some(x))));
+        let src = fg.add(Box::new(VecSource::new(
+            "src",
+            (0..100i64).collect::<Vec<_>>(),
+            7,
+        )));
+        let odd = fg.add(Box::new(FnBlock::new("odd", |x: i64| {
+            (x % 2 == 1).then_some(x)
+        })));
         let sink = Box::new(VecSink::<i64>::new("sink"));
         let out = sink.storage();
         let sk = fg.add(sink);
@@ -543,7 +709,11 @@ mod tests {
     #[test]
     fn stats_capture_cpu_time() {
         let mut fg = Flowgraph::new();
-        let src = fg.add(Box::new(VecSource::new("src", (0..50i64).collect::<Vec<_>>(), 5)));
+        let src = fg.add(Box::new(VecSource::new(
+            "src",
+            (0..50i64).collect::<Vec<_>>(),
+            5,
+        )));
         let burn = fg.add(Box::new(FnBlock::new("burn", |x: i64| {
             // A deliberately slow op.
             let mut acc = x;
@@ -562,6 +732,46 @@ mod tests {
         assert!(burn_cpu > src_cpu, "burn {burn_cpu:?} vs src {src_cpu:?}");
         assert!(stats.total_cpu() >= burn_cpu);
         assert!(!stats.table().is_empty());
+    }
+
+    #[test]
+    fn table_aligns_long_names_and_reports_wall_and_ratio() {
+        let stats = RunStats {
+            blocks: vec![
+                BlockStats {
+                    name: "a-block-with-a-name-well-past-thirty-five-chars".into(),
+                    cpu: Duration::from_millis(30),
+                    items_in: 10,
+                    items_out: 10,
+                },
+                BlockStats {
+                    name: "tiny".into(),
+                    cpu: Duration::from_millis(10),
+                    items_in: 10,
+                    items_out: 5,
+                },
+            ],
+            wall: Duration::from_millis(100),
+        };
+        let t = stats.table();
+        let lines: Vec<&str> = t.lines().collect();
+        // Header + 2 blocks + total + wall.
+        assert_eq!(lines.len(), 5);
+        // Every row pads the name column to the longest name, so the
+        // numeric columns start at the same offset on every line.
+        let name_w = "a-block-with-a-name-well-past-thirty-five-chars".len();
+        for line in &lines {
+            assert!(
+                line.len() > name_w,
+                "row shorter than name column: {line:?}"
+            );
+        }
+        assert!(lines[3].starts_with("total"));
+        assert!(lines[4].starts_with("wall"));
+        // total cpu = 40 ms over 100 ms wall => ratio 0.400.
+        assert!(lines[3].contains("0.400"), "total row: {}", lines[3]);
+        assert!(lines[4].contains("100.00"), "wall row: {}", lines[4]);
+        assert!(lines[0].contains("cpu/rt"));
     }
 
     #[test]
@@ -590,7 +800,11 @@ mod tests {
             }
         }
         let mut fg = Flowgraph::new();
-        let src = fg.add(Box::new(VecSource::new("src", (1..=10i64).collect::<Vec<_>>(), 3)));
+        let src = fg.add(Box::new(VecSource::new(
+            "src",
+            (1..=10i64).collect::<Vec<_>>(),
+            3,
+        )));
         let h = fg.add(Box::new(Hoarder { buf: Vec::new() }));
         let sink = Box::new(VecSink::<i64>::new("sink"));
         let out = sink.storage();
@@ -625,7 +839,11 @@ mod tests {
             }
         }
         let mut fg = Flowgraph::new();
-        let src = fg.add(Box::new(VecSource::new("src", (1..=100i64).collect::<Vec<_>>(), 9)));
+        let src = fg.add(Box::new(VecSource::new(
+            "src",
+            (1..=100i64).collect::<Vec<_>>(),
+            9,
+        )));
         let h = fg.add(Box::new(Hoarder { buf: Vec::new() }));
         let sink = Box::new(VecSink::<i64>::new("sink"));
         let out = sink.storage();
@@ -634,5 +852,20 @@ mod tests {
         fg.connect(h, 0, sk, 0);
         fg.run_threaded();
         assert_eq!(*out.lock(), vec![5050]);
+    }
+
+    #[test]
+    fn telemetry_publishes_block_metrics_and_queue_gauges() {
+        let reg = Arc::new(rfd_telemetry::Registry::new());
+        let (mut fg, _out) = build_double_graph(500);
+        fg.set_telemetry(reg.clone());
+        fg.run_threaded();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["flowgraph.block.src.items_out"], 500);
+        assert_eq!(snap.counters["flowgraph.block.sink.items_in"], 500);
+        assert_eq!(snap.counters["flowgraph.runs"], 1);
+        // Queues fully drained by the end of the run.
+        assert_eq!(snap.gauges["flowgraph.queue.sink.depth"], 0);
+        assert_eq!(snap.gauges["flowgraph.queue.double.depth"], 0);
     }
 }

@@ -67,7 +67,10 @@ impl L2PingSim {
     /// Creates the simulator.
     pub fn new(cfg: L2PingConfig) -> Self {
         let address = cfg.lap | ((cfg.uap as u32 & 0xF) << 24);
-        Self { cfg, hop: HopSequence::new(address) }
+        Self {
+            cfg,
+            hop: HopSequence::new(address),
+        }
     }
 
     /// Payload size encoding the sequence number (paper §5.1.1).
@@ -100,14 +103,20 @@ impl L2PingSim {
             events.push(TxEvent {
                 node: cfg.master,
                 start_us: slot as f64 * SLOT_US,
-                content: TxContent::Bluetooth { packet: pkt, channel: ch },
-                id: { id += 1; id - 1 },
+                content: TxContent::Bluetooth {
+                    packet: pkt,
+                    channel: ch,
+                },
+                id: {
+                    id += 1;
+                    id - 1
+                },
                 tag: "l2ping-req",
             });
             // Slave replies in the next slave (odd) slot after the request
             // ends: request occupies `slots_per_pkt` slots.
             let mut reply_slot = slot + slots_per_pkt;
-            if reply_slot % 2 == 0 {
+            if reply_slot.is_multiple_of(2) {
                 reply_slot += 1;
             }
             let rclk = reply_slot * 2;
@@ -117,8 +126,14 @@ impl L2PingSim {
             events.push(TxEvent {
                 node: cfg.slave,
                 start_us: reply_slot as f64 * SLOT_US,
-                content: TxContent::Bluetooth { packet: rpkt, channel: rch },
-                id: { id += 1; id - 1 },
+                content: TxContent::Bluetooth {
+                    packet: rpkt,
+                    channel: rch,
+                },
+                id: {
+                    id += 1;
+                    id - 1
+                },
                 tag: "l2ping-rep",
             });
             // Next request: after the reply and the configured gap, on an
@@ -139,12 +154,18 @@ mod tests {
 
     #[test]
     fn master_even_slave_odd_slots() {
-        let mut sim = L2PingSim::new(L2PingConfig { count: 10, ..Default::default() });
+        let mut sim = L2PingSim::new(L2PingConfig {
+            count: 10,
+            ..Default::default()
+        });
         let events = sim.run();
         assert_eq!(events.len(), 20);
         for e in &events {
             let slot = (e.start_us / SLOT_US).round() as u64;
-            assert!((e.start_us - slot as f64 * SLOT_US).abs() < 1e-9, "slot aligned");
+            assert!(
+                (e.start_us - slot as f64 * SLOT_US).abs() < 1e-9,
+                "slot aligned"
+            );
             match e.tag {
                 "l2ping-req" => assert_eq!(slot % 2, 0, "master in even slot"),
                 "l2ping-rep" => assert_eq!(slot % 2, 1, "slave in odd slot"),
@@ -157,7 +178,10 @@ mod tests {
     fn starts_are_multiples_of_625us_apart() {
         // The paper's Bluetooth timing detector: packets start at
         // t_prev + m * 625 us.
-        let mut sim = L2PingSim::new(L2PingConfig { count: 20, ..Default::default() });
+        let mut sim = L2PingSim::new(L2PingConfig {
+            count: 20,
+            ..Default::default()
+        });
         let events = sim.run();
         for w in events.windows(2) {
             let gap = w[1].start_us - w[0].start_us;
@@ -169,10 +193,16 @@ mod tests {
 
     #[test]
     fn dh5_occupies_five_slots_without_overlap() {
-        let mut sim = L2PingSim::new(L2PingConfig { count: 5, ..Default::default() });
+        let mut sim = L2PingSim::new(L2PingConfig {
+            count: 5,
+            ..Default::default()
+        });
         let events = sim.run();
         for w in events.windows(2) {
-            assert!(w[1].start_us >= w[0].end_us(), "TDD packets must not overlap");
+            assert!(
+                w[1].start_us >= w[0].end_us(),
+                "TDD packets must not overlap"
+            );
             // DH5 airtime fits within 5 slots.
             assert!(w[0].content.airtime_us() <= 5.0 * SLOT_US);
         }
@@ -192,7 +222,10 @@ mod tests {
 
     #[test]
     fn hops_vary_across_packets() {
-        let mut sim = L2PingSim::new(L2PingConfig { count: 50, ..Default::default() });
+        let mut sim = L2PingSim::new(L2PingConfig {
+            count: 50,
+            ..Default::default()
+        });
         let events = sim.run();
         let mut channels: Vec<u8> = events
             .iter()
@@ -203,14 +236,21 @@ mod tests {
             .collect();
         channels.sort_unstable();
         channels.dedup();
-        assert!(channels.len() > 20, "only {} distinct channels", channels.len());
+        assert!(
+            channels.len() > 20,
+            "only {} distinct channels",
+            channels.len()
+        );
     }
 
     #[test]
     fn clock_matches_slot() {
         // Whitening is seeded by the clock; the packet must carry the clock
         // of its transmit slot.
-        let mut sim = L2PingSim::new(L2PingConfig { count: 3, ..Default::default() });
+        let mut sim = L2PingSim::new(L2PingConfig {
+            count: 3,
+            ..Default::default()
+        });
         let events = sim.run();
         for e in &events {
             let slot = (e.start_us / SLOT_US).round() as u32;

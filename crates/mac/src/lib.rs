@@ -166,7 +166,10 @@ mod tests {
         TxEvent {
             node: 1,
             start_us,
-            content: TxContent::Wifi { psdu, rate: WifiRate::R1 },
+            content: TxContent::Wifi {
+                psdu,
+                rate: WifiRate::R1,
+            },
             id: 0,
             tag: "test",
         }
@@ -179,7 +182,10 @@ mod tests {
         let merged = merge_schedules(vec![a, b]);
         assert_eq!(merged.len(), 3);
         assert!(merged.windows(2).all(|w| w[0].start_us <= w[1].start_us));
-        assert_eq!(merged.iter().map(|e| e.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            merged.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

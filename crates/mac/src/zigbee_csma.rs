@@ -56,7 +56,10 @@ pub struct ZigbeeSim {
 impl ZigbeeSim {
     /// Creates the simulator.
     pub fn new(cfg: ZigbeeConfig) -> Self {
-        Self { rng: Xoshiro256::new(cfg.seed), cfg }
+        Self {
+            rng: Xoshiro256::new(cfg.seed),
+            cfg,
+        }
     }
 
     /// Runs the workload.
@@ -78,7 +81,10 @@ impl ZigbeeSim {
                 node: cfg.node,
                 start_us: start,
                 content: TxContent::Zigbee { frame },
-                id: { id += 1; id - 1 },
+                id: {
+                    id += 1;
+                    id - 1
+                },
                 tag: "zb-report",
             });
             let mut end = start + airtime;
@@ -90,7 +96,10 @@ impl ZigbeeSim {
                     node: cfg.coordinator,
                     start_us: end + TACK_US,
                     content: TxContent::Zigbee { frame: ack },
-                    id: { id += 1; id - 1 },
+                    id: {
+                        id += 1;
+                        id - 1
+                    },
                     tag: "zb-ack",
                 });
                 end += TACK_US + ack_air;
@@ -107,7 +116,10 @@ mod tests {
 
     #[test]
     fn acks_follow_after_tack() {
-        let mut sim = ZigbeeSim::new(ZigbeeConfig { count: 10, ..Default::default() });
+        let mut sim = ZigbeeSim::new(ZigbeeConfig {
+            count: 10,
+            ..Default::default()
+        });
         let events = sim.run();
         assert_eq!(events.len(), 20);
         for pair in events.chunks(2) {
@@ -136,7 +148,11 @@ mod tests {
 
     #[test]
     fn no_overlaps() {
-        let mut sim = ZigbeeSim::new(ZigbeeConfig { count: 40, interval_us: 100.0, ..Default::default() });
+        let mut sim = ZigbeeSim::new(ZigbeeConfig {
+            count: 40,
+            interval_us: 100.0,
+            ..Default::default()
+        });
         let events = sim.run();
         for w in events.windows(2) {
             assert!(w[1].start_us >= w[0].end_us() - 1e-9);
@@ -145,7 +161,11 @@ mod tests {
 
     #[test]
     fn unacked_mode_has_no_acks() {
-        let mut sim = ZigbeeSim::new(ZigbeeConfig { acked: false, count: 5, ..Default::default() });
+        let mut sim = ZigbeeSim::new(ZigbeeConfig {
+            acked: false,
+            count: 5,
+            ..Default::default()
+        });
         let events = sim.run();
         assert_eq!(events.len(), 5);
         assert!(events.iter().all(|e| e.tag == "zb-report"));

@@ -24,9 +24,13 @@ pub fn sync_word(lap: u32) -> u64 {
     let lap = (lap & 0x00FF_FFFF) as u64;
     // Append the 6-bit Barker completion: 001101 if a23 == 0, 110010 if 1
     // (values read LSB-first into bits 24..30).
-    let barker: u64 = if (lap >> 23) & 1 == 0 { 0b101100 } else { 0b010011 };
+    let barker: u64 = if (lap >> 23) & 1 == 0 {
+        0b101100
+    } else {
+        0b010011
+    };
     let info: u64 = lap | (barker << 24); // 30 bits
-    // XOR the information bits with the 30 most-significant PN bits.
+                                          // XOR the information bits with the 30 most-significant PN bits.
     let p_hi = PN_SEQUENCE >> 34;
     let x = info ^ p_hi;
     // Systematic BCH encode: codeword = x * D^34 + (x * D^34 mod g).
@@ -97,7 +101,15 @@ mod tests {
     fn distinct_laps_have_large_hamming_distance() {
         // The underlying BCH code has d_min = 14; distinct LAPs must differ
         // in at least 14 sync-word bits.
-        let laps = [0x000000u32, 0x000001, 0x9E8B33, 0xFFFFFF, 0x123456, 0xABCDEF, 0x800000];
+        let laps = [
+            0x000000u32,
+            0x000001,
+            0x9E8B33,
+            0xFFFFFF,
+            0x123456,
+            0xABCDEF,
+            0x800000,
+        ];
         for (i, &a) in laps.iter().enumerate() {
             for &b in laps.iter().skip(i + 1) {
                 let d = (sync_word(a) ^ sync_word(b)).count_ones();

@@ -79,7 +79,11 @@ struct Pending {
 
 impl Pending {
     fn first_after_sync(&self) -> u64 {
-        self.candidates.iter().map(|c| c.after_sync).min().unwrap_or(0)
+        self.candidates
+            .iter()
+            .map(|c| c.after_sync)
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -111,12 +115,7 @@ impl BtChannelRx {
     /// center of an input stream at `input_rate`, tagged `channel_tag`.
     ///
     /// `input_rate` must be an integer multiple of 4 MHz.
-    pub fn new(
-        channel_tag: u8,
-        input_rate: f64,
-        offset_hz: f64,
-        piconets: Vec<PiconetId>,
-    ) -> Self {
+    pub fn new(channel_tag: u8, input_rate: f64, offset_hz: f64, piconets: Vec<PiconetId>) -> Self {
         let decim_f = input_rate / CHAN_RATE;
         let decim = decim_f.round() as usize;
         assert!(
@@ -165,7 +164,7 @@ impl BtChannelRx {
         let sps = SPS as u64;
         loop {
             let n = self.consumed;
-            if n + sps as usize - 1 >= self.freq.len() {
+            if n + sps as usize > self.freq.len() {
                 break;
             }
             // The window (n .. n + SPS) completes comb t where
@@ -204,17 +203,25 @@ impl BtChannelRx {
             if after_sync < self.acquired_until {
                 continue;
             }
-            let cand = Candidate { comb: comb_idx, after_sync, sync_errors: errors };
+            let cand = Candidate {
+                comb: comb_idx,
+                after_sync,
+                sync_errors: errors,
+            };
             // Hits within a few symbols are the same packet seen by another
             // comb or a ±1-symbol correlation offset; group them.
-            if let Some(existing) = self.pending.iter_mut().find(|p| {
-                p.piconet_idx == pi
-                    && p.first_after_sync().abs_diff(after_sync) < 8
-            }) {
+            if let Some(existing) = self
+                .pending
+                .iter_mut()
+                .find(|p| p.piconet_idx == pi && p.first_after_sync().abs_diff(after_sync) < 8)
+            {
                 existing.candidates.push(cand);
                 continue;
             }
-            self.pending.push(Pending { piconet_idx: pi, candidates: vec![cand] });
+            self.pending.push(Pending {
+                piconet_idx: pi,
+                candidates: vec![cand],
+            });
         }
     }
 
@@ -380,11 +387,7 @@ impl BtRxBank {
 
     /// Flushes and collects all results, sorted by start sample.
     pub fn finish(&mut self) -> Vec<BtRxResult> {
-        let mut all: Vec<BtRxResult> = self
-            .channels
-            .iter_mut()
-            .flat_map(|c| c.finish())
-            .collect();
+        let mut all: Vec<BtRxResult> = self.channels.iter_mut().flat_map(|c| c.finish()).collect();
         all.sort_by_key(|r| r.start_sample);
         all
     }
@@ -462,7 +465,10 @@ mod tests {
     #[test]
     fn ignores_wrong_lap() {
         let sig = lead_tail(&tx(BtPacketType::Dh1, 10, 0), 200, 200);
-        let other = PiconetId { lap: 0x123456, uap: 0x11 };
+        let other = PiconetId {
+            lap: 0x123456,
+            uap: 0x11,
+        };
         let mut rx = BtChannelRx::new(0, 8e6, 0.0, vec![other]);
         rx.process(&sig);
         assert!(rx.finish().is_empty());
@@ -516,8 +522,10 @@ mod tests {
             .filter(|r| r.parsed.as_ref().map(|p| p.crc_ok).unwrap_or(false))
             .collect();
         assert!(!ok.is_empty(), "no channel decoded the packet");
-        assert!(ok.iter().any(|r| r.channel == 3), "wrong channel tags: {:?}",
-            ok.iter().map(|r| r.channel).collect::<Vec<_>>());
+        assert!(
+            ok.iter().any(|r| r.channel == 3),
+            "wrong channel tags: {:?}",
+            ok.iter().map(|r| r.channel).collect::<Vec<_>>()
+        );
     }
 }
-

@@ -74,7 +74,10 @@ pub fn modulate_bits(bits: &[bool], cfg: BtTxConfig) -> Waveform {
         }
     }
 
-    Waveform { samples, sample_rate: cfg.sample_rate }
+    Waveform {
+        samples,
+        sample_rate: cfg.sample_rate,
+    }
 }
 
 /// Modulates a complete baseband packet (access code + header + payload).

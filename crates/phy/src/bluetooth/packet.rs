@@ -12,13 +12,12 @@
 
 use super::access_code::AccessCode;
 use rfd_dsp::coding::{
-    bits_to_bytes_lsb, bits_to_u64_lsb, bytes_to_bits_lsb, hamming1510_decode,
-    hamming1510_encode, repeat3_decode, repeat3_encode, u64_to_bits_lsb, Crc, Whitener,
+    bits_to_bytes_lsb, bits_to_u64_lsb, bytes_to_bits_lsb, hamming1510_decode, hamming1510_encode,
+    repeat3_decode, repeat3_encode, u64_to_bits_lsb, Crc, Whitener,
 };
 
 /// ACL packet types we implement (TYPE field values from the spec).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BtPacketType {
     /// POLL: no payload, 1 slot.
     Poll,
@@ -88,7 +87,10 @@ impl BtPacketType {
 
     /// Whether the payload passes through the 2/3-rate FEC.
     pub fn has_fec23(self) -> bool {
-        matches!(self, BtPacketType::Dm1 | BtPacketType::Dm3 | BtPacketType::Dm5)
+        matches!(
+            self,
+            BtPacketType::Dm1 | BtPacketType::Dm3 | BtPacketType::Dm5
+        )
     }
 
     /// Whether the payload header is the 2-byte multi-slot form.
@@ -148,7 +150,14 @@ impl BtPacket {
             ptype,
             ptype.max_payload()
         );
-        Self { lap, uap, lt_addr: lt_addr & 0x7, ptype, clock, payload }
+        Self {
+            lap,
+            uap,
+            lt_addr: lt_addr & 0x7,
+            ptype,
+            clock,
+            payload,
+        }
     }
 
     /// The 10 plain header bits: LT_ADDR (3), TYPE (4), FLOW, ARQN, SEQN.
@@ -172,8 +181,7 @@ impl BtPacket {
         // Payload header: L_CH = 0b10 (start of L2CAP), FLOW = 1, LENGTH.
         if self.ptype.has_wide_payload_header() {
             // 16 bits: L_CH(2) FLOW(1) LENGTH(9) UNDEFINED(4).
-            let v: u64 =
-                0b10 | (1 << 2) | ((self.payload.len() as u64 & 0x1FF) << 3);
+            let v: u64 = 0b10 | (1 << 2) | ((self.payload.len() as u64 & 0x1FF) << 3);
             body.extend(u64_to_bits_lsb(v, 16));
         } else {
             // 8 bits: L_CH(2) FLOW(1) LENGTH(5).
@@ -206,7 +214,7 @@ impl BtPacket {
         whitener.apply(&mut pbits);
         if self.ptype.has_fec23() {
             // Pad to a multiple of 10 with zeros (spec appends zeros).
-            while pbits.len() % 10 != 0 {
+            while !pbits.len().is_multiple_of(10) {
                 pbits.push(false);
             }
             pbits = hamming1510_encode(&pbits);
@@ -288,12 +296,7 @@ pub fn parse_after_access_code(bits: &[bool], uap: u8) -> Option<ParsedBtPacket>
 
 /// Parses the packet under a specific whitening seed and already-dewhitened
 /// 10 header bits.
-fn parse_with_seed(
-    bits: &[bool],
-    uap: u8,
-    seed: u8,
-    h10: &[bool],
-) -> Option<ParsedBtPacket> {
+fn parse_with_seed(bits: &[bool], uap: u8, seed: u8, h10: &[bool]) -> Option<ParsedBtPacket> {
     let lt_addr = bits_to_u64_lsb(&h10[0..3]) as u8;
     let type_code = bits_to_u64_lsb(&h10[3..7]) as u8;
     let ptype = BtPacketType::from_type_code(type_code)?;
@@ -477,7 +480,10 @@ mod tests {
     fn dh5_airtime_is_under_five_slots() {
         let pkt = mk(BtPacketType::Dh5, 339, 0);
         let us = pkt.airtime_us();
-        assert!(us <= 5.0 * super::super::hop::SLOT_US - 259.0 + 626.0, "airtime {us}");
+        assert!(
+            us <= 5.0 * super::super::hop::SLOT_US - 259.0 + 626.0,
+            "airtime {us}"
+        );
         assert!(us > 2000.0);
     }
 

@@ -37,7 +37,6 @@ use rfd_dsp::Complex32;
 /// — the wireless equivalent of the protocol field tcpdump reads from an IP
 /// header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Protocol {
     /// IEEE 802.11b/g Wi-Fi.
     Wifi,

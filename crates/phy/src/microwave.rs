@@ -72,7 +72,10 @@ pub fn render(cfg: &MicrowaveConfig, sample_rate: f64, start_s: f64, duration_s:
             Complex32::ZERO
         });
     }
-    Waveform { samples, sample_rate }
+    Waveform {
+        samples,
+        sample_rate,
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +87,7 @@ mod tests {
         let cfg = MicrowaveConfig::default();
         assert!((cfg.period_us() - 16_666.7).abs() < 1.0);
         let w = render(&cfg, 1e6, 0.0, 0.05); // 50 ms at 1 Msps
-        // Count on/off transitions: 3 periods -> 3 rising edges.
+                                              // Count on/off transitions: 3 periods -> 3 rising edges.
         let mut rising = Vec::new();
         for i in 1..w.samples.len() {
             let was_on = w.samples[i - 1].abs() > 0.5;
@@ -109,7 +112,10 @@ mod tests {
 
     #[test]
     fn duty_cycle_is_respected() {
-        let cfg = MicrowaveConfig { duty: 0.5, ..Default::default() };
+        let cfg = MicrowaveConfig {
+            duty: 0.5,
+            ..Default::default()
+        };
         let w = render(&cfg, 1e6, 0.0, 1.0 / 60.0);
         let on = w.samples.iter().filter(|z| z.abs() > 0.5).count();
         let frac = on as f64 / w.samples.len() as f64;
@@ -118,7 +124,10 @@ mod tests {
 
     #[test]
     fn fifty_hz_period() {
-        let cfg = MicrowaveConfig { mains_hz: 50.0, ..Default::default() };
+        let cfg = MicrowaveConfig {
+            mains_hz: 50.0,
+            ..Default::default()
+        };
         assert!((cfg.period_us() - 20_000.0).abs() < 1e-9);
     }
 
@@ -126,7 +135,12 @@ mod tests {
     fn frequency_wanders() {
         // The instantaneous frequency must not be constant.
         let w = render(&MicrowaveConfig::default(), 8e6, 0.0, 0.004);
-        let on: Vec<_> = w.samples.iter().filter(|z| z.abs() > 0.5).cloned().collect();
+        let on: Vec<_> = w
+            .samples
+            .iter()
+            .filter(|z| z.abs() > 0.5)
+            .cloned()
+            .collect();
         let diffs: Vec<f32> = on.windows(2).map(|p| (p[1] * p[0].conj()).arg()).collect();
         let first = diffs[10];
         assert!(diffs.iter().any(|d| (d - first).abs() > 0.01));

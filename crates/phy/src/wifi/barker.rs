@@ -10,9 +10,7 @@ use rfd_dsp::Complex32;
 
 /// The 11-chip Barker sequence used by 802.11 DSSS
 /// (IEEE 802.11-2007 §18.4.6.4), first-transmitted chip first.
-pub const BARKER11: [f32; 11] = [
-    1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0,
-];
+pub const BARKER11: [f32; 11] = [1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
 
 /// Spreads one complex symbol into 11 chips (one output sample per chip).
 pub fn spread_symbol(symbol: Complex32, out: &mut Vec<Complex32>) {
@@ -48,7 +46,11 @@ mod tests {
     fn autocorrelation_peak_and_sidelobes() {
         assert_eq!(autocorr(0), 11.0);
         for lag in 1..11 {
-            assert!(autocorr(lag).abs() <= 1.0 + 1e-6, "lag {lag}: {}", autocorr(lag));
+            assert!(
+                autocorr(lag).abs() <= 1.0 + 1e-6,
+                "lag {lag}: {}",
+                autocorr(lag)
+            );
         }
     }
 

@@ -141,7 +141,7 @@ pub fn decode_symbol(
         for (r, c) in chips.iter().zip(cw.iter()) {
             acc += *r * c.conj();
         }
-        if best.map_or(true, |(_, b)| acc.norm_sqr() > b.norm_sqr()) {
+        if best.is_none_or(|(_, b)| acc.norm_sqr() > b.norm_sqr()) {
             best = Some((i, acc));
         }
     }

@@ -200,8 +200,7 @@ fn decode_from(chips: &[Complex32], off: usize) -> Option<WifiRxResult> {
                 if a + 8 > chips.len() {
                     return None;
                 }
-                let (bits, _q) =
-                    cck::decode_symbol(&chips[a..a + 8], bps, &mut phase_ref, s);
+                let (bits, _q) = cck::decode_symbol(&chips[a..a + 8], bps, &mut phase_ref, s);
                 for b in bits {
                     psdu_bits.push(psdu_desc.descramble_bit(b));
                 }
@@ -344,13 +343,9 @@ impl WifiRx {
                     // The SFD's last bit (packet bit 143) is decoded while
                     // processing packet symbol 143, so the preamble begins
                     // 143 symbols earlier.
-                    let abs_start =
-                        (self.chip_base + idx as u64).saturating_sub(143 * 11);
+                    let abs_start = (self.chip_base + idx as u64).saturating_sub(143 * 11);
                     if abs_start >= self.decoded_until
-                        && !self
-                            .pending
-                            .iter()
-                            .any(|&q| q.abs_diff(abs_start) < 22)
+                        && !self.pending.iter().any(|&q| q.abs_diff(abs_start) < 22)
                     {
                         self.pending.push(abs_start);
                     }

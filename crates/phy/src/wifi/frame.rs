@@ -9,7 +9,6 @@ use rfd_dsp::coding::Crc;
 
 /// A 48-bit MAC address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {
@@ -40,7 +39,6 @@ impl std::fmt::Display for MacAddr {
 
 /// The frame types we generate and parse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MacFrameKind {
     /// Data frame (type 2, subtype 0).
     Data,
@@ -55,9 +53,9 @@ impl MacFrameKind {
         // protocol version 0 | type | subtype, little-endian field layout:
         // bits 0-1 version, 2-3 type, 4-7 subtype.
         match self {
-            MacFrameKind::Beacon => (0 << 2) | (8 << 4),
+            MacFrameKind::Beacon => 8 << 4,
             MacFrameKind::Ack => (1 << 2) | (13 << 4),
-            MacFrameKind::Data => (2 << 2) | (0 << 4),
+            MacFrameKind::Data => 2 << 2,
         }
     }
 

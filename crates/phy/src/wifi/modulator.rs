@@ -61,7 +61,9 @@ pub fn modulate(psdu: &[u8], cfg: WifiTxConfig) -> Waveform {
 
     let mut phase = 0.0f32;
     let chips_per_sym = cfg.rate.chips_per_symbol();
-    let est_chips = tx_prefix.len() * 11 + tx_psdu.len() / cfg.rate.bits_per_symbol().max(1) * chips_per_sym + 16;
+    let est_chips = tx_prefix.len() * 11
+        + tx_psdu.len() / cfg.rate.bits_per_symbol().max(1) * chips_per_sym
+        + 16;
     let mut samples: Vec<Complex32> = Vec::with_capacity(est_chips);
 
     // Preamble + header: DBPSK + Barker.
@@ -79,7 +81,7 @@ pub fn modulate(psdu: &[u8], cfg: WifiTxConfig) -> Waveform {
             }
         }
         WifiRate::R2 => {
-            assert!(tx_psdu.len() % 2 == 0);
+            assert!(tx_psdu.len().is_multiple_of(2));
             for dibit in tx_psdu.chunks(2) {
                 phase += dqpsk_increment(dibit[0], dibit[1]);
                 spread_symbol(Complex32::cis(phase), &mut samples);
@@ -90,7 +92,7 @@ pub fn modulate(psdu: &[u8], cfg: WifiTxConfig) -> Waveform {
             // Pad the tail with zero bits if the PSDU does not fill the final
             // symbol (cannot happen for whole bytes at 4/8 bits per symbol,
             // but keep the encoder total).
-            assert!(tx_psdu.len() % bps == 0);
+            assert!(tx_psdu.len().is_multiple_of(bps));
             for (i, group) in tx_psdu.chunks(bps).enumerate() {
                 let chips = cck::encode_symbol(group, &mut phase, i);
                 samples.extend_from_slice(&chips);
@@ -128,9 +130,19 @@ mod tests {
     #[test]
     fn waveform_length_cck_rates() {
         let psdu = vec![0x11u8; 110];
-        let w55 = modulate(&psdu, WifiTxConfig { rate: WifiRate::R5_5 });
+        let w55 = modulate(
+            &psdu,
+            WifiTxConfig {
+                rate: WifiRate::R5_5,
+            },
+        );
         assert_eq!(w55.samples.len(), 192 * 11 + (880 / 4) * 8);
-        let w11 = modulate(&psdu, WifiTxConfig { rate: WifiRate::R11 });
+        let w11 = modulate(
+            &psdu,
+            WifiTxConfig {
+                rate: WifiRate::R11,
+            },
+        );
         assert_eq!(w11.samples.len(), 192 * 11 + (880 / 8) * 8);
     }
 

@@ -9,7 +9,6 @@ use rfd_dsp::coding::{bits_to_u64_lsb, u64_to_bits_lsb, Crc};
 
 /// PSDU data rates of the 802.11b DSSS PHY.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum WifiRate {
     /// 1 Mbps DBPSK + Barker.
     R1,
@@ -114,11 +113,19 @@ impl PlcpHeader {
                 let us = (bits / 11.0).ceil() as u16;
                 // Length extension: set when rounding overshoots by a byte.
                 let implied = (us as f64 * 11.0 / 8.0).floor() as usize;
-                let ext = if implied - psdu_len == 1 { SERVICE_LENGTH_EXT } else { 0 };
+                let ext = if implied - psdu_len == 1 {
+                    SERVICE_LENGTH_EXT
+                } else {
+                    0
+                };
                 (us, SERVICE_LOCKED_CLOCKS | ext)
             }
         };
-        Self { rate, service, length_us }
+        Self {
+            rate,
+            service,
+            length_us,
+        }
     }
 
     /// PSDU length in bytes implied by this header.
@@ -171,7 +178,7 @@ impl PlcpHeader {
 /// Builds the unscrambled PPDU prefix bits: SYNC (128 ones) + SFD + header.
 pub fn preamble_and_header_bits(header: &PlcpHeader) -> Vec<bool> {
     let mut bits = Vec::with_capacity(SYNC_BITS + 16 + 48);
-    bits.extend(std::iter::repeat(true).take(SYNC_BITS));
+    bits.extend(std::iter::repeat_n(true, SYNC_BITS));
     bits.extend(u64_to_bits_lsb(SFD as u64, 16));
     bits.extend(header.to_bits());
     bits

@@ -103,7 +103,9 @@ impl ZigbeeFrame {
         if Crc::crc16_802154().compute(data) as u16 != rx {
             return None;
         }
-        Some(Self { payload: data.to_vec() })
+        Some(Self {
+            payload: data.to_vec(),
+        })
     }
 
     /// Total airtime in microseconds (SHR + PHR + PSDU at 62.5 ksym/s).
@@ -117,7 +119,7 @@ impl ZigbeeFrame {
 pub fn ppdu_symbols(frame: &ZigbeeFrame) -> Vec<u8> {
     let psdu = frame.psdu();
     let mut nibbles = Vec::with_capacity(PREAMBLE_SYMBOLS + 2 + 2 + psdu.len() * 2);
-    nibbles.extend(std::iter::repeat(0u8).take(PREAMBLE_SYMBOLS));
+    nibbles.extend(std::iter::repeat_n(0u8, PREAMBLE_SYMBOLS));
     nibbles.push(SFD & 0x0F);
     nibbles.push(SFD >> 4);
     let phr = psdu.len() as u8 & 0x7F;
@@ -136,7 +138,7 @@ pub fn ppdu_symbols(frame: &ZigbeeFrame) -> Vec<u8> {
 /// `samples_per_chip/2` samples). At 4 samples/chip the output rate is the
 /// monitor's 8 Msps.
 pub fn modulate(frame: &ZigbeeFrame, samples_per_chip: usize) -> Waveform {
-    assert!(samples_per_chip >= 2 && samples_per_chip % 2 == 0);
+    assert!(samples_per_chip >= 2 && samples_per_chip.is_multiple_of(2));
     let symbols = ppdu_symbols(frame);
     let nchips = symbols.len() * CHIPS_PER_SYMBOL;
     let spc = samples_per_chip;
@@ -154,7 +156,11 @@ pub fn modulate(frame: &ZigbeeFrame, samples_per_chip: usize) -> Waveform {
             let bit = chip(sym, c);
             let v = if bit { 1.0 } else { -1.0 };
             let start = (chip_idx / 2) * 2 * spc + if chip_idx % 2 == 1 { spc } else { 0 };
-            let rail = if chip_idx % 2 == 0 { &mut i_rail } else { &mut q_rail };
+            let rail = if chip_idx.is_multiple_of(2) {
+                &mut i_rail
+            } else {
+                &mut q_rail
+            };
             for (k, &p) in pulse.iter().enumerate() {
                 if start + k < total {
                     rail[start + k] += v * p;
@@ -212,8 +218,7 @@ pub fn demodulate(samples: &[Complex32], samples_per_chip: usize) -> Option<Zigb
             let search = chips.len().saturating_sub(64).min(600);
             let mut w = 0usize;
             while w < search {
-                let agree =
-                    (0..64).filter(|&i| chips[w + i] == sym0[i % 32]).count() as u32;
+                let agree = (0..64).filter(|&i| chips[w + i] == sym0[i % 32]).count() as u32;
                 if agree >= 60 {
                     candidates.push((chips.clone(), w, agree));
                     // Skip past this preamble region; nearby offsets are the
@@ -341,12 +346,12 @@ mod tests {
     fn pn_cross_correlation_is_low() {
         // The first 8 sequences are cyclic shifts; any two distinct
         // sequences should agree in well under 32 positions.
-        for i in 0..16 {
-            for j in 0..16 {
+        for (i, &pi) in PN.iter().enumerate() {
+            for (j, &pj) in PN.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let agree = 32 - (PN[i] ^ PN[j]).count_ones();
+                let agree = 32 - (pi ^ pj).count_ones();
                 assert!(agree <= 24, "PN {i} vs {j}: {agree}");
             }
         }
@@ -418,7 +423,7 @@ mod tests {
     #[test]
     fn airtime_formula() {
         let f = ZigbeeFrame::new(vec![0; 18]); // PSDU 20 bytes
-        // (8 + 2 + 2 + 40 symbols) * 16 us.
+                                               // (8 + 2 + 2 + 40 symbols) * 16 us.
         assert!((f.airtime_us() - 52.0 * 16.0).abs() < 1e-9);
     }
 }

@@ -64,7 +64,9 @@ fn main() {
     cfg.zigbee = false;
     let (zb0, wifi0, un0) = count(&cfg);
     println!("without the ZigBee detectors:");
-    println!("  zigbee classified: {zb0:>3}   wifi classified: {wifi0:>3}   unclassified peaks: {un0}");
+    println!(
+        "  zigbee classified: {zb0:>3}   wifi classified: {wifi0:>3}   unclassified peaks: {un0}"
+    );
 
     // "Adding support for more protocols is usually easy since the code in
     // the protocol-specific detectors typically performs just simple
@@ -73,9 +75,14 @@ fn main() {
     cfg.zigbee = true;
     let (zb1, wifi1, un1) = count(&cfg);
     println!("with the ZigBee detectors (two metadata-matching blocks):");
-    println!("  zigbee classified: {zb1:>3}   wifi classified: {wifi1:>3}   unclassified peaks: {un1}");
+    println!(
+        "  zigbee classified: {zb1:>3}   wifi classified: {wifi1:>3}   unclassified peaks: {un1}"
+    );
     println!("\nground truth: {zb_truth} ZigBee transmissions on the air");
 
-    assert!(zb1 > zb0, "the new detectors must classify the new protocol");
+    assert!(
+        zb1 > zb0,
+        "the new detectors must classify the new protocol"
+    );
     println!("\nextensibility demonstrated: the unclassified peaks became ZigBee packets.");
 }

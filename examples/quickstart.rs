@@ -17,7 +17,10 @@ fn main() {
         /* src */ 1, /* dst */ 2, /* count */ 5, /* payload */ 500,
         /* interval_us */ 12_000.0, /* start_us */ 0.0,
     );
-    let mut bt = L2PingSim::new(L2PingConfig { count: 20, ..Default::default() });
+    let mut bt = L2PingSim::new(L2PingConfig {
+        count: 20,
+        ..Default::default()
+    });
     let events = rfd_mac::merge_schedules(vec![wifi.run(), bt.run()]);
 
     // 2. Render the shared ether: the paper's 8 MHz USRP band, every node at
@@ -37,7 +40,10 @@ fn main() {
 
     // 3. Run the RFDump architecture (peak detection -> fast detectors ->
     //    dispatcher -> demodulators).
-    let cfg = ArchConfig::rfdump(vec![PiconetId { lap: 0x9E8B33, uap: 0x47 }]);
+    let cfg = ArchConfig::rfdump(vec![PiconetId {
+        lap: 0x9E8B33,
+        uap: 0x47,
+    }]);
     let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
 
     // 4. The monitor's output: one line per monitored packet.

@@ -1,0 +1,149 @@
+//! Consume a `--stats-json` document: parse it with the in-repo JSON codec,
+//! check the schema, and pretty-print the run the way a dashboard would —
+//! stage ratios, hottest blocks, dispatcher forwarding fractions, decode
+//! latency quantiles.
+//!
+//! Run with: `cargo run --release -p rfd-examples --bin stats_inspect [stats.json]`
+//!
+//! With no argument it first produces a document itself, by running the
+//! RFDump pipeline over a small synthetic ether (the equivalent of
+//! `rfdump -s --stats-json -`).
+
+use rfd_mac::{DcfConfig, L2PingConfig, L2PingSim, WifiDcfSim};
+use rfd_phy::bluetooth::demod::PiconetId;
+use rfd_telemetry::json::{parse, JsonValue};
+use rfdump::arch::{run_architecture, ArchConfig};
+use rfdump::stats::{stats_json, STATS_SCHEMA, STATS_VERSION};
+
+fn demo_document() -> String {
+    let mut wifi = WifiDcfSim::new(DcfConfig::default());
+    wifi.queue_ping_flow(1, 2, 3, 400, 12_000.0, 0.0);
+    let mut bt = L2PingSim::new(L2PingConfig {
+        count: 8,
+        ..Default::default()
+    });
+    let events = rfd_mac::merge_schedules(vec![wifi.run(), bt.run()]);
+    let mut scene = rfd_ether::scene::Scene::new(1e-4, 7);
+    for node in 0..16 {
+        scene.set_node(node, 0.0, (node as f64 - 8.0) * 500.0);
+    }
+    let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
+    let trace = scene.render(&events, horizon);
+    let cfg = ArchConfig::rfdump(vec![PiconetId {
+        lap: 0x9E8B33,
+        uap: 0x47,
+    }]);
+    let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
+    stats_json(&out).to_json()
+}
+
+fn num(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(|x| x.as_f64()).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
+        None => {
+            eprintln!("no file given — generating a stats document from a demo run\n");
+            demo_document()
+        }
+    };
+
+    let doc = parse(&text).expect("not valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some(STATS_SCHEMA),
+        "not an rfd-stats document"
+    );
+    let version = num(&doc, "version");
+    assert!(
+        version as u64 <= STATS_VERSION,
+        "document version {version} is newer than this reader ({STATS_VERSION})"
+    );
+
+    let trace = doc.get("trace").expect("trace section");
+    println!(
+        "trace: {:.1} ms at {:.1} Msps ({} samples)",
+        num(trace, "seconds") * 1e3,
+        num(trace, "sample_rate") / 1e6,
+        num(trace, "samples"),
+    );
+    let total = doc.get("total").expect("total section");
+    println!(
+        "total: {:.2} ms CPU, {:.2} ms wall, CPU/real-time = {:.3}\n",
+        num(total, "cpu_ms"),
+        num(total, "wall_ms"),
+        num(total, "cpu_over_realtime"),
+    );
+
+    println!("per-stage CPU over real time:");
+    if let Some(stages) = doc.get("stages").and_then(|s| s.as_obj()) {
+        for (stage, v) in stages {
+            println!(
+                "  {stage:<10} {:>8.4}x  ({:.2} ms CPU)",
+                num(v, "cpu_over_realtime"),
+                num(v, "cpu_s") * 1e3,
+            );
+        }
+    }
+
+    // Hottest blocks first.
+    if let Some(blocks) = doc.get("blocks").and_then(|b| b.as_arr()) {
+        let mut rows: Vec<(&str, f64, f64)> = blocks
+            .iter()
+            .map(|b| {
+                (
+                    b.get("name").and_then(|n| n.as_str()).unwrap_or("?"),
+                    num(b, "cpu_ms"),
+                    num(b, "items_in"),
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("\nhottest blocks:");
+        for (name, cpu_ms, items) in rows.iter().take(5) {
+            println!("  {name:<40} {cpu_ms:>8.2} ms  {items:>8} items in");
+        }
+    }
+
+    match doc.get("dispatch") {
+        Some(JsonValue::Null) | None => {
+            println!("\ndispatch: none (naïve architecture)");
+        }
+        Some(d) => {
+            println!(
+                "\ndispatch: {} peaks, {} unclassified",
+                num(d, "total_peaks"),
+                num(d, "unclassified_peaks"),
+            );
+            if let Some(per) = d.get("per_protocol").and_then(|p| p.as_obj()) {
+                for (proto, v) in per {
+                    println!(
+                        "  {proto:<12} {:>6} peaks forwarded, {:.2}% of the trace's samples",
+                        num(v, "forwarded_peaks"),
+                        num(v, "forwarded_fraction") * 100.0,
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
+        println!("\nlatency / confidence distributions:");
+        for (name, h) in hists {
+            if num(h, "count") == 0.0 {
+                continue;
+            }
+            println!(
+                "  {name:<40} n={:<6} p50={:<10.3} p95={:<10.3} p99={:.3}",
+                num(h, "count"),
+                num(h, "p50"),
+                num(h, "p95"),
+                num(h, "p99"),
+            );
+        }
+    }
+}

@@ -69,5 +69,8 @@ fn main() {
     assert!(same, "replayed packets must line up with live ones");
     println!("\nreplay matches live analysis — the i16 quantization is transparent.");
 
-    std::fs::remove_file(&path).ok();
+    // ci.sh sets RFD_KEEP_TRACE to reuse the trace for its CLI smoke test.
+    if std::env::var_os("RFD_KEEP_TRACE").is_none() {
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -56,7 +56,10 @@ fn main() {
     scene.set_node(30, -6.0, 0.0); // the oven is down the hall
     let trace = scene.render(&events, horizon_us);
 
-    let cfg = ArchConfig::rfdump(vec![PiconetId { lap: 0x9E8B33, uap: 0x47 }]);
+    let cfg = ArchConfig::rfdump(vec![PiconetId {
+        lap: 0x9E8B33,
+        uap: 0x47,
+    }]);
     let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
 
     // Attribute airtime per technology.

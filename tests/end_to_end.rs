@@ -19,7 +19,10 @@ fn rfdump_matches_ground_truth_at_high_snr() {
         &trace.collided_ids(),
         &out.classified,
         trace.samples.len() as u64,
-        EvalOptions { discount_collisions: true, ..Default::default() },
+        EvalOptions {
+            discount_collisions: true,
+            ..Default::default()
+        },
     );
     assert!(
         wifi.miss_rate < 0.1,
@@ -35,7 +38,10 @@ fn rfdump_matches_ground_truth_at_high_snr() {
         &trace.collided_ids(),
         &out.classified,
         trace.samples.len() as u64,
-        EvalOptions { discount_collisions: true, ..Default::default() },
+        EvalOptions {
+            discount_collisions: true,
+            ..Default::default()
+        },
     );
     // The slot-timing first-packet miss allows a small nonzero rate.
     assert!(
@@ -55,7 +61,12 @@ fn decoded_wifi_sequence_numbers_match_transmitted() {
     // Every transmitted data frame's MAC seq should appear among decodes.
     let mut want: Vec<u16> = Vec::new();
     for t in &trace.truth {
-        if let rfd_ether::scene::TruthDetail::Wifi { seq: Some(s), psdu_len, .. } = t.detail {
+        if let rfd_ether::scene::TruthDetail::Wifi {
+            seq: Some(s),
+            psdu_len,
+            ..
+        } = t.detail
+        {
             if psdu_len > 100 {
                 want.push(s);
             }
@@ -65,14 +76,20 @@ fn decoded_wifi_sequence_numbers_match_transmitted() {
         .records
         .iter()
         .filter_map(|r| match r.info {
-            PacketInfo::Wifi { seq: Some(s), fcs_ok: true, psdu_len, .. } if psdu_len > 100 => {
-                Some(s)
-            }
+            PacketInfo::Wifi {
+                seq: Some(s),
+                fcs_ok: true,
+                psdu_len,
+                ..
+            } if psdu_len > 100 => Some(s),
             _ => None,
         })
         .collect();
     for s in &want {
-        assert!(got.contains(s), "seq {s} transmitted but not decoded (got {got:?})");
+        assert!(
+            got.contains(s),
+            "seq {s} transmitted but not decoded (got {got:?})"
+        );
     }
 }
 
@@ -87,9 +104,12 @@ fn bluetooth_payload_sizes_recover_sequence_numbers() {
         .records
         .iter()
         .filter_map(|r| match &r.info {
-            PacketInfo::Bluetooth { payload_len, crc_ok: true, lap, .. } if *lap == LAP => {
-                Some(*payload_len)
-            }
+            PacketInfo::Bluetooth {
+                payload_len,
+                crc_ok: true,
+                lap,
+                ..
+            } if *lap == LAP => Some(*payload_len),
             _ => None,
         })
         .collect();
@@ -105,9 +125,15 @@ fn bluetooth_payload_sizes_recover_sequence_numbers() {
         })
         .collect();
     for s in &decoded_sizes {
-        assert!(truth_sizes.contains(s), "decoded size {s} not in ground truth");
+        assert!(
+            truth_sizes.contains(s),
+            "decoded size {s} not in ground truth"
+        );
         // Sequence-in-size: 225 + seq % 114.
-        assert!((225..339).contains(s), "size {s} outside the l2ping encoding");
+        assert!(
+            (225..339).contains(s),
+            "size {s} outside the l2ping encoding"
+        );
     }
 }
 
@@ -129,9 +155,12 @@ fn naive_and_rfdump_find_the_same_wifi_packets() {
             .records
             .iter()
             .filter_map(|r| match r.info {
-                PacketInfo::Wifi { seq: Some(s), psdu_len, fcs_ok: true, .. } => {
-                    Some((s, psdu_len))
-                }
+                PacketInfo::Wifi {
+                    seq: Some(s),
+                    psdu_len,
+                    fcs_ok: true,
+                    ..
+                } => Some((s, psdu_len)),
                 _ => None,
             })
             .collect();
@@ -184,6 +213,7 @@ fn efficiency_ordering_holds_on_a_light_trace() {
             zigbee: false,
             microwave: false,
             threaded: false,
+            telemetry: false,
         };
         run_architecture(&cfg, &trace.samples, trace.band.sample_rate).cpu_over_realtime()
     };
@@ -210,7 +240,9 @@ fn multithreaded_flowgraph_agrees_with_single_threaded() {
         let mut fg = Flowgraph::new();
         let src = fg.add(Box::new(VecSource::new("src", data, 64)));
         let stage1 = fg.add(Box::new(FnBlock::new("x3", |x: i64| Some(x * 3))));
-        let stage2 = fg.add(Box::new(FnBlock::new("odd", |x: i64| (x % 2 == 1).then_some(x))));
+        let stage2 = fg.add(Box::new(FnBlock::new("odd", |x: i64| {
+            (x % 2 == 1).then_some(x)
+        })));
         let sink = Box::new(VecSink::<i64>::new("sink"));
         let out = sink.storage();
         let k = fg.add(sink);

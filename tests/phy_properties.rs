@@ -1,11 +1,12 @@
-//! Property-based tests of the PHY layers: round-trip invariants over
-//! randomized payloads, rates, channel impairments.
+//! Randomized-case tests of the PHY layers: round-trip invariants over
+//! randomized payloads, rates, channel impairments. Each test sweeps
+//! deterministic seeded cases via [`rfd_integration::seeded_cases`].
 
-use proptest::prelude::*;
 use rfd_dsp::nco::frequency_shift;
 use rfd_dsp::resample::resample_windowed_sinc;
 use rfd_dsp::rng::GaussianGen;
 use rfd_dsp::Complex32;
+use rfd_integration::{random_bytes, seeded_cases};
 use rfd_phy::bluetooth::gfsk::{modulate as bt_modulate, BtTxConfig};
 use rfd_phy::bluetooth::packet::{parse_after_access_code, BtPacket, BtPacketType};
 use rfd_phy::wifi::frame::{MacAddr, MacFrame};
@@ -19,18 +20,15 @@ fn pad(w: &[Complex32], lead: usize, tail: usize) -> Vec<Complex32> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
-
-    /// demod(mod(frame)) == frame for random 802.11b payloads and rates,
-    /// at native chip rate.
-    #[test]
-    fn wifi_round_trip_native(
-        payload in proptest::collection::vec(any::<u8>(), 1..400),
-        rate_idx in 0usize..4,
-        lead in 20usize..200,
-    ) {
-        let rate = [WifiRate::R1, WifiRate::R2, WifiRate::R5_5, WifiRate::R11][rate_idx];
+/// demod(mod(frame)) == frame for random 802.11b payloads and rates, at
+/// native chip rate.
+#[test]
+fn wifi_round_trip_native() {
+    seeded_cases(0x5EED_1001, 24, |rng| {
+        let payload = random_bytes(rng, 1, 400);
+        let rate =
+            [WifiRate::R1, WifiRate::R2, WifiRate::R5_5, WifiRate::R11][rng.next_range(4) as usize];
+        let lead = 20 + rng.next_range(180) as usize;
         let psdu = MacFrame::data(
             MacAddr::station(1),
             MacAddr::station(2),
@@ -40,20 +38,20 @@ proptest! {
         )
         .to_bytes();
         let w = wifi_modulate(&psdu, WifiTxConfig { rate });
-        let rx = rfd_phy::wifi::demodulate(&pad(&w.samples, lead, 64), 11e6)
-            .expect("clean decode");
-        prop_assert!(rx.fcs_ok);
-        prop_assert_eq!(rx.psdu, psdu);
-        prop_assert_eq!(rx.header.rate, rate);
-    }
+        let rx = rfd_phy::wifi::demodulate(&pad(&w.samples, lead, 64), 11e6).expect("clean decode");
+        assert!(rx.fcs_ok);
+        assert_eq!(rx.psdu, psdu);
+        assert_eq!(rx.header.rate, rate);
+    });
+}
 
-    /// 1 Mbps frames survive the 8 Msps bottleneck with noise and CFO.
-    #[test]
-    fn wifi_1mbps_through_8msps_with_impairments(
-        payload in proptest::collection::vec(any::<u8>(), 1..200),
-        cfo in -15e3f64..15e3,
-        seed in 0u64..1000,
-    ) {
+/// 1 Mbps frames survive the 8 Msps bottleneck with noise and CFO.
+#[test]
+fn wifi_1mbps_through_8msps_with_impairments() {
+    seeded_cases(0x5EED_1002, 24, |rng| {
+        let payload = random_bytes(rng, 1, 200);
+        let cfo = (rng.next_f64() - 0.5) * 30e3;
+        let noise_seed = rng.next_range(1000);
         let psdu = MacFrame::data(
             MacAddr::station(3),
             MacAddr::station(4),
@@ -65,84 +63,98 @@ proptest! {
         let w = wifi_modulate(&psdu, WifiTxConfig { rate: WifiRate::R1 });
         let at8 = resample_windowed_sinc(&pad(&w.samples, 55, 55), 11e6, 8e6, 8);
         let mut sig = frequency_shift(&at8, cfo, 8e6);
-        GaussianGen::new(seed).add_awgn(&mut sig, 1e-3); // 30 dB
+        GaussianGen::new(noise_seed).add_awgn(&mut sig, 1e-3); // 30 dB
         let rx = rfd_phy::wifi::demodulate(&sig, 8e6).expect("decode");
-        prop_assert!(rx.fcs_ok);
-        prop_assert_eq!(rx.psdu, psdu);
-    }
+        assert!(rx.fcs_ok);
+        assert_eq!(rx.psdu, psdu);
+    });
+}
 
-    /// Bluetooth baseband bits round-trip for every ACL type, any payload,
-    /// any clock.
-    #[test]
-    fn bt_air_bits_round_trip(
-        len_frac in 0.0f64..1.0,
-        type_idx in 0usize..6,
-        clock in 0u32..(1 << 20),
-        lt_addr in 1u8..8,
-    ) {
+/// Bluetooth baseband bits round-trip for every ACL type, any payload, any
+/// clock.
+#[test]
+fn bt_air_bits_round_trip() {
+    seeded_cases(0x5EED_1003, 48, |rng| {
         let ptype = [
-            BtPacketType::Dm1, BtPacketType::Dh1, BtPacketType::Dm3,
-            BtPacketType::Dh3, BtPacketType::Dm5, BtPacketType::Dh5,
-        ][type_idx];
-        let len = ((ptype.max_payload() as f64) * len_frac) as usize;
+            BtPacketType::Dm1,
+            BtPacketType::Dh1,
+            BtPacketType::Dm3,
+            BtPacketType::Dh3,
+            BtPacketType::Dm5,
+            BtPacketType::Dh5,
+        ][rng.next_range(6) as usize];
+        let len = ((ptype.max_payload() as f64) * rng.next_f64()) as usize;
+        let clock = rng.next_range(1 << 20) as u32;
+        let lt_addr = 1 + rng.next_range(7) as u8;
         let payload: Vec<u8> = (0..len).map(|i| (i * 29 + 3) as u8).collect();
         let pkt = BtPacket::new(0x9E8B33, 0x47, lt_addr, ptype, clock, payload.clone());
         let air = pkt.to_air_bits();
         let parsed = parse_after_access_code(&air[72..], 0x47).expect("parse");
-        prop_assert!(parsed.crc_ok);
-        prop_assert_eq!(parsed.ptype, ptype);
-        prop_assert_eq!(parsed.payload, payload);
-        prop_assert_eq!(parsed.lt_addr, lt_addr);
-    }
+        assert!(parsed.crc_ok);
+        assert_eq!(parsed.ptype, ptype);
+        assert_eq!(parsed.payload, payload);
+        assert_eq!(parsed.lt_addr, lt_addr);
+    });
+}
 
-    /// GFSK modulation + channel receiver round-trips DH1 packets under
-    /// moderate noise at random channel offsets.
-    #[test]
-    fn bt_gfsk_rf_round_trip(
-        len in 1usize..27,
-        clock in 0u32..64,
-        offset_mhz in -3i32..=3,
-        seed in 0u64..500,
-    ) {
+/// GFSK modulation + channel receiver round-trips DH1 packets under
+/// moderate noise at random channel offsets.
+#[test]
+fn bt_gfsk_rf_round_trip() {
+    seeded_cases(0x5EED_1004, 24, |rng| {
+        let len = 1 + rng.next_range(26) as usize;
+        let clock = rng.next_range(64) as u32;
+        let offset_mhz = rng.next_range(7) as i32 - 3;
+        let noise_seed = rng.next_range(500);
         let payload: Vec<u8> = (0..len).map(|i| (i * 17 + 1) as u8).collect();
         let pkt = BtPacket::new(0x9E8B33, 0x47, 1, BtPacketType::Dh1, clock, payload.clone());
         let w = bt_modulate(&pkt, BtTxConfig { sample_rate: 8e6 });
         let mut sig = frequency_shift(&pad(&w.samples, 200, 200), offset_mhz as f64 * 1e6, 8e6);
-        GaussianGen::new(seed).add_awgn(&mut sig, 1e-3);
+        GaussianGen::new(noise_seed).add_awgn(&mut sig, 1e-3);
         let mut rx = rfd_phy::bluetooth::demod::BtChannelRx::new(
             0,
             8e6,
             offset_mhz as f64 * 1e6,
-            vec![rfd_phy::bluetooth::demod::PiconetId { lap: 0x9E8B33, uap: 0x47 }],
+            vec![rfd_phy::bluetooth::demod::PiconetId {
+                lap: 0x9E8B33,
+                uap: 0x47,
+            }],
         );
         rx.process(&sig);
         let results = rx.finish();
-        prop_assert_eq!(results.len(), 1);
+        assert_eq!(results.len(), 1);
         let parsed = results[0].parsed.as_ref().expect("parsed");
-        prop_assert!(parsed.crc_ok);
-        prop_assert_eq!(&parsed.payload, &payload);
-    }
+        assert!(parsed.crc_ok);
+        assert_eq!(&parsed.payload, &payload);
+    });
+}
 
-    /// ZigBee frames round-trip for random payloads.
-    #[test]
-    fn zigbee_round_trip(
-        payload in proptest::collection::vec(any::<u8>(), 1..100),
-        lead in 16usize..120,
-    ) {
+/// ZigBee frames round-trip for random payloads.
+#[test]
+fn zigbee_round_trip() {
+    seeded_cases(0x5EED_1005, 24, |rng| {
+        let payload = random_bytes(rng, 1, 100);
+        let lead = 16 + rng.next_range(104) as usize;
         let frame = rfd_phy::zigbee::ZigbeeFrame::new(payload);
         let w = rfd_phy::zigbee::modulate(&frame, 4);
         let sig = pad(&w.samples, lead, 64);
         let rx = rfd_phy::zigbee::demodulate(&sig, 4).expect("decode");
-        prop_assert_eq!(rx, frame);
-    }
+        assert_eq!(rx, frame);
+    });
+}
 
-    /// Distinct LAPs always yield sync words at BCH distance >= 14.
-    #[test]
-    fn sync_word_distance(a in 0u32..0x100_0000, b in 0u32..0x100_0000) {
-        prop_assume!(a != b);
+/// Distinct LAPs always yield sync words at BCH distance >= 14.
+#[test]
+fn sync_word_distance() {
+    seeded_cases(0x5EED_1006, 256, |rng| {
+        let a = rng.next_range(0x100_0000) as u32;
+        let b = rng.next_range(0x100_0000) as u32;
+        if a == b {
+            return;
+        }
         let d = (rfd_phy::bluetooth::access_code::sync_word(a)
             ^ rfd_phy::bluetooth::access_code::sync_word(b))
         .count_ones();
-        prop_assert!(d >= 14, "laps {a:06x}/{b:06x} distance {d}");
-    }
+        assert!(d >= 14, "laps {a:06x}/{b:06x} distance {d}");
+    });
 }

@@ -1,140 +1,159 @@
-//! Property-based tests of the monitoring pipeline's invariants: peak
+//! Randomized-case tests of the monitoring pipeline's invariants: peak
 //! detection geometry, dispatcher bookkeeping, trace-format round trips,
-//! coding-layer guarantees.
+//! coding-layer guarantees. Each test sweeps deterministic seeded cases via
+//! [`rfd_integration::seeded_cases`], so every failure reproduces exactly.
 
-use proptest::prelude::*;
 use rfd_dsp::coding::{
-    bits_to_bytes_lsb, bytes_to_bits_lsb, hamming1510_decode, hamming1510_encode,
-    repeat3_decode, repeat3_encode, Crc, Scrambler, Whitener,
+    bits_to_bytes_lsb, bytes_to_bits_lsb, hamming1510_decode, hamming1510_encode, repeat3_decode,
+    repeat3_encode, Crc, Scrambler, Whitener,
 };
 use rfd_dsp::rng::GaussianGen;
 use rfd_dsp::Complex32;
+use rfd_integration::{random_bytes, seeded_cases};
 use rfdump::peak::{detect_peaks, PeakDetectorConfig};
 
 fn bursty(n: usize, bursts: &[(usize, usize)], noise: f32, seed: u64) -> Vec<Complex32> {
     let mut sig = vec![Complex32::ZERO; n];
     for &(s, l) in bursts {
-        for i in s..(s + l).min(n) {
-            sig[i] = Complex32::cis(i as f32 * 0.7);
+        for (i, z) in sig.iter_mut().enumerate().take((s + l).min(n)).skip(s) {
+            *z = Complex32::cis(i as f32 * 0.7);
         }
     }
     GaussianGen::new(seed).add_awgn(&mut sig, noise);
     sig
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
-
-    /// Peaks are ordered, non-overlapping, and cover every strong burst.
-    #[test]
-    fn peak_detector_invariants(
-        gaps in proptest::collection::vec(2_000usize..20_000, 1..5),
-        lens in proptest::collection::vec(400usize..4_000, 5),
-        seed in 0u64..500,
-    ) {
+/// Peaks are ordered, non-overlapping, and cover every strong burst.
+#[test]
+fn peak_detector_invariants() {
+    seeded_cases(0x5EED_0001, 32, |rng| {
+        let n_bursts = 1 + rng.next_range(4) as usize;
+        let lens: Vec<usize> = (0..5)
+            .map(|_| 400 + rng.next_range(3_600) as usize)
+            .collect();
         let mut bursts = Vec::new();
         let mut pos = 3_000usize;
-        for (i, g) in gaps.iter().enumerate() {
+        for i in 0..n_bursts {
+            let gap = 2_000 + rng.next_range(18_000) as usize;
             bursts.push((pos, lens[i % lens.len()]));
-            pos += lens[i % lens.len()] + g;
+            pos += lens[i % lens.len()] + gap;
         }
         let n = pos + 3_000;
-        let sig = bursty(n, &bursts, 1e-4, seed);
+        let sig = bursty(n, &bursts, 1e-4, rng.next_range(500));
         let peaks = detect_peaks(
             &sig,
             8e6,
-            PeakDetectorConfig { noise_floor: Some(1e-4), ..Default::default() },
+            PeakDetectorConfig {
+                noise_floor: Some(1e-4),
+                ..Default::default()
+            },
         );
         // One peak per burst.
-        prop_assert_eq!(peaks.len(), bursts.len());
+        assert_eq!(peaks.len(), bursts.len());
         // Ordered and non-overlapping, ids increasing.
         for w in peaks.windows(2) {
-            prop_assert!(w[0].peak.end <= w[1].peak.start);
-            prop_assert!(w[0].peak.id < w[1].peak.id);
+            assert!(w[0].peak.end <= w[1].peak.start);
+            assert!(w[0].peak.id < w[1].peak.id);
         }
         // Each burst covered with tight edges.
         for ((s, l), pb) in bursts.iter().zip(peaks.iter()) {
             let p = pb.peak;
-            prop_assert!((p.start as i64 - *s as i64).abs() <= 30, "start {} vs {}", p.start, s);
-            prop_assert!((p.end as i64 - (*s + *l) as i64).abs() <= 60, "end {} vs {}", p.end, s + l);
+            assert!(
+                (p.start as i64 - *s as i64).abs() <= 30,
+                "start {} vs {}",
+                p.start,
+                s
+            );
+            assert!(
+                (p.end as i64 - (*s + *l) as i64).abs() <= 60,
+                "end {} vs {}",
+                p.end,
+                s + l
+            );
             // PeakBlock samples must match the original stream.
             let a = (p.start - pb.sample_start) as usize;
             for k in (0..(p.len() as usize)).step_by(97) {
-                prop_assert_eq!(pb.samples[a + k], sig[p.start as usize + k]);
+                assert_eq!(pb.samples[a + k], sig[p.start as usize + k]);
             }
         }
-    }
+    });
+}
 
-    /// CRC engines detect every 1- and 2-bit error.
-    #[test]
-    fn crc_detects_small_errors(
-        data in proptest::collection::vec(any::<u8>(), 4..64),
-        which in 0usize..3,
-        b1 in 0usize..512,
-        b2 in 0usize..512,
-    ) {
+/// CRC engines detect every 1- and 2-bit error.
+#[test]
+fn crc_detects_small_errors() {
+    seeded_cases(0x5EED_0002, 96, |rng| {
+        let data = random_bytes(rng, 4, 64);
         let crc = [Crc::crc32_ieee(), Crc::crc16_x25(), Crc::crc16_802154()]
-            [which]
+            [rng.next_range(3) as usize]
             .clone();
         let good = crc.compute(&data);
         let nbits = data.len() * 8;
-        let (b1, b2) = (b1 % nbits, b2 % nbits);
+        let b1 = rng.next_range(nbits as u64) as usize;
+        let b2 = rng.next_range(nbits as u64) as usize;
         let mut bad = data.clone();
         bad[b1 / 8] ^= 1 << (b1 % 8);
-        prop_assert_ne!(crc.compute(&bad), good, "single-bit error missed");
+        assert_ne!(crc.compute(&bad), good, "single-bit error missed");
         if b2 != b1 {
             bad[b2 / 8] ^= 1 << (b2 % 8);
-            prop_assert_ne!(crc.compute(&bad), good, "double-bit error missed");
+            assert_ne!(crc.compute(&bad), good, "double-bit error missed");
         }
-    }
+    });
+}
 
-    /// Scrambler/descrambler and whitener are exact inverses; bit<->byte
-    /// packing round-trips.
-    #[test]
-    fn coding_round_trips(
-        data in proptest::collection::vec(any::<u8>(), 1..128),
-        seed in 0u8..0x80,
-        clk in 0u32..64,
-    ) {
+/// Scrambler/descrambler and whitener are exact inverses; bit<->byte
+/// packing round-trips.
+#[test]
+fn coding_round_trips() {
+    seeded_cases(0x5EED_0003, 64, |rng| {
+        let data = random_bytes(rng, 1, 128);
+        let seed = (rng.next_range(0x80)) as u8;
+        let clk = rng.next_range(64) as u32;
+
         let bits = bytes_to_bits_lsb(&data);
-        prop_assert_eq!(bits_to_bytes_lsb(&bits), data.clone());
+        assert_eq!(bits_to_bytes_lsb(&bits), data);
 
         let tx = Scrambler::new(seed).scramble(&bits);
-        prop_assert_eq!(Scrambler::new(seed).descramble(&tx), bits.clone());
+        assert_eq!(Scrambler::new(seed).descramble(&tx), bits);
 
         let mut w = bits.clone();
         Whitener::for_bt_clock(clk).apply(&mut w);
         Whitener::for_bt_clock(clk).apply(&mut w);
-        prop_assert_eq!(w, bits.clone());
+        assert_eq!(w, bits);
 
-        prop_assert_eq!(repeat3_decode(&repeat3_encode(&bits)), bits.clone());
-    }
+        assert_eq!(repeat3_decode(&repeat3_encode(&bits)), bits);
+    });
+}
 
-    /// (15,10) FEC corrects any single error per block.
-    #[test]
-    fn hamming_corrects_any_single_error(
-        blocks in 1usize..6,
-        flip in proptest::collection::vec(0usize..15, 1..6),
-        data_seed in any::<u64>(),
-    ) {
+/// (15,10) FEC corrects any single error per block.
+#[test]
+fn hamming_corrects_any_single_error() {
+    seeded_cases(0x5EED_0004, 64, |rng| {
+        let blocks = 1 + rng.next_range(5) as usize;
+        let data_seed = rng.next_u64();
         let nbits = blocks * 10;
-        let data: Vec<bool> = (0..nbits).map(|i| (data_seed >> (i % 64)) & 1 == 1).collect();
+        let data: Vec<bool> = (0..nbits)
+            .map(|i| (data_seed >> (i % 64)) & 1 == 1)
+            .collect();
         let mut coded = hamming1510_encode(&data);
-        for (blk, &f) in flip.iter().take(blocks).enumerate() {
+        for blk in 0..blocks {
+            let f = rng.next_range(15) as usize;
             coded[blk * 15 + f] = !coded[blk * 15 + f];
         }
         let (decoded, _) = hamming1510_decode(&coded);
-        prop_assert_eq!(decoded, data);
-    }
+        assert_eq!(decoded, data);
+    });
+}
 
-    /// Trace files round-trip arbitrary sample data within quantization.
-    #[test]
-    fn trace_format_round_trip(
-        vals in proptest::collection::vec((-3.0f32..3.0, -3.0f32..3.0), 1..500),
-        rate_mhz in 1u32..64,
-    ) {
-        let samples: Vec<Complex32> =
-            vals.iter().map(|&(re, im)| Complex32::new(re, im)).collect();
+/// Trace files round-trip arbitrary sample data within quantization.
+#[test]
+fn trace_format_round_trip() {
+    seeded_cases(0x5EED_0005, 48, |rng| {
+        let n = 1 + rng.next_range(499) as usize;
+        let samples: Vec<Complex32> = (0..n)
+            .map(|_| Complex32::new((rng.next_f32() - 0.5) * 6.0, (rng.next_f32() - 0.5) * 6.0))
+            .collect();
+        let rate_mhz = 1 + rng.next_range(63) as u32;
         let header = rfd_ether::trace::TraceHeader {
             sample_rate: rate_mhz as f64 * 1e6,
             center_hz: 37e6,
@@ -142,35 +161,38 @@ proptest! {
             scale: rfd_ether::trace::auto_scale(&samples),
         };
         let bytes = rfd_ether::trace::encode_trace(&header, &samples);
-        let (h2, s2) = rfd_ether::trace::decode_trace(bytes).unwrap();
-        prop_assert_eq!(h2, header);
-        prop_assert_eq!(s2.len(), samples.len());
+        let (h2, s2) = rfd_ether::trace::decode_trace(&bytes).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(s2.len(), samples.len());
         let tol = header.scale * 2e-4;
         for (a, b) in samples.iter().zip(s2.iter()) {
-            prop_assert!((*a - *b).abs() <= tol, "{} vs {}", a, b);
+            assert!((*a - *b).abs() <= tol, "{} vs {}", a, b);
         }
-    }
+    });
+}
 
-    /// PLCP headers round-trip for every rate/length combination.
-    #[test]
-    fn plcp_header_round_trip(len in 0usize..2400, rate_idx in 0usize..4) {
-        use rfd_phy::wifi::plcp::{PlcpHeader, WifiRate};
-        let rate = [WifiRate::R1, WifiRate::R2, WifiRate::R5_5, WifiRate::R11][rate_idx];
+/// PLCP headers round-trip for every rate/length combination.
+#[test]
+fn plcp_header_round_trip() {
+    use rfd_phy::wifi::plcp::{PlcpHeader, WifiRate};
+    seeded_cases(0x5EED_0006, 64, |rng| {
+        let len = rng.next_range(2400) as usize;
+        let rate =
+            [WifiRate::R1, WifiRate::R2, WifiRate::R5_5, WifiRate::R11][rng.next_range(4) as usize];
         let h = PlcpHeader::for_psdu(len, rate);
         let parsed = PlcpHeader::from_bits(&h.to_bits()).unwrap();
-        prop_assert_eq!(parsed.psdu_len(), len);
-        prop_assert_eq!(parsed.rate, rate);
-    }
+        assert_eq!(parsed.psdu_len(), len);
+        assert_eq!(parsed.rate, rate);
+    });
+}
 
-    /// MAC frames round-trip and corruption is always caught by the FCS.
-    #[test]
-    fn mac_frame_fcs_guarantees(
-        body in proptest::collection::vec(any::<u8>(), 0..256),
-        seq in 0u16..4096,
-        flip_byte in any::<u16>(),
-        flip_bit in 0u8..8,
-    ) {
-        use rfd_phy::wifi::frame::{MacAddr, MacFrame};
+/// MAC frames round-trip and corruption is always caught by the FCS.
+#[test]
+fn mac_frame_fcs_guarantees() {
+    use rfd_phy::wifi::frame::{MacAddr, MacFrame};
+    seeded_cases(0x5EED_0007, 64, |rng| {
+        let body = random_bytes(rng, 0, 256);
+        let seq = rng.next_range(4096) as u16;
         let f = MacFrame::data(
             MacAddr::station(1),
             MacAddr::station(2),
@@ -179,12 +201,15 @@ proptest! {
             body,
         );
         let bytes = f.to_bytes();
-        prop_assert_eq!(MacFrame::from_bytes(&bytes).unwrap(), f);
+        assert_eq!(MacFrame::from_bytes(&bytes).unwrap(), f);
         let mut bad = bytes.clone();
-        let idx = (flip_byte as usize) % bad.len();
-        bad[idx] ^= 1 << flip_bit;
-        prop_assert!(MacFrame::from_bytes(&bad).is_none(), "corruption at byte {idx} accepted");
-    }
+        let idx = rng.next_range(bad.len() as u64) as usize;
+        bad[idx] ^= 1 << rng.next_range(8);
+        assert!(
+            MacFrame::from_bytes(&bad).is_none(),
+            "corruption at byte {idx} accepted"
+        );
+    });
 }
 
 /// The dispatcher conserves peaks: every offered peak is either dispatched
@@ -217,7 +242,11 @@ fn dispatcher_conserves_peaks() {
         let votes = if rng.next_bool(0.6) {
             vec![Classification {
                 peak_id: id,
-                protocol: if rng.next_bool(0.5) { Protocol::Wifi } else { Protocol::Bluetooth },
+                protocol: if rng.next_bool(0.5) {
+                    Protocol::Wifi
+                } else {
+                    Protocol::Bluetooth
+                },
                 confidence: 0.5 + rng.next_f32() * 0.5,
                 channel: None,
                 range: None,
