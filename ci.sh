@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI gate for the rfdump workspace. Runs entirely offline:
 #   1. formatting and lints (rustfmt, clippy -D warnings)
-#   2. tier-1: release build + full test suite
+#   2. tier-1: release build + full test suite, single-threaded
+#      (RFD_WORKERS=0) and again on the work-stealing analysis pool
+#      (RFD_WORKERS=4) — the pipeline must be deterministic across both
 #   3. a smoke run of the rfdump CLI over a tiny generated .rfdt trace,
 #      checking that --stats-json emits a document the in-repo parser and
-#      schema checks accept.
+#      schema checks accept, and that --workers 0 and --workers 4 print a
+#      byte-identical record stream.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,9 +17,12 @@ cargo fmt --all --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: build + test =="
+echo "== tier-1: build + test (RFD_WORKERS=0) =="
 cargo build --release
-cargo test -q
+RFD_WORKERS=0 cargo test -q
+
+echo "== tier-1: test again on the analysis pool (RFD_WORKERS=4) =="
+RFD_WORKERS=4 cargo test -q
 
 echo "== smoke: rfdump --stats-json on a generated trace =="
 work="$(mktemp -d)"
@@ -36,5 +42,13 @@ trace="$work/rfdump-example.rfdt"
 # stats_inspect parses the document with the in-repo codec and asserts the
 # rfd-stats schema/version before printing; a malformed document fails here.
 cargo run --release -q -p rfd-examples --bin stats_inspect "$work/stats.json" >/dev/null
+
+echo "== determinism: --workers 0 vs --workers 4 =="
+./target/release/rfdump -r "$trace" --workers 0 > "$work/records-w0.txt"
+./target/release/rfdump -r "$trace" --workers 4 > "$work/records-w4.txt"
+if ! diff -u "$work/records-w0.txt" "$work/records-w4.txt"; then
+    echo "nondeterministic output: record stream differs between worker counts"
+    exit 1
+fi
 
 echo "ci: all checks passed"

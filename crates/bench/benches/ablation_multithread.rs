@@ -1,4 +1,4 @@
-//! Ablation: multi-threaded scheduler (paper §2.2).
+//! Ablation: multi-threaded execution (paper §2.2).
 //!
 //! "Note that the RFDump architecture ... has inherent parallelism that can
 //! be exploited using multi-threading. This is, of course, important on
@@ -6,17 +6,31 @@
 //! currently does not support multi-threading, so the measurements in this
 //! paper only use a single core."
 //!
-//! Our flowgraph has both schedulers, so we can run the experiment the
-//! paper could not: same graphs, single-threaded vs one-thread-per-block,
-//! comparing wall-clock time (total CPU is expected to be similar or
-//! slightly higher threaded; wall time is what parallelism buys).
+//! We run the experiment the paper could not, along two axes:
+//!
+//! 1. Scheduler: the same flowgraph under the single-threaded scheduler vs
+//!    one-thread-per-block (`threaded: true`).
+//! 2. Analysis pool: the work-stealing demodulation pool (`workers: N`)
+//!    swept over worker counts on the Figure 6 Wi-Fi unicast workload,
+//!    asserting the record output is identical at every count and
+//!    reporting wall-clock speedup vs the single-threaded baseline.
+//!
+//! Writes `BENCH_multithread.json` with the sweep (speedup per worker
+//! count plus the core count, so single-core CI runs are interpretable).
 //!
 //! Run: `cargo bench -p rfd-bench --bench ablation_multithread`
 
+use rfd_bench::report::BenchReport;
 use rfd_bench::*;
+use rfd_telemetry::json::JsonValue;
 use rfdump::arch::{run_architecture, ArchConfig, ArchKind, DetectorSet};
 
 fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- Axis 1: per-block threaded scheduler vs single-threaded -------
     let trace = utilization_trace(0.6, 150_000.0 * scale(), 4040);
     let real = trace.samples.len() as f64 / trace.band.sample_rate;
 
@@ -40,6 +54,7 @@ fn main() {
                 microwave: false,
                 threaded,
                 telemetry: false,
+                workers: 0,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             per_sched.push((
@@ -68,30 +83,123 @@ fn main() {
         ],
         &rows,
     );
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+
+    // --- Axis 2: work-stealing analysis pool, worker sweep -------------
+    // The Figure 6 workload: 802.11 unicast pings at high SNR, full
+    // demodulation — the per-packet analysis is the heavy, parallel part.
+    let wifi = unicast_trace(scaled(30), 500, 25.0, 600);
+    let wifi_real = wifi.samples.len() as f64 / wifi.band.sample_rate;
+    let fs = wifi.band.sample_rate;
+    let run = |workers: usize| {
+        let cfg = ArchConfig {
+            kind: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+            demodulate: true,
+            band: wifi.band,
+            piconets: vec![piconet()],
+            noise_floor: Some(wifi.noise_power),
+            zigbee: false,
+            microwave: false,
+            threaded: false,
+            telemetry: false,
+            workers,
+        };
+        run_architecture(&cfg, &wifi.samples, fs)
+    };
+
+    let worker_counts = [0usize, 1, 2, 4, 8];
+    // Warm-up, and the determinism reference: the single-threaded stream.
+    let baseline = run(0);
+    let reference: Vec<String> = baseline.records.iter().map(|r| r.format_line()).collect();
+
+    let mut report = BenchReport::new("multithread");
+    let mut sweep = Vec::new();
+    let mut pool_rows = Vec::new();
+    let mut best_wall = f64::INFINITY;
+    let mut speedup_at_4 = 0.0;
+    // Best-of-3 per worker count: wall time on a shared machine is noisy
+    // and the workload is deterministic.
+    let iters = 3;
+    let mut st_wall = f64::INFINITY;
+    for &w in &worker_counts {
+        let mut wall = f64::INFINITY;
+        let mut stolen = 0u64;
+        let mut n_records = 0usize;
+        for _ in 0..iters {
+            let out = run(w);
+            let lines: Vec<String> = out.records.iter().map(|r| r.format_line()).collect();
+            assert_eq!(
+                lines, reference,
+                "pool with {w} workers diverged from the single-threaded stream"
+            );
+            wall = wall.min(out.stats.wall.as_secs_f64());
+            stolen = out.pool_stats.as_ref().map(|p| p.stolen()).unwrap_or(0);
+            n_records = out.records.len();
+        }
+        if w == 0 {
+            st_wall = wall;
+        }
+        let speedup = st_wall / wall;
+        if w == 4 {
+            speedup_at_4 = speedup;
+        }
+        best_wall = best_wall.min(wall);
+        pool_rows.push(vec![
+            if w == 0 {
+                "0 (single-thread)".to_string()
+            } else {
+                w.to_string()
+            },
+            format!("{:.3}", wall / wifi_real),
+            format!("{speedup:.2}x"),
+            stolen.to_string(),
+            n_records.to_string(),
+        ]);
+        sweep.push(JsonValue::obj(vec![
+            ("workers", JsonValue::num(w as f64)),
+            ("wall_s", JsonValue::num(wall)),
+            ("wall_over_realtime", JsonValue::num(wall / wifi_real)),
+            ("speedup", JsonValue::num(speedup)),
+            ("stolen", JsonValue::num(stolen as f64)),
+            ("records", JsonValue::num(n_records as f64)),
+        ]));
+    }
+    print_table(
+        "Ablation — work-stealing analysis pool, fig6 Wi-Fi workload",
+        &["workers", "wall/RT", "speedup", "stolen", "records"],
+        &pool_rows,
+    );
+
+    report.push("cores", JsonValue::num(cores as f64));
+    report.push("iters_per_point", JsonValue::num(iters as f64));
+    report.push("worker_sweep", JsonValue::Arr(sweep));
+    report.push("speedup_at_4_workers", JsonValue::num(speedup_at_4));
+    report.push(
+        "deterministic_across_worker_counts",
+        JsonValue::Bool(true), // asserted above; reaching here means it held
+    );
+    match report.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("failed to write bench json: {e}"),
+    }
+
     println!("\navailable cores: {cores}");
     if cores > 1 {
         println!(
-            "expected with {cores} cores: the naive graph parallelizes well (the\n\
-             Wi-Fi receiver and the per-channel Bluetooth receivers are\n\
-             independent, heavy, and fed by a cheap tee — up to ~8-way); the\n\
-             rfdump graph is already far below real time single-threaded, so\n\
-             threading buys little there — the architecture, not the\n\
-             scheduler, is what makes real-time monitoring feasible."
+            "expected with {cores} cores: demodulation dominates the rfdump\n\
+             pipeline at high SNR, so the pool's speedup approaches the lesser\n\
+             of the worker count and the core count until detection becomes\n\
+             the bottleneck."
         );
     } else {
         println!(
-            "expected with 1 core: no speedup is possible — the MT rows only\n\
-             verify that the threaded scheduler produces identical results at\n\
-             a modest synchronization overhead. On a multi-core machine the\n\
-             naive graph's independent demodulator blocks (1 Wi-Fi + one per\n\
-             Bluetooth channel) parallelize up to ~8-way."
+            "expected with 1 core: no speedup is possible — the sweep only\n\
+             verifies that every worker count produces a byte-identical record\n\
+             stream at a modest synchronization overhead. Interpret the\n\
+             speedup column together with the cores field in the JSON."
         );
     }
     println!(
-        "in both cases the schedulers must produce identical packet counts\n\
-         (asserted above)."
+        "in all cases every configuration must produce an identical record\n\
+         stream (asserted above)."
     );
 }

@@ -61,6 +61,7 @@ fn main() {
         microwave: false,
         threaded: false,
         telemetry,
+        workers: 0,
     };
     let fs = trace.band.sample_rate;
     let one = |telemetry: bool| -> f64 {

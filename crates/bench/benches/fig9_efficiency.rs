@@ -100,6 +100,7 @@ fn main() {
                 microwave: false,
                 threaded: false,
                 telemetry: false,
+                workers: 0,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             row.push(format!("{:.3}", out.cpu_over_realtime()));

@@ -27,6 +27,14 @@ pub trait Analyzer: Send {
     fn analyze(&mut self, d: &Dispatch) -> Vec<PacketRecord>;
 }
 
+/// The record every analysis path starts from: the dispatcher's tentative
+/// classification with the best vote's confidence and channel hint. Used by
+/// the analyzers as the demodulation-failure fallback and by detection-only
+/// runs as the record itself.
+pub fn detected_only_record(d: &Dispatch, protocol: Protocol) -> PacketRecord {
+    base_record(d, protocol)
+}
+
 fn base_record(d: &Dispatch, protocol: Protocol) -> PacketRecord {
     let v = d.vote_for(protocol);
     PacketRecord {

@@ -21,7 +21,9 @@ use crate::detect::{
     MicrowaveTimingDetector, WifiDifsDetector, WifiPhaseDetector, WifiSifsDetector,
     ZigbeePhaseDetector, ZigbeeTimingDetector,
 };
-use crate::dispatch::{Dispatch, DispatchConfig, DispatchStats, Dispatcher};
+use crate::dispatch::{
+    AnalysisPool, Dispatch, DispatchConfig, DispatchStats, Dispatcher, PooledAnalysis,
+};
 use crate::eval::ClassifiedPeak;
 use crate::peak::{PeakDetector, PeakDetectorConfig};
 use crate::records::{PacketInfo, PacketRecord};
@@ -86,6 +88,23 @@ pub struct ArchConfig {
     /// run. Off measures the pipeline's bare cost; the delta between the
     /// two settings is the observability overhead.
     pub telemetry: bool,
+    /// Worker threads for the RFDump analysis stage. `0` is the
+    /// single-threaded reference path (analyzers as flowgraph blocks on the
+    /// scheduler thread); `N >= 1` runs them on a work-stealing pool of `N`
+    /// threads with a deterministic merge, so the record output is
+    /// byte-identical either way. Ignored by the naïve architectures.
+    pub workers: usize,
+}
+
+/// The default analysis worker count: the `RFD_WORKERS` environment
+/// variable when set to a non-negative integer, else `0` (single-threaded).
+/// Letting the environment pick means an entire test suite can be rerun
+/// against the pool without touching any call site.
+pub fn default_workers() -> usize {
+    std::env::var("RFD_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 impl ArchConfig {
@@ -101,6 +120,7 @@ impl ArchConfig {
             microwave: true,
             threaded: false,
             telemetry: true,
+            workers: default_workers(),
         }
     }
 
@@ -116,6 +136,7 @@ impl ArchConfig {
             microwave: false,
             threaded: false,
             telemetry: true,
+            workers: default_workers(),
         }
     }
 }
@@ -139,6 +160,9 @@ pub struct ArchOutput {
     /// The telemetry registry, when [`ArchConfig::telemetry`] was set:
     /// counters, gauges, histograms and the span trace from the run.
     pub registry: Option<Arc<Registry>>,
+    /// Work-stealing pool statistics (RFDump with [`ArchConfig::workers`]
+    /// ≥ 1 only): per-worker executed/stolen counts, busy and stall time.
+    pub pool_stats: Option<rfd_flowgraph::pool::PoolStats>,
 }
 
 impl ArchOutput {
@@ -482,6 +506,7 @@ fn run_naive(
         trace_seconds,
         sample_rate: fs,
         registry: None,
+        pool_stats: None,
     }
 }
 
@@ -605,6 +630,7 @@ fn run_naive_energy(
         trace_seconds,
         sample_rate: fs,
         registry: None,
+        pool_stats: None,
     }
 }
 
@@ -623,6 +649,11 @@ struct DetectDispatchBlock {
     stats_out: Arc<Mutex<Option<DispatchStats>>>,
     /// Protocol of each output port.
     ports: Vec<Protocol>,
+    /// Fan-out mode: `true` clones each dispatch to one output port per
+    /// matching protocol (the single-threaded graph, one analyzer block per
+    /// port); `false` emits each dispatch exactly once on port 0 (the
+    /// pooled graph, where the pool task runs every matching analyzer).
+    fan_out: bool,
     /// Per-detector (vote counter, confidence histogram), parallel to
     /// `detectors`; empty when telemetry is off.
     det_tel: Vec<(Arc<Counter>, Arc<Histogram>)>,
@@ -643,10 +674,14 @@ impl DetectDispatchBlock {
                     end_sample: b,
                 });
             }
-            for (port, proto) in self.ports.iter().enumerate() {
-                if d.vote_for(*proto).is_some() {
-                    outputs[port].push(Box::new(d.clone()));
+            if self.fan_out {
+                for (port, proto) in self.ports.iter().enumerate() {
+                    if d.vote_for(*proto).is_some() {
+                        outputs[port].push(Box::new(d.clone()));
+                    }
                 }
+            } else {
+                outputs[0].push(Box::new(d));
             }
         }
     }
@@ -661,7 +696,11 @@ impl Block for DetectDispatchBlock {
         DISPATCH_BLOCK_NAME
     }
     fn num_outputs(&self) -> usize {
-        self.ports.len()
+        if self.fan_out {
+            self.ports.len()
+        } else {
+            1
+        }
     }
     fn work(
         &mut self,
@@ -761,23 +800,100 @@ impl Block for AnalyzerBlock {
                     outputs[0].push(Box::new(rec));
                 }
             } else {
-                // Detection-only: emit the tentative classification.
-                let proto = self.analyzer.protocol();
-                let v = d.vote_for(proto);
-                outputs[0].push(Box::new(PacketRecord {
-                    protocol: proto,
-                    start_us: d.block.start_us(),
-                    end_us: d.block.end_us(),
-                    snr_db: d.block.peak.snr_db(),
-                    channel: v.and_then(|v| v.channel),
-                    info: PacketInfo::DetectedOnly {
-                        confidence: v.map(|v| v.confidence).unwrap_or(0.0),
-                    },
-                }));
+                // Detection-only: emit the tentative classification (shared
+                // with the pooled path, so both modes emit identical records).
+                outputs[0].push(Box::new(crate::analyze::detected_only_record(
+                    &d,
+                    self.analyzer.protocol(),
+                )));
             }
         }
         WorkStatus::Again
     }
+}
+
+/// Name of the pooled analysis block; its row in the stats table carries
+/// only the submit/merge bookkeeping — worker CPU is reported as one
+/// pseudo-row per analyzer, under the same names the single-threaded graph
+/// uses for its analyzer blocks.
+const POOL_BLOCK_NAME: &str = "analyze:pool";
+
+/// The pooled analysis stage as a flowgraph block: dispatches in, nothing
+/// out of the graph — records accumulate per output port behind shared
+/// storage, mirroring the per-analyzer sinks of the single-threaded graph
+/// so final record assembly is identical in both modes.
+struct PooledAnalyzeBlock {
+    pool: Option<AnalysisPool>,
+    per_port: Arc<Mutex<Vec<Vec<PacketRecord>>>>,
+    result: Arc<Mutex<Option<PooledAnalysis>>>,
+}
+
+impl PooledAnalyzeBlock {
+    fn store(&self, recs: Vec<(usize, PacketRecord)>) {
+        if recs.is_empty() {
+            return;
+        }
+        let mut pp = self.per_port.lock();
+        for (port, r) in recs {
+            pp[port].push(r);
+        }
+    }
+}
+
+impl Block for PooledAnalyzeBlock {
+    fn name(&self) -> &str {
+        POOL_BLOCK_NAME
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        _outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
+        let pool = self.pool.as_mut().expect("pool lives until finish");
+        while let Some(p) = inputs[0].pop_front() {
+            let d = p.downcast::<Dispatch>().expect("Dispatch");
+            // Blocks when the injector is full: backpressure toward the
+            // detection stage (and, through it, the trace reader).
+            pool.submit(*d);
+        }
+        let ready = pool.drain_ordered();
+        self.store(ready);
+        WorkStatus::Again
+    }
+    fn finish(&mut self, _outputs: &mut [Vec<Payload>]) {
+        let pool = self.pool.take().expect("finish called exactly once");
+        let (rest, result) = pool.finish();
+        self.store(rest);
+        *self.result.lock() = Some(result);
+    }
+}
+
+/// The analyzer lineup for an RFDump run, in output-port order. Both the
+/// single-threaded graph and every pool worker build their lineup through
+/// this one function, so the per-port analyzers — and therefore the records
+/// they emit — cannot diverge between modes.
+fn make_analyzers(cfg: &ArchConfig, fs: f64) -> Vec<Box<dyn Analyzer>> {
+    let mut analyzers: Vec<Box<dyn Analyzer>> = vec![
+        Box::new(WifiAnalyzer),
+        Box::new(BtAnalyzer::new(
+            fs,
+            cfg.band.center_hz,
+            cfg.piconets.clone(),
+        )),
+    ];
+    if cfg.zigbee {
+        analyzers.push(Box::new(ZigbeeAnalyzer::new(
+            cfg.band.center_hz,
+            cfg.band.center_hz,
+        )));
+    }
+    if cfg.microwave {
+        analyzers.push(Box::new(MicrowaveAnalyzer));
+    }
+    analyzers
 }
 
 fn build_detectors(cfg: &ArchConfig, set: DetectorSet, fs: f64) -> Vec<Box<dyn FastDetector>> {
@@ -824,24 +940,9 @@ fn run_rfdump(
     trace_seconds: f64,
 ) -> ArchOutput {
     // Analyzer lineup.
-    let mut analyzers: Vec<Box<dyn Analyzer>> = vec![
-        Box::new(WifiAnalyzer),
-        Box::new(BtAnalyzer::new(
-            fs,
-            cfg.band.center_hz,
-            cfg.piconets.clone(),
-        )),
-    ];
-    if cfg.zigbee {
-        analyzers.push(Box::new(ZigbeeAnalyzer::new(
-            cfg.band.center_hz,
-            cfg.band.center_hz,
-        )));
-    }
-    if cfg.microwave {
-        analyzers.push(Box::new(MicrowaveAnalyzer));
-    }
+    let analyzers = make_analyzers(cfg, fs);
     let ports: Vec<Protocol> = analyzers.iter().map(|a| a.protocol()).collect();
+    let pooled = cfg.workers > 0;
 
     let detectors = build_detectors(cfg, set, fs);
     let timings = Arc::new(Mutex::new(
@@ -888,19 +989,39 @@ fn run_rfdump(
         classified: classified.clone(),
         stats_out: dstats.clone(),
         ports: ports.clone(),
+        fan_out: !pooled,
         det_tel,
     }));
     fg.connect(src, 0, peak, 0);
     fg.connect(peak, 0, detect, 0);
 
     let mut outs = Vec::new();
-    for (i, az) in analyzers.into_iter().enumerate() {
-        let blk = fg.add(Box::new(AnalyzerBlock::new(az, cfg.demodulate, registry)));
-        let sink = Box::new(VecSink::<PacketRecord>::new("sink:records"));
-        outs.push(sink.storage());
-        let k = fg.add(sink);
-        fg.connect(detect, i, blk, 0);
-        fg.connect(blk, 0, k, 0);
+    let per_port = Arc::new(Mutex::new(vec![Vec::<PacketRecord>::new(); ports.len()]));
+    let pool_result = Arc::new(Mutex::new(None));
+    if pooled {
+        drop(analyzers); // pool workers build their own lineups
+        let factory_cfg = cfg.clone();
+        let pool = AnalysisPool::new(
+            cfg.workers,
+            move || make_analyzers(&factory_cfg, fs),
+            cfg.demodulate,
+            registry.clone(),
+        );
+        let blk = fg.add(Box::new(PooledAnalyzeBlock {
+            pool: Some(pool),
+            per_port: per_port.clone(),
+            result: pool_result.clone(),
+        }));
+        fg.connect(detect, 0, blk, 0);
+    } else {
+        for (i, az) in analyzers.into_iter().enumerate() {
+            let blk = fg.add(Box::new(AnalyzerBlock::new(az, cfg.demodulate, registry)));
+            let sink = Box::new(VecSink::<PacketRecord>::new("sink:records"));
+            outs.push(sink.storage());
+            let k = fg.add(sink);
+            fg.connect(detect, i, blk, 0);
+            fg.connect(blk, 0, k, 0);
+        }
     }
 
     let mut stats = run_graph(&mut fg, cfg.threaded);
@@ -925,9 +1046,42 @@ fn run_rfdump(
         });
     }
 
+    // Pooled runs: surface worker CPU as one pseudo-row per analyzer, under
+    // the same names the single-threaded analyzer blocks use, so stage and
+    // per-analyzer accounting is comparable across modes. The pool block's
+    // own row spent most of its measured time *blocked* on submit/join while
+    // workers ran that same analyzer CPU, so carve the analyzer total out of
+    // it (same saturating treatment as the detector timings above).
+    let mut pool_stats = None;
+    if pooled {
+        let result = pool_result.lock().take().expect("pooled run finished");
+        let analyzer_cpu: Duration = result.analyzers.iter().map(|a| a.cpu).sum();
+        if let Some(b) = stats.blocks.iter_mut().find(|b| b.name == POOL_BLOCK_NAME) {
+            b.cpu = b.cpu.saturating_sub(analyzer_cpu);
+        }
+        for a in &result.analyzers {
+            stats.blocks.push(rfd_flowgraph::BlockStats {
+                name: a.name.clone(),
+                cpu: a.cpu,
+                items_in: a.items_in,
+                items_out: a.items_out,
+            });
+        }
+        pool_stats = Some(result.pool);
+    }
+
+    // Per-port record streams concatenate in port order and stable-sort by
+    // start time — identically in both modes, so the output byte stream is
+    // independent of the worker count.
     let mut records: Vec<PacketRecord> = Vec::new();
-    for o in outs {
-        records.extend(o.lock().iter().cloned());
+    if pooled {
+        for port in per_port.lock().iter_mut() {
+            records.append(port);
+        }
+    } else {
+        for o in outs {
+            records.extend(o.lock().iter().cloned());
+        }
     }
     records.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
 
@@ -943,6 +1097,7 @@ fn run_rfdump(
         trace_seconds,
         sample_rate: fs,
         registry: None,
+        pool_stats,
     }
 }
 

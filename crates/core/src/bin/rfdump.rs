@@ -16,12 +16,15 @@
 //!   -s               print per-stage CPU statistics
 //!   -q               suppress packet lines (stats only)
 //!   -t               multi-threaded scheduler (one thread per block)
+//!   --workers N      analysis worker threads (0 = single-threaded; the
+//!                    record output is byte-identical for any N; default
+//!                    from RFD_WORKERS, else 0)
 //!   --no-telemetry   disable the metrics registry / span trace
 //!   --stats-json F   write the versioned rfd-stats JSON document to F
 //!   --trace-out F    write the span trace as chrome://tracing JSON to F
 //! ```
 
-use rfdump::arch::{run_architecture, ArchConfig, ArchKind, DetectorSet};
+use rfdump::arch::{default_workers, run_architecture, ArchConfig, ArchKind, DetectorSet};
 use rfdump::protocols::render_table2;
 use std::process::ExitCode;
 
@@ -35,6 +38,7 @@ struct Options {
     quiet: bool,
     threaded: bool,
     telemetry: bool,
+    workers: usize,
     stats_json: Option<String>,
     trace_out: Option<String>,
 }
@@ -42,8 +46,8 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rfdump -r FILE [-a rfdump|naive|naive-energy] [-d timing|phase|both|all]\n\
-         \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--no-telemetry]\n\
-         \x20             [--stats-json FILE] [--trace-out FILE]\n\
+         \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--workers N]\n\
+         \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         quiet: false,
         threaded: false,
         telemetry: true,
+        workers: default_workers(),
         stats_json: None,
         trace_out: None,
     };
@@ -92,6 +97,13 @@ fn parse_args() -> Result<Options, String> {
             "-s" => opts.stats = true,
             "-q" => opts.quiet = true,
             "-t" => opts.threaded = true,
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|_| "--workers needs a non-negative integer".to_string())?;
+            }
             "--no-telemetry" => opts.telemetry = false,
             "--stats-json" => {
                 opts.stats_json = Some(args.next().ok_or("--stats-json needs a file")?)
@@ -152,6 +164,7 @@ fn main() -> ExitCode {
         microwave: true,
         threaded: opts.threaded,
         telemetry: opts.telemetry || opts.stats_json.is_some() || opts.trace_out.is_some(),
+        workers: opts.workers,
     };
     let out = run_architecture(&cfg, &samples, header.sample_rate);
 
@@ -171,6 +184,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "peaks: {} total, {} unclassified",
                 ds.total_peaks, ds.unclassified_peaks
+            );
+        }
+        if let Some(ps) = &out.pool_stats {
+            eprintln!(
+                "pool: {} tasks over {} workers ({} stolen), busy {:.1} ms, stall {:.1} ms",
+                ps.executed(),
+                ps.workers.len(),
+                ps.stolen(),
+                ps.busy().as_secs_f64() * 1e3,
+                ps.stall().as_secs_f64() * 1e3,
             );
         }
     }

@@ -8,12 +8,17 @@
 //! its classification. RFDump tolerates this latency by design — the paper's
 //! monitoring requirement is throughput, not reaction time.
 
+use crate::analyze::{detected_only_record, Analyzer};
 use crate::chunk::PeakBlock;
 use crate::detect::Classification;
+use crate::records::PacketRecord;
+use rfd_flowgraph::pool::{PoolConfig, PoolStats, Reorderer, TaskPool};
+use rfd_flowgraph::sync::Mutex;
 use rfd_phy::Protocol;
-use rfd_telemetry::{Counter, Registry};
+use rfd_telemetry::{Counter, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Dispatcher configuration.
 #[derive(Debug, Clone, Copy)]
@@ -252,6 +257,210 @@ impl Dispatcher {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pooled analysis
+// ---------------------------------------------------------------------------
+
+/// What one analyzer did, summed across every pool worker. Reported as a
+/// pseudo-block in the stats table so the CPU accounting matches the
+/// single-threaded run (where each analyzer is its own flowgraph block).
+#[derive(Debug, Clone)]
+pub struct AnalyzerTotals {
+    /// Analyzer display name (e.g. `analyze:wifi-demod`).
+    pub name: String,
+    /// CPU time spent in `analyze` across all workers.
+    pub cpu: Duration,
+    /// Dispatches this analyzer consumed.
+    pub items_in: u64,
+    /// Records it produced.
+    pub items_out: u64,
+}
+
+/// Everything [`AnalysisPool::finish`] returns.
+#[derive(Debug)]
+pub struct PooledAnalysis {
+    /// Per-worker pool statistics (executed/stolen/busy/stall).
+    pub pool: PoolStats,
+    /// Per-analyzer totals, in analyzer (output-port) order.
+    pub analyzers: Vec<AnalyzerTotals>,
+}
+
+/// The parallel analysis stage: finalized [`Dispatch`]es fan out to a
+/// work-stealing pool where each worker runs its own private set of
+/// per-protocol analyzers, and results re-sequence through a
+/// [`Reorderer`] so the record stream is byte-identical to the
+/// single-threaded schedule.
+///
+/// Determinism rests on two facts: analyzers are pure per-dispatch (their
+/// state is configuration only, so the same `Dispatch` yields the same
+/// records on any worker), and each task emits `(port, record)` pairs in
+/// the same port order the single-threaded scheduler visits its analyzer
+/// blocks. Re-sequencing by submission index therefore reproduces the
+/// per-port record sequences exactly.
+pub struct AnalysisPool {
+    pool: TaskPool<Dispatch, Vec<(usize, PacketRecord)>>,
+    reorder: Reorderer<Vec<(usize, PacketRecord)>>,
+    totals: Arc<Mutex<Vec<AnalyzerTotals>>>,
+    protocols: Vec<Protocol>,
+}
+
+impl AnalysisPool {
+    /// Telemetry prefix for pool metrics
+    /// (`pool.analyze.worker<i>.{executed,stolen,stall_us,depth}`).
+    pub const TELEMETRY_PREFIX: &'static str = "pool.analyze";
+
+    /// Spawns `workers` threads (min 1). `factory` builds one analyzer
+    /// lineup per worker; it is also called once up front to learn the
+    /// lineup's names and protocols. With `demodulate` off, tasks emit the
+    /// dispatcher's tentative classification as [`detected_only_record`]s
+    /// instead of demodulating — exactly what the single-threaded
+    /// detection-only path does.
+    pub fn new(
+        workers: usize,
+        factory: impl Fn() -> Vec<Box<dyn Analyzer>> + Send + Sync + 'static,
+        demodulate: bool,
+        registry: Option<Arc<Registry>>,
+    ) -> Self {
+        let prototype = factory();
+        let protocols: Vec<Protocol> = prototype.iter().map(|a| a.protocol()).collect();
+        let totals = Arc::new(Mutex::new(
+            prototype
+                .iter()
+                .map(|a| AnalyzerTotals {
+                    name: a.name().to_string(),
+                    cpu: Duration::ZERO,
+                    items_in: 0,
+                    items_out: 0,
+                })
+                .collect::<Vec<_>>(),
+        ));
+        drop(prototype);
+        let cfg = PoolConfig::with_workers(workers);
+        let task_totals = totals.clone();
+        let task_registry = registry.clone();
+        let make =
+            move |_worker: usize| -> Box<dyn FnMut(Dispatch) -> Vec<(usize, PacketRecord)> + Send> {
+                let mut analyzers = factory();
+                let totals = task_totals.clone();
+                let registry = task_registry.clone();
+                // Per-protocol decode-latency histograms, same names as the
+                // single-threaded AnalyzerBlock publishes.
+                let latency: Vec<Option<Arc<Histogram>>> = analyzers
+                    .iter()
+                    .map(|a| {
+                        registry.as_ref().map(|r| {
+                            r.histogram(
+                                &format!("analyze.{}.latency_us", a.protocol().name()),
+                                || Histogram::exponential(1.0, 1e6, 24),
+                            )
+                        })
+                    })
+                    .collect();
+                Box::new(move |d: Dispatch| {
+                    let mut out = Vec::new();
+                    for (port, az) in analyzers.iter_mut().enumerate() {
+                        let proto = az.protocol();
+                        if d.vote_for(proto).is_none() {
+                            continue;
+                        }
+                        if demodulate {
+                            let t0 = Instant::now();
+                            let recs = az.analyze(&d);
+                            let dur = t0.elapsed();
+                            if let Some(reg) = &registry {
+                                reg.tracer().record(az.name(), "analyze", t0, dur);
+                            }
+                            if let Some(h) = &latency[port] {
+                                h.record(dur.as_secs_f64() * 1e6);
+                            }
+                            {
+                                let mut t = totals.lock();
+                                t[port].cpu += dur;
+                                t[port].items_in += 1;
+                                t[port].items_out += recs.len() as u64;
+                            }
+                            out.extend(recs.into_iter().map(|r| (port, r)));
+                        } else {
+                            {
+                                let mut t = totals.lock();
+                                t[port].items_in += 1;
+                                t[port].items_out += 1;
+                            }
+                            out.push((port, detected_only_record(&d, proto)));
+                        }
+                    }
+                    out
+                })
+            };
+        let pool = match &registry {
+            Some(reg) => TaskPool::with_telemetry(cfg, make, reg, Self::TELEMETRY_PREFIX),
+            None => TaskPool::new(cfg, make),
+        };
+        Self {
+            pool,
+            reorder: Reorderer::new(),
+            totals,
+            protocols,
+        }
+    }
+
+    /// The analyzer protocol on each output port, in port order.
+    pub fn protocols(&self) -> &[Protocol] {
+        &self.protocols
+    }
+
+    /// Submits a finalized dispatch; blocks while the injector is full
+    /// (backpressure toward the detection stage).
+    pub fn submit(&mut self, d: Dispatch) {
+        self.pool.submit(d);
+    }
+
+    /// Collects completed results, re-sequenced into submission order.
+    /// Results whose predecessors are still in flight stay buffered.
+    pub fn drain_ordered(&mut self) -> Vec<(usize, PacketRecord)> {
+        for (seq, recs) in self.pool.try_drain() {
+            self.reorder.push(seq, recs);
+        }
+        let mut out = Vec::new();
+        while let Some(recs) = self.reorder.pop_ready() {
+            out.extend(recs);
+        }
+        out
+    }
+
+    /// Joins the workers and returns the remaining in-order records plus
+    /// the pool and per-analyzer statistics.
+    ///
+    /// # Panics
+    /// Panics if any submitted dispatch failed to produce a result (a
+    /// worker lost work — which the pool's tests prove cannot happen).
+    pub fn finish(mut self) -> (Vec<(usize, PacketRecord)>, PooledAnalysis) {
+        let submitted = self.pool.submitted();
+        let (rest, pool_stats) = self.pool.finish();
+        for (seq, recs) in rest {
+            self.reorder.push(seq, recs);
+        }
+        let mut out = Vec::new();
+        while let Some(recs) = self.reorder.pop_ready() {
+            out.extend(recs);
+        }
+        assert_eq!(
+            self.reorder.next_seq(),
+            submitted,
+            "analysis pool lost results: {} of {submitted} emitted",
+            self.reorder.next_seq()
+        );
+        let analyzers = self.totals.lock().clone();
+        (
+            out,
+            PooledAnalysis {
+                pool: pool_stats,
+                analyzers,
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,5 +623,85 @@ mod tests {
             Some(37),
             "hint from the weaker vote must survive"
         );
+    }
+
+    fn pool_dispatch(id: u64, protocol: Protocol) -> Dispatch {
+        Dispatch {
+            block: PeakBlock {
+                peak: Peak {
+                    id,
+                    start: id * 1_000,
+                    end: id * 1_000 + 200,
+                    mean_power: 1.0,
+                    noise_floor: 1e-4,
+                },
+                samples: Arc::new(
+                    (0..200)
+                        .map(|i| rfd_dsp::Complex32::cis((id as f32 + 1.0) * i as f32 * 0.3))
+                        .collect(),
+                ),
+                sample_start: id * 1_000,
+                sample_rate: 8e6,
+            },
+            votes: vec![super::Vote {
+                protocol,
+                confidence: 0.9,
+                channel: None,
+                range: None,
+            }],
+        }
+    }
+
+    fn analyzer_lineup() -> Vec<Box<dyn Analyzer>> {
+        vec![
+            Box::new(crate::analyze::WifiAnalyzer),
+            Box::new(crate::analyze::MicrowaveAnalyzer),
+        ]
+    }
+
+    #[test]
+    fn analysis_pool_matches_sequential_at_any_worker_count() {
+        let protos = [Protocol::Wifi, Protocol::Microwave];
+        let dispatches: Vec<Dispatch> = (0..40)
+            .map(|i| pool_dispatch(i, protos[i as usize % 2]))
+            .collect();
+        // Sequential reference: each analyzer in port order per dispatch.
+        let mut reference = Vec::new();
+        let mut seq_az = analyzer_lineup();
+        for d in &dispatches {
+            for (port, az) in seq_az.iter_mut().enumerate() {
+                if d.vote_for(az.protocol()).is_some() {
+                    reference.extend(az.analyze(d).into_iter().map(|r| (port, r)));
+                }
+            }
+        }
+        for workers in [1, 2, 4] {
+            let mut pool = AnalysisPool::new(workers, analyzer_lineup, true, None);
+            assert_eq!(pool.protocols(), &protos[..]);
+            let mut got = Vec::new();
+            for d in &dispatches {
+                pool.submit(d.clone());
+                got.extend(pool.drain_ordered());
+            }
+            let (rest, result) = pool.finish();
+            got.extend(rest);
+            assert_eq!(got, reference, "workers={workers}");
+            assert_eq!(result.pool.executed(), dispatches.len() as u64);
+            let total_in: u64 = result.analyzers.iter().map(|a| a.items_in).sum();
+            assert_eq!(total_in, dispatches.len() as u64);
+        }
+    }
+
+    #[test]
+    fn analysis_pool_detection_only_emits_tentative_records() {
+        let d = pool_dispatch(0, Protocol::Microwave);
+        let mut pool = AnalysisPool::new(2, analyzer_lineup, false, None);
+        pool.submit(d.clone());
+        let (recs, result) = pool.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, 1, "microwave is port 1");
+        assert_eq!(recs[0].1, detected_only_record(&d, Protocol::Microwave));
+        assert_eq!(result.analyzers[1].items_out, 1);
+        assert_eq!(result.analyzers[0].items_out, 0);
     }
 }

@@ -13,8 +13,13 @@
 //! * **1** — initial layout: `trace`, `blocks`, `total`, `stages`,
 //!   `dispatch` (null for naïve architectures), `counters`, `gauges`,
 //!   `histograms`.
+//! * **2** — adds `records` (packet counts, total / per-protocol / decoded
+//!   per-protocol — the section differential harnesses compare across
+//!   scheduler modes) and `pool` (per-worker analysis-pool statistics; null
+//!   when the run was single-threaded).
 
 use crate::arch::ArchOutput;
+use crate::records::PacketInfo;
 use rfd_telemetry::json::JsonValue;
 use rfd_telemetry::rt::RtMonitor;
 use std::io;
@@ -23,7 +28,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 1;
+pub const STATS_VERSION: u64 = 2;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -127,6 +132,63 @@ pub fn stats_json(out: &ArchOutput) -> JsonValue {
         }
     }
 
+    // Packet-count summary of the record stream — the cheap invariant a
+    // differential harness checks across scheduler modes.
+    let mut per_proto: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for r in &out.records {
+        let e = per_proto.entry(r.protocol.name()).or_default();
+        e.0 += 1;
+        if !matches!(r.info, PacketInfo::DetectedOnly { .. }) {
+            e.1 += 1;
+        }
+    }
+    let mut proto_json = JsonValue::Obj(Vec::new());
+    for (name, (total, decoded)) in &per_proto {
+        proto_json.push(
+            name,
+            JsonValue::obj(vec![
+                ("total", JsonValue::num(*total as f64)),
+                ("decoded", JsonValue::num(*decoded as f64)),
+            ]),
+        );
+    }
+    doc.push(
+        "records",
+        JsonValue::obj(vec![
+            ("total", JsonValue::num(out.records.len() as f64)),
+            ("per_protocol", proto_json),
+        ]),
+    );
+
+    // Analysis-pool statistics (null when the run was single-threaded).
+    match &out.pool_stats {
+        None => doc.push("pool", JsonValue::Null),
+        Some(ps) => {
+            let workers: Vec<JsonValue> = ps
+                .workers
+                .iter()
+                .map(|w| {
+                    JsonValue::obj(vec![
+                        ("executed", JsonValue::num(w.executed as f64)),
+                        ("stolen", JsonValue::num(w.stolen as f64)),
+                        ("busy_ms", JsonValue::num(w.busy.as_secs_f64() * 1e3)),
+                        ("stall_ms", JsonValue::num(w.stall.as_secs_f64() * 1e3)),
+                    ])
+                })
+                .collect();
+            doc.push(
+                "pool",
+                JsonValue::obj(vec![
+                    ("workers", JsonValue::Arr(workers)),
+                    ("executed", JsonValue::num(ps.executed() as f64)),
+                    ("stolen", JsonValue::num(ps.stolen() as f64)),
+                    ("busy_ms", JsonValue::num(ps.busy().as_secs_f64() * 1e3)),
+                    ("stall_ms", JsonValue::num(ps.stall().as_secs_f64() * 1e3)),
+                ]),
+            );
+        }
+    }
+
     // The full registry: counters, gauges, histograms.
     let snap = out
         .registry
@@ -199,6 +261,7 @@ mod tests {
             trace_seconds: 0.01,
             sample_rate: 8e6,
             registry: Some(std::sync::Arc::new(reg)),
+            pool_stats: None,
         }
     }
 
@@ -207,7 +270,10 @@ mod tests {
         let doc_text = stats_json(&fake_output()).to_json();
         let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
         assert_eq!(doc.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
-        assert_eq!(doc.get("version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            doc.get("version").unwrap().as_f64(),
+            Some(STATS_VERSION as f64)
+        );
         assert_eq!(
             doc.get("trace").unwrap().get("samples").unwrap().as_f64(),
             Some(80_000.0)
@@ -246,6 +312,61 @@ mod tests {
         );
         let frac = wifi.get("forwarded_fraction").unwrap().as_f64().unwrap();
         assert!((frac - 0.05).abs() < 1e-9, "fraction {frac}");
+    }
+
+    #[test]
+    fn records_section_counts_per_protocol_and_decoded() {
+        let mut out = fake_output();
+        out.records = vec![
+            crate::records::PacketRecord {
+                protocol: rfd_phy::Protocol::Wifi,
+                start_us: 0.0,
+                end_us: 100.0,
+                snr_db: 20.0,
+                channel: None,
+                info: PacketInfo::DetectedOnly { confidence: 0.7 },
+            },
+            crate::records::PacketRecord {
+                protocol: rfd_phy::Protocol::Microwave,
+                start_us: 200.0,
+                end_us: 300.0,
+                snr_db: 20.0,
+                channel: None,
+                info: PacketInfo::Microwave,
+            },
+        ];
+        let doc = rfd_telemetry::json::parse(&stats_json(&out).to_json()).unwrap();
+        let recs = doc.get("records").unwrap();
+        assert_eq!(recs.get("total").unwrap().as_f64(), Some(2.0));
+        let wifi = recs.get("per_protocol").unwrap().get("802.11").unwrap();
+        assert_eq!(wifi.get("total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(wifi.get("decoded").unwrap().as_f64(), Some(0.0));
+        let mw = recs.get("per_protocol").unwrap().get("microwave").unwrap();
+        assert_eq!(mw.get("decoded").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn pool_section_is_null_single_threaded_and_populated_pooled() {
+        let doc = rfd_telemetry::json::parse(&stats_json(&fake_output()).to_json()).unwrap();
+        assert!(matches!(
+            doc.get("pool"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
+
+        let mut out = fake_output();
+        out.pool_stats = Some(rfd_flowgraph::pool::PoolStats {
+            workers: vec![rfd_flowgraph::pool::WorkerStats {
+                executed: 5,
+                stolen: 2,
+                busy: Duration::from_millis(4),
+                stall: Duration::from_millis(1),
+            }],
+        });
+        let doc = rfd_telemetry::json::parse(&stats_json(&out).to_json()).unwrap();
+        let pool = doc.get("pool").unwrap();
+        assert_eq!(pool.get("executed").unwrap().as_f64(), Some(5.0));
+        assert_eq!(pool.get("stolen").unwrap().as_f64(), Some(2.0));
+        assert_eq!(pool.get("workers").unwrap().as_arr().unwrap().len(), 1);
     }
 
     #[test]

@@ -113,6 +113,9 @@ pub fn decode_trace(data: &[u8]) -> io::Result<(TraceHeader, Vec<Complex32>)> {
     if !sample_rate.is_finite() || sample_rate <= 0.0 || !scale.is_finite() || scale <= 0.0 {
         return Err(bad("invalid header fields"));
     }
+    if !center_hz.is_finite() {
+        return Err(bad("invalid header fields"));
+    }
     if (cur.remaining() as u64) < n_samples.saturating_mul(4) {
         return Err(bad("truncated sample payload"));
     }

@@ -15,6 +15,10 @@
 //!   points out but could not use.
 //! * [`RunStats`] — per-block CPU time and item counts, the basis of every
 //!   "CPU time / real time" number in the evaluation.
+//! * [`pool`] — a work-stealing task pool with a deterministic merge, used
+//!   by the architecture layer to fan per-protocol demodulation out across
+//!   worker threads while keeping output byte-identical to the
+//!   single-threaded schedule.
 //!
 //! Attach an [`rfd_telemetry::Registry`] with [`Flowgraph::set_telemetry`]
 //! and both schedulers publish per-block CPU/item metrics; the threaded
@@ -623,6 +627,7 @@ impl Block for NullBlock {
 }
 
 pub mod blocks;
+pub mod pool;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,976 @@
+//! Work-stealing task pool with a deterministic merge.
+//!
+//! The RFDump paper (§2.2) points out that its dataflow decomposition has
+//! "inherent parallelism that can be exploited using multi-threading":
+//! once the shared detection stage has classified a block, the expensive
+//! per-protocol analyzers are independent across blocks. This module is
+//! that parallelism, packaged so the *observable output stays byte-
+//! identical* to the single-threaded schedule:
+//!
+//! * [`StealDeque`] — an in-tree work-stealing deque. The owner pushes and
+//!   pops at the front (FIFO for cache-friendly, roughly arrival-ordered
+//!   execution); idle thieves steal the back half in one lock acquisition.
+//! * [`bounded`] — a bounded MPMC channel. Senders block while the queue
+//!   is full, giving the trace reader backpressure so it can never outrun
+//!   demodulation; receivers drain in global FIFO order (which implies
+//!   per-producer FIFO).
+//! * [`Reorderer`] — the deterministic merge: results tagged with their
+//!   submission sequence number come out strictly in submission order, no
+//!   matter which worker finished first.
+//! * [`TaskPool`] — N workers, one deque each, fed in batches from the
+//!   bounded injector channel. Each completed task's result is published
+//!   with its sequence number; the consumer re-sequences through a
+//!   [`Reorderer`], so a pool with any worker count is observationally a
+//!   FIFO `map()`.
+//!
+//! Everything is built on `std` (`Mutex`/`Condvar`/atomics) — the
+//! workspace carries no external concurrency dependencies — and the file
+//! stays inside the crate-wide `#![forbid(unsafe_code)]`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rfd_telemetry::{Gauge, Registry};
+
+// ---------------------------------------------------------------------------
+// Work-stealing deque
+// ---------------------------------------------------------------------------
+
+/// A work-stealing deque: the owner works the front, thieves take the back.
+///
+/// The implementation is a mutex-protected `VecDeque` rather than a lock-free
+/// Chase–Lev deque: the workspace forbids `unsafe`, and the tasks moved here
+/// (whole-peak demodulations, tens of microseconds to milliseconds each)
+/// amortize a short uncontended lock to noise. What matters is the *policy*:
+/// thieves take half the queue in one acquisition, so load balancing cost is
+/// logarithmic in imbalance, not linear.
+#[derive(Debug)]
+pub struct StealDeque<T> {
+    q: Mutex<VecDeque<T>>,
+    /// Live queue-depth gauge (optional).
+    gauge: Option<Arc<Gauge>>,
+}
+
+impl<T> Default for StealDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StealDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            gauge: None,
+        }
+    }
+
+    /// An empty deque whose depth is mirrored into `gauge`.
+    pub fn with_gauge(gauge: Arc<Gauge>) -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            gauge: Some(gauge),
+        }
+    }
+
+    fn track(&self, delta: i64) {
+        if let Some(g) = &self.gauge {
+            g.add(delta);
+        }
+    }
+
+    /// Pushes one item at the owner's end.
+    pub fn push(&self, item: T) {
+        self.lock().push_back(item);
+        self.track(1);
+    }
+
+    /// Pushes a batch at the owner's end, preserving order.
+    pub fn push_batch(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let n = items.len() as i64;
+        let mut q = self.lock();
+        q.extend(items);
+        drop(q);
+        self.track(n);
+    }
+
+    /// Owner pop: the oldest item.
+    pub fn pop(&self) -> Option<T> {
+        let it = self.lock().pop_front();
+        if it.is_some() {
+            self.track(-1);
+        }
+        it
+    }
+
+    /// Thief steal: up to half the queue (at least one item when nonempty),
+    /// taken from the *newest* end so the owner keeps the items it is about
+    /// to reach anyway. Returned oldest-first.
+    pub fn steal_half(&self) -> Vec<T> {
+        let mut q = self.lock();
+        let n = q.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let take = (n / 2).max(1);
+        let stolen: Vec<T> = q.split_off(n - take).into_iter().collect();
+        drop(q);
+        self.track(-(stolen.len() as i64));
+        stolen
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPMC channel
+// ---------------------------------------------------------------------------
+
+struct ChannelState<T> {
+    q: VecDeque<T>,
+    /// Live senders; 0 means the channel is closed for writing.
+    senders: usize,
+    /// Live receivers; 0 means sends can never be observed again.
+    receivers: usize,
+}
+
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    cap: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+    /// Live injector-depth gauge (optional).
+    gauge: Mutex<Option<Arc<Gauge>>>,
+}
+
+impl<T> Channel<T> {
+    fn track(&self, delta: i64) {
+        if let Some(g) = self
+            .gauge
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            g.add(delta);
+        }
+    }
+}
+
+/// Sending half of a [`bounded`] channel. Cloneable; the channel closes when
+/// the last sender drops.
+pub struct Sender<T> {
+    ch: Arc<Channel<T>>,
+}
+
+/// Receiving half of a [`bounded`] channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    ch: Arc<Channel<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Outcome of [`Receiver::recv_timeout`].
+#[derive(Debug)]
+pub enum RecvTimeout<T> {
+    /// An item arrived.
+    Item(T),
+    /// The wait timed out; the channel may still produce items.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Closed,
+}
+
+/// Creates a bounded MPMC channel with capacity `cap` (≥ 1).
+///
+/// `send` blocks while the queue holds `cap` items — this is the
+/// backpressure that keeps a fast producer (the trace reader) from
+/// buffering unbounded work ahead of slow consumers (the demodulation
+/// workers). Items leave in global FIFO order, so each producer observes
+/// its own items delivered in the order it sent them.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "bounded channel needs capacity >= 1");
+    let ch = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            q: VecDeque::with_capacity(cap),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        gauge: Mutex::new(None),
+    });
+    (Sender { ch: ch.clone() }, Receiver { ch })
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `item`. Fails only if all
+    /// receivers are gone (returning the item).
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut st = self.ch.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(item));
+            }
+            if st.q.len() < self.ch.cap {
+                st.q.push_back(item);
+                drop(st);
+                self.ch.track(1);
+                self.ch.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.ch.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Mirrors the queue depth into `gauge` from now on.
+    pub fn set_gauge(&self, gauge: Arc<Gauge>) {
+        *self.ch.gauge.lock().unwrap_or_else(|e| e.into_inner()) = Some(gauge);
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.ch
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
+        Self {
+            ch: self.ch.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.ch.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake receivers so they can observe the close.
+            self.ch.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next item; `None` once the channel is closed and
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.ch.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(it) = st.q.pop_front() {
+                drop(st);
+                self.ch.track(-1);
+                self.ch.not_full.notify_one();
+                return Some(it);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self
+                .ch
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Receiver::recv`] but gives up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.ch.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(it) = st.q.pop_front() {
+                drop(st);
+                self.ch.track(-1);
+                self.ch.not_full.notify_one();
+                return RecvTimeout::Item(it);
+            }
+            if st.senders == 0 {
+                return RecvTimeout::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvTimeout::Timeout;
+            }
+            let (guard, _) = self
+                .ch
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Non-blocking batch receive of up to `max` items.
+    pub fn try_recv_batch(&self, max: usize) -> Vec<T> {
+        let mut st = self.ch.state.lock().unwrap_or_else(|e| e.into_inner());
+        let n = st.q.len().min(max);
+        let out: Vec<T> = st.q.drain(..n).collect();
+        drop(st);
+        if !out.is_empty() {
+            self.ch.track(-(out.len() as i64));
+            self.ch.not_full.notify_all();
+        }
+        out
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.ch
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
+        Self {
+            ch: self.ch.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.ch.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Wake blocked senders so they can fail fast.
+            self.ch.not_full.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic merge
+// ---------------------------------------------------------------------------
+
+/// Re-sequences `(seq, value)` pairs into strict `seq` order.
+///
+/// This is the stage that makes the pool deterministic: whatever
+/// interleaving the workers produce, values leave the reorderer exactly in
+/// submission order, so downstream observers cannot tell how many workers
+/// ran (or that any ran at all).
+#[derive(Debug)]
+pub struct Reorderer<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> Default for Reorderer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Reorderer<T> {
+    /// An empty reorderer expecting sequence number 0 first.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Offers an out-of-order result.
+    ///
+    /// # Panics
+    /// Panics if `seq` was already emitted or is already pending — either
+    /// means the producer duplicated a sequence number.
+    pub fn push(&mut self, seq: u64, value: T) {
+        assert!(seq >= self.next, "sequence {seq} already emitted");
+        assert!(
+            self.pending.insert(seq, value).is_none(),
+            "sequence {seq} pushed twice"
+        );
+    }
+
+    /// Pops the next in-order value, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        let v = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(v)
+    }
+
+    /// Results held waiting for an earlier sequence number.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The sequence number the next emitted value will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The task pool
+// ---------------------------------------------------------------------------
+
+/// Pool sizing and queueing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker thread count (≥ 1).
+    pub workers: usize,
+    /// Injector channel capacity — the backpressure bound on submitted but
+    /// unstarted tasks.
+    pub queue_cap: usize,
+    /// How many tasks a worker moves from the injector into its own deque
+    /// per refill (amortizes channel locking; stealable by idle peers).
+    pub refill_batch: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_cap: 64,
+            refill_batch: 4,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A config with `workers` threads and default queueing.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// What one worker did, for the telemetry satellite and the stats table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub executed: u64,
+    /// Tasks this worker stole from peers' deques.
+    pub stolen: u64,
+    /// Time spent executing tasks.
+    pub busy: Duration,
+    /// Time spent idle, waiting for work.
+    pub stall: Duration,
+}
+
+/// Aggregate pool statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total tasks executed.
+    pub fn executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed).sum()
+    }
+
+    /// Total tasks that changed hands via stealing.
+    pub fn stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Summed busy time across workers.
+    pub fn busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Summed stall (idle-wait) time across workers.
+    pub fn stall(&self) -> Duration {
+        self.workers.iter().map(|w| w.stall).sum()
+    }
+}
+
+/// Per-worker atomic cells the worker threads publish into while running.
+struct WorkerCell {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    busy_us: AtomicU64,
+    stall_us: AtomicU64,
+}
+
+impl WorkerCell {
+    fn new() -> Self {
+        Self {
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            stall_us: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            busy: Duration::from_micros(self.busy_us.load(Ordering::Relaxed)),
+            stall: Duration::from_micros(self.stall_us.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+struct PoolShared<I, O> {
+    deques: Vec<StealDeque<(u64, I)>>,
+    results: Mutex<Vec<(u64, O)>>,
+    cells: Vec<WorkerCell>,
+}
+
+/// A work-stealing pool mapping submitted items through per-worker task
+/// functions, publishing `(seq, result)` pairs.
+///
+/// Construction spawns the worker threads; [`TaskPool::submit`] hands items
+/// out with backpressure; [`TaskPool::try_drain`] collects whatever results
+/// have landed (in arbitrary order — feed them to a [`Reorderer`]);
+/// [`TaskPool::finish`] closes the injector, joins every worker and returns
+/// the remaining results plus [`PoolStats`].
+///
+/// Determinism contract: the per-worker task functions must be pure with
+/// respect to submission order (each output depends only on its own input),
+/// which holds for RFDump's per-peak analyzers. Under that contract,
+/// re-sequencing by `seq` makes the pool's observable output independent of
+/// worker count and scheduling.
+pub struct TaskPool<I: Send + 'static, O: Send + 'static> {
+    tx: Option<Sender<(u64, I)>>,
+    next_seq: u64,
+    shared: Arc<PoolShared<I, O>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<I: Send + 'static, O: Send + 'static> TaskPool<I, O> {
+    /// Spawns `cfg.workers` threads. `make_task_fn(worker_index)` runs once
+    /// on each worker thread to build its task function (e.g. constructing
+    /// that worker's own analyzer instances).
+    pub fn new<F>(cfg: PoolConfig, make_task_fn: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn FnMut(I) -> O + Send> + Send + Sync + 'static,
+    {
+        Self::build(cfg, make_task_fn, None, "")
+    }
+
+    /// Like [`TaskPool::new`], publishing live metrics under
+    /// `<prefix>.worker<i>.{executed,stolen,stall_us,depth}` and
+    /// `<prefix>.queue.depth` into `registry`.
+    pub fn with_telemetry<F>(
+        cfg: PoolConfig,
+        make_task_fn: F,
+        registry: &Registry,
+        prefix: &str,
+    ) -> Self
+    where
+        F: Fn(usize) -> Box<dyn FnMut(I) -> O + Send> + Send + Sync + 'static,
+    {
+        Self::build(cfg, make_task_fn, Some(registry), prefix)
+    }
+
+    fn build<F>(cfg: PoolConfig, make_task_fn: F, registry: Option<&Registry>, prefix: &str) -> Self
+    where
+        F: Fn(usize) -> Box<dyn FnMut(I) -> O + Send> + Send + Sync + 'static,
+    {
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = bounded::<(u64, I)>(cfg.queue_cap.max(1));
+        if let Some(reg) = registry {
+            tx.set_gauge(reg.gauge(&format!("{prefix}.queue.depth")));
+        }
+        let deques: Vec<StealDeque<(u64, I)>> = (0..workers)
+            .map(|i| match registry {
+                Some(reg) => {
+                    StealDeque::with_gauge(reg.gauge(&format!("{prefix}.worker{i}.depth")))
+                }
+                None => StealDeque::new(),
+            })
+            .collect();
+        let shared = Arc::new(PoolShared {
+            deques,
+            results: Mutex::new(Vec::new()),
+            cells: (0..workers).map(|_| WorkerCell::new()).collect(),
+        });
+        // Mirrored live counters (plain atomics; the worker adds to both its
+        // cell and, when telemetry is on, the registry counter).
+        let tel: Option<Vec<_>> = registry.map(|reg| {
+            (0..workers)
+                .map(|i| {
+                    (
+                        reg.counter(&format!("{prefix}.worker{i}.executed")),
+                        reg.counter(&format!("{prefix}.worker{i}.stolen")),
+                        reg.counter(&format!("{prefix}.worker{i}.stall_us")),
+                    )
+                })
+                .collect()
+        });
+        let make = Arc::new(make_task_fn);
+        let refill = cfg.refill_batch.max(1);
+        let handles = (0..workers)
+            .map(|idx| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                let make = make.clone();
+                let tel = tel.as_ref().map(|t| t[idx].clone());
+                std::thread::Builder::new()
+                    .name(format!("rfd-pool-{idx}"))
+                    .spawn(move || {
+                        let mut task_fn = make(idx);
+                        worker_loop(idx, &shared, &rx, refill, &mut task_fn, tel);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        // Drop the construction-time receiver so workers hold the only
+        // clones; channel close is driven purely by the sender side.
+        drop(rx);
+        Self {
+            tx: Some(tx),
+            next_seq: 0,
+            shared,
+            handles,
+        }
+    }
+
+    /// Submits the next item, blocking while the injector is full. Returns
+    /// the sequence number assigned to the item.
+    ///
+    /// # Panics
+    /// Panics if a worker thread died (a task panicked) — the pool cannot
+    /// uphold the determinism contract once results can be missing.
+    pub fn submit(&mut self, item: I) -> u64 {
+        let seq = self.next_seq;
+        let tx = self.tx.as_ref().expect("pool already finished");
+        if tx.send((seq, item)).is_err() {
+            panic!("task pool workers are gone (a task panicked)");
+        }
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Number of items submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Takes every result published so far (unordered).
+    pub fn try_drain(&self) -> Vec<(u64, O)> {
+        std::mem::take(
+            &mut self
+                .shared
+                .results
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    /// Closes the injector, joins all workers, and returns the remaining
+    /// results (unordered) with the pool statistics.
+    pub fn finish(mut self) -> (Vec<(u64, O)>, PoolStats) {
+        self.tx.take(); // close the channel
+        for h in self.handles.drain(..) {
+            if h.join().is_err() {
+                panic!("task pool worker panicked");
+            }
+        }
+        let rest = self.try_drain();
+        let stats = PoolStats {
+            workers: self.shared.cells.iter().map(|c| c.snapshot()).collect(),
+        };
+        (rest, stats)
+    }
+}
+
+type LiveCounters = (
+    Arc<rfd_telemetry::Counter>,
+    Arc<rfd_telemetry::Counter>,
+    Arc<rfd_telemetry::Counter>,
+);
+
+fn worker_loop<I, O>(
+    idx: usize,
+    shared: &PoolShared<I, O>,
+    rx: &Receiver<(u64, I)>,
+    refill: usize,
+    task_fn: &mut (dyn FnMut(I) -> O + Send),
+    tel: Option<LiveCounters>,
+) {
+    let my = &shared.deques[idx];
+    let cell = &shared.cells[idx];
+    let n = shared.deques.len();
+    let mut run = |seq: u64, item: I| {
+        let t0 = Instant::now();
+        let out = task_fn(item);
+        let dt = t0.elapsed();
+        cell.busy_us
+            .fetch_add(dt.as_micros() as u64, Ordering::Relaxed);
+        cell.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some((executed, ..)) = &tel {
+            executed.inc();
+        }
+        shared
+            .results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((seq, out));
+    };
+    loop {
+        // 1. Local work first.
+        while let Some((seq, item)) = my.pop() {
+            run(seq, item);
+        }
+        // 2. Refill from the injector without blocking.
+        let batch = rx.try_recv_batch(refill);
+        if !batch.is_empty() {
+            my.push_batch(batch);
+            continue;
+        }
+        // 3. Steal from a peer (rotating victim order so thieves spread).
+        let mut stole = 0u64;
+        for off in 1..n {
+            let victim = (idx + off) % n;
+            let got = shared.deques[victim].steal_half();
+            if !got.is_empty() {
+                stole = got.len() as u64;
+                my.push_batch(got);
+                break;
+            }
+        }
+        if stole > 0 {
+            cell.stolen.fetch_add(stole, Ordering::Relaxed);
+            if let Some((_, stolen, _)) = &tel {
+                stolen.add(stole);
+            }
+            continue;
+        }
+        // 4. Nothing anywhere: block briefly on the injector. The timeout
+        //    bounds how stale our view of peers' deques can get (a peer may
+        //    have refilled while we were checking).
+        let t0 = Instant::now();
+        match rx.recv_timeout(Duration::from_micros(500)) {
+            RecvTimeout::Item((seq, item)) => {
+                let waited = t0.elapsed().as_micros() as u64;
+                cell.stall_us.fetch_add(waited, Ordering::Relaxed);
+                if let Some((.., stall)) = &tel {
+                    stall.add(waited);
+                }
+                run(seq, item);
+            }
+            RecvTimeout::Timeout => {
+                let waited = t0.elapsed().as_micros() as u64;
+                cell.stall_us.fetch_add(waited, Ordering::Relaxed);
+                if let Some((.., stall)) = &tel {
+                    stall.add(waited);
+                }
+            }
+            RecvTimeout::Closed => {
+                // The injector is closed and drained. Remaining work can
+                // only live in peers' deques; if a final sweep finds none,
+                // we are done (in-flight peers finish their own items).
+                if shared.deques.iter().all(|d| d.is_empty()) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn deque_fifo_for_owner() {
+        let d = StealDeque::new();
+        d.push(1);
+        d.push_batch(vec![2, 3]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn steal_takes_newest_half() {
+        let d = StealDeque::new();
+        d.push_batch((0..8).collect());
+        let stolen = d.steal_half();
+        assert_eq!(stolen, vec![4, 5, 6, 7]);
+        assert_eq!(d.len(), 4);
+        // Owner still sees the oldest items first.
+        assert_eq!(d.pop(), Some(0));
+        // Stealing a single remaining item works.
+        let d2 = StealDeque::new();
+        d2.push(42);
+        assert_eq!(d2.steal_half(), vec![42]);
+        assert!(d2.steal_half().is_empty());
+    }
+
+    #[test]
+    fn bounded_channel_backpressures_and_preserves_fifo() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Queue is full; a sender thread must block until we drain.
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            drop(tx);
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), None);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_close() {
+        let (tx, rx) = bounded::<u32>(1);
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            RecvTimeout::Timeout => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        drop(tx);
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            RecvTimeout::Closed => {}
+            other => panic!("expected closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reorderer_emits_in_sequence_order() {
+        let mut r = Reorderer::new();
+        r.push(2, "c");
+        r.push(0, "a");
+        assert_eq!(r.pop_ready(), Some("a"));
+        assert_eq!(r.pop_ready(), None); // 1 missing
+        r.push(1, "b");
+        assert_eq!(r.pop_ready(), Some("b"));
+        assert_eq!(r.pop_ready(), Some("c"));
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.next_seq(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn reorderer_rejects_duplicates() {
+        let mut r = Reorderer::new();
+        r.push(0, 1);
+        r.push(0, 2);
+    }
+
+    #[test]
+    fn pool_maps_all_items_with_merge_restoring_order() {
+        for workers in [1, 2, 4] {
+            let mut pool = TaskPool::new(
+                PoolConfig {
+                    workers,
+                    queue_cap: 8,
+                    refill_batch: 2,
+                },
+                |_| Box::new(|x: u64| x * 10),
+            );
+            let mut reorder = Reorderer::new();
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                pool.submit(i);
+                for (seq, v) in pool.try_drain() {
+                    reorder.push(seq, v);
+                }
+                while let Some(v) = reorder.pop_ready() {
+                    out.push(v);
+                }
+            }
+            let (rest, stats) = pool.finish();
+            for (seq, v) in rest {
+                reorder.push(seq, v);
+            }
+            while let Some(v) = reorder.pop_ready() {
+                out.push(v);
+            }
+            let expect: Vec<u64> = (0..200).map(|x| x * 10).collect();
+            assert_eq!(out, expect, "workers={workers}");
+            assert_eq!(stats.executed(), 200);
+        }
+    }
+
+    #[test]
+    fn pool_worker_state_is_per_thread() {
+        // Each worker's task fn counts its own calls; the counts must sum
+        // to the submitted total (no task lost or run twice).
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let mut pool = TaskPool::new(PoolConfig::with_workers(3), |_| {
+            Box::new(|x: u64| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        });
+        for i in 0..97 {
+            pool.submit(i);
+        }
+        let (rest, stats) = pool.finish();
+        assert_eq!(stats.executed(), 97);
+        assert_eq!(CALLS.load(Ordering::Relaxed) as u64 % 97, 0); // per-run isolation
+        let mut seqs: Vec<u64> = rest.iter().map(|(s, _)| *s).collect();
+        // try_drain was never called, so finish returns everything.
+        seqs.sort_unstable();
+        assert!(seqs.len() <= 97);
+    }
+
+    #[test]
+    fn pool_telemetry_counters_appear() {
+        let reg = Registry::new();
+        let mut pool = TaskPool::with_telemetry(
+            PoolConfig::with_workers(2),
+            |_| Box::new(|x: u64| x),
+            &reg,
+            "pool.test",
+        );
+        for i in 0..50 {
+            pool.submit(i);
+        }
+        let (_, stats) = pool.finish();
+        let snap = reg.snapshot();
+        let executed: u64 = (0..2)
+            .map(|i| {
+                snap.counters
+                    .get(&format!("pool.test.worker{i}.executed"))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(executed, 50);
+        assert_eq!(stats.executed(), 50);
+        // Depth gauges exist and have drained to zero.
+        assert_eq!(snap.gauges["pool.test.queue.depth"], 0);
+        assert_eq!(snap.gauges["pool.test.worker0.depth"], 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Differential harness for the work-stealing analysis pool: the full
+//! RFDump pipeline over Wi-Fi, Bluetooth, and ZigBee traffic (and the
+//! synthesized campus trace) must produce a byte-identical record stream
+//! whether analysis runs inline on the scheduler thread (`workers: 0`) or
+//! on a pool of 1, 2, or 8 worker threads.
+//!
+//! This is the determinism contract the pool's reorder stage guarantees:
+//! parallelism changes *when* a record is computed, never *what* is
+//! reported or *in which order*.
+
+use rfd_integration::{mixed_trace, piconet};
+use rfd_mac::{
+    merge_schedules, DcfConfig, L2PingConfig, L2PingSim, WifiDcfSim, ZigbeeConfig, ZigbeeSim,
+};
+use rfdump::arch::{run_architecture, ArchConfig, ArchKind, ArchOutput, DetectorSet};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs a config at a worker count over a trace.
+fn run(cfg: &ArchConfig, samples: &[rfd_dsp::Complex32], fs: f64, workers: usize) -> ArchOutput {
+    let cfg = ArchConfig {
+        workers,
+        ..cfg.clone()
+    };
+    run_architecture(&cfg, samples, fs)
+}
+
+/// The serialized record stream: exactly what `rfdump -r` prints.
+fn serialized(out: &ArchOutput) -> String {
+    out.records
+        .iter()
+        .map(|r| r.format_line())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Per-protocol packet counts as reported in the `--stats-json` document's
+/// `records` section.
+fn stats_json_counts(out: &ArchOutput) -> Vec<(String, f64, f64)> {
+    let doc = rfdump::stats::stats_json(out);
+    let records = doc.get("records").expect("records section");
+    let per = records
+        .get("per_protocol")
+        .expect("per_protocol")
+        .as_obj()
+        .expect("object");
+    per.iter()
+        .map(|(proto, entry)| {
+            (
+                proto.clone(),
+                entry.get("total").unwrap().as_f64().unwrap(),
+                entry.get("decoded").unwrap().as_f64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Asserts single-threaded and pooled runs agree at every worker count.
+fn assert_differential(label: &str, cfg: &ArchConfig, samples: &[rfd_dsp::Complex32], fs: f64) {
+    let baseline = run(cfg, samples, fs, 0);
+    let want = serialized(&baseline);
+    let want_counts = stats_json_counts(&baseline);
+    assert!(
+        !baseline.records.is_empty(),
+        "{label}: baseline produced no records — the differential is vacuous"
+    );
+    for &w in &WORKER_COUNTS {
+        let pooled = run(cfg, samples, fs, w);
+        assert_eq!(
+            serialized(&pooled),
+            want,
+            "{label}: record stream diverged at {w} workers"
+        );
+        assert_eq!(
+            stats_json_counts(&pooled),
+            want_counts,
+            "{label}: stats-json record counts diverged at {w} workers"
+        );
+        let ps = pooled.pool_stats.expect("pooled run reports pool stats");
+        assert_eq!(ps.workers.len(), w, "{label}: wrong worker count");
+        assert!(
+            ps.executed() > 0,
+            "{label}: pool at {w} workers executed nothing"
+        );
+    }
+    assert!(
+        baseline.pool_stats.is_none(),
+        "{label}: single-threaded run must not report pool stats"
+    );
+}
+
+#[test]
+fn wifi_and_bluetooth_trace_is_scheduler_independent() {
+    let trace = mixed_trace(4, 12, 28.0, 101);
+    let cfg = ArchConfig {
+        band: trace.band,
+        noise_floor: Some(trace.noise_power),
+        ..ArchConfig::rfdump(vec![piconet()])
+    };
+    assert_differential("wifi+bt", &cfg, &trace.samples, trace.band.sample_rate);
+}
+
+#[test]
+fn three_protocol_trace_is_scheduler_independent() {
+    // Wi-Fi pings + Bluetooth l2pings + ZigBee sensor reports in one ether.
+    let mut wifi = WifiDcfSim::new(DcfConfig {
+        seed: 202,
+        ..Default::default()
+    });
+    wifi.queue_ping_flow(1, 2, 3, 300, 11_000.0, 0.0);
+    let mut bt = L2PingSim::new(L2PingConfig {
+        count: 8,
+        ..Default::default()
+    });
+    let mut zb = ZigbeeSim::new(ZigbeeConfig {
+        count: 6,
+        ..Default::default()
+    });
+    let events = merge_schedules(vec![wifi.run(), bt.run(), zb.run()]);
+    let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 1_000.0;
+    let mut scene = rfd_ether::scene::Scene::new(1e-4, 202);
+    let gain = 28.0 + rfd_dsp::energy::power_to_db(1e-4);
+    for node in 0..24 {
+        scene.set_node(node, gain, (node as f64 - 6.0) * 300.0);
+    }
+    let trace = scene.render(&events, horizon);
+    let cfg = ArchConfig {
+        band: trace.band,
+        noise_floor: Some(trace.noise_power),
+        zigbee: true,
+        ..ArchConfig::rfdump(vec![piconet()])
+    };
+    assert_differential(
+        "wifi+bt+zigbee",
+        &cfg,
+        &trace.samples,
+        trace.band.sample_rate,
+    );
+}
+
+#[test]
+fn campus_trace_is_scheduler_independent() {
+    // The paper's §5.3 real-world shape, scaled down to test size.
+    let (trace, _) = rfd_ether::campus::campus_trace(&rfd_ether::campus::CampusConfig {
+        duration_us: 120_000.0,
+        n_r1: 2,
+        r1_payload: 700,
+        n_r2: 3,
+        n_r55: 3,
+        n_r11: 3,
+        ..Default::default()
+    });
+    let cfg = ArchConfig {
+        band: trace.band,
+        noise_floor: Some(trace.noise_power),
+        ..ArchConfig::rfdump(vec![])
+    };
+    assert_differential("campus", &cfg, &trace.samples, trace.band.sample_rate);
+}
+
+#[test]
+fn detection_only_mode_is_scheduler_independent() {
+    // `-n` (no demodulation): pooled analysis still emits tentative
+    // detection-only records, and they too must be order-identical.
+    let trace = mixed_trace(3, 6, 28.0, 303);
+    let cfg = ArchConfig {
+        demodulate: false,
+        band: trace.band,
+        noise_floor: Some(trace.noise_power),
+        kind: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+        ..ArchConfig::rfdump(vec![piconet()])
+    };
+    assert_differential(
+        "detection-only",
+        &cfg,
+        &trace.samples,
+        trace.band.sample_rate,
+    );
+}

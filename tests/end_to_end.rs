@@ -214,6 +214,7 @@ fn efficiency_ordering_holds_on_a_light_trace() {
             microwave: false,
             threaded: false,
             telemetry: false,
+            workers: rfdump::arch::default_workers(),
         };
         run_architecture(&cfg, &trace.samples, trace.band.sample_rate).cpu_over_realtime()
     };

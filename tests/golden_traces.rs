@@ -1,0 +1,166 @@
+//! Golden-trace snapshots: three small deterministic i16 I/Q traces
+//! committed under `tests/golden/` together with the exact record stream
+//! the pipeline must report for each.
+//!
+//! The `.rfdt` file is the source of truth — the pipeline's input is its
+//! decoded (i16-quantized) samples, so the expected output is a property
+//! of the committed bytes, not of the simulator that once produced them.
+//! Any intentional analysis change regenerates the `.expected` files:
+//!
+//! ```text
+//! RFD_REGEN_GOLDEN=1 cargo test -p rfd-integration --test golden_traces
+//! ```
+//!
+//! (documented in EXPERIMENTS.md; regenerated files show up in `git diff`
+//! for review). Missing `.rfdt` files are rendered from fixed seeds on the
+//! same regeneration path.
+
+use rfd_mac::{
+    merge_schedules, DcfConfig, L2PingConfig, L2PingSim, WifiDcfSim, ZigbeeConfig, ZigbeeSim,
+};
+use rfdump::arch::{run_architecture, ArchConfig};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+fn regen() -> bool {
+    std::env::var("RFD_REGEN_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Renders one of the three golden scenes. Only used when the `.rfdt`
+/// does not exist yet (first generation or deliberate regeneration after
+/// deleting it) — a checked-out repo never re-renders.
+fn render(name: &str) -> rfd_ether::scene::EtherTrace {
+    let events = match name {
+        "wifi" => {
+            let mut sim = WifiDcfSim::new(DcfConfig {
+                seed: 71,
+                ..Default::default()
+            });
+            sim.queue_ping_flow(1, 2, 2, 300, 2_500.0, 0.0);
+            sim.run()
+        }
+        "bluetooth" => {
+            // start_clock chosen so 4 of the 6 hops land inside the 8 MHz
+            // monitored band (channels 32-39) and the trace stays short.
+            let mut sim = L2PingSim::new(L2PingConfig {
+                count: 3,
+                start_clock: 3824,
+                ..Default::default()
+            });
+            sim.run()
+        }
+        "zigbee" => {
+            let mut sim = ZigbeeSim::new(ZigbeeConfig {
+                count: 3,
+                interval_us: 2_000.0,
+                seed: 73,
+                ..Default::default()
+            });
+            sim.run()
+        }
+        other => panic!("unknown golden scene {other}"),
+    };
+    let mut events = merge_schedules(vec![events]);
+    // Drop leading silence (a nonzero Bluetooth start_clock schedules its
+    // first slot deep into the trace) while preserving 1250 µs slot-pair
+    // alignment, which the Bluetooth slot-timing detector keys on.
+    let lead = events.iter().map(|e| e.start_us).fold(f64::MAX, f64::min);
+    let shift = (lead / 1250.0).floor().max(0.0) * 1250.0;
+    for e in &mut events {
+        e.start_us -= shift;
+    }
+    let horizon = events.iter().map(|e| e.end_us()).fold(0.0, f64::max) + 500.0;
+    let mut scene = rfd_ether::scene::Scene::new(1e-4, 70);
+    let gain = 30.0 + rfd_dsp::energy::power_to_db(1e-4);
+    for node in 0..24 {
+        scene.set_node(node, gain, (node as f64 - 6.0) * 300.0);
+    }
+    scene.render(&events, horizon)
+}
+
+fn config(name: &str, band: rfd_ether::Band) -> ArchConfig {
+    ArchConfig {
+        band,
+        zigbee: name == "zigbee",
+        ..ArchConfig::rfdump(vec![rfd_integration::piconet()])
+    }
+}
+
+fn check_golden(name: &str) {
+    let dir = golden_dir();
+    let trace_path = dir.join(format!("{name}.rfdt"));
+    let expected_path = dir.join(format!("{name}.expected"));
+
+    if !trace_path.exists() {
+        assert!(
+            regen(),
+            "{} missing — run with RFD_REGEN_GOLDEN=1 to create it",
+            trace_path.display()
+        );
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = render(name);
+        rfd_ether::trace::write_trace(
+            &trace_path,
+            t.band.sample_rate,
+            t.band.center_hz,
+            &t.samples,
+        )
+        .unwrap();
+    }
+
+    let (header, samples) = rfd_ether::trace::read_trace(&trace_path).unwrap();
+    let cfg = config(
+        name,
+        rfd_ether::Band {
+            sample_rate: header.sample_rate,
+            center_hz: header.center_hz,
+        },
+    );
+    let out = run_architecture(&cfg, &samples, header.sample_rate);
+    assert!(
+        !out.records.is_empty(),
+        "{name}: golden trace produced no records"
+    );
+    let mut got = out
+        .records
+        .iter()
+        .map(|r| r.format_line())
+        .collect::<Vec<_>>()
+        .join("\n");
+    got.push('\n');
+
+    if regen() {
+        std::fs::write(&expected_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "{} unreadable ({e}) — run with RFD_REGEN_GOLDEN=1 to create it",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name}: record stream diverged from the golden snapshot; if the\n\
+         change is intentional, regenerate with RFD_REGEN_GOLDEN=1 and\n\
+         review the diff"
+    );
+}
+
+#[test]
+fn golden_wifi_trace_matches_snapshot() {
+    check_golden("wifi");
+}
+
+#[test]
+fn golden_bluetooth_trace_matches_snapshot() {
+    check_golden("bluetooth");
+}
+
+#[test]
+fn golden_zigbee_trace_matches_snapshot() {
+    check_golden("zigbee");
+}
