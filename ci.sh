@@ -51,4 +51,41 @@ if ! diff -u "$work/records-w0.txt" "$work/records-w4.txt"; then
     exit 1
 fi
 
+echo "== smoke: localhost serve/send loopback =="
+# A once-mode server replays the same trace over TCP; its record stream
+# (stdout) must be byte-identical to the offline run above.
+port=17099
+./target/release/rfdump serve --listen "127.0.0.1:$port" --once --workers 0 \
+    > "$work/records-net.txt" 2> "$work/serve-log.txt" &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+    if grep -q "serving on" "$work/serve-log.txt" 2>/dev/null; then up=1; break; fi
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    cat "$work/serve-log.txt" >&2 || true
+    echo "server never came up on port $port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/rfdump send --connect "127.0.0.1:$port" --rate max "$trace"
+# --once: the server exits on its own after the producer session.
+down=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then down=1; break; fi
+    sleep 0.1
+done
+if [ "$down" != 1 ]; then
+    kill "$serve_pid" 2>/dev/null || true
+    echo "server did not shut down within 30s of the session ending"
+    exit 1
+fi
+wait "$serve_pid"
+if ! diff -u "$work/records-w0.txt" "$work/records-net.txt"; then
+    echo "live loopback record stream differs from the offline run"
+    exit 1
+fi
+
 echo "ci: all checks passed"

@@ -4,8 +4,18 @@
 //! USRP-style `.rfdt` format written by `rfd_ether::trace`) and prints one
 //! line per monitored transmission.
 //!
+//! Besides offline replay, three subcommands speak the `rfd-net` wire
+//! protocol: `serve` runs the live capture server (sample streams in,
+//! record streams out), `send` replays a trace into a server, and `watch`
+//! subscribes to a server's record stream.
+//!
 //! ```text
 //! rfdump -r trace.rfdt [options]
+//! rfdump serve --listen ADDR [--once] [--queue-cap N]
+//!              [--overflow block|drop-oldest] [--sub-queue-cap N]
+//!              [arch options] [-q] [--stats-json F]
+//! rfdump send --connect ADDR [--rate max|real-time] [--chunk N] TRACE
+//! rfdump watch --connect ADDR [-q]
 //!
 //!   -r FILE          trace file to read (required)
 //!   -a ARCH          rfdump | naive | naive-energy      (default rfdump)
@@ -24,7 +34,11 @@
 //!   --trace-out F    write the span trace as chrome://tracing JSON to F
 //! ```
 
+use rfd_net::{
+    OverflowPolicy, RecordSubscriber, SendRate, Server, ServerConfig, SubEvent, TraceSender,
+};
 use rfdump::arch::{default_workers, run_architecture, ArchConfig, ArchKind, DetectorSet};
+use rfdump::live::LivePipeline;
 use rfdump::protocols::render_table2;
 use std::process::ExitCode;
 
@@ -48,6 +62,11 @@ fn usage() -> ExitCode {
         "usage: rfdump -r FILE [-a rfdump|naive|naive-energy] [-d timing|phase|both|all]\n\
          \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--workers N]\n\
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
+         \x20      rfdump serve --listen ADDR [--once] [--queue-cap N]\n\
+         \x20             [--overflow block|drop-oldest] [--sub-queue-cap N]\n\
+         \x20             [arch options] [-q] [--stats-json FILE]\n\
+         \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N] TRACE\n\
+         \x20      rfdump watch --connect ADDR [-q]\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -125,7 +144,332 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+// ---------------------------------------------------------------------------
+// Network modes
+// ---------------------------------------------------------------------------
+
+/// Options for `rfdump serve`.
+struct ServeOptions {
+    listen: String,
+    net: ServerConfig,
+    arch: ArchConfig,
+    quiet: bool,
+    stats_json: Option<String>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut listen = None;
+    let mut net = ServerConfig::default();
+    let mut quiet = false;
+    let mut stats_json = None;
+    let mut detector_set = DetectorSet::TimingAndPhase;
+    let mut arch_name = String::from("rfdump");
+    // The band is a placeholder: each producer session's StreamMeta
+    // overrides it.
+    let mut arch = ArchConfig {
+        kind: ArchKind::RfDump(detector_set),
+        demodulate: true,
+        band: rfd_ether::Band {
+            sample_rate: 8e6,
+            center_hz: 0.0,
+        },
+        piconets: Vec::new(),
+        noise_floor: None,
+        zigbee: false,
+        microwave: true,
+        threaded: false,
+        telemetry: true,
+        workers: default_workers(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--listen" => listen = Some(next("an address")?.to_string()),
+            "--once" => net.once = true,
+            "--queue-cap" => {
+                net.queue_cap = next("a count")?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs a positive integer".to_string())?;
+            }
+            "--sub-queue-cap" => {
+                net.sub_queue_cap = next("a count")?
+                    .parse()
+                    .map_err(|_| "--sub-queue-cap needs a positive integer".to_string())?;
+            }
+            "--overflow" => {
+                let s = next("a policy")?;
+                net.overflow = OverflowPolicy::parse(s)
+                    .ok_or_else(|| format!("unknown overflow policy '{s}'"))?;
+            }
+            "-a" => arch_name = next("an architecture")?.to_string(),
+            "-d" => {
+                detector_set = match next("a set")? {
+                    "timing" => DetectorSet::Timing,
+                    "phase" => DetectorSet::Phase,
+                    "both" => DetectorSet::TimingAndPhase,
+                    "all" => DetectorSet::All,
+                    other => return Err(format!("unknown detector set '{other}'")),
+                }
+            }
+            "-n" => arch.demodulate = false,
+            "-p" => {
+                let spec = next("LAP:UAP")?;
+                let (lap_s, uap_s) = spec.split_once(':').ok_or("piconet must be LAP:UAP")?;
+                let lap = u32::from_str_radix(lap_s, 16).map_err(|e| e.to_string())?;
+                let uap = u8::from_str_radix(uap_s, 16).map_err(|e| e.to_string())?;
+                arch.piconets
+                    .push(rfd_phy::bluetooth::demod::PiconetId { lap, uap });
+            }
+            "-z" => arch.zigbee = true,
+            "-q" => quiet = true,
+            "--workers" => {
+                arch.workers = next("a count")?
+                    .parse()
+                    .map_err(|_| "--workers needs a non-negative integer".to_string())?;
+            }
+            "--no-telemetry" => arch.telemetry = false,
+            "--stats-json" => stats_json = Some(next("a file")?.to_string()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    arch.kind = match arch_name.as_str() {
+        "rfdump" => ArchKind::RfDump(detector_set),
+        "naive" => ArchKind::Naive,
+        "naive-energy" => ArchKind::NaiveEnergy,
+        other => return Err(format!("unknown architecture '{other}'")),
+    };
+    arch.telemetry = arch.telemetry || stats_json.is_some();
+    Ok(ServeOptions {
+        listen: listen.ok_or("serve needs --listen ADDR")?,
+        net,
+        arch,
+        quiet,
+        stats_json,
+    })
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let opts = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rfdump: {e}");
+            return usage();
+        }
+    };
+    let pipeline = LivePipeline::new(opts.arch);
+    let shared_out = pipeline.shared_output();
+    let server = match Server::bind(&opts.listen, opts.net, Box::new(pipeline), None) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfdump: cannot listen on {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(a) => eprintln!("rfdump: serving on {a}"),
+        Err(_) => eprintln!("rfdump: serving on {}", opts.listen),
+    }
+    // Print records locally through an in-process subscription, so a bare
+    // `serve` terminal shows the same stream network subscribers get.
+    let local = server.subscribe();
+    let quiet = opts.quiet;
+    let printer = std::thread::spawn(move || {
+        while let Ok(msg) = local.rx.recv() {
+            match msg {
+                rfd_net::HubMsg::Record(r) => {
+                    if !quiet {
+                        println!("{}", r.line);
+                    }
+                }
+                rfd_net::HubMsg::Meta(m) => eprintln!(
+                    "rfdump: session started at {:.1} Msps, band center {:.1} MHz",
+                    m.sample_rate / 1e6,
+                    m.center_hz / 1e6,
+                ),
+                rfd_net::HubMsg::Stats(_) => {}
+                rfd_net::HubMsg::Bye => break,
+            }
+        }
+    });
+    let stats = match server.run() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfdump: server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = printer.join();
+    eprintln!(
+        "rfdump: served {} session(s), {} samples, {} records, ingest RT ratio {:.3}",
+        stats.sessions,
+        stats.samples_in,
+        stats.records_published,
+        stats.ingest_rt_ratio(),
+    );
+    if let Some(path) = &opts.stats_json {
+        let out = shared_out.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let Some(out) = out else {
+            eprintln!("rfdump: no session completed; not writing {path}");
+            return ExitCode::FAILURE;
+        };
+        let doc = rfdump::stats::stats_json_with_net(&out, Some(&stats));
+        if let Err(e) = std::fs::write(path, doc.to_json()) {
+            eprintln!("rfdump: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rfdump: stats written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Options for `rfdump send`.
+struct SendOptions {
+    connect: String,
+    trace: String,
+    rate: SendRate,
+    chunk: usize,
+}
+
+fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
+    let mut connect = None;
+    let mut trace = None;
+    let mut rate = SendRate::Max;
+    let mut chunk = rfd_net::frame::DEFAULT_CHUNK_SAMPLES;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs an address")?.clone()),
+            "--rate" => {
+                let s = it.next().ok_or("--rate needs max|real-time")?;
+                rate = SendRate::parse(s).ok_or_else(|| format!("unknown rate '{s}'"))?;
+            }
+            "--chunk" => {
+                chunk = it
+                    .next()
+                    .ok_or("--chunk needs a sample count")?
+                    .parse()
+                    .map_err(|_| "--chunk needs a positive integer".to_string())?;
+            }
+            other if !other.starts_with('-') && trace.is_none() => trace = Some(other.to_string()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(SendOptions {
+        connect: connect.ok_or("send needs --connect ADDR")?,
+        trace: trace.ok_or("send needs a trace file")?,
+        rate,
+        chunk,
+    })
+}
+
+fn cmd_send(args: &[String]) -> ExitCode {
+    let opts = match parse_send_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rfdump: {e}");
+            return usage();
+        }
+    };
+    let mut tx = match TraceSender::connect(&opts.connect) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rfdump: cannot connect to {}: {e}", opts.connect);
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = std::path::Path::new(&opts.trace);
+    let report = match tx.send_trace_file(path, opts.rate, opts.chunk) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rfdump: cannot send {}: {e}", opts.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = tx.finish() {
+        eprintln!("rfdump: cannot finish session: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "rfdump: sent {} samples in {} chunks ({:.2} MB, {:.1} ms, {} throttle(s))",
+        report.samples,
+        report.chunks,
+        report.bytes as f64 / 1e6,
+        report.wall.as_secs_f64() * 1e3,
+        report.throttles,
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let mut connect = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("rfdump: --connect needs an address");
+                    return usage();
+                }
+            },
+            "-q" => quiet = true,
+            other => {
+                eprintln!("rfdump: unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("rfdump: watch needs --connect ADDR");
+        return usage();
+    };
+    let mut sub = match RecordSubscriber::connect(&connect) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfdump: cannot connect to {connect}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = 0u64;
+    loop {
+        match sub.next_event() {
+            Ok(SubEvent::Record(r)) => {
+                records += 1;
+                if !quiet {
+                    println!("{}", r.line);
+                }
+            }
+            Ok(SubEvent::Meta(m)) => eprintln!(
+                "rfdump: session started at {:.1} Msps, band center {:.1} MHz",
+                m.sample_rate / 1e6,
+                m.center_hz / 1e6,
+            ),
+            Ok(SubEvent::Stats(_) | SubEvent::Heartbeat) => {}
+            Ok(SubEvent::Bye) => break,
+            Err(e) => {
+                eprintln!("rfdump: stream failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("rfdump: stream ended after {records} record(s)");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&argv[1..]),
+        Some("send") => return cmd_send(&argv[1..]),
+        Some("watch") => return cmd_watch(&argv[1..]),
+        _ => {}
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

@@ -1,0 +1,124 @@
+//! The live analysis pipeline: the glue that lets `rfd_net`'s streaming
+//! server run the full offline architecture over each ingested session.
+//!
+//! `rfd-net` is deliberately ignorant of the analysis stack (it only knows
+//! the [`rfd_net::Pipeline`] trait); this module closes the loop by running
+//! [`run_architecture`] over a session's samples with the stream's own
+//! band parameters. Records are rendered with the same
+//! [`PacketRecord::format_line`](crate::records::PacketRecord::format_line)
+//! the offline CLI prints, in the same globally time-sorted order — which
+//! is what makes a subscriber's stream byte-identical to `rfdump -r` on
+//! the same trace.
+
+use crate::arch::{run_architecture, ArchConfig, ArchOutput};
+use rfd_dsp::Complex32;
+use rfd_net::frame::{RecordMsg, StreamMeta};
+use std::sync::{Arc, Mutex};
+
+/// Shared slot where the pipeline deposits each session's full output, so
+/// the serving CLI can render `--stats-json` (with the live `net` section)
+/// after the server stops (the pipeline itself is owned by the server by
+/// then).
+pub type SharedOutput = Arc<Mutex<Option<ArchOutput>>>;
+
+/// [`rfd_net::Pipeline`] implementation backed by the full rfdump
+/// architecture.
+pub struct LivePipeline {
+    cfg: ArchConfig,
+    output: SharedOutput,
+}
+
+impl LivePipeline {
+    /// Wraps `cfg`. The band in `cfg` is a placeholder: each session's
+    /// [`StreamMeta`] overrides it, so one server handles traces captured
+    /// at different rates or band centers.
+    pub fn new(cfg: ArchConfig) -> Self {
+        Self {
+            cfg,
+            output: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The slot that receives each completed session's architecture output.
+    pub fn shared_output(&self) -> SharedOutput {
+        self.output.clone()
+    }
+}
+
+impl rfd_net::Pipeline for LivePipeline {
+    fn analyze(&mut self, meta: &StreamMeta, samples: Vec<Complex32>) -> Vec<RecordMsg> {
+        let mut cfg = self.cfg.clone();
+        cfg.band = rfd_ether::Band {
+            sample_rate: meta.sample_rate,
+            center_hz: meta.center_hz,
+        };
+        let out = run_architecture(&cfg, &samples, meta.sample_rate);
+        let records = out
+            .records
+            .iter()
+            .map(|r| RecordMsg {
+                start_us: r.start_us,
+                end_us: r.end_us,
+                line: r.format_line(),
+            })
+            .collect();
+        *self.output.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchKind, DetectorSet};
+    use rfd_net::Pipeline as _;
+
+    #[test]
+    fn live_pipeline_matches_offline_records() {
+        // A short Wi-Fi-ish burst through both paths must render the same
+        // lines: the whole byte-identity contract in miniature.
+        let fs = 8e6;
+        let n = 80_000;
+        let samples: Vec<Complex32> = (0..n)
+            .map(|i| {
+                let t = i as f32 / fs as f32;
+                if (8_000..24_000).contains(&i) {
+                    Complex32::new((t * 1e6).sin() * 0.5, (t * 1e6).cos() * 0.5)
+                } else {
+                    Complex32::new((t * 7e5).sin() * 1e-3, 0.0)
+                }
+            })
+            .collect();
+        let cfg = ArchConfig {
+            kind: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+            demodulate: false,
+            band: rfd_ether::Band {
+                sample_rate: fs,
+                center_hz: 0.0,
+            },
+            piconets: Vec::new(),
+            noise_floor: None,
+            zigbee: false,
+            microwave: true,
+            threaded: false,
+            telemetry: false,
+            workers: 0,
+        };
+        let offline = run_architecture(&cfg, &samples, fs);
+        let mut live = LivePipeline::new(cfg);
+        let meta = StreamMeta {
+            sample_rate: fs,
+            center_hz: 0.0,
+            scale: 1.0,
+        };
+        let records = live.analyze(&meta, samples);
+        assert_eq!(records.len(), offline.records.len());
+        for (msg, rec) in records.iter().zip(offline.records.iter()) {
+            assert_eq!(msg.line, rec.format_line());
+        }
+        assert!(
+            live.shared_output().lock().unwrap().is_some(),
+            "session output must be deposited"
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!   per-protocol — the section differential harnesses compare across
 //!   scheduler modes) and `pool` (per-worker analysis-pool statistics; null
 //!   when the run was single-threaded).
+//! * **3** — adds `net` (live capture server statistics: connection /
+//!   frame / sample counters, backpressure drops, throttles, subscriber
+//!   evictions and the ingest real-time ratio; null for offline runs).
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -28,7 +31,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 2;
+pub const STATS_VERSION: u64 = 3;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -36,8 +39,16 @@ fn stage_of(block_name: &str) -> &str {
     block_name.split(':').next().unwrap_or(block_name)
 }
 
-/// Builds the versioned stats document for a finished architecture run.
+/// Builds the versioned stats document for a finished architecture run
+/// (offline: the `net` section is null). Live servers use
+/// [`stats_json_with_net`].
 pub fn stats_json(out: &ArchOutput) -> JsonValue {
+    stats_json_with_net(out, None)
+}
+
+/// Builds the versioned stats document, attaching live server statistics
+/// as the `net` section when present.
+pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnapshot>) -> JsonValue {
     let total_samples = (out.trace_seconds * out.sample_rate).round();
     let wall_s = out.stats.wall.as_secs_f64();
 
@@ -187,6 +198,12 @@ pub fn stats_json(out: &ArchOutput) -> JsonValue {
                 ]),
             );
         }
+    }
+
+    // Live capture server statistics (null for offline runs).
+    match net {
+        None => doc.push("net", JsonValue::Null),
+        Some(snap) => doc.push("net", snap.to_json()),
     }
 
     // The full registry: counters, gauges, histograms.
@@ -367,6 +384,31 @@ mod tests {
         assert_eq!(pool.get("executed").unwrap().as_f64(), Some(5.0));
         assert_eq!(pool.get("stolen").unwrap().as_f64(), Some(2.0));
         assert_eq!(pool.get("workers").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn net_section_is_null_offline_and_populated_live() {
+        let doc = rfd_telemetry::json::parse(&stats_json(&fake_output()).to_json()).unwrap();
+        assert!(matches!(
+            doc.get("net"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
+
+        let snap = rfd_net::NetStatsSnapshot {
+            sessions: 1,
+            samples_in: 80_000,
+            chunks_in: 20,
+            ingest_signal_us: 10_000,
+            ingest_wall_us: 5_000,
+            ..Default::default()
+        };
+        let doc_text = stats_json_with_net(&fake_output(), Some(&snap)).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        let net = doc.get("net").unwrap();
+        assert_eq!(net.get("sessions").unwrap().as_f64(), Some(1.0));
+        assert_eq!(net.get("samples_in").unwrap().as_f64(), Some(80_000.0));
+        let ratio = net.get("ingest_rt_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 0.5).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

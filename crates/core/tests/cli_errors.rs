@@ -1,0 +1,119 @@
+//! CLI error-path contract: on unreadable or malformed inputs `rfdump`
+//! must exit nonzero with a one-line, human-readable error — never a
+//! panic, never a backtrace.
+
+use std::process::{Command, Output};
+
+fn rfdump(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rfdump"))
+        .args(args)
+        .output()
+        .expect("spawn rfdump")
+}
+
+fn assert_clean_failure(out: &Output, what: &str, needle: &str) {
+    assert!(
+        !out.status.success(),
+        "{what}: must exit nonzero (status {:?})",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{what}: stderr should mention '{needle}', got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "{what}: must fail cleanly, not panic: {stderr}"
+    );
+    assert!(
+        stderr.starts_with("rfdump:") || stderr.contains("\nrfdump:"),
+        "{what}: errors should carry the program prefix: {stderr}"
+    );
+}
+
+#[test]
+fn nonexistent_trace_fails_cleanly() {
+    let out = rfdump(&["-r", "/nonexistent/definitely/not/here.rfdt"]);
+    assert_clean_failure(&out, "missing file", "cannot read");
+}
+
+#[test]
+fn malformed_trace_fails_cleanly() {
+    let dir = std::env::temp_dir().join("rfd-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.rfdt");
+    std::fs::write(&path, b"this is not a trace file at all").unwrap();
+    let out = rfdump(&["-r", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "garbage trace", "cannot read");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_trace_fails_cleanly() {
+    let dir = std::env::temp_dir().join("rfd-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("truncated.rfdt");
+    let samples: Vec<rfd_dsp::Complex32> = vec![rfd_dsp::Complex32::new(0.5, -0.5); 64];
+    rfd_ether::trace::write_trace(&path, 8e6, 0.0, &samples).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() - 17]).unwrap();
+    let out = rfdump(&["-r", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "truncated trace", "cannot read");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn directory_as_trace_fails_cleanly() {
+    let dir = std::env::temp_dir().join("rfd-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = rfdump(&["-r", dir.to_str().unwrap()]);
+    assert_clean_failure(&out, "directory", "cannot read");
+}
+
+#[test]
+fn unknown_arguments_show_usage() {
+    let out = rfdump(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn send_to_dead_server_fails_cleanly() {
+    // Bind-then-drop guarantees a port with no listener.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let out = rfdump(&["send", "--connect", &addr, "/tmp/whatever.rfdt"]);
+    assert_clean_failure(&out, "dead server", "cannot connect");
+}
+
+#[test]
+fn send_with_missing_trace_fails_cleanly() {
+    // A live listener so the connection succeeds and the trace open is the
+    // failing step.
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap().to_string();
+    let accept = std::thread::spawn(move || {
+        let _conn = l.accept();
+        // Hold the socket open long enough for the client to fail on the
+        // trace file and exit.
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    });
+    let out = rfdump(&[
+        "send",
+        "--connect",
+        &addr,
+        "/nonexistent/definitely/not/here.rfdt",
+    ]);
+    assert_clean_failure(&out, "missing trace over net", "cannot send");
+    accept.join().unwrap();
+}
+
+#[test]
+fn serve_on_invalid_address_fails_cleanly() {
+    let out = rfdump(&["serve", "--listen", "999.999.999.999:0"]);
+    assert_clean_failure(&out, "bad listen address", "cannot listen");
+}

@@ -91,13 +91,14 @@ pub fn encode_trace(header: &TraceHeader, samples: &[Complex32]) -> Vec<u8> {
     buf
 }
 
-/// Deserializes a trace from bytes.
-pub fn decode_trace(data: &[u8]) -> io::Result<(TraceHeader, Vec<Complex32>)> {
+/// Size of the serialized header in bytes.
+pub const HEADER_LEN: usize = 36;
+
+/// Parses and validates the fixed 36-byte header. Shared by the whole-file
+/// decoder and the chunked reader so both enforce identical rules.
+pub fn decode_header(data: &[u8; HEADER_LEN]) -> io::Result<TraceHeader> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
     let mut cur = Cursor::new(data);
-    if cur.remaining() < 36 {
-        return Err(bad("trace too short for header"));
-    }
     let magic: [u8; 4] = cur.take();
     if &magic != MAGIC {
         return Err(bad("bad magic"));
@@ -116,6 +117,30 @@ pub fn decode_trace(data: &[u8]) -> io::Result<(TraceHeader, Vec<Complex32>)> {
     if !center_hz.is_finite() {
         return Err(bad("invalid header fields"));
     }
+    Ok(TraceHeader {
+        sample_rate,
+        center_hz,
+        n_samples,
+        scale,
+    })
+}
+
+/// Deserializes a trace from bytes.
+pub fn decode_trace(data: &[u8]) -> io::Result<(TraceHeader, Vec<Complex32>)> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.len() < HEADER_LEN {
+        return Err(bad("trace too short for header"));
+    }
+    let mut head = [0u8; HEADER_LEN];
+    head.copy_from_slice(&data[..HEADER_LEN]);
+    let header = decode_header(&head)?;
+    let TraceHeader {
+        sample_rate,
+        center_hz,
+        n_samples,
+        scale,
+    } = header;
+    let mut cur = Cursor::new(&data[HEADER_LEN..]);
     if (cur.remaining() as u64) < n_samples.saturating_mul(4) {
         return Err(bad("truncated sample payload"));
     }
@@ -174,6 +199,87 @@ pub fn read_trace(path: &Path) -> io::Result<(TraceHeader, Vec<Complex32>)> {
     let mut data = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut data)?;
     decode_trace(&data)
+}
+
+/// Streams a trace file's raw i16 I/Q pairs in bounded chunks instead of
+/// loading the whole payload, so arbitrarily long captures can be replayed
+/// (e.g. over the network) with constant memory. Header validation is the
+/// same [`decode_header`] the whole-file decoder uses.
+pub struct ChunkedTraceReader {
+    file: std::io::BufReader<std::fs::File>,
+    header: TraceHeader,
+    remaining: u64,
+}
+
+impl ChunkedTraceReader {
+    /// Opens `path`, reading and validating the header (including that the
+    /// file is long enough for the declared sample count, so truncation is
+    /// reported up front, not mid-stream).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        let payload_len = f.metadata()?.len().saturating_sub(HEADER_LEN as u64);
+        let mut file = std::io::BufReader::new(f);
+        let mut head = [0u8; HEADER_LEN];
+        file.read_exact(&mut head).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(io::ErrorKind::InvalidData, "trace too short for header")
+            } else {
+                e
+            }
+        })?;
+        let header = decode_header(&head)?;
+        if payload_len < header.n_samples.saturating_mul(4) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated sample payload",
+            ));
+        }
+        Ok(Self {
+            remaining: header.n_samples,
+            file,
+            header,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Samples not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads up to `max_samples` raw (i, q) pairs; `None` once the trace is
+    /// exhausted. Convert with `from_i16_iq(i, q).scale(header.scale)` for
+    /// exactly the samples [`decode_trace`] would produce.
+    pub fn next_chunk(&mut self, max_samples: usize) -> io::Result<Option<Vec<(i16, i16)>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let n = (self.remaining.min(max_samples.max(1) as u64)) as usize;
+        let mut raw = vec![0u8; n * 4];
+        self.file.read_exact(&mut raw)?;
+        self.remaining -= n as u64;
+        let mut out = Vec::with_capacity(n);
+        for pair in raw.chunks_exact(4) {
+            let i = i16::from_le_bytes([pair[0], pair[1]]);
+            let q = i16::from_le_bytes([pair[2], pair[3]]);
+            out.push((i, q));
+        }
+        Ok(Some(out))
+    }
+
+    /// Reads up to `max_samples` scaled complex samples — the streaming
+    /// equivalent of [`read_trace`]'s payload conversion.
+    pub fn next_samples(&mut self, max_samples: usize) -> io::Result<Option<Vec<Complex32>>> {
+        Ok(self.next_chunk(max_samples)?.map(|iq| {
+            iq.into_iter()
+                .map(|(i, q)| from_i16_iq(i, q).scale(self.header.scale))
+                .collect()
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +343,53 @@ mod tests {
     #[test]
     fn auto_scale_handles_silence() {
         assert_eq!(auto_scale(&[Complex32::ZERO; 4]), 1.0);
+    }
+
+    #[test]
+    fn chunked_reader_matches_whole_file_decode() {
+        let dir = std::env::temp_dir().join("rfdump-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunked.rfdt");
+        let samples = ramp(1003); // deliberately not a multiple of the chunk
+        write_trace(&path, 8e6, 37e6, &samples).unwrap();
+        let (h, whole) = read_trace(&path).unwrap();
+
+        let mut r = ChunkedTraceReader::open(&path).unwrap();
+        assert_eq!(r.header(), &h);
+        let mut streamed = Vec::new();
+        while let Some(chunk) = r.next_samples(256).unwrap() {
+            assert!(chunk.len() <= 256);
+            streamed.extend(chunk);
+        }
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(streamed.len(), whole.len());
+        // Bit-identical, not merely close: both paths apply the same
+        // i16 → f32 conversion.
+        for (a, b) in whole.iter().zip(streamed.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reader_rejects_truncation_up_front() {
+        let dir = std::env::temp_dir().join("rfdump-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.rfdt");
+        let samples = ramp(100);
+        let header = TraceHeader {
+            sample_rate: 8e6,
+            center_hz: 0.0,
+            n_samples: 100,
+            scale: 1.0,
+        };
+        let bytes = encode_trace(&header, &samples);
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(ChunkedTraceReader::open(&path).is_err());
+        std::fs::write(&path, &bytes[..20]).unwrap();
+        assert!(ChunkedTraceReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

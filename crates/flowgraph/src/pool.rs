@@ -788,6 +788,18 @@ fn worker_loop<I, O>(
                 if shared.deques.iter().all(|d| d.is_empty()) {
                     break;
                 }
+                // A peer still holds queued items we failed to steal (it is
+                // mid-run with a backlog). recv_timeout returns Closed
+                // immediately now, so without an explicit wait this branch
+                // busy-spins at full CPU until a steal lands. Park briefly
+                // instead, booked as stall time like every other idle wait.
+                let t0 = Instant::now();
+                std::thread::sleep(Duration::from_micros(100));
+                let waited = t0.elapsed().as_micros() as u64;
+                cell.stall_us.fetch_add(waited, Ordering::Relaxed);
+                if let Some((.., stall)) = &tel {
+                    stall.add(waited);
+                }
             }
         }
     }
@@ -920,6 +932,50 @@ mod tests {
             assert_eq!(out, expect, "workers={workers}");
             assert_eq!(stats.executed(), 200);
         }
+    }
+
+    #[test]
+    fn drain_phase_with_peer_backlog_completes_and_books_stall() {
+        // Exercise the post-close drain: a large refill batch parks the
+        // whole queue in one worker's deque behind a slow first item, so
+        // the other workers reach the injector-closed branch while a peer
+        // still holds a backlog. They must wait (booked as stall), steal,
+        // and finish every item — not exit early and not busy-spin
+        // unaccounted.
+        let mut pool = TaskPool::new(
+            PoolConfig {
+                workers: 4,
+                queue_cap: 64,
+                refill_batch: 64,
+            },
+            |_| {
+                Box::new(|x: u64| {
+                    if x == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                    }
+                    x + 1
+                })
+            },
+        );
+        pool.submit(0);
+        // Idle window: the other workers sit in timed injector waits, which
+        // must surface in the stall counters exactly as before the parked
+        // drain-phase wait was added.
+        std::thread::sleep(Duration::from_millis(5));
+        for i in 1..48u64 {
+            pool.submit(i);
+        }
+        let (rest, stats) = pool.finish();
+        assert_eq!(stats.executed(), 48);
+        let mut got: Vec<u64> = rest.into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=48).collect::<Vec<u64>>());
+        // Someone idled while the slow worker held the backlog; that time
+        // must appear in the stall counters, same as pre-close waits.
+        assert!(
+            stats.stall() > Duration::ZERO,
+            "idle drain-phase waits must be accounted as stall"
+        );
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Client helpers: [`TraceSender`] (a producer that replays a `.rfdt` trace
+//! or an in-memory sample buffer over TCP) and [`RecordSubscriber`] (a
+//! consumer of the live record stream).
+//!
+//! Both speak the [`crate::frame`] protocol and are what the CLI's
+//! `rfdump send` and `rfdump watch` modes wrap.
+
+use crate::frame::{
+    encode_frame, Frame, FrameDecoder, RecordMsg, Role, SeqFrame, StreamMeta, DEFAULT_CHUNK_SAMPLES,
+};
+use rfd_dsp::Complex32;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// How fast a trace is replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SendRate {
+    /// As fast as the link and the server's backpressure allow.
+    #[default]
+    Max,
+    /// Paced so wall time tracks signal time (samples / sample_rate), the
+    /// way a live radio front-end would deliver them.
+    RealTime,
+}
+
+impl SendRate {
+    /// Parses the CLI spelling (`max` / `real-time`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "max" => Some(SendRate::Max),
+            "real-time" | "realtime" => Some(SendRate::RealTime),
+            _ => None,
+        }
+    }
+}
+
+/// What a completed send did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SendReport {
+    /// Samples sent.
+    pub samples: u64,
+    /// SampleChunk frames sent.
+    pub chunks: u64,
+    /// Bytes written to the socket.
+    pub bytes: u64,
+    /// Throttle advisories received from the server while sending.
+    pub throttles: u64,
+    /// Wall time spent sending.
+    pub wall: Duration,
+}
+
+/// A producer connection that streams samples to an `rfdump serve`
+/// instance.
+pub struct TraceSender {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    out_seq: u32,
+    sent_meta: bool,
+}
+
+impl TraceSender {
+    /// Connects and declares the producer role.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut tx = Self {
+            stream,
+            dec: FrameDecoder::new(),
+            out_seq: 0,
+            sent_meta: false,
+        };
+        tx.write_frame(&Frame::Hello(Role::Producer))?;
+        Ok(tx)
+    }
+
+    fn write_frame(&mut self, frame: &Frame) -> io::Result<u64> {
+        let bytes = encode_frame(frame, self.out_seq);
+        self.out_seq = self.out_seq.wrapping_add(1);
+        self.stream.write_all(&bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Drains any server→producer frames waiting on the socket without
+    /// blocking; returns how many were Throttle advisories.
+    fn poll_throttles(&mut self) -> io::Result<u64> {
+        self.stream.set_nonblocking(true)?;
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => break, // server closed its end
+                Ok(n) => self.dec.push(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.stream.set_nonblocking(false)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.stream.set_nonblocking(false)?;
+        let mut throttles = 0u64;
+        while let Some(SeqFrame { frame, .. }) = self.dec.next_frame().map_err(io::Error::from)? {
+            if let Frame::Throttle { .. } = frame {
+                throttles += 1;
+            }
+        }
+        Ok(throttles)
+    }
+
+    /// Streams pre-quantized i16 IQ chunks. The caller supplies an iterator
+    /// of chunks; pacing is applied per chunk.
+    pub fn send_quantized<I>(
+        &mut self,
+        meta: StreamMeta,
+        chunks: I,
+        rate: SendRate,
+    ) -> io::Result<SendReport>
+    where
+        I: IntoIterator<Item = Vec<(i16, i16)>>,
+    {
+        meta.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let mut report = SendReport::default();
+        let t0 = Instant::now();
+        if !self.sent_meta {
+            report.bytes += self.write_frame(&Frame::StreamMeta(meta))?;
+            self.sent_meta = true;
+        }
+        let mut start_sample = 0u64;
+        for iq in chunks {
+            if iq.is_empty() {
+                continue;
+            }
+            if rate == SendRate::RealTime {
+                // Wall-clock position this chunk's first sample corresponds
+                // to; sleep off any lead.
+                let due = Duration::from_secs_f64(start_sample as f64 / meta.sample_rate);
+                let elapsed = t0.elapsed();
+                if due > elapsed {
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+            report.throttles += self.poll_throttles()?;
+            let n = iq.len() as u64;
+            report.bytes += self.write_frame(&Frame::SampleChunk { start_sample, iq })?;
+            start_sample += n;
+            report.samples += n;
+            report.chunks += 1;
+        }
+        self.stream.flush()?;
+        report.wall = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Streams an in-memory sample buffer, quantizing to the wire's i16 IQ
+    /// representation with `meta.scale` (the inverse of the server's
+    /// reconstruction).
+    pub fn send_samples(
+        &mut self,
+        meta: StreamMeta,
+        samples: &[Complex32],
+        rate: SendRate,
+        chunk_samples: usize,
+    ) -> io::Result<SendReport> {
+        let chunk = chunk_samples.max(1);
+        let inv = if meta.scale != 0.0 {
+            1.0 / meta.scale
+        } else {
+            1.0
+        };
+        let quant = move |v: f32| -> i16 {
+            let x = (v * inv).round();
+            x.clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16
+        };
+        let chunks = samples.chunks(chunk).map(move |c| {
+            c.iter()
+                .map(|s| (quant(s.re), quant(s.im)))
+                .collect::<Vec<(i16, i16)>>()
+        });
+        // `chunks` borrows `samples`; collect is avoided by sending inline.
+        self.send_quantized(meta, chunks, rate)
+    }
+
+    /// Replays a `.rfdt` trace file without loading it whole: chunked reads
+    /// of the raw i16 IQ payload go straight onto the wire, so the server
+    /// reconstructs bit-identical samples to an offline `decode_trace`.
+    pub fn send_trace_file(
+        &mut self,
+        path: &Path,
+        rate: SendRate,
+        chunk_samples: usize,
+    ) -> io::Result<SendReport> {
+        let mut reader = rfd_ether::trace::ChunkedTraceReader::open(path)?;
+        let h = reader.header();
+        let meta = StreamMeta {
+            sample_rate: h.sample_rate,
+            center_hz: h.center_hz,
+            scale: h.scale,
+        };
+        let chunk = chunk_samples.clamp(1, DEFAULT_CHUNK_SAMPLES * 16);
+        meta.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let mut report = SendReport::default();
+        let t0 = Instant::now();
+        if !self.sent_meta {
+            report.bytes += self.write_frame(&Frame::StreamMeta(meta))?;
+            self.sent_meta = true;
+        }
+        let mut start_sample = 0u64;
+        while let Some(iq) = reader.next_chunk(chunk)? {
+            if rate == SendRate::RealTime {
+                let due = Duration::from_secs_f64(start_sample as f64 / meta.sample_rate);
+                let elapsed = t0.elapsed();
+                if due > elapsed {
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+            report.throttles += self.poll_throttles()?;
+            let n = iq.len() as u64;
+            report.bytes += self.write_frame(&Frame::SampleChunk { start_sample, iq })?;
+            start_sample += n;
+            report.samples += n;
+            report.chunks += 1;
+        }
+        self.stream.flush()?;
+        report.wall = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Ends the session cleanly (Bye) and closes the connection.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.write_frame(&Frame::Bye)?;
+        self.stream.flush()?;
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        // Drain the reverse path until the server closes its end. Closing
+        // with unread Throttle bytes in our receive buffer would turn this
+        // into a TCP RST, destroying in-flight sample data the server has
+        // not yet read.
+        let _ = self.stream.set_nonblocking(false);
+        let _ = self.stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One event from the server's record stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubEvent {
+    /// Stream metadata for a session now starting.
+    Meta(StreamMeta),
+    /// One decoded record.
+    Record(RecordMsg),
+    /// End-of-session statistics document (JSON).
+    Stats(String),
+    /// Idle keep-alive.
+    Heartbeat,
+    /// The server is done; no further events follow.
+    Bye,
+}
+
+/// A subscriber connection that receives the live record stream from an
+/// `rfdump serve` instance.
+pub struct RecordSubscriber {
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl RecordSubscriber {
+    /// Connects and declares the subscriber role. Blocks until the server
+    /// acknowledges the subscription (an immediate Heartbeat), so every
+    /// record published after `connect` returns is guaranteed to reach
+    /// this subscriber.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&encode_frame(&Frame::Hello(Role::Subscriber), 0))?;
+        let mut sub = Self {
+            stream,
+            dec: FrameDecoder::new(),
+        };
+        match sub.next_event()? {
+            SubEvent::Heartbeat => Ok(sub),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected subscription ack, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Blocks for the next event. `ErrorKind::UnexpectedEof` means the
+    /// server went away without a Bye.
+    pub fn next_event(&mut self) -> io::Result<SubEvent> {
+        loop {
+            if let Some(SeqFrame { frame, .. }) = self.dec.next_frame().map_err(io::Error::from)? {
+                return Ok(match frame {
+                    Frame::StreamMeta(m) => SubEvent::Meta(m),
+                    Frame::Record(r) => SubEvent::Record(r),
+                    Frame::Stats(s) => SubEvent::Stats(s),
+                    Frame::Heartbeat => SubEvent::Heartbeat,
+                    Frame::Bye => SubEvent::Bye,
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected frame on subscriber stream: {other:?}"),
+                        ))
+                    }
+                });
+            }
+            let mut buf = [0u8; 16 * 1024];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the stream without a Bye",
+                    ))
+                }
+                Ok(n) => self.dec.push(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

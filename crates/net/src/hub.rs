@@ -1,0 +1,192 @@
+//! Record fan-out: one decoded record stream, N live subscribers.
+//!
+//! Every subscriber gets its own *bounded* queue, drained by that
+//! subscriber's connection thread. Publishing never blocks on a subscriber:
+//! a queue that is full when a record arrives means the subscriber cannot
+//! keep up with the ether, and the hub **evicts** it (drops the queue, which
+//! the connection thread observes as a disconnect) rather than letting one
+//! slow reader stall the stream for everyone — the same policy a production
+//! pub/sub fan-out applies to lagging consumers.
+
+use crate::frame::RecordMsg;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+
+/// What flows to subscribers, in publish order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HubMsg {
+    /// Stream metadata for the session now starting.
+    Meta(crate::frame::StreamMeta),
+    /// One decoded record.
+    Record(RecordMsg),
+    /// End-of-session statistics document.
+    Stats(String),
+    /// The server is shutting the stream down; no further messages follow.
+    Bye,
+}
+
+struct HubInner {
+    subs: HashMap<u64, SyncSender<HubMsg>>,
+    next_id: u64,
+}
+
+/// The fan-out hub.
+pub struct RecordHub {
+    inner: Mutex<HubInner>,
+    cap: usize,
+    evicted: AtomicU64,
+    published: AtomicU64,
+}
+
+/// One subscription: an id (for unsubscribe) plus the receiving end of the
+/// subscriber's bounded queue.
+pub struct Subscription {
+    /// Hub-assigned subscriber id.
+    pub id: u64,
+    /// The subscriber's private queue.
+    pub rx: Receiver<HubMsg>,
+}
+
+impl RecordHub {
+    /// A hub whose subscriber queues hold at most `cap` messages.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(HubInner {
+                subs: HashMap::new(),
+                next_id: 0,
+            }),
+            cap: cap.max(1),
+            evicted: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a new subscriber.
+    pub fn subscribe(&self) -> Subscription {
+        let (tx, rx) = sync_channel(self.cap);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subs.insert(id, tx);
+        Subscription { id, rx }
+    }
+
+    /// Removes a subscriber (normal disconnect; not counted as eviction).
+    pub fn unsubscribe(&self, id: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .subs
+            .remove(&id);
+    }
+
+    /// Broadcasts `msg` to every live subscriber. A subscriber whose queue
+    /// is full is evicted on the spot. Returns how many subscribers
+    /// received the message.
+    pub fn publish(&self, msg: HubMsg) -> usize {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slow: Vec<u64> = Vec::new();
+        let mut delivered = 0usize;
+        for (&id, tx) in inner.subs.iter() {
+            match tx.try_send(msg.clone()) {
+                Ok(()) => delivered += 1,
+                Err(TrySendError::Full(_)) => slow.push(id),
+                // Receiver already gone: connection thread exited; prune.
+                Err(TrySendError::Disconnected(_)) => slow.push(id),
+            }
+        }
+        for id in slow {
+            inner.subs.remove(&id);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        delivered
+    }
+
+    /// Live subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .subs
+            .len()
+    }
+
+    /// Subscribers evicted (or found disconnected) during publishes.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Per-subscriber queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: &str) -> HubMsg {
+        HubMsg::Record(RecordMsg {
+            start_us: 0.0,
+            end_us: 1.0,
+            line: line.into(),
+        })
+    }
+
+    #[test]
+    fn fan_out_preserves_order_per_subscriber() {
+        let hub = RecordHub::new(16);
+        let a = hub.subscribe();
+        let b = hub.subscribe();
+        for i in 0..5 {
+            assert_eq!(hub.publish(rec(&format!("r{i}"))), 2);
+        }
+        hub.publish(HubMsg::Bye);
+        for sub in [a, b] {
+            let got: Vec<HubMsg> = sub.rx.try_iter().collect();
+            assert_eq!(got.len(), 6);
+            for (i, m) in got.iter().take(5).enumerate() {
+                assert_eq!(m, &rec(&format!("r{i}")));
+            }
+            assert_eq!(got[5], HubMsg::Bye);
+        }
+    }
+
+    #[test]
+    fn slow_subscriber_is_evicted_not_waited_on() {
+        let hub = RecordHub::new(2);
+        let slow = hub.subscribe();
+        let fast = hub.subscribe();
+        // Fill the slow subscriber's queue without draining it.
+        hub.publish(rec("a"));
+        hub.publish(rec("b"));
+        // Drain only the fast one.
+        assert_eq!(fast.rx.try_iter().count(), 2);
+        // Third publish finds `slow` full → evicted; `fast` still receives.
+        assert_eq!(hub.publish(rec("c")), 1);
+        assert_eq!(hub.subscriber_count(), 1);
+        assert_eq!(hub.evicted(), 1);
+        // The evicted subscriber still sees its backlog, then disconnect.
+        assert_eq!(slow.rx.try_iter().count(), 2);
+        assert!(slow.rx.recv().is_err(), "sender must be dropped");
+    }
+
+    #[test]
+    fn unsubscribe_is_not_an_eviction() {
+        let hub = RecordHub::new(4);
+        let s = hub.subscribe();
+        hub.unsubscribe(s.id);
+        hub.publish(rec("x"));
+        assert_eq!(hub.evicted(), 0);
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+}

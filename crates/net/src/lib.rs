@@ -1,0 +1,40 @@
+//! rfd-net — the wire layer of the monitor: a framed, versioned protocol
+//! for shipping raw sample streams *into* the rfdump pipeline and decoded
+//! record streams *out* to live subscribers, plus the server that joins the
+//! two.
+//!
+//! The paper's architecture assumes samples arrive from a radio front-end
+//! and analysis results are consumed by "visualizer" clients; this crate is
+//! that seam, std-only:
+//!
+//! * [`frame`] — the `RFDN` frame codec: length-prefixed, CRC-protected,
+//!   sequence-numbered frames with a hardened incremental decoder.
+//! * [`queue`] — the bounded ingest queue with explicit overflow policy
+//!   (block = lossless backpressure, drop-oldest = lossy real-time).
+//! * [`hub`] — record fan-out with per-subscriber bounded queues and
+//!   slow-consumer eviction.
+//! * [`server`] — the TCP server: producers in, subscribers out, one
+//!   [`Pipeline`] in the middle.
+//! * [`client`] — [`TraceSender`] and [`RecordSubscriber`], what the CLI's
+//!   `send` / `watch` modes wrap.
+//!
+//! The analysis stage itself is injected via the [`Pipeline`] trait, so
+//! this crate never depends on the pipeline crate (the dependency points
+//! the other way: the `rfdump` binary implements [`Pipeline`] with its
+//! offline architecture, which is what makes the live record stream
+//! byte-identical to offline output on the same samples).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod hub;
+pub mod queue;
+pub mod server;
+
+pub use client::{RecordSubscriber, SendRate, SendReport, SubEvent, TraceSender};
+pub use frame::{Frame, FrameDecoder, FrameError, RecordMsg, Role, StreamMeta};
+pub use hub::{HubMsg, RecordHub, Subscription};
+pub use queue::{ChunkQueue, OverflowPolicy, PushOutcome};
+pub use server::{NetStatsSnapshot, Pipeline, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,252 @@
+//! The bounded ingest queue between a producer connection and the analysis
+//! stage, with an explicit, configurable overflow policy.
+//!
+//! Real-time ingest must answer one question decisively: *what happens when
+//! samples arrive faster than they are consumed?* This queue makes the two
+//! defensible answers first-class:
+//!
+//! * [`OverflowPolicy::Block`] — the pushing thread waits for room. Over a
+//!   TCP connection this propagates as transport backpressure (the socket
+//!   buffer fills, the producer's writes stall), so nothing is ever lost;
+//!   the stream simply falls behind real time.
+//! * [`OverflowPolicy::DropOldest`] — the oldest queued item is discarded
+//!   to make room and a dropped counter ticks. The stream stays real-time
+//!   at the cost of holes, the same trade a hardware ring buffer makes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What `push` does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the pusher until the consumer makes room (lossless).
+    #[default]
+    Block,
+    /// Discard the oldest queued item to admit the new one (lossy).
+    DropOldest,
+}
+
+impl OverflowPolicy {
+    /// Parses the CLI spelling (`block` / `drop-oldest`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(OverflowPolicy::Block),
+            "drop-oldest" => Some(OverflowPolicy::DropOldest),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverflowPolicy::Block => "block",
+            OverflowPolicy::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+/// What a `push` did, so the caller can react (e.g. send a Throttle frame
+/// the first time the queue saturates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The item was enqueued without hitting the bound.
+    Queued,
+    /// The queue was full: the push blocked until room appeared.
+    QueuedAfterBlock,
+    /// The queue was full: the oldest item was dropped to make room.
+    QueuedDroppingOldest,
+}
+
+struct QueueState<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<QueueState<T>>,
+    room: Condvar,
+    items: Condvar,
+    cap: usize,
+    policy: OverflowPolicy,
+    dropped: AtomicU64,
+}
+
+/// A bounded SPSC/MPSC queue with a chosen [`OverflowPolicy`].
+pub struct ChunkQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for ChunkQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> ChunkQueue<T> {
+    /// A queue holding at most `cap` items (≥ 1).
+    pub fn new(cap: usize, policy: OverflowPolicy) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState {
+                    q: VecDeque::with_capacity(cap.max(1)),
+                    closed: false,
+                }),
+                room: Condvar::new(),
+                items: Condvar::new(),
+                cap: cap.max(1),
+                policy,
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Enqueues `item` under the queue's overflow policy. Returns what
+    /// happened, or `Err(item)` if the queue is closed.
+    pub fn push(&self, item: T) -> Result<PushOutcome, T> {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(item);
+        }
+        let mut outcome = PushOutcome::Queued;
+        while st.q.len() >= sh.cap {
+            match sh.policy {
+                OverflowPolicy::DropOldest => {
+                    st.q.pop_front();
+                    sh.dropped.fetch_add(1, Ordering::Relaxed);
+                    outcome = PushOutcome::QueuedDroppingOldest;
+                    break;
+                }
+                OverflowPolicy::Block => {
+                    outcome = PushOutcome::QueuedAfterBlock;
+                    st = sh.room.wait(st).unwrap_or_else(|e| e.into_inner());
+                    if st.closed {
+                        return Err(item);
+                    }
+                }
+            }
+        }
+        st.q.push_back(item);
+        drop(st);
+        sh.items.notify_one();
+        Ok(outcome)
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(it) = st.q.pop_front() {
+                drop(st);
+                sh.room.notify_one();
+                return Some(it);
+            }
+            if st.closed {
+                return None;
+            }
+            st = sh.items.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, further pushes
+    /// fail, blocked pushers and poppers wake.
+    pub fn close(&self) {
+        let sh = &self.shared;
+        sh.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        sh.items.notify_all();
+        sh.room.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .q
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
+    }
+
+    /// Items discarded by the drop-oldest policy so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_close_semantics() {
+        let q = ChunkQueue::new(4, OverflowPolicy::Block);
+        assert_eq!(q.push(1), Ok(PushOutcome::Queued));
+        assert_eq!(q.push(2), Ok(PushOutcome::Queued));
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn block_policy_waits_for_room() {
+        let q = ChunkQueue::new(1, OverflowPolicy::Block);
+        q.push(10).unwrap();
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.push(20).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "pusher must be blocked");
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(t.join().unwrap(), PushOutcome::QueuedAfterBlock);
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_policy_counts_losses() {
+        let q = ChunkQueue::new(2, OverflowPolicy::DropOldest);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Ok(PushOutcome::QueuedDroppingOldest));
+        assert_eq!(q.push(4), Ok(PushOutcome::QueuedDroppingOldest));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn close_unblocks_a_blocked_pusher() {
+        let q = ChunkQueue::new(1, OverflowPolicy::Block);
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [OverflowPolicy::Block, OverflowPolicy::DropOldest] {
+            assert_eq!(OverflowPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(OverflowPolicy::parse("nope"), None);
+    }
+}

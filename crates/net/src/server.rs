@@ -1,0 +1,819 @@
+//! The live capture server: sample-stream ingest with backpressure on one
+//! side, record fan-out to live subscribers on the other.
+//!
+//! ```text
+//!  producer ──TCP──▶ ingest (frames → ChunkQueue) ──▶ analysis thread
+//!                                                        │ (Pipeline)
+//!  subscriber ◀─TCP── per-sub bounded queue ◀── RecordHub ┘
+//! ```
+//!
+//! One connection thread per peer. A **producer** sends
+//! `Hello → StreamMeta → SampleChunk… → Bye`; its chunks cross a bounded
+//! [`ChunkQueue`] whose overflow policy is the server's drop-vs-delay
+//! decision, with Throttle frames sent back as an explicit advisory the
+//! moment the queue saturates. A session's samples feed the [`Pipeline`]
+//! (in-process; the rfdump analysis stack on the CLI), and the resulting
+//! records fan out through the [`RecordHub`] to every **subscriber**, each
+//! behind its own bounded queue with slow-consumer eviction.
+//!
+//! Determinism note: records are published after the session's sample
+//! stream ends, in exactly the order the offline pipeline emits them
+//! (concatenated per-port, stable-sorted by start time). This is forced by
+//! the byte-identity contract with offline `rfdump`: the offline record
+//! stream is globally time-sorted, and a globally sorted order cannot be
+//! emitted before the last sample is seen. A future watermarking scheme
+//! could bound the latency; the wire protocol needs no change for it.
+
+use crate::frame::{encode_frame, Frame, FrameDecoder, RecordMsg, Role, SeqFrame, StreamMeta};
+use crate::hub::{HubMsg, RecordHub, Subscription};
+use crate::queue::{ChunkQueue, OverflowPolicy};
+use rfd_dsp::complex::from_i16_iq;
+use rfd_dsp::Complex32;
+use rfd_telemetry::{Counter, Gauge, Registry};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The analysis stage the server drives: a complete sample stream in,
+/// rendered record lines out.
+///
+/// The server deliberately does not depend on `rfdump` (the core crate
+/// implements this trait and hands it in), so the wire layer stays reusable
+/// and cheap to test with stub pipelines.
+pub trait Pipeline: Send {
+    /// Processes one session's samples into record messages, in final
+    /// (time-sorted) emission order.
+    fn analyze(&mut self, meta: &StreamMeta, samples: Vec<Complex32>) -> Vec<RecordMsg>;
+}
+
+impl<F> Pipeline for F
+where
+    F: FnMut(&StreamMeta, Vec<Complex32>) -> Vec<RecordMsg> + Send,
+{
+    fn analyze(&mut self, meta: &StreamMeta, samples: Vec<Complex32>) -> Vec<RecordMsg> {
+        self(meta, samples)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+/// One monotone statistic, optionally mirrored into a telemetry counter.
+struct Cell {
+    v: AtomicU64,
+    mirror: Option<Arc<Counter>>,
+}
+
+impl Cell {
+    fn new(reg: Option<&Registry>, name: &str) -> Self {
+        Self {
+            v: AtomicU64::new(0),
+            mirror: reg.map(|r| r.counter(name)),
+        }
+    }
+
+    fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+        if let Some(c) = &self.mirror {
+            c.add(n);
+        }
+    }
+
+    fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Live server statistics (all monotone; mirrored into the telemetry
+/// registry under `net.*` when one is attached).
+pub struct NetStats {
+    connections: Cell,
+    producers: Cell,
+    subscribers: Cell,
+    sessions: Cell,
+    frames_in: Cell,
+    bytes_in: Cell,
+    frames_out: Cell,
+    bytes_out: Cell,
+    chunks_in: Cell,
+    samples_in: Cell,
+    chunks_dropped: Cell,
+    throttles_sent: Cell,
+    seq_gaps: Cell,
+    decode_errors: Cell,
+    records_published: Cell,
+    /// Signal time ingested, µs (samples / sample_rate).
+    ingest_signal_us: Cell,
+    /// Wall time spent ingesting, µs (first chunk to stream close).
+    ingest_wall_us: Cell,
+    queue_gauge: Option<Arc<Gauge>>,
+}
+
+impl NetStats {
+    fn new(reg: Option<&Registry>) -> Self {
+        Self {
+            connections: Cell::new(reg, "net.connections"),
+            producers: Cell::new(reg, "net.producers"),
+            subscribers: Cell::new(reg, "net.subscribers"),
+            sessions: Cell::new(reg, "net.sessions"),
+            frames_in: Cell::new(reg, "net.frames_in"),
+            bytes_in: Cell::new(reg, "net.bytes_in"),
+            frames_out: Cell::new(reg, "net.frames_out"),
+            bytes_out: Cell::new(reg, "net.bytes_out"),
+            chunks_in: Cell::new(reg, "net.chunks_in"),
+            samples_in: Cell::new(reg, "net.samples_in"),
+            chunks_dropped: Cell::new(reg, "net.chunks_dropped"),
+            throttles_sent: Cell::new(reg, "net.throttles_sent"),
+            seq_gaps: Cell::new(reg, "net.seq_gaps"),
+            decode_errors: Cell::new(reg, "net.decode_errors"),
+            records_published: Cell::new(reg, "net.records_published"),
+            ingest_signal_us: Cell::new(reg, "net.ingest_signal_us"),
+            ingest_wall_us: Cell::new(reg, "net.ingest_wall_us"),
+            queue_gauge: reg.map(|r| r.gauge("net.ingest.queue_depth")),
+        }
+    }
+}
+
+/// Point-in-time copy of the server statistics, for the stats-json `net`
+/// section and test assertions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetStatsSnapshot {
+    /// Accepted TCP connections.
+    pub connections: u64,
+    /// Connections that declared the producer role.
+    pub producers: u64,
+    /// Connections that declared the subscriber role.
+    pub subscribers: u64,
+    /// Producer sessions analyzed.
+    pub sessions: u64,
+    /// Frames decoded from peers.
+    pub frames_in: u64,
+    /// Bytes read from peers.
+    pub bytes_in: u64,
+    /// Frames written to peers.
+    pub frames_out: u64,
+    /// Bytes written to peers.
+    pub bytes_out: u64,
+    /// Sample chunks ingested.
+    pub chunks_in: u64,
+    /// Complex samples ingested.
+    pub samples_in: u64,
+    /// Chunks discarded by the drop-oldest overflow policy.
+    pub chunks_dropped: u64,
+    /// Throttle advisories sent to producers.
+    pub throttles_sent: u64,
+    /// Frame sequence-number gaps observed (upstream loss accounting).
+    pub seq_gaps: u64,
+    /// Connections dropped for malformed frames.
+    pub decode_errors: u64,
+    /// Record messages published to the hub.
+    pub records_published: u64,
+    /// Subscribers evicted as slow consumers.
+    pub subscribers_evicted: u64,
+    /// Signal time ingested, µs.
+    pub ingest_signal_us: u64,
+    /// Wall time spent ingesting, µs.
+    pub ingest_wall_us: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Ingest wall time over signal time: < 1.0 means the server kept up
+    /// with (better than) real time, the PC-side requirement the related
+    /// USRP-ingest work centers on.
+    pub fn ingest_rt_ratio(&self) -> f64 {
+        if self.ingest_signal_us == 0 {
+            return 0.0;
+        }
+        self.ingest_wall_us as f64 / self.ingest_signal_us as f64
+    }
+
+    /// The snapshot as a JSON object (the stats-json v3 `net` section).
+    pub fn to_json(&self) -> rfd_telemetry::json::JsonValue {
+        use rfd_telemetry::json::JsonValue as J;
+        let n = |v: u64| J::num(v as f64);
+        J::obj(vec![
+            ("connections", n(self.connections)),
+            ("producers", n(self.producers)),
+            ("subscribers", n(self.subscribers)),
+            ("sessions", n(self.sessions)),
+            ("frames_in", n(self.frames_in)),
+            ("bytes_in", n(self.bytes_in)),
+            ("frames_out", n(self.frames_out)),
+            ("bytes_out", n(self.bytes_out)),
+            ("chunks_in", n(self.chunks_in)),
+            ("samples_in", n(self.samples_in)),
+            ("chunks_dropped", n(self.chunks_dropped)),
+            ("throttles_sent", n(self.throttles_sent)),
+            ("seq_gaps", n(self.seq_gaps)),
+            ("decode_errors", n(self.decode_errors)),
+            ("records_published", n(self.records_published)),
+            ("subscribers_evicted", n(self.subscribers_evicted)),
+            ("ingest_signal_us", n(self.ingest_signal_us)),
+            ("ingest_wall_us", n(self.ingest_wall_us)),
+            ("ingest_rt_ratio", J::num(self.ingest_rt_ratio())),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Ingest queue capacity, in sample chunks.
+    pub queue_cap: usize,
+    /// What a full ingest queue does to the producer.
+    pub overflow: OverflowPolicy,
+    /// Per-subscriber record queue capacity (slow-consumer eviction bound).
+    pub sub_queue_cap: usize,
+    /// Shut the server down after the first completed producer session
+    /// (bounded runs: tests, CI, benchmarks).
+    pub once: bool,
+    /// Idle interval after which a subscriber connection gets a Heartbeat.
+    pub heartbeat: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 64,
+            overflow: OverflowPolicy::Block,
+            sub_queue_cap: 4096,
+            once: false,
+            heartbeat: Duration::from_secs(1),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    cfg: ServerConfig,
+    hub: RecordHub,
+    stats: NetStats,
+    pipeline: Mutex<Box<dyn Pipeline>>,
+    shutdown: AtomicBool,
+    sessions_done: AtomicU64,
+}
+
+impl Inner {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        let s = &self.stats;
+        NetStatsSnapshot {
+            connections: s.connections.get(),
+            producers: s.producers.get(),
+            subscribers: s.subscribers.get(),
+            sessions: s.sessions.get(),
+            frames_in: s.frames_in.get(),
+            bytes_in: s.bytes_in.get(),
+            frames_out: s.frames_out.get(),
+            bytes_out: s.bytes_out.get(),
+            chunks_in: s.chunks_in.get(),
+            samples_in: s.samples_in.get(),
+            chunks_dropped: s.chunks_dropped.get(),
+            throttles_sent: s.throttles_sent.get(),
+            seq_gaps: s.seq_gaps.get(),
+            decode_errors: s.decode_errors.get(),
+            records_published: s.records_published.get(),
+            subscribers_evicted: self.hub.evicted(),
+            ingest_signal_us: s.ingest_signal_us.get(),
+            ingest_wall_us: s.ingest_wall_us.get(),
+        }
+    }
+}
+
+/// Cloneable handle for stopping a running server and reading its stats.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop: subscribers get a final Bye, `run` returns
+    /// once every connection thread has exited.
+    pub fn shutdown(&self) {
+        if !self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            self.inner.hub.publish(HubMsg::Bye);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+/// The live capture server. Bind, then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7099`, or port 0 for an ephemeral
+    /// port) and prepares the server around `pipeline`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ServerConfig,
+        pipeline: Box<dyn Pipeline>,
+        registry: Option<&Registry>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let inner = Arc::new(Inner {
+            hub: RecordHub::new(cfg.sub_queue_cap),
+            stats: NetStats::new(registry),
+            cfg,
+            pipeline: Mutex::new(pipeline),
+            shutdown: AtomicBool::new(false),
+            sessions_done: AtomicU64::new(0),
+        });
+        Ok(Self { listener, inner })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutdown and stats from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// An in-process subscription to the record stream (used by the CLI to
+    /// print records locally; network subscribers are unaffected).
+    pub fn subscribe(&self) -> Subscription {
+        self.inner.hub.subscribe()
+    }
+
+    /// Accepts and serves connections until shutdown (or, with
+    /// [`ServerConfig::once`], until the first producer session completes).
+    /// Returns the final statistics.
+    pub fn run(self) -> io::Result<NetStatsSnapshot> {
+        self.listener.set_nonblocking(true)?;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let inner = self.inner.clone();
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name("rfd-net-conn".into())
+                            .spawn(move || handle_connection(inner, stream))
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+            // Reap finished connection threads opportunistically.
+            handles.retain(|h| !h.is_finished());
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(self.inner.snapshot())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Poll interval for shutdown checks on blocking socket reads.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Reads more bytes into `dec`, honoring the read timeout for shutdown
+/// polling. Returns false on EOF.
+fn fill_decoder(inner: &Inner, stream: &mut TcpStream, dec: &mut FrameDecoder) -> io::Result<bool> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(false),
+            Ok(n) => {
+                inner.stats.bytes_in.add(n as u64);
+                dec.push(&buf[..n]);
+                return Ok(true);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Pulls the next frame, reading from the socket as needed. `Ok(None)`
+/// means clean EOF (or server shutdown).
+fn next_frame(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    dec: &mut FrameDecoder,
+) -> io::Result<Option<SeqFrame>> {
+    loop {
+        match dec.next_frame() {
+            Ok(Some(sf)) => {
+                inner.stats.frames_in.add(1);
+                return Ok(Some(sf));
+            }
+            Ok(None) => {
+                if !fill_decoder(inner, stream, dec)? {
+                    return Ok(None);
+                }
+            }
+            Err(e) => {
+                inner.stats.decode_errors.add(1);
+                return Err(e.into());
+            }
+        }
+    }
+}
+
+fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    inner.stats.connections.add(1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut dec = FrameDecoder::new();
+    match next_frame(&inner, &mut stream, &mut dec) {
+        Ok(Some(SeqFrame {
+            frame: Frame::Hello(Role::Producer),
+            ..
+        })) => handle_producer(&inner, stream, dec),
+        Ok(Some(SeqFrame {
+            frame: Frame::Hello(Role::Subscriber),
+            ..
+        })) => handle_subscriber(&inner, stream),
+        Ok(Some(_)) => {
+            // First frame must be a Hello.
+            inner.stats.decode_errors.add(1);
+        }
+        Ok(None) | Err(_) => {}
+    }
+}
+
+/// Sends one frame on the server→peer direction, tracking counters.
+fn send_frame(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    out_seq: &mut u32,
+    frame: &Frame,
+) -> io::Result<()> {
+    let bytes = encode_frame(frame, *out_seq);
+    *out_seq = out_seq.wrapping_add(1);
+    stream.write_all(&bytes)?;
+    inner.stats.frames_out.add(1);
+    inner.stats.bytes_out.add(bytes.len() as u64);
+    Ok(())
+}
+
+fn handle_producer(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDecoder) {
+    inner.stats.producers.add(1);
+    // The stream meta must come before any samples.
+    let meta = match next_frame(inner, &mut stream, &mut dec) {
+        Ok(Some(SeqFrame {
+            frame: Frame::StreamMeta(m),
+            ..
+        })) => m,
+        Ok(_) => {
+            inner.stats.decode_errors.add(1);
+            return;
+        }
+        Err(_) => return,
+    };
+    inner.hub.publish(HubMsg::Meta(meta));
+
+    let queue: ChunkQueue<Vec<Complex32>> =
+        ChunkQueue::new(inner.cfg.queue_cap, inner.cfg.overflow);
+    let analysis = {
+        let inner = inner.clone();
+        let queue = queue.clone();
+        std::thread::Builder::new()
+            .name("rfd-net-analysis".into())
+            .spawn(move || analysis_thread(inner, queue, meta))
+            .expect("spawn analysis thread")
+    };
+
+    let mut out_seq = 0u32;
+    let mut expect_seq: Option<u32> = None;
+    let mut saturated = false;
+    let mut ingest_t0: Option<Instant> = None;
+    let mut samples_in_session = 0u64;
+    // Loop ends on clean EOF or a malformed stream: either way the
+    // session's validated samples are still worth analyzing (a monitor is
+    // best-effort; the error counters carry the distinction).
+    while let Ok(Some(SeqFrame { seq, frame })) = next_frame(inner, &mut stream, &mut dec) {
+        // Loss accounting across the frame sequence (a drop-oldest
+        // relay upstream may legitimately skip numbers).
+        if let Some(want) = expect_seq {
+            if seq != want {
+                inner.stats.seq_gaps.add(u64::from(seq.wrapping_sub(want)));
+            }
+        }
+        expect_seq = Some(seq.wrapping_add(1));
+        match frame {
+            Frame::SampleChunk { iq, .. } => {
+                ingest_t0.get_or_insert_with(Instant::now);
+                inner.stats.chunks_in.add(1);
+                inner.stats.samples_in.add(iq.len() as u64);
+                samples_in_session += iq.len() as u64;
+                let samples: Vec<Complex32> = iq
+                    .iter()
+                    .map(|&(i, q)| from_i16_iq(i, q).scale(meta.scale))
+                    .collect();
+                // Throttle advisory on the rising edge of saturation
+                // (not every chunk, so the advisory itself cannot
+                // flood the reverse path).
+                let depth = queue.len();
+                if depth >= queue.capacity() {
+                    if !saturated {
+                        saturated = true;
+                        inner.stats.throttles_sent.add(1);
+                        let _ = send_frame(
+                            inner,
+                            &mut stream,
+                            &mut out_seq,
+                            &Frame::Throttle {
+                                depth: depth as u32,
+                                cap: queue.capacity() as u32,
+                            },
+                        );
+                    }
+                } else {
+                    saturated = false;
+                }
+                if queue.push(samples).is_err() {
+                    break; // queue closed (shutdown)
+                }
+                if let Some(g) = &inner.stats.queue_gauge {
+                    g.set(queue.len() as i64);
+                }
+            }
+            Frame::Heartbeat => {}
+            Frame::Bye => break,
+            // Producers have no business sending anything else.
+            _ => {
+                inner.stats.decode_errors.add(1);
+                break;
+            }
+        }
+    }
+    if let Some(t0) = ingest_t0 {
+        inner
+            .stats
+            .ingest_wall_us
+            .add(t0.elapsed().as_micros() as u64);
+        inner
+            .stats
+            .ingest_signal_us
+            .add((samples_in_session as f64 / meta.sample_rate * 1e6) as u64);
+    }
+    queue.close();
+    let _ = analysis.join();
+    inner.stats.chunks_dropped.add(queue.dropped());
+    inner.stats.sessions.add(1);
+    inner.sessions_done.fetch_add(1, Ordering::SeqCst);
+    if inner.cfg.once && !inner.shutdown.swap(true, Ordering::SeqCst) {
+        inner.hub.publish(HubMsg::Bye);
+    }
+}
+
+fn analysis_thread(inner: Arc<Inner>, queue: ChunkQueue<Vec<Complex32>>, meta: StreamMeta) {
+    let mut samples: Vec<Complex32> = Vec::new();
+    while let Some(chunk) = queue.pop() {
+        samples.extend_from_slice(&chunk);
+        if let Some(g) = &inner.stats.queue_gauge {
+            g.set(queue.len() as i64);
+        }
+    }
+    let records = {
+        let mut pipeline = inner.pipeline.lock().unwrap_or_else(|e| e.into_inner());
+        pipeline.analyze(&meta, samples)
+    };
+    for rec in records {
+        inner.stats.records_published.add(1);
+        inner.hub.publish(HubMsg::Record(rec));
+    }
+    inner
+        .hub
+        .publish(HubMsg::Stats(inner.snapshot().to_json().to_json()));
+}
+
+fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream) {
+    inner.stats.subscribers.add(1);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let sub = inner.hub.subscribe();
+    let mut out_seq = 0u32;
+    // Ack the Hello the moment the subscription is registered, so a client
+    // returning from connect() is guaranteed to see every record published
+    // afterwards (without this, a fast producer session could complete
+    // before the accept loop registers the subscriber).
+    if send_frame(inner, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err() {
+        inner.hub.unsubscribe(sub.id);
+        return;
+    }
+    loop {
+        // During shutdown, keep draining queued messages (the hub's Bye is
+        // already behind them for existing subscribers) — cutting over to
+        // an immediate Bye here would drop the backlog on the floor. The
+        // short timeout only bounds how long a post-Bye subscriber (whose
+        // queue will never receive one) waits before being told.
+        let timeout = if inner.shutdown.load(Ordering::SeqCst) {
+            Duration::from_millis(20)
+        } else {
+            inner.cfg.heartbeat
+        };
+        match sub.rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                let (frame, is_bye) = match msg {
+                    HubMsg::Meta(m) => (Frame::StreamMeta(m), false),
+                    HubMsg::Record(r) => (Frame::Record(r), false),
+                    HubMsg::Stats(s) => (Frame::Stats(s), false),
+                    HubMsg::Bye => (Frame::Bye, true),
+                };
+                if send_frame(inner, &mut stream, &mut out_seq, &frame).is_err() || is_bye {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    let _ = send_frame(inner, &mut stream, &mut out_seq, &Frame::Bye);
+                    break;
+                }
+                // Idle: heartbeat keeps the connection observably alive and
+                // doubles as a dead-peer probe (the write fails once the
+                // subscriber is gone).
+                if send_frame(inner, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err() {
+                    break;
+                }
+            }
+            // Evicted by the hub as a slow consumer.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    inner.hub.unsubscribe(sub.id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{RecordSubscriber, SendRate, SubEvent, TraceSender};
+
+    fn stub_pipeline() -> Box<dyn Pipeline> {
+        Box::new(
+            |meta: &StreamMeta, samples: Vec<Complex32>| -> Vec<RecordMsg> {
+                vec![RecordMsg {
+                    start_us: 0.0,
+                    end_us: samples.len() as f64 / meta.sample_rate * 1e6,
+                    line: format!("session of {} samples", samples.len()),
+                }]
+            },
+        )
+    }
+
+    #[test]
+    fn loopback_session_reaches_a_subscriber() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                once: true,
+                ..Default::default()
+            },
+            stub_pipeline(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        let mut sub = RecordSubscriber::connect(addr).unwrap();
+        let samples: Vec<Complex32> = (0..10_000)
+            .map(|i| Complex32::new((i as f32 * 0.01).sin(), 0.0))
+            .collect();
+        let mut tx = TraceSender::connect(addr).unwrap();
+        let report = tx
+            .send_samples(
+                StreamMeta {
+                    sample_rate: 1e6,
+                    center_hz: 0.0,
+                    scale: 1.0,
+                },
+                &samples,
+                SendRate::Max,
+                1024,
+            )
+            .unwrap();
+        tx.finish().unwrap();
+        assert_eq!(report.samples, 10_000);
+
+        let mut lines = Vec::new();
+        let mut saw_stats = false;
+        loop {
+            match sub.next_event().unwrap() {
+                SubEvent::Record(r) => lines.push(r.line),
+                SubEvent::Stats(_) => saw_stats = true,
+                SubEvent::Bye => break,
+                SubEvent::Meta(_) | SubEvent::Heartbeat => {}
+            }
+        }
+        assert_eq!(lines, vec!["session of 10000 samples".to_string()]);
+        assert!(saw_stats, "session must publish a stats document");
+
+        let stats = run.join().unwrap();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.samples_in, 10_000);
+        assert_eq!(stats.producers, 1);
+        assert_eq!(stats.subscribers, 1);
+        assert_eq!(stats.decode_errors, 0);
+        assert!(stats.ingest_rt_ratio() > 0.0);
+        drop(handle);
+    }
+
+    #[test]
+    fn malformed_first_frame_is_counted_and_dropped() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            stub_pipeline(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n this is not RFDN")
+            .unwrap();
+        drop(s);
+        // Give the connection thread time to decode and reject.
+        let t0 = Instant::now();
+        while handle.stats().decode_errors == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.stats().decode_errors, 1);
+        handle.shutdown();
+        run.join().unwrap();
+    }
+
+    #[test]
+    fn drop_oldest_overflow_counts_dropped_chunks() {
+        // A pipeline that sleeps on the first pop... simpler: tiny queue and
+        // a pipeline thread that can't drain until the producer finishes is
+        // not constructible here (analysis drains concurrently), so instead
+        // verify the policy end to end by flooding a cap-1 queue faster
+        // than the drainer can accumulate. With DropOldest, sessions always
+        // terminate; dropped is allowed to be zero on a fast machine, so
+        // assert only conservation: chunks_in == analyzed + dropped is not
+        // observable — assert the session completes and samples_in counts
+        // every wire sample.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                queue_cap: 1,
+                overflow: OverflowPolicy::DropOldest,
+                once: true,
+                ..Default::default()
+            },
+            stub_pipeline(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let run = std::thread::spawn(move || server.run().unwrap());
+        let samples: Vec<Complex32> = vec![Complex32::new(0.1, -0.1); 50_000];
+        let mut tx = TraceSender::connect(addr).unwrap();
+        tx.send_samples(
+            StreamMeta {
+                sample_rate: 1e6,
+                center_hz: 0.0,
+                scale: 1.0,
+            },
+            &samples,
+            SendRate::Max,
+            512,
+        )
+        .unwrap();
+        tx.finish().unwrap();
+        let stats = run.join().unwrap();
+        assert_eq!(stats.samples_in, 50_000);
+        assert_eq!(stats.sessions, 1);
+    }
+}

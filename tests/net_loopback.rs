@@ -1,0 +1,178 @@
+//! Live loopback vs offline differential: a trace replayed through
+//! `TraceSender → Server(LivePipeline) → RecordSubscriber` must yield a
+//! record stream **byte-identical** to offline `run_architecture` on the
+//! same trace — at any worker count. This is the acceptance contract of
+//! the whole net subsystem: the wire (i16 IQ + scale) and the end-of-
+//! session sorted publish preserve both samples and ordering exactly.
+
+use rfd_integration::{mixed_trace, piconet};
+use rfd_net::{RecordSubscriber, SendRate, Server, ServerConfig, SubEvent, TraceSender};
+use rfdump::arch::{run_architecture, ArchConfig};
+use rfdump::live::LivePipeline;
+use std::path::PathBuf;
+
+/// Renders the mixed scene once and stores it as a `.rfdt` file, the way
+/// a real deployment would replay a USRP capture.
+fn trace_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rfd-net-loopback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let trace = mixed_trace(3, 8, 28.0, 4242);
+    rfd_ether::trace::write_trace(
+        &path,
+        trace.band.sample_rate,
+        trace.band.center_hz,
+        &trace.samples,
+    )
+    .unwrap();
+    path
+}
+
+fn offline_lines(path: &std::path::Path, workers: usize) -> Vec<String> {
+    let (header, samples) = rfd_ether::trace::read_trace(path).unwrap();
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.band = rfd_ether::Band {
+        sample_rate: header.sample_rate,
+        center_hz: header.center_hz,
+    };
+    cfg.telemetry = false;
+    cfg.workers = workers;
+    let out = run_architecture(&cfg, &samples, header.sample_rate);
+    out.records.iter().map(|r| r.format_line()).collect()
+}
+
+fn loopback_lines(path: &std::path::Path, workers: usize, rate: SendRate) -> Vec<String> {
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.telemetry = false;
+    cfg.workers = workers;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            once: true,
+            queue_cap: 8,
+            ..Default::default()
+        },
+        Box::new(LivePipeline::new(cfg)),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let run = std::thread::spawn(move || server.run().unwrap());
+
+    let mut sub = RecordSubscriber::connect(addr).unwrap();
+    let mut tx = TraceSender::connect(addr).unwrap();
+    let report = tx.send_trace_file(path, rate, 1000).unwrap();
+    tx.finish().unwrap();
+    assert!(report.samples > 0);
+
+    let mut lines = Vec::new();
+    loop {
+        match sub.next_event().unwrap() {
+            SubEvent::Record(r) => lines.push(r.line),
+            SubEvent::Bye => break,
+            SubEvent::Meta(_) | SubEvent::Stats(_) | SubEvent::Heartbeat => {}
+        }
+    }
+    let stats = run.join().unwrap();
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(stats.samples_in, report.samples);
+    assert_eq!(stats.seq_gaps, 0, "lossless path must have no seq gaps");
+    assert_eq!(stats.decode_errors, 0);
+    assert_eq!(stats.chunks_dropped, 0, "block policy must not drop");
+    lines
+}
+
+#[test]
+fn loopback_is_byte_identical_to_offline_at_any_worker_count() {
+    let path = trace_file("identity.rfdt");
+    let offline0 = offline_lines(&path, 0);
+    assert!(
+        !offline0.is_empty(),
+        "scene must produce records for the diff to mean anything"
+    );
+    for workers in [0usize, 4] {
+        let offline = offline_lines(&path, workers);
+        assert_eq!(
+            offline, offline0,
+            "offline output must not vary (w={workers})"
+        );
+        let live = loopback_lines(&path, workers, SendRate::Max);
+        assert_eq!(
+            live, offline,
+            "live stream must be byte-identical to offline (w={workers})"
+        );
+    }
+}
+
+#[test]
+fn two_subscribers_see_the_same_stream() {
+    let path = trace_file("fanout.rfdt");
+    let cfg = {
+        let mut c = ArchConfig::rfdump(vec![piconet()]);
+        c.telemetry = false;
+        c.workers = 0;
+        c
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            once: true,
+            ..Default::default()
+        },
+        Box::new(LivePipeline::new(cfg)),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let run = std::thread::spawn(move || server.run().unwrap());
+
+    let subs: Vec<RecordSubscriber> = (0..2)
+        .map(|_| RecordSubscriber::connect(addr).unwrap())
+        .collect();
+    let mut tx = TraceSender::connect(addr).unwrap();
+    tx.send_trace_file(&path, SendRate::Max, 4096).unwrap();
+    tx.finish().unwrap();
+
+    let mut streams = Vec::new();
+    for mut sub in subs {
+        let mut lines = Vec::new();
+        loop {
+            match sub.next_event().unwrap() {
+                SubEvent::Record(r) => lines.push(r.line),
+                SubEvent::Bye => break,
+                _ => {}
+            }
+        }
+        streams.push(lines);
+    }
+    assert_eq!(streams[0], streams[1]);
+    assert_eq!(streams[0], offline_lines(&path, 0));
+    let stats = run.join().unwrap();
+    assert_eq!(stats.subscribers, 2);
+    assert_eq!(stats.subscribers_evicted, 0);
+}
+
+#[test]
+fn real_time_pacing_still_matches_offline() {
+    // A short tail of the scene at real-time rate: pacing changes arrival
+    // timing, which must not leak into the analysis output.
+    let dir = std::env::temp_dir().join("rfd-net-loopback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("paced.rfdt");
+    let trace = mixed_trace(1, 2, 28.0, 777);
+    // Keep the paced replay under ~150 ms of signal.
+    let n = trace
+        .samples
+        .len()
+        .min((trace.band.sample_rate * 0.15) as usize);
+    rfd_ether::trace::write_trace(
+        &path,
+        trace.band.sample_rate,
+        trace.band.center_hz,
+        &trace.samples[..n],
+    )
+    .unwrap();
+    let offline = offline_lines(&path, 0);
+    let live = loopback_lines(&path, 0, SendRate::RealTime);
+    assert_eq!(live, offline);
+}

@@ -1,0 +1,231 @@
+//! Fuzz-style robustness tests for the `RFDN` wire-frame codec, mirroring
+//! `trace_robustness.rs`: truncations at every boundary, random bytes,
+//! random bit flips, corrupt CRCs, bad versions — the decoder must return
+//! a structured [`FrameError`] or wait for more bytes, never panic and
+//! never allocate from a hostile length field.
+
+use rfd_integration::{random_bytes, seeded_cases};
+use rfd_net::frame::{
+    encode_frame, payload_crc, Frame, FrameDecoder, FrameError, RecordMsg, Role, SeqFrame,
+    StreamMeta, HEADER_LEN, MAX_PAYLOAD,
+};
+
+/// One of each frame type, with non-trivial payloads.
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Hello(Role::Producer),
+        Frame::Hello(Role::Subscriber),
+        Frame::StreamMeta(StreamMeta {
+            sample_rate: 8e6,
+            center_hz: 37e6,
+            scale: 1.25,
+        }),
+        Frame::SampleChunk {
+            start_sample: 123_456,
+            iq: (0..257).map(|i| (i as i16, -(i as i16))).collect(),
+        },
+        Frame::Record(RecordMsg {
+            start_us: 1.5,
+            end_us: 99.25,
+            line: "0001.500 802.11 ch 6 snr 21.0 seq 7".into(),
+        }),
+        Frame::Stats("{\"schema\":\"rfd-stats\"}".into()),
+        Frame::Heartbeat,
+        Frame::Throttle { depth: 64, cap: 64 },
+        Frame::Bye,
+    ]
+}
+
+fn encode_stream(frames: &[Frame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (seq, f) in frames.iter().enumerate() {
+        bytes.extend_from_slice(&encode_frame(f, seq as u32));
+    }
+    bytes
+}
+
+fn decode_all(bytes: &[u8]) -> Result<Vec<SeqFrame>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    dec.push(bytes);
+    let mut out = Vec::new();
+    while let Some(sf) = dec.next_frame()? {
+        out.push(sf);
+    }
+    Ok(out)
+}
+
+#[test]
+fn every_frame_type_round_trips_through_a_byte_stream() {
+    let frames = sample_frames();
+    let decoded = decode_all(&encode_stream(&frames)).unwrap();
+    assert_eq!(decoded.len(), frames.len());
+    for (i, (sf, f)) in decoded.iter().zip(frames.iter()).enumerate() {
+        assert_eq!(sf.seq, i as u32);
+        assert_eq!(&sf.frame, f, "frame {i}");
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_waits_never_panics() {
+    // A streaming decoder treats a truncated tail as "not yet arrived":
+    // every prefix must yield exactly the complete frames it contains and
+    // then Ok(None), with no error and no panic.
+    let frames = sample_frames();
+    let bytes = encode_stream(&frames);
+    // Frame boundaries, to know how many complete frames a prefix holds.
+    let mut boundaries = vec![0usize];
+    for f in &frames {
+        boundaries.push(boundaries.last().unwrap() + encode_frame(f, 0).len());
+    }
+    for len in 0..bytes.len() {
+        let complete = boundaries.iter().filter(|&&b| b > 0 && b <= len).count();
+        let got = decode_all(&bytes[..len]).unwrap_or_else(|e| {
+            panic!("{len}-byte prefix must not error (got {e})");
+        });
+        assert_eq!(got.len(), complete, "{len}-byte prefix");
+    }
+}
+
+#[test]
+fn byte_at_a_time_feeding_matches_bulk_decode() {
+    let frames = sample_frames();
+    let bytes = encode_stream(&frames);
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    for b in &bytes {
+        dec.push(std::slice::from_ref(b));
+        while let Some(sf) = dec.next_frame().unwrap() {
+            got.push(sf.frame);
+        }
+    }
+    assert_eq!(got, frames);
+}
+
+#[test]
+fn corrupt_crc_is_a_sticky_error() {
+    let f = Frame::Stats("hello".into());
+    let mut bytes = encode_frame(&f, 0);
+    *bytes.last_mut().unwrap() ^= 0x40; // flip a payload bit
+    let mut dec = FrameDecoder::new();
+    dec.push(&bytes);
+    assert!(matches!(dec.next_frame(), Err(FrameError::BadCrc { .. })));
+    // Poisoned: a following pristine frame must NOT decode — after CRC
+    // failure resynchronization cannot be trusted.
+    dec.push(&encode_frame(&Frame::Heartbeat, 1));
+    assert!(dec.next_frame().is_err());
+}
+
+#[test]
+fn bad_version_and_bad_magic_are_rejected() {
+    let good = encode_frame(&Frame::Heartbeat, 0);
+    let mut bad_ver = good.clone();
+    bad_ver[4] = 99;
+    assert!(matches!(
+        decode_all(&bad_ver),
+        Err(FrameError::BadVersion(99))
+    ));
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(decode_all(&bad_magic), Err(FrameError::BadMagic)));
+}
+
+#[test]
+fn hostile_length_field_is_rejected_before_allocation() {
+    // Declare a payload far beyond MAX_PAYLOAD: the decoder must reject on
+    // the header alone (buffered bytes stay tiny) instead of reserving
+    // gigabytes for a payload that will never arrive.
+    let mut bytes = encode_frame(&Frame::Heartbeat, 0);
+    bytes[12..16].copy_from_slice(&(u32::MAX).to_le_bytes());
+    let mut dec = FrameDecoder::new();
+    dec.push(&bytes);
+    assert!(matches!(
+        dec.next_frame(),
+        Err(FrameError::Oversized(n)) if n as usize > MAX_PAYLOAD
+    ));
+}
+
+#[test]
+fn random_bytes_never_panic_the_decoder() {
+    seeded_cases(0xF0AA_0001, 300, |rng| {
+        let data = random_bytes(rng, 0, 4096);
+        let _ = decode_all(&data);
+    });
+}
+
+#[test]
+fn random_mutations_of_a_valid_stream_never_panic() {
+    seeded_cases(0xF0AA_0002, 300, |rng| {
+        let mut bytes = encode_stream(&sample_frames());
+        for _ in 0..1 + rng.next_range(8) {
+            let pos = rng.next_range(bytes.len() as u64) as usize;
+            bytes[pos] ^= 1 << rng.next_range(8);
+        }
+        if let Ok(frames) = decode_all(&bytes) {
+            // Still decodable: every surviving frame must be well formed
+            // (validated metas, consistent chunks).
+            for sf in frames {
+                if let Frame::StreamMeta(m) = &sf.frame {
+                    assert!(m.validate().is_ok());
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn random_bytes_behind_a_valid_header_prefix_never_panic() {
+    // Force the decoder past the magic/version checks so payload parsing
+    // gets fuzzed too: a valid header for a random-length payload, then
+    // garbage (the CRC check catches essentially all of it; the point is
+    // no panic on any path).
+    seeded_cases(0xF0AA_0003, 300, |rng| {
+        let payload = random_bytes(rng, 0, 2048);
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(rfd_net::frame::MAGIC);
+        bytes.push(rfd_net::frame::VERSION);
+        bytes.push(rng.next_range(16) as u8); // type, valid or not
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // flags
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // seq
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = if rng.next_range(2) == 0 {
+            payload_crc(&payload) // valid CRC: exercise payload parsing
+        } else {
+            rng.next_range(u64::from(u32::MAX)) as u32
+        };
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let _ = decode_all(&bytes);
+    });
+}
+
+#[test]
+fn stream_meta_rejects_hostile_fields_end_to_end() {
+    for meta in [
+        StreamMeta {
+            sample_rate: f64::NAN,
+            center_hz: 0.0,
+            scale: 1.0,
+        },
+        StreamMeta {
+            sample_rate: -8e6,
+            center_hz: 0.0,
+            scale: 1.0,
+        },
+        StreamMeta {
+            sample_rate: 8e6,
+            center_hz: f64::INFINITY,
+            scale: 1.0,
+        },
+        StreamMeta {
+            sample_rate: 8e6,
+            center_hz: 0.0,
+            scale: 0.0,
+        },
+    ] {
+        let bytes = encode_frame(&Frame::StreamMeta(meta), 0);
+        assert!(
+            decode_all(&bytes).is_err(),
+            "hostile meta {meta:?} must not decode"
+        );
+    }
+}
