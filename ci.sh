@@ -8,6 +8,10 @@
 #      checking that --stats-json emits a document the in-repo parser and
 #      schema checks accept, and that --workers 0 and --workers 4 print a
 #      byte-identical record stream.
+#   4. chaos smokes: the suite again under an ambient output-preserving
+#      RFD_FAULTS plan, a serve/send loopback with injected producer
+#      disconnects diffed against offline output, and a SIGINT shutdown
+#      that must flush --stats-json and exit 0.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -56,7 +60,7 @@ echo "== smoke: localhost serve/send loopback =="
 # (stdout) must be byte-identical to the offline run above.
 port=17099
 ./target/release/rfdump serve --listen "127.0.0.1:$port" --once --workers 0 \
-    > "$work/records-net.txt" 2> "$work/serve-log.txt" &
+    > "$work/records-net.txt" 2> "$work/serve-log.txt" < /dev/null &
 serve_pid=$!
 up=0
 for _ in $(seq 1 100); do
@@ -87,5 +91,73 @@ if ! diff -u "$work/records-w0.txt" "$work/records-net.txt"; then
     echo "live loopback record stream differs from the offline run"
     exit 1
 fi
+
+echo "== chaos smoke: full test suite under an output-preserving fault plan =="
+# Latency-only faults (slow analyzers, CPU pressure at the detection stage)
+# may change timing but never the record stream, so the whole suite —
+# including the golden and differential tests — must still pass unchanged.
+RFD_FAULTS="seed=7;slow=analyze@0.02/100us;cpu=detect@0.01/100us" \
+    RFD_WORKERS=2 cargo test -q
+
+echo "== chaos smoke: loopback with injected producer disconnects =="
+port=17100
+./target/release/rfdump serve --listen "127.0.0.1:$port" --once --workers 0 \
+    --resume-grace 10 \
+    > "$work/records-chaos.txt" 2> "$work/serve-chaos-log.txt" < /dev/null &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+    if grep -q "serving on" "$work/serve-chaos-log.txt" 2>/dev/null; then up=1; break; fi
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    cat "$work/serve-chaos-log.txt" >&2 || true
+    echo "chaos server never came up on port $port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# The sender's connection is dropped on every 7th chunk, three times; it
+# must reconnect, resume from the acknowledged sample, and the delivered
+# record stream must still be byte-identical to the offline run.
+./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+    --chaos "seed=3;disconnect=net.send.chunk%7x3" "$trace"
+wait "$serve_pid"
+if ! diff -u "$work/records-w0.txt" "$work/records-chaos.txt"; then
+    echo "chaos loopback record stream differs from the offline run"
+    exit 1
+fi
+
+echo "== clean shutdown: SIGINT flushes --stats-json and exits 0 =="
+port=17101
+./target/release/rfdump serve --listen "127.0.0.1:$port" --workers 0 -q \
+    --stats-json "$work/serve-stats.json" \
+    > /dev/null 2> "$work/serve-int-log.txt" < /dev/null &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+    if grep -q "serving on" "$work/serve-int-log.txt" 2>/dev/null; then up=1; break; fi
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    cat "$work/serve-int-log.txt" >&2 || true
+    echo "shutdown-test server never came up on port $port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/rfdump send --connect "127.0.0.1:$port" --rate max "$trace"
+# Give the session a moment to finalize, then interrupt the server.
+sleep 1
+kill -INT "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" != 0 ]; then
+    cat "$work/serve-int-log.txt" >&2 || true
+    echo "serve exited with $rc after SIGINT (want 0)"
+    exit 1
+fi
+[ -s "$work/serve-stats.json" ] || { echo "stats json not flushed on SIGINT"; exit 1; }
+cargo run --release -q -p rfd-examples --bin stats_inspect "$work/serve-stats.json" >/dev/null
 
 echo "ci: all checks passed"

@@ -55,6 +55,8 @@ fn main() {
                 threaded,
                 telemetry: false,
                 workers: 0,
+                faults: None,
+                governor: None,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             per_sched.push((
@@ -102,6 +104,8 @@ fn main() {
             threaded: false,
             telemetry: false,
             workers,
+            faults: None,
+            governor: None,
         };
         run_architecture(&cfg, &wifi.samples, fs)
     };

@@ -62,6 +62,8 @@ fn main() {
         threaded: false,
         telemetry,
         workers: 0,
+        faults: None,
+        governor: None,
     };
     let fs = trace.band.sample_rate;
     let one = |telemetry: bool| -> f64 {

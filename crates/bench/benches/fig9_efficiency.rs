@@ -101,6 +101,8 @@ fn main() {
                 threaded: false,
                 telemetry: false,
                 workers: 0,
+                faults: None,
+                governor: None,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             row.push(format!("{:.3}", out.cpu_over_realtime()));

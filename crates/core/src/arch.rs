@@ -23,12 +23,15 @@ use crate::detect::{
 };
 use crate::dispatch::{
     AnalysisPool, Dispatch, DispatchConfig, DispatchStats, Dispatcher, PooledAnalysis,
+    QUARANTINE_STRIKES,
 };
 use crate::eval::ClassifiedPeak;
+use crate::governor::{GovernorConfig, GovernorReport, LoadGovernor};
 use crate::peak::{PeakDetector, PeakDetectorConfig};
 use crate::records::{PacketInfo, PacketRecord};
 use rfd_dsp::Complex32;
 use rfd_ether::Band;
+use rfd_fault::{Action, FaultPlan, FaultStats};
 use rfd_flowgraph::blocks::VecSink;
 use rfd_flowgraph::sync::Mutex;
 use rfd_flowgraph::{Block, Flowgraph, Payload, RunStats, WorkStatus};
@@ -36,6 +39,8 @@ use rfd_phy::bluetooth::demod::PiconetId;
 use rfd_phy::Protocol;
 use rfd_telemetry::{Counter, Histogram, Registry};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -94,6 +99,16 @@ pub struct ArchConfig {
     /// threads with a deterministic merge, so the record output is
     /// byte-identical either way. Ignored by the naïve architectures.
     pub workers: usize,
+    /// Chaos fault plan threaded through the pipeline's injection sites.
+    /// The constructors default it to [`FaultPlan::ambient`] (the
+    /// `RFD_FAULTS` environment variable), so a whole test suite can run
+    /// under chaos without touching any call site.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Graceful-degradation governor (RFDump only). `None` — the default —
+    /// never sheds, preserving the byte-identical determinism contract;
+    /// `Some` lets the [`LoadGovernor`] shed demodulation first and weak
+    /// detectors second when the pipeline falls behind real time.
+    pub governor: Option<GovernorConfig>,
 }
 
 /// The default analysis worker count: the `RFD_WORKERS` environment
@@ -121,6 +136,8 @@ impl ArchConfig {
             threaded: false,
             telemetry: true,
             workers: default_workers(),
+            faults: FaultPlan::ambient(),
+            governor: None,
         }
     }
 
@@ -137,6 +154,8 @@ impl ArchConfig {
             threaded: false,
             telemetry: true,
             workers: default_workers(),
+            faults: FaultPlan::ambient(),
+            governor: None,
         }
     }
 }
@@ -163,6 +182,14 @@ pub struct ArchOutput {
     /// Work-stealing pool statistics (RFDump with [`ArchConfig::workers`]
     /// ≥ 1 only): per-worker executed/stolen counts, busy and stall time.
     pub pool_stats: Option<rfd_flowgraph::pool::PoolStats>,
+    /// Fault-injection counters, when [`ArchConfig::faults`] was set.
+    pub faults: Option<FaultStats>,
+    /// Degradation report, when [`ArchConfig::governor`] was set.
+    pub governor: Option<GovernorReport>,
+    /// Analyzer panics caught by the supervisor (RFDump only).
+    pub panics: u64,
+    /// Analyzers quarantined after repeated panics, by name (RFDump only).
+    pub quarantined: Vec<String>,
 }
 
 impl ArchOutput {
@@ -194,6 +221,7 @@ pub fn run_architecture(cfg: &ArchConfig, samples: &[Complex32], fs: f64) -> Arc
         ArchKind::RfDump(set) => run_rfdump(cfg, &registry, set, chunks, fs, trace_seconds),
     };
     out.registry = registry;
+    out.faults = cfg.faults.as_ref().map(|p| p.snapshot());
     out
 }
 
@@ -507,6 +535,10 @@ fn run_naive(
         sample_rate: fs,
         registry: None,
         pool_stats: None,
+        faults: None,
+        governor: None,
+        panics: 0,
+        quarantined: Vec::new(),
     }
 }
 
@@ -631,6 +663,10 @@ fn run_naive_energy(
         sample_rate: fs,
         registry: None,
         pool_stats: None,
+        faults: None,
+        governor: None,
+        panics: 0,
+        quarantined: Vec::new(),
     }
 }
 
@@ -657,6 +693,16 @@ struct DetectDispatchBlock {
     /// Per-detector (vote counter, confidence histogram), parallel to
     /// `detectors`; empty when telemetry is off.
     det_tel: Vec<(Arc<Counter>, Arc<Histogram>)>,
+    /// Chaos injection site `detect` (honours only the delay actions —
+    /// the protocol-agnostic stage is never failed or shed, so `panic`
+    /// and `io` rules aimed here are deliberately inert).
+    faults: Option<Arc<FaultPlan>>,
+    /// Degradation ladder. The detection stage is where load is observed
+    /// (peak end time = signal progress) and where levels ≥ 2 shed the
+    /// expensive phase/frequency detectors and raise the confidence floor.
+    governor: Option<Arc<LoadGovernor>>,
+    /// For governor transition spans/counters.
+    registry: Option<Arc<Registry>>,
 }
 
 impl DetectDispatchBlock {
@@ -709,10 +755,37 @@ impl Block for DetectDispatchBlock {
     ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let pk = p.downcast::<PeakBlock>().expect("PeakBlock");
+            if let Some(plan) = &self.faults {
+                match plan.decide("detect") {
+                    Some(Action::Slow(d)) => std::thread::sleep(d),
+                    Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+                    _ => {}
+                }
+            }
+            if let Some(g) = &self.governor {
+                if let Some((from, to)) = g.observe(pk.end_us()) {
+                    if let Some(reg) = &self.registry {
+                        reg.counter("governor.transitions").inc();
+                        reg.gauge("governor.level").set(i64::from(to));
+                        reg.tracer().record(
+                            "governor",
+                            if to > from { "degraded" } else { "recovered" },
+                            Instant::now(),
+                            Duration::ZERO,
+                        );
+                    }
+                }
+            }
             let mut votes: Vec<Classification> = Vec::new();
             {
                 let mut timings = self.timings.lock();
                 for (i, det) in self.detectors.iter_mut().enumerate() {
+                    if let Some(g) = &self.governor {
+                        if !g.detector_allowed(det.name()) {
+                            g.note_shed_detector();
+                            continue;
+                        }
+                    }
                     let t0 = Instant::now();
                     let before = votes.len();
                     votes.extend(det.on_peak(&pk));
@@ -724,6 +797,16 @@ impl Block for DetectDispatchBlock {
                         }
                     }
                 }
+            }
+            if let Some(floor) = self.governor.as_ref().and_then(|g| g.confidence_floor()) {
+                let g = self.governor.as_ref().expect("floor implies governor");
+                votes.retain(|c| {
+                    let keep = c.confidence >= floor;
+                    if !keep {
+                        g.note_shed_vote();
+                    }
+                    keep
+                });
             }
             let dispatches = self.dispatcher.on_peak(*pk, votes);
             self.route(dispatches, outputs);
@@ -743,7 +826,10 @@ impl Block for DetectDispatchBlock {
     }
 }
 
-/// Wraps an [`Analyzer`] as a flowgraph block.
+/// Wraps an [`Analyzer`] as a flowgraph block, with the same supervision
+/// the pooled path applies: every `analyze` call runs under `catch_unwind`,
+/// and after [`QUARANTINE_STRIKES`] panics the analyzer is quarantined
+/// (its dispatches dropped) while the rest of the graph keeps running.
 struct AnalyzerBlock {
     analyzer: Box<dyn Analyzer>,
     demodulate: bool,
@@ -751,13 +837,28 @@ struct AnalyzerBlock {
     registry: Option<Arc<Registry>>,
     /// `analyze.<protocol>.latency_us` (exponential buckets, µs).
     latency: Option<Arc<Histogram>>,
+    /// Chaos injection site (the analyzer's own name).
+    faults: Option<Arc<FaultPlan>>,
+    /// Demodulation gate for the degradation ladder.
+    governor: Option<Arc<LoadGovernor>>,
+    strikes: u64,
+    quarantined: bool,
+    /// Run-wide panic count, shared across analyzer blocks.
+    panics_out: Arc<AtomicU64>,
+    /// Run-wide quarantine list, shared across analyzer blocks.
+    quarantined_out: Arc<Mutex<Vec<String>>>,
 }
 
 impl AnalyzerBlock {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         analyzer: Box<dyn Analyzer>,
         demodulate: bool,
         registry: &Option<Arc<Registry>>,
+        faults: Option<Arc<FaultPlan>>,
+        governor: Option<Arc<LoadGovernor>>,
+        panics_out: Arc<AtomicU64>,
+        quarantined_out: Arc<Mutex<Vec<String>>>,
     ) -> Self {
         let latency = registry.as_ref().map(|r| {
             r.histogram(
@@ -770,6 +871,12 @@ impl AnalyzerBlock {
             demodulate,
             registry: registry.clone(),
             latency,
+            faults,
+            governor,
+            strikes: 0,
+            quarantined: false,
+            panics_out,
+            quarantined_out,
         }
     }
 }
@@ -785,10 +892,61 @@ impl Block for AnalyzerBlock {
     ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
             let d = p.downcast::<Dispatch>().expect("Dispatch");
-            if self.demodulate {
+            if self.quarantined {
+                continue;
+            }
+            let demod_now = match (&self.governor, self.demodulate) {
+                (Some(g), true) => {
+                    let ok = g.demod_allowed();
+                    if !ok {
+                        g.note_shed_demod();
+                    }
+                    ok
+                }
+                _ => self.demodulate,
+            };
+            if demod_now {
                 let t0 = Instant::now();
-                let recs = self.analyzer.analyze(&d);
+                let analyzer = &mut self.analyzer;
+                let faults = &self.faults;
+                let recs = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = faults {
+                        match plan.decide(analyzer.name()) {
+                            Some(Action::Panic) => panic!("injected fault: {}", analyzer.name()),
+                            Some(Action::Slow(dur)) => std::thread::sleep(dur),
+                            Some(Action::Spin(dur)) => rfd_fault::spin_for(dur),
+                            _ => {}
+                        }
+                    }
+                    analyzer.analyze(&d)
+                }));
                 let dur = t0.elapsed();
+                let recs = match recs {
+                    Ok(recs) => recs,
+                    Err(_) => {
+                        self.panics_out.fetch_add(1, Ordering::Relaxed);
+                        self.strikes += 1;
+                        if let Some(reg) = &self.registry {
+                            reg.counter("analyze.panics").inc();
+                        }
+                        if self.strikes >= QUARANTINE_STRIKES {
+                            self.quarantined = true;
+                            self.quarantined_out
+                                .lock()
+                                .push(self.analyzer.name().to_string());
+                            if let Some(reg) = &self.registry {
+                                reg.counter(&format!(
+                                    "analyze.{}.quarantined",
+                                    self.analyzer.protocol().name()
+                                ))
+                                .inc();
+                                reg.tracer()
+                                    .record(self.analyzer.name(), "quarantine", t0, dur);
+                            }
+                        }
+                        continue;
+                    }
+                };
                 if let Some(reg) = &self.registry {
                     reg.tracer()
                         .record(self.analyzer.name(), "analyze", t0, dur);
@@ -943,6 +1101,7 @@ fn run_rfdump(
     let analyzers = make_analyzers(cfg, fs);
     let ports: Vec<Protocol> = analyzers.iter().map(|a| a.protocol()).collect();
     let pooled = cfg.workers > 0;
+    let governor = cfg.governor.map(|g| Arc::new(LoadGovernor::new(g)));
 
     let detectors = build_detectors(cfg, set, fs);
     let timings = Arc::new(Mutex::new(
@@ -991,6 +1150,9 @@ fn run_rfdump(
         ports: ports.clone(),
         fan_out: !pooled,
         det_tel,
+        faults: cfg.faults.clone(),
+        governor: governor.clone(),
+        registry: registry.clone(),
     }));
     fg.connect(src, 0, peak, 0);
     fg.connect(peak, 0, detect, 0);
@@ -998,6 +1160,8 @@ fn run_rfdump(
     let mut outs = Vec::new();
     let per_port = Arc::new(Mutex::new(vec![Vec::<PacketRecord>::new(); ports.len()]));
     let pool_result = Arc::new(Mutex::new(None));
+    let az_panics = Arc::new(AtomicU64::new(0));
+    let az_quarantined = Arc::new(Mutex::new(Vec::new()));
     if pooled {
         drop(analyzers); // pool workers build their own lineups
         let factory_cfg = cfg.clone();
@@ -1006,6 +1170,8 @@ fn run_rfdump(
             move || make_analyzers(&factory_cfg, fs),
             cfg.demodulate,
             registry.clone(),
+            cfg.faults.clone(),
+            governor.clone(),
         );
         let blk = fg.add(Box::new(PooledAnalyzeBlock {
             pool: Some(pool),
@@ -1015,7 +1181,15 @@ fn run_rfdump(
         fg.connect(detect, 0, blk, 0);
     } else {
         for (i, az) in analyzers.into_iter().enumerate() {
-            let blk = fg.add(Box::new(AnalyzerBlock::new(az, cfg.demodulate, registry)));
+            let blk = fg.add(Box::new(AnalyzerBlock::new(
+                az,
+                cfg.demodulate,
+                registry,
+                cfg.faults.clone(),
+                governor.clone(),
+                az_panics.clone(),
+                az_quarantined.clone(),
+            )));
             let sink = Box::new(VecSink::<PacketRecord>::new("sink:records"));
             outs.push(sink.storage());
             let k = fg.add(sink);
@@ -1053,6 +1227,8 @@ fn run_rfdump(
     // workers ran that same analyzer CPU, so carve the analyzer total out of
     // it (same saturating treatment as the detector timings above).
     let mut pool_stats = None;
+    let mut panics = az_panics.load(Ordering::Relaxed);
+    let mut quarantined = az_quarantined.lock().clone();
     if pooled {
         let result = pool_result.lock().take().expect("pooled run finished");
         let analyzer_cpu: Duration = result.analyzers.iter().map(|a| a.cpu).sum();
@@ -1067,6 +1243,8 @@ fn run_rfdump(
                 items_out: a.items_out,
             });
         }
+        panics = result.panics;
+        quarantined = result.quarantined.clone();
         pool_stats = Some(result.pool);
     }
 
@@ -1098,6 +1276,10 @@ fn run_rfdump(
         sample_rate: fs,
         registry: None,
         pool_stats,
+        faults: None,
+        governor: governor.as_ref().map(|g| g.report()),
+        panics,
+        quarantined,
     }
 }
 

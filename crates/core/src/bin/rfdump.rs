@@ -13,8 +13,10 @@
 //! rfdump -r trace.rfdt [options]
 //! rfdump serve --listen ADDR [--once] [--queue-cap N]
 //!              [--overflow block|drop-oldest] [--sub-queue-cap N]
-//!              [arch options] [-q] [--stats-json F]
-//! rfdump send --connect ADDR [--rate max|real-time] [--chunk N] TRACE
+//!              [--resume-grace SECS] [arch options] [-q]
+//!              [--stats-json F] [--trace-out F]
+//! rfdump send --connect ADDR [--rate max|real-time] [--chunk N]
+//!             [--retries N] TRACE
 //! rfdump watch --connect ADDR [-q]
 //!
 //!   -r FILE          trace file to read (required)
@@ -32,15 +34,58 @@
 //!   --no-telemetry   disable the metrics registry / span trace
 //!   --stats-json F   write the versioned rfd-stats JSON document to F
 //!   --trace-out F    write the span trace as chrome://tracing JSON to F
+//!   --chaos SPEC     fault-injection plan (see rfd-fault; overrides the
+//!                    RFD_FAULTS environment variable)
+//!   --governor MODE  graceful degradation: auto (adaptive ladder) or a
+//!                    pinned shed level 0|1|2 (deterministic runs)
+//!
+//! `serve` shuts down cleanly on SIGINT or on end-of-file of a piped
+//! stdin: subscribers get a Bye, --stats-json / --trace-out are flushed,
+//! and the exit code is 0.
+//! `send` reconnects with capped exponential backoff and resumes from the
+//! server's acknowledged sample (--retries 0 disables, single attempt).
+//! `watch` resumes its subscription from the last received record.
 //! ```
 
+use rfd_fault::FaultPlan;
 use rfd_net::{
-    OverflowPolicy, RecordSubscriber, SendRate, Server, ServerConfig, SubEvent, TraceSender,
+    OverflowPolicy, ResilientSender, ResilientSubscriber, RetryPolicy, SendRate, Server,
+    ServerConfig, SubEvent, TraceSender,
 };
 use rfdump::arch::{default_workers, run_architecture, ArchConfig, ArchKind, DetectorSet};
+use rfdump::governor::GovernorConfig;
 use rfdump::live::LivePipeline;
 use rfdump::protocols::render_table2;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parses a `--chaos` spec into a fault plan.
+fn parse_chaos(spec: &str) -> Result<Option<Arc<FaultPlan>>, String> {
+    FaultPlan::parse(spec)
+        .map(|p| Some(Arc::new(p)))
+        .map_err(|e| format!("bad --chaos spec: {e}"))
+}
+
+/// Parses a `--governor` mode: `auto` or a pinned shed level.
+fn parse_governor(mode: &str) -> Result<GovernorConfig, String> {
+    match mode {
+        "auto" => Ok(GovernorConfig::default()),
+        lvl => {
+            let level: u8 = lvl
+                .parse()
+                .map_err(|_| format!("--governor needs auto or 0..=2, got '{mode}'"))?;
+            if level > rfdump::governor::MAX_LEVEL {
+                return Err(format!("--governor level {level} out of range (max 2)"));
+            }
+            Ok(GovernorConfig {
+                force_level: Some(level),
+                ..Default::default()
+            })
+        }
+    }
+}
 
 struct Options {
     trace: Option<String>,
@@ -55,6 +100,8 @@ struct Options {
     workers: usize,
     stats_json: Option<String>,
     trace_out: Option<String>,
+    chaos: Option<Arc<FaultPlan>>,
+    governor: Option<GovernorConfig>,
 }
 
 fn usage() -> ExitCode {
@@ -62,11 +109,14 @@ fn usage() -> ExitCode {
         "usage: rfdump -r FILE [-a rfdump|naive|naive-energy] [-d timing|phase|both|all]\n\
          \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--workers N]\n\
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
+         \x20             [--chaos SPEC] [--governor auto|0|1|2]\n\
          \x20      rfdump serve --listen ADDR [--once] [--queue-cap N]\n\
          \x20             [--overflow block|drop-oldest] [--sub-queue-cap N]\n\
-         \x20             [arch options] [-q] [--stats-json FILE]\n\
-         \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N] TRACE\n\
-         \x20      rfdump watch --connect ADDR [-q]\n\
+         \x20             [--resume-grace SECS] [arch options] [-q]\n\
+         \x20             [--stats-json FILE] [--trace-out FILE] [--chaos SPEC]\n\
+         \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N]\n\
+         \x20             [--retries N] [--chaos SPEC] TRACE\n\
+         \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC]\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -86,6 +136,8 @@ fn parse_args() -> Result<Options, String> {
         workers: default_workers(),
         stats_json: None,
         trace_out: None,
+        chaos: None,
+        governor: None,
     };
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
@@ -128,6 +180,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.stats_json = Some(args.next().ok_or("--stats-json needs a file")?)
             }
             "--trace-out" => opts.trace_out = Some(args.next().ok_or("--trace-out needs a file")?),
+            "--chaos" => opts.chaos = parse_chaos(&args.next().ok_or("--chaos needs a spec")?)?,
+            "--governor" => {
+                opts.governor = Some(parse_governor(
+                    &args.next().ok_or("--governor needs a mode")?,
+                )?)
+            }
             "--protocols" => {
                 print!("{}", render_table2());
                 std::process::exit(0);
@@ -155,6 +213,7 @@ struct ServeOptions {
     arch: ArchConfig,
     quiet: bool,
     stats_json: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -162,6 +221,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut net = ServerConfig::default();
     let mut quiet = false;
     let mut stats_json = None;
+    let mut trace_out = None;
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
     // The band is a placeholder: each producer session's StreamMeta
@@ -180,6 +240,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         threaded: false,
         telemetry: true,
         workers: default_workers(),
+        faults: FaultPlan::ambient(),
+        governor: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -234,6 +296,19 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             }
             "--no-telemetry" => arch.telemetry = false,
             "--stats-json" => stats_json = Some(next("a file")?.to_string()),
+            "--trace-out" => trace_out = Some(next("a file")?.to_string()),
+            "--resume-grace" => {
+                let secs: f64 = next("seconds")?
+                    .parse()
+                    .map_err(|_| "--resume-grace needs seconds".to_string())?;
+                net.resume_grace = Duration::from_secs_f64(secs.max(0.0));
+            }
+            "--chaos" => {
+                let plan = parse_chaos(next("a spec")?)?;
+                arch.faults = plan.clone();
+                net.faults = plan;
+            }
+            "--governor" => arch.governor = Some(parse_governor(next("a mode")?)?),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -243,14 +318,36 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         "naive-energy" => ArchKind::NaiveEnergy,
         other => return Err(format!("unknown architecture '{other}'")),
     };
-    arch.telemetry = arch.telemetry || stats_json.is_some();
+    if net.faults.is_none() {
+        net.faults = FaultPlan::ambient();
+    }
+    arch.telemetry = arch.telemetry || stats_json.is_some() || trace_out.is_some();
     Ok(ServeOptions {
         listen: listen.ok_or("serve needs --listen ADDR")?,
         net,
         arch,
         quiet,
         stats_json,
+        trace_out,
     })
+}
+
+/// True when stdin will deliver a meaningful EOF once the writer is done
+/// (a pipe or a regular file). TTYs and `/dev/null` are excluded so an
+/// interactive or backgrounded `rfdump serve` does not shut down at once.
+fn stdin_is_stream() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::unix::fs::FileTypeExt;
+        match std::fs::metadata("/proc/self/fd/0") {
+            Ok(m) => m.file_type().is_fifo() || m.file_type().is_file(),
+            Err(_) => false,
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {
@@ -273,6 +370,37 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     match server.local_addr() {
         Ok(a) => eprintln!("rfdump: serving on {a}"),
         Err(_) => eprintln!("rfdump: serving on {}", opts.listen),
+    }
+    // Clean shutdown on SIGINT (always) and on stdin EOF (only when stdin
+    // is a pipe/file): subscribers get a Bye, stats are still flushed, and
+    // the exit code stays 0.
+    let user_stop = Arc::new(AtomicBool::new(false));
+    rfd_fault::signal::install_sigint();
+    {
+        let handle = server.handle();
+        let user_stop = Arc::clone(&user_stop);
+        std::thread::spawn(move || loop {
+            if rfd_fault::signal::sigint_seen() {
+                user_stop.store(true, Ordering::SeqCst);
+                eprintln!("rfdump: interrupt - shutting down");
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    if stdin_is_stream() {
+        let handle = server.handle();
+        let user_stop = Arc::clone(&user_stop);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            user_stop.store(true, Ordering::SeqCst);
+            eprintln!("rfdump: stdin closed - shutting down");
+            handle.shutdown();
+        });
     }
     // Print records locally through an in-process subscription, so a bare
     // `serve` terminal shows the same stream network subscribers get.
@@ -311,18 +439,42 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         stats.records_published,
         stats.ingest_rt_ratio(),
     );
+    let out = shared_out.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let clean_stop = user_stop.load(Ordering::SeqCst);
     if let Some(path) = &opts.stats_json {
-        let out = shared_out.lock().unwrap_or_else(|e| e.into_inner()).take();
-        let Some(out) = out else {
-            eprintln!("rfdump: no session completed; not writing {path}");
-            return ExitCode::FAILURE;
-        };
-        let doc = rfdump::stats::stats_json_with_net(&out, Some(&stats));
-        if let Err(e) = std::fs::write(path, doc.to_json()) {
-            eprintln!("rfdump: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+        match &out {
+            Some(out) => {
+                let doc = rfdump::stats::stats_json_with_net(out, Some(&stats));
+                if let Err(e) = std::fs::write(path, doc.to_json()) {
+                    eprintln!("rfdump: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rfdump: stats written to {path}");
+            }
+            None => {
+                eprintln!("rfdump: no session completed; not writing {path}");
+                if !clean_stop {
+                    return ExitCode::FAILURE;
+                }
+            }
         }
-        eprintln!("rfdump: stats written to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        match &out {
+            Some(out) => {
+                if let Err(e) = rfdump::stats::write_chrome_trace(out, std::path::Path::new(path)) {
+                    eprintln!("rfdump: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rfdump: span trace written to {path}");
+            }
+            None => {
+                eprintln!("rfdump: no session completed; not writing {path}");
+                if !clean_stop {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -333,6 +485,8 @@ struct SendOptions {
     trace: String,
     rate: SendRate,
     chunk: usize,
+    retries: u32,
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
@@ -340,6 +494,8 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
     let mut trace = None;
     let mut rate = SendRate::Max;
     let mut chunk = rfd_net::frame::DEFAULT_CHUNK_SAMPLES;
+    let mut retries = RetryPolicy::default().max_retries;
+    let mut chaos = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -355,6 +511,14 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
                     .parse()
                     .map_err(|_| "--chunk needs a positive integer".to_string())?;
             }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|_| "--retries needs a non-negative integer".to_string())?;
+            }
+            "--chaos" => chaos = parse_chaos(it.next().ok_or("--chaos needs a spec")?)?,
             other if !other.starts_with('-') && trace.is_none() => trace = Some(other.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -364,6 +528,8 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
         trace: trace.ok_or("send needs a trace file")?,
         rate,
         chunk,
+        retries,
+        chaos,
     })
 }
 
@@ -375,32 +541,61 @@ fn cmd_send(args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let mut tx = match TraceSender::connect(&opts.connect) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("rfdump: cannot connect to {}: {e}", opts.connect);
-            return ExitCode::FAILURE;
-        }
-    };
     let path = std::path::Path::new(&opts.trace);
-    let report = match tx.send_trace_file(path, opts.rate, opts.chunk) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("rfdump: cannot send {}: {e}", opts.trace);
+    let report = if opts.retries == 0 && opts.chaos.is_none() {
+        // Plain single-attempt path: any failure is terminal.
+        let mut tx = match TraceSender::connect(&opts.connect) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rfdump: cannot connect to {}: {e}", opts.connect);
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match tx.send_trace_file(path, opts.rate, opts.chunk) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rfdump: cannot send {}: {e}", opts.trace);
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = tx.finish() {
+            eprintln!("rfdump: cannot finish session: {e}");
             return ExitCode::FAILURE;
         }
+        report
+    } else {
+        let retry = RetryPolicy {
+            max_retries: opts.retries,
+            ..RetryPolicy::default()
+        };
+        let mut tx = ResilientSender::new(&opts.connect).with_retry(retry);
+        if opts.chaos.is_some() {
+            tx = tx.with_faults(opts.chaos.clone());
+        }
+        match tx.send_trace_file(path, opts.rate, opts.chunk) {
+            Ok(r) => r,
+            Err(e) => {
+                // Connection-phase failures read as "cannot connect", like
+                // the plain path; everything past the socket is a send error.
+                use std::io::ErrorKind as K;
+                match e.kind() {
+                    K::ConnectionRefused | K::TimedOut | K::AddrNotAvailable => {
+                        eprintln!("rfdump: cannot connect to {}: {e}", opts.connect)
+                    }
+                    _ => eprintln!("rfdump: cannot send {}: {e}", opts.trace),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
     };
-    if let Err(e) = tx.finish() {
-        eprintln!("rfdump: cannot finish session: {e}");
-        return ExitCode::FAILURE;
-    }
     eprintln!(
-        "rfdump: sent {} samples in {} chunks ({:.2} MB, {:.1} ms, {} throttle(s))",
+        "rfdump: sent {} samples in {} chunks ({:.2} MB, {:.1} ms, {} throttle(s), {} reconnect(s))",
         report.samples,
         report.chunks,
         report.bytes as f64 / 1e6,
         report.wall.as_secs_f64() * 1e3,
         report.throttles,
+        report.reconnects,
     );
     ExitCode::SUCCESS
 }
@@ -408,6 +603,7 @@ fn cmd_send(args: &[String]) -> ExitCode {
 fn cmd_watch(args: &[String]) -> ExitCode {
     let mut connect = None;
     let mut quiet = false;
+    let mut chaos = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -415,6 +611,17 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 Some(addr) => connect = Some(addr.clone()),
                 None => {
                     eprintln!("rfdump: --connect needs an address");
+                    return usage();
+                }
+            },
+            "--chaos" => match it.next().map(|s| parse_chaos(s)) {
+                Some(Ok(p)) => chaos = p,
+                Some(Err(e)) => {
+                    eprintln!("rfdump: {e}");
+                    return usage();
+                }
+                None => {
+                    eprintln!("rfdump: --chaos needs a spec");
                     return usage();
                 }
             },
@@ -429,13 +636,16 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("rfdump: watch needs --connect ADDR");
         return usage();
     };
-    let mut sub = match RecordSubscriber::connect(&connect) {
+    let mut sub = match ResilientSubscriber::connect(&connect) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("rfdump: cannot connect to {connect}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if chaos.is_some() {
+        sub = sub.with_faults(chaos);
+    }
     let mut records = 0u64;
     loop {
         match sub.next_event() {
@@ -458,7 +668,10 @@ fn cmd_watch(args: &[String]) -> ExitCode {
             }
         }
     }
-    eprintln!("rfdump: stream ended after {records} record(s)");
+    eprintln!(
+        "rfdump: stream ended after {records} record(s), {} reconnect(s)",
+        sub.reconnects()
+    );
     ExitCode::SUCCESS
 }
 
@@ -509,6 +722,8 @@ fn main() -> ExitCode {
         threaded: opts.threaded,
         telemetry: opts.telemetry || opts.stats_json.is_some() || opts.trace_out.is_some(),
         workers: opts.workers,
+        faults: opts.chaos.clone().or_else(FaultPlan::ambient),
+        governor: opts.governor,
     };
     let out = run_architecture(&cfg, &samples, header.sample_rate);
 
@@ -522,6 +737,28 @@ fn main() -> ExitCode {
         out.records.len(),
         out.cpu_over_realtime()
     );
+    if out.panics > 0 || !out.quarantined.is_empty() {
+        eprintln!(
+            "rfdump: survived {} analyzer panic(s); quarantined: {}",
+            out.panics,
+            if out.quarantined.is_empty() {
+                "none".to_string()
+            } else {
+                out.quarantined.join(", ")
+            },
+        );
+    }
+    if let Some(g) = &out.governor {
+        eprintln!(
+            "rfdump: governor finished at level {} ({}), {} escalation(s), shed {} demod / {} detector(s) / {} vote(s)",
+            g.level,
+            rfdump::governor::LEVEL_NAMES[g.level as usize],
+            g.escalations,
+            g.shed_demod,
+            g.shed_detectors,
+            g.shed_votes,
+        );
+    }
     if opts.stats {
         eprint!("{}", out.stats.table());
         if let Some(ds) = &out.dispatch_stats {

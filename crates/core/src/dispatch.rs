@@ -11,14 +11,22 @@
 use crate::analyze::{detected_only_record, Analyzer};
 use crate::chunk::PeakBlock;
 use crate::detect::Classification;
+use crate::governor::LoadGovernor;
 use crate::records::PacketRecord;
+use rfd_fault::{Action, FaultPlan};
 use rfd_flowgraph::pool::{PoolConfig, PoolStats, Reorderer, TaskPool};
 use rfd_flowgraph::sync::Mutex;
 use rfd_phy::Protocol;
 use rfd_telemetry::{Counter, Histogram, Registry};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Analyzer panics tolerated before the analyzer is quarantined (its port
+/// skipped for the rest of the run). Other protocols are unaffected.
+pub const QUARANTINE_STRIKES: u64 = 3;
 
 /// Dispatcher configuration.
 #[derive(Debug, Clone, Copy)]
@@ -283,6 +291,10 @@ pub struct PooledAnalysis {
     pub pool: PoolStats,
     /// Per-analyzer totals, in analyzer (output-port) order.
     pub analyzers: Vec<AnalyzerTotals>,
+    /// Analyzer panics caught by the per-analyzer supervisor.
+    pub panics: u64,
+    /// Analyzers quarantined after [`QUARANTINE_STRIKES`] panics, by name.
+    pub quarantined: Vec<String>,
 }
 
 /// The parallel analysis stage: finalized [`Dispatch`]es fan out to a
@@ -302,6 +314,8 @@ pub struct AnalysisPool {
     reorder: Reorderer<Vec<(usize, PacketRecord)>>,
     totals: Arc<Mutex<Vec<AnalyzerTotals>>>,
     protocols: Vec<Protocol>,
+    panics: Arc<AtomicU64>,
+    quarantined: Arc<Vec<AtomicBool>>,
 }
 
 impl AnalysisPool {
@@ -315,11 +329,21 @@ impl AnalysisPool {
     /// dispatcher's tentative classification as [`detected_only_record`]s
     /// instead of demodulating — exactly what the single-threaded
     /// detection-only path does.
+    ///
+    /// Each analyzer invocation runs under `catch_unwind`: a panicking
+    /// analyzer loses only its own records for that dispatch, and after
+    /// [`QUARANTINE_STRIKES`] panics the analyzer is quarantined (skipped)
+    /// while every other protocol keeps running. `faults` threads chaos
+    /// injection sites (site = the analyzer name, e.g. `analyze:wifi-demod`)
+    /// through the hot loop; `governor` gates demodulation when the
+    /// degradation ladder sheds it.
     pub fn new(
         workers: usize,
         factory: impl Fn() -> Vec<Box<dyn Analyzer>> + Send + Sync + 'static,
         demodulate: bool,
         registry: Option<Arc<Registry>>,
+        faults: Option<Arc<FaultPlan>>,
+        governor: Option<Arc<LoadGovernor>>,
     ) -> Self {
         let prototype = factory();
         let protocols: Vec<Protocol> = prototype.iter().map(|a| a.protocol()).collect();
@@ -334,15 +358,29 @@ impl AnalysisPool {
                 })
                 .collect::<Vec<_>>(),
         ));
+        let n_ports = prototype.len();
         drop(prototype);
+        let panics = Arc::new(AtomicU64::new(0));
+        let strikes: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n_ports).map(|_| AtomicU64::new(0)).collect());
+        let quarantined: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n_ports).map(|_| AtomicBool::new(false)).collect());
         let cfg = PoolConfig::with_workers(workers);
         let task_totals = totals.clone();
         let task_registry = registry.clone();
+        let task_panics = panics.clone();
+        let task_strikes = strikes.clone();
+        let task_quarantined = quarantined.clone();
         let make =
             move |_worker: usize| -> Box<dyn FnMut(Dispatch) -> Vec<(usize, PacketRecord)> + Send> {
                 let mut analyzers = factory();
                 let totals = task_totals.clone();
                 let registry = task_registry.clone();
+                let panics = task_panics.clone();
+                let strikes = task_strikes.clone();
+                let quarantined = task_quarantined.clone();
+                let faults = faults.clone();
+                let governor = governor.clone();
                 // Per-protocol decode-latency histograms, same names as the
                 // single-threaded AnalyzerBlock publishes.
                 let latency: Vec<Option<Arc<Histogram>>> = analyzers
@@ -363,10 +401,57 @@ impl AnalysisPool {
                         if d.vote_for(proto).is_none() {
                             continue;
                         }
-                        if demodulate {
+                        if quarantined[port].load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let demod_now = match (&governor, demodulate) {
+                            (Some(g), true) => {
+                                let ok = g.demod_allowed();
+                                if !ok {
+                                    g.note_shed_demod();
+                                }
+                                ok
+                            }
+                            _ => demodulate,
+                        };
+                        if demod_now {
                             let t0 = Instant::now();
-                            let recs = az.analyze(&d);
+                            let recs = catch_unwind(AssertUnwindSafe(|| {
+                                if let Some(plan) = &faults {
+                                    match plan.decide(az.name()) {
+                                        Some(Action::Panic) => {
+                                            panic!("injected fault: {}", az.name())
+                                        }
+                                        Some(Action::Slow(dur)) => std::thread::sleep(dur),
+                                        Some(Action::Spin(dur)) => rfd_fault::spin_for(dur),
+                                        _ => {}
+                                    }
+                                }
+                                az.analyze(&d)
+                            }));
                             let dur = t0.elapsed();
+                            let recs = match recs {
+                                Ok(recs) => recs,
+                                Err(_) => {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                    let s = strikes[port].fetch_add(1, Ordering::Relaxed) + 1;
+                                    if let Some(reg) = &registry {
+                                        reg.counter("analyze.panics").inc();
+                                        if s == QUARANTINE_STRIKES {
+                                            reg.counter(&format!(
+                                                "analyze.{}.quarantined",
+                                                proto.name()
+                                            ))
+                                            .inc();
+                                            reg.tracer().record(az.name(), "quarantine", t0, dur);
+                                        }
+                                    }
+                                    if s >= QUARANTINE_STRIKES {
+                                        quarantined[port].store(true, Ordering::Relaxed);
+                                    }
+                                    continue;
+                                }
+                            };
                             if let Some(reg) = &registry {
                                 reg.tracer().record(az.name(), "analyze", t0, dur);
                             }
@@ -401,6 +486,8 @@ impl AnalysisPool {
             reorder: Reorderer::new(),
             totals,
             protocols,
+            panics,
+            quarantined,
         }
     }
 
@@ -417,9 +504,16 @@ impl AnalysisPool {
 
     /// Collects completed results, re-sequenced into submission order.
     /// Results whose predecessors are still in flight stay buffered.
+    ///
+    /// Tasks that panicked past the per-analyzer supervisor (the pool's own
+    /// `catch_unwind` net) are released as gaps so later records are never
+    /// stuck behind a sequence number that will not arrive.
     pub fn drain_ordered(&mut self) -> Vec<(usize, PacketRecord)> {
         for (seq, recs) in self.pool.try_drain() {
             self.reorder.push(seq, recs);
+        }
+        for seq in self.pool.take_panicked() {
+            self.reorder.release(seq);
         }
         let mut out = Vec::new();
         while let Some(recs) = self.reorder.pop_ready() {
@@ -436,9 +530,15 @@ impl AnalysisPool {
     /// worker lost work — which the pool's tests prove cannot happen).
     pub fn finish(mut self) -> (Vec<(usize, PacketRecord)>, PooledAnalysis) {
         let submitted = self.pool.submitted();
+        for seq in self.pool.take_panicked() {
+            self.reorder.release(seq);
+        }
         let (rest, pool_stats) = self.pool.finish();
         for (seq, recs) in rest {
             self.reorder.push(seq, recs);
+        }
+        for &seq in &pool_stats.lost {
+            self.reorder.release(seq);
         }
         let mut out = Vec::new();
         while let Some(recs) = self.reorder.pop_ready() {
@@ -447,15 +547,25 @@ impl AnalysisPool {
         assert_eq!(
             self.reorder.next_seq(),
             submitted,
-            "analysis pool lost results: {} of {submitted} emitted",
-            self.reorder.next_seq()
+            "analysis pool lost results: {} of {submitted} emitted \
+             ({} released as panicked)",
+            self.reorder.next_seq(),
+            self.reorder.released_count()
         );
         let analyzers = self.totals.lock().clone();
+        let quarantined = analyzers
+            .iter()
+            .zip(self.quarantined.iter())
+            .filter(|(_, q)| q.load(Ordering::Relaxed))
+            .map(|(a, _)| a.name.clone())
+            .collect();
         (
             out,
             PooledAnalysis {
                 pool: pool_stats,
                 analyzers,
+                panics: self.panics.load(Ordering::Relaxed),
+                quarantined,
             },
         )
     }
@@ -676,7 +786,7 @@ mod tests {
             }
         }
         for workers in [1, 2, 4] {
-            let mut pool = AnalysisPool::new(workers, analyzer_lineup, true, None);
+            let mut pool = AnalysisPool::new(workers, analyzer_lineup, true, None, None, None);
             assert_eq!(pool.protocols(), &protos[..]);
             let mut got = Vec::new();
             for d in &dispatches {
@@ -695,7 +805,7 @@ mod tests {
     #[test]
     fn analysis_pool_detection_only_emits_tentative_records() {
         let d = pool_dispatch(0, Protocol::Microwave);
-        let mut pool = AnalysisPool::new(2, analyzer_lineup, false, None);
+        let mut pool = AnalysisPool::new(2, analyzer_lineup, false, None, None, None);
         pool.submit(d.clone());
         let (recs, result) = pool.finish();
         assert_eq!(recs.len(), 1);
@@ -703,5 +813,75 @@ mod tests {
         assert_eq!(recs[0].1, detected_only_record(&d, Protocol::Microwave));
         assert_eq!(result.analyzers[1].items_out, 1);
         assert_eq!(result.analyzers[0].items_out, 0);
+    }
+
+    #[test]
+    fn panicking_analyzer_is_quarantined_and_others_are_untouched() {
+        // Every wifi dispatch panics inside the analyzer; microwave must be
+        // byte-identical to a fault-free run.
+        let protos = [Protocol::Wifi, Protocol::Microwave];
+        let dispatches: Vec<Dispatch> = (0..20)
+            .map(|i| pool_dispatch(i, protos[i as usize % 2]))
+            .collect();
+        let mut reference = Vec::new();
+        let mut seq_az = analyzer_lineup();
+        for d in &dispatches {
+            if d.vote_for(Protocol::Microwave).is_some() {
+                reference.extend(seq_az[1].analyze(d).into_iter().map(|r| (1usize, r)));
+            }
+        }
+        let plan = Arc::new(rfd_fault::FaultPlan::parse("panic=analyze:wifi").unwrap());
+        for workers in [1, 3] {
+            let mut pool = AnalysisPool::new(
+                workers,
+                analyzer_lineup,
+                true,
+                None,
+                Some(plan.clone()),
+                None,
+            );
+            let mut got = Vec::new();
+            for d in &dispatches {
+                pool.submit(d.clone());
+                got.extend(pool.drain_ordered());
+            }
+            let (rest, result) = pool.finish();
+            got.extend(rest);
+            assert_eq!(got, reference, "workers={workers}");
+            assert_eq!(
+                result.quarantined,
+                vec!["analyze:wifi-demod".to_string()],
+                "workers={workers}"
+            );
+            // At least the strike budget panicked; dispatches already in
+            // flight on other workers when the flag was set may add a few,
+            // but quarantine must stop the rest (10 wifi dispatches total).
+            assert!(
+                result.panics >= QUARANTINE_STRIKES && result.panics < 10,
+                "panics={} (workers={workers})",
+                result.panics
+            );
+            // The pool-level supervisor never saw a panic: the per-analyzer
+            // net caught them all, so no dispatch was lost.
+            assert_eq!(result.pool.panics, 0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn governor_shedding_demod_yields_detection_only_records() {
+        let g = Arc::new(crate::governor::LoadGovernor::new(
+            crate::governor::GovernorConfig {
+                force_level: Some(1),
+                ..Default::default()
+            },
+        ));
+        let d = pool_dispatch(0, Protocol::Microwave);
+        let mut pool = AnalysisPool::new(2, analyzer_lineup, true, None, None, Some(g.clone()));
+        pool.submit(d.clone());
+        let (recs, result) = pool.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, detected_only_record(&d, Protocol::Microwave));
+        assert_eq!(result.analyzers[1].cpu, Duration::ZERO, "no demod ran");
+        assert_eq!(g.report().shed_demod, 1);
     }
 }

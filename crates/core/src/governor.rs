@@ -1,0 +1,309 @@
+//! Graceful degradation under overload: the [`LoadGovernor`].
+//!
+//! RFDump's monitoring contract is *keep up with the ether*: when the
+//! analysis stack falls behind real time, it must shed load in a principled
+//! order instead of letting the ingest queue grow without bound. The
+//! governor watches the pipeline's real-time ratio (wall time over signal
+//! time) and walks a fixed degradation ladder:
+//!
+//! 1. **Level 0 — nominal.** Everything runs.
+//! 2. **Level 1 — shed demodulation.** Per-protocol analyzers stop
+//!    demodulating and emit detection-only records (protocol, time span,
+//!    SNR). Demodulation is the most expensive stage and, per the paper's
+//!    demand-driven design, the first to go.
+//! 3. **Level 2 — shed weak detectors.** Expensive per-protocol detectors
+//!    (phase/frequency-based) are skipped and the dispatcher's confidence
+//!    floor rises, so only high-confidence peaks reach the analyzers at
+//!    all.
+//!
+//! The protocol-agnostic stage (energy/peak detection) is **never** shed:
+//! it is the part of the architecture that sees everything, and losing it
+//! would turn graceful degradation into blindness. Structurally, the
+//! governor simply has no hook there.
+//!
+//! Because shedding changes the emitted records, the governor is opt-in
+//! (`ArchConfig::governor`); ungoverned runs keep the byte-identical
+//! determinism contract. `force_level` pins the ladder for deterministic
+//! tests and the `--governor LEVEL` CLI flag.
+
+use rfd_telemetry::json::JsonValue;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Highest shed level.
+pub const MAX_LEVEL: u8 = 2;
+
+/// Human names for the ladder rungs, indexed by level.
+pub const LEVEL_NAMES: [&str; 3] = ["nominal", "shed-demod", "shed-detectors"];
+
+/// Governor knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorConfig {
+    /// Smoothed real-time ratio above which the governor escalates one
+    /// level (1.0 = falling behind real time).
+    pub high_water: f64,
+    /// Ratio below which it de-escalates one level.
+    pub low_water: f64,
+    /// EWMA smoothing factor for the observed ratio (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// Pin the shed level instead of adapting (deterministic runs).
+    pub force_level: Option<u8>,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            high_water: 1.0,
+            low_water: 0.7,
+            alpha: 0.2,
+            force_level: None,
+        }
+    }
+}
+
+/// Watches the pipeline's real-time ratio and decides what to shed.
+///
+/// All state is atomic: the detection stage observes and the pool workers
+/// consult concurrently.
+pub struct LoadGovernor {
+    cfg: GovernorConfig,
+    t0: Instant,
+    level: AtomicU8,
+    /// Smoothed ratio × 1e6 (atomics hold no floats).
+    ratio_micro: AtomicU64,
+    escalations: AtomicU64,
+    deescalations: AtomicU64,
+    shed_demod: AtomicU64,
+    shed_detectors: AtomicU64,
+    shed_votes: AtomicU64,
+}
+
+impl LoadGovernor {
+    /// A governor starting at level 0 (or the forced level) with its wall
+    /// clock anchored at creation.
+    pub fn new(cfg: GovernorConfig) -> Self {
+        Self {
+            cfg,
+            t0: Instant::now(),
+            level: AtomicU8::new(cfg.force_level.unwrap_or(0).min(MAX_LEVEL)),
+            ratio_micro: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
+            deescalations: AtomicU64::new(0),
+            shed_demod: AtomicU64::new(0),
+            shed_detectors: AtomicU64::new(0),
+            shed_votes: AtomicU64::new(0),
+        }
+    }
+
+    /// Current shed level.
+    pub fn level(&self) -> u8 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Feeds one progress observation: the pipeline has processed signal
+    /// up to `signal_us` microseconds of stream time. Returns the level
+    /// transition `(from, to)` if this observation changed it.
+    pub fn observe(&self, signal_us: f64) -> Option<(u8, u8)> {
+        if self.cfg.force_level.is_some() {
+            return None;
+        }
+        if signal_us <= 0.0 {
+            return None;
+        }
+        let wall_us = self.t0.elapsed().as_secs_f64() * 1e6;
+        let inst = wall_us / signal_us;
+        // EWMA over observations; seeded by the first sample.
+        let prev = self.ratio_micro.load(Ordering::Relaxed) as f64 / 1e6;
+        let smoothed = if prev == 0.0 {
+            inst
+        } else {
+            prev + self.cfg.alpha * (inst - prev)
+        };
+        // Bound the memory of overload: one pathological observation must
+        // not take unboundedly long to decay back below the low-water mark.
+        let smoothed = smoothed.min(self.cfg.high_water * 8.0);
+        self.ratio_micro
+            .store((smoothed * 1e6) as u64, Ordering::Relaxed);
+        let cur = self.level.load(Ordering::Relaxed);
+        if smoothed > self.cfg.high_water && cur < MAX_LEVEL {
+            self.level.store(cur + 1, Ordering::Relaxed);
+            self.escalations.fetch_add(1, Ordering::Relaxed);
+            // Re-anchor the smoothed ratio at the boundary so one spike
+            // does not climb the whole ladder in consecutive observations.
+            self.ratio_micro
+                .store((self.cfg.high_water * 1e6) as u64, Ordering::Relaxed);
+            return Some((cur, cur + 1));
+        }
+        if smoothed < self.cfg.low_water && cur > 0 {
+            self.level.store(cur - 1, Ordering::Relaxed);
+            self.deescalations.fetch_add(1, Ordering::Relaxed);
+            self.ratio_micro
+                .store((self.cfg.low_water * 1e6) as u64, Ordering::Relaxed);
+            return Some((cur, cur - 1));
+        }
+        None
+    }
+
+    /// Whether demodulation may run (level 0 only). Callers that skip it
+    /// because of this must call [`LoadGovernor::note_shed_demod`].
+    pub fn demod_allowed(&self) -> bool {
+        self.level() < 1
+    }
+
+    /// Whether the named per-protocol detector may run. At level 2 the
+    /// expensive phase/frequency detectors are shed; matched detectors must
+    /// be reported via [`LoadGovernor::note_shed_detector`].
+    pub fn detector_allowed(&self, name: &str) -> bool {
+        self.level() < 2 || !(name.contains("phase") || name.contains("freq"))
+    }
+
+    /// The raised dispatcher confidence floor, if any (level 2).
+    pub fn confidence_floor(&self) -> Option<f32> {
+        (self.level() >= 2).then_some(0.8)
+    }
+
+    /// Books one dispatch whose demodulation was shed.
+    pub fn note_shed_demod(&self) {
+        self.shed_demod.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Books one skipped detector invocation.
+    pub fn note_shed_detector(&self) {
+        self.shed_detectors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Books one vote filtered by the raised confidence floor.
+    pub fn note_shed_vote(&self) {
+        self.shed_votes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary for the stats-json `degradation` section.
+    pub fn report(&self) -> GovernorReport {
+        GovernorReport {
+            level: self.level(),
+            ratio: self.ratio_micro.load(Ordering::Relaxed) as f64 / 1e6,
+            escalations: self.escalations.load(Ordering::Relaxed),
+            deescalations: self.deescalations.load(Ordering::Relaxed),
+            shed_demod: self.shed_demod.load(Ordering::Relaxed),
+            shed_detectors: self.shed_detectors.load(Ordering::Relaxed),
+            shed_votes: self.shed_votes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of what the governor did over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GovernorReport {
+    /// Final shed level.
+    pub level: u8,
+    /// Final smoothed real-time ratio.
+    pub ratio: f64,
+    /// Level increases over the run.
+    pub escalations: u64,
+    /// Level decreases over the run.
+    pub deescalations: u64,
+    /// Dispatches whose demodulation was shed.
+    pub shed_demod: u64,
+    /// Detector invocations skipped.
+    pub shed_detectors: u64,
+    /// Votes filtered by the raised confidence floor.
+    pub shed_votes: u64,
+}
+
+impl GovernorReport {
+    /// The report as the stats-json `degradation` object.
+    pub fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::num(v as f64);
+        JsonValue::obj(vec![
+            ("level", n(u64::from(self.level))),
+            (
+                "level_name",
+                JsonValue::str(LEVEL_NAMES[usize::from(self.level.min(MAX_LEVEL))]),
+            ),
+            ("rt_ratio", JsonValue::num(self.ratio)),
+            ("escalations", n(self.escalations)),
+            ("deescalations", n(self.deescalations)),
+            ("shed_demod", n(self.shed_demod)),
+            ("shed_detectors", n(self.shed_detectors)),
+            ("shed_votes", n(self.shed_votes)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_level_never_adapts() {
+        let g = LoadGovernor::new(GovernorConfig {
+            force_level: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(g.level(), 1);
+        assert!(!g.demod_allowed());
+        assert!(g.detector_allowed("wifi-phase"));
+        assert_eq!(g.confidence_floor(), None);
+        // Even a hopeless ratio observation changes nothing.
+        assert_eq!(g.observe(0.0001), None);
+        assert_eq!(g.level(), 1);
+    }
+
+    #[test]
+    fn ladder_sheds_demod_before_detectors_and_recovers() {
+        let g = LoadGovernor::new(GovernorConfig::default());
+        assert!(g.demod_allowed());
+        assert!(g.detector_allowed("wifi-phase"));
+        // Tiny signal progress against real elapsed wall time → ratio ≫ 1.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t = g.observe(1.0);
+        assert_eq!(t, Some((0, 1)), "first escalation sheds demodulation");
+        assert!(!g.demod_allowed());
+        assert!(
+            g.detector_allowed("wifi-phase"),
+            "detectors survive level 1"
+        );
+        let t = g.observe(1.0);
+        assert_eq!(t, Some((1, 2)));
+        assert!(!g.detector_allowed("wifi-phase"));
+        assert!(!g.detector_allowed("bt-freq-hop"));
+        assert!(
+            g.detector_allowed("energy-window"),
+            "non-phase/freq detectors are never shed"
+        );
+        assert_eq!(g.confidence_floor(), Some(0.8));
+        // There is no level 3: the protocol-agnostic stage cannot be shed.
+        assert_eq!(g.observe(1.0), None);
+        assert_eq!(g.level(), MAX_LEVEL);
+        // Massive signal progress → the smoothed ratio decays below the
+        // low-water mark and the ladder walks back down, one level per
+        // crossing (the EWMA needs a few samples after each re-anchor).
+        let mut transitions = Vec::new();
+        for _ in 0..32 {
+            if let Some(t) = g.observe(1e15) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(transitions, vec![(2, 1), (1, 0)]);
+        assert_eq!(g.level(), 0, "level 0 is the floor");
+    }
+
+    #[test]
+    fn shed_counters_reach_the_report() {
+        let g = LoadGovernor::new(GovernorConfig {
+            force_level: Some(2),
+            ..Default::default()
+        });
+        g.note_shed_demod();
+        g.note_shed_demod();
+        g.note_shed_detector();
+        g.note_shed_vote();
+        let r = g.report();
+        assert_eq!(r.level, 2);
+        assert_eq!(r.shed_demod, 2);
+        assert_eq!(r.shed_detectors, 1);
+        assert_eq!(r.shed_votes, 1);
+        let json = r.to_json().to_json();
+        assert!(json.contains("\"level_name\":\"shed-detectors\""), "{json}");
+    }
+}

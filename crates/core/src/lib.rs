@@ -37,6 +37,7 @@ pub mod chunk;
 pub mod detect;
 pub mod dispatch;
 pub mod eval;
+pub mod governor;
 pub mod live;
 pub mod peak;
 pub mod protocols;

@@ -103,6 +103,8 @@ mod tests {
             threaded: false,
             telemetry: false,
             workers: 0,
+            faults: None,
+            governor: None,
         };
         let offline = run_architecture(&cfg, &samples, fs);
         let mut live = LivePipeline::new(cfg);

@@ -20,6 +20,12 @@
 //! * **3** — adds `net` (live capture server statistics: connection /
 //!   frame / sample counters, backpressure drops, throttles, subscriber
 //!   evictions and the ingest real-time ratio; null for offline runs).
+//! * **4** — adds `faults` (the fault-injection plan's per-rule counters;
+//!   null when no plan was armed), `degradation` (the load governor's final
+//!   shed level and shed counters; null when the governor was off), and
+//!   `supervision` (analyzer panics survived and quarantined analyzers —
+//!   always present, zero on a healthy run). The `pool` section gains
+//!   `panics` / `restarts` / `rescued` / `lost`.
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -31,7 +37,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 3;
+pub const STATS_VERSION: u64 = 4;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -195,6 +201,10 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
                     ("stolen", JsonValue::num(ps.stolen() as f64)),
                     ("busy_ms", JsonValue::num(ps.busy().as_secs_f64() * 1e3)),
                     ("stall_ms", JsonValue::num(ps.stall().as_secs_f64() * 1e3)),
+                    ("panics", JsonValue::num(ps.panics as f64)),
+                    ("restarts", JsonValue::num(ps.restarts as f64)),
+                    ("rescued", JsonValue::num(ps.rescued as f64)),
+                    ("lost", JsonValue::num(ps.lost.len() as f64)),
                 ]),
             );
         }
@@ -205,6 +215,51 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
         None => doc.push("net", JsonValue::Null),
         Some(snap) => doc.push("net", snap.to_json()),
     }
+
+    // Fault-injection plan counters (null when no plan was armed).
+    match &out.faults {
+        None => doc.push("faults", JsonValue::Null),
+        Some(fs) => {
+            let rules: Vec<JsonValue> = fs
+                .rules
+                .iter()
+                .map(|r| {
+                    JsonValue::obj(vec![
+                        ("kind", JsonValue::str(&r.kind)),
+                        ("target", JsonValue::str(&r.target)),
+                        ("calls", JsonValue::num(r.calls as f64)),
+                        ("fired", JsonValue::num(r.fired as f64)),
+                    ])
+                })
+                .collect();
+            doc.push(
+                "faults",
+                JsonValue::obj(vec![
+                    ("spec", JsonValue::str(&fs.spec)),
+                    ("seed", JsonValue::num(fs.seed as f64)),
+                    ("rules", JsonValue::Arr(rules)),
+                ]),
+            );
+        }
+    }
+
+    // Load-governor degradation report (null when the governor was off).
+    match &out.governor {
+        None => doc.push("degradation", JsonValue::Null),
+        Some(g) => doc.push("degradation", g.to_json()),
+    }
+
+    // Supervision outcome — always present so harnesses can assert zero.
+    doc.push(
+        "supervision",
+        JsonValue::obj(vec![
+            ("analyzer_panics", JsonValue::num(out.panics as f64)),
+            (
+                "quarantined",
+                JsonValue::Arr(out.quarantined.iter().map(JsonValue::str).collect()),
+            ),
+        ]),
+    );
 
     // The full registry: counters, gauges, histograms.
     let snap = out
@@ -279,6 +334,10 @@ mod tests {
             sample_rate: 8e6,
             registry: Some(std::sync::Arc::new(reg)),
             pool_stats: None,
+            faults: None,
+            governor: None,
+            panics: 0,
+            quarantined: Vec::new(),
         }
     }
 
@@ -378,12 +437,60 @@ mod tests {
                 busy: Duration::from_millis(4),
                 stall: Duration::from_millis(1),
             }],
+            panics: 1,
+            ..Default::default()
         });
         let doc = rfd_telemetry::json::parse(&stats_json(&out).to_json()).unwrap();
         let pool = doc.get("pool").unwrap();
         assert_eq!(pool.get("executed").unwrap().as_f64(), Some(5.0));
         assert_eq!(pool.get("stolen").unwrap().as_f64(), Some(2.0));
+        assert_eq!(pool.get("panics").unwrap().as_f64(), Some(1.0));
         assert_eq!(pool.get("workers").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fault_and_degradation_sections_null_when_off_populated_when_on() {
+        let doc = rfd_telemetry::json::parse(&stats_json(&fake_output()).to_json()).unwrap();
+        assert!(matches!(
+            doc.get("faults"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
+        assert!(matches!(
+            doc.get("degradation"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
+        let sup = doc.get("supervision").unwrap();
+        assert_eq!(sup.get("analyzer_panics").unwrap().as_f64(), Some(0.0));
+
+        let mut out = fake_output();
+        let plan = rfd_fault::FaultPlan::parse("seed=9;slow=analyze@0.5/1ms").unwrap();
+        let _ = plan.decide("analyze:wifi-demod");
+        out.faults = Some(plan.snapshot());
+        let gov = crate::governor::LoadGovernor::new(crate::governor::GovernorConfig {
+            force_level: Some(1),
+            ..Default::default()
+        });
+        gov.note_shed_demod();
+        out.governor = Some(gov.report());
+        out.panics = 3;
+        out.quarantined = vec!["analyze:wifi-demod".into()];
+
+        let doc = rfd_telemetry::json::parse(&stats_json(&out).to_json()).unwrap();
+        let faults = doc.get("faults").unwrap();
+        assert_eq!(faults.get("seed").unwrap().as_f64(), Some(9.0));
+        let rules = faults.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].get("kind").unwrap().as_str(), Some("slow"));
+        assert_eq!(rules[0].get("calls").unwrap().as_f64(), Some(1.0));
+        let deg = doc.get("degradation").unwrap();
+        assert_eq!(deg.get("level").unwrap().as_f64(), Some(1.0));
+        assert_eq!(deg.get("level_name").unwrap().as_str(), Some("shed-demod"));
+        assert_eq!(deg.get("shed_demod").unwrap().as_f64(), Some(1.0));
+        let sup = doc.get("supervision").unwrap();
+        assert_eq!(sup.get("analyzer_panics").unwrap().as_f64(), Some(3.0));
+        let q = sup.get("quarantined").unwrap().as_arr().unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].as_str(), Some("analyze:wifi-demod"));
     }
 
     #[test]

@@ -271,6 +271,19 @@ impl ChunkedTraceReader {
         Ok(Some(out))
     }
 
+    /// Repositions the reader so the next chunk starts at absolute sample
+    /// index `n` (clamped to the trace length). This is what a resuming
+    /// network sender uses to continue from the server's last acknowledged
+    /// sample after a reconnect.
+    pub fn seek_to_sample(&mut self, n: u64) -> io::Result<()> {
+        use std::io::Seek;
+        let n = n.min(self.header.n_samples);
+        let byte = HEADER_LEN as u64 + n * 4;
+        self.file.seek(io::SeekFrom::Start(byte))?;
+        self.remaining = self.header.n_samples - n;
+        Ok(())
+    }
+
     /// Reads up to `max_samples` scaled complex samples — the streaming
     /// equivalent of [`read_trace`]'s payload conversion.
     pub fn next_samples(&mut self, max_samples: usize) -> io::Result<Option<Vec<Complex32>>> {
@@ -369,6 +382,34 @@ mod tests {
             assert_eq!(a.re.to_bits(), b.re.to_bits());
             assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reader_seeks_to_an_absolute_sample() {
+        let dir = std::env::temp_dir().join("rfdump-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seek.rfdt");
+        let samples = ramp(500);
+        write_trace(&path, 8e6, 0.0, &samples).unwrap();
+
+        // Read a prefix, then seek backwards and forwards; chunks must
+        // restart exactly at the requested sample.
+        let mut r = ChunkedTraceReader::open(&path).unwrap();
+        let first = r.next_chunk(100).unwrap().unwrap();
+        r.seek_to_sample(40).unwrap();
+        assert_eq!(r.remaining(), 460);
+        let resumed = r.next_chunk(60).unwrap().unwrap();
+        assert_eq!(resumed[..], first[40..100]);
+
+        r.seek_to_sample(499).unwrap();
+        assert_eq!(r.next_chunk(100).unwrap().unwrap().len(), 1);
+        assert_eq!(r.next_chunk(100).unwrap(), None);
+
+        // Past the end clamps to "fully consumed".
+        r.seek_to_sample(10_000).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.next_chunk(100).unwrap(), None);
         std::fs::remove_file(&path).ok();
     }
 

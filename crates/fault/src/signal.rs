@@ -1,0 +1,69 @@
+//! Minimal SIGINT handling for `rfdump serve`.
+//!
+//! The workspace is dependency-free, so there is no `libc`/`signal-hook` to
+//! lean on; this module declares the one C function it needs. It is the only
+//! unsafe code in the workspace (every other crate carries
+//! `#![forbid(unsafe_code)]`), kept deliberately tiny: install a handler
+//! that sets an `AtomicBool`, and let the server's accept loop poll it.
+//!
+//! The handler re-arms SIGINT to the default disposition after the first
+//! delivery, so a second Ctrl-C force-kills a server that is stuck flushing.
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        // POSIX `signal(2)`. The handler slot is address-sized; SIG_DFL /
+        // SIG_IGN / SIG_ERR are the reserved small values.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+        // Restore the default disposition: atomics and signal(2) are both
+        // async-signal-safe, and a second ^C must be able to kill us.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn install_sigint() -> bool {
+        let handler = on_sigint as extern "C" fn(i32);
+        #[allow(clippy::fn_to_numeric_cast_any)]
+        let addr = handler as usize;
+        unsafe { signal(SIGINT, addr) != SIG_ERR }
+    }
+
+    pub fn sigint_seen() -> bool {
+        SIGINT_SEEN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install_sigint() -> bool {
+        false
+    }
+    pub fn sigint_seen() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT handler; returns false if the platform refused it
+/// (callers fall back to being killed, today's behaviour).
+pub fn install_sigint() -> bool {
+    imp::install_sigint()
+}
+
+/// Whether SIGINT has been delivered since [`install_sigint`].
+pub fn sigint_seen() -> bool {
+    imp::sigint_seen()
+}

@@ -27,7 +27,8 @@
 //! workspace carries no external concurrency dependencies — and the file
 //! stays inside the crate-wide `#![forbid(unsafe_code)]`.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -377,6 +378,10 @@ impl<T> Drop for Receiver<T> {
 pub struct Reorderer<T> {
     next: u64,
     pending: BTreeMap<u64, T>,
+    /// Sequence numbers declared lost (a supervised task panicked); skipped
+    /// instead of waited for.
+    released: BTreeSet<u64>,
+    released_total: u64,
 }
 
 impl<T> Default for Reorderer<T> {
@@ -391,27 +396,59 @@ impl<T> Reorderer<T> {
         Self {
             next: 0,
             pending: BTreeMap::new(),
+            released: BTreeSet::new(),
+            released_total: 0,
         }
     }
 
     /// Offers an out-of-order result.
     ///
     /// # Panics
-    /// Panics if `seq` was already emitted or is already pending — either
-    /// means the producer duplicated a sequence number.
+    /// Panics if `seq` was already emitted, already pending, or was released
+    /// as lost — any of these means the producer duplicated a sequence
+    /// number.
     pub fn push(&mut self, seq: u64, value: T) {
         assert!(seq >= self.next, "sequence {seq} already emitted");
+        assert!(
+            !self.released.contains(&seq),
+            "sequence {seq} was released as lost"
+        );
         assert!(
             self.pending.insert(seq, value).is_none(),
             "sequence {seq} pushed twice"
         );
     }
 
-    /// Pops the next in-order value, if it has arrived.
+    /// Declares `seq` permanently missing (its task died), so later results
+    /// are not buffered forever behind a gap that can never fill. Idempotent;
+    /// a release for an already-emitted sequence is ignored, and a release
+    /// for a sequence whose value *did* arrive keeps the value.
+    pub fn release(&mut self, seq: u64) {
+        if seq < self.next || self.pending.contains_key(&seq) {
+            return;
+        }
+        if self.released.insert(seq) {
+            self.released_total += 1;
+        }
+    }
+
+    /// Pops the next in-order value, if it has arrived. Released (lost)
+    /// sequence numbers are skipped on the way.
     pub fn pop_ready(&mut self) -> Option<T> {
-        let v = self.pending.remove(&self.next)?;
-        self.next += 1;
-        Some(v)
+        loop {
+            if self.released.remove(&self.next) {
+                self.next += 1;
+                continue;
+            }
+            let v = self.pending.remove(&self.next)?;
+            self.next += 1;
+            return Some(v);
+        }
+    }
+
+    /// How many sequence numbers have been released as lost so far.
+    pub fn released_count(&self) -> u64 {
+        self.released_total
     }
 
     /// Results held waiting for an earlier sequence number.
@@ -440,6 +477,16 @@ pub struct PoolConfig {
     /// How many tasks a worker moves from the injector into its own deque
     /// per refill (amortizes channel locking; stealable by idle peers).
     pub refill_batch: usize,
+    /// Supervised mode: worker threads wrap each task in `catch_unwind`, a
+    /// panicking task's sequence number is recorded (see
+    /// [`TaskPool::take_panicked`]) instead of killing the pool, dead
+    /// workers are respawned within `max_restarts`, and [`TaskPool::finish`]
+    /// rescues any stranded items inline. Off restores the original
+    /// fail-fast behaviour (any panic aborts the pool).
+    pub supervise: bool,
+    /// Total worker respawns allowed across the pool's lifetime (supervised
+    /// mode only).
+    pub max_restarts: u32,
 }
 
 impl Default for PoolConfig {
@@ -450,6 +497,8 @@ impl Default for PoolConfig {
                 .unwrap_or(1),
             queue_cap: 64,
             refill_batch: 4,
+            supervise: true,
+            max_restarts: 2,
         }
     }
 }
@@ -482,6 +531,17 @@ pub struct WorkerStats {
 pub struct PoolStats {
     /// Per-worker breakdown.
     pub workers: Vec<WorkerStats>,
+    /// Tasks that panicked under supervision (their sequence numbers were
+    /// reported through [`TaskPool::take_panicked`]).
+    pub panics: u64,
+    /// Worker threads respawned after dying.
+    pub restarts: u64,
+    /// Items executed inline by the rescue path (stranded in queues when
+    /// workers were gone).
+    pub rescued: u64,
+    /// Sequence numbers still unclaimed by [`TaskPool::take_panicked`] when
+    /// the pool finished — the consumer's final gap-release list.
+    pub lost: Vec<u64>,
 }
 
 impl PoolStats {
@@ -538,7 +598,17 @@ struct PoolShared<I, O> {
     deques: Vec<StealDeque<(u64, I)>>,
     results: Mutex<Vec<(u64, O)>>,
     cells: Vec<WorkerCell>,
+    /// Sequence numbers whose supervised task panicked; no result will ever
+    /// arrive for them, so the consumer must `Reorderer::release` them.
+    panicked: Mutex<Vec<u64>>,
+    panics: AtomicU64,
+    restarts: AtomicU64,
+    rescued: AtomicU64,
 }
+
+/// The per-worker task-function factory, shared so dead workers can be
+/// respawned with a fresh task function.
+type MakeTaskFn<I, O> = dyn Fn(usize) -> Box<dyn FnMut(I) -> O + Send> + Send + Sync;
 
 /// A work-stealing pool mapping submitted items through per-worker task
 /// functions, publishing `(seq, result)` pairs.
@@ -558,7 +628,19 @@ pub struct TaskPool<I: Send + 'static, O: Send + 'static> {
     tx: Option<Sender<(u64, I)>>,
     next_seq: u64,
     shared: Arc<PoolShared<I, O>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    supervise: bool,
+    /// Respawns left (supervised mode).
+    restart_budget: u32,
+    make: Arc<MakeTaskFn<I, O>>,
+    refill: usize,
+    /// Receiver clone kept for worker respawn and the finish-time rescue
+    /// drain (supervised mode only; does not affect channel close, which is
+    /// driven by the sender side).
+    rescue_rx: Option<Receiver<(u64, I)>>,
+    tel: Option<Vec<LiveCounters>>,
+    /// Lazily-built inline task function used when every worker is gone.
+    rescue: Option<Box<dyn FnMut(I) -> O + Send>>,
 }
 
 impl<I: Send + 'static, O: Send + 'static> TaskPool<I, O> {
@@ -608,6 +690,10 @@ impl<I: Send + 'static, O: Send + 'static> TaskPool<I, O> {
             deques,
             results: Mutex::new(Vec::new()),
             cells: (0..workers).map(|_| WorkerCell::new()).collect(),
+            panicked: Mutex::new(Vec::new()),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            rescued: AtomicU64::new(0),
         });
         // Mirrored live counters (plain atomics; the worker adds to both its
         // cell and, when telemetry is on, the registry counter).
@@ -622,48 +708,168 @@ impl<I: Send + 'static, O: Send + 'static> TaskPool<I, O> {
                 })
                 .collect()
         });
-        let make = Arc::new(make_task_fn);
+        let make: Arc<MakeTaskFn<I, O>> = Arc::new(make_task_fn);
         let refill = cfg.refill_batch.max(1);
         let handles = (0..workers)
             .map(|idx| {
-                let shared = shared.clone();
-                let rx = rx.clone();
-                let make = make.clone();
                 let tel = tel.as_ref().map(|t| t[idx].clone());
-                std::thread::Builder::new()
-                    .name(format!("rfd-pool-{idx}"))
-                    .spawn(move || {
-                        let mut task_fn = make(idx);
-                        worker_loop(idx, &shared, &rx, refill, &mut task_fn, tel);
-                    })
-                    .expect("spawn pool worker")
+                Some(Self::spawn_worker(
+                    idx,
+                    &shared,
+                    &rx,
+                    refill,
+                    &make,
+                    tel,
+                    cfg.supervise,
+                ))
             })
             .collect();
-        // Drop the construction-time receiver so workers hold the only
-        // clones; channel close is driven purely by the sender side.
+        // Keep one receiver for respawn/rescue in supervised mode; drop the
+        // construction-time clone either way so channel close is driven
+        // purely by the sender side (receivers never reach zero while the
+        // pool is live, so `send` cannot fail spuriously).
+        let rescue_rx = cfg.supervise.then(|| rx.clone());
         drop(rx);
         Self {
             tx: Some(tx),
             next_seq: 0,
             shared,
             handles,
+            supervise: cfg.supervise,
+            restart_budget: cfg.max_restarts,
+            make,
+            refill,
+            rescue_rx,
+            tel,
+            rescue: None,
         }
+    }
+
+    fn spawn_worker(
+        idx: usize,
+        shared: &Arc<PoolShared<I, O>>,
+        rx: &Receiver<(u64, I)>,
+        refill: usize,
+        make: &Arc<MakeTaskFn<I, O>>,
+        tel: Option<LiveCounters>,
+        supervise: bool,
+    ) -> std::thread::JoinHandle<()> {
+        let shared = shared.clone();
+        let rx = rx.clone();
+        let make = make.clone();
+        std::thread::Builder::new()
+            .name(format!("rfd-pool-{idx}"))
+            .spawn(move || {
+                let mut task_fn = make(idx);
+                worker_loop(idx, &shared, &rx, refill, &mut task_fn, tel, supervise);
+            })
+            .expect("spawn pool worker")
     }
 
     /// Submits the next item, blocking while the injector is full. Returns
     /// the sequence number assigned to the item.
     ///
+    /// In supervised mode ([`PoolConfig::supervise`]) a dead worker is
+    /// respawned within the restart budget, and when every worker is gone
+    /// the item runs inline on the caller's thread, so submission always
+    /// makes progress.
+    ///
     /// # Panics
-    /// Panics if a worker thread died (a task panicked) — the pool cannot
-    /// uphold the determinism contract once results can be missing.
+    /// In unsupervised mode, panics if a worker thread died (a task
+    /// panicked) — the pool cannot uphold the determinism contract once
+    /// results can be missing.
     pub fn submit(&mut self, item: I) -> u64 {
         let seq = self.next_seq;
-        let tx = self.tx.as_ref().expect("pool already finished");
-        if tx.send((seq, item)).is_err() {
-            panic!("task pool workers are gone (a task panicked)");
-        }
         self.next_seq += 1;
+        if self.supervise {
+            self.ensure_workers();
+            if !self.handles.iter().any(Option::is_some) {
+                self.run_inline(seq, item);
+                return seq;
+            }
+        }
+        let send_res = {
+            let tx = self.tx.as_ref().expect("pool already finished");
+            tx.send((seq, item))
+        };
+        if let Err(SendError((_, item))) = send_res {
+            if self.supervise {
+                self.run_inline(seq, item);
+            } else {
+                panic!("task pool workers are gone (a task panicked)");
+            }
+        }
         seq
+    }
+
+    /// Reaps workers that died (a panic escaped the task wrapper, e.g. in
+    /// the task-function factory itself) and respawns them while the
+    /// restart budget lasts. Only meaningful before the injector closes: a
+    /// live worker never returns while `tx` is open, so a finished handle
+    /// here always means a death.
+    fn ensure_workers(&mut self) {
+        for idx in 0..self.handles.len() {
+            let died = matches!(&self.handles[idx], Some(h) if h.is_finished());
+            if !died {
+                continue;
+            }
+            let h = self.handles[idx].take().expect("handle checked above");
+            let _ = h.join();
+            if self.restart_budget > 0 {
+                self.restart_budget -= 1;
+                self.shared.restarts.fetch_add(1, Ordering::Relaxed);
+                let rx = self.rescue_rx.as_ref().expect("supervised pool keeps rx");
+                let tel = self.tel.as_ref().map(|t| t[idx].clone());
+                self.handles[idx] = Some(Self::spawn_worker(
+                    idx,
+                    &self.shared,
+                    rx,
+                    self.refill,
+                    &self.make,
+                    tel,
+                    true,
+                ));
+            }
+        }
+    }
+
+    /// Runs one item on the caller's thread (supervised rescue path).
+    fn run_inline(&mut self, seq: u64, item: I) {
+        if self.rescue.is_none() {
+            // Fresh task function with an index past the worker range.
+            self.rescue = Some((self.make)(self.shared.deques.len()));
+        }
+        let f = self.rescue.as_mut().expect("rescue fn just built");
+        self.shared.rescued.fetch_add(1, Ordering::Relaxed);
+        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(out) => self
+                .shared
+                .results
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((seq, out)),
+            Err(_) => {
+                self.shared.panics.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .panicked
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(seq);
+            }
+        }
+    }
+
+    /// Takes the sequence numbers of supervised tasks that panicked since
+    /// the last call. The consumer must `Reorderer::release` each one or
+    /// later results stay buffered behind the gap forever.
+    pub fn take_panicked(&self) -> Vec<u64> {
+        std::mem::take(
+            &mut self
+                .shared
+                .panicked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
     }
 
     /// Number of items submitted so far.
@@ -684,16 +890,37 @@ impl<I: Send + 'static, O: Send + 'static> TaskPool<I, O> {
 
     /// Closes the injector, joins all workers, and returns the remaining
     /// results (unordered) with the pool statistics.
+    ///
+    /// In supervised mode any items stranded in the injector or a dead
+    /// worker's deque are executed inline (the rescue path), so every
+    /// submitted sequence number is accounted for — as a result or as an
+    /// entry from [`TaskPool::take_panicked`].
     pub fn finish(mut self) -> (Vec<(u64, O)>, PoolStats) {
         self.tx.take(); // close the channel
-        for h in self.handles.drain(..) {
-            if h.join().is_err() {
+        let supervise = self.supervise;
+        for h in self.handles.drain(..).flatten() {
+            if h.join().is_err() && !supervise {
                 panic!("task pool worker panicked");
+            }
+        }
+        if let Some(rx) = self.rescue_rx.take() {
+            let mut stranded: Vec<(u64, I)> = rx.try_recv_batch(usize::MAX);
+            for d in &self.shared.deques {
+                while let Some(it) = d.pop() {
+                    stranded.push(it);
+                }
+            }
+            for (seq, item) in stranded {
+                self.run_inline(seq, item);
             }
         }
         let rest = self.try_drain();
         let stats = PoolStats {
             workers: self.shared.cells.iter().map(|c| c.snapshot()).collect(),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+            restarts: self.shared.restarts.load(Ordering::Relaxed),
+            rescued: self.shared.rescued.load(Ordering::Relaxed),
+            lost: self.take_panicked(),
         };
         (rest, stats)
     }
@@ -712,13 +939,35 @@ fn worker_loop<I, O>(
     refill: usize,
     task_fn: &mut (dyn FnMut(I) -> O + Send),
     tel: Option<LiveCounters>,
+    supervise: bool,
 ) {
     let my = &shared.deques[idx];
     let cell = &shared.cells[idx];
     let n = shared.deques.len();
     let mut run = |seq: u64, item: I| {
         let t0 = Instant::now();
-        let out = task_fn(item);
+        // Supervised mode: a panicking task must not take the worker (and
+        // with it every queued item) down. Catch the unwind, record the
+        // lost sequence number for the consumer's gap release, and keep
+        // serving. The task functions own no poisoned locks — results are
+        // pushed after the task returns — so the unwind-safety assertion is
+        // sound.
+        let out = if supervise {
+            match catch_unwind(AssertUnwindSafe(|| task_fn(item))) {
+                Ok(out) => Some(out),
+                Err(_) => {
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .panicked
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(seq);
+                    None
+                }
+            }
+        } else {
+            Some(task_fn(item))
+        };
         let dt = t0.elapsed();
         cell.busy_us
             .fetch_add(dt.as_micros() as u64, Ordering::Relaxed);
@@ -726,11 +975,13 @@ fn worker_loop<I, O>(
         if let Some((executed, ..)) = &tel {
             executed.inc();
         }
-        shared
-            .results
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push((seq, out));
+        if let Some(out) = out {
+            shared
+                .results
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((seq, out));
+        }
     };
     loop {
         // 1. Local work first.
@@ -907,6 +1158,7 @@ mod tests {
                     workers,
                     queue_cap: 8,
                     refill_batch: 2,
+                    ..Default::default()
                 },
                 |_| Box::new(|x: u64| x * 10),
             );
@@ -947,6 +1199,7 @@ mod tests {
                 workers: 4,
                 queue_cap: 64,
                 refill_batch: 64,
+                ..Default::default()
             },
             |_| {
                 Box::new(|x: u64| {
@@ -999,6 +1252,137 @@ mod tests {
         // try_drain was never called, so finish returns everything.
         seqs.sort_unstable();
         assert!(seqs.len() <= 97);
+    }
+
+    #[test]
+    fn reorderer_releases_gaps_and_skips_them() {
+        let mut r = Reorderer::new();
+        r.push(0, "a");
+        r.push(2, "c");
+        assert_eq!(r.pop_ready(), Some("a"));
+        assert_eq!(r.pop_ready(), None); // 1 missing
+        r.release(1); // its task died; stop waiting
+        assert_eq!(r.pop_ready(), Some("c"));
+        assert_eq!(r.next_seq(), 3);
+        assert_eq!(r.released_count(), 1);
+        // Releasing an already-emitted seq is a no-op; releasing a seq whose
+        // value arrived keeps the value.
+        r.release(0);
+        r.push(4, "e");
+        r.release(4);
+        r.release(3);
+        assert_eq!(r.pop_ready(), Some("e"));
+        assert_eq!(r.released_count(), 2);
+        // A trailing release advances next_seq on the final drain call.
+        r.release(5);
+        assert_eq!(r.pop_ready(), None);
+        assert_eq!(r.next_seq(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "released as lost")]
+    fn reorderer_rejects_push_of_released_seq() {
+        let mut r = Reorderer::new();
+        r.release(0);
+        r.push(0, 1);
+    }
+
+    #[test]
+    fn supervised_pool_survives_task_panics_and_reports_the_gaps() {
+        for workers in [1, 3] {
+            let mut pool = TaskPool::new(
+                PoolConfig {
+                    workers,
+                    queue_cap: 8,
+                    refill_batch: 2,
+                    ..Default::default()
+                },
+                |_| {
+                    Box::new(|x: u64| {
+                        assert!(x % 10 != 3, "injected task panic on {x}");
+                        x * 2
+                    })
+                },
+            );
+            let mut reorder = Reorderer::new();
+            let mut out = Vec::new();
+            for i in 0..50u64 {
+                pool.submit(i);
+            }
+            let (rest, stats) = pool.finish();
+            for (seq, v) in rest {
+                reorder.push(seq, v);
+            }
+            // 5 of the 50 inputs panic (3, 13, 23, 33, 43); their sequence
+            // numbers come back through the lost list for gap release.
+            assert_eq!(stats.panics, 5, "workers={workers}");
+            let mut lost = stats.lost.clone();
+            lost.sort_unstable();
+            assert_eq!(lost, vec![3, 13, 23, 33, 43], "workers={workers}");
+            for seq in stats.lost {
+                reorder.release(seq);
+            }
+            while let Some(v) = reorder.pop_ready() {
+                out.push(v);
+            }
+            let expect: Vec<u64> = (0..50).filter(|i| i % 10 != 3).map(|x| x * 2).collect();
+            assert_eq!(out, expect, "workers={workers}");
+            assert_eq!(reorder.next_seq(), 50);
+        }
+    }
+
+    #[test]
+    fn dead_workers_respawn_and_rescue_runs_stranded_items_inline() {
+        // The factory panics for worker 0, so the only worker dies at
+        // spawn, its respawns die too, and the whole budget burns down;
+        // submissions must then run inline through a rescue task function
+        // (built with index 1 = worker count, which works).
+        let mut pool = TaskPool::new(
+            PoolConfig {
+                workers: 1,
+                queue_cap: 4,
+                refill_batch: 1,
+                supervise: true,
+                max_restarts: 2,
+            },
+            |idx| {
+                assert!(idx != 0, "injected factory panic for worker 0");
+                Box::new(|x: u64| x + 100)
+            },
+        );
+        // Give the doomed worker time to die so ensure_workers sees it.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut results = Vec::new();
+        for i in 0..12u64 {
+            pool.submit(i);
+            results.extend(pool.try_drain());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (rest, stats) = pool.finish();
+        results.extend(rest);
+        assert_eq!(stats.restarts, 2, "budget fully spent");
+        assert!(stats.rescued > 0, "rescue path must have run");
+        assert_eq!(stats.panics, 0);
+        let mut got: Vec<u64> = results.iter().map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        assert_eq!(got, (100..112).collect::<Vec<u64>>(), "no item lost");
+    }
+
+    #[test]
+    #[should_panic(expected = "task pool worker panicked")]
+    fn unsupervised_pool_still_fails_fast() {
+        let mut pool = TaskPool::new(
+            PoolConfig {
+                workers: 1,
+                queue_cap: 4,
+                refill_batch: 1,
+                supervise: false,
+                max_restarts: 0,
+            },
+            |_| Box::new(|_: u64| -> u64 { panic!("unsupervised task panic") }),
+        );
+        pool.submit(1);
+        let _ = pool.finish();
     }
 
     #[test]

@@ -3,16 +3,87 @@
 //! consumer of the live record stream).
 //!
 //! Both speak the [`crate::frame`] protocol and are what the CLI's
-//! `rfdump send` and `rfdump watch` modes wrap.
+//! `rfdump send` and `rfdump watch` modes wrap. Their resilient variants —
+//! [`ResilientSender`] and [`ResilientSubscriber`] — add reconnect with
+//! capped exponential backoff and deterministic jitter, resuming from the
+//! last server-acknowledged position so a mid-stream disconnect yields no
+//! duplicated and no lost data.
 
 use crate::frame::{
     encode_frame, Frame, FrameDecoder, RecordMsg, Role, SeqFrame, StreamMeta, DEFAULT_CHUNK_SAMPLES,
 };
 use rfd_dsp::Complex32;
+use rfd_fault::{Action, FaultPlan, SplitMix64};
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Timeout for establishing a TCP connection.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Write timeout on client sockets (a server stuck this long is hung).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Read timeout on the subscriber socket (the server heartbeats every
+/// second, so silence this long means the connection is dead).
+const SUB_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a producer waits for the server's session Ack.
+const ACK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Connects with [`CONNECT_TIMEOUT`] per resolved address.
+fn connect_with_timeout<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+    let mut last: Option<io::Error> = None;
+    for a in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&a, CONNECT_TIMEOUT) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    }))
+}
+
+/// Reconnect pacing: capped exponential backoff with deterministic jitter.
+///
+/// The jitter is seeded, not wall-clock derived, so a test or chaos run
+/// replays the exact same retry schedule every time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts before giving up (0 disables retries).
+    pub max_retries: u32,
+    /// First backoff delay; doubles each failed attempt.
+    pub base: Duration,
+    /// Upper bound on the backoff delay.
+    pub cap: Duration,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            seed: 0x5246_4431, // "RFD1"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): jitter in
+    /// [0.5, 1.0]× of min(cap, base·2^attempt).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let raw = doubled.min(self.cap);
+        let mut rng =
+            SplitMix64::new(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        raw.mul_f64(0.5 + 0.5 * rng.next_f64())
+    }
+}
 
 /// How fast a trace is replayed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +118,8 @@ pub struct SendReport {
     pub bytes: u64,
     /// Throttle advisories received from the server while sending.
     pub throttles: u64,
+    /// Reconnects performed (resilient sends only).
+    pub reconnects: u64,
     /// Wall time spent sending.
     pub wall: Duration,
 }
@@ -58,21 +131,38 @@ pub struct TraceSender {
     dec: FrameDecoder,
     out_seq: u32,
     sent_meta: bool,
+    /// Server-assigned session id (0 until the first Ack arrives).
+    session: u64,
+    /// Highest server-acknowledged contiguous sample position.
+    acked: u64,
 }
 
 impl TraceSender {
     /// Connects and declares the producer role.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = connect_with_timeout(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         let mut tx = Self {
             stream,
             dec: FrameDecoder::new(),
             out_seq: 0,
             sent_meta: false,
+            session: 0,
+            acked: 0,
         };
         tx.write_frame(&Frame::Hello(Role::Producer))?;
         Ok(tx)
+    }
+
+    /// The server-assigned session id (0 before the first Ack).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The last server-acknowledged contiguous sample position.
+    pub fn acked(&self) -> u64 {
+        self.acked
     }
 
     fn write_frame(&mut self, frame: &Frame) -> io::Result<u64> {
@@ -82,8 +172,16 @@ impl TraceSender {
         Ok(bytes.len() as u64)
     }
 
+    fn note_reverse_frame(&mut self, frame: &Frame) {
+        if let Frame::Ack { session, position } = frame {
+            self.session = *session;
+            self.acked = self.acked.max(*position);
+        }
+    }
+
     /// Drains any server→producer frames waiting on the socket without
-    /// blocking; returns how many were Throttle advisories.
+    /// blocking; returns how many were Throttle advisories. Ack frames
+    /// update the acknowledged position as a side effect.
     fn poll_throttles(&mut self) -> io::Result<u64> {
         self.stream.set_nonblocking(true)?;
         let mut buf = [0u8; 4096];
@@ -105,8 +203,59 @@ impl TraceSender {
             if let Frame::Throttle { .. } = frame {
                 throttles += 1;
             }
+            self.note_reverse_frame(&frame);
         }
         Ok(throttles)
+    }
+
+    /// Blocks until the server's next Ack (the authoritative resume
+    /// position). `ConnectionAborted` means the server sent Bye instead —
+    /// the session cannot be resumed.
+    fn wait_for_ack(&mut self) -> io::Result<(u64, u64)> {
+        self.stream.set_nonblocking(false)?;
+        self.stream
+            .set_read_timeout(Some(Duration::from_millis(200)))?;
+        let deadline = Instant::now() + ACK_TIMEOUT;
+        let mut buf = [0u8; 4096];
+        loop {
+            while let Some(SeqFrame { frame, .. }) =
+                self.dec.next_frame().map_err(io::Error::from)?
+            {
+                self.note_reverse_frame(&frame);
+                match frame {
+                    Frame::Ack { session, position } => return Ok((session, position)),
+                    Frame::Bye => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "server refused the session",
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed before acking",
+                    ))
+                }
+                Ok(n) => self.dec.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no ack within the timeout",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Streams pre-quantized i16 IQ chunks. The caller supplies an iterator
@@ -253,6 +402,253 @@ impl TraceSender {
     }
 }
 
+/// A trace sender that survives mid-stream disconnects: on any send error
+/// it reconnects with [`RetryPolicy`] backoff, offers the server a
+/// `Resume`, rewinds the trace file to the server's authoritative
+/// acknowledged sample, and continues. The server deduplicates the overlap,
+/// so the analyzed stream is byte-identical to an uninterrupted send.
+pub struct ResilientSender {
+    addr: String,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl ResilientSender {
+    /// A resilient sender for `addr`, with default retries and the ambient
+    /// (`RFD_FAULTS`) fault plan.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::ambient(),
+        }
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the fault plan (chaos testing).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Completes the session handshake on a fresh connection: a
+    /// `StreamMeta` when `session` is unknown, a `Resume` otherwise.
+    /// Returns the sender positioned at the server's acknowledged sample
+    /// (written into `pos`).
+    fn handshake(
+        &self,
+        mut tx: TraceSender,
+        meta: StreamMeta,
+        session: Option<u64>,
+        pos: &mut u64,
+    ) -> io::Result<TraceSender> {
+        match session {
+            None => {
+                tx.write_frame(&Frame::StreamMeta(meta))?;
+            }
+            Some(id) => {
+                tx.write_frame(&Frame::Resume {
+                    session: id,
+                    position: *pos,
+                })?;
+            }
+        }
+        tx.sent_meta = true;
+        tx.stream.flush()?;
+        let (_, position) = tx.wait_for_ack()?;
+        *pos = position;
+        Ok(tx)
+    }
+
+    /// Streams a `.rfdt` trace file, transparently reconnecting and
+    /// resuming on failure (injected or real).
+    pub fn send_trace_file(
+        &self,
+        path: &Path,
+        rate: SendRate,
+        chunk_samples: usize,
+    ) -> io::Result<SendReport> {
+        let mut report = SendReport::default();
+        let t0 = Instant::now();
+        let mut attempt = 0u32;
+
+        // Connect before touching the trace file — the plain sender's error
+        // ordering, which callers rely on: a dead server surfaces as the
+        // connect error, and a live server always observes the connection
+        // even when the trace turns out to be unreadable.
+        let mut pre = loop {
+            match TraceSender::connect(&self.addr[..]) {
+                Ok(tx) => break Some(tx),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                    report.reconnects += 1;
+                }
+            }
+        };
+        attempt = 0;
+
+        let mut reader = rfd_ether::trace::ChunkedTraceReader::open(path)?;
+        let h = reader.header();
+        let meta = StreamMeta {
+            sample_rate: h.sample_rate,
+            center_hz: h.center_hz,
+            scale: h.scale,
+        };
+        meta.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let chunk = chunk_samples.clamp(1, DEFAULT_CHUNK_SAMPLES * 16);
+
+        let mut session: Option<u64> = None;
+        let mut pos = 0u64;
+
+        'session: loop {
+            let conn = match pre.take() {
+                Some(tx) => Ok(tx),
+                None => TraceSender::connect(&self.addr[..]),
+            };
+            let mut tx = match conn.and_then(|tx| self.handshake(tx, meta, session, &mut pos)) {
+                Ok(tx) => tx,
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                    report.reconnects += 1;
+                    continue 'session;
+                }
+            };
+            session = Some(tx.session);
+            reader.seek_to_sample(pos)?;
+            let mut start_sample = pos;
+            while let Some(iq) = reader.next_chunk(chunk)? {
+                if rate == SendRate::RealTime {
+                    let due = Duration::from_secs_f64(start_sample as f64 / meta.sample_rate);
+                    let elapsed = t0.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                let n = iq.len() as u64;
+                match self.send_chunk(&mut tx, start_sample, iq, &mut report) {
+                    Ok(()) => {
+                        start_sample += n;
+                        report.samples += n;
+                        report.chunks += 1;
+                        attempt = 0; // progress resets the retry budget
+                    }
+                    Err(e) => {
+                        if attempt >= self.retry.max_retries {
+                            return Err(e);
+                        }
+                        std::thread::sleep(self.retry.backoff(attempt));
+                        attempt += 1;
+                        report.reconnects += 1;
+                        pos = tx.acked;
+                        continue 'session;
+                    }
+                }
+            }
+            // End of trace: close cleanly. A failure here still has the
+            // session parked server-side; retry the tail via resume.
+            match tx.stream.flush().and(Ok(tx)).and_then(TraceSender::finish) {
+                Ok(()) => {
+                    report.wall = t0.elapsed();
+                    return Ok(report);
+                }
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                    report.reconnects += 1;
+                    continue 'session;
+                }
+            }
+        }
+    }
+
+    /// Writes one chunk, applying any injected fault at `net.send.chunk`.
+    fn send_chunk(
+        &self,
+        tx: &mut TraceSender,
+        start_sample: u64,
+        iq: Vec<(i16, i16)>,
+        report: &mut SendReport,
+    ) -> io::Result<()> {
+        match self
+            .faults
+            .as_ref()
+            .and_then(|p| p.decide("net.send.chunk"))
+        {
+            Some(Action::Disconnect) => {
+                let _ = tx.stream.shutdown(Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected disconnect",
+                ));
+            }
+            Some(Action::Truncate) => {
+                // Half a frame on the wire, then a hard close: the server
+                // sees a truncated stream and must not mis-ingest it.
+                let bytes = encode_frame(
+                    &Frame::SampleChunk {
+                        start_sample,
+                        iq: iq.clone(),
+                    },
+                    tx.out_seq,
+                );
+                let _ = tx.stream.write_all(&bytes[..bytes.len() / 2]);
+                let _ = tx.stream.flush();
+                let _ = tx.stream.shutdown(Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected truncated frame",
+                ));
+            }
+            Some(Action::Corrupt) => {
+                // A bit-flipped payload: the server's CRC check rejects it
+                // and drops the connection; resume re-sends it intact.
+                let mut bytes = encode_frame(
+                    &Frame::SampleChunk {
+                        start_sample,
+                        iq: iq.clone(),
+                    },
+                    tx.out_seq,
+                );
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x55;
+                let _ = tx.stream.write_all(&bytes);
+                let _ = tx.stream.flush();
+                let _ = tx.stream.shutdown(Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected corrupt frame",
+                ));
+            }
+            Some(Action::Io) | Some(Action::Panic) => {
+                return Err(io::Error::other("injected send error"));
+            }
+            Some(Action::Slow(d)) => std::thread::sleep(d),
+            Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+            None => {}
+        }
+        report.throttles += tx.poll_throttles()?;
+        report.bytes += tx.write_frame(&Frame::SampleChunk { start_sample, iq })?;
+        Ok(())
+    }
+}
+
 /// One event from the server's record stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SubEvent {
@@ -273,48 +669,71 @@ pub enum SubEvent {
 pub struct RecordSubscriber {
     stream: TcpStream,
     dec: FrameDecoder,
+    /// Absolute stream position of the next expected message (anchored by
+    /// the server's Ack at connect; the resume cursor).
+    pos: u64,
 }
 
 impl RecordSubscriber {
-    /// Connects and declares the subscriber role. Blocks until the server
-    /// acknowledges the subscription (an immediate Heartbeat), so every
+    /// Connects for live streaming (no replay of missed messages).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::connect_from(addr, u64::MAX)
+    }
+
+    /// Connects resuming from absolute stream position `pos` (`u64::MAX`
+    /// means live-only). Blocks until the server acknowledges the
+    /// subscription (an immediate Heartbeat plus a position Ack), so every
     /// record published after `connect` returns is guaranteed to reach
     /// this subscriber.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let mut stream = TcpStream::connect(addr)?;
+    pub fn connect_from<A: ToSocketAddrs>(addr: A, pos: u64) -> io::Result<Self> {
+        let mut stream = connect_with_timeout(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(SUB_READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         stream.write_all(&encode_frame(&Frame::Hello(Role::Subscriber), 0))?;
+        stream.write_all(&encode_frame(
+            &Frame::Resume {
+                session: 0,
+                position: pos,
+            },
+            1,
+        ))?;
         let mut sub = Self {
             stream,
             dec: FrameDecoder::new(),
+            pos: 0,
         };
-        match sub.next_event()? {
-            SubEvent::Heartbeat => Ok(sub),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("expected subscription ack, got {other:?}"),
-            )),
+        match sub.next_raw()? {
+            Frame::Heartbeat => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected subscription ack, got {other:?}"),
+                ))
+            }
         }
+        match sub.next_raw()? {
+            Frame::Ack { position, .. } => sub.pos = position,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected position ack, got {other:?}"),
+                ))
+            }
+        }
+        Ok(sub)
     }
 
-    /// Blocks for the next event. `ErrorKind::UnexpectedEof` means the
-    /// server went away without a Bye.
-    pub fn next_event(&mut self) -> io::Result<SubEvent> {
+    /// Absolute stream position of the next expected message — the value a
+    /// reconnect passes to [`RecordSubscriber::connect_from`].
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    fn next_raw(&mut self) -> io::Result<Frame> {
         loop {
             if let Some(SeqFrame { frame, .. }) = self.dec.next_frame().map_err(io::Error::from)? {
-                return Ok(match frame {
-                    Frame::StreamMeta(m) => SubEvent::Meta(m),
-                    Frame::Record(r) => SubEvent::Record(r),
-                    Frame::Stats(s) => SubEvent::Stats(s),
-                    Frame::Heartbeat => SubEvent::Heartbeat,
-                    Frame::Bye => SubEvent::Bye,
-                    other => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected frame on subscriber stream: {other:?}"),
-                        ))
-                    }
-                });
+                return Ok(frame);
             }
             let mut buf = [0u8; 16 * 1024];
             match self.stream.read(&mut buf) {
@@ -329,5 +748,172 @@ impl RecordSubscriber {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Blocks for the next event. `ErrorKind::UnexpectedEof` means the
+    /// server went away without a Bye.
+    pub fn next_event(&mut self) -> io::Result<SubEvent> {
+        loop {
+            let ev = match self.next_raw()? {
+                Frame::StreamMeta(m) => SubEvent::Meta(m),
+                Frame::Record(r) => SubEvent::Record(r),
+                Frame::Stats(s) => SubEvent::Stats(s),
+                Frame::Heartbeat => SubEvent::Heartbeat,
+                Frame::Bye => SubEvent::Bye,
+                // Late position acks just refresh the resume cursor.
+                Frame::Ack { position, .. } => {
+                    self.pos = self.pos.max(position);
+                    continue;
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame on subscriber stream: {other:?}"),
+                    ))
+                }
+            };
+            // Stream messages advance the resume cursor; heartbeats and
+            // Bye are connection events outside the replayable stream.
+            if matches!(
+                ev,
+                SubEvent::Meta(_) | SubEvent::Record(_) | SubEvent::Stats(_)
+            ) {
+                self.pos += 1;
+            }
+            return Ok(ev);
+        }
+    }
+}
+
+/// A subscriber that survives server-side disconnects and injected read
+/// faults: on any error it reconnects with backoff and resumes from its
+/// stream position, so the observed event sequence has no duplicates and
+/// no gaps (up to the server's bounded replay history).
+pub struct ResilientSubscriber {
+    addr: String,
+    inner: Option<RecordSubscriber>,
+    pos: u64,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultPlan>>,
+    attempt: u32,
+    reconnects: u64,
+}
+
+impl ResilientSubscriber {
+    /// Connects for live streaming with default retries and the ambient
+    /// fault plan.
+    pub fn connect(addr: impl Into<String>) -> io::Result<Self> {
+        let addr = addr.into();
+        let inner = RecordSubscriber::connect(&addr[..])?;
+        let pos = inner.position();
+        Ok(Self {
+            addr,
+            inner: Some(inner),
+            pos,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::ambient(),
+            attempt: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the fault plan (chaos testing).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Reconnects performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Blocks for the next event, reconnecting and resuming on failure.
+    pub fn next_event(&mut self) -> io::Result<SubEvent> {
+        loop {
+            // Injected read faults force the reconnect path.
+            let injected: Option<io::Error> =
+                match self.faults.as_ref().and_then(|p| p.decide("net.sub.read")) {
+                    Some(Action::Disconnect) | Some(Action::Io) => Some(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected subscriber fault",
+                    )),
+                    Some(Action::Slow(d)) => {
+                        std::thread::sleep(d);
+                        None
+                    }
+                    Some(Action::Spin(d)) => {
+                        rfd_fault::spin_for(d);
+                        None
+                    }
+                    _ => None,
+                };
+            let result = match injected {
+                Some(e) => {
+                    // Kill the socket so the server parks/evicts us for real.
+                    if let Some(sub) = &self.inner {
+                        let _ = sub.stream.shutdown(Shutdown::Both);
+                    }
+                    self.inner = None;
+                    Err(e)
+                }
+                None => match self.inner.as_mut() {
+                    Some(sub) => sub.next_event(),
+                    None => Err(io::Error::new(io::ErrorKind::NotConnected, "not connected")),
+                },
+            };
+            match result {
+                Ok(ev) => {
+                    if let Some(sub) = &self.inner {
+                        self.pos = sub.position();
+                    }
+                    self.attempt = 0;
+                    return Ok(ev);
+                }
+                Err(e) => {
+                    self.inner = None;
+                    if self.attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.backoff(self.attempt));
+                    self.attempt += 1;
+                    if let Ok(sub) = RecordSubscriber::connect_from(&self.addr[..], self.pos) {
+                        self.reconnects += 1;
+                        self.pos = sub.position();
+                        self.inner = Some(sub);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+            seed: 42,
+        };
+        let a: Vec<Duration> = (0..8).map(|i| p.backoff(i)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| p.backoff(i)).collect();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let raw = p.base.saturating_mul(1 << i.min(20)).min(p.cap);
+            assert!(*d >= raw.mul_f64(0.5) && *d <= raw, "attempt {i}: {d:?}");
+        }
+        // Far attempts are capped (within jitter) regardless of exponent.
+        assert!(p.backoff(30) <= p.cap);
     }
 }

@@ -39,6 +39,15 @@
 //! * **Heartbeat** / **Bye** — empty.
 //! * **Throttle** — `depth: u32, cap: u32`: the server's ingest queue
 //!   occupancy, sent to a producer as an explicit backpressure advisory.
+//! * **Ack** — `session: u64, position: u64`: the server's durable
+//!   high-water mark. For a producer, `position` is the contiguous sample
+//!   count ingested for `session`; a reconnecting sender resumes from there.
+//!   For a subscriber, acknowledgements are implicit in the stream position.
+//! * **Resume** — `session: u64, position: u64`: sent by a reconnecting
+//!   client right after Hello. A producer resumes session `session` (its
+//!   `position` is advisory — the server replies with the authoritative Ack);
+//!   a subscriber uses `session = 0` and `position` = the count of stream
+//!   messages already seen (`u64::MAX` means live-only, no replay).
 
 use rfd_dsp::coding::Crc;
 use std::fmt;
@@ -155,6 +164,21 @@ pub enum Frame {
         /// Ingest queue capacity.
         cap: u32,
     },
+    /// Durable-progress acknowledgement (server → client).
+    Ack {
+        /// The server-assigned session id.
+        session: u64,
+        /// Contiguous progress: samples ingested (producer sessions) or
+        /// stream messages delivered (subscriber sessions).
+        position: u64,
+    },
+    /// Reconnect request (client → server, right after Hello).
+    Resume {
+        /// The session to resume (producers; 0 for subscribers).
+        session: u64,
+        /// The client's last known position (see [`Frame::Ack`]).
+        position: u64,
+    },
 }
 
 impl Frame {
@@ -169,6 +193,8 @@ impl Frame {
             Frame::Heartbeat => 5,
             Frame::Bye => 6,
             Frame::Throttle { .. } => 7,
+            Frame::Ack { .. } => 8,
+            Frame::Resume { .. } => 9,
         }
     }
 
@@ -183,6 +209,8 @@ impl Frame {
             Frame::Heartbeat => "heartbeat",
             Frame::Bye => "bye",
             Frame::Throttle { .. } => "throttle",
+            Frame::Ack { .. } => "ack",
+            Frame::Resume { .. } => "resume",
         }
     }
 }
@@ -279,6 +307,12 @@ fn payload_bytes(frame: &Frame) -> Vec<u8> {
             let mut p = Vec::with_capacity(8);
             p.extend_from_slice(&depth.to_le_bytes());
             p.extend_from_slice(&cap.to_le_bytes());
+            p
+        }
+        Frame::Ack { session, position } | Frame::Resume { session, position } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&session.to_le_bytes());
+            p.extend_from_slice(&position.to_le_bytes());
             p
         }
     }
@@ -432,6 +466,14 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             depth: r.u32()?,
             cap: r.u32()?,
         },
+        8 => Frame::Ack {
+            session: r.u64()?,
+            position: r.u64()?,
+        },
+        9 => Frame::Resume {
+            session: r.u64()?,
+            position: r.u64()?,
+        },
         other => return Err(FrameError::BadType(other)),
     };
     r.done()?;
@@ -513,7 +555,7 @@ impl FrameDecoder {
             return Err(FrameError::BadVersion(avail[4]));
         }
         let ty = avail[5];
-        if ty > 7 {
+        if ty > 9 {
             return Err(FrameError::BadType(ty));
         }
         let flags = u16::from_le_bytes([avail[6], avail[7]]);
@@ -576,6 +618,14 @@ mod tests {
             Frame::Heartbeat,
             Frame::Bye,
             Frame::Throttle { depth: 60, cap: 64 },
+            Frame::Ack {
+                session: 3,
+                position: 1 << 40,
+            },
+            Frame::Resume {
+                session: 3,
+                position: u64::MAX,
+            },
         ]
     }
 

@@ -9,7 +9,7 @@
 //! pub/sub fan-out applies to lagging consumers.
 
 use crate::frame::RecordMsg;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Mutex;
@@ -30,12 +30,18 @@ pub enum HubMsg {
 struct HubInner {
     subs: HashMap<u64, SyncSender<HubMsg>>,
     next_id: u64,
+    /// Bounded replay history of stream messages (Meta/Record/Stats; never
+    /// Bye), so a reconnecting subscriber can resume without duplicates or
+    /// gaps. `base` is the absolute stream position of `history[0]`.
+    history: VecDeque<HubMsg>,
+    base: u64,
 }
 
 /// The fan-out hub.
 pub struct RecordHub {
     inner: Mutex<HubInner>,
     cap: usize,
+    history_cap: usize,
     evicted: AtomicU64,
     published: AtomicU64,
 }
@@ -50,27 +56,68 @@ pub struct Subscription {
 }
 
 impl RecordHub {
-    /// A hub whose subscriber queues hold at most `cap` messages.
+    /// A hub whose subscriber queues hold at most `cap` messages, keeping a
+    /// default-sized replay history (see [`RecordHub::with_history_cap`]).
     pub fn new(cap: usize) -> Self {
+        Self::with_history_cap(cap, 65_536)
+    }
+
+    /// A hub with an explicit bound on the replay history (stream messages
+    /// kept for reconnecting subscribers; oldest dropped past the cap).
+    pub fn with_history_cap(cap: usize, history_cap: usize) -> Self {
         Self {
             inner: Mutex::new(HubInner {
                 subs: HashMap::new(),
                 next_id: 0,
+                history: VecDeque::new(),
+                base: 0,
             }),
             cap: cap.max(1),
+            history_cap,
             evicted: AtomicU64::new(0),
             published: AtomicU64::new(0),
         }
     }
 
-    /// Registers a new subscriber.
+    /// Registers a new subscriber receiving live messages only.
     pub fn subscribe(&self) -> Subscription {
+        self.subscribe_from(None).0
+    }
+
+    /// Registers a subscriber resuming from absolute stream position `pos`
+    /// (the count of Meta/Record/Stats messages it has already seen), or
+    /// live-only when `pos` is `None`.
+    ///
+    /// Returns the subscription, the replay backlog (`history[pos..]`), the
+    /// absolute position of the first message the subscription will deliver
+    /// (replay included), and how many messages were lost because the
+    /// history had already dropped them. Registration and the replay
+    /// snapshot happen under one lock, so the backlog plus the live queue
+    /// is exactly the stream from that position with no gap and no
+    /// duplicate.
+    pub fn subscribe_from(&self, pos: Option<u64>) -> (Subscription, Vec<HubMsg>, u64, u64) {
         let (tx, rx) = sync_channel(self.cap);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let end = inner.base + inner.history.len() as u64;
+        let want = pos.unwrap_or(end).min(end);
+        let lost = inner.base.saturating_sub(want);
+        let start = want.max(inner.base);
+        let replay: Vec<HubMsg> = inner
+            .history
+            .iter()
+            .skip((start - inner.base) as usize)
+            .cloned()
+            .collect();
         let id = inner.next_id;
         inner.next_id += 1;
         inner.subs.insert(id, tx);
-        Subscription { id, rx }
+        (Subscription { id, rx }, replay, start, lost)
+    }
+
+    /// The absolute position the next stream message will occupy.
+    pub fn stream_pos(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.base + inner.history.len() as u64
     }
 
     /// Removes a subscriber (normal disconnect; not counted as eviction).
@@ -88,6 +135,15 @@ impl RecordHub {
     pub fn publish(&self, msg: HubMsg) -> usize {
         self.published.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Stream messages enter the replay history; `Bye` is a connection
+        // lifecycle event, not stream content, and is never replayed.
+        if !matches!(msg, HubMsg::Bye) && self.history_cap > 0 {
+            inner.history.push_back(msg.clone());
+            while inner.history.len() > self.history_cap {
+                inner.history.pop_front();
+                inner.base += 1;
+            }
+        }
         let mut slow: Vec<u64> = Vec::new();
         let mut delivered = 0usize;
         for (&id, tx) in inner.subs.iter() {
@@ -178,6 +234,54 @@ mod tests {
         // The evicted subscriber still sees its backlog, then disconnect.
         assert_eq!(slow.rx.try_iter().count(), 2);
         assert!(slow.rx.recv().is_err(), "sender must be dropped");
+    }
+
+    #[test]
+    fn subscribe_from_replays_exactly_the_missed_suffix() {
+        let hub = RecordHub::new(16);
+        for i in 0..5 {
+            hub.publish(rec(&format!("r{i}")));
+        }
+        assert_eq!(hub.stream_pos(), 5);
+        // A subscriber that saw 2 messages before disconnecting resumes at 2.
+        let (sub, replay, start, lost) = hub.subscribe_from(Some(2));
+        assert_eq!(start, 2);
+        assert_eq!(lost, 0);
+        assert_eq!(
+            replay,
+            vec![rec("r2"), rec("r3"), rec("r4")],
+            "replay must be history[2..]"
+        );
+        // Live messages continue in the queue with no duplicate of the replay.
+        hub.publish(rec("r5"));
+        let live: Vec<HubMsg> = sub.rx.try_iter().collect();
+        assert_eq!(live, vec![rec("r5")]);
+    }
+
+    #[test]
+    fn subscribe_from_reports_loss_when_history_trimmed() {
+        let hub = RecordHub::with_history_cap(16, 3);
+        for i in 0..10 {
+            hub.publish(rec(&format!("r{i}")));
+        }
+        // History holds only [r7, r8, r9]; resuming from 5 loses 2 messages.
+        let (_sub, replay, start, lost) = hub.subscribe_from(Some(5));
+        assert_eq!(start, 7);
+        assert_eq!(lost, 2);
+        assert_eq!(replay, vec![rec("r7"), rec("r8"), rec("r9")]);
+        // A position past the end clamps to live-only.
+        let (_sub2, replay2, _start2, lost2) = hub.subscribe_from(Some(999));
+        assert_eq!(lost2, 0);
+        assert!(replay2.is_empty());
+    }
+
+    #[test]
+    fn bye_is_never_replayed() {
+        let hub = RecordHub::new(8);
+        hub.publish(rec("a"));
+        hub.publish(HubMsg::Bye);
+        let (_sub, replay, _start, _lost) = hub.subscribe_from(Some(0));
+        assert_eq!(replay, vec![rec("a")]);
     }
 
     #[test]

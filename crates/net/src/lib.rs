@@ -33,7 +33,10 @@ pub mod hub;
 pub mod queue;
 pub mod server;
 
-pub use client::{RecordSubscriber, SendRate, SendReport, SubEvent, TraceSender};
+pub use client::{
+    RecordSubscriber, ResilientSender, ResilientSubscriber, RetryPolicy, SendRate, SendReport,
+    SubEvent, TraceSender,
+};
 pub use frame::{Frame, FrameDecoder, FrameError, RecordMsg, Role, StreamMeta};
 pub use hub::{HubMsg, RecordHub, Subscription};
 pub use queue::{ChunkQueue, OverflowPolicy, PushOutcome};

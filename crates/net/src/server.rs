@@ -29,7 +29,9 @@ use crate::hub::{HubMsg, RecordHub, Subscription};
 use crate::queue::{ChunkQueue, OverflowPolicy};
 use rfd_dsp::complex::from_i16_iq;
 use rfd_dsp::Complex32;
+use rfd_fault::{Action, FaultPlan};
 use rfd_telemetry::{Counter, Gauge, Registry};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -105,6 +107,13 @@ pub struct NetStats {
     seq_gaps: Cell,
     decode_errors: Cell,
     records_published: Cell,
+    chunks_duplicate: Cell,
+    sample_gaps: Cell,
+    resumes: Cell,
+    sessions_parked: Cell,
+    sessions_expired: Cell,
+    idle_evictions: Cell,
+    acks_sent: Cell,
     /// Signal time ingested, µs (samples / sample_rate).
     ingest_signal_us: Cell,
     /// Wall time spent ingesting, µs (first chunk to stream close).
@@ -130,6 +139,13 @@ impl NetStats {
             seq_gaps: Cell::new(reg, "net.seq_gaps"),
             decode_errors: Cell::new(reg, "net.decode_errors"),
             records_published: Cell::new(reg, "net.records_published"),
+            chunks_duplicate: Cell::new(reg, "net.chunks_duplicate"),
+            sample_gaps: Cell::new(reg, "net.sample_gaps"),
+            resumes: Cell::new(reg, "net.resumes"),
+            sessions_parked: Cell::new(reg, "net.sessions_parked"),
+            sessions_expired: Cell::new(reg, "net.sessions_expired"),
+            idle_evictions: Cell::new(reg, "net.idle_evictions"),
+            acks_sent: Cell::new(reg, "net.acks_sent"),
             ingest_signal_us: Cell::new(reg, "net.ingest_signal_us"),
             ingest_wall_us: Cell::new(reg, "net.ingest_wall_us"),
             queue_gauge: reg.map(|r| r.gauge("net.ingest.queue_depth")),
@@ -171,6 +187,22 @@ pub struct NetStatsSnapshot {
     pub decode_errors: u64,
     /// Record messages published to the hub.
     pub records_published: u64,
+    /// Sample chunks skipped as already-ingested duplicates (resend after a
+    /// reconnect overlapping the acknowledged position).
+    pub chunks_duplicate: u64,
+    /// Samples missing from the contiguous stream (chunk started past the
+    /// expected position).
+    pub sample_gaps: u64,
+    /// Producer sessions successfully resumed after a reconnect.
+    pub resumes: u64,
+    /// Sessions parked awaiting a reconnect when their producer dropped.
+    pub sessions_parked: u64,
+    /// Parked sessions finalized because the resume grace period expired.
+    pub sessions_expired: u64,
+    /// Connections dropped for exceeding the idle timeout.
+    pub idle_evictions: u64,
+    /// Ack frames sent to producers.
+    pub acks_sent: u64,
     /// Subscribers evicted as slow consumers.
     pub subscribers_evicted: u64,
     /// Signal time ingested, µs.
@@ -210,6 +242,13 @@ impl NetStatsSnapshot {
             ("seq_gaps", n(self.seq_gaps)),
             ("decode_errors", n(self.decode_errors)),
             ("records_published", n(self.records_published)),
+            ("chunks_duplicate", n(self.chunks_duplicate)),
+            ("sample_gaps", n(self.sample_gaps)),
+            ("resumes", n(self.resumes)),
+            ("sessions_parked", n(self.sessions_parked)),
+            ("sessions_expired", n(self.sessions_expired)),
+            ("idle_evictions", n(self.idle_evictions)),
+            ("acks_sent", n(self.acks_sent)),
             ("subscribers_evicted", n(self.subscribers_evicted)),
             ("ingest_signal_us", n(self.ingest_signal_us)),
             ("ingest_wall_us", n(self.ingest_wall_us)),
@@ -236,6 +275,16 @@ pub struct ServerConfig {
     pub once: bool,
     /// Idle interval after which a subscriber connection gets a Heartbeat.
     pub heartbeat: Duration,
+    /// How long a producer session is parked awaiting a Resume after its
+    /// connection drops mid-stream. Zero disables resume: a dropped
+    /// connection finalizes the session immediately with whatever samples
+    /// arrived.
+    pub resume_grace: Duration,
+    /// A connection that produces no bytes for this long is evicted (hung
+    /// peer; a producer's session is still parked for `resume_grace`).
+    pub idle_timeout: Duration,
+    /// Fault-injection plan for chaos testing (`net.server.read` site).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -246,6 +295,9 @@ impl Default for ServerConfig {
             sub_queue_cap: 4096,
             once: false,
             heartbeat: Duration::from_secs(1),
+            resume_grace: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            faults: None,
         }
     }
 }
@@ -254,6 +306,25 @@ impl Default for ServerConfig {
 // The server
 // ---------------------------------------------------------------------------
 
+/// One producer session's live state. While its connection is up this is
+/// owned by the connection thread; between a mid-stream drop and the
+/// matching Resume it lives in `Inner::parked`.
+struct SessionState {
+    id: u64,
+    meta: StreamMeta,
+    queue: ChunkQueue<Vec<Complex32>>,
+    analysis: std::thread::JoinHandle<()>,
+    /// Contiguous high-water mark: absolute index of the next expected
+    /// sample. Everything below it has been pushed to the analysis queue
+    /// exactly once — this is the position Acks advertise and duplicates
+    /// are measured against.
+    expected: u64,
+    /// Accumulated ingest wall time across connection segments, µs.
+    wall_us: u64,
+    /// When a parked session gives up waiting for its producer.
+    deadline: Instant,
+}
+
 struct Inner {
     cfg: ServerConfig,
     hub: RecordHub,
@@ -261,6 +332,8 @@ struct Inner {
     pipeline: Mutex<Box<dyn Pipeline>>,
     shutdown: AtomicBool,
     sessions_done: AtomicU64,
+    parked: Mutex<HashMap<u64, SessionState>>,
+    next_session: AtomicU64,
 }
 
 impl Inner {
@@ -282,6 +355,13 @@ impl Inner {
             seq_gaps: s.seq_gaps.get(),
             decode_errors: s.decode_errors.get(),
             records_published: s.records_published.get(),
+            chunks_duplicate: s.chunks_duplicate.get(),
+            sample_gaps: s.sample_gaps.get(),
+            resumes: s.resumes.get(),
+            sessions_parked: s.sessions_parked.get(),
+            sessions_expired: s.sessions_expired.get(),
+            idle_evictions: s.idle_evictions.get(),
+            acks_sent: s.acks_sent.get(),
             subscribers_evicted: self.hub.evicted(),
             ingest_signal_us: s.ingest_signal_us.get(),
             ingest_wall_us: s.ingest_wall_us.get(),
@@ -333,6 +413,8 @@ impl Server {
             pipeline: Mutex::new(pipeline),
             shutdown: AtomicBool::new(false),
             sessions_done: AtomicU64::new(0),
+            parked: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
         });
         Ok(Self { listener, inner })
     }
@@ -379,9 +461,37 @@ impl Server {
             }
             // Reap finished connection threads opportunistically.
             handles.retain(|h| !h.is_finished());
+            // Finalize parked sessions whose resume grace has expired.
+            let now = Instant::now();
+            let expired: Vec<SessionState> = {
+                let mut parked = self.inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+                let ids: Vec<u64> = parked
+                    .iter()
+                    .filter(|(_, s)| now >= s.deadline)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.into_iter()
+                    .filter_map(|id| parked.remove(&id))
+                    .collect()
+            };
+            for sess in expired {
+                self.inner.stats.sessions_expired.add(1);
+                finalize_session(&self.inner, sess);
+            }
         }
         for h in handles {
             let _ = h.join();
+        }
+        // Shutdown: whatever is still parked will never be resumed —
+        // analyze the samples that made it, so a crashing producer cannot
+        // take its data down with it.
+        let parked: Vec<SessionState> = {
+            let mut map = self.inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+            map.drain().map(|(_, s)| s).collect()
+        };
+        for sess in parked {
+            self.inner.stats.sessions_expired.add(1);
+            finalize_session(&self.inner, sess);
         }
         Ok(self.inner.snapshot())
     }
@@ -394,10 +504,28 @@ impl Server {
 /// Poll interval for shutdown checks on blocking socket reads.
 const READ_POLL: Duration = Duration::from_millis(200);
 
+/// Send a producer an Ack every this many ingested chunks.
+const ACK_EVERY: u64 = 16;
+
 /// Reads more bytes into `dec`, honoring the read timeout for shutdown
-/// polling. Returns false on EOF.
+/// polling. Returns false on EOF. A peer silent for the configured idle
+/// timeout produces `ErrorKind::TimedOut` so the caller can evict it.
 fn fill_decoder(inner: &Inner, stream: &mut TcpStream, dec: &mut FrameDecoder) -> io::Result<bool> {
+    // Deterministic chaos hook: an injected fault at this site behaves
+    // exactly like the network failing underneath the server.
+    if let Some(plan) = &inner.cfg.faults {
+        match plan.decide("net.server.read") {
+            Some(Action::Io) => {
+                return Err(io::Error::other("injected server read error"));
+            }
+            Some(Action::Disconnect) => return Ok(false),
+            Some(Action::Slow(d)) => std::thread::sleep(d),
+            Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+            _ => {}
+        }
+    }
     let mut buf = [0u8; 16 * 1024];
+    let idle_t0 = Instant::now();
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return Ok(false);
@@ -412,6 +540,13 @@ fn fill_decoder(inner: &Inner, stream: &mut TcpStream, dec: &mut FrameDecoder) -
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                if idle_t0.elapsed() >= inner.cfg.idle_timeout {
+                    inner.stats.idle_evictions.add(1);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer idle past the timeout",
+                    ));
+                }
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -450,6 +585,7 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
     inner.stats.connections.add(1);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut dec = FrameDecoder::new();
     match next_frame(&inner, &mut stream, &mut dec) {
         Ok(Some(SeqFrame {
@@ -459,7 +595,7 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
         Ok(Some(SeqFrame {
             frame: Frame::Hello(Role::Subscriber),
             ..
-        })) => handle_subscriber(&inner, stream),
+        })) => handle_subscriber(&inner, stream, dec),
         Ok(Some(_)) => {
             // First frame must be a Hello.
             inner.stats.decode_errors.add(1);
@@ -483,44 +619,139 @@ fn send_frame(
     Ok(())
 }
 
+/// How a producer connection's ingest loop ended.
+enum IngestOutcome {
+    /// Bye received or the server is shutting down: the session is over.
+    Clean,
+    /// The connection died mid-stream (EOF, IO error, malformed frame,
+    /// idle eviction): the session may be resumed on a new connection.
+    Dropped,
+}
+
 fn handle_producer(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDecoder) {
     inner.stats.producers.add(1);
-    // The stream meta must come before any samples.
-    let meta = match next_frame(inner, &mut stream, &mut dec) {
+    let mut out_seq = 0u32;
+    // The first frame picks the path: StreamMeta opens a new session,
+    // Resume reattaches to a parked one.
+    let mut sess = match next_frame(inner, &mut stream, &mut dec) {
         Ok(Some(SeqFrame {
-            frame: Frame::StreamMeta(m),
+            frame: Frame::StreamMeta(meta),
             ..
-        })) => m,
+        })) => {
+            let id = inner.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+            inner.hub.publish(HubMsg::Meta(meta));
+            let queue: ChunkQueue<Vec<Complex32>> =
+                ChunkQueue::new(inner.cfg.queue_cap, inner.cfg.overflow);
+            let analysis = {
+                let inner = inner.clone();
+                let queue = queue.clone();
+                std::thread::Builder::new()
+                    .name("rfd-net-analysis".into())
+                    .spawn(move || analysis_thread(inner, queue, meta))
+                    .expect("spawn analysis thread")
+            };
+            SessionState {
+                id,
+                meta,
+                queue,
+                analysis,
+                expected: 0,
+                wall_us: 0,
+                deadline: Instant::now(),
+            }
+        }
+        Ok(Some(SeqFrame {
+            frame: Frame::Resume { session, .. },
+            ..
+        })) => {
+            // The old connection thread may still be noticing the EOF the
+            // client forced before reconnecting; give it a moment to park.
+            let wait_until = Instant::now() + Duration::from_secs(1);
+            let found = loop {
+                let hit = {
+                    let mut parked = inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+                    parked.remove(&session)
+                };
+                match hit {
+                    Some(s) => break Some(s),
+                    None if Instant::now() >= wait_until => break None,
+                    None => std::thread::sleep(Duration::from_millis(20)),
+                }
+            };
+            match found {
+                Some(s) => {
+                    inner.stats.resumes.add(1);
+                    s
+                }
+                None => {
+                    // Unknown (already finalized) session: refuse cleanly.
+                    let _ = send_frame(inner, &mut stream, &mut out_seq, &Frame::Bye);
+                    return;
+                }
+            }
+        }
         Ok(_) => {
             inner.stats.decode_errors.add(1);
             return;
         }
         Err(_) => return,
     };
-    inner.hub.publish(HubMsg::Meta(meta));
+    // Authoritative position: the client truncates/rewinds to this.
+    inner.stats.acks_sent.add(1);
+    let _ = send_frame(
+        inner,
+        &mut stream,
+        &mut out_seq,
+        &Frame::Ack {
+            session: sess.id,
+            position: sess.expected,
+        },
+    );
 
-    let queue: ChunkQueue<Vec<Complex32>> =
-        ChunkQueue::new(inner.cfg.queue_cap, inner.cfg.overflow);
-    let analysis = {
-        let inner = inner.clone();
-        let queue = queue.clone();
-        std::thread::Builder::new()
-            .name("rfd-net-analysis".into())
-            .spawn(move || analysis_thread(inner, queue, meta))
-            .expect("spawn analysis thread")
-    };
+    let outcome = ingest_loop(inner, &mut stream, &mut dec, &mut out_seq, &mut sess);
+    let shutting_down = inner.shutdown.load(Ordering::SeqCst);
+    match outcome {
+        IngestOutcome::Dropped if !inner.cfg.resume_grace.is_zero() && !shutting_down => {
+            sess.deadline = Instant::now() + inner.cfg.resume_grace;
+            inner.stats.sessions_parked.add(1);
+            inner
+                .parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(sess.id, sess);
+        }
+        IngestOutcome::Clean | IngestOutcome::Dropped => finalize_session(inner, sess),
+    }
+}
 
-    let mut out_seq = 0u32;
+/// Pumps sample chunks from one producer connection into the session.
+fn ingest_loop(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    dec: &mut FrameDecoder,
+    out_seq: &mut u32,
+    sess: &mut SessionState,
+) -> IngestOutcome {
     let mut expect_seq: Option<u32> = None;
     let mut saturated = false;
     let mut ingest_t0: Option<Instant> = None;
-    let mut samples_in_session = 0u64;
-    // Loop ends on clean EOF or a malformed stream: either way the
-    // session's validated samples are still worth analyzing (a monitor is
-    // best-effort; the error counters carry the distinction).
-    while let Ok(Some(SeqFrame { seq, frame })) = next_frame(inner, &mut stream, &mut dec) {
+    let mut chunks_since_ack = 0u64;
+    let outcome = loop {
+        let SeqFrame { seq, frame } = match next_frame(inner, stream, dec) {
+            Ok(Some(sf)) => sf,
+            // EOF: clean only during server shutdown, otherwise the peer
+            // vanished without a Bye and may come back with a Resume.
+            Ok(None) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break IngestOutcome::Clean;
+                }
+                break IngestOutcome::Dropped;
+            }
+            Err(_) => break IngestOutcome::Dropped,
+        };
         // Loss accounting across the frame sequence (a drop-oldest
-        // relay upstream may legitimately skip numbers).
+        // relay upstream may legitimately skip numbers). A reconnect
+        // restarts the peer's sequence at zero; resync silently.
         if let Some(want) = expect_seq {
             if seq != want {
                 inner.stats.seq_gaps.add(u64::from(seq.wrapping_sub(want)));
@@ -528,65 +759,99 @@ fn handle_producer(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDeco
         }
         expect_seq = Some(seq.wrapping_add(1));
         match frame {
-            Frame::SampleChunk { iq, .. } => {
+            Frame::SampleChunk { start_sample, iq } => {
                 ingest_t0.get_or_insert_with(Instant::now);
                 inner.stats.chunks_in.add(1);
-                inner.stats.samples_in.add(iq.len() as u64);
-                samples_in_session += iq.len() as u64;
-                let samples: Vec<Complex32> = iq
+                let n = iq.len() as u64;
+                let end = start_sample.saturating_add(n);
+                // Contiguity bookkeeping against the acknowledged
+                // position: a resend after reconnect overlaps it (skip the
+                // overlap), a chunk starting past it means lost samples.
+                if end <= sess.expected {
+                    inner.stats.chunks_duplicate.add(1);
+                    continue;
+                }
+                if start_sample > sess.expected {
+                    inner.stats.sample_gaps.add(start_sample - sess.expected);
+                }
+                let skip = sess.expected.saturating_sub(start_sample) as usize;
+                sess.expected = end;
+                let scale = sess.meta.scale;
+                let samples: Vec<Complex32> = iq[skip..]
                     .iter()
-                    .map(|&(i, q)| from_i16_iq(i, q).scale(meta.scale))
+                    .map(|&(i, q)| from_i16_iq(i, q).scale(scale))
                     .collect();
+                inner.stats.samples_in.add(samples.len() as u64);
                 // Throttle advisory on the rising edge of saturation
                 // (not every chunk, so the advisory itself cannot
                 // flood the reverse path).
-                let depth = queue.len();
-                if depth >= queue.capacity() {
+                let depth = sess.queue.len();
+                if depth >= sess.queue.capacity() {
                     if !saturated {
                         saturated = true;
                         inner.stats.throttles_sent.add(1);
                         let _ = send_frame(
                             inner,
-                            &mut stream,
-                            &mut out_seq,
+                            stream,
+                            out_seq,
                             &Frame::Throttle {
                                 depth: depth as u32,
-                                cap: queue.capacity() as u32,
+                                cap: sess.queue.capacity() as u32,
                             },
                         );
                     }
                 } else {
                     saturated = false;
                 }
-                if queue.push(samples).is_err() {
-                    break; // queue closed (shutdown)
+                if sess.queue.push(samples).is_err() {
+                    break IngestOutcome::Clean; // queue closed (shutdown)
                 }
                 if let Some(g) = &inner.stats.queue_gauge {
-                    g.set(queue.len() as i64);
+                    g.set(sess.queue.len() as i64);
+                }
+                // Periodic durable-progress ack (best effort; the write
+                // failing will surface on the next read anyway).
+                chunks_since_ack += 1;
+                if chunks_since_ack >= ACK_EVERY {
+                    chunks_since_ack = 0;
+                    inner.stats.acks_sent.add(1);
+                    let _ = send_frame(
+                        inner,
+                        stream,
+                        out_seq,
+                        &Frame::Ack {
+                            session: sess.id,
+                            position: sess.expected,
+                        },
+                    );
                 }
             }
             Frame::Heartbeat => {}
-            Frame::Bye => break,
+            Frame::Bye => break IngestOutcome::Clean,
             // Producers have no business sending anything else.
             _ => {
                 inner.stats.decode_errors.add(1);
-                break;
+                break IngestOutcome::Dropped;
             }
         }
-    }
+    };
     if let Some(t0) = ingest_t0 {
-        inner
-            .stats
-            .ingest_wall_us
-            .add(t0.elapsed().as_micros() as u64);
-        inner
-            .stats
-            .ingest_signal_us
-            .add((samples_in_session as f64 / meta.sample_rate * 1e6) as u64);
+        sess.wall_us += t0.elapsed().as_micros() as u64;
     }
-    queue.close();
-    let _ = analysis.join();
-    inner.stats.chunks_dropped.add(queue.dropped());
+    outcome
+}
+
+/// Closes a session's ingest queue, joins its analysis thread, and books
+/// the session-level statistics. Runs exactly once per session.
+fn finalize_session(inner: &Arc<Inner>, sess: SessionState) {
+    sess.queue.close();
+    let _ = sess.analysis.join();
+    inner.stats.chunks_dropped.add(sess.queue.dropped());
+    inner.stats.ingest_wall_us.add(sess.wall_us);
+    inner
+        .stats
+        .ingest_signal_us
+        .add((sess.expected as f64 / sess.meta.sample_rate * 1e6) as u64);
     inner.stats.sessions.add(1);
     inner.sessions_done.fetch_add(1, Ordering::SeqCst);
     if inner.cfg.once && !inner.shutdown.swap(true, Ordering::SeqCst) {
@@ -615,18 +880,90 @@ fn analysis_thread(inner: Arc<Inner>, queue: ChunkQueue<Vec<Complex32>>, meta: S
         .publish(HubMsg::Stats(inner.snapshot().to_json().to_json()));
 }
 
-fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream) {
+fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDecoder) {
     inner.stats.subscribers.add(1);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let sub = inner.hub.subscribe();
+    // An optional Resume may follow the Hello: `position` is how many
+    // stream messages the subscriber has already seen (u64::MAX, or no
+    // Resume at all, means live-only). Wait briefly so a bare-Hello
+    // subscriber is not stalled.
+    let mut pos: Option<u64> = None;
+    let resume_deadline = Instant::now() + Duration::from_millis(250);
+    loop {
+        match dec.next_frame() {
+            Ok(Some(SeqFrame {
+                frame: Frame::Resume { position, .. },
+                ..
+            })) => {
+                inner.stats.frames_in.add(1);
+                pos = (position != u64::MAX).then_some(position);
+                break;
+            }
+            Ok(Some(_)) => {
+                inner.stats.frames_in.add(1);
+                break;
+            }
+            Ok(None) => {
+                if Instant::now() >= resume_deadline || inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mut buf = [0u8; 1024];
+                match stream.read(&mut buf) {
+                    Ok(0) => return,
+                    Ok(n) => {
+                        inner.stats.bytes_in.add(n as u64);
+                        dec.push(&buf[..n]);
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut
+                            || e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            }
+            Err(_) => {
+                inner.stats.decode_errors.add(1);
+                return;
+            }
+        }
+    }
+    let (sub, replay, start, _lost) = inner.hub.subscribe_from(pos);
     let mut out_seq = 0u32;
     // Ack the Hello the moment the subscription is registered, so a client
     // returning from connect() is guaranteed to see every record published
     // afterwards (without this, a fast producer session could complete
-    // before the accept loop registers the subscriber).
-    if send_frame(inner, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err() {
+    // before the accept loop registers the subscriber). The Ack that
+    // follows tells the client the absolute stream position of the first
+    // message it will receive, anchoring its resume counter.
+    if send_frame(inner, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err()
+        || send_frame(
+            inner,
+            &mut stream,
+            &mut out_seq,
+            &Frame::Ack {
+                session: 0,
+                position: start,
+            },
+        )
+        .is_err()
+    {
         inner.hub.unsubscribe(sub.id);
         return;
+    }
+    // Replay the backlog the reconnecting subscriber missed; the live
+    // queue continues seamlessly after it (the hub guarantees no gap and
+    // no duplicate between the two).
+    for msg in replay {
+        let frame = match msg {
+            HubMsg::Meta(m) => Frame::StreamMeta(m),
+            HubMsg::Record(r) => Frame::Record(r),
+            HubMsg::Stats(s) => Frame::Stats(s),
+            HubMsg::Bye => continue,
+        };
+        if send_frame(inner, &mut stream, &mut out_seq, &frame).is_err() {
+            inner.hub.unsubscribe(sub.id);
+            return;
+        }
     }
     loop {
         // During shutdown, keep draining queued messages (the hub's Bye is
@@ -769,6 +1106,155 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(handle.stats().decode_errors, 1);
+        handle.shutdown();
+        run.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_producer_resumes_without_loss_or_duplication() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                once: true,
+                resume_grace: Duration::from_secs(10),
+                ..Default::default()
+            },
+            stub_pipeline(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let run = std::thread::spawn(move || server.run().unwrap());
+        let mut sub = RecordSubscriber::connect(addr).unwrap();
+
+        let meta = StreamMeta {
+            sample_rate: 1e6,
+            center_hz: 0.0,
+            scale: 1.0,
+        };
+        let chunk = |start: u64, n: usize| Frame::SampleChunk {
+            start_sample: start,
+            iq: vec![(7, -7); n],
+        };
+        // First connection: meta + samples [0, 2000), then vanish mid-stream.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for (seq, f) in [
+                Frame::Hello(Role::Producer),
+                Frame::StreamMeta(meta),
+                chunk(0, 1000),
+                chunk(1000, 1000),
+            ]
+            .iter()
+            .enumerate()
+            {
+                s.write_all(&encode_frame(f, seq as u32)).unwrap();
+            }
+            s.flush().unwrap();
+            // Let the server ingest before the abrupt close.
+            std::thread::sleep(Duration::from_millis(300));
+        } // dropped without Bye → session parks
+
+        // Second connection: resume, resend the overlap, finish the stream.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut seq = 0u32;
+        for f in [
+            Frame::Hello(Role::Producer),
+            Frame::Resume {
+                session: 1,
+                position: 0,
+            },
+        ] {
+            s.write_all(&encode_frame(&f, seq)).unwrap();
+            seq += 1;
+        }
+        // The server's authoritative ack tells us where to resume.
+        let mut dec = FrameDecoder::new();
+        let acked = loop {
+            let mut buf = [0u8; 1024];
+            if let Some(SeqFrame {
+                frame: Frame::Ack { session, position },
+                ..
+            }) = dec.next_frame().unwrap()
+            {
+                assert_eq!(session, 1);
+                break position;
+            }
+            let n = s.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed before acking the resume");
+            dec.push(&buf[..n]);
+        };
+        assert_eq!(acked, 2000, "server must have ingested both chunks");
+        // Resend an overlapping chunk (dedup) plus the remainder.
+        for f in [chunk(1000, 1000), chunk(2000, 1000), Frame::Bye] {
+            s.write_all(&encode_frame(&f, seq)).unwrap();
+            seq += 1;
+        }
+        s.flush().unwrap();
+
+        let mut lines = Vec::new();
+        loop {
+            match sub.next_event().unwrap() {
+                SubEvent::Record(r) => lines.push(r.line),
+                SubEvent::Bye => break,
+                _ => {}
+            }
+        }
+        assert_eq!(lines, vec!["session of 3000 samples".to_string()]);
+
+        let stats = run.join().unwrap();
+        assert_eq!(stats.sessions, 1, "one logical session across reconnects");
+        assert_eq!(stats.resumes, 1);
+        assert_eq!(stats.sessions_parked, 1);
+        assert_eq!(stats.samples_in, 3000, "duplicates must not be recounted");
+        assert_eq!(stats.chunks_duplicate, 1);
+        assert_eq!(stats.sample_gaps, 0);
+        assert!(stats.acks_sent >= 2);
+    }
+
+    #[test]
+    fn resuming_an_unknown_session_is_refused_with_a_bye() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            stub_pipeline(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(&encode_frame(&Frame::Hello(Role::Producer), 0))
+            .unwrap();
+        s.write_all(&encode_frame(
+            &Frame::Resume {
+                session: 999,
+                position: 0,
+            },
+            1,
+        ))
+        .unwrap();
+        let mut dec = FrameDecoder::new();
+        let refused = loop {
+            let mut buf = [0u8; 1024];
+            match dec.next_frame().unwrap() {
+                Some(SeqFrame {
+                    frame: Frame::Bye, ..
+                }) => break true,
+                Some(_) => continue,
+                None => {}
+            }
+            match s.read(&mut buf) {
+                Ok(0) => break false,
+                Ok(n) => dec.push(&buf[..n]),
+                Err(_) => break false,
+            }
+        };
+        assert!(refused, "unknown session must be refused with a Bye");
         handle.shutdown();
         run.join().unwrap();
     }

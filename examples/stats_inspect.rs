@@ -131,6 +131,61 @@ fn main() {
         }
     }
 
+    // Version-4 sections: fault injection, degradation, supervision.
+    match doc.get("faults") {
+        Some(JsonValue::Null) | None => {}
+        Some(f) => {
+            println!(
+                "\nfault injection: spec {:?} (seed {})",
+                f.get("spec").and_then(|s| s.as_str()).unwrap_or("?"),
+                num(f, "seed"),
+            );
+            if let Some(rules) = f.get("rules").and_then(|r| r.as_arr()) {
+                for r in rules {
+                    println!(
+                        "  {}={:<24} {:>6} calls, {:>6} fired",
+                        r.get("kind").and_then(|k| k.as_str()).unwrap_or("?"),
+                        r.get("target").and_then(|t| t.as_str()).unwrap_or("?"),
+                        num(r, "calls"),
+                        num(r, "fired"),
+                    );
+                }
+            }
+        }
+    }
+    match doc.get("degradation") {
+        Some(JsonValue::Null) | None => {}
+        Some(d) => println!(
+            "\ndegradation: level {} ({}), rt ratio {:.3}, {} escalation(s); \
+             shed {} demod / {} detector(s) / {} vote(s)",
+            num(d, "level"),
+            d.get("level_name").and_then(|n| n.as_str()).unwrap_or("?"),
+            num(d, "rt_ratio"),
+            num(d, "escalations"),
+            num(d, "shed_demod"),
+            num(d, "shed_detectors"),
+            num(d, "shed_votes"),
+        ),
+    }
+    if let Some(sup) = doc.get("supervision") {
+        let panics = num(sup, "analyzer_panics");
+        if panics > 0.0 {
+            let quarantined: Vec<&str> = sup
+                .get("quarantined")
+                .and_then(|q| q.as_arr())
+                .map(|q| q.iter().filter_map(|v| v.as_str()).collect())
+                .unwrap_or_default();
+            println!(
+                "\nsupervision: survived {panics} analyzer panic(s); quarantined: {}",
+                if quarantined.is_empty() {
+                    "none".to_string()
+                } else {
+                    quarantined.join(", ")
+                },
+            );
+        }
+    }
+
     if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
         println!("\nlatency / confidence distributions:");
         for (name, h) in hists {

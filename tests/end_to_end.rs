@@ -215,6 +215,8 @@ fn efficiency_ordering_holds_on_a_light_trace() {
             threaded: false,
             telemetry: false,
             workers: rfdump::arch::default_workers(),
+            faults: rfd_fault::FaultPlan::ambient(),
+            governor: None,
         };
         run_architecture(&cfg, &trace.samples, trace.band.sample_rate).cpu_over_realtime()
     };

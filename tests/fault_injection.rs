@@ -1,0 +1,246 @@
+//! Chaos scenarios: seeded fault injection through the full pipeline.
+//!
+//! Three contracts, one per layer of the recovery machinery:
+//!
+//! 1. **Supervision / quarantine** — a deterministically panicking analyzer
+//!    is quarantined after [`QUARANTINE_STRIKES`] strikes; the run finishes
+//!    and every *other* protocol's records are byte-identical to the
+//!    fault-free run, at any worker count.
+//! 2. **Output-preserving faults** — injected latency (`slow`, `cpu`) can
+//!    never change the record stream, only its timing.
+//! 3. **Wire resilience** — a producer whose connection is dropped
+//!    mid-stream by injected `disconnect` faults reconnects, resumes from
+//!    the server's acknowledged position, and the subscriber still sees a
+//!    stream byte-identical to offline analysis; raw garbage floods never
+//!    take the server down.
+
+use rfd_fault::FaultPlan;
+use rfd_integration::{mixed_trace, piconet, random_bytes, seeded_cases};
+use rfd_net::{RecordSubscriber, ResilientSender, SendRate, Server, ServerConfig, SubEvent};
+use rfdump::arch::{run_architecture, ArchConfig, ArchOutput};
+use rfdump::dispatch::QUARANTINE_STRIKES;
+use rfdump::live::LivePipeline;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run(workers: usize, faults: Option<Arc<FaultPlan>>) -> ArchOutput {
+    let trace = mixed_trace(4, 8, 30.0, 99);
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.band = trace.band;
+    cfg.noise_floor = Some(trace.noise_power);
+    cfg.telemetry = false;
+    cfg.workers = workers;
+    cfg.faults = faults;
+    run_architecture(&cfg, &trace.samples, trace.band.sample_rate)
+}
+
+fn lines_except_wifi(out: &ArchOutput) -> Vec<String> {
+    out.records
+        .iter()
+        .filter(|r| r.protocol != rfd_phy::Protocol::Wifi)
+        .map(|r| r.format_line())
+        .collect()
+}
+
+#[test]
+fn panicking_wifi_analyzer_is_quarantined_and_the_rest_is_untouched() {
+    let clean = run(0, None);
+    let wifi_records = clean
+        .records
+        .iter()
+        .filter(|r| r.protocol == rfd_phy::Protocol::Wifi)
+        .count();
+    assert!(
+        wifi_records as u64 >= QUARANTINE_STRIKES + 2,
+        "scene must carry enough Wi-Fi traffic to trip quarantine ({wifi_records} records)"
+    );
+    assert_eq!(clean.panics, 0);
+    assert!(clean.quarantined.is_empty());
+
+    for workers in [0usize, 2] {
+        let plan = Arc::new(FaultPlan::parse("seed=1;panic=analyze:wifi").unwrap());
+        let faulted = run(workers, Some(plan));
+        assert_eq!(
+            faulted.quarantined,
+            vec!["analyze:wifi-demod".to_string()],
+            "workers={workers}"
+        );
+        assert!(
+            faulted.panics >= QUARANTINE_STRIKES,
+            "workers={workers}: {} panic(s) survived",
+            faulted.panics
+        );
+        assert_eq!(
+            lines_except_wifi(&faulted),
+            lines_except_wifi(&clean),
+            "workers={workers}: non-Wi-Fi records must be byte-identical"
+        );
+        let fs = faulted.faults.expect("fault stats must be reported");
+        assert!(fs.rules[0].fired >= QUARANTINE_STRIKES);
+    }
+}
+
+#[test]
+fn latency_faults_never_change_the_record_stream() {
+    let clean: Vec<String> = run(0, None)
+        .records
+        .iter()
+        .map(|r| r.format_line())
+        .collect();
+    assert!(!clean.is_empty());
+    for workers in [0usize, 2] {
+        let plan = Arc::new(
+            FaultPlan::parse("seed=7;slow=analyze@0.3/200us;cpu=detect@0.2/100us").unwrap(),
+        );
+        let out = run(workers, Some(plan));
+        let lines: Vec<String> = out.records.iter().map(|r| r.format_line()).collect();
+        assert_eq!(lines, clean, "workers={workers}");
+        let fs = out.faults.expect("fault stats must be reported");
+        assert!(
+            fs.rules.iter().any(|r| r.calls > 0),
+            "workers={workers}: injection sites were never consulted"
+        );
+        assert_eq!(out.panics, 0);
+        assert!(out.quarantined.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-layer chaos.
+// ---------------------------------------------------------------------------
+
+fn trace_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rfd-fault-injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let trace = mixed_trace(3, 8, 28.0, 4242);
+    rfd_ether::trace::write_trace(
+        &path,
+        trace.band.sample_rate,
+        trace.band.center_hz,
+        &trace.samples,
+    )
+    .unwrap();
+    path
+}
+
+fn offline_lines(path: &std::path::Path) -> Vec<String> {
+    let (header, samples) = rfd_ether::trace::read_trace(path).unwrap();
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.band = rfd_ether::Band {
+        sample_rate: header.sample_rate,
+        center_hz: header.center_hz,
+    };
+    cfg.telemetry = false;
+    let out = run_architecture(&cfg, &samples, header.sample_rate);
+    out.records.iter().map(|r| r.format_line()).collect()
+}
+
+#[test]
+fn injected_disconnects_resume_without_loss_duplication_or_reorder() {
+    let path = trace_file("chaos-resume.rfdt");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            once: true,
+            resume_grace: Duration::from_secs(10),
+            ..Default::default()
+        },
+        Box::new(LivePipeline::new({
+            let mut c = ArchConfig::rfdump(vec![piconet()]);
+            c.telemetry = false;
+            c
+        })),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let run = std::thread::spawn(move || server.run().unwrap());
+
+    let mut sub = RecordSubscriber::connect(addr).unwrap();
+    let plan = Arc::new(FaultPlan::parse("seed=5;disconnect=net.send.chunk%9x3").unwrap());
+    let tx = ResilientSender::new(addr.to_string()).with_faults(Some(plan));
+    let report = tx
+        .send_trace_file(&path, SendRate::Max, 1000)
+        .expect("resilient send must survive injected disconnects");
+    assert!(
+        report.reconnects >= 1,
+        "the disconnect faults must actually have fired"
+    );
+
+    let mut lines = Vec::new();
+    loop {
+        match sub.next_event().unwrap() {
+            SubEvent::Record(r) => lines.push(r.line),
+            SubEvent::Bye => break,
+            SubEvent::Meta(_) | SubEvent::Stats(_) | SubEvent::Heartbeat => {}
+        }
+    }
+    let stats = run.join().unwrap();
+    assert_eq!(stats.sessions, 1, "resume must not fork a second session");
+    assert_eq!(
+        lines,
+        offline_lines(&path),
+        "stream after reconnects must be byte-identical to offline"
+    );
+}
+
+#[test]
+fn garbage_floods_never_take_the_server_down() {
+    let path = trace_file("chaos-flood.rfdt");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Box::new(LivePipeline::new({
+            let mut c = ArchConfig::rfdump(vec![piconet()]);
+            c.telemetry = false;
+            c
+        })),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run().unwrap());
+
+    // Seeded garbage floods: raw bytes, valid-looking prefixes, and abrupt
+    // closes. The server must reject each without dying.
+    seeded_cases(0xF100D, 8, |rng| {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let junk = random_bytes(rng, 1, 8192);
+        let _ = s.write_all(&junk);
+        let _ = s.flush();
+    });
+    // Wait until the floods have been seen and at least one was rejected as
+    // malformed (tiny floods may close before a full frame header arrives).
+    let t0 = std::time::Instant::now();
+    while (handle.stats().connections < 8 || handle.stats().decode_errors == 0)
+        && t0.elapsed() < Duration::from_secs(10)
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        handle.stats().decode_errors >= 1,
+        "garbage must be rejected, not silently accepted"
+    );
+
+    // A good session afterwards must still work end to end.
+    let mut sub = RecordSubscriber::connect(addr).unwrap();
+    let tx = ResilientSender::new(addr.to_string());
+    let report = tx.send_trace_file(&path, SendRate::Max, 2000).unwrap();
+    assert!(report.samples > 0);
+    let mut records = 0u64;
+    loop {
+        match sub.next_event().unwrap() {
+            SubEvent::Record(_) => records += 1,
+            SubEvent::Stats(_) => break, // end-of-session stats frame
+            SubEvent::Bye => break,
+            SubEvent::Meta(_) | SubEvent::Heartbeat => {}
+        }
+    }
+    assert_eq!(records as usize, offline_lines(&path).len());
+    handle.shutdown();
+    run.join().unwrap();
+}
