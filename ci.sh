@@ -55,6 +55,32 @@ if ! diff -u "$work/records-w0.txt" "$work/records-w4.txt"; then
     exit 1
 fi
 
+echo "== smoke: crash + --resume recovers a byte-identical stream =="
+# A journaled run is killed mid-flight by an injected abort; the --resume
+# run must replay the journal and print exactly the uninterrupted stream.
+for w in 0 4; do
+    jdir="$work/journal-w$w"
+    if ./target/release/rfdump -r "$trace" --workers "$w" --journal "$jdir" \
+        --chaos "kill=detect#12" > /dev/null 2>&1; then
+        echo "kill fault did not abort the journaled run (workers $w)"
+        exit 1
+    fi
+    ./target/release/rfdump -r "$trace" --workers "$w" --journal "$jdir" \
+        --resume --stats-json "$work/resume-stats.json" \
+        > "$work/records-resumed.txt" 2> "$work/resume-log.txt"
+    if ! diff -u "$work/records-w0.txt" "$work/records-resumed.txt"; then
+        cat "$work/resume-log.txt" >&2 || true
+        echo "resumed record stream differs from the uninterrupted run (workers $w)"
+        exit 1
+    fi
+done
+grep -q "resumed from journal" "$work/resume-log.txt" \
+    || { echo "resume did not report recovery"; exit 1; }
+# The v5 stats document carries a recovery section; the inspector must
+# accept and render it.
+cargo run --release -q -p rfd-examples --bin stats_inspect "$work/resume-stats.json" \
+    | grep -q "recovery:" || { echo "stats_inspect did not render recovery"; exit 1; }
+
 echo "== smoke: localhost serve/send loopback =="
 # A once-mode server replays the same trace over TCP; its record stream
 # (stdout) must be byte-identical to the offline run above.

@@ -127,6 +127,7 @@ fn main() {
         workers: 0,
         faults,
         governor: None,
+        durability: None,
     };
     let inert = Arc::new(FaultPlan::parse("seed=1;slow=no-such-site#1/1us").unwrap());
     let pipeline_run = |faults: Option<Arc<FaultPlan>>| -> f64 {

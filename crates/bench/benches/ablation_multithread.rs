@@ -57,6 +57,7 @@ fn main() {
                 workers: 0,
                 faults: None,
                 governor: None,
+                durability: None,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             per_sched.push((
@@ -106,6 +107,7 @@ fn main() {
             workers,
             faults: None,
             governor: None,
+            durability: None,
         };
         run_architecture(&cfg, &wifi.samples, fs)
     };

@@ -64,6 +64,7 @@ fn main() {
         workers: 0,
         faults: None,
         governor: None,
+        durability: None,
     };
     let fs = trace.band.sample_rate;
     let one = |telemetry: bool| -> f64 {

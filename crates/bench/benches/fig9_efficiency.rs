@@ -103,6 +103,7 @@ fn main() {
                 workers: 0,
                 faults: None,
                 governor: None,
+                durability: None,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
             row.push(format!("{:.3}", out.cpu_over_realtime()));

@@ -281,6 +281,7 @@ mod tests {
     ) -> Dispatch {
         let n = samples.len() as u64;
         Dispatch {
+            seq: 0,
             block: PeakBlock {
                 peak: Peak {
                     id: 0,

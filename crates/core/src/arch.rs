@@ -109,6 +109,10 @@ pub struct ArchConfig {
     /// `Some` lets the [`LoadGovernor`] shed demodulation first and weak
     /// detectors second when the pipeline falls behind real time.
     pub governor: Option<GovernorConfig>,
+    /// Crash-safe durability (RFDump only): journal emitted records and
+    /// commit watermarks under a directory, and optionally resume from them.
+    /// `None` — the default — journals nothing. See [`crate::durability`].
+    pub durability: Option<crate::durability::DurabilityConfig>,
 }
 
 /// The default analysis worker count: the `RFD_WORKERS` environment
@@ -138,6 +142,7 @@ impl ArchConfig {
             workers: default_workers(),
             faults: FaultPlan::ambient(),
             governor: None,
+            durability: None,
         }
     }
 
@@ -156,6 +161,7 @@ impl ArchConfig {
             workers: default_workers(),
             faults: FaultPlan::ambient(),
             governor: None,
+            durability: None,
         }
     }
 }
@@ -190,6 +196,8 @@ pub struct ArchOutput {
     pub panics: u64,
     /// Analyzers quarantined after repeated panics, by name (RFDump only).
     pub quarantined: Vec<String>,
+    /// Durability/recovery report, when [`ArchConfig::durability`] was set.
+    pub recovery: Option<crate::durability::RecoveryReport>,
 }
 
 impl ArchOutput {
@@ -539,6 +547,7 @@ fn run_naive(
         governor: None,
         panics: 0,
         quarantined: Vec::new(),
+        recovery: None,
     }
 }
 
@@ -667,6 +676,7 @@ fn run_naive_energy(
         governor: None,
         panics: 0,
         quarantined: Vec::new(),
+        recovery: None,
     }
 }
 
@@ -693,8 +703,8 @@ struct DetectDispatchBlock {
     /// Per-detector (vote counter, confidence histogram), parallel to
     /// `detectors`; empty when telemetry is off.
     det_tel: Vec<(Arc<Counter>, Arc<Histogram>)>,
-    /// Chaos injection site `detect` (honours only the delay actions —
-    /// the protocol-agnostic stage is never failed or shed, so `panic`
+    /// Chaos injection site `detect` (honours the delay actions and `kill`
+    /// — the protocol-agnostic stage is never failed or shed, so `panic`
     /// and `io` rules aimed here are deliberately inert).
     faults: Option<Arc<FaultPlan>>,
     /// Degradation ladder. The detection stage is where load is observed
@@ -703,6 +713,12 @@ struct DetectDispatchBlock {
     governor: Option<Arc<LoadGovernor>>,
     /// For governor transition spans/counters.
     registry: Option<Arc<Registry>>,
+    /// Durability: this block notes every emitted dispatch sequence (the
+    /// candidate commit watermark), skips forwarding dispatches the journal
+    /// already holds records for, and — on the single-threaded sweep
+    /// scheduler — commits at `work` entry, when everything previously
+    /// emitted is known-sunk.
+    journal: Option<Arc<crate::durability::JournalState>>,
 }
 
 impl DetectDispatchBlock {
@@ -719,6 +735,15 @@ impl DetectDispatchBlock {
                     start_sample: a,
                     end_sample: b,
                 });
+            }
+            if let Some(j) = &self.journal {
+                j.note_emitted(d.seq);
+                if j.should_skip(d.seq) {
+                    // Deterministic redo: this dispatch's records were
+                    // recovered from the journal; detection bookkeeping
+                    // above still ran so `classified` stays identical.
+                    continue;
+                }
             }
             if self.fan_out {
                 for (port, proto) in self.ports.iter().enumerate() {
@@ -753,12 +778,16 @@ impl Block for DetectDispatchBlock {
         inputs: &mut [VecDeque<Payload>],
         outputs: &mut [Vec<Payload>],
     ) -> WorkStatus {
+        if let Some(j) = &self.journal {
+            j.tick_commit();
+        }
         while let Some(p) = inputs[0].pop_front() {
             let pk = p.downcast::<PeakBlock>().expect("PeakBlock");
             if let Some(plan) = &self.faults {
                 match plan.decide("detect") {
                     Some(Action::Slow(d)) => std::thread::sleep(d),
                     Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+                    Some(Action::Kill) => std::process::abort(),
                     _ => {}
                 }
             }
@@ -847,6 +876,8 @@ struct AnalyzerBlock {
     panics_out: Arc<AtomicU64>,
     /// Run-wide quarantine list, shared across analyzer blocks.
     quarantined_out: Arc<Mutex<Vec<String>>>,
+    /// Durability: strike counts mirror into the checkpoint under this port.
+    journal: Option<(Arc<crate::durability::JournalState>, usize)>,
 }
 
 impl AnalyzerBlock {
@@ -859,6 +890,8 @@ impl AnalyzerBlock {
         governor: Option<Arc<LoadGovernor>>,
         panics_out: Arc<AtomicU64>,
         quarantined_out: Arc<Mutex<Vec<String>>>,
+        initial_strikes: u64,
+        journal: Option<(Arc<crate::durability::JournalState>, usize)>,
     ) -> Self {
         let latency = registry.as_ref().map(|r| {
             r.histogram(
@@ -866,6 +899,12 @@ impl AnalyzerBlock {
                 || Histogram::exponential(1.0, 1e6, 24),
             )
         });
+        // Resumed supervision: an analyzer quarantined before the crash
+        // stays quarantined — a crash must not reset the strike ledger.
+        let quarantined = initial_strikes >= QUARANTINE_STRIKES;
+        if quarantined {
+            quarantined_out.lock().push(analyzer.name().to_string());
+        }
         Self {
             analyzer,
             demodulate,
@@ -873,10 +912,11 @@ impl AnalyzerBlock {
             latency,
             faults,
             governor,
-            strikes: 0,
-            quarantined: false,
+            strikes: initial_strikes,
+            quarantined,
             panics_out,
             quarantined_out,
+            journal,
         }
     }
 }
@@ -915,6 +955,7 @@ impl Block for AnalyzerBlock {
                             Some(Action::Panic) => panic!("injected fault: {}", analyzer.name()),
                             Some(Action::Slow(dur)) => std::thread::sleep(dur),
                             Some(Action::Spin(dur)) => rfd_fault::spin_for(dur),
+                            Some(Action::Kill) => std::process::abort(),
                             _ => {}
                         }
                     }
@@ -926,6 +967,9 @@ impl Block for AnalyzerBlock {
                     Err(_) => {
                         self.panics_out.fetch_add(1, Ordering::Relaxed);
                         self.strikes += 1;
+                        if let Some((j, port)) = &self.journal {
+                            j.set_strike(*port, self.strikes);
+                        }
                         if let Some(reg) = &self.registry {
                             reg.counter("analyze.panics").inc();
                         }
@@ -984,6 +1028,10 @@ struct PooledAnalyzeBlock {
     pool: Option<AnalysisPool>,
     per_port: Arc<Mutex<Vec<Vec<PacketRecord>>>>,
     result: Arc<Mutex<Option<PooledAnalysis>>>,
+    /// Durability: records are journaled as they merge out of the
+    /// reorderer, then the pool's merge watermark (offset by the recovered
+    /// base) becomes the commit — everything below it is durable.
+    journal: Option<Arc<crate::durability::JournalState>>,
 }
 
 impl PooledAnalyzeBlock {
@@ -993,8 +1041,21 @@ impl PooledAnalyzeBlock {
         }
         let mut pp = self.per_port.lock();
         for (port, r) in recs {
+            if let Some(j) = &self.journal {
+                j.journal_record(port, &r);
+            }
             pp[port].push(r);
         }
+    }
+    /// Journals a commit at the pool's merge watermark: submissions are the
+    /// dense dispatch sequence minus the recovered prefix, so pool-local
+    /// merge position `k` means absolute dispatch `base + k` is durable.
+    fn commit_merged(&self) {
+        let (Some(j), Some(pool)) = (&self.journal, self.pool.as_ref()) else {
+            return;
+        };
+        j.set_strikes(&pool.strike_counts());
+        j.commit(j.base() + pool.merged_seq());
     }
 }
 
@@ -1010,15 +1071,18 @@ impl Block for PooledAnalyzeBlock {
         inputs: &mut [VecDeque<Payload>],
         _outputs: &mut [Vec<Payload>],
     ) -> WorkStatus {
-        let pool = self.pool.as_mut().expect("pool lives until finish");
-        while let Some(p) = inputs[0].pop_front() {
-            let d = p.downcast::<Dispatch>().expect("Dispatch");
-            // Blocks when the injector is full: backpressure toward the
-            // detection stage (and, through it, the trace reader).
-            pool.submit(*d);
-        }
-        let ready = pool.drain_ordered();
+        let ready = {
+            let pool = self.pool.as_mut().expect("pool lives until finish");
+            while let Some(p) = inputs[0].pop_front() {
+                let d = p.downcast::<Dispatch>().expect("Dispatch");
+                // Blocks when the injector is full: backpressure toward the
+                // detection stage (and, through it, the trace reader).
+                pool.submit(*d);
+            }
+            pool.drain_ordered()
+        };
         self.store(ready);
+        self.commit_merged();
         WorkStatus::Again
     }
     fn finish(&mut self, _outputs: &mut [Vec<Payload>]) {
@@ -1026,6 +1090,39 @@ impl Block for PooledAnalyzeBlock {
         let (rest, result) = pool.finish();
         self.store(rest);
         *self.result.lock() = Some(result);
+    }
+}
+
+/// Record sink for the single-threaded graph: stores records like a
+/// `VecSink` and — when journaling — appends each one to the write-ahead
+/// journal as it arrives, so the log is complete before the detect block's
+/// next sweep commits.
+struct RecordSinkBlock {
+    storage: Arc<Mutex<Vec<PacketRecord>>>,
+    journal: Option<Arc<crate::durability::JournalState>>,
+    port: usize,
+}
+
+impl Block for RecordSinkBlock {
+    fn name(&self) -> &str {
+        "sink:records"
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [VecDeque<Payload>],
+        _outputs: &mut [Vec<Payload>],
+    ) -> WorkStatus {
+        while let Some(p) = inputs[0].pop_front() {
+            let rec = p.downcast::<PacketRecord>().expect("PacketRecord");
+            if let Some(j) = &self.journal {
+                j.journal_record(self.port, &rec);
+            }
+            self.storage.lock().push(*rec);
+        }
+        WorkStatus::Again
     }
 }
 
@@ -1103,6 +1200,49 @@ fn run_rfdump(
     let pooled = cfg.workers > 0;
     let governor = cfg.governor.map(|g| Arc::new(LoadGovernor::new(g)));
 
+    // Crash-safe durability: open (or recover) the journal before the graph
+    // is built, so recovered record streams can seed the sinks and the
+    // recovered commit watermark can gate dispatch forwarding. An IO error
+    // here degrades to a non-durable run rather than failing it.
+    let mut recovered = None;
+    let journal = cfg.durability.as_ref().and_then(|d| {
+        let n_samples: u64 = chunks.iter().map(|c| c.samples.len() as u64).sum();
+        let fingerprint = crate::durability::config_fingerprint(cfg, n_samples, fs);
+        // Intermediate sweep commits are only sound on the single-threaded
+        // scheduler; the pooled commit path is scheduler-agnostic.
+        let single_commit = !pooled && !cfg.threaded;
+        match crate::durability::JournalState::prepare(
+            d,
+            &fingerprint,
+            ports.len(),
+            single_commit,
+            governor.clone(),
+            cfg.faults.clone(),
+        ) {
+            Ok((js, rec)) => {
+                recovered = rec;
+                Some(js)
+            }
+            Err(e) => {
+                eprintln!("rfdump: journaling disabled: {e}");
+                None
+            }
+        }
+    });
+    if let (Some(g), Some(r)) = (&governor, &recovered) {
+        g.restore_level(r.governor_level);
+    }
+    // Recovered per-port record streams seed the sinks (single-threaded) or
+    // the pooled per-port storage, exactly where the crashed run left them.
+    let mut seeded: Vec<Vec<PacketRecord>> = match recovered.as_mut() {
+        Some(r) => {
+            let mut v = std::mem::take(&mut r.per_port);
+            v.resize(ports.len(), Vec::new());
+            v
+        }
+        None => vec![Vec::new(); ports.len()],
+    };
+
     let detectors = build_detectors(cfg, set, fs);
     let timings = Arc::new(Mutex::new(
         detectors
@@ -1153,12 +1293,17 @@ fn run_rfdump(
         faults: cfg.faults.clone(),
         governor: governor.clone(),
         registry: registry.clone(),
+        journal: journal.clone(),
     }));
     fg.connect(src, 0, peak, 0);
     fg.connect(peak, 0, detect, 0);
 
     let mut outs = Vec::new();
-    let per_port = Arc::new(Mutex::new(vec![Vec::<PacketRecord>::new(); ports.len()]));
+    let per_port = Arc::new(Mutex::new(if pooled {
+        std::mem::take(&mut seeded)
+    } else {
+        Vec::new()
+    }));
     let pool_result = Arc::new(Mutex::new(None));
     let az_panics = Arc::new(AtomicU64::new(0));
     let az_quarantined = Arc::new(Mutex::new(Vec::new()));
@@ -1173,14 +1318,22 @@ fn run_rfdump(
             cfg.faults.clone(),
             governor.clone(),
         );
+        if let Some(r) = &recovered {
+            pool.restore_supervision(&r.strikes);
+        }
         let blk = fg.add(Box::new(PooledAnalyzeBlock {
             pool: Some(pool),
             per_port: per_port.clone(),
             result: pool_result.clone(),
+            journal: journal.clone(),
         }));
         fg.connect(detect, 0, blk, 0);
     } else {
-        for (i, az) in analyzers.into_iter().enumerate() {
+        for ((i, az), init) in analyzers.into_iter().enumerate().zip(seeded) {
+            let initial_strikes = recovered
+                .as_ref()
+                .and_then(|r| r.strikes.get(i).copied())
+                .unwrap_or(0);
             let blk = fg.add(Box::new(AnalyzerBlock::new(
                 az,
                 cfg.demodulate,
@@ -1189,16 +1342,27 @@ fn run_rfdump(
                 governor.clone(),
                 az_panics.clone(),
                 az_quarantined.clone(),
+                initial_strikes,
+                journal.as_ref().map(|j| (j.clone(), i)),
             )));
-            let sink = Box::new(VecSink::<PacketRecord>::new("sink:records"));
-            outs.push(sink.storage());
-            let k = fg.add(sink);
+            let storage = Arc::new(Mutex::new(init));
+            outs.push(storage.clone());
+            let k = fg.add(Box::new(RecordSinkBlock {
+                storage,
+                journal: journal.clone(),
+                port: i,
+            }));
             fg.connect(detect, i, blk, 0);
             fg.connect(blk, 0, k, 0);
         }
     }
 
     let mut stats = run_graph(&mut fg, cfg.threaded);
+    // Everything emitted is now merged and sunk: commit it, checkpoint, and
+    // make the journal durable before reporting.
+    if let Some(j) = &journal {
+        j.finalize_run();
+    }
     // Break out per-detector timings as pseudo-blocks. Their CPU was spent
     // inside the dispatch block's `work()` and is already counted there, so
     // move it out of that row rather than adding it twice — `total_cpu()`
@@ -1280,6 +1444,7 @@ fn run_rfdump(
         governor: governor.as_ref().map(|g| g.report()),
         panics,
         quarantined,
+        recovery: journal.as_ref().map(|j| j.report()),
     }
 }
 

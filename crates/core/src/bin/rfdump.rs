@@ -17,7 +17,7 @@
 //!              [--stats-json F] [--trace-out F]
 //! rfdump send --connect ADDR [--rate max|real-time] [--chunk N]
 //!             [--retries N] TRACE
-//! rfdump watch --connect ADDR [-q]
+//! rfdump watch --connect ADDR [-q] [--journal DIR]
 //!
 //!   -r FILE          trace file to read (required)
 //!   -a ARCH          rfdump | naive | naive-energy      (default rfdump)
@@ -38,6 +38,11 @@
 //!                    RFD_FAULTS environment variable)
 //!   --governor MODE  graceful degradation: auto (adaptive ladder) or a
 //!                    pinned shed level 0|1|2 (deterministic runs)
+//!   --journal DIR    crash-safe durability: journal emitted records and
+//!                    commit watermarks under DIR (rfdump architecture only)
+//!   --resume         recover from the journal in DIR: replay durable
+//!                    records, skip their re-analysis, and produce output
+//!                    byte-identical to an uninterrupted run
 //!
 //! `serve` shuts down cleanly on SIGINT or on end-of-file of a piped
 //! stdin: subscribers get a Bye, --stats-json / --trace-out are flushed,
@@ -53,6 +58,7 @@ use rfd_net::{
     ServerConfig, SubEvent, TraceSender,
 };
 use rfdump::arch::{default_workers, run_architecture, ArchConfig, ArchKind, DetectorSet};
+use rfdump::durability::DurabilityConfig;
 use rfdump::governor::GovernorConfig;
 use rfdump::live::LivePipeline;
 use rfdump::protocols::render_table2;
@@ -102,6 +108,8 @@ struct Options {
     trace_out: Option<String>,
     chaos: Option<Arc<FaultPlan>>,
     governor: Option<GovernorConfig>,
+    journal: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> ExitCode {
@@ -110,13 +118,15 @@ fn usage() -> ExitCode {
          \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--workers N]\n\
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
          \x20             [--chaos SPEC] [--governor auto|0|1|2]\n\
+         \x20             [--journal DIR] [--resume]\n\
          \x20      rfdump serve --listen ADDR [--once] [--queue-cap N]\n\
          \x20             [--overflow block|drop-oldest] [--sub-queue-cap N]\n\
          \x20             [--resume-grace SECS] [arch options] [-q]\n\
          \x20             [--stats-json FILE] [--trace-out FILE] [--chaos SPEC]\n\
+         \x20             [--journal DIR] [--resume]\n\
          \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N]\n\
          \x20             [--retries N] [--chaos SPEC] TRACE\n\
-         \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC]\n\
+         \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC] [--journal DIR]\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -138,6 +148,8 @@ fn parse_args() -> Result<Options, String> {
         trace_out: None,
         chaos: None,
         governor: None,
+        journal: None,
+        resume: false,
     };
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
@@ -186,6 +198,8 @@ fn parse_args() -> Result<Options, String> {
                     &args.next().ok_or("--governor needs a mode")?,
                 )?)
             }
+            "--journal" => opts.journal = Some(args.next().ok_or("--journal needs a directory")?),
+            "--resume" => opts.resume = true,
             "--protocols" => {
                 print!("{}", render_table2());
                 std::process::exit(0);
@@ -199,6 +213,12 @@ fn parse_args() -> Result<Options, String> {
         "naive-energy" => ArchKind::NaiveEnergy,
         other => return Err(format!("unknown architecture '{other}'")),
     };
+    if opts.resume && opts.journal.is_none() {
+        return Err("--resume needs --journal DIR".to_string());
+    }
+    if opts.journal.is_some() && !matches!(opts.arch, ArchKind::RfDump(_)) {
+        return Err("--journal requires the rfdump architecture".to_string());
+    }
     Ok(opts)
 }
 
@@ -242,7 +262,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         workers: default_workers(),
         faults: FaultPlan::ambient(),
         governor: None,
+        durability: None,
     };
+    let mut journal: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |what: &str| {
@@ -309,6 +332,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 net.faults = plan;
             }
             "--governor" => arch.governor = Some(parse_governor(next("a mode")?)?),
+            "--journal" => journal = Some(next("a directory")?.to_string()),
+            "--resume" => resume = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -318,6 +343,22 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         "naive-energy" => ArchKind::NaiveEnergy,
         other => return Err(format!("unknown architecture '{other}'")),
     };
+    if resume && journal.is_none() {
+        return Err("--resume needs --journal DIR".to_string());
+    }
+    if journal.is_some() && !matches!(arch.kind, ArchKind::RfDump(_)) {
+        return Err("--journal requires the rfdump architecture".to_string());
+    }
+    arch.durability = journal.map(|dir| DurabilityConfig {
+        dir: std::path::PathBuf::from(dir),
+        resume,
+    });
+    if resume {
+        // Don't let a seeded kill fault crash every resumed session.
+        if let Some(plan) = &arch.faults {
+            plan.disarm_kills();
+        }
+    }
     if net.faults.is_none() {
         net.faults = FaultPlan::ambient();
     }
@@ -445,7 +486,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         match &out {
             Some(out) => {
                 let doc = rfdump::stats::stats_json_with_net(out, Some(&stats));
-                if let Err(e) = std::fs::write(path, doc.to_json()) {
+                if let Err(e) =
+                    rfd_journal::atomic_write(std::path::Path::new(path), doc.to_json().as_bytes())
+                {
                     eprintln!("rfdump: cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -600,10 +643,32 @@ fn cmd_send(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `watch`'s subscriber: plain, or position-checkpointing (`--journal`).
+enum WatchSub {
+    Plain(ResilientSubscriber),
+    Journaled(rfd_net::JournaledSubscriber),
+}
+
+impl WatchSub {
+    fn next_event(&mut self) -> std::io::Result<SubEvent> {
+        match self {
+            WatchSub::Plain(s) => s.next_event(),
+            WatchSub::Journaled(s) => s.next_event(),
+        }
+    }
+    fn reconnects(&self) -> u64 {
+        match self {
+            WatchSub::Plain(s) => s.reconnects(),
+            WatchSub::Journaled(s) => s.reconnects(),
+        }
+    }
+}
+
 fn cmd_watch(args: &[String]) -> ExitCode {
     let mut connect = None;
     let mut quiet = false;
     let mut chaos = None;
+    let mut journal: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -625,6 +690,13 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                     return usage();
                 }
             },
+            "--journal" => match it.next() {
+                Some(dir) => journal = Some(dir.clone()),
+                None => {
+                    eprintln!("rfdump: --journal needs a directory");
+                    return usage();
+                }
+            },
             "-q" => quiet = true,
             other => {
                 eprintln!("rfdump: unknown argument '{other}'");
@@ -636,16 +708,34 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("rfdump: watch needs --connect ADDR");
         return usage();
     };
-    let mut sub = match ResilientSubscriber::connect(&connect) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("rfdump: cannot connect to {connect}: {e}");
-            return ExitCode::FAILURE;
+    let mut sub = match &journal {
+        // Durable watch: the subscription position is checkpointed under
+        // the journal directory, so a restarted `watch --journal DIR`
+        // resumes where the previous process durably left off.
+        Some(dir) => {
+            match rfd_net::JournaledSubscriber::connect(&connect[..], std::path::Path::new(dir)) {
+                Ok(s) => WatchSub::Journaled(s.with_faults(chaos.clone())),
+                Err(e) => {
+                    eprintln!("rfdump: cannot connect to {connect}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => match ResilientSubscriber::connect(&connect[..]) {
+            Ok(s) => {
+                let s = if chaos.is_some() {
+                    s.with_faults(chaos.clone())
+                } else {
+                    s
+                };
+                WatchSub::Plain(s)
+            }
+            Err(e) => {
+                eprintln!("rfdump: cannot connect to {connect}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
-    if chaos.is_some() {
-        sub = sub.with_faults(chaos);
-    }
     let mut records = 0u64;
     loop {
         match sub.next_event() {
@@ -724,8 +814,34 @@ fn main() -> ExitCode {
         workers: opts.workers,
         faults: opts.chaos.clone().or_else(FaultPlan::ambient),
         governor: opts.governor,
+        durability: opts.journal.as_ref().map(|dir| DurabilityConfig {
+            dir: std::path::PathBuf::from(dir),
+            resume: opts.resume,
+        }),
     };
+    if let Some(d) = cfg.durability.as_ref().filter(|d| d.resume) {
+        // A seeded kill fault already crashed the previous incarnation;
+        // firing it again on the redo pass would loop forever.
+        if let Some(plan) = &cfg.faults {
+            plan.disarm_kills();
+        }
+        let fp =
+            rfdump::durability::config_fingerprint(&cfg, samples.len() as u64, header.sample_rate);
+        if let Err(e) = rfdump::durability::preflight(d, &fp) {
+            eprintln!("rfdump: cannot resume: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let out = run_architecture(&cfg, &samples, header.sample_rate);
+
+    if let Some(r) = out.recovery.as_ref().filter(|r| r.resumed) {
+        eprintln!(
+            "rfdump: resumed from journal: {} entries replayed, {} record(s) recovered, resume latency {:.1} ms",
+            r.entries_replayed,
+            r.records_recovered,
+            r.resume_latency_us as f64 / 1e3,
+        );
+    }
 
     if !opts.quiet {
         for rec in &out.records {

@@ -62,6 +62,12 @@ pub struct Vote {
 /// A finalized classification: the peak plus everything the analyzers need.
 #[derive(Debug, Clone)]
 pub struct Dispatch {
+    /// Monotonic dispatch index, assigned by the [`Dispatcher`] in emission
+    /// order. Unclassified peaks never get one, so the sequence is dense over
+    /// the dispatches that actually reach analysis — which is what lets a
+    /// `--resume` run skip exactly the dispatches whose records the journal
+    /// already holds.
+    pub seq: u64,
     /// The peak and its samples.
     pub block: PeakBlock,
     /// Winning votes, one per protocol (the best vote for each protocol
@@ -138,6 +144,7 @@ pub struct Dispatcher {
     pending: std::collections::VecDeque<PendingPeak>,
     stats: DispatchStats,
     tel: Option<DispatchTelemetry>,
+    next_seq: u64,
 }
 
 impl Dispatcher {
@@ -148,6 +155,7 @@ impl Dispatcher {
             pending: Default::default(),
             stats: Default::default(),
             tel: None,
+            next_seq: 0,
         }
     }
 
@@ -248,7 +256,10 @@ impl Dispatcher {
         }
         let mut votes: Vec<Vote> = best.into_values().collect();
         votes.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let d = Dispatch {
+            seq,
             block: p.block,
             votes,
         };
@@ -315,6 +326,7 @@ pub struct AnalysisPool {
     totals: Arc<Mutex<Vec<AnalyzerTotals>>>,
     protocols: Vec<Protocol>,
     panics: Arc<AtomicU64>,
+    strikes: Arc<Vec<AtomicU64>>,
     quarantined: Arc<Vec<AtomicBool>>,
 }
 
@@ -424,6 +436,7 @@ impl AnalysisPool {
                                         }
                                         Some(Action::Slow(dur)) => std::thread::sleep(dur),
                                         Some(Action::Spin(dur)) => rfd_fault::spin_for(dur),
+                                        Some(Action::Kill) => std::process::abort(),
                                         _ => {}
                                     }
                                 }
@@ -487,6 +500,7 @@ impl AnalysisPool {
             totals,
             protocols,
             panics,
+            strikes,
             quarantined,
         }
     }
@@ -494,6 +508,35 @@ impl AnalysisPool {
     /// The analyzer protocol on each output port, in port order.
     pub fn protocols(&self) -> &[Protocol] {
         &self.protocols
+    }
+
+    /// How many submitted dispatches have been merged back out in order —
+    /// the pool's durable watermark. Everything below it has been emitted by
+    /// [`drain_ordered`](Self::drain_ordered), so once those records are
+    /// journaled the watermark is exactly what a checkpoint should record.
+    pub fn merged_seq(&self) -> u64 {
+        self.reorder.next_seq()
+    }
+
+    /// Current per-port panic strike counts, in port order (for checkpoints).
+    pub fn strike_counts(&self) -> Vec<u64> {
+        self.strikes
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Seeds the per-analyzer supervision state from a recovery checkpoint:
+    /// strike counts carry over and any analyzer at or past
+    /// [`QUARANTINE_STRIKES`] resumes quarantined. Extra entries (a checkpoint
+    /// from a run with more ports) are ignored.
+    pub fn restore_supervision(&self, strikes: &[u64]) {
+        for (port, &s) in strikes.iter().enumerate().take(self.strikes.len()) {
+            self.strikes[port].store(s, Ordering::Relaxed);
+            if s >= QUARANTINE_STRIKES {
+                self.quarantined[port].store(true, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Submits a finalized dispatch; blocks while the injector is full
@@ -737,6 +780,7 @@ mod tests {
 
     fn pool_dispatch(id: u64, protocol: Protocol) -> Dispatch {
         Dispatch {
+            seq: id,
             block: PeakBlock {
                 peak: Peak {
                     id,

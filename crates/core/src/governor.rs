@@ -65,6 +65,7 @@ impl Default for GovernorConfig {
 ///
 /// All state is atomic: the detection stage observes and the pool workers
 /// consult concurrently.
+#[derive(Debug)]
 pub struct LoadGovernor {
     cfg: GovernorConfig,
     t0: Instant,
@@ -98,6 +99,16 @@ impl LoadGovernor {
     /// Current shed level.
     pub fn level(&self) -> u8 {
         self.level.load(Ordering::Relaxed)
+    }
+
+    /// Seeds the shed level from a recovery checkpoint. A `--resume` run
+    /// restarts the governor where the crashed run left it rather than
+    /// re-climbing the ladder from 0. Ignored when `force_level` pins the
+    /// ladder (the pin wins — it is part of the determinism contract).
+    pub fn restore_level(&self, level: u8) {
+        if self.cfg.force_level.is_none() {
+            self.level.store(level.min(MAX_LEVEL), Ordering::Relaxed);
+        }
     }
 
     /// Feeds one progress observation: the pipeline has processed signal

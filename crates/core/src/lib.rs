@@ -36,6 +36,7 @@ pub mod arch;
 pub mod chunk;
 pub mod detect;
 pub mod dispatch;
+pub mod durability;
 pub mod eval;
 pub mod governor;
 pub mod live;

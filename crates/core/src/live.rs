@@ -105,6 +105,7 @@ mod tests {
             workers: 0,
             faults: None,
             governor: None,
+            durability: None,
         };
         let offline = run_architecture(&cfg, &samples, fs);
         let mut live = LivePipeline::new(cfg);

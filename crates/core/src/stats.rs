@@ -26,6 +26,10 @@
 //!   `supervision` (analyzer panics survived and quarantined analyzers —
 //!   always present, zero on a healthy run). The `pool` section gains
 //!   `panics` / `restarts` / `rescued` / `lost`.
+//! * **5** — adds `recovery` (crash-safe durability: whether the run
+//!   resumed from a journal, entries replayed, records recovered without
+//!   re-analysis, commits and checkpoints written, and the resume latency;
+//!   null when journaling was off).
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -37,7 +41,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 4;
+pub const STATS_VERSION: u64 = 5;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -261,6 +265,34 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
         ]),
     );
 
+    // Durability/recovery report (null when journaling was off).
+    match &out.recovery {
+        None => doc.push("recovery", JsonValue::Null),
+        Some(r) => doc.push(
+            "recovery",
+            JsonValue::obj(vec![
+                ("resumed", JsonValue::Bool(r.resumed)),
+                (
+                    "entries_replayed",
+                    JsonValue::num(r.entries_replayed as f64),
+                ),
+                (
+                    "records_recovered",
+                    JsonValue::num(r.records_recovered as f64),
+                ),
+                ("commits_written", JsonValue::num(r.commits_written as f64)),
+                (
+                    "checkpoints_written",
+                    JsonValue::num(r.checkpoints_written as f64),
+                ),
+                (
+                    "resume_latency_us",
+                    JsonValue::num(r.resume_latency_us as f64),
+                ),
+            ]),
+        ),
+    }
+
     // The full registry: counters, gauges, histograms.
     let snap = out
         .registry
@@ -275,9 +307,10 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
     doc
 }
 
-/// Writes the stats document to `path`.
+/// Writes the stats document to `path` atomically (temp file + rename), so
+/// a crash mid-write never leaves a truncated document behind.
 pub fn write_stats_json(out: &ArchOutput, path: &Path) -> io::Result<()> {
-    std::fs::write(path, stats_json(out).to_json())
+    rfd_journal::atomic_write(path, stats_json(out).to_json().as_bytes())
 }
 
 /// Writes the run's span trace as chrome://tracing JSON to `path`.
@@ -289,7 +322,7 @@ pub fn write_chrome_trace(out: &ArchOutput, path: &Path) -> io::Result<()> {
             "run had no telemetry (ArchConfig::telemetry was false)",
         )
     })?;
-    std::fs::write(path, reg.tracer().to_chrome_json())
+    rfd_journal::atomic_write(path, reg.tracer().to_chrome_json().as_bytes())
 }
 
 #[cfg(test)]
@@ -338,6 +371,7 @@ mod tests {
             governor: None,
             panics: 0,
             quarantined: Vec::new(),
+            recovery: None,
         }
     }
 

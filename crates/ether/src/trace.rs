@@ -105,7 +105,9 @@ pub fn decode_header(data: &[u8; HEADER_LEN]) -> io::Result<TraceHeader> {
     }
     let version = cur.get_u32_le();
     if version != VERSION {
-        return Err(bad(&format!("unsupported version {version}")));
+        return Err(bad(&format!(
+            "unsupported version {version} (this build reads version {VERSION})"
+        )));
     }
     let sample_rate = cur.get_f64_le();
     let center_hz = cur.get_f64_le();
@@ -272,12 +274,23 @@ impl ChunkedTraceReader {
     }
 
     /// Repositions the reader so the next chunk starts at absolute sample
-    /// index `n` (clamped to the trace length). This is what a resuming
-    /// network sender uses to continue from the server's last acknowledged
-    /// sample after a reconnect.
+    /// index `n`. This is what a resuming network sender uses to continue
+    /// from the server's last acknowledged sample after a reconnect, and
+    /// what `--resume` uses to skip already-checkpointed input. Seeking to
+    /// exactly `n_samples` positions at end-of-trace; anything beyond is an
+    /// `InvalidInput` error (a silent clamp would hide a corrupt resume
+    /// offset as an empty read).
     pub fn seek_to_sample(&mut self, n: u64) -> io::Result<()> {
         use std::io::Seek;
-        let n = n.min(self.header.n_samples);
+        if n > self.header.n_samples {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "seek to sample {n} past end of trace ({} samples)",
+                    self.header.n_samples
+                ),
+            ));
+        }
         let byte = HEADER_LEN as u64 + n * 4;
         self.file.seek(io::SeekFrom::Start(byte))?;
         self.remaining = self.header.n_samples - n;
@@ -406,10 +419,13 @@ mod tests {
         assert_eq!(r.next_chunk(100).unwrap().unwrap().len(), 1);
         assert_eq!(r.next_chunk(100).unwrap(), None);
 
-        // Past the end clamps to "fully consumed".
-        r.seek_to_sample(10_000).unwrap();
+        // Exactly the end is a valid (empty) position; past it is an error,
+        // not a silent clamp.
+        r.seek_to_sample(500).unwrap();
         assert_eq!(r.remaining(), 0);
         assert_eq!(r.next_chunk(100).unwrap(), None);
+        let err = r.seek_to_sample(10_000).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,7 +19,7 @@
 //! spec    := term (';' term)*
 //! term    := 'seed=' u64
 //!          | kind '=' target [when] [cap] [arg]
-//! kind    := panic | slow | io | corrupt | truncate | disconnect | cpu
+//! kind    := panic | slow | io | corrupt | truncate | disconnect | cpu | kill
 //! target  := substring matched against the site name, or '*' for any site
 //! when    := '@' probability        fire with this probability per call
 //!          | '#' k                  fire on exactly the k-th matching call
@@ -50,7 +50,7 @@
 
 pub mod signal;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -119,6 +119,12 @@ pub enum Action {
     Disconnect,
     /// Busy-spin for the given duration (CPU pressure without blocking).
     Spin(Duration),
+    /// Abort the whole process at this site (`std::process::abort`), as a
+    /// seeded stand-in for SIGKILL/power loss. Sites honour it directly;
+    /// crash-recovery tests use it to die at reproducible pipeline offsets.
+    /// Suppressed plan-wide after [`FaultPlan::disarm_kills`] so a `--resume`
+    /// run does not crash-loop on the same rule.
+    Kill,
 }
 
 /// The kind keyword in the spec. Separate from [`Action`] because the
@@ -132,6 +138,7 @@ enum Kind {
     Truncate,
     Disconnect,
     Cpu,
+    Kill,
 }
 
 impl Kind {
@@ -144,6 +151,7 @@ impl Kind {
             "truncate" => Kind::Truncate,
             "disconnect" => Kind::Disconnect,
             "cpu" => Kind::Cpu,
+            "kill" => Kind::Kill,
             _ => return None,
         })
     }
@@ -157,6 +165,7 @@ impl Kind {
             Kind::Truncate => "truncate",
             Kind::Disconnect => "disconnect",
             Kind::Cpu => "cpu",
+            Kind::Kill => "kill",
         }
     }
 }
@@ -198,6 +207,7 @@ impl Rule {
             Kind::Truncate => Action::Truncate,
             Kind::Disconnect => Action::Disconnect,
             Kind::Cpu => Action::Spin(self.arg),
+            Kind::Kill => Action::Kill,
         }
     }
 }
@@ -218,6 +228,7 @@ pub struct FaultPlan {
     spec: String,
     seed: u64,
     rules: Vec<Rule>,
+    kills_disarmed: AtomicBool,
 }
 
 impl std::fmt::Debug for Rule {
@@ -289,7 +300,16 @@ impl FaultPlan {
             spec: spec.to_string(),
             seed,
             rules,
+            kills_disarmed: AtomicBool::new(false),
         })
+    }
+
+    /// Suppress every `kill` rule from now on. A `--resume` run disarms kills
+    /// before re-processing so the rule that crashed the previous run cannot
+    /// crash-loop the recovery. Rule counters still advance (the firing
+    /// schedule stays seed-deterministic); only the action is withheld.
+    pub fn disarm_kills(&self) {
+        self.kills_disarmed.store(true, Ordering::Relaxed);
     }
 
     /// The seed in effect (0 unless the spec set one).
@@ -337,7 +357,10 @@ impl FaultPlan {
                 }
             }
         }
-        hit
+        match hit {
+            Some(Action::Kill) if self.kills_disarmed.load(Ordering::Relaxed) => None,
+            other => other,
+        }
     }
 
     /// Snapshot of the plan's counters for reporting.
@@ -572,6 +595,25 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should not parse");
         }
+    }
+
+    #[test]
+    fn kill_rules_parse_fire_once_and_disarm() {
+        let p = FaultPlan::parse("kill=detect#2").unwrap();
+        assert_eq!(p.decide("detect"), None);
+        assert_eq!(p.decide("detect"), Some(Action::Kill));
+        assert_eq!(p.decide("detect"), None, "#2 fires exactly once");
+
+        let p = FaultPlan::parse("kill=journal#1").unwrap();
+        p.disarm_kills();
+        assert_eq!(
+            p.decide("journal.commit"),
+            None,
+            "disarmed kills are withheld"
+        );
+        let snap = p.snapshot();
+        assert_eq!(snap.rules[0].kind, "kill");
+        assert_eq!(snap.rules[0].calls, 1, "counters advance while disarmed");
     }
 
     #[test]

@@ -456,7 +456,11 @@ impl<T> Reorderer<T> {
         self.pending.len()
     }
 
-    /// The sequence number the next emitted value will carry.
+    /// The sequence number the next emitted value will carry. This doubles
+    /// as the pool's durable watermark: every sequence number below it has
+    /// been handed out of [`pop_ready`](Self::pop_ready) (or released as
+    /// lost), so a checkpoint that records it can safely skip that prefix on
+    /// resume.
     pub fn next_seq(&self) -> u64 {
         self.next
     }

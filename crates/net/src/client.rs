@@ -641,6 +641,7 @@ impl ResilientSender {
             }
             Some(Action::Slow(d)) => std::thread::sleep(d),
             Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+            Some(Action::Kill) => std::process::abort(),
             None => {}
         }
         report.throttles += tx.poll_throttles()?;
@@ -817,6 +818,23 @@ impl ResilientSubscriber {
         })
     }
 
+    /// Connects resuming from absolute stream position `pos` (`u64::MAX`
+    /// means live-only), with default retries and the ambient fault plan.
+    pub fn connect_from(addr: impl Into<String>, pos: u64) -> io::Result<Self> {
+        let addr = addr.into();
+        let inner = RecordSubscriber::connect_from(&addr[..], pos)?;
+        let pos = inner.position();
+        Ok(Self {
+            addr,
+            inner: Some(inner),
+            pos,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::ambient(),
+            attempt: 0,
+            reconnects: 0,
+        })
+    }
+
     /// Overrides the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
@@ -832,6 +850,11 @@ impl ResilientSubscriber {
     /// Reconnects performed so far.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Absolute stream position of the next expected message.
+    pub fn position(&self) -> u64 {
+        self.pos
     }
 
     /// Blocks for the next event, reconnecting and resuming on failure.
@@ -891,6 +914,74 @@ impl ResilientSubscriber {
                 }
             }
         }
+    }
+}
+
+/// Checkpoint file a [`JournaledSubscriber`] keeps in its journal directory.
+pub const SUBSCRIBER_CHECKPOINT: &str = "subscriber.rfdc";
+
+/// A subscriber whose stream position survives process restarts: the last
+/// durably *processed* position is persisted as an atomic checkpoint, and a
+/// fresh process resumes the subscription from it — so across crashes each
+/// stream message is delivered exactly once to a caller that checkpoints
+/// between events (the position covering an event is written when the
+/// caller comes back for the next one, i.e. after it finished processing).
+pub struct JournaledSubscriber {
+    inner: ResilientSubscriber,
+    checkpoint: std::path::PathBuf,
+    saved: u64,
+}
+
+impl JournaledSubscriber {
+    /// Connects, resuming from the checkpoint under `dir` when one exists
+    /// (live-only otherwise). Creates `dir` if missing.
+    pub fn connect(addr: impl Into<String>, dir: &std::path::Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let checkpoint = dir.join(SUBSCRIBER_CHECKPOINT);
+        let saved = match rfd_journal::read_checkpoint(&checkpoint)? {
+            Some(payload) => {
+                let mut pos = 0;
+                rfd_journal::get_u64(&payload, &mut pos).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad subscriber checkpoint")
+                })?
+            }
+            None => u64::MAX,
+        };
+        let inner = if saved == u64::MAX {
+            ResilientSubscriber::connect(addr)?
+        } else {
+            ResilientSubscriber::connect_from(addr, saved)?
+        };
+        Ok(Self {
+            inner,
+            checkpoint,
+            saved,
+        })
+    }
+
+    /// Overrides the fault plan (chaos testing).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.inner = self.inner.with_faults(faults);
+        self
+    }
+
+    /// Reconnects performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects()
+    }
+
+    /// Blocks for the next event. Before fetching, the position covering
+    /// every previously returned event is checkpointed — returning from
+    /// this call acknowledges everything before it.
+    pub fn next_event(&mut self) -> io::Result<SubEvent> {
+        let pos = self.inner.position();
+        if pos != self.saved && pos != u64::MAX {
+            let mut payload = Vec::with_capacity(8);
+            rfd_journal::put_u64(&mut payload, pos);
+            rfd_journal::write_checkpoint(&self.checkpoint, &payload)?;
+            self.saved = pos;
+        }
+        self.inner.next_event()
     }
 }
 

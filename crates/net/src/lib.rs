@@ -34,8 +34,8 @@ pub mod queue;
 pub mod server;
 
 pub use client::{
-    RecordSubscriber, ResilientSender, ResilientSubscriber, RetryPolicy, SendRate, SendReport,
-    SubEvent, TraceSender,
+    JournaledSubscriber, RecordSubscriber, ResilientSender, ResilientSubscriber, RetryPolicy,
+    SendRate, SendReport, SubEvent, TraceSender,
 };
 pub use frame::{Frame, FrameDecoder, FrameError, RecordMsg, Role, StreamMeta};
 pub use hub::{HubMsg, RecordHub, Subscription};

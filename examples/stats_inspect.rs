@@ -186,6 +186,37 @@ fn main() {
         }
     }
 
+    // Version-5 section: durability / crash recovery.
+    match doc.get("recovery") {
+        Some(JsonValue::Null) | None => {}
+        Some(r) => {
+            let resumed = matches!(r.get("resumed"), Some(JsonValue::Bool(true)));
+            println!(
+                "\nrecovery: {}; {} journal entr{} replayed, {} record(s) recovered",
+                if resumed {
+                    format!(
+                        "resumed from journal in {:.1} ms",
+                        num(r, "resume_latency_us") / 1e3
+                    )
+                } else {
+                    "journaled (fresh run)".to_string()
+                },
+                num(r, "entries_replayed"),
+                if num(r, "entries_replayed") == 1.0 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                num(r, "records_recovered"),
+            );
+            println!(
+                "  {} commit(s) and {} checkpoint(s) written this run",
+                num(r, "commits_written"),
+                num(r, "checkpoints_written"),
+            );
+        }
+    }
+
     if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
         println!("\nlatency / confidence distributions:");
         for (name, h) in hists {

@@ -133,7 +133,9 @@ fn check_golden(name: &str) {
     got.push('\n');
 
     if regen() {
-        std::fs::write(&expected_path, &got).unwrap();
+        // Atomic replace: a Ctrl-C mid-regen must not leave a half-written
+        // golden that silently passes (or fails) future comparisons.
+        rfd_journal::atomic_write(&expected_path, got.as_bytes()).unwrap();
         return;
     }
     let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {

@@ -1,0 +1,178 @@
+//! Fuzz tests for the `rfd-journal` decoder: recovery must never panic and
+//! must never replay corrupt data, whatever a crash (or bit rot) leaves on
+//! disk. Mirrors the adversarial style of `net_robustness.rs`.
+
+use rfd_integration::{random_bytes, seeded_cases};
+use rfd_journal::{
+    read_checkpoint, recover, write_checkpoint, Entry, JournalWriter, ENTRY_HEADER_LEN,
+    SEGMENT_HEADER_LEN,
+};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rfd-journal-fuzz-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Writes a reference journal of `n` entries and returns them.
+fn write_reference(dir: &Path, n: usize) -> Vec<Entry> {
+    let mut w = JournalWriter::create(dir).unwrap();
+    let mut entries = Vec::new();
+    for i in 0..n {
+        let payload = vec![i as u8; 1 + (i * 7) % 64];
+        let kind = 1 + (i % 3) as u16;
+        let seq = w.append(kind, &payload).unwrap();
+        entries.push(Entry { kind, seq, payload });
+    }
+    w.sync().unwrap();
+    entries
+}
+
+/// The recovered entries must be an exact prefix of what was written: a
+/// decoder that invents, reorders, or mutates entries fails here.
+fn assert_prefix(recovered: &[Entry], reference: &[Entry]) {
+    assert!(
+        recovered.len() <= reference.len(),
+        "recovered {} entries from a journal of {}",
+        recovered.len(),
+        reference.len()
+    );
+    for (got, want) in recovered.iter().zip(reference) {
+        assert_eq!(got.kind, want.kind);
+        assert_eq!(got.seq, want.seq);
+        assert_eq!(got.payload, want.payload);
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_recovers_a_prefix() {
+    let dir = temp_dir("truncate");
+    let reference = write_reference(&dir, 40);
+    let seg = dir.join("seg-000000.rfdj");
+    let full = std::fs::read(&seg).unwrap();
+    // Every truncation point (byte granularity for the first few entries,
+    // then strided to keep the test fast) must yield a clean prefix.
+    let mut cut = 0;
+    while cut <= full.len() {
+        std::fs::write(&seg, &full[..cut]).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_prefix(&rec.entries, &reference);
+        cut += if cut < 200 { 1 } else { 131 };
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn random_bit_flips_never_panic_and_never_replay_corrupt_entries() {
+    let dir = temp_dir("bitflip");
+    let reference = write_reference(&dir, 30);
+    let seg = dir.join("seg-000000.rfdj");
+    let full = std::fs::read(&seg).unwrap();
+    seeded_cases(0xB17_F11B, 200, |rng| {
+        let mut bytes = full.clone();
+        let flips = 1 + rng.next_range(4) as usize;
+        for _ in 0..flips {
+            let pos = rng.next_range(bytes.len() as u64) as usize;
+            bytes[pos] ^= 1 << rng.next_range(8);
+        }
+        std::fs::write(&seg, &bytes).unwrap();
+        let rec = recover(&dir).unwrap();
+        // CRC framing means a flipped entry (or header) ends the valid
+        // prefix; everything recovered must match the original bytes.
+        assert_prefix(&rec.entries, &reference);
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn random_garbage_segments_never_panic() {
+    let dir = temp_dir("garbage");
+    seeded_cases(0x6A2_BA6E, 200, |rng| {
+        let bytes = random_bytes(rng, 0, 4096);
+        std::fs::write(dir.join("seg-000000.rfdj"), &bytes).unwrap();
+        // Whatever the bytes, recovery returns cleanly.
+        let rec = recover(&dir).unwrap();
+        assert!(rec.entries.len() <= bytes.len() / ENTRY_HEADER_LEN.max(1));
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_final_entry_is_dropped_entries_before_it_survive() {
+    let dir = temp_dir("torn");
+    let mut w = JournalWriter::create(&dir).unwrap();
+    for i in 0..10u8 {
+        w.append(2, &[i; 16]).unwrap();
+    }
+    // A half-written entry: exactly what a kill mid-append leaves behind.
+    w.append_torn(3, &[0xEE; 32]).unwrap();
+    w.sync().unwrap();
+    drop(w);
+    let rec = recover(&dir).unwrap();
+    assert_eq!(rec.entries.len(), 10);
+    assert!(rec.truncated, "torn tail must be reported");
+    for (i, e) in rec.entries.iter().enumerate() {
+        assert_eq!(e.payload, vec![i as u8; 16]);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_and_single_entry_journals_round_trip() {
+    let dir = temp_dir("tiny");
+    // Empty: just a segment header.
+    let w = JournalWriter::create(&dir).unwrap();
+    drop(w);
+    let rec = recover(&dir).unwrap();
+    assert!(rec.entries.is_empty());
+    assert!(!rec.truncated);
+    // Single entry.
+    let mut w = JournalWriter::create(&dir).unwrap();
+    w.append(7, b"lonely").unwrap();
+    w.sync().unwrap();
+    drop(w);
+    let rec = recover(&dir).unwrap();
+    assert_eq!(rec.entries.len(), 1);
+    assert_eq!(rec.entries[0].payload, b"lonely");
+    // A header-only truncation below SEGMENT_HEADER_LEN is still clean.
+    let seg = dir.join("seg-000000.rfdj");
+    let full = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &full[..SEGMENT_HEADER_LEN - 3]).unwrap();
+    assert!(recover(&dir).unwrap().entries.is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_corruption_reads_as_absent_never_as_garbage() {
+    let dir = temp_dir("ckpt");
+    let path = dir.join("checkpoint.rfdc");
+    let payload = b"state-of-the-run".to_vec();
+    write_checkpoint(&path, &payload).unwrap();
+    assert_eq!(read_checkpoint(&path).unwrap(), Some(payload.clone()));
+    let full = std::fs::read(&path).unwrap();
+    seeded_cases(0xC4EC_4001, 200, |rng| {
+        let mut bytes = full.clone();
+        match rng.next_range(3) {
+            0 => {
+                let cut = rng.next_range(bytes.len() as u64) as usize;
+                bytes.truncate(cut);
+            }
+            1 => {
+                let pos = rng.next_range(bytes.len() as u64) as usize;
+                bytes[pos] ^= 1 << rng.next_range(8);
+            }
+            _ => bytes = random_bytes(rng, 0, 256),
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        // Either the original payload survives verbatim (flip in slack or
+        // an identity flip is impossible — CRC covers payload and length),
+        // or the checkpoint reads as absent. Corrupt-but-accepted is the
+        // one outcome that must never happen.
+        if let Some(p) = read_checkpoint(&path).unwrap() {
+            assert_eq!(p, payload, "checkpoint CRC accepted corrupt data");
+        }
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}
