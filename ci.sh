@@ -12,6 +12,10 @@
 #      RFD_FAULTS plan, a serve/send loopback with injected producer
 #      disconnects diffed against offline output, and a SIGINT shutdown
 #      that must flush --stats-json and exit 0.
+#   5. observability smokes: the record stream must be byte-identical
+#      with and without a --metrics-addr endpoint attached, and a live
+#      serve endpoint must answer /metrics with parseable Prometheus
+#      0.0.4 text carrying the expected metric families.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,6 +59,18 @@ if ! diff -u "$work/records-w0.txt" "$work/records-w4.txt"; then
     exit 1
 fi
 
+echo "== observability: records byte-identical with a live metrics endpoint =="
+# Attaching a scrape endpoint (and the ingest stamping it turns on) must
+# never perturb the record stream, sequential or pooled.
+for w in 0 4; do
+    ./target/release/rfdump -r "$trace" --workers "$w" \
+        --metrics-addr 127.0.0.1:0 > "$work/records-obs-w$w.txt" 2>/dev/null
+    if ! diff -u "$work/records-w0.txt" "$work/records-obs-w$w.txt"; then
+        echo "record stream changed under --metrics-addr (workers $w)"
+        exit 1
+    fi
+done
+
 echo "== smoke: crash + --resume recovers a byte-identical stream =="
 # A journaled run is killed mid-flight by an injected abort; the --resume
 # run must replay the journal and print exactly the uninterrupted stream.
@@ -77,9 +93,12 @@ done
 grep -q "resumed from journal" "$work/resume-log.txt" \
     || { echo "resume did not report recovery"; exit 1; }
 # The v5 stats document carries a recovery section; the inspector must
-# accept and render it.
+# accept and render it. (Render to a file: `| grep -q` would close the
+# pipe at the first match and break the inspector's remaining output.)
 cargo run --release -q -p rfd-examples --bin stats_inspect "$work/resume-stats.json" \
-    | grep -q "recovery:" || { echo "stats_inspect did not render recovery"; exit 1; }
+    > "$work/resume-inspect.txt"
+grep -q "recovery:" "$work/resume-inspect.txt" \
+    || { echo "stats_inspect did not render recovery"; exit 1; }
 
 echo "== smoke: localhost serve/send loopback =="
 # A once-mode server replays the same trace over TCP; its record stream
@@ -185,5 +204,53 @@ if [ "$rc" != 0 ]; then
 fi
 [ -s "$work/serve-stats.json" ] || { echo "stats json not flushed on SIGINT"; exit 1; }
 cargo run --release -q -p rfd-examples --bin stats_inspect "$work/serve-stats.json" >/dev/null
+
+echo "== observability smoke: live /metrics scrape off a serving endpoint =="
+# A server with --metrics-addr ingests one session; the endpoint must then
+# answer /metrics with strictly parseable 0.0.4 text (scrape_check runs the
+# in-repo validator) carrying the volume counters, the event-log counters
+# and the per-stage latency waterfall. rfdump top must render it too.
+port=17102
+./target/release/rfdump serve --listen "127.0.0.1:$port" --workers 0 -q \
+    --metrics-addr 127.0.0.1:0 \
+    > /dev/null 2> "$work/serve-obs-log.txt" < /dev/null &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+    if grep -q "serving on" "$work/serve-obs-log.txt" 2>/dev/null \
+        && grep -q "metrics on" "$work/serve-obs-log.txt" 2>/dev/null; then up=1; break; fi
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    cat "$work/serve-obs-log.txt" >&2 || true
+    echo "metrics-smoke server never came up on port $port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+mport="$(sed -n 's/^rfdump: metrics on //p' "$work/serve-obs-log.txt" | head -n1)"
+[ -n "$mport" ] || { echo "could not discover metrics address"; kill "$serve_pid"; exit 1; }
+./target/release/rfdump send --connect "127.0.0.1:$port" --rate max "$trace"
+sleep 1
+cargo run --release -q -p rfd-examples --bin scrape_check -- "$mport" > "$work/scrape.txt" \
+    || { echo "scrape failed or payload not parseable"; kill "$serve_pid"; exit 1; }
+for family in rfd_net_samples_in rfd_net_records_published rfd_events_emitted \
+    rfd_peaks_detected rfd_latency_detect_us rfd_latency_analyze_us \
+    rfd_latency_e2e_us rfd_latency_net_fanout_us; do
+    grep -q "^# TYPE $family " "$work/scrape.txt" \
+        || { echo "metric family $family missing from scrape"; kill "$serve_pid"; exit 1; }
+done
+./target/release/rfdump top --connect "$mport" --once > "$work/top.txt" \
+    || { echo "rfdump top --once failed"; kill "$serve_pid"; exit 1; }
+grep -q "stage latency" "$work/top.txt" \
+    || { echo "rfdump top did not render the latency table"; kill "$serve_pid"; exit 1; }
+kill -INT "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" != 0 ]; then
+    cat "$work/serve-obs-log.txt" >&2 || true
+    echo "metrics-smoke serve exited with $rc after SIGINT (want 0)"
+    exit 1
+fi
 
 echo "ci: all checks passed"

@@ -37,6 +37,7 @@ use rfd_flowgraph::sync::Mutex;
 use rfd_flowgraph::{Block, Flowgraph, Payload, RunStats, WorkStatus};
 use rfd_phy::bluetooth::demod::PiconetId;
 use rfd_phy::Protocol;
+use rfd_telemetry::event::EventKind;
 use rfd_telemetry::{Counter, Histogram, Registry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -217,8 +218,25 @@ fn run_graph(fg: &mut Flowgraph, threaded: bool) -> RunStats {
 
 /// Runs an architecture over a trace.
 pub fn run_architecture(cfg: &ArchConfig, samples: &[Complex32], fs: f64) -> ArchOutput {
+    run_architecture_with_registry(cfg, samples, fs, None)
+}
+
+/// Like [`run_architecture`], but accumulating telemetry into `shared`
+/// when provided (and [`ArchConfig::telemetry`] is on) instead of a fresh
+/// per-run registry. This is how `rfdump serve --metrics-addr` exposes one
+/// long-lived registry across every capture session: the scrape endpoint
+/// holds the same `Arc`, so counters and stage-latency histograms keep
+/// accumulating while sessions come and go.
+pub fn run_architecture_with_registry(
+    cfg: &ArchConfig,
+    samples: &[Complex32],
+    fs: f64,
+    shared: Option<Arc<Registry>>,
+) -> ArchOutput {
     let trace_seconds = samples.len() as f64 / fs;
-    let registry = cfg.telemetry.then(|| Arc::new(Registry::new()));
+    let registry = cfg
+        .telemetry
+        .then(|| shared.unwrap_or_else(|| Arc::new(Registry::new())));
     if let Some(reg) = &registry {
         reg.counter("trace.samples").add(samples.len() as u64);
     }
@@ -240,6 +258,9 @@ pub fn run_architecture(cfg: &ArchConfig, samples: &[Complex32], fs: f64) -> Arc
 /// Emits pre-chunked samples.
 struct ChunkSource {
     chunks: std::vec::IntoIter<SampleChunk>,
+    /// Stamp each chunk's ingest time on emission (telemetry runs only, so
+    /// telemetry-off runs pay zero clock reads on the hot path).
+    stamp: bool,
 }
 
 impl Block for ChunkSource {
@@ -252,7 +273,12 @@ impl Block for ChunkSource {
     fn work(&mut self, _i: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
         for _ in 0..64 {
             match self.chunks.next() {
-                Some(c) => outputs[0].push(Box::new(c)),
+                Some(mut c) => {
+                    if self.stamp {
+                        c.ingest = Some(Instant::now());
+                    }
+                    outputs[0].push(Box::new(c));
+                }
                 None => return WorkStatus::Done,
             }
         }
@@ -266,6 +292,8 @@ struct PeakDetectBlock {
     det: PeakDetector,
     /// `peaks.detected` counter when telemetry is on.
     peak_counter: Option<Arc<Counter>>,
+    /// `latency.detect_us` stage histogram when telemetry is on.
+    detect_hist: Option<Arc<Histogram>>,
 }
 
 impl PeakDetectBlock {
@@ -279,6 +307,9 @@ impl PeakDetectBlock {
                 fs,
             ),
             peak_counter: registry.as_ref().map(|r| r.counter("peaks.detected")),
+            detect_hist: registry
+                .as_ref()
+                .map(|r| crate::latency::stage_histogram(r, crate::latency::DETECT)),
         }
     }
 
@@ -287,6 +318,9 @@ impl PeakDetectBlock {
             c.add(peaks.len() as u64);
         }
         for pk in peaks {
+            if let Some(h) = &self.detect_hist {
+                crate::latency::record_since(h, pk.ingest);
+            }
             outputs[0].push(Box::new(pk));
         }
     }
@@ -495,6 +529,7 @@ fn run_naive(
     }
     let src = fg.add(Box::new(ChunkSource {
         chunks: chunks.into_iter(),
+        stamp: registry.is_some(),
     }));
     let tee = fg.add(Box::new(ChunkTee {
         n: 1 + bt_channels.len(),
@@ -638,6 +673,7 @@ fn run_naive_energy(
     }
     let src = fg.add(Box::new(ChunkSource {
         chunks: chunks.into_iter(),
+        stamp: registry.is_some(),
     }));
     let peak = fg.add(Box::new(PeakDetectBlock::new(cfg, registry, fs)));
     let channels: Vec<u8> = (0..rfd_phy::bluetooth::NUM_CHANNELS)
@@ -713,6 +749,8 @@ struct DetectDispatchBlock {
     governor: Option<Arc<LoadGovernor>>,
     /// For governor transition spans/counters.
     registry: Option<Arc<Registry>>,
+    /// `latency.dispatch_us` stage histogram when telemetry is on.
+    dispatch_hist: Option<Arc<Histogram>>,
     /// Durability: this block notes every emitted dispatch sequence (the
     /// candidate commit watermark), skips forwarding dispatches the journal
     /// already holds records for, and — on the single-threaded sweep
@@ -744,6 +782,9 @@ impl DetectDispatchBlock {
                     // above still ran so `classified` stays identical.
                     continue;
                 }
+            }
+            if let Some(h) = &self.dispatch_hist {
+                crate::latency::record_since(h, d.block.ingest);
             }
             if self.fan_out {
                 for (port, proto) in self.ports.iter().enumerate() {
@@ -802,6 +843,20 @@ impl Block for DetectDispatchBlock {
                             Instant::now(),
                             Duration::ZERO,
                         );
+                        let names = crate::governor::LEVEL_NAMES;
+                        let detail = format!(
+                            "{} -> {}",
+                            names.get(from as usize).copied().unwrap_or("?"),
+                            names.get(to as usize).copied().unwrap_or("?"),
+                        );
+                        reg.emit_event(
+                            if to > from {
+                                EventKind::GovernorShed
+                            } else {
+                                EventKind::GovernorRestore
+                            },
+                            detail,
+                        );
                     }
                 }
             }
@@ -855,6 +910,15 @@ impl Block for DetectDispatchBlock {
     }
 }
 
+/// A record plus its dispatch's ingest stamp, passed from [`AnalyzerBlock`]
+/// to [`RecordSinkBlock`] on the single-threaded graph. The stamp rides in
+/// the payload — never inside [`PacketRecord`] — so serialized records and
+/// record equality stay byte-identical with and without telemetry.
+struct StampedRecord {
+    rec: PacketRecord,
+    ingest: Option<Instant>,
+}
+
 /// Wraps an [`Analyzer`] as a flowgraph block, with the same supervision
 /// the pooled path applies: every `analyze` call runs under `catch_unwind`,
 /// and after [`QUARANTINE_STRIKES`] panics the analyzer is quarantined
@@ -866,6 +930,8 @@ struct AnalyzerBlock {
     registry: Option<Arc<Registry>>,
     /// `analyze.<protocol>.latency_us` (exponential buckets, µs).
     latency: Option<Arc<Histogram>>,
+    /// `latency.analyze_us` stage histogram (time since ingest).
+    stage_analyze: Option<Arc<Histogram>>,
     /// Chaos injection site (the analyzer's own name).
     faults: Option<Arc<FaultPlan>>,
     /// Demodulation gate for the degradation ladder.
@@ -899,6 +965,9 @@ impl AnalyzerBlock {
                 || Histogram::exponential(1.0, 1e6, 24),
             )
         });
+        let stage_analyze = registry
+            .as_ref()
+            .map(|r| crate::latency::stage_histogram(r, crate::latency::ANALYZE));
         // Resumed supervision: an analyzer quarantined before the crash
         // stays quarantined — a crash must not reset the strike ledger.
         let quarantined = initial_strikes >= QUARANTINE_STRIKES;
@@ -910,6 +979,7 @@ impl AnalyzerBlock {
             demodulate,
             registry: registry.clone(),
             latency,
+            stage_analyze,
             faults,
             governor,
             strikes: initial_strikes,
@@ -986,6 +1056,14 @@ impl Block for AnalyzerBlock {
                                 .inc();
                                 reg.tracer()
                                     .record(self.analyzer.name(), "quarantine", t0, dur);
+                                reg.emit_event(
+                                    EventKind::Quarantine,
+                                    format!(
+                                        "{} after {} panics",
+                                        self.analyzer.name(),
+                                        self.strikes
+                                    ),
+                                );
                             }
                         }
                         continue;
@@ -998,16 +1076,22 @@ impl Block for AnalyzerBlock {
                 if let Some(h) = &self.latency {
                     h.record(dur.as_secs_f64() * 1e6);
                 }
+                if let Some(h) = &self.stage_analyze {
+                    crate::latency::record_since(h, d.block.ingest);
+                }
                 for rec in recs {
-                    outputs[0].push(Box::new(rec));
+                    outputs[0].push(Box::new(StampedRecord {
+                        rec,
+                        ingest: d.block.ingest,
+                    }));
                 }
             } else {
                 // Detection-only: emit the tentative classification (shared
                 // with the pooled path, so both modes emit identical records).
-                outputs[0].push(Box::new(crate::analyze::detected_only_record(
-                    &d,
-                    self.analyzer.protocol(),
-                )));
+                outputs[0].push(Box::new(StampedRecord {
+                    rec: crate::analyze::detected_only_record(&d, self.analyzer.protocol()),
+                    ingest: d.block.ingest,
+                }));
             }
         }
         WorkStatus::Again
@@ -1032,17 +1116,32 @@ struct PooledAnalyzeBlock {
     /// reorderer, then the pool's merge watermark (offset by the recovered
     /// base) becomes the commit — everything below it is durable.
     journal: Option<Arc<crate::durability::JournalState>>,
+    /// `latency.journal_us` stage histogram (time since ingest at append).
+    journal_hist: Option<Arc<Histogram>>,
+    /// `latency.e2e_us` end-to-end histogram (time since ingest at store).
+    e2e_hist: Option<Arc<Histogram>>,
+    /// `records.<protocol>` counters, one per output port.
+    record_counters: Option<Vec<Arc<Counter>>>,
 }
 
 impl PooledAnalyzeBlock {
-    fn store(&self, recs: Vec<(usize, PacketRecord)>) {
+    fn store(&self, recs: Vec<(usize, PacketRecord, Option<Instant>)>) {
         if recs.is_empty() {
             return;
         }
         let mut pp = self.per_port.lock();
-        for (port, r) in recs {
+        for (port, r, ingest) in recs {
             if let Some(j) = &self.journal {
                 j.journal_record(port, &r);
+                if let Some(h) = &self.journal_hist {
+                    crate::latency::record_since(h, ingest);
+                }
+            }
+            if let Some(cs) = &self.record_counters {
+                cs[port].inc();
+            }
+            if let Some(h) = &self.e2e_hist {
+                crate::latency::record_since(h, ingest);
             }
             pp[port].push(r);
         }
@@ -1101,6 +1200,12 @@ struct RecordSinkBlock {
     storage: Arc<Mutex<Vec<PacketRecord>>>,
     journal: Option<Arc<crate::durability::JournalState>>,
     port: usize,
+    /// `latency.journal_us` stage histogram (time since ingest at append).
+    journal_hist: Option<Arc<Histogram>>,
+    /// `latency.e2e_us` end-to-end histogram (time since ingest at sink).
+    e2e_hist: Option<Arc<Histogram>>,
+    /// `records.<protocol>` counter for this port's protocol.
+    record_counter: Option<Arc<Counter>>,
 }
 
 impl Block for RecordSinkBlock {
@@ -1116,11 +1221,21 @@ impl Block for RecordSinkBlock {
         _outputs: &mut [Vec<Payload>],
     ) -> WorkStatus {
         while let Some(p) = inputs[0].pop_front() {
-            let rec = p.downcast::<PacketRecord>().expect("PacketRecord");
+            let sr = p.downcast::<StampedRecord>().expect("StampedRecord");
+            let StampedRecord { rec, ingest } = *sr;
             if let Some(j) = &self.journal {
                 j.journal_record(self.port, &rec);
+                if let Some(h) = &self.journal_hist {
+                    crate::latency::record_since(h, ingest);
+                }
             }
-            self.storage.lock().push(*rec);
+            if let Some(c) = &self.record_counter {
+                c.inc();
+            }
+            if let Some(h) = &self.e2e_hist {
+                crate::latency::record_since(h, ingest);
+            }
+            self.storage.lock().push(rec);
         }
         WorkStatus::Again
     }
@@ -1218,6 +1333,7 @@ fn run_rfdump(
             single_commit,
             governor.clone(),
             cfg.faults.clone(),
+            registry.clone(),
         ) {
             Ok((js, rec)) => {
                 recovered = rec;
@@ -1273,12 +1389,32 @@ fn run_rfdump(
         None => Dispatcher::new(DispatchConfig::default()),
     };
 
+    // Stage-latency histograms and per-protocol record counters (telemetry
+    // runs only; see `crate::latency` for the stamp-point conventions).
+    let dispatch_hist = registry
+        .as_ref()
+        .map(|r| crate::latency::stage_histogram(r, crate::latency::DISPATCH));
+    let journal_hist = registry
+        .as_ref()
+        .filter(|_| journal.is_some())
+        .map(|r| crate::latency::stage_histogram(r, crate::latency::JOURNAL));
+    let e2e_hist = registry
+        .as_ref()
+        .map(|r| crate::latency::stage_histogram(r, crate::latency::E2E));
+    let record_counters: Option<Vec<Arc<Counter>>> = registry.as_ref().map(|r| {
+        ports
+            .iter()
+            .map(|p| r.counter(&format!("records.{}", p.name())))
+            .collect()
+    });
+
     let mut fg = Flowgraph::new();
     if let Some(reg) = registry {
         fg.set_telemetry(reg.clone());
     }
     let src = fg.add(Box::new(ChunkSource {
         chunks: chunks.into_iter(),
+        stamp: registry.is_some(),
     }));
     let peak = fg.add(Box::new(PeakDetectBlock::new(cfg, registry, fs)));
     let detect = fg.add(Box::new(DetectDispatchBlock {
@@ -1293,6 +1429,7 @@ fn run_rfdump(
         faults: cfg.faults.clone(),
         governor: governor.clone(),
         registry: registry.clone(),
+        dispatch_hist,
         journal: journal.clone(),
     }));
     fg.connect(src, 0, peak, 0);
@@ -1326,6 +1463,9 @@ fn run_rfdump(
             per_port: per_port.clone(),
             result: pool_result.clone(),
             journal: journal.clone(),
+            journal_hist,
+            e2e_hist,
+            record_counters,
         }));
         fg.connect(detect, 0, blk, 0);
     } else {
@@ -1351,6 +1491,9 @@ fn run_rfdump(
                 storage,
                 journal: journal.clone(),
                 port: i,
+                journal_hist: journal_hist.clone(),
+                e2e_hist: e2e_hist.clone(),
+                record_counter: record_counters.as_ref().map(|cs| cs[i].clone()),
             }));
             fg.connect(detect, i, blk, 0);
             fg.connect(blk, 0, k, 0);

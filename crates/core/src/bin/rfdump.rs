@@ -7,17 +7,20 @@
 //! Besides offline replay, three subcommands speak the `rfd-net` wire
 //! protocol: `serve` runs the live capture server (sample streams in,
 //! record streams out), `send` replays a trace into a server, and `watch`
-//! subscribes to a server's record stream.
+//! subscribes to a server's record stream. A fourth, `top`, polls a
+//! `--metrics-addr` scrape endpoint and renders a refreshing terminal
+//! view of rates, per-stage latency quantiles and recent events.
 //!
 //! ```text
 //! rfdump -r trace.rfdt [options]
 //! rfdump serve --listen ADDR [--once] [--queue-cap N]
 //!              [--overflow block|drop-oldest] [--sub-queue-cap N]
 //!              [--resume-grace SECS] [arch options] [-q]
-//!              [--stats-json F] [--trace-out F]
+//!              [--stats-json F] [--trace-out F] [--metrics-addr ADDR]
 //! rfdump send --connect ADDR [--rate max|real-time] [--chunk N]
 //!             [--retries N] TRACE
 //! rfdump watch --connect ADDR [-q] [--journal DIR]
+//! rfdump top --connect ADDR [--interval SECS] [--once]
 //!
 //!   -r FILE          trace file to read (required)
 //!   -a ARCH          rfdump | naive | naive-energy      (default rfdump)
@@ -38,6 +41,12 @@
 //!                    RFD_FAULTS environment variable)
 //!   --governor MODE  graceful degradation: auto (adaptive ladder) or a
 //!                    pinned shed level 0|1|2 (deterministic runs)
+//!   --metrics-addr A serve live metrics over HTTP at A (host:port; port 0
+//!                    picks an ephemeral port, printed to stderr):
+//!                    /metrics is Prometheus text format 0.0.4, /events the
+//!                    typed event log as JSON. Implies telemetry. Available
+//!                    on offline replay and on serve; record output is
+//!                    byte-identical with or without the endpoint.
 //!   --journal DIR    crash-safe durability: journal emitted records and
 //!                    commit watermarks under DIR (rfdump architecture only)
 //!   --resume         recover from the journal in DIR: replay durable
@@ -57,7 +66,9 @@ use rfd_net::{
     OverflowPolicy, ResilientSender, ResilientSubscriber, RetryPolicy, SendRate, Server,
     ServerConfig, SubEvent, TraceSender,
 };
-use rfdump::arch::{default_workers, run_architecture, ArchConfig, ArchKind, DetectorSet};
+use rfdump::arch::{
+    default_workers, run_architecture_with_registry, ArchConfig, ArchKind, DetectorSet,
+};
 use rfdump::durability::DurabilityConfig;
 use rfdump::governor::GovernorConfig;
 use rfdump::live::LivePipeline;
@@ -110,6 +121,7 @@ struct Options {
     governor: Option<GovernorConfig>,
     journal: Option<String>,
     resume: bool,
+    metrics_addr: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -118,15 +130,16 @@ fn usage() -> ExitCode {
          \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--workers N]\n\
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
          \x20             [--chaos SPEC] [--governor auto|0|1|2]\n\
-         \x20             [--journal DIR] [--resume]\n\
+         \x20             [--journal DIR] [--resume] [--metrics-addr ADDR]\n\
          \x20      rfdump serve --listen ADDR [--once] [--queue-cap N]\n\
          \x20             [--overflow block|drop-oldest] [--sub-queue-cap N]\n\
          \x20             [--resume-grace SECS] [arch options] [-q]\n\
          \x20             [--stats-json FILE] [--trace-out FILE] [--chaos SPEC]\n\
-         \x20             [--journal DIR] [--resume]\n\
+         \x20             [--journal DIR] [--resume] [--metrics-addr ADDR]\n\
          \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N]\n\
          \x20             [--retries N] [--chaos SPEC] TRACE\n\
          \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC] [--journal DIR]\n\
+         \x20      rfdump top --connect ADDR [--interval SECS] [--once]\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -150,6 +163,7 @@ fn parse_args() -> Result<Options, String> {
         governor: None,
         journal: None,
         resume: false,
+        metrics_addr: None,
     };
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
@@ -200,6 +214,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--journal" => opts.journal = Some(args.next().ok_or("--journal needs a directory")?),
             "--resume" => opts.resume = true,
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(args.next().ok_or("--metrics-addr needs host:port")?)
+            }
             "--protocols" => {
                 print!("{}", render_table2());
                 std::process::exit(0);
@@ -234,6 +251,7 @@ struct ServeOptions {
     quiet: bool,
     stats_json: Option<String>,
     trace_out: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -242,6 +260,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut quiet = false;
     let mut stats_json = None;
     let mut trace_out = None;
+    let mut metrics_addr = None;
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
     // The band is a placeholder: each producer session's StreamMeta
@@ -334,6 +353,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--governor" => arch.governor = Some(parse_governor(next("a mode")?)?),
             "--journal" => journal = Some(next("a directory")?.to_string()),
             "--resume" => resume = true,
+            "--metrics-addr" => metrics_addr = Some(next("host:port")?.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -362,7 +382,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     if net.faults.is_none() {
         net.faults = FaultPlan::ambient();
     }
-    arch.telemetry = arch.telemetry || stats_json.is_some() || trace_out.is_some();
+    arch.telemetry =
+        arch.telemetry || stats_json.is_some() || trace_out.is_some() || metrics_addr.is_some();
     Ok(ServeOptions {
         listen: listen.ok_or("serve needs --listen ADDR")?,
         net,
@@ -370,6 +391,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         quiet,
         stats_json,
         trace_out,
+        metrics_addr,
     })
 }
 
@@ -391,6 +413,27 @@ fn stdin_is_stream() -> bool {
     }
 }
 
+/// Binds and spawns the `--metrics-addr` scrape endpoint around a fresh
+/// registry. Prints the bound address to stderr (port 0 resolves here, so
+/// scripts can discover the ephemeral port).
+fn bind_metrics(
+    addr: &str,
+) -> Result<(rfd_obs::MetricsHandle, Arc<rfd_telemetry::Registry>), ExitCode> {
+    let reg = Arc::new(rfd_telemetry::Registry::new());
+    let srv = match rfd_obs::MetricsServer::bind(addr, reg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfdump: cannot bind metrics on {addr}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match srv.local_addr() {
+        Ok(a) => eprintln!("rfdump: metrics on {a}"),
+        Err(_) => eprintln!("rfdump: metrics on {addr}"),
+    }
+    Ok((srv.spawn(), reg))
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let opts = match parse_serve_args(args) {
         Ok(o) => o,
@@ -399,9 +442,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let pipeline = LivePipeline::new(opts.arch);
+    let (metrics, registry) = match &opts.metrics_addr {
+        None => (None, None),
+        Some(addr) => match bind_metrics(addr) {
+            Ok((handle, reg)) => (Some(handle), Some(reg)),
+            Err(code) => return code,
+        },
+    };
+    let mut pipeline = LivePipeline::new(opts.arch);
+    if let Some(reg) = &registry {
+        pipeline = pipeline.with_registry(reg.clone());
+    }
     let shared_out = pipeline.shared_output();
-    let server = match Server::bind(&opts.listen, opts.net, Box::new(pipeline), None) {
+    let server = match Server::bind(&opts.listen, opts.net, Box::new(pipeline), registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("rfdump: cannot listen on {}: {e}", opts.listen);
@@ -518,6 +571,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }
             }
         }
+    }
+    if let Some(m) = metrics {
+        m.join();
     }
     ExitCode::SUCCESS
 }
@@ -765,12 +821,86 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rfdump top`: polls a metrics endpoint and renders a refreshing view.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut connect = None;
+    let mut interval = 2.0f64;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("rfdump: --connect needs an address");
+                    return usage();
+                }
+            },
+            "--interval" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => interval = secs,
+                _ => {
+                    eprintln!("rfdump: --interval needs positive seconds");
+                    return usage();
+                }
+            },
+            "--once" => once = true,
+            other => {
+                eprintln!("rfdump: unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("rfdump: top needs --connect ADDR");
+        return usage();
+    };
+    rfd_fault::signal::install_sigint();
+    let mut prev: Option<(std::collections::BTreeMap<String, f64>, std::time::Instant)> = None;
+    loop {
+        let text = match rfd_obs::scrape(&addr, "/metrics") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rfdump: cannot scrape {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let events = rfd_obs::scrape(&addr, "/events").ok();
+        let cur = rfd_obs::top::parse_samples(&text);
+        let now = std::time::Instant::now();
+        let screen = rfd_obs::top::render(
+            &addr,
+            &cur,
+            prev.as_ref()
+                .map(|(p, t)| (p, now.duration_since(*t).as_secs_f64())),
+            events.as_deref(),
+        );
+        if once {
+            print!("{screen}");
+            return ExitCode::SUCCESS;
+        }
+        // Clear screen + home, then the fresh frame.
+        print!("\x1b[2J\x1b[H{screen}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = Some((cur, now));
+        let deadline = std::time::Instant::now() + Duration::from_secs_f64(interval);
+        while std::time::Instant::now() < deadline {
+            if rfd_fault::signal::sigint_seen() {
+                println!();
+                return ExitCode::SUCCESS;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("send") => return cmd_send(&argv[1..]),
         Some("watch") => return cmd_watch(&argv[1..]),
+        Some("top") => return cmd_top(&argv[1..]),
         _ => {}
     }
     let opts = match parse_args() {
@@ -810,7 +940,10 @@ fn main() -> ExitCode {
         zigbee: opts.zigbee,
         microwave: true,
         threaded: opts.threaded,
-        telemetry: opts.telemetry || opts.stats_json.is_some() || opts.trace_out.is_some(),
+        telemetry: opts.telemetry
+            || opts.stats_json.is_some()
+            || opts.trace_out.is_some()
+            || opts.metrics_addr.is_some(),
         workers: opts.workers,
         faults: opts.chaos.clone().or_else(FaultPlan::ambient),
         governor: opts.governor,
@@ -832,7 +965,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let out = run_architecture(&cfg, &samples, header.sample_rate);
+    let (metrics, registry) = match &opts.metrics_addr {
+        None => (None, None),
+        Some(addr) => match bind_metrics(addr) {
+            Ok((handle, reg)) => (Some(handle), Some(reg)),
+            Err(code) => return code,
+        },
+    };
+    let out = run_architecture_with_registry(&cfg, &samples, header.sample_rate, registry);
+    if let Some(m) = metrics {
+        m.join();
+    }
 
     if let Some(r) = out.recovery.as_ref().filter(|r| r.resumed) {
         eprintln!(

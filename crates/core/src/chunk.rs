@@ -2,6 +2,7 @@
 
 use rfd_dsp::Complex32;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A fixed-size chunk of the sample stream (the paper uses 200 samples =
 /// 25 µs). Samples are shared, never copied, as chunks move through the
@@ -17,6 +18,10 @@ pub struct SampleChunk {
     pub samples: Arc<Vec<Complex32>>,
     /// Stream sample rate, Hz.
     pub sample_rate: f64,
+    /// When this chunk entered the pipeline (stamped at the source when
+    /// telemetry is on; `None` otherwise). Never serialized or compared —
+    /// purely an observability side channel for stage-latency histograms.
+    pub ingest: Option<Instant>,
 }
 
 impl SampleChunk {
@@ -35,6 +40,7 @@ impl SampleChunk {
                 start: (i * chunk_len) as u64,
                 samples: Arc::new(c.to_vec()),
                 sample_rate,
+                ingest: None,
             })
             .collect()
     }
@@ -92,6 +98,9 @@ pub struct PeakBlock {
     pub sample_start: u64,
     /// Stream sample rate.
     pub sample_rate: f64,
+    /// Ingest stamp inherited from the earliest chunk contributing to this
+    /// peak (`None` outside telemetry runs). See [`SampleChunk::ingest`].
+    pub ingest: Option<Instant>,
 }
 
 impl PeakBlock {
@@ -157,6 +166,7 @@ mod tests {
             samples: Arc::new(samples),
             sample_start: 1000,
             sample_rate: 8e6,
+            ingest: None,
         };
         let s = pb.peak_samples();
         assert_eq!(s.len(), 60);

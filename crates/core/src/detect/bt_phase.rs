@@ -141,6 +141,7 @@ mod tests {
             samples: Arc::new(samples),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 

@@ -168,6 +168,7 @@ mod tests {
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 

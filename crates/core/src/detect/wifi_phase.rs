@@ -204,6 +204,7 @@ mod tests {
             samples: Arc::new(at8),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 
@@ -225,6 +226,7 @@ mod tests {
             samples: Arc::new(w.samples),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 
@@ -287,6 +289,7 @@ mod tests {
             samples: Arc::new(sig),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         };
         assert!(d.on_peak(&pb).is_empty());
     }

@@ -155,6 +155,7 @@ mod tests {
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: fs,
+            ingest: None,
         }
     }
 

@@ -195,6 +195,7 @@ mod tests {
             samples: Arc::new(vec![]),
             sample_start: start,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 
@@ -215,6 +216,7 @@ mod tests {
             samples: Arc::new(sig),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 
@@ -267,6 +269,7 @@ mod tests {
             samples: Arc::new(w.samples),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         };
         let mut d = ZigbeePhaseDetector::new();
         assert!(d.on_peak(&pb).is_empty(), "GFSK must not look like O-QPSK");
@@ -287,6 +290,7 @@ mod tests {
             samples: Arc::new(sig),
             sample_start: 0,
             sample_rate: 8e6,
+            ingest: None,
         };
         let mut d = ZigbeePhaseDetector::new();
         assert!(d.on_peak(&pb).is_empty());

@@ -17,6 +17,7 @@ use rfd_fault::{Action, FaultPlan};
 use rfd_flowgraph::pool::{PoolConfig, PoolStats, Reorderer, TaskPool};
 use rfd_flowgraph::sync::Mutex;
 use rfd_phy::Protocol;
+use rfd_telemetry::event::EventKind;
 use rfd_telemetry::{Counter, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -308,6 +309,11 @@ pub struct PooledAnalysis {
     pub quarantined: Vec<String>,
 }
 
+/// One pool task's output: the dispatch's ingest stamp (telemetry only —
+/// threads the stage-latency clock through the pool without touching
+/// [`PacketRecord`]) plus the `(port, record)` pairs it produced.
+type PoolOutput = (Option<Instant>, Vec<(usize, PacketRecord)>);
+
 /// The parallel analysis stage: finalized [`Dispatch`]es fan out to a
 /// work-stealing pool where each worker runs its own private set of
 /// per-protocol analyzers, and results re-sequence through a
@@ -321,13 +327,18 @@ pub struct PooledAnalysis {
 /// blocks. Re-sequencing by submission index therefore reproduces the
 /// per-port record sequences exactly.
 pub struct AnalysisPool {
-    pool: TaskPool<Dispatch, Vec<(usize, PacketRecord)>>,
-    reorder: Reorderer<Vec<(usize, PacketRecord)>>,
+    pool: TaskPool<Dispatch, PoolOutput>,
+    reorder: Reorderer<PoolOutput>,
     totals: Arc<Mutex<Vec<AnalyzerTotals>>>,
     protocols: Vec<Protocol>,
     panics: Arc<AtomicU64>,
     strikes: Arc<Vec<AtomicU64>>,
     quarantined: Arc<Vec<AtomicBool>>,
+    registry: Option<Arc<Registry>>,
+    /// Pre-created `latency.merge_us` histogram (telemetry runs only).
+    merge_hist: Option<Arc<Histogram>>,
+    /// Pool restarts already reported as [`EventKind::WorkerRespawn`].
+    reported_restarts: u64,
 }
 
 impl AnalysisPool {
@@ -383,117 +394,129 @@ impl AnalysisPool {
         let task_panics = panics.clone();
         let task_strikes = strikes.clone();
         let task_quarantined = quarantined.clone();
-        let make =
-            move |_worker: usize| -> Box<dyn FnMut(Dispatch) -> Vec<(usize, PacketRecord)> + Send> {
-                let mut analyzers = factory();
-                let totals = task_totals.clone();
-                let registry = task_registry.clone();
-                let panics = task_panics.clone();
-                let strikes = task_strikes.clone();
-                let quarantined = task_quarantined.clone();
-                let faults = faults.clone();
-                let governor = governor.clone();
-                // Per-protocol decode-latency histograms, same names as the
-                // single-threaded AnalyzerBlock publishes.
-                let latency: Vec<Option<Arc<Histogram>>> = analyzers
-                    .iter()
-                    .map(|a| {
-                        registry.as_ref().map(|r| {
-                            r.histogram(
-                                &format!("analyze.{}.latency_us", a.protocol().name()),
-                                || Histogram::exponential(1.0, 1e6, 24),
-                            )
-                        })
+        let make = move |_worker: usize| -> Box<dyn FnMut(Dispatch) -> PoolOutput + Send> {
+            let mut analyzers = factory();
+            let totals = task_totals.clone();
+            let registry = task_registry.clone();
+            let panics = task_panics.clone();
+            let strikes = task_strikes.clone();
+            let quarantined = task_quarantined.clone();
+            let faults = faults.clone();
+            let governor = governor.clone();
+            // Per-protocol decode-latency histograms, same names as the
+            // single-threaded AnalyzerBlock publishes.
+            let latency: Vec<Option<Arc<Histogram>>> = analyzers
+                .iter()
+                .map(|a| {
+                    registry.as_ref().map(|r| {
+                        r.histogram(
+                            &format!("analyze.{}.latency_us", a.protocol().name()),
+                            || Histogram::exponential(1.0, 1e6, 24),
+                        )
                     })
-                    .collect();
-                Box::new(move |d: Dispatch| {
-                    let mut out = Vec::new();
-                    for (port, az) in analyzers.iter_mut().enumerate() {
-                        let proto = az.protocol();
-                        if d.vote_for(proto).is_none() {
-                            continue;
-                        }
-                        if quarantined[port].load(Ordering::Relaxed) {
-                            continue;
-                        }
-                        let demod_now = match (&governor, demodulate) {
-                            (Some(g), true) => {
-                                let ok = g.demod_allowed();
-                                if !ok {
-                                    g.note_shed_demod();
-                                }
-                                ok
-                            }
-                            _ => demodulate,
-                        };
-                        if demod_now {
-                            let t0 = Instant::now();
-                            let recs = catch_unwind(AssertUnwindSafe(|| {
-                                if let Some(plan) = &faults {
-                                    match plan.decide(az.name()) {
-                                        Some(Action::Panic) => {
-                                            panic!("injected fault: {}", az.name())
-                                        }
-                                        Some(Action::Slow(dur)) => std::thread::sleep(dur),
-                                        Some(Action::Spin(dur)) => rfd_fault::spin_for(dur),
-                                        Some(Action::Kill) => std::process::abort(),
-                                        _ => {}
-                                    }
-                                }
-                                az.analyze(&d)
-                            }));
-                            let dur = t0.elapsed();
-                            let recs = match recs {
-                                Ok(recs) => recs,
-                                Err(_) => {
-                                    panics.fetch_add(1, Ordering::Relaxed);
-                                    let s = strikes[port].fetch_add(1, Ordering::Relaxed) + 1;
-                                    if let Some(reg) = &registry {
-                                        reg.counter("analyze.panics").inc();
-                                        if s == QUARANTINE_STRIKES {
-                                            reg.counter(&format!(
-                                                "analyze.{}.quarantined",
-                                                proto.name()
-                                            ))
-                                            .inc();
-                                            reg.tracer().record(az.name(), "quarantine", t0, dur);
-                                        }
-                                    }
-                                    if s >= QUARANTINE_STRIKES {
-                                        quarantined[port].store(true, Ordering::Relaxed);
-                                    }
-                                    continue;
-                                }
-                            };
-                            if let Some(reg) = &registry {
-                                reg.tracer().record(az.name(), "analyze", t0, dur);
-                            }
-                            if let Some(h) = &latency[port] {
-                                h.record(dur.as_secs_f64() * 1e6);
-                            }
-                            {
-                                let mut t = totals.lock();
-                                t[port].cpu += dur;
-                                t[port].items_in += 1;
-                                t[port].items_out += recs.len() as u64;
-                            }
-                            out.extend(recs.into_iter().map(|r| (port, r)));
-                        } else {
-                            {
-                                let mut t = totals.lock();
-                                t[port].items_in += 1;
-                                t[port].items_out += 1;
-                            }
-                            out.push((port, detected_only_record(&d, proto)));
-                        }
-                    }
-                    out
                 })
-            };
+                .collect();
+            let stage_analyze = registry
+                .as_ref()
+                .map(|r| crate::latency::stage_histogram(r, crate::latency::ANALYZE));
+            Box::new(move |d: Dispatch| {
+                let mut out = Vec::new();
+                for (port, az) in analyzers.iter_mut().enumerate() {
+                    let proto = az.protocol();
+                    if d.vote_for(proto).is_none() {
+                        continue;
+                    }
+                    if quarantined[port].load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let demod_now = match (&governor, demodulate) {
+                        (Some(g), true) => {
+                            let ok = g.demod_allowed();
+                            if !ok {
+                                g.note_shed_demod();
+                            }
+                            ok
+                        }
+                        _ => demodulate,
+                    };
+                    if demod_now {
+                        let t0 = Instant::now();
+                        let recs = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(plan) = &faults {
+                                match plan.decide(az.name()) {
+                                    Some(Action::Panic) => {
+                                        panic!("injected fault: {}", az.name())
+                                    }
+                                    Some(Action::Slow(dur)) => std::thread::sleep(dur),
+                                    Some(Action::Spin(dur)) => rfd_fault::spin_for(dur),
+                                    Some(Action::Kill) => std::process::abort(),
+                                    _ => {}
+                                }
+                            }
+                            az.analyze(&d)
+                        }));
+                        let dur = t0.elapsed();
+                        let recs = match recs {
+                            Ok(recs) => recs,
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                                let s = strikes[port].fetch_add(1, Ordering::Relaxed) + 1;
+                                if let Some(reg) = &registry {
+                                    reg.counter("analyze.panics").inc();
+                                    if s == QUARANTINE_STRIKES {
+                                        reg.counter(&format!(
+                                            "analyze.{}.quarantined",
+                                            proto.name()
+                                        ))
+                                        .inc();
+                                        reg.tracer().record(az.name(), "quarantine", t0, dur);
+                                        reg.emit_event(
+                                            EventKind::Quarantine,
+                                            format!("{} after {s} panics", az.name()),
+                                        );
+                                    }
+                                }
+                                if s >= QUARANTINE_STRIKES {
+                                    quarantined[port].store(true, Ordering::Relaxed);
+                                }
+                                continue;
+                            }
+                        };
+                        if let Some(reg) = &registry {
+                            reg.tracer().record(az.name(), "analyze", t0, dur);
+                        }
+                        if let Some(h) = &latency[port] {
+                            h.record(dur.as_secs_f64() * 1e6);
+                        }
+                        {
+                            let mut t = totals.lock();
+                            t[port].cpu += dur;
+                            t[port].items_in += 1;
+                            t[port].items_out += recs.len() as u64;
+                        }
+                        out.extend(recs.into_iter().map(|r| (port, r)));
+                    } else {
+                        {
+                            let mut t = totals.lock();
+                            t[port].items_in += 1;
+                            t[port].items_out += 1;
+                        }
+                        out.push((port, detected_only_record(&d, proto)));
+                    }
+                }
+                if let Some(h) = &stage_analyze {
+                    crate::latency::record_since(h, d.block.ingest);
+                }
+                (d.block.ingest, out)
+            })
+        };
         let pool = match &registry {
             Some(reg) => TaskPool::with_telemetry(cfg, make, reg, Self::TELEMETRY_PREFIX),
             None => TaskPool::new(cfg, make),
         };
+        let merge_hist = registry
+            .as_ref()
+            .map(|r| crate::latency::stage_histogram(r, crate::latency::MERGE));
         Self {
             pool,
             reorder: Reorderer::new(),
@@ -502,6 +525,9 @@ impl AnalysisPool {
             panics,
             strikes,
             quarantined,
+            registry,
+            merge_hist,
+            reported_restarts: 0,
         }
     }
 
@@ -543,6 +569,24 @@ impl AnalysisPool {
     /// (backpressure toward the detection stage).
     pub fn submit(&mut self, d: Dispatch) {
         self.pool.submit(d);
+        self.note_restarts();
+    }
+
+    /// Emits a [`EventKind::WorkerRespawn`] event for every pool restart
+    /// not yet reported (supervised respawns happen inside `submit`).
+    fn note_restarts(&mut self) {
+        let Some(reg) = &self.registry else { return };
+        let now = self.pool.restarts();
+        while self.reported_restarts < now {
+            self.reported_restarts += 1;
+            reg.emit_event(
+                EventKind::WorkerRespawn,
+                format!(
+                    "analysis pool respawned a worker (restart {})",
+                    self.reported_restarts
+                ),
+            );
+        }
     }
 
     /// Collects completed results, re-sequenced into submission order.
@@ -551,7 +595,7 @@ impl AnalysisPool {
     /// Tasks that panicked past the per-analyzer supervisor (the pool's own
     /// `catch_unwind` net) are released as gaps so later records are never
     /// stuck behind a sequence number that will not arrive.
-    pub fn drain_ordered(&mut self) -> Vec<(usize, PacketRecord)> {
+    pub fn drain_ordered(&mut self) -> Vec<(usize, PacketRecord, Option<Instant>)> {
         for (seq, recs) in self.pool.try_drain() {
             self.reorder.push(seq, recs);
         }
@@ -559,8 +603,11 @@ impl AnalysisPool {
             self.reorder.release(seq);
         }
         let mut out = Vec::new();
-        while let Some(recs) = self.reorder.pop_ready() {
-            out.extend(recs);
+        while let Some((ingest, recs)) = self.reorder.pop_ready() {
+            if let Some(h) = &self.merge_hist {
+                crate::latency::record_since(h, ingest);
+            }
+            out.extend(recs.into_iter().map(|(port, r)| (port, r, ingest)));
         }
         out
     }
@@ -571,7 +618,7 @@ impl AnalysisPool {
     /// # Panics
     /// Panics if any submitted dispatch failed to produce a result (a
     /// worker lost work — which the pool's tests prove cannot happen).
-    pub fn finish(mut self) -> (Vec<(usize, PacketRecord)>, PooledAnalysis) {
+    pub fn finish(mut self) -> (Vec<(usize, PacketRecord, Option<Instant>)>, PooledAnalysis) {
         let submitted = self.pool.submitted();
         for seq in self.pool.take_panicked() {
             self.reorder.release(seq);
@@ -584,8 +631,11 @@ impl AnalysisPool {
             self.reorder.release(seq);
         }
         let mut out = Vec::new();
-        while let Some(recs) = self.reorder.pop_ready() {
-            out.extend(recs);
+        while let Some((ingest, recs)) = self.reorder.pop_ready() {
+            if let Some(h) = &self.merge_hist {
+                crate::latency::record_since(h, ingest);
+            }
+            out.extend(recs.into_iter().map(|(port, r)| (port, r, ingest)));
         }
         assert_eq!(
             self.reorder.next_seq(),
@@ -632,6 +682,7 @@ mod tests {
             samples: Arc::new(vec![]),
             sample_start: id * 10_000,
             sample_rate: 8e6,
+            ingest: None,
         }
     }
 
@@ -796,6 +847,7 @@ mod tests {
                 ),
                 sample_start: id * 1_000,
                 sample_rate: 8e6,
+                ingest: None,
             },
             votes: vec![super::Vote {
                 protocol,
@@ -839,6 +891,7 @@ mod tests {
             }
             let (rest, result) = pool.finish();
             got.extend(rest);
+            let got: Vec<_> = got.into_iter().map(|(p, r, _)| (p, r)).collect();
             assert_eq!(got, reference, "workers={workers}");
             assert_eq!(result.pool.executed(), dispatches.len() as u64);
             let total_in: u64 = result.analyzers.iter().map(|a| a.items_in).sum();
@@ -891,6 +944,7 @@ mod tests {
             }
             let (rest, result) = pool.finish();
             got.extend(rest);
+            let got: Vec<_> = got.into_iter().map(|(p, r, _)| (p, r)).collect();
             assert_eq!(got, reference, "workers={workers}");
             assert_eq!(
                 result.quarantined,

@@ -288,6 +288,9 @@ pub struct JournalState {
     governor: Option<Arc<crate::governor::LoadGovernor>>,
     faults: Option<Arc<FaultPlan>>,
     degraded: AtomicBool,
+    /// Event sink for [`EventKind::JournalDegrade`] / [`EventKind::Checkpoint`]
+    /// (telemetry runs only).
+    registry: Option<Arc<rfd_telemetry::Registry>>,
     commits_written: AtomicU64,
     checkpoints_written: AtomicU64,
     entries_replayed: u64,
@@ -306,6 +309,7 @@ impl JournalState {
         single_commit: bool,
         governor: Option<Arc<crate::governor::LoadGovernor>>,
         faults: Option<Arc<FaultPlan>>,
+        registry: Option<Arc<rfd_telemetry::Registry>>,
     ) -> io::Result<(Arc<JournalState>, Option<RecoveredRun>)> {
         let t0 = Instant::now();
         let checkpoint_path = dcfg.dir.join(CHECKPOINT_FILE);
@@ -377,6 +381,7 @@ impl JournalState {
             governor,
             faults,
             degraded: AtomicBool::new(false),
+            registry,
             commits_written: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
             entries_replayed,
@@ -532,7 +537,16 @@ impl JournalState {
         });
         match write_checkpoint(&self.checkpoint_path, &payload) {
             Ok(()) => {
-                self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                let n = self.checkpoints_written.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(reg) = &self.registry {
+                    reg.emit_event(
+                        rfd_telemetry::event::EventKind::Checkpoint,
+                        format!(
+                            "checkpoint {n} at commit {}",
+                            self.committed.load(Ordering::Relaxed)
+                        ),
+                    );
+                }
             }
             Err(e) => self.degrade(&e),
         }
@@ -541,6 +555,12 @@ impl JournalState {
     fn degrade(&self, err: &io::Error) {
         if !self.degraded.swap(true, Ordering::Relaxed) {
             eprintln!("rfdump: journaling degraded (continuing without durability): {err}");
+            if let Some(reg) = &self.registry {
+                reg.emit_event(
+                    rfd_telemetry::event::EventKind::JournalDegrade,
+                    format!("continuing without durability: {err}"),
+                );
+            }
         }
     }
 

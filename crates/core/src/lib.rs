@@ -39,6 +39,7 @@ pub mod dispatch;
 pub mod durability;
 pub mod eval;
 pub mod governor;
+pub mod latency;
 pub mod live;
 pub mod peak;
 pub mod protocols;

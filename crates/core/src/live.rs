@@ -10,9 +10,10 @@
 //! is what makes a subscriber's stream byte-identical to `rfdump -r` on
 //! the same trace.
 
-use crate::arch::{run_architecture, ArchConfig, ArchOutput};
+use crate::arch::{run_architecture_with_registry, ArchConfig, ArchOutput};
 use rfd_dsp::Complex32;
 use rfd_net::frame::{RecordMsg, StreamMeta};
+use rfd_telemetry::Registry;
 use std::sync::{Arc, Mutex};
 
 /// Shared slot where the pipeline deposits each session's full output, so
@@ -26,6 +27,7 @@ pub type SharedOutput = Arc<Mutex<Option<ArchOutput>>>;
 pub struct LivePipeline {
     cfg: ArchConfig,
     output: SharedOutput,
+    registry: Option<Arc<Registry>>,
 }
 
 impl LivePipeline {
@@ -36,7 +38,16 @@ impl LivePipeline {
         Self {
             cfg,
             output: Arc::new(Mutex::new(None)),
+            registry: None,
         }
+    }
+
+    /// Accumulates every session's telemetry into `registry` (the registry
+    /// a `--metrics-addr` scrape endpoint serves) instead of a fresh
+    /// per-session one. No effect when the config has telemetry off.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// The slot that receives each completed session's architecture output.
@@ -52,7 +63,8 @@ impl rfd_net::Pipeline for LivePipeline {
             sample_rate: meta.sample_rate,
             center_hz: meta.center_hz,
         };
-        let out = run_architecture(&cfg, &samples, meta.sample_rate);
+        let out =
+            run_architecture_with_registry(&cfg, &samples, meta.sample_rate, self.registry.clone());
         let records = out
             .records
             .iter()
@@ -107,7 +119,7 @@ mod tests {
             governor: None,
             durability: None,
         };
-        let offline = run_architecture(&cfg, &samples, fs);
+        let offline = crate::arch::run_architecture(&cfg, &samples, fs);
         let mut live = LivePipeline::new(cfg);
         let meta = StreamMeta {
             sample_rate: fs,

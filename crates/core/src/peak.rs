@@ -88,6 +88,8 @@ struct OpenPeak {
     /// instantaneous threshold).
     power_acc: f64,
     n_acc: u64,
+    /// Ingest stamp of the chunk that opened the peak (telemetry only).
+    ingest: Option<std::time::Instant>,
 }
 
 impl OpenPeak {
@@ -214,6 +216,7 @@ impl PeakDetector {
                             hot_run: 0,
                             power_acc: z.norm_sqr() as f64,
                             n_acc: 1,
+                            ingest: chunk.ingest,
                         });
                         self.below = 0;
                     }
@@ -354,6 +357,7 @@ impl PeakDetector {
             samples: Arc::new(op.buf),
             sample_start: op.buf_start,
             sample_rate: self.sample_rate,
+            ingest: op.ingest,
         });
     }
 }

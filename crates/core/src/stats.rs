@@ -30,6 +30,14 @@
 //!   resumed from a journal, entries replayed, records recovered without
 //!   re-analysis, commits and checkpoints written, and the resume latency;
 //!   null when journaling was off).
+//! * **6** — adds `events` (the structured event log: total emitted,
+//!   ring-overflow drops, and the bounded ring of typed timestamped events;
+//!   null when telemetry was off) and `latency` (per-stage
+//!   time-since-ingest summaries — count / p50 / p95 / p99 / max in µs for
+//!   each `latency.*` histogram, keyed by stage name; null when telemetry
+//!   was off, empty when no stamps completed). Histogram entries everywhere
+//!   gain `max` and `p50`. This comment is the single authoritative record
+//!   of the v5→v6 bump.
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -41,7 +49,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 5;
+pub const STATS_VERSION: u64 = 6;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -291,6 +299,41 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
                 ),
             ]),
         ),
+    }
+
+    // Structured event log (null when telemetry was off).
+    match &out.registry {
+        None => doc.push("events", JsonValue::Null),
+        Some(r) => doc.push("events", r.events().to_json()),
+    }
+
+    // Per-stage latency summaries: one compact object per `latency.*`
+    // histogram, keyed by the stage name (the suffix is always `_us`, so
+    // the quantile units are too).
+    match &out.registry {
+        None => doc.push("latency", JsonValue::Null),
+        Some(r) => {
+            let snap = r.snapshot();
+            let mut lat = JsonValue::Obj(Vec::new());
+            for (name, h) in &snap.histograms {
+                if let Some(stage) = name
+                    .strip_prefix("latency.")
+                    .and_then(|s| s.strip_suffix("_us"))
+                {
+                    lat.push(
+                        stage,
+                        JsonValue::obj(vec![
+                            ("count", JsonValue::num(h.count as f64)),
+                            ("p50_us", JsonValue::num(h.p50)),
+                            ("p95_us", JsonValue::num(h.p95)),
+                            ("p99_us", JsonValue::num(h.p99)),
+                            ("max_us", JsonValue::num(h.max)),
+                        ]),
+                    );
+                }
+            }
+            doc.push("latency", lat);
+        }
     }
 
     // The full registry: counters, gauges, histograms.
@@ -550,6 +593,37 @@ mod tests {
         assert_eq!(net.get("samples_in").unwrap().as_f64(), Some(80_000.0));
         let ratio = net.get("ingest_rt_ratio").unwrap().as_f64().unwrap();
         assert!((ratio - 0.5).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn v6_events_and_latency_sections() {
+        let out = fake_output();
+        {
+            let reg = out.registry.as_ref().unwrap();
+            reg.emit_event(rfd_telemetry::event::EventKind::Checkpoint, "cp 1");
+            crate::latency::stage_histogram(reg, crate::latency::DETECT).record(42.0);
+        }
+        let doc = rfd_telemetry::json::parse(&stats_json(&out).to_json()).unwrap();
+        let ev = doc.get("events").unwrap();
+        assert_eq!(ev.get("emitted").unwrap().as_f64(), Some(1.0));
+        assert_eq!(ev.get("dropped").unwrap().as_f64(), Some(0.0));
+        assert_eq!(ev.get("ring").unwrap().as_arr().unwrap().len(), 1);
+        let lat = doc.get("latency").unwrap().get("detect").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
+        let max = lat.get("max_us").unwrap().as_f64().unwrap();
+        assert!((max - 42.0).abs() < 1e-9, "max_us {max}");
+
+        let mut out = fake_output();
+        out.registry = None;
+        let doc = rfd_telemetry::json::parse(&stats_json(&out).to_json()).unwrap();
+        assert!(matches!(
+            doc.get("events"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
+        assert!(matches!(
+            doc.get("latency"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
     }
 
     #[test]

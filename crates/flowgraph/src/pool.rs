@@ -881,6 +881,13 @@ impl<I: Send + 'static, O: Send + 'static> TaskPool<I, O> {
         self.next_seq
     }
 
+    /// Workers respawned so far (supervised mode). Live counterpart of
+    /// [`PoolStats::restarts`], so a consumer can report respawns as they
+    /// happen instead of only at [`TaskPool::finish`].
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
     /// Takes every result published so far (unordered).
     pub fn try_drain(&self) -> Vec<(u64, O)> {
         std::mem::take(

@@ -14,6 +14,7 @@ use crate::frame::{
 };
 use rfd_dsp::Complex32;
 use rfd_fault::{Action, FaultPlan, SplitMix64};
+use rfd_telemetry::{event::EventKind, Registry};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -411,6 +412,7 @@ pub struct ResilientSender {
     addr: String,
     retry: RetryPolicy,
     faults: Option<Arc<FaultPlan>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl ResilientSender {
@@ -421,6 +423,7 @@ impl ResilientSender {
             addr: addr.into(),
             retry: RetryPolicy::default(),
             faults: FaultPlan::ambient(),
+            registry: None,
         }
     }
 
@@ -434,6 +437,31 @@ impl ResilientSender {
     pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Emits NetBackoff/NetResume events into `registry`'s event log.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn emit_backoff(&self, attempt: u32, err: &io::Error) {
+        if let Some(r) = &self.registry {
+            r.emit_event(
+                EventKind::NetBackoff,
+                format!("send attempt {attempt}: {err}"),
+            );
+        }
+    }
+
+    fn emit_resume(&self, session: Option<u64>, pos: u64) {
+        if let Some(r) = &self.registry {
+            let sess = session.map_or_else(|| "new".into(), |s| s.to_string());
+            r.emit_event(
+                EventKind::NetResume,
+                format!("send resumed session {sess} at sample {pos}"),
+            );
+        }
     }
 
     /// Completes the session handshake on a fresh connection: a
@@ -476,6 +504,7 @@ impl ResilientSender {
         let mut report = SendReport::default();
         let t0 = Instant::now();
         let mut attempt = 0u32;
+        let mut had_backoff = false;
 
         // Connect before touching the trace file — the plain sender's error
         // ordering, which callers rely on: a dead server surfaces as the
@@ -488,6 +517,8 @@ impl ResilientSender {
                     if attempt >= self.retry.max_retries {
                         return Err(e);
                     }
+                    self.emit_backoff(attempt, &e);
+                    had_backoff = true;
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                     report.reconnects += 1;
@@ -521,12 +552,20 @@ impl ResilientSender {
                     if attempt >= self.retry.max_retries {
                         return Err(e);
                     }
+                    self.emit_backoff(attempt, &e);
+                    had_backoff = true;
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                     report.reconnects += 1;
                     continue 'session;
                 }
             };
+            // Every `continue 'session` path above and below marks a
+            // backoff, so reaching here with the flag set means this
+            // handshake is a recovery.
+            if had_backoff {
+                self.emit_resume(session, pos);
+            }
             session = Some(tx.session);
             reader.seek_to_sample(pos)?;
             let mut start_sample = pos;
@@ -550,6 +589,8 @@ impl ResilientSender {
                         if attempt >= self.retry.max_retries {
                             return Err(e);
                         }
+                        self.emit_backoff(attempt, &e);
+                        had_backoff = true;
                         std::thread::sleep(self.retry.backoff(attempt));
                         attempt += 1;
                         report.reconnects += 1;
@@ -569,6 +610,8 @@ impl ResilientSender {
                     if attempt >= self.retry.max_retries {
                         return Err(e);
                     }
+                    self.emit_backoff(attempt, &e);
+                    had_backoff = true;
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                     report.reconnects += 1;
@@ -798,6 +841,7 @@ pub struct ResilientSubscriber {
     faults: Option<Arc<FaultPlan>>,
     attempt: u32,
     reconnects: u64,
+    registry: Option<Arc<Registry>>,
 }
 
 impl ResilientSubscriber {
@@ -815,6 +859,7 @@ impl ResilientSubscriber {
             faults: FaultPlan::ambient(),
             attempt: 0,
             reconnects: 0,
+            registry: None,
         })
     }
 
@@ -832,6 +877,7 @@ impl ResilientSubscriber {
             faults: FaultPlan::ambient(),
             attempt: 0,
             reconnects: 0,
+            registry: None,
         })
     }
 
@@ -844,6 +890,12 @@ impl ResilientSubscriber {
     /// Overrides the fault plan (chaos testing).
     pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Emits NetBackoff/NetResume events into `registry`'s event log.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -904,12 +956,24 @@ impl ResilientSubscriber {
                     if self.attempt >= self.retry.max_retries {
                         return Err(e);
                     }
+                    if let Some(r) = &self.registry {
+                        r.emit_event(
+                            EventKind::NetBackoff,
+                            format!("subscribe attempt {}: {e}", self.attempt),
+                        );
+                    }
                     std::thread::sleep(self.retry.backoff(self.attempt));
                     self.attempt += 1;
                     if let Ok(sub) = RecordSubscriber::connect_from(&self.addr[..], self.pos) {
                         self.reconnects += 1;
                         self.pos = sub.position();
                         self.inner = Some(sub);
+                        if let Some(r) = &self.registry {
+                            r.emit_event(
+                                EventKind::NetResume,
+                                format!("subscribe resumed at position {}", self.pos),
+                            );
+                        }
                     }
                 }
             }

@@ -334,6 +334,52 @@ struct Inner {
     sessions_done: AtomicU64,
     parked: Mutex<HashMap<u64, SessionState>>,
     next_session: AtomicU64,
+    /// Owned registry for event emission (the counters in `stats` hold
+    /// their own Arcs; this is for the event log and the fan-out
+    /// histogram).
+    registry: Option<Arc<Registry>>,
+    /// `latency.net_fanout_us`: duration of one record publish call. Same
+    /// bucket layout as the core stage histograms, constructed locally
+    /// because rfd-net sits below the analysis stack.
+    fanout_hist: Option<Arc<rfd_telemetry::Histogram>>,
+    /// Slow-consumer evictions already surfaced as events (the hub only
+    /// keeps a counter).
+    evictions_reported: AtomicU64,
+}
+
+impl Inner {
+    fn emit(&self, kind: rfd_telemetry::event::EventKind, detail: String) {
+        if let Some(r) = &self.registry {
+            r.emit_event(kind, detail);
+        }
+    }
+
+    /// Emits one SlowConsumerEvicted event per eviction the hub has booked
+    /// since the last check.
+    fn note_evictions(&self) {
+        if self.registry.is_none() {
+            return;
+        }
+        let total = self.hub.evicted();
+        let mut seen = self.evictions_reported.load(Ordering::Relaxed);
+        while seen < total {
+            match self.evictions_reported.compare_exchange(
+                seen,
+                seen + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.emit(
+                        rfd_telemetry::event::EventKind::SlowConsumerEvicted,
+                        format!("subscriber queue full (eviction #{})", seen + 1),
+                    );
+                    seen += 1;
+                }
+                Err(now) => seen = now,
+            }
+        }
+    }
 }
 
 impl Inner {
@@ -403,18 +449,26 @@ impl Server {
         addr: A,
         cfg: ServerConfig,
         pipeline: Box<dyn Pipeline>,
-        registry: Option<&Registry>,
+        registry: Option<Arc<Registry>>,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let fanout_hist = registry.as_ref().map(|r| {
+            r.histogram("latency.net_fanout_us", || {
+                rfd_telemetry::Histogram::exponential(1.0, 1e7, 28)
+            })
+        });
         let inner = Arc::new(Inner {
             hub: RecordHub::new(cfg.sub_queue_cap),
-            stats: NetStats::new(registry),
+            stats: NetStats::new(registry.as_deref()),
             cfg,
             pipeline: Mutex::new(pipeline),
             shutdown: AtomicBool::new(false),
             sessions_done: AtomicU64::new(0),
             parked: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
+            registry,
+            fanout_hist,
+            evictions_reported: AtomicU64::new(0),
         });
         Ok(Self { listener, inner })
     }
@@ -790,6 +844,14 @@ fn ingest_loop(
                     if !saturated {
                         saturated = true;
                         inner.stats.throttles_sent.add(1);
+                        inner.emit(
+                            rfd_telemetry::event::EventKind::ThrottleAdvisory,
+                            format!(
+                                "session {} ingest queue at {depth}/{}",
+                                sess.id,
+                                sess.queue.capacity()
+                            ),
+                        );
                         let _ = send_frame(
                             inner,
                             stream,
@@ -873,8 +935,13 @@ fn analysis_thread(inner: Arc<Inner>, queue: ChunkQueue<Vec<Complex32>>, meta: S
     };
     for rec in records {
         inner.stats.records_published.add(1);
+        let t0 = inner.fanout_hist.as_ref().map(|_| Instant::now());
         inner.hub.publish(HubMsg::Record(rec));
+        if let (Some(h), Some(t0)) = (&inner.fanout_hist, t0) {
+            h.record(t0.elapsed().as_secs_f64() * 1e6);
+        }
     }
+    inner.note_evictions();
     inner
         .hub
         .publish(HubMsg::Stats(inner.snapshot().to_json().to_json()));

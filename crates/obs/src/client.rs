@@ -1,0 +1,46 @@
+//! A minimal blocking scrape client (just enough HTTP/1.0 to read our own
+//! endpoint). Used by `rfdump top`, the CI scrape smoke and the tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Sends raw bytes to `addr` and returns `(status_line, body)`.
+///
+/// Exposed so tests can feed the listener malformed requests.
+pub fn scrape_raw(addr: &str, request: &[u8]) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    stream.write_all(request)?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = match text.find("\r\n\r\n") {
+        Some(p) => (&text[..p], &text[p + 4..]),
+        None => match text.find("\n\n") {
+            Some(p) => (&text[..p], &text[p + 2..]),
+            None => (text.as_str(), ""),
+        },
+    };
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+/// `GET path` from the metrics endpoint at `addr` (`host:port`); returns
+/// the body on HTTP 200, an error otherwise.
+pub fn scrape(addr: &str, path: &str) -> io::Result<String> {
+    let request = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n");
+    let (status, body) = scrape_raw(addr, request.as_bytes())?;
+    if status.split_whitespace().nth(1) == Some("200") {
+        Ok(body)
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape {path}: {status}"),
+        ))
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod event;
 pub mod json;
 pub mod rt;
 pub mod span;
@@ -98,6 +99,9 @@ pub struct Histogram {
     total: AtomicU64,
     /// Sum of recorded values, as f64 bits updated by CAS.
     sum_bits: AtomicU64,
+    /// Largest recorded value, as f64 bits updated by CAS. Only meaningful
+    /// when `total > 0`.
+    max_bits: AtomicU64,
 }
 
 impl Histogram {
@@ -117,6 +121,7 @@ impl Histogram {
             counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
         }
     }
 
@@ -154,6 +159,19 @@ impl Histogram {
                 Err(actual) => cur = actual,
             }
         }
+        // CAS-max into the f64 max.
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Number of recorded observations.
@@ -164,6 +182,15 @@ impl Histogram {
     /// Sum of recorded observations.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+        }
     }
 
     /// Mean of recorded observations (0 when empty).
@@ -211,6 +238,7 @@ impl Histogram {
                 .collect(),
             count: self.count(),
             sum: self.sum(),
+            max: self.max(),
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
@@ -229,6 +257,8 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observations.
     pub sum: f64,
+    /// Largest observation (exact, unlike the bucketed quantiles).
+    pub max: f64,
     /// Estimated median.
     pub p50: f64,
     /// Estimated 95th percentile.
@@ -243,6 +273,7 @@ impl HistogramSnapshot {
         JsonValue::obj(vec![
             ("count", JsonValue::num(self.count as f64)),
             ("sum", JsonValue::num(self.sum)),
+            ("max", JsonValue::num(self.max)),
             ("p50", JsonValue::num(self.p50)),
             ("p95", JsonValue::num(self.p95)),
             ("p99", JsonValue::num(self.p99)),
@@ -275,6 +306,7 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     tracer: span::SpanTracer,
+    events: event::EventLog,
 }
 
 impl Registry {
@@ -307,6 +339,19 @@ impl Registry {
     /// The registry's span tracer.
     pub fn tracer(&self) -> &span::SpanTracer {
         &self.tracer
+    }
+
+    /// The registry's typed event log.
+    pub fn events(&self) -> &event::EventLog {
+        &self.events
+    }
+
+    /// Records a typed event in the log *and* bumps the matching
+    /// `events.<kind>` counter, so incident rates are scrapeable without
+    /// walking the ring.
+    pub fn emit_event(&self, kind: event::EventKind, detail: impl Into<String>) {
+        self.counter(&format!("events.{}", kind.as_str())).inc();
+        self.events.emit(kind, detail);
     }
 
     /// Point-in-time copy of every instrument.
@@ -414,6 +459,20 @@ mod tests {
         }
         let qs: Vec<f64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
         assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles {qs:?}");
+    }
+
+    #[test]
+    fn max_tracks_the_largest_observation_exactly() {
+        let h = Histogram::exponential(1.0, 1e6, 16);
+        assert_eq!(h.max(), 0.0, "empty histogram reports 0");
+        h.record(3.5);
+        h.record(17_000.25);
+        h.record(42.0);
+        assert_eq!(h.max(), 17_000.25);
+        let s = h.snapshot();
+        assert_eq!(s.max, 17_000.25);
+        let doc = json::parse(&s.to_json().to_json()).unwrap();
+        assert_eq!(doc.get("max").unwrap().as_f64(), Some(17_000.25));
     }
 
     #[test]

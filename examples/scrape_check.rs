@@ -1,0 +1,43 @@
+//! CI scrape helper: fetch `/metrics` from a live endpoint once, require
+//! it to parse as Prometheus text exposition v0.0.4, and print the raw
+//! payload to stdout (so the caller can grep for metric families).
+//!
+//! Run with: `cargo run --release -p rfd-examples --bin scrape_check HOST:PORT`
+//!
+//! Exit status: 0 on a parseable scrape, 1 on connection failure or a
+//! payload the strict validator rejects. The container images have no
+//! curl, so CI drives the endpoint through this binary instead.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let addr = match std::env::args().nth(1) {
+        Some(a) => a,
+        None => {
+            eprintln!("usage: scrape_check HOST:PORT");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match rfd_obs::scrape(&addr, "/metrics") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scrape_check: cannot scrape {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match rfd_obs::prom::validate(&text) {
+        Ok(exp) => {
+            eprintln!(
+                "scrape_check: {} families, {} samples — valid 0.0.4",
+                exp.families.len(),
+                exp.samples
+            );
+        }
+        Err(e) => {
+            eprintln!("scrape_check: payload is not valid exposition text: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{text}");
+    ExitCode::SUCCESS
+}

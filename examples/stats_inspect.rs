@@ -217,18 +217,74 @@ fn main() {
         }
     }
 
+    // Version-6 sections: per-stage latency waterfall and the event log.
+    match doc.get("latency") {
+        Some(JsonValue::Null) | None => {}
+        Some(lat) => {
+            let mut rows: Vec<(&String, &JsonValue)> = lat
+                .as_obj()
+                .map(|o| o.iter().map(|(k, v)| (k, v)).collect())
+                .unwrap_or_default();
+            rows.sort_by(|a, b| a.0.cmp(b.0));
+            if !rows.is_empty() {
+                println!("\nstage latency (time since ingest, µs):");
+                for (stage, v) in rows {
+                    if num(v, "count") == 0.0 {
+                        continue;
+                    }
+                    println!(
+                        "  {stage:<12} n={:<8} p50={:<10.1} p95={:<10.1} p99={:<10.1} max={:.1}",
+                        num(v, "count"),
+                        num(v, "p50_us"),
+                        num(v, "p95_us"),
+                        num(v, "p99_us"),
+                        num(v, "max_us"),
+                    );
+                }
+            }
+        }
+    }
+    match doc.get("events") {
+        Some(JsonValue::Null) | None => {}
+        Some(ev) => {
+            let emitted = num(ev, "emitted");
+            if emitted > 0.0 {
+                println!(
+                    "\nevents: {} emitted, {} dropped from ring",
+                    emitted,
+                    num(ev, "dropped"),
+                );
+                if let Some(ring) = ev.get("ring").and_then(|r| r.as_arr()) {
+                    for e in ring.iter().rev().take(10).rev() {
+                        println!(
+                            "  {:>10.3}s {:<22} {}",
+                            num(e, "ts_us") / 1e6,
+                            e.get("kind").and_then(|k| k.as_str()).unwrap_or("?"),
+                            e.get("detail").and_then(|d| d.as_str()).unwrap_or(""),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
+        // Sort by name so the rendering is stable regardless of document
+        // key order.
+        let mut rows: Vec<(&String, &JsonValue)> = hists.iter().map(|(k, v)| (k, v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
         println!("\nlatency / confidence distributions:");
-        for (name, h) in hists {
+        for (name, h) in rows {
             if num(h, "count") == 0.0 {
                 continue;
             }
             println!(
-                "  {name:<40} n={:<6} p50={:<10.3} p95={:<10.3} p99={:.3}",
+                "  {name:<40} n={:<6} p50={:<10.3} p95={:<10.3} p99={:<10.3} max={:.3}",
                 num(h, "count"),
                 num(h, "p50"),
                 num(h, "p95"),
                 num(h, "p99"),
+                num(h, "max"),
             );
         }
     }

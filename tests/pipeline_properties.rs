@@ -238,6 +238,7 @@ fn dispatcher_conserves_peaks() {
             samples: Arc::new(vec![]),
             sample_start: id * 5_000,
             sample_rate: 8e6,
+            ingest: None,
         };
         let votes = if rng.next_bool(0.6) {
             vec![Classification {
