@@ -3,11 +3,16 @@
 #   1. formatting and lints (rustfmt, clippy -D warnings)
 #   2. tier-1: release build + full test suite, single-threaded
 #      (RFD_WORKERS=0) and again on the work-stealing analysis pool
-#      (RFD_WORKERS=4) — the pipeline must be deterministic across both
+#      (RFD_WORKERS=4) — the pipeline must be deterministic across both —
+#      and a third pass pinned to the scalar reference kernels
+#      (RFD_KERNEL=scalar); the default legs run whatever SIMD backend
+#      the host resolves, so together they cover the kernel matrix
 #   3. a smoke run of the rfdump CLI over a tiny generated .rfdt trace,
 #      checking that --stats-json emits a document the in-repo parser and
-#      schema checks accept, and that --workers 0 and --workers 4 print a
-#      byte-identical record stream.
+#      schema checks accept, that --workers 0 and --workers 4 print a
+#      byte-identical record stream, and that every DSP kernel backend
+#      the host supports (rfdump kernel) prints that same stream —
+#      failing if auto resolves to scalar on a SIMD-capable host.
 #   4. chaos smokes: the suite again under an ambient output-preserving
 #      RFD_FAULTS plan, a serve/send loopback with injected producer
 #      disconnects diffed against offline output, and a SIGINT shutdown
@@ -31,6 +36,12 @@ RFD_WORKERS=0 cargo test -q
 
 echo "== tier-1: test again on the analysis pool (RFD_WORKERS=4) =="
 RFD_WORKERS=4 cargo test -q
+
+echo "== tier-1: test again on the scalar reference kernels (RFD_KERNEL=scalar) =="
+# The two legs above ran under RFD_KERNEL=auto (the host's best SIMD
+# backend); this one pins the scalar reference so a vectorized-kernel bug
+# can never hide behind the backend both legs happened to pick.
+RFD_KERNEL=scalar RFD_WORKERS=0 cargo test -q
 
 echo "== smoke: rfdump --stats-json on a generated trace =="
 work="$(mktemp -d)"
@@ -58,6 +69,38 @@ if ! diff -u "$work/records-w0.txt" "$work/records-w4.txt"; then
     echo "nondeterministic output: record stream differs between worker counts"
     exit 1
 fi
+
+echo "== kernel matrix: record stream identical across DSP backends =="
+# `rfdump kernel` reports what RFD_KERNEL=auto resolves to and which
+# backends the CPU supports. Auto must pick the best vectorized backend —
+# a silent fallback to scalar on a SIMD-capable host is a build/dispatch
+# regression, not a preference.
+./target/release/rfdump kernel | tee "$work/kernel.txt"
+backend="$(awk '/^backend:/ {print $2}' "$work/kernel.txt")"
+available="$(awk '/^available:/ {$1=""; print}' "$work/kernel.txt")"
+case " $available " in
+    *" avx2 "*)
+        [ "$backend" = avx2 ] \
+            || { echo "auto resolved to $backend on an AVX2-capable host"; exit 1; } ;;
+    *" sse2 "*)
+        [ "$backend" = sse2 ] \
+            || { echo "auto resolved to $backend on an SSE2-capable host"; exit 1; } ;;
+esac
+# Every supported backend must print a record stream byte-identical to the
+# default (auto) run above — the bit-exactness contract, end to end.
+for b in $available; do
+    RFD_KERNEL=$b ./target/release/rfdump -r "$trace" --workers 0 \
+        > "$work/records-k$b.txt"
+    if ! diff -u "$work/records-w0.txt" "$work/records-k$b.txt"; then
+        echo "record stream diverged under RFD_KERNEL=$b"
+        exit 1
+    fi
+done
+# The stats document must report which backend ran.
+RFD_KERNEL=scalar ./target/release/rfdump -r "$trace" -q \
+    --stats-json "$work/stats-scalar.json"
+grep -q '"backend":"scalar"' "$work/stats-scalar.json" \
+    || { echo "stats json did not report the scalar kernel backend"; exit 1; }
 
 echo "== observability: records byte-identical with a live metrics endpoint =="
 # Attaching a scrape endpoint (and the ingest stamping it turns on) must

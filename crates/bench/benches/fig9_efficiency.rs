@@ -81,6 +81,12 @@ fn main() {
         .collect();
 
     let mut report = BenchReport::new("fig9");
+    // CPU/RT ratios depend on which DSP kernel backend ran; record it so
+    // before/after comparisons (RFD_KERNEL=scalar vs auto) are attributable.
+    report.push(
+        "kernel_backend",
+        JsonValue::str(rfd_dsp::kernels::active().name()),
+    );
     report.push(
         "utilizations",
         JsonValue::Arr(utils.iter().map(|&u| JsonValue::num(u)).collect()),

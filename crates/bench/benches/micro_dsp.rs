@@ -58,6 +58,14 @@ fn main() {
     let mut report = BenchReport::new("micro_dsp");
     let mut rows = Vec::new();
 
+    // These kernels dispatch through rfd_dsp::kernels; record which backend
+    // ran so the numbers are attributable (compare backends with
+    // `RFD_KERNEL=... cargo bench -p rfd-bench --bench micro_dsp`, or see
+    // the dsp_kernels bench for the full per-backend sweep).
+    let backend = rfd_dsp::kernels::active();
+    println!("kernel backend: {backend}");
+    report.push("kernel_backend", JsonValue::str(backend.name()));
+
     // -- detection-side kernels -------------------------------------------
     let sig = noise(N, 1);
 

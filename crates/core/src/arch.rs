@@ -239,6 +239,10 @@ pub fn run_architecture_with_registry(
         .then(|| shared.unwrap_or_else(|| Arc::new(Registry::new())));
     if let Some(reg) = &registry {
         reg.counter("trace.samples").add(samples.len() as u64);
+        // Which DSP kernel backend this run executes with (scrapes as
+        // `rfd_kernel_backend`; values match `kernels::Backend as u8`).
+        reg.gauge("kernel.backend")
+            .set(i64::from(rfd_dsp::kernels::active() as u8));
     }
     let chunks = SampleChunk::chunk_trace(samples, fs, crate::CHUNK_SAMPLES);
     let mut out = match cfg.kind {

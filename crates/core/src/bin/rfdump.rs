@@ -11,6 +11,13 @@
 //! `--metrics-addr` scrape endpoint and renders a refreshing terminal
 //! view of rates, per-stage latency quantiles and recent events.
 //!
+//! `rfdump kernel` reports the DSP kernel backend this host resolves:
+//! the active backend (after honoring `RFD_KERNEL=scalar|sse2|avx2|auto`),
+//! the raw request, and every backend the CPU supports. All backends are
+//! bit-exact against the scalar reference, so record output never depends
+//! on which one runs; the subcommand exists so scripts can assert the
+//! vectorized paths actually engaged.
+//!
 //! ```text
 //! rfdump -r trace.rfdt [options]
 //! rfdump serve --listen ADDR [--once] [--queue-cap N]
@@ -21,6 +28,7 @@
 //!             [--retries N] TRACE
 //! rfdump watch --connect ADDR [-q] [--journal DIR]
 //! rfdump top --connect ADDR [--interval SECS] [--once]
+//! rfdump kernel
 //!
 //!   -r FILE          trace file to read (required)
 //!   -a ARCH          rfdump | naive | naive-energy      (default rfdump)
@@ -140,6 +148,7 @@ fn usage() -> ExitCode {
          \x20             [--retries N] [--chaos SPEC] TRACE\n\
          \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC] [--journal DIR]\n\
          \x20      rfdump top --connect ADDR [--interval SECS] [--once]\n\
+         \x20      rfdump kernel        (print the resolved DSP kernel backend)\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
     );
     ExitCode::from(2)
@@ -821,6 +830,21 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rfdump kernel`: prints which DSP kernel backend this process resolves.
+///
+/// Output is `key: value` lines so shell scripts can grep a field, e.g.
+/// `rfdump kernel | awk '/^backend:/ {print $2}'`. Honors `RFD_KERNEL`.
+fn cmd_kernel() -> ExitCode {
+    println!("backend: {}", rfd_dsp::kernels::active().name());
+    println!("requested: {}", rfd_dsp::kernels::requested());
+    let names: Vec<&str> = rfd_dsp::kernels::available()
+        .iter()
+        .map(|b| b.name())
+        .collect();
+    println!("available: {}", names.join(" "));
+    ExitCode::SUCCESS
+}
+
 /// `rfdump top`: polls a metrics endpoint and renders a refreshing view.
 fn cmd_top(args: &[String]) -> ExitCode {
     let mut connect = None;
@@ -901,6 +925,7 @@ fn main() -> ExitCode {
         Some("send") => return cmd_send(&argv[1..]),
         Some("watch") => return cmd_watch(&argv[1..]),
         Some("top") => return cmd_top(&argv[1..]),
+        Some("kernel") => return cmd_kernel(),
         _ => {}
     }
     let opts = match parse_args() {

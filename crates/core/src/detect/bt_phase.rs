@@ -9,7 +9,6 @@
 
 use super::{Classification, FastDetector};
 use crate::chunk::PeakBlock;
-use rfd_dsp::phase::wrap_phase;
 use rfd_phy::Protocol;
 
 /// The GFSK phase detector.
@@ -60,24 +59,12 @@ impl FastDetector for BtPhaseDetector {
         }
         let n = samples.len().min(self.max_samples);
         // First derivative (one conj-multiply + atan per sample) and running
-        // second-derivative statistic.
-        let mut sum_d1 = 0.0f64;
-        let mut sum_abs_d2 = 0.0f64;
-        let mut prev_d1: Option<f32> = None;
-        let mut count_d2 = 0usize;
-        for w in samples[..n].windows(2) {
-            let d1 = (w[1] * w[0].conj()).arg();
-            sum_d1 += d1 as f64;
-            if let Some(p) = prev_d1 {
-                sum_abs_d2 += wrap_phase(d1 - p).abs() as f64;
-                count_d2 += 1;
-            }
-            prev_d1 = Some(d1);
-        }
-        if count_d2 == 0 {
+        // second-derivative statistic, fused into a single vectorized pass.
+        let stats = rfd_dsp::phase::phase_deriv_stats(&samples[..n]);
+        if stats.count_d2 == 0 {
             return Vec::new();
         }
-        let mean_abs_d2 = (sum_abs_d2 / count_d2 as f64) as f32;
+        let mean_abs_d2 = (stats.sum_abs_d2 / stats.count_d2 as f64) as f32;
         // Expected mean |φ''| from AWGN phase noise alone: per-sample phase
         // noise σ ≈ 1/sqrt(2·SNR); the second difference combines three
         // samples (variance ×6) and E[|N(0,σ)|] = 0.8·σ.
@@ -92,7 +79,7 @@ impl FastDetector for BtPhaseDetector {
         }
         // The first derivative identifies the channel.
         let fs = pb.sample_rate;
-        let mean_d1 = sum_d1 / (n - 1) as f64;
+        let mean_d1 = stats.sum_d1 / (n - 1) as f64;
         let freq = mean_d1 * fs / rfd_dsp::TAU64; // offset from band center
         let abs_freq = self.band_center_hz + freq;
         // Nearest Bluetooth channel.

@@ -128,11 +128,9 @@ impl FastDetector for WifiPhaseDetector {
         if samples.len() < wlen * self.min_windows.min(4) {
             return Vec::new();
         }
-        // Measured |Δφ| for the whole peak.
-        let mut dphi = Vec::with_capacity(samples.len() - 1);
-        for w in samples.windows(2) {
-            dphi.push(wrap_phase((w[1] * w[0].conj()).arg()).abs());
-        }
+        // Measured |Δφ| for the whole peak (vectorized conj-multiply pass).
+        let mut dphi = Vec::new();
+        rfd_dsp::phase::phase_diff_abs_into(samples, &mut dphi);
         // Window-by-window match; find the matched prefix (with a little
         // slack for scrambler-flip noise at symbol boundaries).
         let mut matched = 0usize;

@@ -70,6 +70,27 @@ pub struct PeakDetector {
     /// Absolute index of the next sample to be pushed.
     cursor: u64,
     sample_rate: f64,
+    /// Scratch for the fused per-chunk instantaneous-power pass.
+    power: Vec<f32>,
+}
+
+/// Sequential `f64` mean of precomputed instantaneous powers — the
+/// detector's historical averaging order. Kept sequential (not striped) so
+/// the fused and unfused paths are bit-identical to each other and to the
+/// pre-kernel detector.
+fn seq_mean(power: &[f32]) -> f32 {
+    if power.is_empty() {
+        return 0.0;
+    }
+    (power.iter().map(|&p| p as f64).sum::<f64>() / power.len() as f64) as f32
+}
+
+/// [`seq_mean`] computed directly from samples (unfused reference path).
+fn seq_mean_samples(samples: &[Complex32]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    (samples.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / samples.len() as f64) as f32
 }
 
 struct OpenPeak {
@@ -120,6 +141,7 @@ impl PeakDetector {
             cursor: 0,
             cfg,
             sample_rate,
+            power: Vec::new(),
         }
     }
 
@@ -133,7 +155,23 @@ impl PeakDetector {
     /// The cheap path: if the chunk's trailing-window average is below
     /// threshold and no peak is open, the chunk is skipped without
     /// per-sample work (the paper's integrated energy filter).
+    ///
+    /// This is the **fused** pass: instantaneous power is materialized once
+    /// per chunk through the vectorized [`rfd_dsp::kernels::power_into`]
+    /// kernel and every downstream consumer — the online noise floor, the
+    /// energy gate, the windowed average, start refinement and the adaptive
+    /// instantaneous threshold — reads from that single array instead of
+    /// re-walking the samples. All averaging stays in the detector's
+    /// historical sequential order, so the output is bit-identical to
+    /// [`PeakDetector::push_chunk_unfused`].
     pub fn push_chunk(&mut self, chunk: &SampleChunk, out: &mut Vec<PeakBlock>) {
+        let mut power = std::mem::take(&mut self.power);
+        rfd_dsp::kernels::power_into(chunk.samples.as_slice(), &mut power);
+        self.push_chunk_inner(chunk, &power, out);
+        self.power = power;
+    }
+
+    fn push_chunk_inner(&mut self, chunk: &SampleChunk, power: &[f32], out: &mut Vec<PeakBlock>) {
         let samples = chunk.samples.as_slice();
         debug_assert_eq!(chunk.start, self.cursor, "chunks must be contiguous");
 
@@ -142,7 +180,7 @@ impl PeakDetector {
         // the floor up). Updated before thresholding so the very first chunk
         // already has a sane floor.
         if !self.floor_fixed {
-            let chunk_avg = rfd_dsp::complex::mean_power(samples);
+            let chunk_avg = seq_mean(power);
             if chunk_avg > 0.0 {
                 if self.recent_avgs.len() >= 800 {
                     self.recent_avgs.pop_front();
@@ -162,7 +200,7 @@ impl PeakDetector {
         let tail_avg = if w == 0 {
             0.0
         } else {
-            rfd_dsp::complex::mean_power(&samples[samples.len() - w..])
+            seq_mean(&power[samples.len() - w..])
         };
 
         if self.open.is_none() && tail_avg <= threshold {
@@ -176,7 +214,7 @@ impl PeakDetector {
             let stride = self.cfg.avg_window.max(1);
             let mut i = 0;
             while i + stride <= samples.len() {
-                if rfd_dsp::complex::mean_power(&samples[i..i + stride]) > threshold {
+                if seq_mean(&power[i..i + stride]) > threshold {
                     hot = true;
                     break;
                 }
@@ -187,8 +225,8 @@ impl PeakDetector {
                 self.stash_tail(samples);
                 self.cursor += samples.len() as u64;
                 // Keep the averaging window warm for edge precision.
-                for &z in &samples[samples.len().saturating_sub(self.cfg.avg_window)..] {
-                    self.avg.push(z);
+                for &p in &power[samples.len().saturating_sub(self.cfg.avg_window)..] {
+                    self.avg.push_power(p);
                 }
                 return;
             }
@@ -196,7 +234,8 @@ impl PeakDetector {
 
         // Slow path: per-sample scan.
         for (k, &z) in samples.iter().enumerate() {
-            let avg = self.avg.push(z);
+            let p = power[k];
+            let avg = self.avg.push_power(p);
             let idx = chunk.start + k as u64;
             match &mut self.open {
                 None => {
@@ -204,7 +243,110 @@ impl PeakDetector {
                         // Refine the start: walk back through the averaging
                         // window / margin tail to the first sample whose
                         // instantaneous power clears the threshold.
-                        let start = self.refine_start(samples, k, idx, threshold);
+                        let start = self.refine_start(power, k, idx, threshold);
+                        let buf_start = start.saturating_sub(self.cfg.margin as u64);
+                        let mut buf = Vec::with_capacity(512);
+                        self.copy_history(buf_start, chunk.start, samples, k, &mut buf);
+                        self.open = Some(OpenPeak {
+                            start,
+                            buf,
+                            buf_start,
+                            last_hot: idx,
+                            hot_run: 0,
+                            power_acc: p as f64,
+                            n_acc: 1,
+                            ingest: chunk.ingest,
+                        });
+                        self.below = 0;
+                    }
+                }
+                Some(op) => {
+                    op.buf.push(z);
+                    if p > op.inst_threshold(threshold) {
+                        op.hot_run += 1;
+                        if op.hot_run >= 3 {
+                            op.last_hot = idx;
+                        }
+                    } else {
+                        op.hot_run = 0;
+                    }
+                    if avg > threshold {
+                        self.below = 0;
+                        op.power_acc += p as f64;
+                        op.n_acc += 1;
+                    } else {
+                        self.below += 1;
+                        if self.below >= self.cfg.hang_samples {
+                            self.close_peak(out);
+                        }
+                    }
+                }
+            }
+        }
+        self.stash_tail(samples);
+        self.cursor += samples.len() as u64;
+    }
+
+    /// The pre-fusion reference pass: walks the chunk's samples once per
+    /// consumer (noise floor, energy gate, per-sample scan), recomputing
+    /// `|z|²` at each use. Kept verbatim as the differential oracle for the
+    /// fused [`PeakDetector::push_chunk`] — `tests/pipeline_properties.rs`
+    /// drives both over adversarial chunkings and requires identical output.
+    pub fn push_chunk_unfused(&mut self, chunk: &SampleChunk, out: &mut Vec<PeakBlock>) {
+        let samples = chunk.samples.as_slice();
+        debug_assert_eq!(chunk.start, self.cursor, "chunks must be contiguous");
+
+        if !self.floor_fixed {
+            let chunk_avg = seq_mean_samples(samples);
+            if chunk_avg > 0.0 {
+                if self.recent_avgs.len() >= 800 {
+                    self.recent_avgs.pop_front();
+                }
+                self.recent_avgs.push_back(chunk_avg);
+                let min = self
+                    .recent_avgs
+                    .iter()
+                    .fold(f32::INFINITY, |m, &v| m.min(v));
+                self.floor = min;
+            }
+        }
+        let threshold = self.floor * db_to_power(self.cfg.threshold_db);
+
+        let w = self.cfg.avg_window.min(samples.len());
+        let tail_avg = if w == 0 {
+            0.0
+        } else {
+            seq_mean_samples(&samples[samples.len() - w..])
+        };
+
+        if self.open.is_none() && tail_avg <= threshold {
+            let mut hot = false;
+            let stride = self.cfg.avg_window.max(1);
+            let mut i = 0;
+            while i + stride <= samples.len() {
+                if seq_mean_samples(&samples[i..i + stride]) > threshold {
+                    hot = true;
+                    break;
+                }
+                i += stride;
+            }
+            if !hot {
+                self.stash_tail(samples);
+                self.cursor += samples.len() as u64;
+                for &z in &samples[samples.len().saturating_sub(self.cfg.avg_window)..] {
+                    self.avg.push(z);
+                }
+                return;
+            }
+        }
+
+        for (k, &z) in samples.iter().enumerate() {
+            let avg = self.avg.push(z);
+            let idx = chunk.start + k as u64;
+            match &mut self.open {
+                None => {
+                    if avg > threshold {
+                        let start = self.refine_start_unfused(samples, k, idx, threshold);
                         let buf_start = start.saturating_sub(self.cfg.margin as u64);
                         let mut buf = Vec::with_capacity(512);
                         self.copy_history(buf_start, chunk.start, samples, k, &mut buf);
@@ -256,10 +398,41 @@ impl PeakDetector {
         }
     }
 
-    fn refine_start(&self, samples: &[Complex32], k: usize, idx: u64, threshold: f32) -> u64 {
+    fn refine_start(&self, power: &[f32], k: usize, idx: u64, threshold: f32) -> u64 {
         // Walk back while the instantaneous power stays above threshold —
         // a contiguous run bounded by one averaging window, so isolated
         // noise spikes before the packet cannot drag the start earlier.
+        // In-chunk lookups come from the fused power array; the margin tail
+        // (raw samples from previous chunks) recomputes `|z|²` on the spot.
+        let lookback = self.cfg.avg_window;
+        let mut best = idx;
+        for back in 1..=lookback {
+            let inst = if back <= k {
+                power[k - back]
+            } else {
+                let t = back - k;
+                if t <= self.tail.len() {
+                    self.tail[self.tail.len() - t].norm_sqr()
+                } else {
+                    break;
+                }
+            };
+            if inst > threshold {
+                best = idx - back as u64;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    fn refine_start_unfused(
+        &self,
+        samples: &[Complex32],
+        k: usize,
+        idx: u64,
+        threshold: f32,
+    ) -> u64 {
         let lookback = self.cfg.avg_window;
         let mut best = idx;
         for back in 1..=lookback {

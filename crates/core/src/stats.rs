@@ -36,8 +36,12 @@
 //!   time-since-ingest summaries — count / p50 / p95 / p99 / max in µs for
 //!   each `latency.*` histogram, keyed by stage name; null when telemetry
 //!   was off, empty when no stamps completed). Histogram entries everywhere
-//!   gain `max` and `p50`. This comment is the single authoritative record
-//!   of the v5→v6 bump.
+//!   gain `max` and `p50`.
+//! * **7** — adds `kernel` (the DSP kernel backend that ran: `backend` is
+//!   the resolved backend name, `requested` the raw `RFD_KERNEL` request
+//!   ("auto" when unset), `available` the backends this CPU supports —
+//!   always present since the kernel layer always resolves). This comment
+//!   is the single authoritative record of the v6→v7 bump.
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -49,7 +53,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 6;
+pub const STATS_VERSION: u64 = 7;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -227,6 +231,24 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
         None => doc.push("net", JsonValue::Null),
         Some(snap) => doc.push("net", snap.to_json()),
     }
+
+    // The DSP kernel backend the run executed with (v7).
+    doc.push(
+        "kernel",
+        JsonValue::obj(vec![
+            ("backend", JsonValue::str(rfd_dsp::kernels::active().name())),
+            ("requested", JsonValue::str(rfd_dsp::kernels::requested())),
+            (
+                "available",
+                JsonValue::Arr(
+                    rfd_dsp::kernels::available()
+                        .iter()
+                        .map(|b| JsonValue::str(b.name()))
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
 
     // Fault-injection plan counters (null when no plan was armed).
     match &out.faults {
@@ -437,6 +459,28 @@ mod tests {
             blocks[0].get("name").unwrap().as_str(),
             Some("detect:peak/energy")
         );
+    }
+
+    #[test]
+    fn v7_kernel_section_reports_backend() {
+        let doc_text = stats_json(&fake_output()).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        let kernel = doc.get("kernel").unwrap();
+        let backend = kernel.get("backend").unwrap().as_str().unwrap();
+        assert!(kernel.get("requested").unwrap().as_str().is_some());
+        let available: Vec<&str> = kernel
+            .get("available")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert!(
+            available.contains(&backend),
+            "resolved backend {backend:?} not in available {available:?}"
+        );
+        assert!(available.contains(&"scalar"), "scalar is always available");
     }
 
     #[test]

@@ -240,12 +240,11 @@ pub fn to_i16_iq(z: Complex32) -> (i16, i16) {
 }
 
 /// Average power (mean squared magnitude) of a slice of samples.
+///
+/// Dispatches through the vectorized kernel layer; see
+/// [`crate::kernels::mean_power`].
 pub fn mean_power(samples: &[Complex32]) -> f32 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let sum: f64 = samples.iter().map(|s| s.norm_sqr() as f64).sum();
-    (sum / samples.len() as f64) as f32
+    crate::kernels::mean_power(samples)
 }
 
 #[cfg(test)]

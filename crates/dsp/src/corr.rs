@@ -25,10 +25,7 @@ pub fn normalized_xcorr_real(signal: &[f32], pattern: &[f32]) -> Vec<f32> {
     // Running window energy for normalization.
     let mut w_energy: f64 = signal[..m].iter().map(|&x| (x as f64).powi(2)).sum();
     for i in 0..n_out {
-        let mut dot = 0.0f64;
-        for (k, &p) in pattern.iter().enumerate() {
-            dot += p as f64 * signal[i + k] as f64;
-        }
+        let dot = crate::kernels::dot_f32(&signal[i..i + m], pattern);
         let denom = p_norm * w_energy.max(0.0).sqrt();
         out.push(if denom > 1e-12 {
             (dot / denom) as f32
@@ -52,11 +49,7 @@ pub fn xcorr_complex(signal: &[Complex32], pattern: &[Complex32]) -> Vec<Complex
     let n_out = signal.len() - m + 1;
     let mut out = Vec::with_capacity(n_out);
     for i in 0..n_out {
-        let mut acc = Complex32::ZERO;
-        for (k, &p) in pattern.iter().enumerate() {
-            acc += signal[i + k] * p.conj();
-        }
-        out.push(acc);
+        out.push(crate::kernels::conj_dot(&signal[i..i + m], pattern));
     }
     out
 }

@@ -57,7 +57,14 @@ impl RunningPower {
     /// Until the window fills, the average is over the samples seen so far.
     #[inline]
     pub fn push(&mut self, z: Complex32) -> f32 {
-        let p = z.norm_sqr();
+        self.push_power(z.norm_sqr())
+    }
+
+    /// Pushes a precomputed instantaneous power (`|z|²`) and returns the
+    /// current windowed average. The fused detection path uses this with
+    /// powers materialized once per chunk by [`crate::kernels::power_into`].
+    #[inline]
+    pub fn push_power(&mut self, p: f32) -> f32 {
         self.sum -= self.window[self.pos] as f64;
         self.window[self.pos] = p;
         self.sum += p as f64;

@@ -14,8 +14,10 @@ use crate::TAU64;
 #[derive(Debug, Clone)]
 pub struct Fft {
     n: usize,
-    /// Twiddle factors e^{-j 2 pi k / n} for k in 0..n/2 (forward direction).
-    twiddles: Vec<Complex32>,
+    /// Per-stage contiguous twiddles: `stages[s][k] = e^{-j 2 pi k / len}`
+    /// with `len = 2^(s+1)`, laid out so each butterfly stage streams its
+    /// twiddles sequentially through the vectorized stage kernel.
+    stages: Vec<Vec<Complex32>>,
     /// Bit-reversal permutation indices.
     rev: Vec<u32>,
 }
@@ -30,12 +32,23 @@ impl Fft {
             n.is_power_of_two() && n > 0,
             "FFT size must be a power of two, got {n}"
         );
-        let twiddles = (0..n / 2)
+        let base: Vec<Complex32> = (0..n / 2)
             .map(|k| {
                 let angle = -(TAU64 * k as f64 / n as f64);
                 Complex32::new(angle.cos() as f32, angle.sin() as f32)
             })
             .collect();
+        // One contiguous twiddle run per butterfly stage, subsampled from
+        // the same base table so planned values are identical to the
+        // classic strided lookup `base[k * step]`.
+        let mut stages = Vec::new();
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            stages.push((0..half).map(|k| base[k * step]).collect());
+            len <<= 1;
+        }
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| {
@@ -46,7 +59,7 @@ impl Fft {
                 }
             })
             .collect();
-        Self { n, twiddles, rev }
+        Self { n, stages, rev }
     }
 
     /// The transform size.
@@ -92,24 +105,9 @@ impl Fft {
                 buf.swap(i, j);
             }
         }
-        // Iterative Cooley-Tukey butterflies.
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let step = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * step];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let a = buf[start + k];
-                    let b = buf[start + k + half] * w;
-                    buf[start + k] = a + b;
-                    buf[start + k + half] = a - b;
-                }
-            }
-            len <<= 1;
+        // Iterative Cooley-Tukey butterflies, one vectorized stage at a time.
+        for stage_tw in &self.stages {
+            crate::kernels::fft_stage(buf, stage_tw.len(), stage_tw, inverse);
         }
     }
 

@@ -8,16 +8,26 @@
 
 use crate::complex::Complex32;
 use crate::window::{generate, Window};
-use std::collections::VecDeque;
 use std::f64::consts::PI;
 
 /// A real-tap FIR filter applied to complex samples, with internal history so
 /// it can process a stream in arbitrary-sized slices.
+///
+/// The delay line is a flat, *duplicated* ring buffer: each pushed sample is
+/// written twice, `n` complex slots apart, so the window of the last `n`
+/// samples is always one contiguous flat slice and the inner product runs
+/// through the vectorized [`crate::kernels::fir_dot`] with no wrap handling.
 #[derive(Debug, Clone)]
 pub struct Fir {
     taps: Vec<f32>,
-    /// Delay line; index 0 is the most recent sample.
-    history: VecDeque<Complex32>,
+    /// Taps reversed and duplicated per component: `taps2[2j] == taps2[2j+1]
+    /// == taps[n-1-j]`, so `taps2` pairs with the oldest→newest window.
+    taps2: Vec<f32>,
+    /// `4n` floats = `2n` complex slots; slot `i` and slot `i + n` always
+    /// hold the same sample.
+    buf: Vec<f32>,
+    /// Next complex slot (in `0..n`) to write.
+    pos: usize,
 }
 
 impl Fir {
@@ -28,10 +38,17 @@ impl Fir {
     /// Panics if `taps` is empty.
     pub fn new(taps: Vec<f32>) -> Self {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
-        let len = taps.len();
+        let n = taps.len();
+        let mut taps2 = vec![0.0f32; 2 * n];
+        for j in 0..n {
+            taps2[2 * j] = taps[n - 1 - j];
+            taps2[2 * j + 1] = taps[n - 1 - j];
+        }
         Self {
             taps,
-            history: VecDeque::from(vec![Complex32::ZERO; len]),
+            taps2,
+            buf: vec![0.0; 4 * n],
+            pos: 0,
         }
     }
 
@@ -52,21 +69,37 @@ impl Fir {
 
     /// Resets the delay line to zeros.
     pub fn reset(&mut self) {
-        for z in self.history.iter_mut() {
-            *z = Complex32::ZERO;
-        }
+        self.buf.fill(0.0);
+        self.pos = 0;
+    }
+
+    /// Writes one sample into the duplicated delay line without computing an
+    /// output (used by the decimating path to skip discarded outputs).
+    #[inline]
+    fn shift_in(&mut self, x: Complex32) {
+        let n = self.taps.len();
+        let a = 2 * self.pos;
+        let b = 2 * (self.pos + n);
+        self.buf[a] = x.re;
+        self.buf[a + 1] = x.im;
+        self.buf[b] = x.re;
+        self.buf[b + 1] = x.im;
+        self.pos = (self.pos + 1) % n;
+    }
+
+    /// The current window of the last `n` samples, oldest first, as a flat
+    /// `[re, im, ...]` slice aligned with `taps2`.
+    #[inline]
+    fn window(&self) -> &[f32] {
+        let n = self.taps.len();
+        &self.buf[2 * self.pos..2 * (self.pos + n)]
     }
 
     /// Filters one sample.
     #[inline]
     pub fn push(&mut self, x: Complex32) -> Complex32 {
-        self.history.pop_back();
-        self.history.push_front(x);
-        let mut acc = Complex32::ZERO;
-        for (h, t) in self.history.iter().zip(self.taps.iter()) {
-            acc += *h * *t;
-        }
-        acc
+        self.shift_in(x);
+        crate::kernels::fir_dot(self.window(), &self.taps2)
     }
 
     /// Filters a slice, appending outputs to `out` (one output per input).
@@ -79,6 +112,9 @@ impl Fir {
 
     /// Filters and decimates: produces one output for every `decim` inputs.
     ///
+    /// Skipped outputs never compute the dot product, so the cost per input
+    /// sample is `O(taps / decim)` plus the ring write.
+    ///
     /// # Panics
     /// Panics if `decim` is zero.
     pub fn process_decimate(
@@ -90,9 +126,10 @@ impl Fir {
     ) {
         assert!(decim > 0);
         for &x in input {
-            let y = self.push(x);
             if *phase == 0 {
-                out.push(y);
+                out.push(self.push(x));
+            } else {
+                self.shift_in(x);
             }
             *phase = (*phase + 1) % decim;
         }

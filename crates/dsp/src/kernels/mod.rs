@@ -1,0 +1,493 @@
+//! Runtime-dispatched SIMD kernels for the DSP hot paths.
+//!
+//! Every inner loop the detection front end spends real time in — per-sample
+//! power, windowed-power reductions, FIR and correlation dot products,
+//! adjacent conjugate-multiply chains (the paper's "complex conjugation,
+//! multiplication and arctan" pipeline, §4.5), and FFT butterfly stages —
+//! is routed through the [`KernelTable`] selected here. Three backends ship:
+//!
+//! * **scalar** — the reference implementation. It *defines* the numeric
+//!   contract; the vectorized backends must reproduce it bit-for-bit.
+//! * **sse2** — 128-bit `std::arch` intrinsics (baseline on x86-64).
+//! * **avx2** — 256-bit intrinsics, used when the CPU reports AVX2.
+//!
+//! # The bit-exactness contract
+//!
+//! SIMD changes results only when it changes *evaluation order*. We instead
+//! fix the evaluation order in the scalar reference so the natural vector
+//! schedule reproduces it exactly:
+//!
+//! * Element-wise kernels (per-sample power, conjugate products, butterfly
+//!   arithmetic) perform the same IEEE operations per element in the same
+//!   order, so every backend is trivially bit-identical. Sign manipulation
+//!   uses the identities `a + (-b) ≡ a - b` and `x * (-y) ≡ -(x * y)`,
+//!   which are exact in IEEE-754.
+//! * Reductions use **striped 8-lane accumulation**: lane `j` accumulates
+//!   elements with index ≡ `j` (mod 8) over the flat `f32` view, lanes are
+//!   combined with the fixed tree `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`,
+//!   and tail elements (`len % 8`) are added sequentially afterwards. That
+//!   tree is exactly what one 8-lane AVX2 accumulator (add the 128-bit
+//!   halves, then reduce pairwise) and two/four SSE2 accumulators produce.
+//! * Complex reductions stripe 4 complex lanes with the tree
+//!   `(c0+c2) + (c1+c3)`.
+//! * Transcendentals (`atan2`, `sin_cos`) always run in scalar `libm` code,
+//!   identical across backends; the vector backends only accelerate the
+//!   complex multiplies feeding them.
+//!
+//! Rust never reassociates floating point, so the scalar reference is
+//! bit-stable regardless of optimization level, and
+//! `tests/kernel_differential.rs` plus the golden-trace matrix prove the
+//! contract on every input class.
+//!
+//! # Backend selection
+//!
+//! The active backend resolves once from the `RFD_KERNEL` environment
+//! variable (`scalar`, `sse2`, `avx2`, or `auto`; default `auto` = best
+//! available) and can be overridden in-process with [`set_backend`] — the
+//! test suites use that to run the same pipeline under every backend within
+//! one process. Requesting an unavailable backend falls back to scalar with
+//! a warning on stderr.
+
+use crate::complex::Complex32;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod sse2_avx2;
+
+/// A kernel backend identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Backend {
+    /// Portable scalar reference implementation (always available).
+    Scalar = 1,
+    /// 128-bit SSE2 intrinsics (x86-64 baseline).
+    Sse2 = 2,
+    /// 256-bit AVX2 intrinsics.
+    Avx2 = 3,
+}
+
+impl Backend {
+    /// Stable lower-case name used in `RFD_KERNEL`, stats and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses an `RFD_KERNEL` value. `"auto"` maps to `None`.
+    pub fn parse(s: &str) -> Option<Option<Backend>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Some(Backend::Scalar)),
+            "sse2" => Some(Some(Backend::Sse2)),
+            "avx2" => Some(Some(Backend::Avx2)),
+            "auto" | "" => Some(None),
+            _ => None,
+        }
+    }
+
+    fn from_id(id: u8) -> Option<Backend> {
+        match id {
+            1 => Some(Backend::Scalar),
+            2 => Some(Backend::Sse2),
+            3 => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The dispatch table: one function pointer per kernel. All backends share
+/// the numeric contract documented at module level, so swapping tables can
+/// never change observable output — only speed.
+struct KernelTable {
+    /// Striped sum of squares over a flat `f32` view, accumulated in `f64`.
+    sum_sq_f32: fn(&[f32]) -> f64,
+    /// Per-sample `|z|²` (`re*re + im*im`, element-wise).
+    power_into: fn(&[Complex32], &mut [f32]),
+    /// Striped dot product of two real sequences, accumulated in `f64`.
+    dot_f32: fn(&[f32], &[f32]) -> f64,
+    /// Complex-window × duplicated-real-taps dot, striped 8-lane `f32`.
+    fir_dot: fn(&[f32], &[f32]) -> Complex32,
+    /// `Σ signal[k] * conj(pattern[k])`, striped 4 complex lanes.
+    conj_dot: fn(&[Complex32], &[Complex32]) -> Complex32,
+    /// `out[i] = samples[i+1] * conj(samples[i])` (element-wise).
+    conj_mul_adjacent: fn(&[Complex32], &mut [Complex32]),
+    /// One radix-2 butterfly stage across all blocks (element-wise per k).
+    fft_stage: fn(&mut [Complex32], usize, &[Complex32], bool),
+}
+
+static SCALAR_TABLE: KernelTable = KernelTable {
+    sum_sq_f32: scalar::sum_sq_f32,
+    power_into: scalar::power_into,
+    dot_f32: scalar::dot_f32,
+    fir_dot: scalar::fir_dot,
+    conj_dot: scalar::conj_dot,
+    conj_mul_adjacent: scalar::conj_mul_adjacent,
+    fft_stage: scalar::fft_stage,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSE2_TABLE: KernelTable = KernelTable {
+    sum_sq_f32: sse2_avx2::sse2_sum_sq_f32,
+    power_into: sse2_avx2::sse2_power_into,
+    dot_f32: sse2_avx2::sse2_dot_f32,
+    fir_dot: sse2_avx2::sse2_fir_dot,
+    conj_dot: sse2_avx2::sse2_conj_dot,
+    conj_mul_adjacent: sse2_avx2::sse2_conj_mul_adjacent,
+    fft_stage: sse2_avx2::sse2_fft_stage,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_TABLE: KernelTable = KernelTable {
+    sum_sq_f32: sse2_avx2::avx2_sum_sq_f32,
+    power_into: sse2_avx2::avx2_power_into,
+    dot_f32: sse2_avx2::avx2_dot_f32,
+    fir_dot: sse2_avx2::avx2_fir_dot,
+    conj_dot: sse2_avx2::avx2_conj_dot,
+    conj_mul_adjacent: sse2_avx2::avx2_conj_mul_adjacent,
+    fft_stage: sse2_avx2::avx2_fft_stage,
+};
+
+fn table_for(b: Backend) -> &'static KernelTable {
+    #[cfg(target_arch = "x86_64")]
+    match b {
+        Backend::Scalar => &SCALAR_TABLE,
+        Backend::Sse2 => &SSE2_TABLE,
+        Backend::Avx2 => &AVX2_TABLE,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = b;
+        &SCALAR_TABLE
+    }
+}
+
+/// Active backend id; 0 = not yet resolved.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+static WARNED: AtomicBool = AtomicBool::new(false);
+
+/// The raw `RFD_KERNEL` request captured at first resolution ("auto" when
+/// unset), reported by `--stats-json`.
+pub fn requested() -> &'static str {
+    static REQUESTED: OnceLock<String> = OnceLock::new();
+    REQUESTED.get_or_init(|| match std::env::var("RFD_KERNEL") {
+        Ok(v) if !v.trim().is_empty() => v.trim().to_ascii_lowercase(),
+        _ => "auto".to_string(),
+    })
+}
+
+/// Backends usable on this machine, in ascending preference order.
+pub fn available() -> &'static [Backend] {
+    static AVAILABLE: OnceLock<Vec<Backend>> = OnceLock::new();
+    AVAILABLE.get_or_init(|| {
+        let mut v = vec![Backend::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse2") {
+                v.push(Backend::Sse2);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(Backend::Avx2);
+            }
+        }
+        v
+    })
+}
+
+/// True if `b` can run on this machine.
+pub fn is_available(b: Backend) -> bool {
+    available().contains(&b)
+}
+
+fn resolve_from_env() -> Backend {
+    let req = requested();
+    let best = *available().last().unwrap_or(&Backend::Scalar);
+    match Backend::parse(req) {
+        Some(None) => best,
+        Some(Some(b)) if is_available(b) => b,
+        Some(Some(b)) => {
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "rfd-dsp: RFD_KERNEL={} requested but {} is not available \
+                     on this CPU; falling back to scalar",
+                    req,
+                    b.name()
+                );
+            }
+            Backend::Scalar
+        }
+        None => {
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "rfd-dsp: unrecognized RFD_KERNEL={req} (expected \
+                     scalar|sse2|avx2|auto); using auto"
+                );
+            }
+            best
+        }
+    }
+}
+
+/// The currently active backend, resolving `RFD_KERNEL` on first use.
+pub fn active() -> Backend {
+    match Backend::from_id(ACTIVE.load(Ordering::Relaxed)) {
+        Some(b) => b,
+        None => {
+            let b = resolve_from_env();
+            // Racing first calls resolve identically; last store wins.
+            ACTIVE.store(b as u8, Ordering::Relaxed);
+            b
+        }
+    }
+}
+
+/// Forces the active backend for this process, overriding `RFD_KERNEL`.
+///
+/// Used by the differential test suites to run the same pipeline under
+/// every backend in one process. Fails if the backend is not available on
+/// this CPU.
+pub fn set_backend(b: Backend) -> Result<(), String> {
+    if !is_available(b) {
+        return Err(format!("kernel backend {} not available on this CPU", b));
+    }
+    ACTIVE.store(b as u8, Ordering::Relaxed);
+    Ok(())
+}
+
+#[inline]
+fn table() -> &'static KernelTable {
+    table_for(active())
+}
+
+/// Reinterprets interleaved complex samples as a flat `[re, im, ...]` view.
+///
+/// Sound because [`Complex32`] is `#[repr(C)]` with exactly two `f32`
+/// fields, so layout, size and alignment match `[f32; 2]`.
+pub fn as_flat(samples: &[Complex32]) -> &[f32] {
+    // SAFETY: Complex32 is #[repr(C)] { re: f32, im: f32 } — same layout
+    // and alignment as two consecutive f32s; total length cannot overflow
+    // because the source slice already fits in memory.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts(samples.as_ptr() as *const f32, samples.len() * 2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public kernel entry points (dispatch through the active table).
+// ---------------------------------------------------------------------------
+
+/// Striped sum of squares of a flat `f32` sequence, accumulated in `f64`.
+pub fn sum_sq_f32(xs: &[f32]) -> f64 {
+    (table().sum_sq_f32)(xs)
+}
+
+/// Average power (mean squared magnitude) of complex samples.
+pub fn mean_power(samples: &[Complex32]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    (sum_sq_f32(as_flat(samples)) / samples.len() as f64) as f32
+}
+
+/// Per-sample instantaneous power `|z|²` into `out` (resized to match).
+pub fn power_into(samples: &[Complex32], out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(samples.len(), 0.0);
+    (table().power_into)(samples, out.as_mut_slice());
+}
+
+/// Striped dot product of two equal-length real sequences in `f64`.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot_f32 length mismatch");
+    (table().dot_f32)(a, b)
+}
+
+/// Dot of a flat complex window against per-component duplicated real taps.
+///
+/// `window` is `[re0, im0, re1, im1, ...]` and `taps2[2j] == taps2[2j+1]`
+/// is the tap for complex position `j`; both slices have the same even
+/// length. Accumulates in striped 8-lane `f32` (see module docs).
+pub fn fir_dot(window: &[f32], taps2: &[f32]) -> Complex32 {
+    assert_eq!(window.len(), taps2.len(), "fir_dot length mismatch");
+    debug_assert!(window.len().is_multiple_of(2));
+    (table().fir_dot)(window, taps2)
+}
+
+/// `Σ_k signal[k] * conj(pattern[k])` over equal-length slices.
+pub fn conj_dot(signal: &[Complex32], pattern: &[Complex32]) -> Complex32 {
+    assert_eq!(signal.len(), pattern.len(), "conj_dot length mismatch");
+    (table().conj_dot)(signal, pattern)
+}
+
+/// Adjacent conjugate products: `out[i] = samples[i+1] * conj(samples[i])`.
+///
+/// `out.len()` must be `samples.len() - 1` (no-op for < 2 samples).
+pub fn conj_mul_adjacent(samples: &[Complex32], out: &mut [Complex32]) {
+    if samples.len() < 2 {
+        assert!(out.is_empty(), "conj_mul_adjacent length mismatch");
+        return;
+    }
+    assert_eq!(
+        out.len(),
+        samples.len() - 1,
+        "conj_mul_adjacent length mismatch"
+    );
+    (table().conj_mul_adjacent)(samples, out);
+}
+
+/// One radix-2 Cooley-Tukey stage over all blocks of `buf`.
+///
+/// `half` is the butterfly half-length; `tw` holds the `half` contiguous
+/// stage twiddles; `inverse` conjugates them. `buf.len()` must be a
+/// multiple of `2 * half`.
+pub fn fft_stage(buf: &mut [Complex32], half: usize, tw: &[Complex32], inverse: bool) {
+    assert!(half > 0 && tw.len() == half, "fft_stage bad twiddles");
+    assert!(
+        buf.len().is_multiple_of(2 * half),
+        "fft_stage buffer/stage mismatch"
+    );
+    (table().fft_stage)(buf, half, tw, inverse);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn iq(rng: &mut Xoshiro256, n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|_| Complex32::new((rng.next_f32() - 0.5) * 4.0, (rng.next_f32() - 0.5) * 4.0))
+            .collect()
+    }
+
+    /// Runs `f` under every available backend and asserts all results are
+    /// bit-identical to scalar.
+    fn differential<T, F>(label: &str, f: F)
+    where
+        T: PartialEq + std::fmt::Debug,
+        F: Fn() -> T,
+    {
+        let prev = active();
+        set_backend(Backend::Scalar).unwrap();
+        let reference = f();
+        for &b in available() {
+            set_backend(b).unwrap();
+            let got = f();
+            assert_eq!(got, reference, "{label}: {b} != scalar");
+        }
+        set_backend(prev).unwrap();
+    }
+
+    #[test]
+    fn parse_and_names_round_trip() {
+        for b in [Backend::Scalar, Backend::Sse2, Backend::Avx2] {
+            assert_eq!(Backend::parse(b.name()), Some(Some(b)));
+        }
+        assert_eq!(Backend::parse("auto"), Some(None));
+        assert_eq!(Backend::parse("AVX2"), Some(Some(Backend::Avx2)));
+        assert_eq!(Backend::parse("neon"), None);
+    }
+
+    #[test]
+    fn scalar_always_available_and_settable() {
+        assert!(is_available(Backend::Scalar));
+        let prev = active();
+        set_backend(Backend::Scalar).unwrap();
+        assert_eq!(active(), Backend::Scalar);
+        set_backend(prev).unwrap();
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_backends() {
+        let mut rng = Xoshiro256::new(0xD1FF);
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 100, 1031] {
+            let xs: Vec<f32> = (0..n).map(|_| (rng.next_f32() - 0.5) * 8.0).collect();
+            let ys: Vec<f32> = (0..n).map(|_| (rng.next_f32() - 0.5) * 8.0).collect();
+            differential(&format!("sum_sq n={n}"), || sum_sq_f32(&xs).to_bits());
+            differential(&format!("dot n={n}"), || dot_f32(&xs, &ys).to_bits());
+        }
+    }
+
+    #[test]
+    fn complex_kernels_bit_identical_across_backends() {
+        let mut rng = Xoshiro256::new(0xC0);
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31, 257] {
+            let s = iq(&mut rng, n + 16);
+            let p = iq(&mut rng, n);
+            differential(&format!("power n={n}"), || {
+                let mut out = Vec::new();
+                power_into(&s[..n], &mut out);
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            });
+            differential(&format!("conj_dot n={n}"), || {
+                let z = conj_dot(&s[..n], &p);
+                (z.re.to_bits(), z.im.to_bits())
+            });
+            differential(&format!("conj_mul n={n}"), || {
+                let m = n.saturating_sub(1);
+                let mut out = vec![Complex32::ZERO; m];
+                conj_mul_adjacent(&s[..n], &mut out);
+                out.iter()
+                    .map(|z| (z.re.to_bits(), z.im.to_bits()))
+                    .collect::<Vec<_>>()
+            });
+        }
+    }
+
+    #[test]
+    fn fir_dot_bit_identical_across_backends() {
+        let mut rng = Xoshiro256::new(0xF1);
+        for taps in [1usize, 2, 3, 4, 5, 8, 9, 41, 64] {
+            let w: Vec<f32> = (0..2 * taps).map(|_| rng.next_f32() - 0.5).collect();
+            let t: Vec<f32> = (0..2 * taps).map(|_| rng.next_f32() - 0.5).collect();
+            differential(&format!("fir_dot taps={taps}"), || {
+                let z = fir_dot(&w, &t);
+                (z.re.to_bits(), z.im.to_bits())
+            });
+        }
+    }
+
+    #[test]
+    fn fft_stage_bit_identical_across_backends() {
+        let mut rng = Xoshiro256::new(0xFF7);
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let buf0 = iq(&mut rng, n);
+            let tw: Vec<Complex32> = (0..n / 2)
+                .map(|k| Complex32::cis(-(crate::TAU32) * k as f32 / n as f32))
+                .collect();
+            for inverse in [false, true] {
+                differential(&format!("fft_stage n={n} inv={inverse}"), || {
+                    let mut buf = buf0.clone();
+                    fft_stage(&mut buf, n / 2, &tw, inverse);
+                    buf.iter()
+                        .map(|z| (z.re.to_bits(), z.im.to_bits()))
+                        .collect::<Vec<_>>()
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn mean_power_matches_naive_semantics() {
+        let mut rng = Xoshiro256::new(7);
+        let s = iq(&mut rng, 333);
+        let naive: f64 = s
+            .iter()
+            .flat_map(|z| [z.re, z.im])
+            .map(|x| (x as f64) * (x as f64))
+            .sum();
+        let got = mean_power(&s);
+        assert!(((naive / 333.0) as f32 - got).abs() < 1e-5);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Scalar reference kernels.
+//!
+//! These define the numeric contract (see the module docs in
+//! [`super`]): striped 8-lane accumulation with a fixed reduction tree for
+//! real reductions, striped 4-complex-lane accumulation for complex
+//! reductions, and plain per-element IEEE arithmetic everywhere else. The
+//! SIMD backends are required to reproduce every bit of these results.
+
+use crate::complex::Complex32;
+
+/// Reduction tree shared by all striped-8 real kernels:
+/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` — the order an 8-lane vector
+/// accumulator naturally reduces in (add 128-bit halves, then pairwise).
+#[inline]
+fn tree8(l: [f64; 8]) -> f64 {
+    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+pub(super) fn sum_sq_f32(xs: &[f32]) -> f64 {
+    let n8 = xs.len() & !7;
+    let mut l = [0.0f64; 8];
+    let mut i = 0;
+    while i < n8 {
+        for j in 0..8 {
+            let x = xs[i + j] as f64;
+            l[j] += x * x;
+        }
+        i += 8;
+    }
+    let mut acc = tree8(l);
+    for &x in &xs[n8..] {
+        acc += (x as f64) * (x as f64);
+    }
+    acc
+}
+
+pub(super) fn dot_f32(a: &[f32], b: &[f32]) -> f64 {
+    let n8 = a.len() & !7;
+    let mut l = [0.0f64; 8];
+    let mut i = 0;
+    while i < n8 {
+        for j in 0..8 {
+            l[j] += (a[i + j] as f64) * (b[i + j] as f64);
+        }
+        i += 8;
+    }
+    let mut acc = tree8(l);
+    for k in n8..a.len() {
+        acc += (a[k] as f64) * (b[k] as f64);
+    }
+    acc
+}
+
+pub(super) fn power_into(samples: &[Complex32], out: &mut [f32]) {
+    for (o, z) in out.iter_mut().zip(samples.iter()) {
+        *o = z.norm_sqr();
+    }
+}
+
+pub(super) fn fir_dot(window: &[f32], taps2: &[f32]) -> Complex32 {
+    let len = window.len();
+    let n8 = len & !7;
+    let mut l = [0.0f32; 8];
+    let mut i = 0;
+    while i < n8 {
+        for j in 0..8 {
+            l[j] += window[i + j] * taps2[i + j];
+        }
+        i += 8;
+    }
+    let mut re = (l[0] + l[4]) + (l[2] + l[6]);
+    let mut im = (l[1] + l[5]) + (l[3] + l[7]);
+    let mut k = n8;
+    while k < len {
+        re += window[k] * taps2[k];
+        im += window[k + 1] * taps2[k + 1];
+        k += 2;
+    }
+    Complex32::new(re, im)
+}
+
+/// The element formula every backend uses for `s * conj(p)`; bitwise equal
+/// to `Complex32::mul(s, p.conj())` by the IEEE sign identities.
+#[inline]
+fn conj_mul(s: Complex32, p: Complex32) -> Complex32 {
+    Complex32::new(s.re * p.re + s.im * p.im, s.im * p.re - s.re * p.im)
+}
+
+pub(super) fn conj_dot(signal: &[Complex32], pattern: &[Complex32]) -> Complex32 {
+    let n = signal.len();
+    let n4 = n & !3;
+    let mut acc = [Complex32::ZERO; 4];
+    let mut i = 0;
+    while i < n4 {
+        for j in 0..4 {
+            acc[j] += conj_mul(signal[i + j], pattern[i + j]);
+        }
+        i += 4;
+    }
+    let mut r = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for k in n4..n {
+        r += conj_mul(signal[k], pattern[k]);
+    }
+    r
+}
+
+pub(super) fn conj_mul_adjacent(samples: &[Complex32], out: &mut [Complex32]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = conj_mul(samples[i + 1], samples[i]);
+    }
+}
+
+pub(super) fn fft_stage(buf: &mut [Complex32], half: usize, tw: &[Complex32], inverse: bool) {
+    let len = half * 2;
+    for start in (0..buf.len()).step_by(len) {
+        for k in 0..half {
+            let mut w = tw[k];
+            if inverse {
+                w = w.conj();
+            }
+            let a = buf[start + k];
+            let b = buf[start + k + half] * w;
+            buf[start + k] = a + b;
+            buf[start + k + half] = a - b;
+        }
+    }
+}

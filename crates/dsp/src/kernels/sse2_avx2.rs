@@ -1,0 +1,613 @@
+//! x86-64 SSE2 and AVX2 kernel backends.
+//!
+//! Each kernel reproduces the scalar reference in `scalar.rs` bit-for-bit:
+//! striped accumulators map one-to-one onto vector lanes, reductions use
+//! the same fixed tree, and all sign manipulation is via sign-bit XOR
+//! (exact in IEEE-754: `a + (-b) ≡ a - b`). No FMA is used anywhere —
+//! every multiply and add is a distinct rounded operation, exactly as the
+//! scalar code performs them.
+//!
+//! # Safety
+//!
+//! Every `#[target_feature]` function here is reached only through the
+//! dispatch tables in `mod.rs`, which select the SSE2/AVX2 tables only
+//! after `is_x86_feature_detected!` has confirmed the feature (enforced by
+//! `resolve_from_env` / `set_backend`). The `pub(super)` safe wrappers
+//! additionally `debug_assert!` the feature in test builds.
+
+use crate::complex::Complex32;
+use core::arch::x86_64::*;
+
+// ---------------------------------------------------------------------------
+// SSE2
+// ---------------------------------------------------------------------------
+
+macro_rules! sse2_wrapper {
+    ($pub_name:ident, $impl_name:ident, ($($arg:ident: $ty:ty),*) -> $ret:ty) => {
+        pub(super) fn $pub_name($($arg: $ty),*) -> $ret {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: only dispatched after runtime SSE2 detection (see
+            // module docs); slice/pointer invariants upheld by the callee.
+            unsafe { $impl_name($($arg),*) }
+        }
+    };
+}
+
+macro_rules! avx2_wrapper {
+    ($pub_name:ident, $impl_name:ident, ($($arg:ident: $ty:ty),*) -> $ret:ty) => {
+        pub(super) fn $pub_name($($arg: $ty),*) -> $ret {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: only dispatched after runtime AVX2 detection (see
+            // module docs); slice/pointer invariants upheld by the callee.
+            unsafe { $impl_name($($arg),*) }
+        }
+    };
+}
+
+sse2_wrapper!(sse2_sum_sq_f32, sum_sq_sse2, (xs: &[f32]) -> f64);
+sse2_wrapper!(sse2_dot_f32, dot_sse2, (a: &[f32], b: &[f32]) -> f64);
+sse2_wrapper!(sse2_power_into, power_sse2, (samples: &[Complex32], out: &mut [f32]) -> ());
+sse2_wrapper!(sse2_fir_dot, fir_dot_sse2, (window: &[f32], taps2: &[f32]) -> Complex32);
+sse2_wrapper!(sse2_conj_dot, conj_dot_sse2, (signal: &[Complex32], pattern: &[Complex32]) -> Complex32);
+sse2_wrapper!(sse2_conj_mul_adjacent, conj_mul_adjacent_sse2, (samples: &[Complex32], out: &mut [Complex32]) -> ());
+sse2_wrapper!(sse2_fft_stage, fft_stage_sse2, (buf: &mut [Complex32], half: usize, tw: &[Complex32], inverse: bool) -> ());
+
+avx2_wrapper!(avx2_sum_sq_f32, sum_sq_avx2, (xs: &[f32]) -> f64);
+avx2_wrapper!(avx2_dot_f32, dot_avx2, (a: &[f32], b: &[f32]) -> f64);
+avx2_wrapper!(avx2_power_into, power_avx2, (samples: &[Complex32], out: &mut [f32]) -> ());
+avx2_wrapper!(avx2_fir_dot, fir_dot_avx2, (window: &[f32], taps2: &[f32]) -> Complex32);
+avx2_wrapper!(avx2_conj_dot, conj_dot_avx2, (signal: &[Complex32], pattern: &[Complex32]) -> Complex32);
+avx2_wrapper!(avx2_conj_mul_adjacent, conj_mul_adjacent_avx2, (samples: &[Complex32], out: &mut [Complex32]) -> ());
+avx2_wrapper!(avx2_fft_stage, fft_stage_avx2, (buf: &mut [Complex32], half: usize, tw: &[Complex32], inverse: bool) -> ());
+
+/// Sign mask flipping the odd (imaginary) lanes of a 128-bit vector.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn sign_odd128() -> __m128 {
+    _mm_set_ps(-0.0, 0.0, -0.0, 0.0)
+}
+
+/// Sign mask flipping the even (real) lanes of a 128-bit vector.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn sign_even128() -> __m128 {
+    _mm_set_ps(0.0, -0.0, 0.0, -0.0)
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn sum_sq_sse2(xs: &[f32]) -> f64 {
+    unsafe {
+        let n8 = xs.len() & !7;
+        let p = xs.as_ptr();
+        // Striped lanes: acc0=[l0,l1] acc1=[l2,l3] acc2=[l4,l5] acc3=[l6,l7].
+        let mut acc0 = _mm_setzero_pd();
+        let mut acc1 = _mm_setzero_pd();
+        let mut acc2 = _mm_setzero_pd();
+        let mut acc3 = _mm_setzero_pd();
+        let mut i = 0usize;
+        while i < n8 {
+            let a = _mm_loadu_ps(p.add(i));
+            let b = _mm_loadu_ps(p.add(i + 4));
+            let a_lo = _mm_cvtps_pd(a);
+            let a_hi = _mm_cvtps_pd(_mm_movehl_ps(a, a));
+            let b_lo = _mm_cvtps_pd(b);
+            let b_hi = _mm_cvtps_pd(_mm_movehl_ps(b, b));
+            acc0 = _mm_add_pd(acc0, _mm_mul_pd(a_lo, a_lo));
+            acc1 = _mm_add_pd(acc1, _mm_mul_pd(a_hi, a_hi));
+            acc2 = _mm_add_pd(acc2, _mm_mul_pd(b_lo, b_lo));
+            acc3 = _mm_add_pd(acc3, _mm_mul_pd(b_hi, b_hi));
+            i += 8;
+        }
+        let mut acc = reduce8_pd(acc0, acc1, acc2, acc3);
+        for &x in &xs[n8..] {
+            acc += (x as f64) * (x as f64);
+        }
+        acc
+    }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f64 {
+    unsafe {
+        let n8 = a.len() & !7;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc0 = _mm_setzero_pd();
+        let mut acc1 = _mm_setzero_pd();
+        let mut acc2 = _mm_setzero_pd();
+        let mut acc3 = _mm_setzero_pd();
+        let mut i = 0usize;
+        while i < n8 {
+            let xa = _mm_loadu_ps(pa.add(i));
+            let xb = _mm_loadu_ps(pb.add(i));
+            let ya = _mm_loadu_ps(pa.add(i + 4));
+            let yb = _mm_loadu_ps(pb.add(i + 4));
+            acc0 = _mm_add_pd(acc0, _mm_mul_pd(_mm_cvtps_pd(xa), _mm_cvtps_pd(xb)));
+            acc1 = _mm_add_pd(
+                acc1,
+                _mm_mul_pd(
+                    _mm_cvtps_pd(_mm_movehl_ps(xa, xa)),
+                    _mm_cvtps_pd(_mm_movehl_ps(xb, xb)),
+                ),
+            );
+            acc2 = _mm_add_pd(acc2, _mm_mul_pd(_mm_cvtps_pd(ya), _mm_cvtps_pd(yb)));
+            acc3 = _mm_add_pd(
+                acc3,
+                _mm_mul_pd(
+                    _mm_cvtps_pd(_mm_movehl_ps(ya, ya)),
+                    _mm_cvtps_pd(_mm_movehl_ps(yb, yb)),
+                ),
+            );
+            i += 8;
+        }
+        let mut acc = reduce8_pd(acc0, acc1, acc2, acc3);
+        for k in n8..a.len() {
+            acc += (a[k] as f64) * (b[k] as f64);
+        }
+        acc
+    }
+}
+
+/// Reduces striped f64 lanes [l0,l1] [l2,l3] [l4,l5] [l6,l7] with the
+/// contract tree `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn reduce8_pd(acc0: __m128d, acc1: __m128d, acc2: __m128d, acc3: __m128d) -> f64 {
+    let s02 = _mm_add_pd(acc0, acc2); // [l0+l4, l1+l5]
+    let s13 = _mm_add_pd(acc1, acc3); // [l2+l6, l3+l7]
+    let t = _mm_add_pd(s02, s13); // [(l0+l4)+(l2+l6), (l1+l5)+(l3+l7)]
+    _mm_cvtsd_f64(t) + _mm_cvtsd_f64(_mm_unpackhi_pd(t, t))
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn power_sse2(samples: &[Complex32], out: &mut [f32]) {
+    unsafe {
+        let n = samples.len();
+        let p = samples.as_ptr() as *const f32;
+        let o = out.as_mut_ptr();
+        let n4 = n & !3;
+        let mut i = 0usize;
+        while i < n4 {
+            let a = _mm_loadu_ps(p.add(2 * i)); // re0 im0 re1 im1
+            let b = _mm_loadu_ps(p.add(2 * i + 4)); // re2 im2 re3 im3
+            let sa = _mm_mul_ps(a, a);
+            let sb = _mm_mul_ps(b, b);
+            let evens = _mm_shuffle_ps::<0x88>(sa, sb); // re² in order
+            let odds = _mm_shuffle_ps::<0xDD>(sa, sb); // im² in order
+            _mm_storeu_ps(o.add(i), _mm_add_ps(evens, odds));
+            i += 4;
+        }
+        for k in n4..n {
+            out[k] = samples[k].norm_sqr();
+        }
+    }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn fir_dot_sse2(window: &[f32], taps2: &[f32]) -> Complex32 {
+    unsafe {
+        let len = window.len();
+        let n8 = len & !7;
+        let pw = window.as_ptr();
+        let pt = taps2.as_ptr();
+        let mut acc0 = _mm_setzero_ps(); // lanes l0..l3
+        let mut acc1 = _mm_setzero_ps(); // lanes l4..l7
+        let mut i = 0usize;
+        while i < n8 {
+            acc0 = _mm_add_ps(
+                acc0,
+                _mm_mul_ps(_mm_loadu_ps(pw.add(i)), _mm_loadu_ps(pt.add(i))),
+            );
+            acc1 = _mm_add_ps(
+                acc1,
+                _mm_mul_ps(_mm_loadu_ps(pw.add(i + 4)), _mm_loadu_ps(pt.add(i + 4))),
+            );
+            i += 8;
+        }
+        let (mut re, mut im) = reduce8_ps(acc0, acc1);
+        let mut k = n8;
+        while k < len {
+            re += window[k] * taps2[k];
+            im += window[k + 1] * taps2[k + 1];
+            k += 2;
+        }
+        Complex32::new(re, im)
+    }
+}
+
+/// Reduces striped f32 lanes [l0..l3] [l4..l7] to
+/// `((l0+l4)+(l2+l6), (l1+l5)+(l3+l7))`.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn reduce8_ps(acc0: __m128, acc1: __m128) -> (f32, f32) {
+    let s = _mm_add_ps(acc0, acc1); // [l0+l4, l1+l5, l2+l6, l3+l7]
+    let r = _mm_add_ps(s, _mm_movehl_ps(s, s)); // pairwise tree
+    (
+        _mm_cvtss_f32(r),
+        _mm_cvtss_f32(_mm_shuffle_ps::<0x01>(r, r)),
+    )
+}
+
+/// Per-element `s * conj(p)` on two packed complex values:
+/// `re = s.re*p.re + s.im*p.im`, `im = s.im*p.re - s.re*p.im`.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn conj_mul_128(s: __m128, p: __m128) -> __m128 {
+    unsafe {
+        let p_re = _mm_shuffle_ps::<0xA0>(p, p); // [p0.re, p0.re, p1.re, p1.re]
+        let p_im = _mm_shuffle_ps::<0xF5>(p, p); // [p0.im, p0.im, p1.im, p1.im]
+        let s_swap = _mm_shuffle_ps::<0xB1>(s, s); // [s0.im, s0.re, s1.im, s1.re]
+        let t1 = _mm_mul_ps(s, p_re); // [s.re*p.re, s.im*p.re, ...]
+        let t2 = _mm_mul_ps(s_swap, p_im); // [s.im*p.im, s.re*p.im, ...]
+                                           // even: t1 + t2 ; odd: t1 - t2 (as t1 + (-t2), exact).
+        _mm_add_ps(t1, _mm_xor_ps(t2, sign_odd128()))
+    }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn conj_dot_sse2(signal: &[Complex32], pattern: &[Complex32]) -> Complex32 {
+    unsafe {
+        let n = signal.len();
+        let n4 = n & !3;
+        let ps = signal.as_ptr() as *const f32;
+        let pp = pattern.as_ptr() as *const f32;
+        let mut acc_a = _mm_setzero_ps(); // complex lanes c0, c1
+        let mut acc_b = _mm_setzero_ps(); // complex lanes c2, c3
+        let mut i = 0usize;
+        while i < n4 {
+            let sa = _mm_loadu_ps(ps.add(2 * i));
+            let pa = _mm_loadu_ps(pp.add(2 * i));
+            let sb = _mm_loadu_ps(ps.add(2 * i + 4));
+            let pb = _mm_loadu_ps(pp.add(2 * i + 4));
+            acc_a = _mm_add_ps(acc_a, conj_mul_128(sa, pa));
+            acc_b = _mm_add_ps(acc_b, conj_mul_128(sb, pb));
+            i += 4;
+        }
+        // (c0+c2) + (c1+c3), matching the scalar contract tree.
+        let s = _mm_add_ps(acc_a, acc_b);
+        let r = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let mut z = Complex32::new(
+            _mm_cvtss_f32(r),
+            _mm_cvtss_f32(_mm_shuffle_ps::<0x01>(r, r)),
+        );
+        for k in n4..n {
+            let (s, p) = (signal[k], pattern[k]);
+            z.re += s.re * p.re + s.im * p.im;
+            z.im += s.im * p.re - s.re * p.im;
+        }
+        z
+    }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn conj_mul_adjacent_sse2(samples: &[Complex32], out: &mut [Complex32]) {
+    unsafe {
+        let m = out.len();
+        let p = samples.as_ptr() as *const f32;
+        let o = out.as_mut_ptr() as *mut f32;
+        let mut i = 0usize;
+        // Two outputs per iteration; loads touch samples[i .. i+3).
+        while i + 2 <= m {
+            let s = _mm_loadu_ps(p.add(2 * (i + 1)));
+            let pv = _mm_loadu_ps(p.add(2 * i));
+            _mm_storeu_ps(o.add(2 * i), conj_mul_128(s, pv));
+            i += 2;
+        }
+        while i < m {
+            let (s, pz) = (samples[i + 1], samples[i]);
+            out[i] = Complex32::new(s.re * pz.re + s.im * pz.im, s.im * pz.re - s.re * pz.im);
+            i += 1;
+        }
+    }
+}
+
+/// Per-element complex multiply `b * w` (the butterfly twiddle product):
+/// `re = b.re*w.re - b.im*w.im`, `im = b.re*w.im + b.im*w.re`.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn mul_128(b: __m128, w: __m128) -> __m128 {
+    unsafe {
+        let w_re = _mm_shuffle_ps::<0xA0>(w, w);
+        let w_im = _mm_shuffle_ps::<0xF5>(w, w);
+        let b_swap = _mm_shuffle_ps::<0xB1>(b, b);
+        let t1 = _mm_mul_ps(b, w_re); // [b.re*w.re, b.im*w.re, ...]
+        let t2 = _mm_mul_ps(b_swap, w_im); // [b.im*w.im, b.re*w.im, ...]
+                                           // even: t1 - t2 (as t1 + (-t2)) ; odd: t1 + t2.
+        _mm_add_ps(t1, _mm_xor_ps(t2, sign_even128()))
+    }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn fft_stage_sse2(buf: &mut [Complex32], half: usize, tw: &[Complex32], inverse: bool) {
+    unsafe {
+        let len = half * 2;
+        let n = buf.len();
+        let base = buf.as_mut_ptr() as *mut f32;
+        let twp = tw.as_ptr() as *const f32;
+        let conj_mask = sign_odd128();
+        let mut start = 0usize;
+        while start < n {
+            let mut k = 0usize;
+            while k + 2 <= half {
+                let mut w = _mm_loadu_ps(twp.add(2 * k));
+                if inverse {
+                    w = _mm_xor_ps(w, conj_mask); // negate im lanes == conj
+                }
+                let a = _mm_loadu_ps(base.add(2 * (start + k)));
+                let b = _mm_loadu_ps(base.add(2 * (start + k + half)));
+                let bw = mul_128(b, w);
+                _mm_storeu_ps(base.add(2 * (start + k)), _mm_add_ps(a, bw));
+                _mm_storeu_ps(base.add(2 * (start + k + half)), _mm_sub_ps(a, bw));
+                k += 2;
+            }
+            while k < half {
+                let mut w = tw[k];
+                if inverse {
+                    w = w.conj();
+                }
+                let a = buf[start + k];
+                let b = buf[start + k + half] * w;
+                buf[start + k] = a + b;
+                buf[start + k + half] = a - b;
+                k += 1;
+            }
+            start += len;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2")]
+unsafe fn sum_sq_avx2(xs: &[f32]) -> f64 {
+    unsafe {
+        let n8 = xs.len() & !7;
+        let p = xs.as_ptr();
+        let mut acc0 = _mm256_setzero_pd(); // lanes l0..l3
+        let mut acc1 = _mm256_setzero_pd(); // lanes l4..l7
+        let mut i = 0usize;
+        while i < n8 {
+            let v = _mm256_loadu_ps(p.add(i));
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(v));
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(lo, lo));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(hi, hi));
+            i += 8;
+        }
+        let mut acc = reduce8_pd_256(acc0, acc1);
+        for &x in &xs[n8..] {
+            acc += (x as f64) * (x as f64);
+        }
+        acc
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f64 {
+    unsafe {
+        let n8 = a.len() & !7;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i < n8 {
+            let va = _mm256_loadu_ps(pa.add(i));
+            let vb = _mm256_loadu_ps(pb.add(i));
+            let a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+            let b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+            let a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(va));
+            let b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(vb));
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(a_lo, b_lo));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(a_hi, b_hi));
+            i += 8;
+        }
+        let mut acc = reduce8_pd_256(acc0, acc1);
+        for k in n8..a.len() {
+            acc += (a[k] as f64) * (b[k] as f64);
+        }
+        acc
+    }
+}
+
+/// Reduces striped f64 lanes [l0..l3] [l4..l7] with the contract tree.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn reduce8_pd_256(acc0: __m256d, acc1: __m256d) -> f64 {
+    let s = _mm256_add_pd(acc0, acc1); // [l0+l4, l1+l5, l2+l6, l3+l7]
+    let lo = _mm256_castpd256_pd128(s);
+    let hi = _mm256_extractf128_pd::<1>(s);
+    let t = _mm_add_pd(lo, hi); // [(l0+l4)+(l2+l6), (l1+l5)+(l3+l7)]
+    _mm_cvtsd_f64(t) + _mm_cvtsd_f64(_mm_unpackhi_pd(t, t))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn power_avx2(samples: &[Complex32], out: &mut [f32]) {
+    unsafe {
+        let n = samples.len();
+        let p = samples.as_ptr() as *const f32;
+        let o = out.as_mut_ptr();
+        let n8 = n & !7;
+        let mut i = 0usize;
+        while i < n8 {
+            let a = _mm256_loadu_ps(p.add(2 * i)); // c0..c3
+            let b = _mm256_loadu_ps(p.add(2 * i + 8)); // c4..c7
+            let sa = _mm256_mul_ps(a, a);
+            let sb = _mm256_mul_ps(b, b);
+            // Per-128-lane gather: [p0,p1,p4,p5 | p2,p3,p6,p7] ...
+            let evens = _mm256_shuffle_ps::<0x88>(sa, sb);
+            let odds = _mm256_shuffle_ps::<0xDD>(sa, sb);
+            let sum = _mm256_add_ps(evens, odds);
+            // ... then permute 64-bit pairs back into order (pure move).
+            let fixed = _mm256_castpd_ps(_mm256_permute4x64_pd::<0xD8>(_mm256_castps_pd(sum)));
+            _mm256_storeu_ps(o.add(i), fixed);
+            i += 8;
+        }
+        for k in n8..n {
+            out[k] = samples[k].norm_sqr();
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fir_dot_avx2(window: &[f32], taps2: &[f32]) -> Complex32 {
+    unsafe {
+        let len = window.len();
+        let n8 = len & !7;
+        let pw = window.as_ptr();
+        let pt = taps2.as_ptr();
+        let mut acc = _mm256_setzero_ps(); // lanes l0..l7
+        let mut i = 0usize;
+        while i < n8 {
+            acc = _mm256_add_ps(
+                acc,
+                _mm256_mul_ps(_mm256_loadu_ps(pw.add(i)), _mm256_loadu_ps(pt.add(i))),
+            );
+            i += 8;
+        }
+        let (mut re, mut im) = reduce8_ps_256(acc);
+        let mut k = n8;
+        while k < len {
+            re += window[k] * taps2[k];
+            im += window[k + 1] * taps2[k + 1];
+            k += 2;
+        }
+        Complex32::new(re, im)
+    }
+}
+
+/// Reduces 8 striped f32 lanes to `((l0+l4)+(l2+l6), (l1+l5)+(l3+l7))`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn reduce8_ps_256(acc: __m256) -> (f32, f32) {
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps::<1>(acc);
+    let s = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
+    let r = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    (
+        _mm_cvtss_f32(r),
+        _mm_cvtss_f32(_mm_shuffle_ps::<0x01>(r, r)),
+    )
+}
+
+/// Per-element `s * conj(p)` on four packed complex values.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn conj_mul_256(s: __m256, p: __m256) -> __m256 {
+    let p_re = _mm256_shuffle_ps::<0xA0>(p, p);
+    let p_im = _mm256_shuffle_ps::<0xF5>(p, p);
+    let s_swap = _mm256_shuffle_ps::<0xB1>(s, s);
+    let t1 = _mm256_mul_ps(s, p_re);
+    let t2 = _mm256_mul_ps(s_swap, p_im);
+    let sign_odd = _mm256_set_ps(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0);
+    _mm256_add_ps(t1, _mm256_xor_ps(t2, sign_odd))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn conj_dot_avx2(signal: &[Complex32], pattern: &[Complex32]) -> Complex32 {
+    unsafe {
+        let n = signal.len();
+        let n4 = n & !3;
+        let ps = signal.as_ptr() as *const f32;
+        let pp = pattern.as_ptr() as *const f32;
+        let mut acc = _mm256_setzero_ps(); // complex lanes c0..c3
+        let mut i = 0usize;
+        while i < n4 {
+            let s = _mm256_loadu_ps(ps.add(2 * i));
+            let p = _mm256_loadu_ps(pp.add(2 * i));
+            acc = _mm256_add_ps(acc, conj_mul_256(s, p));
+            i += 4;
+        }
+        // (c0+c2) + (c1+c3): add 128-bit halves, then the two complex lanes.
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        let s = _mm_add_ps(lo, hi); // [c0+c2, c1+c3]
+        let r = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let mut z = Complex32::new(
+            _mm_cvtss_f32(r),
+            _mm_cvtss_f32(_mm_shuffle_ps::<0x01>(r, r)),
+        );
+        for k in n4..n {
+            let (s, p) = (signal[k], pattern[k]);
+            z.re += s.re * p.re + s.im * p.im;
+            z.im += s.im * p.re - s.re * p.im;
+        }
+        z
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn conj_mul_adjacent_avx2(samples: &[Complex32], out: &mut [Complex32]) {
+    unsafe {
+        let m = out.len();
+        let p = samples.as_ptr() as *const f32;
+        let o = out.as_mut_ptr() as *mut f32;
+        let mut i = 0usize;
+        // Four outputs per iteration; loads touch samples[i .. i+5).
+        while i + 4 <= m {
+            let s = _mm256_loadu_ps(p.add(2 * (i + 1)));
+            let pv = _mm256_loadu_ps(p.add(2 * i));
+            _mm256_storeu_ps(o.add(2 * i), conj_mul_256(s, pv));
+            i += 4;
+        }
+        while i < m {
+            let (s, pz) = (samples[i + 1], samples[i]);
+            out[i] = Complex32::new(s.re * pz.re + s.im * pz.im, s.im * pz.re - s.re * pz.im);
+            i += 1;
+        }
+    }
+}
+
+/// Per-element complex multiply `b * w` on four packed complex values.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_256(b: __m256, w: __m256) -> __m256 {
+    let w_re = _mm256_shuffle_ps::<0xA0>(w, w);
+    let w_im = _mm256_shuffle_ps::<0xF5>(w, w);
+    let b_swap = _mm256_shuffle_ps::<0xB1>(b, b);
+    let t1 = _mm256_mul_ps(b, w_re);
+    let t2 = _mm256_mul_ps(b_swap, w_im);
+    let sign_even = _mm256_set_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+    _mm256_add_ps(t1, _mm256_xor_ps(t2, sign_even))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fft_stage_avx2(buf: &mut [Complex32], half: usize, tw: &[Complex32], inverse: bool) {
+    unsafe {
+        let len = half * 2;
+        let n = buf.len();
+        let base = buf.as_mut_ptr() as *mut f32;
+        let twp = tw.as_ptr() as *const f32;
+        let conj_mask = _mm256_set_ps(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0);
+        let mut start = 0usize;
+        while start < n {
+            let mut k = 0usize;
+            while k + 4 <= half {
+                let mut w = _mm256_loadu_ps(twp.add(2 * k));
+                if inverse {
+                    w = _mm256_xor_ps(w, conj_mask);
+                }
+                let a = _mm256_loadu_ps(base.add(2 * (start + k)));
+                let b = _mm256_loadu_ps(base.add(2 * (start + k + half)));
+                let bw = mul_256(b, w);
+                _mm256_storeu_ps(base.add(2 * (start + k)), _mm256_add_ps(a, bw));
+                _mm256_storeu_ps(base.add(2 * (start + k + half)), _mm256_sub_ps(a, bw));
+                k += 4;
+            }
+            while k < half {
+                let mut w = tw[k];
+                if inverse {
+                    w = w.conj();
+                }
+                let a = buf[start + k];
+                let b = buf[start + k + half] * w;
+                buf[start + k] = a + b;
+                buf[start + k + half] = a - b;
+                k += 1;
+            }
+            start += len;
+        }
+    }
+}

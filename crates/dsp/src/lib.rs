@@ -21,6 +21,10 @@
 //!   estimation used by the peak detector (§4.3).
 //! * [`corr`] — cross-correlation and pattern-matching helpers used by the
 //!   Barker-phase Wi-Fi detector and the Bluetooth access-code search.
+//! * [`kernels`] — the vectorized kernel layer underneath all of the above:
+//!   runtime-dispatched scalar/SSE2/AVX2 implementations of the hot inner
+//!   loops (power, reductions, FIR/correlation dots, conjugate-multiply
+//!   chains, FFT butterfly stages), selectable via `RFD_KERNEL`.
 //! * [`coding`] — generic bit/byte utilities, a table-driven CRC engine,
 //!   self-synchronizing LFSR scramblers and additive whitening registers.
 //! * [`rng`] — deterministic SplitMix64/xoshiro random numbers and Gaussian
@@ -31,7 +35,10 @@
 //! and write into caller-provided buffers where that matters.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only exception is the SIMD intrinsic
+// code in `kernels`, which carries its own `#[allow(unsafe_code)]` plus
+// per-function safety contracts.
+#![deny(unsafe_code)]
 
 pub mod coding;
 pub mod complex;
@@ -39,6 +46,8 @@ pub mod corr;
 pub mod energy;
 pub mod fft;
 pub mod fir;
+#[allow(unsafe_code)]
+pub mod kernels;
 pub mod nco;
 pub mod phase;
 pub mod resample;

@@ -36,6 +36,31 @@ pub fn unwrap_in_place(phases: &mut [f32]) {
     }
 }
 
+/// Scratch block length (complex products) for the blockwise conjugate
+/// multiply used by the phase-derivative helpers: big enough to amortize
+/// dispatch, small enough to live on the stack.
+const CONJ_BLOCK: usize = 256;
+
+/// Runs the vectorized adjacent conjugate-multiply over `samples` in
+/// stack-sized blocks, invoking `sink` on each product in stream order.
+#[inline]
+fn for_each_adjacent_product<F: FnMut(Complex32)>(samples: &[Complex32], mut sink: F) {
+    if samples.len() < 2 {
+        return;
+    }
+    let m = samples.len() - 1;
+    let mut scratch = [Complex32::ZERO; CONJ_BLOCK];
+    let mut i = 0;
+    while i < m {
+        let take = (m - i).min(CONJ_BLOCK);
+        crate::kernels::conj_mul_adjacent(&samples[i..i + take + 1], &mut scratch[..take]);
+        for &z in &scratch[..take] {
+            sink(z);
+        }
+        i += take;
+    }
+}
+
 /// First phase derivative via conjugate multiplication:
 /// `d[n] = arg(x[n] * conj(x[n-1]))`, length `samples.len() - 1`.
 ///
@@ -43,10 +68,58 @@ pub fn unwrap_in_place(phases: &mut [f32]) {
 /// unwrapping and is exactly the "complex conjugation, multiplication and
 /// arctan" pipeline the paper costs out for its GFSK detector (§4.5).
 pub fn phase_diff(samples: &[Complex32]) -> Vec<f32> {
-    samples
-        .windows(2)
-        .map(|w| (w[1] * w[0].conj()).arg())
-        .collect()
+    let mut out = Vec::new();
+    phase_diff_into(samples, &mut out);
+    out
+}
+
+/// [`phase_diff`] into a caller-provided buffer (cleared first). The
+/// conjugate products run through the vectorized kernels; only the `atan2`
+/// per output stays scalar.
+pub fn phase_diff_into(samples: &[Complex32], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(samples.len().saturating_sub(1));
+    for_each_adjacent_product(samples, |z| out.push(z.arg()));
+}
+
+/// Magnitude of the first phase derivative, wrapped into `[0, pi]`:
+/// `out[n] = |wrap(arg(x[n+1] * conj(x[n])))|`. Used by the Wi-Fi Barker
+/// detector, which matches on absolute phase-change patterns.
+pub fn phase_diff_abs_into(samples: &[Complex32], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(samples.len().saturating_sub(1));
+    for_each_adjacent_product(samples, |z| out.push(wrap_phase(z.arg()).abs()));
+}
+
+/// Fused first/second phase-derivative summary of a sample run.
+///
+/// Computed in one pass over the vectorized conjugate products with the
+/// exact sequential accumulation the Bluetooth GFSK detector historically
+/// used, so detector scores are bit-identical to the unfused formulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseDerivStats {
+    /// Sum of first-derivative values `arg(x[n] * conj(x[n-1]))`.
+    pub sum_d1: f64,
+    /// Sum of `|wrap(d1[n] - d1[n-1])|` (second-derivative magnitudes).
+    pub sum_abs_d2: f64,
+    /// Number of second-derivative terms (`samples.len() - 2` when ≥ 2).
+    pub count_d2: usize,
+}
+
+/// Computes [`PhaseDerivStats`] over `samples` in a single fused pass.
+pub fn phase_deriv_stats(samples: &[Complex32]) -> PhaseDerivStats {
+    let mut stats = PhaseDerivStats::default();
+    let mut prev: Option<f32> = None;
+    for_each_adjacent_product(samples, |z| {
+        let d1 = z.arg();
+        stats.sum_d1 += d1 as f64;
+        if let Some(p) = prev {
+            stats.sum_abs_d2 += wrap_phase(d1 - p).abs() as f64;
+            stats.count_d2 += 1;
+        }
+        prev = Some(d1);
+    });
+    stats
 }
 
 /// Second phase derivative: differences of [`phase_diff`], wrapped; length
@@ -81,13 +154,18 @@ impl FmDiscriminator {
     /// to `out`. The first call emits `input.len() - 1` values; subsequent
     /// calls emit one per input sample.
     pub fn process(&mut self, input: &[Complex32], out: &mut Vec<f32>) {
+        let Some(&last) = input.last() else {
+            return;
+        };
         let k = (self.fs / crate::TAU64) as f32;
-        for &x in input {
-            if let Some(p) = self.prev {
-                out.push((x * p.conj()).arg() * k);
-            }
-            self.prev = Some(x);
+        // The pair straddling the previous chunk, then all in-chunk pairs
+        // through the vectorized conjugate-multiply kernel.
+        if let Some(p) = self.prev {
+            out.push((input[0] * p.conj()).arg() * k);
         }
+        out.reserve(input.len().saturating_sub(1));
+        for_each_adjacent_product(input, |z| out.push(z.arg() * k));
+        self.prev = Some(last);
     }
 }
 

@@ -131,6 +131,21 @@ fn main() {
         }
     }
 
+    // Version-7 section: which DSP kernel backend the run executed with.
+    if let Some(k) = doc.get("kernel") {
+        let available: Vec<&str> = k
+            .get("available")
+            .and_then(|a| a.as_arr())
+            .map(|a| a.iter().filter_map(|v| v.as_str()).collect())
+            .unwrap_or_default();
+        println!(
+            "\nkernel: {} (requested {}; available: {})",
+            k.get("backend").and_then(|b| b.as_str()).unwrap_or("?"),
+            k.get("requested").and_then(|r| r.as_str()).unwrap_or("?"),
+            available.join(", "),
+        );
+    }
+
     // Version-4 sections: fault injection, degradation, supervision.
     match doc.get("faults") {
         Some(JsonValue::Null) | None => {}

@@ -100,9 +100,8 @@ fn wifi_and_bluetooth_trace_is_scheduler_independent() {
     assert_differential("wifi+bt", &cfg, &trace.samples, trace.band.sample_rate);
 }
 
-#[test]
-fn three_protocol_trace_is_scheduler_independent() {
-    // Wi-Fi pings + Bluetooth l2pings + ZigBee sensor reports in one ether.
+/// Wi-Fi pings + Bluetooth l2pings + ZigBee sensor reports in one ether.
+fn three_protocol_trace() -> (rfd_ether::scene::EtherTrace, ArchConfig) {
     let mut wifi = WifiDcfSim::new(DcfConfig {
         seed: 202,
         ..Default::default()
@@ -130,17 +129,11 @@ fn three_protocol_trace_is_scheduler_independent() {
         zigbee: true,
         ..ArchConfig::rfdump(vec![piconet()])
     };
-    assert_differential(
-        "wifi+bt+zigbee",
-        &cfg,
-        &trace.samples,
-        trace.band.sample_rate,
-    );
+    (trace, cfg)
 }
 
-#[test]
-fn campus_trace_is_scheduler_independent() {
-    // The paper's §5.3 real-world shape, scaled down to test size.
+/// The paper's §5.3 real-world shape, scaled down to test size.
+fn campus() -> (rfd_ether::scene::EtherTrace, ArchConfig) {
     let (trace, _) = rfd_ether::campus::campus_trace(&rfd_ether::campus::CampusConfig {
         duration_us: 120_000.0,
         n_r1: 2,
@@ -155,7 +148,79 @@ fn campus_trace_is_scheduler_independent() {
         noise_floor: Some(trace.noise_power),
         ..ArchConfig::rfdump(vec![])
     };
+    (trace, cfg)
+}
+
+#[test]
+fn three_protocol_trace_is_scheduler_independent() {
+    let (trace, cfg) = three_protocol_trace();
+    assert_differential(
+        "wifi+bt+zigbee",
+        &cfg,
+        &trace.samples,
+        trace.band.sample_rate,
+    );
+}
+
+#[test]
+fn campus_trace_is_scheduler_independent() {
+    let (trace, cfg) = campus();
     assert_differential("campus", &cfg, &trace.samples, trace.band.sample_rate);
+}
+
+/// Kernel-backend differential: the record stream must be byte-identical
+/// whichever vectorized DSP backend runs, single-threaded and pooled.
+/// Combined with the scheduler differential above, this covers the whole
+/// matrix the determinism contract promises: records depend on neither the
+/// worker count nor the SIMD width of the kernels that computed them.
+fn assert_kernel_differential(
+    label: &str,
+    cfg: &ArchConfig,
+    samples: &[rfd_dsp::Complex32],
+    fs: f64,
+) {
+    use rfd_dsp::kernels::{self, Backend};
+    // Backend selection is process-global: serialize the two kernel-matrix
+    // tests so neither flips the backend out from under the other's run.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for &w in &[0usize, 4] {
+        kernels::set_backend(Backend::Scalar).unwrap();
+        let baseline = run(cfg, samples, fs, w);
+        let want = serialized(&baseline);
+        assert!(
+            !baseline.records.is_empty(),
+            "{label}: scalar baseline at {w} workers produced no records"
+        );
+        for &backend in kernels::available() {
+            kernels::set_backend(backend).unwrap();
+            let pooled = run(cfg, samples, fs, w);
+            assert_eq!(
+                serialized(&pooled),
+                want,
+                "{label}: record stream diverged between scalar and {backend} kernels \
+                 at {w} workers"
+            );
+        }
+    }
+    kernels::set_backend(Backend::Scalar).unwrap();
+}
+
+#[test]
+fn three_protocol_trace_is_kernel_backend_independent() {
+    let (trace, cfg) = three_protocol_trace();
+    assert_kernel_differential(
+        "wifi+bt+zigbee",
+        &cfg,
+        &trace.samples,
+        trace.band.sample_rate,
+    );
+}
+
+#[test]
+fn campus_trace_is_kernel_backend_independent() {
+    let (trace, cfg) = campus();
+    assert_kernel_differential("campus", &cfg, &trace.samples, trace.band.sample_rate);
 }
 
 #[test]

@@ -157,6 +157,58 @@ fn golden_wifi_trace_matches_snapshot() {
     check_golden("wifi");
 }
 
+/// Kernel-backend matrix: the committed golden record streams must be
+/// byte-identical whichever vectorized DSP backend runs. This pins the
+/// bit-exactness contract of `rfd_dsp::kernels` to the full pipeline, not
+/// just to the kernel unit tests: scalar is the reference, and SSE2/AVX2
+/// (whichever this CPU supports) must reproduce the exact same records.
+#[test]
+fn golden_record_streams_identical_across_kernel_backends() {
+    use rfd_dsp::kernels::{self, Backend};
+    if regen() {
+        // Regeneration runs concurrently in the snapshot tests; comparing
+        // against files mid-rewrite would race.
+        return;
+    }
+    for name in ["wifi", "bluetooth", "zigbee"] {
+        let dir = golden_dir();
+        let trace_path = dir.join(format!("{name}.rfdt"));
+        let expected_path = dir.join(format!("{name}.expected"));
+        assert!(
+            trace_path.exists(),
+            "{} missing — regenerate the goldens first",
+            trace_path.display()
+        );
+        let (header, samples) = rfd_ether::trace::read_trace(&trace_path).unwrap();
+        let cfg = config(
+            name,
+            rfd_ether::Band {
+                sample_rate: header.sample_rate,
+                center_hz: header.center_hz,
+            },
+        );
+        let want = std::fs::read_to_string(&expected_path).unwrap();
+        for &backend in kernels::available() {
+            kernels::set_backend(backend).unwrap();
+            let out = run_architecture(&cfg, &samples, header.sample_rate);
+            let mut got = out
+                .records
+                .iter()
+                .map(|r| r.format_line())
+                .collect::<Vec<_>>()
+                .join("\n");
+            got.push('\n');
+            assert_eq!(
+                got, want,
+                "{name}: {backend} kernels diverged from the golden snapshot"
+            );
+        }
+        // Leave the process on the scalar reference so the snapshot tests
+        // (which share this process) keep their historical baseline backend.
+        kernels::set_backend(Backend::Scalar).unwrap();
+    }
+}
+
 #[test]
 fn golden_bluetooth_trace_matches_snapshot() {
     check_golden("bluetooth");

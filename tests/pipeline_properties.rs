@@ -79,6 +79,122 @@ fn peak_detector_invariants() {
     });
 }
 
+/// The fused energy→peak-gate pass must be a pure refactoring of the
+/// unfused reference: identical peaks (indices, powers, samples — bit for
+/// bit) for every chunking of the stream, including adversarial chunk sizes
+/// of 1, lane−1, lane, lane+1 and full-size chunks, under every SIMD
+/// backend this CPU supports. `push_chunk_unfused` is the pre-fusion
+/// detector loop kept verbatim as the differential oracle.
+#[test]
+fn fused_peak_detector_matches_unfused_reference() {
+    use rfd_dsp::kernels::{self, Backend};
+    use rfdump::chunk::{PeakBlock, SampleChunk};
+    use rfdump::peak::PeakDetector;
+    use std::sync::Arc;
+
+    // Chunk sizes straddling the 4- and 8-lane boundaries, plus big chunks
+    // so the strided hot-scan path runs too.
+    const CHUNK_SIZES: &[usize] = &[1, 3, 7, 8, 9, 15, 16, 17, 1024, 8192];
+
+    fn run_detector(
+        chunks: &[SampleChunk],
+        cfg: PeakDetectorConfig,
+        fused: bool,
+    ) -> Vec<PeakBlock> {
+        let mut det = PeakDetector::new(cfg, 8e6);
+        let mut out = Vec::new();
+        for c in chunks {
+            if fused {
+                det.push_chunk(c, &mut out);
+            } else {
+                det.push_chunk_unfused(c, &mut out);
+            }
+        }
+        det.finish(&mut out);
+        out
+    }
+
+    fn assert_same_peaks(label: &str, got: &[PeakBlock], want: &[PeakBlock]) {
+        assert_eq!(got.len(), want.len(), "{label}: peak count diverged");
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert_eq!(a.peak.id, b.peak.id, "{label}: id");
+            assert_eq!(a.peak.start, b.peak.start, "{label}: start");
+            assert_eq!(a.peak.end, b.peak.end, "{label}: end");
+            assert_eq!(
+                a.peak.mean_power.to_bits(),
+                b.peak.mean_power.to_bits(),
+                "{label}: mean_power {} vs {}",
+                a.peak.mean_power,
+                b.peak.mean_power
+            );
+            assert_eq!(
+                a.peak.noise_floor.to_bits(),
+                b.peak.noise_floor.to_bits(),
+                "{label}: noise_floor"
+            );
+            assert_eq!(a.sample_start, b.sample_start, "{label}: sample_start");
+            assert_eq!(
+                a.samples.len(),
+                b.samples.len(),
+                "{label}: sample window length"
+            );
+            for (i, (x, y)) in a.samples.iter().zip(b.samples.iter()).enumerate() {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "{label}: sample {i} diverged: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    seeded_cases(0x5EED_0008, 12, |rng| {
+        let n_bursts = 1 + rng.next_range(3) as usize;
+        let mut bursts = Vec::new();
+        let mut pos = 3_000usize;
+        for _ in 0..n_bursts {
+            let len = 300 + rng.next_range(2_500) as usize;
+            bursts.push((pos, len));
+            pos += len + 2_000 + rng.next_range(10_000) as usize;
+        }
+        let n = pos + 3_000;
+        let sig = bursty(n, &bursts, 1e-4, rng.next_range(500));
+
+        // Slice the stream into adversarially-sized contiguous chunks.
+        let mut chunks = Vec::new();
+        let (mut at, mut seq) = (0usize, 0u64);
+        while at < n {
+            let want = CHUNK_SIZES[rng.next_range(CHUNK_SIZES.len() as u64) as usize];
+            let take = want.min(n - at);
+            chunks.push(SampleChunk {
+                seq,
+                start: at as u64,
+                samples: Arc::new(sig[at..at + take].to_vec()),
+                sample_rate: 8e6,
+                ingest: None,
+            });
+            seq += 1;
+            at += take;
+        }
+
+        let cfg = PeakDetectorConfig {
+            noise_floor: Some(1e-4),
+            ..Default::default()
+        };
+        let reference = run_detector(&chunks, cfg, false);
+        assert_eq!(
+            reference.len(),
+            bursts.len(),
+            "unfused reference must see every burst"
+        );
+        for &backend in kernels::available() {
+            kernels::set_backend(backend).unwrap();
+            let fused = run_detector(&chunks, cfg, true);
+            assert_same_peaks(&format!("fused[{backend}] vs unfused"), &fused, &reference);
+        }
+        kernels::set_backend(Backend::Scalar).unwrap();
+    });
+}
+
 /// CRC engines detect every 1- and 2-bit error.
 #[test]
 fn crc_detects_small_errors() {
