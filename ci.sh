@@ -21,6 +21,9 @@
 #      with and without a --metrics-addr endpoint attached, and a live
 #      serve endpoint must answer /metrics with parseable Prometheus
 #      0.0.4 text carrying the expected metric families.
+#   6. fleet smoke: a --fleet server ingests three concurrent --source
+#      senders; each per-source `watch --source` stream is diffed
+#      byte-for-byte against the offline run, at --workers 0 and 4.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -179,6 +182,90 @@ if ! diff -u "$work/records-w0.txt" "$work/records-net.txt"; then
     echo "live loopback record stream differs from the offline run"
     exit 1
 fi
+
+echo "== fleet smoke: 3 concurrent senders, per-source streams byte-identical =="
+# A --fleet server shards three concurrent sources onto private pipeline
+# instances; each source's filtered `watch --source` stream must be
+# byte-identical to the offline run of the same trace — sequential and on
+# the analysis pool.
+fleet_port=17103
+for w in 0 4; do
+    port=$fleet_port
+    fleet_port=$((fleet_port + 1))
+    ./target/release/rfdump serve --listen "127.0.0.1:$port" --fleet --expect 3 \
+        --workers "$w" -q \
+        > /dev/null 2> "$work/serve-fleet-log-w$w.txt" < /dev/null &
+    serve_pid=$!
+    up=0
+    for _ in $(seq 1 100); do
+        if grep -q "serving on" "$work/serve-fleet-log-w$w.txt" 2>/dev/null; then up=1; break; fi
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if [ "$up" != 1 ]; then
+        cat "$work/serve-fleet-log-w$w.txt" >&2 || true
+        echo "fleet server never came up on port $port (workers $w)"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # Filtered watchers first, so every subscription is live before any
+    # source starts streaming.
+    watch_pids=""
+    for s in alpha beta gamma; do
+        ./target/release/rfdump watch --connect "127.0.0.1:$port" --source "$s" \
+            > "$work/fleet-$s-w$w.txt" 2> "$work/fleet-$s-log-w$w.txt" &
+        watch_pids="$watch_pids $!"
+    done
+    sleep 0.5
+    send_pids=""
+    for s in alpha beta gamma; do
+        ./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+            --source "$s" "$trace" 2>/dev/null &
+        send_pids="$send_pids $!"
+    done
+    for pid in $send_pids; do
+        wait "$pid" || { echo "fleet sender failed (workers $w)"; exit 1; }
+    done
+    # --expect 3: the server exits on its own once all sources are done.
+    wait "$serve_pid" || {
+        cat "$work/serve-fleet-log-w$w.txt" >&2 || true
+        echo "fleet server exited nonzero (workers $w)"
+        exit 1
+    }
+    for pid in $watch_pids; do
+        wait "$pid" || { echo "fleet watch exited nonzero (workers $w)"; exit 1; }
+    done
+    for s in alpha beta gamma; do
+        if ! diff -u "$work/records-w0.txt" "$work/fleet-$s-w$w.txt"; then
+            echo "fleet source $s stream differs from the offline run (workers $w)"
+            exit 1
+        fi
+    done
+done
+# A watch for a source that never joins must drain the stream and fail
+# with a clean nonzero exit.
+./target/release/rfdump serve --listen "127.0.0.1:$fleet_port" --fleet --expect 1 \
+    --workers 0 -q > /dev/null 2> "$work/serve-fleet-absent-log.txt" < /dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "serving on" "$work/serve-fleet-absent-log.txt" 2>/dev/null && break
+    sleep 0.1
+done
+./target/release/rfdump watch --connect "127.0.0.1:$fleet_port" --source ghost \
+    > /dev/null 2> "$work/fleet-ghost-log.txt" &
+watch_pid=$!
+sleep 0.5
+./target/release/rfdump send --connect "127.0.0.1:$fleet_port" --rate max \
+    --source real "$trace" 2>/dev/null
+wait "$serve_pid"
+rc=0
+wait "$watch_pid" || rc=$?
+if [ "$rc" = 0 ]; then
+    echo "watch --source ghost should have exited nonzero"
+    exit 1
+fi
+grep -q "never appeared" "$work/fleet-ghost-log.txt" \
+    || { echo "absent-source watch did not explain itself"; exit 1; }
 
 echo "== chaos smoke: full test suite under an output-preserving fault plan =="
 # Latency-only faults (slow analyzers, CPU pressure at the detection stage)

@@ -20,13 +20,14 @@
 //!
 //! ```text
 //! rfdump -r trace.rfdt [options]
-//! rfdump serve --listen ADDR [--once] [--queue-cap N]
-//!              [--overflow block|drop-oldest] [--sub-queue-cap N]
-//!              [--resume-grace SECS] [arch options] [-q]
+//! rfdump serve --listen ADDR [--once] [--fleet [--expect N]]
+//!              [--queue-cap N] [--overflow block|drop-oldest]
+//!              [--sub-queue-cap N] [--resume-grace SECS]
+//!              [arch options] [-q]
 //!              [--stats-json F] [--trace-out F] [--metrics-addr ADDR]
 //! rfdump send --connect ADDR [--rate max|real-time] [--chunk N]
-//!             [--retries N] TRACE
-//! rfdump watch --connect ADDR [-q] [--journal DIR]
+//!             [--retries N] [--source ID] TRACE
+//! rfdump watch --connect ADDR [-q] [--journal DIR] [--source ID]
 //! rfdump top --connect ADDR [--interval SECS] [--once]
 //! rfdump kernel
 //!
@@ -60,6 +61,16 @@
 //!   --resume         recover from the journal in DIR: replay durable
 //!                    records, skip their re-analysis, and produce output
 //!                    byte-identical to an uninterrupted run
+//!   --fleet          (serve) multi-sensor ingest: accept N concurrent
+//!                    senders, shard each `--source` onto its own pipeline
+//!                    instance, and merge the record streams with
+//!                    per-source tags
+//!   --expect N       (serve --fleet) shut down cleanly once N sources
+//!                    have completed (bounded runs; fleet's `--once`)
+//!   --source ID      (send) name this capture source; the server shards
+//!                    and tags its records by ID. (watch) print only ID's
+//!                    records, bare — byte-identical to `rfdump -r` on the
+//!                    same trace; exits nonzero if ID never appears
 //!
 //! `serve` shuts down cleanly on SIGINT or on end-of-file of a piped
 //! stdin: subscribers get a Bye, --stats-json / --trace-out are flushed,
@@ -139,14 +150,16 @@ fn usage() -> ExitCode {
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
          \x20             [--chaos SPEC] [--governor auto|0|1|2]\n\
          \x20             [--journal DIR] [--resume] [--metrics-addr ADDR]\n\
-         \x20      rfdump serve --listen ADDR [--once] [--queue-cap N]\n\
-         \x20             [--overflow block|drop-oldest] [--sub-queue-cap N]\n\
-         \x20             [--resume-grace SECS] [arch options] [-q]\n\
+         \x20      rfdump serve --listen ADDR [--once] [--fleet [--expect N]]\n\
+         \x20             [--queue-cap N] [--overflow block|drop-oldest]\n\
+         \x20             [--sub-queue-cap N] [--resume-grace SECS]\n\
+         \x20             [arch options] [-q]\n\
          \x20             [--stats-json FILE] [--trace-out FILE] [--chaos SPEC]\n\
          \x20             [--journal DIR] [--resume] [--metrics-addr ADDR]\n\
          \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N]\n\
-         \x20             [--retries N] [--chaos SPEC] TRACE\n\
+         \x20             [--retries N] [--chaos SPEC] [--source ID] TRACE\n\
          \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC] [--journal DIR]\n\
+         \x20             [--source ID]\n\
          \x20      rfdump top --connect ADDR [--interval SECS] [--once]\n\
          \x20      rfdump kernel        (print the resolved DSP kernel backend)\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
@@ -261,6 +274,8 @@ struct ServeOptions {
     stats_json: Option<String>,
     trace_out: Option<String>,
     metrics_addr: Option<String>,
+    fleet: bool,
+    expect: Option<u64>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -270,6 +285,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut stats_json = None;
     let mut trace_out = None;
     let mut metrics_addr = None;
+    let mut fleet = false;
+    let mut expect = None;
+    let mut resume_grace_set = false;
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
     // The band is a placeholder: each producer session's StreamMeta
@@ -304,6 +322,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         match a.as_str() {
             "--listen" => listen = Some(next("an address")?.to_string()),
             "--once" => net.once = true,
+            "--fleet" => fleet = true,
+            "--expect" => {
+                expect = Some(
+                    next("a count")?
+                        .parse()
+                        .map_err(|_| "--expect needs a positive integer".to_string())?,
+                );
+            }
             "--queue-cap" => {
                 net.queue_cap = next("a count")?
                     .parse()
@@ -353,6 +379,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .parse()
                     .map_err(|_| "--resume-grace needs seconds".to_string())?;
                 net.resume_grace = Duration::from_secs_f64(secs.max(0.0));
+                resume_grace_set = true;
             }
             "--chaos" => {
                 let plan = parse_chaos(next("a spec")?)?;
@@ -374,6 +401,25 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     };
     if resume && journal.is_none() {
         return Err("--resume needs --journal DIR".to_string());
+    }
+    if expect.is_some() && !fleet {
+        return Err("--expect needs --fleet".to_string());
+    }
+    if matches!(expect, Some(0)) {
+        return Err("--expect needs a positive integer".to_string());
+    }
+    if fleet {
+        // Fleet mode shards sessions itself and has no producer resume:
+        // the single-stream lifecycle flags don't apply.
+        if net.once {
+            return Err("--fleet is incompatible with --once (use --expect N)".to_string());
+        }
+        if resume_grace_set {
+            return Err("--fleet has no producer resume; drop --resume-grace".to_string());
+        }
+        if journal.is_some() {
+            return Err("--fleet is incompatible with --journal".to_string());
+        }
     }
     if journal.is_some() && !matches!(arch.kind, ArchKind::RfDump(_)) {
         return Err("--journal requires the rfdump architecture".to_string());
@@ -401,6 +447,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         stats_json,
         trace_out,
         metrics_addr,
+        fleet,
+        expect,
     })
 }
 
@@ -458,6 +506,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             Err(code) => return code,
         },
     };
+    if opts.fleet {
+        return cmd_serve_fleet(opts, metrics, registry);
+    }
     let mut pipeline = LivePipeline::new(opts.arch);
     if let Some(reg) = &registry {
         pipeline = pipeline.with_registry(reg.clone());
@@ -512,11 +563,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let printer = std::thread::spawn(move || {
         while let Ok(msg) = local.rx.recv() {
             match msg {
-                rfd_net::HubMsg::Record(r) => {
-                    if !quiet {
-                        println!("{}", r.line);
-                    }
+                rfd_net::HubMsg::Record(r) if !quiet => {
+                    println!("{}", r.line);
                 }
+                rfd_net::HubMsg::Record(_) => {}
                 rfd_net::HubMsg::Meta(m) => eprintln!(
                     "rfdump: session started at {:.1} Msps, band center {:.1} MHz",
                     m.sample_rate / 1e6,
@@ -524,6 +574,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 ),
                 rfd_net::HubMsg::Stats(_) => {}
                 rfd_net::HubMsg::Bye => break,
+                // Tagged fleet messages never reach a single-stream server.
+                _ => {}
             }
         }
     });
@@ -587,6 +639,148 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--fleet` branch of `serve`: multi-sensor ingest through
+/// [`rfd_net::FleetServer`], one fresh pipeline instance per source, with
+/// the merged tagged stream printed locally as `[source] line`.
+fn cmd_serve_fleet(
+    opts: ServeOptions,
+    metrics: Option<rfd_obs::MetricsHandle>,
+    registry: Option<Arc<rfd_telemetry::Registry>>,
+) -> ExitCode {
+    let slot: rfdump::live::SharedOutput = Arc::new(std::sync::Mutex::new(None));
+    let factory = rfdump::fleet::pipeline_factory(opts.arch, registry.clone(), slot.clone());
+    let cfg = rfd_net::FleetConfig {
+        queue_cap: opts.net.queue_cap,
+        overflow: opts.net.overflow,
+        sub_queue_cap: opts.net.sub_queue_cap,
+        expect: opts.expect,
+        faults: opts.net.faults.clone(),
+        ..rfd_net::FleetConfig::default()
+    };
+    let server = match rfd_net::FleetServer::bind(&opts.listen, cfg, factory, registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfdump: cannot listen on {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(a) => eprintln!("rfdump: serving on {a}"),
+        Err(_) => eprintln!("rfdump: serving on {}", opts.listen),
+    }
+    let user_stop = Arc::new(AtomicBool::new(false));
+    rfd_fault::signal::install_sigint();
+    {
+        let handle = server.handle();
+        let user_stop = Arc::clone(&user_stop);
+        std::thread::spawn(move || loop {
+            if rfd_fault::signal::sigint_seen() {
+                user_stop.store(true, Ordering::SeqCst);
+                eprintln!("rfdump: interrupt - shutting down");
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    if stdin_is_stream() {
+        let handle = server.handle();
+        let user_stop = Arc::clone(&user_stop);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            user_stop.store(true, Ordering::SeqCst);
+            eprintln!("rfdump: stdin closed - shutting down");
+            handle.shutdown();
+        });
+    }
+    // Local view of the merged stream, prefixed the same way an
+    // unfiltered network `watch` prints it.
+    let local = server.subscribe();
+    let quiet = opts.quiet;
+    let printer = std::thread::spawn(move || {
+        while let Ok(msg) = local.rx.recv() {
+            match msg {
+                rfd_net::HubMsg::SourceRecord { source, record } if !quiet => {
+                    println!("[{source}] {}", record.line);
+                }
+                rfd_net::HubMsg::SourceRecord { .. } => {}
+                rfd_net::HubMsg::SourceMeta { source, meta } => eprintln!(
+                    "rfdump: source '{source}' joined at {:.1} Msps, band center {:.1} MHz",
+                    meta.sample_rate / 1e6,
+                    meta.center_hz / 1e6,
+                ),
+                rfd_net::HubMsg::SourceBye { source } => {
+                    eprintln!("rfdump: source '{source}' done")
+                }
+                rfd_net::HubMsg::Bye => break,
+                _ => {}
+            }
+        }
+    });
+    let snap = match server.run() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfdump: server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = printer.join();
+    eprintln!(
+        "rfdump: served {} source(s) ({} done, {} refused), {} samples, {} records",
+        snap.sources_joined,
+        snap.sources_done,
+        snap.rejects,
+        snap.net.samples_in,
+        snap.net.records_published,
+    );
+    let out = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let clean_stop = user_stop.load(Ordering::SeqCst);
+    if let Some(path) = &opts.stats_json {
+        match &out {
+            Some(out) => {
+                let doc = rfdump::stats::stats_json_with_fleet(out, &snap);
+                if let Err(e) =
+                    rfd_journal::atomic_write(std::path::Path::new(path), doc.to_json().as_bytes())
+                {
+                    eprintln!("rfdump: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rfdump: stats written to {path}");
+            }
+            None => {
+                eprintln!("rfdump: no source completed; not writing {path}");
+                if !clean_stop {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        match &out {
+            Some(out) => {
+                if let Err(e) = rfdump::stats::write_chrome_trace(out, std::path::Path::new(path)) {
+                    eprintln!("rfdump: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rfdump: span trace written to {path}");
+            }
+            None => {
+                eprintln!("rfdump: no source completed; not writing {path}");
+                if !clean_stop {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(m) = metrics {
+        m.join();
+    }
+    ExitCode::SUCCESS
+}
+
 /// Options for `rfdump send`.
 struct SendOptions {
     connect: String,
@@ -595,6 +789,7 @@ struct SendOptions {
     chunk: usize,
     retries: u32,
     chaos: Option<Arc<FaultPlan>>,
+    source: Option<String>,
 }
 
 fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
@@ -603,11 +798,18 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
     let mut rate = SendRate::Max;
     let mut chunk = rfd_net::frame::DEFAULT_CHUNK_SAMPLES;
     let mut retries = RetryPolicy::default().max_retries;
+    let mut retries_set = false;
     let mut chaos = None;
+    let mut source: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--connect" => connect = Some(it.next().ok_or("--connect needs an address")?.clone()),
+            "--source" => {
+                let id = it.next().ok_or("--source needs an id")?;
+                rfd_net::validate_source_id(id).map_err(|e| e.to_string())?;
+                source = Some(id.clone());
+            }
             "--rate" => {
                 let s = it.next().ok_or("--rate needs max|real-time")?;
                 rate = SendRate::parse(s).ok_or_else(|| format!("unknown rate '{s}'"))?;
@@ -625,11 +827,25 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
                     .ok_or("--retries needs a count")?
                     .parse()
                     .map_err(|_| "--retries needs a non-negative integer".to_string())?;
+                retries_set = true;
             }
             "--chaos" => chaos = parse_chaos(it.next().ok_or("--chaos needs a spec")?)?,
             other if !other.starts_with('-') && trace.is_none() => trace = Some(other.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if source.is_some() {
+        // Fleet ingest has no producer resume, so the resilient
+        // reconnect-and-resume path cannot uphold its contract there.
+        if retries_set && retries > 0 {
+            return Err(
+                "--source is incompatible with --retries (fleet ingest has no resume)".to_string(),
+            );
+        }
+        if chaos.is_some() {
+            return Err("--source is incompatible with --chaos".to_string());
+        }
+        retries = 0;
     }
     Ok(SendOptions {
         connect: connect.ok_or("send needs --connect ADDR")?,
@@ -638,6 +854,7 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
         chunk,
         retries,
         chaos,
+        source,
     })
 }
 
@@ -651,8 +868,13 @@ fn cmd_send(args: &[String]) -> ExitCode {
     };
     let path = std::path::Path::new(&opts.trace);
     let report = if opts.retries == 0 && opts.chaos.is_none() {
-        // Plain single-attempt path: any failure is terminal.
-        let mut tx = match TraceSender::connect(&opts.connect) {
+        // Plain single-attempt path: any failure is terminal. A named
+        // source always takes this path (validated in parse_send_args).
+        let attempt = match &opts.source {
+            Some(id) => TraceSender::connect_source(&opts.connect, id),
+            None => TraceSender::connect(&opts.connect),
+        };
+        let mut tx = match attempt {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("rfdump: cannot connect to {}: {e}", opts.connect);
@@ -734,6 +956,7 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut chaos = None;
     let mut journal: Option<String> = None;
+    let mut source: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -741,6 +964,19 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 Some(addr) => connect = Some(addr.clone()),
                 None => {
                     eprintln!("rfdump: --connect needs an address");
+                    return usage();
+                }
+            },
+            "--source" => match it.next() {
+                Some(id) => match rfd_net::validate_source_id(id) {
+                    Ok(()) => source = Some(id.clone()),
+                    Err(e) => {
+                        eprintln!("rfdump: {e}");
+                        return usage();
+                    }
+                },
+                None => {
+                    eprintln!("rfdump: --source needs an id");
                     return usage();
                 }
             },
@@ -773,6 +1009,12 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("rfdump: watch needs --connect ADDR");
         return usage();
     };
+    if source.is_some() && journal.is_some() {
+        // The journal checkpoints the *unfiltered* stream position; a
+        // filtered resume would silently skip other sources' records.
+        eprintln!("rfdump: --source is incompatible with --journal");
+        return usage();
+    }
     let mut sub = match &journal {
         // Durable watch: the subscription position is checkpointed under
         // the journal directory, so a restarted `watch --journal DIR`
@@ -802,12 +1044,18 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         },
     };
     let mut records = 0u64;
+    // Under `--source`, matching records print bare (byte-identical to an
+    // offline `rfdump -r` on the same trace); unfiltered tagged records
+    // print as `[source] line`.
+    let mut source_seen = false;
     loop {
         match sub.next_event() {
             Ok(SubEvent::Record(r)) => {
-                records += 1;
-                if !quiet {
-                    println!("{}", r.line);
+                if source.is_none() {
+                    records += 1;
+                    if !quiet {
+                        println!("{}", r.line);
+                    }
                 }
             }
             Ok(SubEvent::Meta(m)) => eprintln!(
@@ -815,12 +1063,58 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 m.sample_rate / 1e6,
                 m.center_hz / 1e6,
             ),
+            Ok(SubEvent::SourceRecord {
+                source: from,
+                record,
+            }) => match &source {
+                Some(want) if *want == from => {
+                    source_seen = true;
+                    records += 1;
+                    if !quiet {
+                        println!("{}", record.line);
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    records += 1;
+                    if !quiet {
+                        println!("[{from}] {}", record.line);
+                    }
+                }
+            },
+            Ok(SubEvent::SourceMeta { source: from, meta }) => {
+                let wanted = match &source {
+                    Some(want) => *want == from,
+                    None => true,
+                };
+                if wanted {
+                    source_seen = true;
+                    eprintln!(
+                        "rfdump: source '{from}' started at {:.1} Msps, band center {:.1} MHz",
+                        meta.sample_rate / 1e6,
+                        meta.center_hz / 1e6,
+                    );
+                }
+            }
+            Ok(SubEvent::SourceBye { source: from }) => match &source {
+                // The watched source is done: its tagged stream is
+                // complete, no need to wait for the fleet-wide Bye.
+                Some(want) if *want == from => break,
+                Some(_) => {}
+                None => eprintln!("rfdump: source '{from}' done"),
+            },
             Ok(SubEvent::Stats(_) | SubEvent::Heartbeat) => {}
             Ok(SubEvent::Bye) => break,
             Err(e) => {
                 eprintln!("rfdump: stream failed: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(want) = &source {
+        if !source_seen {
+            eprintln!("rfdump: source '{want}' never appeared in the stream");
+            return ExitCode::FAILURE;
         }
     }
     eprintln!(

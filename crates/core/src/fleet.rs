@@ -1,0 +1,109 @@
+//! Fleet glue: adapts the offline architecture to `rfd_net`'s multi-sensor
+//! ingest plane.
+//!
+//! [`rfd_net::FleetServer`] shards each capture source onto its own
+//! pipeline instance, which it obtains from an injected
+//! [`rfd_net::PipelineFactory`]. This module builds that factory out of an
+//! [`ArchConfig`]: every call constructs a fresh [`LivePipeline`] (so
+//! per-source analysis shares no mutable state and each source's record
+//! stream stays byte-identical to an offline run over the same trace),
+//! while all instances deposit their completed [`ArchOutput`] into one
+//! shared slot so the serving CLI can still render `--stats-json` after
+//! the fleet stops.
+//!
+//! With several sources the slot holds the *last finished* source's
+//! architecture output; the per-source ingest numbers live in the
+//! stats-json `fleet` section (see [`crate::stats`], v8), which is fed
+//! from the [`rfd_net::FleetSnapshot`] instead.
+
+use crate::arch::ArchConfig;
+use crate::live::{LivePipeline, SharedOutput};
+use rfd_telemetry::Registry;
+use std::sync::Arc;
+
+/// Builds the per-source pipeline factory a [`rfd_net::FleetServer`] runs.
+///
+/// Each invocation of the returned factory yields an independent
+/// [`LivePipeline`] over a clone of `cfg` (the band placeholder in `cfg`
+/// is overridden by each source's own stream meta). All pipelines share
+/// `slot` for their architecture output and, when given, accumulate
+/// telemetry into the same `registry` the `--metrics-addr` endpoint
+/// serves.
+pub fn pipeline_factory(
+    cfg: ArchConfig,
+    registry: Option<Arc<Registry>>,
+    slot: SharedOutput,
+) -> rfd_net::PipelineFactory {
+    Box::new(move || {
+        let mut pipeline = LivePipeline::new(cfg.clone()).with_output(slot.clone());
+        if let Some(reg) = &registry {
+            pipeline = pipeline.with_registry(reg.clone());
+        }
+        Box::new(pipeline)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchKind, DetectorSet};
+    use rfd_dsp::Complex32;
+    use rfd_net::frame::StreamMeta;
+    use std::sync::Mutex;
+
+    fn test_cfg() -> ArchConfig {
+        ArchConfig {
+            kind: ArchKind::RfDump(DetectorSet::TimingAndPhase),
+            demodulate: false,
+            band: rfd_ether::Band {
+                sample_rate: 8e6,
+                center_hz: 0.0,
+            },
+            piconets: Vec::new(),
+            noise_floor: None,
+            zigbee: false,
+            microwave: true,
+            threaded: false,
+            telemetry: false,
+            workers: 0,
+            faults: None,
+            governor: None,
+            durability: None,
+        }
+    }
+
+    #[test]
+    fn factory_instances_are_independent_and_share_the_output_slot() {
+        let slot: SharedOutput = Arc::new(Mutex::new(None));
+        let factory = pipeline_factory(test_cfg(), None, slot.clone());
+        let mut a = factory();
+        let mut b = factory();
+        let fs = 8e6f64;
+        let samples: Vec<Complex32> = (0..40_000)
+            .map(|i| {
+                let t = i as f32 / fs as f32;
+                if (4_000..12_000).contains(&i) {
+                    Complex32::new((t * 1e6).sin() * 0.5, (t * 1e6).cos() * 0.5)
+                } else {
+                    Complex32::new((t * 7e5).sin() * 1e-3, 0.0)
+                }
+            })
+            .collect();
+        let meta = StreamMeta {
+            sample_rate: fs,
+            center_hz: 0.0,
+            scale: 1.0,
+        };
+        // Same samples through two independent instances: identical lines
+        // (the per-source byte-identity contract in miniature).
+        let ra = a.analyze(&meta, samples.clone());
+        let rb = b.analyze(&meta, samples);
+        let la: Vec<&str> = ra.iter().map(|r| r.line.as_str()).collect();
+        let lb: Vec<&str> = rb.iter().map(|r| r.line.as_str()).collect();
+        assert_eq!(la, lb);
+        assert!(
+            slot.lock().unwrap().is_some(),
+            "pipelines must deposit into the shared slot"
+        );
+    }
+}

@@ -38,6 +38,7 @@ pub mod detect;
 pub mod dispatch;
 pub mod durability;
 pub mod eval;
+pub mod fleet;
 pub mod governor;
 pub mod latency;
 pub mod live;

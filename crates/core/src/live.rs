@@ -54,6 +54,14 @@ impl LivePipeline {
     pub fn shared_output(&self) -> SharedOutput {
         self.output.clone()
     }
+
+    /// Replaces the output slot with an externally owned one, so several
+    /// pipeline instances (one per fleet source) can deposit into a single
+    /// slot the serving CLI drains after shutdown. Last writer wins.
+    pub fn with_output(mut self, slot: SharedOutput) -> Self {
+        self.output = slot;
+        self
+    }
 }
 
 impl rfd_net::Pipeline for LivePipeline {

@@ -42,6 +42,12 @@
 //!   ("auto" when unset), `available` the backends this CPU supports —
 //!   always present since the kernel layer always resolves). This comment
 //!   is the single authoritative record of the v6→v7 bump.
+//! * **8** — adds `fleet` (sharded multi-sensor ingest: fleet-level
+//!   rollups `sources_joined` / `sources_done` / `rejects` plus a
+//!   `per_source` object keyed by source id — ingest, records, drops,
+//!   throttles and fan-out latency p50/p99 per source, keys sorted; null
+//!   unless the run was a `serve --fleet` server). This comment is the
+//!   single authoritative record of the v7→v8 bump.
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -53,7 +59,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 7;
+pub const STATS_VERSION: u64 = 8;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -71,6 +77,22 @@ pub fn stats_json(out: &ArchOutput) -> JsonValue {
 /// Builds the versioned stats document, attaching live server statistics
 /// as the `net` section when present.
 pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnapshot>) -> JsonValue {
+    stats_json_full(out, net, None)
+}
+
+/// Builds the versioned stats document for a fleet server run: the fleet's
+/// wire-level rollup becomes the `net` section and the per-source
+/// aggregation the `fleet` section.
+pub fn stats_json_with_fleet(out: &ArchOutput, fleet: &rfd_net::FleetSnapshot) -> JsonValue {
+    stats_json_full(out, Some(&fleet.net), Some(fleet))
+}
+
+/// Builds the versioned stats document with every optional live section.
+pub fn stats_json_full(
+    out: &ArchOutput,
+    net: Option<&rfd_net::NetStatsSnapshot>,
+    fleet: Option<&rfd_net::FleetSnapshot>,
+) -> JsonValue {
     let total_samples = (out.trace_seconds * out.sample_rate).round();
     let wall_s = out.stats.wall.as_secs_f64();
 
@@ -230,6 +252,13 @@ pub fn stats_json_with_net(out: &ArchOutput, net: Option<&rfd_net::NetStatsSnaps
     match net {
         None => doc.push("net", JsonValue::Null),
         Some(snap) => doc.push("net", snap.to_json()),
+    }
+
+    // Sharded multi-sensor ingest rollups (v8; null unless the run was a
+    // fleet server).
+    match fleet {
+        None => doc.push("fleet", JsonValue::Null),
+        Some(snap) => doc.push("fleet", snap.to_json()),
     }
 
     // The DSP kernel backend the run executed with (v7).
@@ -637,6 +666,78 @@ mod tests {
         assert_eq!(net.get("samples_in").unwrap().as_f64(), Some(80_000.0));
         let ratio = net.get("ingest_rt_ratio").unwrap().as_f64().unwrap();
         assert!((ratio - 0.5).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn v8_fleet_section_is_null_offline_and_populated_for_fleet_runs() {
+        let doc = rfd_telemetry::json::parse(&stats_json(&fake_output()).to_json()).unwrap();
+        assert!(matches!(
+            doc.get("fleet"),
+            Some(rfd_telemetry::json::JsonValue::Null)
+        ));
+
+        let snap = rfd_net::FleetSnapshot {
+            net: rfd_net::NetStatsSnapshot {
+                samples_in: 3000,
+                ..Default::default()
+            },
+            sources_joined: 2,
+            sources_done: 2,
+            rejects: 1,
+            per_source: vec![
+                rfd_net::SourceSnapshot {
+                    source: "lab-3".into(),
+                    chunks_in: 2,
+                    samples_in: 1000,
+                    chunks_duplicate: 0,
+                    sample_gaps: 0,
+                    chunks_dropped: 0,
+                    throttles: 0,
+                    records: 4,
+                    ingest_signal_us: 1000,
+                    ingest_wall_us: 500,
+                    fanout_count: 4,
+                    fanout_p50_us: 10.0,
+                    fanout_p99_us: 50.0,
+                    done: true,
+                },
+                rfd_net::SourceSnapshot {
+                    source: "roof".into(),
+                    chunks_in: 4,
+                    samples_in: 2000,
+                    chunks_duplicate: 1,
+                    sample_gaps: 0,
+                    chunks_dropped: 0,
+                    throttles: 1,
+                    records: 7,
+                    ingest_signal_us: 2000,
+                    ingest_wall_us: 900,
+                    fanout_count: 7,
+                    fanout_p50_us: 12.0,
+                    fanout_p99_us: 80.0,
+                    done: true,
+                },
+            ],
+        };
+        let doc_text = stats_json_with_fleet(&fake_output(), &snap).to_json();
+        let doc = rfd_telemetry::json::parse(&doc_text).unwrap();
+        // The fleet's wire rollup doubles as the net section.
+        assert_eq!(
+            doc.get("net").unwrap().get("samples_in").unwrap().as_f64(),
+            Some(3000.0)
+        );
+        let fleet = doc.get("fleet").unwrap();
+        assert_eq!(fleet.get("sources_joined").unwrap().as_f64(), Some(2.0));
+        assert_eq!(fleet.get("sources_done").unwrap().as_f64(), Some(2.0));
+        assert_eq!(fleet.get("rejects").unwrap().as_f64(), Some(1.0));
+        let per = fleet.get("per_source").unwrap();
+        let roof = per.get("roof").unwrap();
+        assert_eq!(roof.get("samples_in").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(roof.get("records").unwrap().as_f64(), Some(7.0));
+        assert_eq!(roof.get("throttles").unwrap().as_f64(), Some(1.0));
+        assert_eq!(roof.get("fanout_p99_us").unwrap().as_f64(), Some(80.0));
+        let lab = per.get("lab-3").unwrap();
+        assert_eq!(lab.get("records").unwrap().as_f64(), Some(4.0));
     }
 
     #[test]

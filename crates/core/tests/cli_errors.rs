@@ -117,3 +117,131 @@ fn serve_on_invalid_address_fails_cleanly() {
     let out = rfdump(&["serve", "--listen", "999.999.999.999:0"]);
     assert_clean_failure(&out, "bad listen address", "cannot listen");
 }
+
+#[test]
+fn serve_expect_without_fleet_is_rejected() {
+    let out = rfdump(&["serve", "--listen", "127.0.0.1:0", "--expect", "3"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert_clean_failure(&out, "--expect without --fleet", "--expect needs --fleet");
+}
+
+#[test]
+fn serve_fleet_with_journal_is_rejected() {
+    let out = rfdump(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--fleet",
+        "--journal",
+        "/tmp/rfd-cli-errors-journal",
+    ]);
+    assert_clean_failure(&out, "fleet with journal", "incompatible with --journal");
+}
+
+#[test]
+fn send_source_with_retries_is_rejected() {
+    let out = rfdump(&[
+        "send",
+        "--connect",
+        "127.0.0.1:1",
+        "--source",
+        "roof",
+        "--retries",
+        "3",
+        "/tmp/whatever.rfdt",
+    ]);
+    assert_clean_failure(&out, "source with retries", "incompatible with --retries");
+}
+
+#[test]
+fn send_with_malformed_source_id_is_rejected() {
+    let out = rfdump(&[
+        "send",
+        "--connect",
+        "127.0.0.1:1",
+        "--source",
+        "not a valid id!",
+        "/tmp/whatever.rfdt",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "must fail cleanly, not panic: {stderr}"
+    );
+}
+
+#[test]
+fn watch_source_with_journal_is_rejected() {
+    let out = rfdump(&[
+        "watch",
+        "--connect",
+        "127.0.0.1:1",
+        "--source",
+        "roof",
+        "--journal",
+        "/tmp/rfd-cli-errors-watch",
+    ]);
+    assert_clean_failure(&out, "source with journal", "incompatible with --journal");
+}
+
+#[test]
+fn watch_for_absent_source_exits_nonzero_cleanly() {
+    // A real fleet session where the watched id never appears: the watcher
+    // must drain the stream, print nothing, and fail with a clean one-line
+    // error once the fleet-wide Bye proves the source is absent.
+    let factory: rfd_net::PipelineFactory = Box::new(|| {
+        Box::new(
+            |_meta: &rfd_net::StreamMeta, samples: Vec<rfd_dsp::Complex32>| {
+                vec![rfd_net::RecordMsg {
+                    start_us: 0.0,
+                    end_us: 1.0,
+                    line: format!("session of {} samples", samples.len()),
+                }]
+            },
+        )
+    });
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig {
+            expect: Some(1),
+            ..Default::default()
+        },
+        factory,
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let run = std::thread::spawn(move || server.run().unwrap());
+    // Start the filtered watcher before the only source runs, so its
+    // subscription is live when the records and the Bye go out.
+    let watch = Command::new(env!("CARGO_BIN_EXE_rfdump"))
+        .args(["watch", "--connect", &addr, "--source", "missing"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn rfdump watch");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let meta = rfd_net::StreamMeta {
+        sample_rate: 8e6,
+        center_hz: 0.0,
+        scale: 1.0,
+    };
+    let mut tx = rfd_net::TraceSender::connect_source(&addr, "present").unwrap();
+    tx.send_samples(
+        meta,
+        &vec![rfd_dsp::Complex32::new(0.1, 0.0); 512],
+        rfd_net::SendRate::Max,
+        128,
+    )
+    .unwrap();
+    tx.finish().unwrap();
+    run.join().unwrap();
+    let out = watch.wait_with_output().unwrap();
+    assert_clean_failure(&out, "absent source", "never appeared");
+    assert!(
+        out.stdout.is_empty(),
+        "a filtered watch of an absent source must print no records: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

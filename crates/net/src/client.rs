@@ -136,6 +136,9 @@ pub struct TraceSender {
     session: u64,
     /// Highest server-acknowledged contiguous sample position.
     acked: u64,
+    /// Fleet source id: the stream opens with a `SourceHello` carrying this
+    /// instead of a bare `StreamMeta`.
+    source: Option<String>,
 }
 
 impl TraceSender {
@@ -151,9 +154,34 @@ impl TraceSender {
             sent_meta: false,
             session: 0,
             acked: 0,
+            source: None,
         };
         tx.write_frame(&Frame::Hello(Role::Producer))?;
         Ok(tx)
+    }
+
+    /// Connects as a fleet capture sender: the stream opens with a
+    /// `SourceHello` binding it to the stable source id `source` (validated
+    /// here, so a bad id fails before any bytes hit the wire). Requires a
+    /// fleet-mode server (`rfdump serve --fleet`); fleet sessions have no
+    /// resume.
+    pub fn connect_source<A: ToSocketAddrs>(addr: A, source: &str) -> io::Result<Self> {
+        crate::frame::validate_source_id(source).map_err(io::Error::from)?;
+        let mut tx = Self::connect(addr)?;
+        tx.source = Some(source.to_string());
+        Ok(tx)
+    }
+
+    /// The frame that opens the sample stream: tagged for fleet senders,
+    /// a bare `StreamMeta` otherwise.
+    fn open_frame(&self, meta: StreamMeta) -> Frame {
+        match &self.source {
+            Some(s) => Frame::SourceHello {
+                source: s.clone(),
+                meta,
+            },
+            None => Frame::StreamMeta(meta),
+        }
     }
 
     /// The server-assigned session id (0 before the first Ack).
@@ -275,7 +303,8 @@ impl TraceSender {
         let mut report = SendReport::default();
         let t0 = Instant::now();
         if !self.sent_meta {
-            report.bytes += self.write_frame(&Frame::StreamMeta(meta))?;
+            let open = self.open_frame(meta);
+            report.bytes += self.write_frame(&open)?;
             self.sent_meta = true;
         }
         let mut start_sample = 0u64;
@@ -355,7 +384,8 @@ impl TraceSender {
         let mut report = SendReport::default();
         let t0 = Instant::now();
         if !self.sent_meta {
-            report.bytes += self.write_frame(&Frame::StreamMeta(meta))?;
+            let open = self.open_frame(meta);
+            report.bytes += self.write_frame(&open)?;
             self.sent_meta = true;
         }
         let mut start_sample = 0u64;
@@ -702,6 +732,25 @@ pub enum SubEvent {
     Record(RecordMsg),
     /// End-of-session statistics document (JSON).
     Stats(String),
+    /// A fleet source joined the merged stream (its metadata).
+    SourceMeta {
+        /// The stable source id.
+        source: String,
+        /// The source's stream metadata.
+        meta: StreamMeta,
+    },
+    /// One decoded record from a tagged fleet source.
+    SourceRecord {
+        /// The stable source id.
+        source: String,
+        /// The record.
+        record: RecordMsg,
+    },
+    /// A fleet source's stream ended; no further records carry its tag.
+    SourceBye {
+        /// The stable source id.
+        source: String,
+    },
     /// Idle keep-alive.
     Heartbeat,
     /// The server is done; no further events follow.
@@ -802,6 +851,9 @@ impl RecordSubscriber {
                 Frame::StreamMeta(m) => SubEvent::Meta(m),
                 Frame::Record(r) => SubEvent::Record(r),
                 Frame::Stats(s) => SubEvent::Stats(s),
+                Frame::SourceHello { source, meta } => SubEvent::SourceMeta { source, meta },
+                Frame::SourceRecord { source, record } => SubEvent::SourceRecord { source, record },
+                Frame::SourceBye { source } => SubEvent::SourceBye { source },
                 Frame::Heartbeat => SubEvent::Heartbeat,
                 Frame::Bye => SubEvent::Bye,
                 // Late position acks just refresh the resume cursor.
@@ -817,10 +869,16 @@ impl RecordSubscriber {
                 }
             };
             // Stream messages advance the resume cursor; heartbeats and
-            // Bye are connection events outside the replayable stream.
+            // the global Bye are connection events outside the replayable
+            // stream.
             if matches!(
                 ev,
-                SubEvent::Meta(_) | SubEvent::Record(_) | SubEvent::Stats(_)
+                SubEvent::Meta(_)
+                    | SubEvent::Record(_)
+                    | SubEvent::Stats(_)
+                    | SubEvent::SourceMeta { .. }
+                    | SubEvent::SourceRecord { .. }
+                    | SubEvent::SourceBye { .. }
             ) {
                 self.pos += 1;
             }

@@ -1,0 +1,1184 @@
+//! The fleet plane: one server, N concurrent capture senders, one merged
+//! record stream.
+//!
+//! ```text
+//!  sender "roof"  ──TCP──▶ ┐                        ┌─▶ pipeline("roof")  ─┐
+//!  sender "lab-3" ──TCP──▶ ├─ readiness loop ──────▶├─▶ pipeline("lab-3") ─┼─▶ RecordHub
+//!  sender "van"   ──TCP──▶ ┘  (one thread,          └─▶ pipeline("van")   ─┘  (tagged)
+//!                             nonblocking sockets)
+//!  subscriber ◀──TCP── per-sub bounded queue ◀──────────────────────────────────┘
+//! ```
+//!
+//! Where [`Server`](crate::Server) dedicates a blocking thread to every
+//! connection and serializes all sessions through one shared pipeline, the
+//! fleet server is built for *many concurrent senders*:
+//!
+//! * **One readiness loop** owns every producer socket. Sockets are
+//!   nonblocking; the loop polls them round-robin (the same std-only
+//!   poll-style the obs scrape endpoint uses — no epoll dependency), so a
+//!   hundred senders cost one thread, not a hundred.
+//! * **A source handshake** ([`Frame::SourceHello`]) binds each connection
+//!   to a stable source id. Ids are unique for the life of the server — a
+//!   duplicate handshake is refused, which keeps per-source streams, stats
+//!   and metrics unambiguous.
+//! * **Per-source sharding**: every source gets its own bounded
+//!   [`ChunkQueue`] and its own [`Pipeline`] instance from the injected
+//!   factory, drained by its own analysis thread. Sources never contend on
+//!   a pipeline lock, and one source's backlog cannot delay another's
+//!   analysis.
+//! * **Per-source backpressure**: a full queue stops the loop from reading
+//!   that source's socket (TCP pushes back to the sender) and sends a
+//!   Throttle advisory on the saturation rising edge — other sockets keep
+//!   being serviced.
+//! * **Tagged fan-out**: records enter the [`RecordHub`] as
+//!   [`HubMsg::SourceRecord`] so subscribers (and `rfdump watch --source`)
+//!   can filter per source.
+//!
+//! Determinism: each source's samples are accumulated contiguously and
+//! analyzed by a private pipeline exactly like an offline run of that trace
+//! alone, and its records are published in one burst (meta, records in
+//! offline order, source-bye) under the hub lock per message with no
+//! interleaving *within* a source. A filtered subscriber therefore sees a
+//! byte-identical record stream to `rfdump -r trace` at any worker count.
+//! Merge order *between* sources is arrival order and intentionally
+//! unspecified.
+//!
+//! Resume is not supported on fleet connections (a dropped sender finalizes
+//! its source with the samples that arrived); fleet senders are expected to
+//! retry at the application layer with a fresh source id.
+
+use crate::frame::{Frame, FrameDecoder, Role, SeqFrame, StreamMeta};
+use crate::hub::{HubMsg, RecordHub, Subscription};
+use crate::queue::{ChunkQueue, OverflowPolicy, TryPushError};
+use crate::server::{serve_subscriber, NetStats, NetStatsSnapshot, Pipeline, SubscriberCtx};
+use rfd_dsp::complex::from_i16_iq;
+use rfd_dsp::Complex32;
+use rfd_fault::{Action, FaultPlan};
+use rfd_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Builds one fresh [`Pipeline`] per fleet source.
+pub type PipelineFactory = Box<dyn Fn() -> Box<dyn Pipeline> + Send + Sync>;
+
+/// Send a producer an Ack every this many ingested chunks (matches the
+/// single-stream server).
+const ACK_EVERY: u64 = 16;
+
+/// Idle sleep between readiness sweeps when no socket made progress.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Fleet server knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-source ingest queue capacity, in sample chunks.
+    pub queue_cap: usize,
+    /// What a full per-source queue does to its sender.
+    pub overflow: OverflowPolicy,
+    /// Per-subscriber record queue capacity (slow-consumer eviction bound).
+    pub sub_queue_cap: usize,
+    /// Shut down cleanly after this many sources complete (bounded runs:
+    /// tests, CI, benchmarks). `None` runs until [`FleetHandle::shutdown`].
+    pub expect: Option<u64>,
+    /// Idle interval after which a subscriber connection gets a Heartbeat.
+    pub heartbeat: Duration,
+    /// A producer socket silent for this long is evicted (its source is
+    /// finalized with the samples that arrived).
+    pub idle_timeout: Duration,
+    /// Fault-injection plan for chaos testing (`net.server.read` site).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 64,
+            overflow: OverflowPolicy::Block,
+            sub_queue_cap: 4096,
+            expect: None,
+            heartbeat: Duration::from_secs(1),
+            idle_timeout: Duration::from_secs(30),
+            faults: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-source state and statistics
+// ---------------------------------------------------------------------------
+
+/// One source's shared state: written by the readiness loop (ingest side)
+/// and its analysis thread (publish side), read by stats snapshots.
+struct SourceShared {
+    name: Arc<str>,
+    meta: StreamMeta,
+    queue: ChunkQueue<Vec<Complex32>>,
+    chunks_in: AtomicU64,
+    samples_in: AtomicU64,
+    chunks_duplicate: AtomicU64,
+    sample_gaps: AtomicU64,
+    throttles: AtomicU64,
+    records: AtomicU64,
+    /// Contiguous ingest high-water mark (next expected sample index).
+    expected: AtomicU64,
+    /// Ingest wall time, µs (first chunk to stream close).
+    ingest_wall_us: AtomicU64,
+    done: AtomicBool,
+    /// Per-record publish duration, µs — the source's fan-out latency.
+    fanout: Histogram,
+    /// `net.fleet.source.<id>.queue_depth` when a registry is attached.
+    queue_gauge: Option<Arc<Gauge>>,
+    samples_ctr: Option<Arc<Counter>>,
+    records_ctr: Option<Arc<Counter>>,
+}
+
+/// Point-in-time statistics for one fleet source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSnapshot {
+    /// The stable source id.
+    pub source: String,
+    /// Sample chunks ingested.
+    pub chunks_in: u64,
+    /// Complex samples ingested.
+    pub samples_in: u64,
+    /// Chunks skipped as duplicates of already-ingested samples.
+    pub chunks_duplicate: u64,
+    /// Samples missing from the contiguous stream.
+    pub sample_gaps: u64,
+    /// Chunks discarded by the drop-oldest overflow policy.
+    pub chunks_dropped: u64,
+    /// Throttle advisories sent to this source's sender.
+    pub throttles: u64,
+    /// Records published for this source.
+    pub records: u64,
+    /// Signal time ingested, µs.
+    pub ingest_signal_us: u64,
+    /// Wall time spent ingesting, µs.
+    pub ingest_wall_us: u64,
+    /// Record publish (fan-out) latency samples.
+    pub fanout_count: u64,
+    /// Fan-out latency p50, µs.
+    pub fanout_p50_us: f64,
+    /// Fan-out latency p99, µs.
+    pub fanout_p99_us: f64,
+    /// Whether the source's stream has ended and been analyzed.
+    pub done: bool,
+}
+
+impl SourceSnapshot {
+    fn of(s: &SourceShared) -> Self {
+        Self {
+            source: s.name.to_string(),
+            chunks_in: s.chunks_in.load(Ordering::Relaxed),
+            samples_in: s.samples_in.load(Ordering::Relaxed),
+            chunks_duplicate: s.chunks_duplicate.load(Ordering::Relaxed),
+            sample_gaps: s.sample_gaps.load(Ordering::Relaxed),
+            chunks_dropped: s.queue.dropped(),
+            throttles: s.throttles.load(Ordering::Relaxed),
+            records: s.records.load(Ordering::Relaxed),
+            ingest_signal_us: (s.expected.load(Ordering::Relaxed) as f64 / s.meta.sample_rate * 1e6)
+                as u64,
+            ingest_wall_us: s.ingest_wall_us.load(Ordering::Relaxed),
+            fanout_count: s.fanout.count(),
+            fanout_p50_us: s.fanout.quantile(0.5),
+            fanout_p99_us: s.fanout.quantile(0.99),
+            done: s.done.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The snapshot as a JSON object (one entry of the stats-json v8
+    /// `fleet.per_source` map).
+    pub fn to_json(&self) -> rfd_telemetry::json::JsonValue {
+        use rfd_telemetry::json::JsonValue as J;
+        let n = |v: u64| J::num(v as f64);
+        J::obj(vec![
+            ("chunks_in", n(self.chunks_in)),
+            ("samples_in", n(self.samples_in)),
+            ("chunks_duplicate", n(self.chunks_duplicate)),
+            ("sample_gaps", n(self.sample_gaps)),
+            ("chunks_dropped", n(self.chunks_dropped)),
+            ("throttles", n(self.throttles)),
+            ("records", n(self.records)),
+            ("ingest_signal_us", n(self.ingest_signal_us)),
+            ("ingest_wall_us", n(self.ingest_wall_us)),
+            ("fanout_count", n(self.fanout_count)),
+            ("fanout_p50_us", J::num(self.fanout_p50_us)),
+            ("fanout_p99_us", J::num(self.fanout_p99_us)),
+            ("done", J::Bool(self.done)),
+        ])
+    }
+}
+
+/// Point-in-time fleet statistics: the wire-level rollup plus one
+/// [`SourceSnapshot`] per source, sorted by source id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Wire-level statistics (the stats-json `net` section).
+    pub net: NetStatsSnapshot,
+    /// Sources that completed their handshake.
+    pub sources_joined: u64,
+    /// Sources whose stream ended and whose records are published.
+    pub sources_done: u64,
+    /// Connections refused for a bad or duplicate source handshake.
+    pub rejects: u64,
+    /// Per-source statistics, sorted by source id.
+    pub per_source: Vec<SourceSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// The snapshot as a JSON object (the stats-json v8 `fleet` section).
+    /// `per_source` keys are sorted, so renderings are stable.
+    pub fn to_json(&self) -> rfd_telemetry::json::JsonValue {
+        use rfd_telemetry::json::JsonValue as J;
+        let n = |v: u64| J::num(v as f64);
+        let per: Vec<(String, J)> = self
+            .per_source
+            .iter()
+            .map(|s| (s.source.clone(), s.to_json()))
+            .collect();
+        J::obj(vec![
+            ("sources_joined", n(self.sources_joined)),
+            ("sources_done", n(self.sources_done)),
+            ("rejects", n(self.rejects)),
+            ("per_source", J::Obj(per)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+struct FleetInner {
+    cfg: FleetConfig,
+    hub: RecordHub,
+    stats: NetStats,
+    factory: PipelineFactory,
+    shutdown: AtomicBool,
+    sources_joined: AtomicU64,
+    sources_done: AtomicU64,
+    rejects: AtomicU64,
+    sources: Mutex<BTreeMap<Arc<str>, Arc<SourceShared>>>,
+    registry: Option<Arc<Registry>>,
+    /// `latency.net_fanout_us`, shared with the single-stream server's
+    /// layout so dashboards see one family either way.
+    fanout_hist: Option<Arc<Histogram>>,
+    active_gauge: Option<Arc<Gauge>>,
+    evictions_reported: AtomicU64,
+}
+
+impl FleetInner {
+    fn emit(&self, kind: rfd_telemetry::event::EventKind, detail: String) {
+        if let Some(r) = &self.registry {
+            r.emit_event(kind, detail);
+        }
+    }
+
+    fn note_evictions(&self) {
+        if self.registry.is_none() {
+            return;
+        }
+        let total = self.hub.evicted();
+        let mut seen = self.evictions_reported.load(Ordering::Relaxed);
+        while seen < total {
+            match self.evictions_reported.compare_exchange(
+                seen,
+                seen + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.emit(
+                        rfd_telemetry::event::EventKind::SlowConsumerEvicted,
+                        format!("subscriber queue full (eviction #{})", seen + 1),
+                    );
+                    seen += 1;
+                }
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> FleetSnapshot {
+        let per_source: Vec<SourceSnapshot> = {
+            let map = self.sources.lock().unwrap_or_else(|e| e.into_inner());
+            map.values().map(|s| SourceSnapshot::of(s)).collect()
+        };
+        FleetSnapshot {
+            net: self.stats.snapshot(self.hub.evicted()),
+            sources_joined: self.sources_joined.load(Ordering::Relaxed),
+            sources_done: self.sources_done.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            per_source,
+        }
+    }
+}
+
+/// Cloneable handle for stopping a running fleet server and reading its
+/// statistics.
+#[derive(Clone)]
+pub struct FleetHandle {
+    inner: Arc<FleetInner>,
+}
+
+impl FleetHandle {
+    /// Asks the server to stop. In-flight sources are finalized with the
+    /// samples that arrived; subscribers get a final Bye after the last
+    /// record is published.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Current fleet statistics.
+    pub fn stats(&self) -> FleetSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+/// The multi-sensor ingest server. Bind, then [`FleetServer::run`].
+pub struct FleetServer {
+    listener: TcpListener,
+    inner: Arc<FleetInner>,
+}
+
+/// One producer connection's place in the handshake.
+enum ConnState {
+    /// Nothing received yet; first frame must be a Hello.
+    Await,
+    /// Hello(Producer) received; next frame must be a SourceHello.
+    Producer,
+    /// Streaming samples for a registered source.
+    Streaming(Arc<SourceShared>),
+}
+
+/// What servicing a connection decided.
+enum Verdict {
+    Keep,
+    /// Close the connection (source, if any, already finalized).
+    Drop,
+    /// The connection declared the subscriber role and was handed off to a
+    /// blocking subscriber thread.
+    Subscriber(std::thread::JoinHandle<()>),
+}
+
+struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Unsent outbound bytes (acks, throttles), flushed as the socket
+    /// accepts them — the loop never blocks on a slow reverse path.
+    out: Vec<u8>,
+    out_seq: u32,
+    state: ConnState,
+    last_rx: Instant,
+    /// A decoded chunk the source queue had no room for; retried before
+    /// any further reads from this socket (per-source backpressure).
+    pending: Option<Vec<Complex32>>,
+    saturated: bool,
+    chunks_since_ack: u64,
+    expect_seq: Option<u32>,
+    ingest_t0: Option<Instant>,
+    /// Bye processed: flush `out`, then close.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            dec: FrameDecoder::new(),
+            out: Vec::new(),
+            out_seq: 0,
+            state: ConnState::Await,
+            last_rx: Instant::now(),
+            pending: None,
+            saturated: false,
+            chunks_since_ack: 0,
+            expect_seq: None,
+            ingest_t0: None,
+            closing: false,
+        }
+    }
+
+    /// Queues a frame on the outbox (flushed opportunistically).
+    fn queue_frame(&mut self, stats: &NetStats, frame: &Frame) {
+        let bytes = crate::frame::encode_frame(frame, self.out_seq);
+        self.out_seq = self.out_seq.wrapping_add(1);
+        stats.frames_out.add(1);
+        stats.bytes_out.add(bytes.len() as u64);
+        self.out.extend_from_slice(&bytes);
+    }
+}
+
+impl FleetServer {
+    /// Binds `addr` and prepares the fleet server around `factory` (one
+    /// pipeline instance per source).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        cfg: FleetConfig,
+        factory: PipelineFactory,
+        registry: Option<Arc<Registry>>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let fanout_hist = registry.as_ref().map(|r| {
+            r.histogram("latency.net_fanout_us", || {
+                Histogram::exponential(1.0, 1e7, 28)
+            })
+        });
+        let active_gauge = registry
+            .as_ref()
+            .map(|r| r.gauge("net.fleet.active_sources"));
+        let inner = Arc::new(FleetInner {
+            hub: RecordHub::new(cfg.sub_queue_cap),
+            stats: NetStats::new(registry.as_deref()),
+            cfg,
+            factory,
+            shutdown: AtomicBool::new(false),
+            sources_joined: AtomicU64::new(0),
+            sources_done: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            sources: Mutex::new(BTreeMap::new()),
+            registry,
+            fanout_hist,
+            active_gauge,
+            evictions_reported: AtomicU64::new(0),
+        });
+        Ok(Self { listener, inner })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutdown and stats from other threads.
+    pub fn handle(&self) -> FleetHandle {
+        FleetHandle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// An in-process subscription to the merged tagged stream.
+    pub fn subscribe(&self) -> Subscription {
+        self.inner.hub.subscribe()
+    }
+
+    /// An in-process subscription filtered to one source.
+    pub fn subscribe_filtered(&self, source: &str) -> Subscription {
+        self.inner.hub.subscribe_filtered(source)
+    }
+
+    /// Runs the readiness loop until shutdown (or until
+    /// [`FleetConfig::expect`] sources complete). Returns the final
+    /// statistics.
+    pub fn run(self) -> io::Result<FleetSnapshot> {
+        self.listener.set_nonblocking(true)?;
+        let inner = &self.inner;
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut sub_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut analysis_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut bye_published = false;
+
+        loop {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut progressed = false;
+
+            // Accept every connection ready right now.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        inner.stats.connections.add(1);
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_nonblocking(true);
+                        conns.push(Conn::new(stream));
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Service each producer socket round-robin.
+            let mut i = 0;
+            while i < conns.len() {
+                match service_conn(inner, &mut conns[i], &mut analysis_threads, &mut progressed) {
+                    Verdict::Keep => i += 1,
+                    Verdict::Drop => {
+                        let c = conns.swap_remove(i);
+                        drop_conn(inner, c);
+                        progressed = true;
+                    }
+                    Verdict::Subscriber(t) => {
+                        conns.swap_remove(i);
+                        sub_threads.push(t);
+                        progressed = true;
+                    }
+                }
+            }
+            sub_threads.retain(|t| !t.is_finished());
+            analysis_threads.retain(|t| !t.is_finished());
+
+            // Bounded runs: once the expected number of sources has
+            // completed (their records are already in subscriber queues),
+            // publish the global Bye *before* raising shutdown so every
+            // subscriber drains records first, then Bye — fully
+            // deterministic teardown.
+            if let Some(expect) = inner.cfg.expect {
+                if inner.sources_done.load(Ordering::SeqCst) >= expect {
+                    inner.note_evictions();
+                    inner.hub.publish(HubMsg::Bye);
+                    bye_published = true;
+                    inner.shutdown.store(true, Ordering::SeqCst);
+                }
+            }
+
+            if !progressed {
+                std::thread::sleep(POLL);
+            }
+        }
+
+        // Teardown: finalize whatever is still streaming, wait for every
+        // analysis thread to publish, then release the subscribers.
+        for c in conns {
+            drop_conn(inner, c);
+        }
+        for t in analysis_threads {
+            let _ = t.join();
+        }
+        inner.note_evictions();
+        if !bye_published {
+            inner.hub.publish(HubMsg::Bye);
+        }
+        for t in sub_threads {
+            let _ = t.join();
+        }
+        Ok(inner.snapshot())
+    }
+}
+
+/// Closes a dying connection, finalizing its source if it was streaming.
+fn drop_conn(inner: &Arc<FleetInner>, mut c: Conn) {
+    // Best-effort flush of queued acks so a clean Bye ends with its final
+    // Ack delivered.
+    let _ = c.stream.write_all(&c.out);
+    if let ConnState::Streaming(src) = &c.state {
+        if let Some(t0) = c.ingest_t0 {
+            src.ingest_wall_us
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        }
+        finalize_source(inner, src);
+    }
+}
+
+/// Closes a source's ingest queue (its analysis thread runs to completion
+/// and publishes) and books session-level stats. Idempotent per source via
+/// the closed queue.
+fn finalize_source(inner: &Arc<FleetInner>, src: &Arc<SourceShared>) {
+    src.queue.close();
+    inner.stats.chunks_dropped.add(src.queue.dropped());
+    inner.stats.sessions.add(1);
+}
+
+/// Services one connection for one sweep: flush the outbox, retry a pending
+/// chunk, process decodable frames, read more bytes.
+fn service_conn(
+    inner: &Arc<FleetInner>,
+    c: &mut Conn,
+    analysis_threads: &mut Vec<std::thread::JoinHandle<()>>,
+    progressed: &mut bool,
+) -> Verdict {
+    // 1. Flush queued outbound bytes (acks, throttles, byes).
+    if !c.out.is_empty() {
+        match c.stream.write(&c.out) {
+            Ok(0) => return Verdict::Drop,
+            Ok(n) => {
+                c.out.drain(..n);
+                *progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Drop,
+        }
+    }
+    if c.closing {
+        return if c.out.is_empty() {
+            Verdict::Drop
+        } else {
+            Verdict::Keep
+        };
+    }
+
+    // 2. Retry the chunk the source queue previously refused. Until it
+    // fits, this socket is not read: TCP backpressure per source.
+    if let Some(chunk) = c.pending.take() {
+        let src = match &c.state {
+            ConnState::Streaming(s) => Some(s.clone()),
+            _ => None,
+        };
+        if let Some(src) = src {
+            match src.queue.try_push(chunk) {
+                Ok(_) => {
+                    if let Some(g) = &src.queue_gauge {
+                        g.set(src.queue.len() as i64);
+                    }
+                    *progressed = true;
+                }
+                Err(TryPushError::Full(chunk)) => {
+                    c.pending = Some(chunk);
+                    return Verdict::Keep;
+                }
+                Err(TryPushError::Closed(_)) => return Verdict::Drop,
+            }
+        }
+    }
+
+    // 3. Drain decodable frames.
+    if let Some(v) = process_frames(inner, c, analysis_threads, progressed) {
+        return v;
+    }
+    if c.pending.is_some() || c.closing {
+        return Verdict::Keep;
+    }
+
+    // 4. Read more bytes (nonblocking), with the same chaos site as the
+    // blocking server so fault plans apply to either flavor.
+    if let Some(plan) = &inner.cfg.faults {
+        match plan.decide("net.server.read") {
+            Some(Action::Io) => return Verdict::Drop,
+            Some(Action::Disconnect) => return eof_verdict(inner, c),
+            Some(Action::Slow(d)) => std::thread::sleep(d),
+            Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+            _ => {}
+        }
+    }
+    let mut buf = [0u8; 16 * 1024];
+    match c.stream.read(&mut buf) {
+        Ok(0) => return eof_verdict(inner, c),
+        Ok(n) => {
+            inner.stats.bytes_in.add(n as u64);
+            c.dec.push(&buf[..n]);
+            c.last_rx = Instant::now();
+            *progressed = true;
+            if let Some(v) = process_frames(inner, c, analysis_threads, progressed) {
+                return v;
+            }
+        }
+        Err(e)
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::Interrupted =>
+        {
+            if c.last_rx.elapsed() >= inner.cfg.idle_timeout {
+                inner.stats.idle_evictions.add(1);
+                return Verdict::Drop;
+            }
+        }
+        Err(_) => return Verdict::Drop,
+    }
+    Verdict::Keep
+}
+
+/// Clean EOF from a peer: for a streaming source this is an implicit Bye
+/// (fleet connections have no resume).
+fn eof_verdict(_inner: &Arc<FleetInner>, c: &mut Conn) -> Verdict {
+    c.closing = true;
+    if c.out.is_empty() {
+        Verdict::Drop
+    } else {
+        Verdict::Keep
+    }
+}
+
+/// The handshake stage of a connection, copied out of [`ConnState`] so the
+/// frame dispatch below can mutate the connection freely.
+#[derive(Clone, Copy, PartialEq)]
+enum Stage {
+    Await,
+    Producer,
+    Streaming,
+}
+
+/// Decodes and applies as many frames as possible. Returns a verdict when
+/// the connection changes hands or must close, `None` to continue.
+fn process_frames(
+    inner: &Arc<FleetInner>,
+    c: &mut Conn,
+    analysis_threads: &mut Vec<std::thread::JoinHandle<()>>,
+    progressed: &mut bool,
+) -> Option<Verdict> {
+    loop {
+        if c.pending.is_some() || c.closing {
+            return None;
+        }
+        let SeqFrame { seq, frame } = match c.dec.next_frame() {
+            Ok(Some(sf)) => sf,
+            Ok(None) => return None,
+            Err(_) => {
+                inner.stats.decode_errors.add(1);
+                return Some(Verdict::Drop);
+            }
+        };
+        inner.stats.frames_in.add(1);
+        *progressed = true;
+        if let Some(want) = c.expect_seq {
+            if seq != want {
+                inner.stats.seq_gaps.add(u64::from(seq.wrapping_sub(want)));
+            }
+        }
+        c.expect_seq = Some(seq.wrapping_add(1));
+
+        let (stage, src) = match &c.state {
+            ConnState::Await => (Stage::Await, None),
+            ConnState::Producer => (Stage::Producer, None),
+            ConnState::Streaming(s) => (Stage::Streaming, Some(s.clone())),
+        };
+        match (stage, frame) {
+            (Stage::Await, Frame::Hello(Role::Producer)) => {
+                inner.stats.producers.add(1);
+                c.state = ConnState::Producer;
+            }
+            (Stage::Await, Frame::Hello(Role::Subscriber)) => {
+                // Hand the socket to a blocking subscriber thread; the
+                // shared serve loop handles Resume, replay and heartbeats.
+                let _ = c.stream.set_nonblocking(false);
+                let _ = c.stream.set_read_timeout(Some(Duration::from_millis(50)));
+                let stream = match c.stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return Some(Verdict::Drop),
+                };
+                let dec = std::mem::replace(&mut c.dec, FrameDecoder::new());
+                let inner = inner.clone();
+                let t = std::thread::Builder::new()
+                    .name("rfd-fleet-sub".into())
+                    .spawn(move || {
+                        let ctx = SubscriberCtx {
+                            hub: &inner.hub,
+                            stats: &inner.stats,
+                            shutdown: &inner.shutdown,
+                            heartbeat: inner.cfg.heartbeat,
+                        };
+                        serve_subscriber(&ctx, stream, dec);
+                    })
+                    .expect("spawn fleet subscriber thread");
+                return Some(Verdict::Subscriber(t));
+            }
+            (Stage::Producer, Frame::SourceHello { source, meta }) => {
+                match register_source(inner, &source, meta) {
+                    Some(src) => {
+                        // Spawn the source's private analysis thread.
+                        let t = {
+                            let inner = inner.clone();
+                            let src = src.clone();
+                            std::thread::Builder::new()
+                                .name(format!("rfd-fleet-{source}"))
+                                .spawn(move || analysis_thread(inner, src))
+                                .expect("spawn fleet analysis thread")
+                        };
+                        analysis_threads.push(t);
+                        // Anchor the sender at position zero.
+                        inner.stats.acks_sent.add(1);
+                        c.queue_frame(
+                            &inner.stats,
+                            &Frame::Ack {
+                                session: inner.sources_joined.load(Ordering::Relaxed),
+                                position: 0,
+                            },
+                        );
+                        c.state = ConnState::Streaming(src);
+                    }
+                    None => {
+                        // Duplicate source id: refuse cleanly.
+                        inner.rejects.fetch_add(1, Ordering::Relaxed);
+                        c.queue_frame(&inner.stats, &Frame::Bye);
+                        c.closing = true;
+                    }
+                }
+            }
+            (Stage::Streaming, Frame::SampleChunk { start_sample, iq }) => {
+                let src = src.expect("streaming state carries its source");
+                ingest_chunk(inner, c, &src, start_sample, iq);
+            }
+            (Stage::Streaming, Frame::Bye) => {
+                let src = src.expect("streaming state carries its source");
+                if let Some(t0) = c.ingest_t0.take() {
+                    src.ingest_wall_us
+                        .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
+                // Final authoritative ack, then close after the flush.
+                inner.stats.acks_sent.add(1);
+                let position = src.expected.load(Ordering::Relaxed);
+                let ack = Frame::Ack {
+                    session: 0,
+                    position,
+                };
+                c.queue_frame(&inner.stats, &ack);
+                finalize_source(inner, &src);
+                c.state = ConnState::Await;
+                c.closing = true;
+            }
+            (_, Frame::Heartbeat) => {}
+            (Stage::Await, Frame::Bye) | (Stage::Producer, Frame::Bye) => {
+                c.closing = true;
+            }
+            // Anything else — a chunk before the handshake, a duplicate
+            // SourceHello on a streaming connection, a server→subscriber
+            // tag from a producer — is a protocol violation.
+            (_, _) => {
+                inner.stats.decode_errors.add(1);
+                return Some(Verdict::Drop);
+            }
+        }
+    }
+}
+
+/// Registers a new source: validates uniqueness, creates its queue, shared
+/// state and per-source metrics, and announces it on the hub.
+fn register_source(
+    inner: &Arc<FleetInner>,
+    source: &str,
+    meta: StreamMeta,
+) -> Option<Arc<SourceShared>> {
+    let name: Arc<str> = Arc::from(source);
+    let reg = inner.registry.as_deref();
+    let src = Arc::new(SourceShared {
+        meta,
+        queue: ChunkQueue::new(inner.cfg.queue_cap, inner.cfg.overflow),
+        chunks_in: AtomicU64::new(0),
+        samples_in: AtomicU64::new(0),
+        chunks_duplicate: AtomicU64::new(0),
+        sample_gaps: AtomicU64::new(0),
+        throttles: AtomicU64::new(0),
+        records: AtomicU64::new(0),
+        expected: AtomicU64::new(0),
+        ingest_wall_us: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        fanout: Histogram::exponential(1.0, 1e7, 28),
+        queue_gauge: reg.map(|r| r.gauge(&format!("net.fleet.source.{source}.queue_depth"))),
+        samples_ctr: reg.map(|r| r.counter(&format!("net.fleet.source.{source}.samples_in"))),
+        records_ctr: reg.map(|r| r.counter(&format!("net.fleet.source.{source}.records"))),
+        name: name.clone(),
+    });
+    {
+        let mut map = inner.sources.lock().unwrap_or_else(|e| e.into_inner());
+        // Source ids are unique for the life of the server — an id that has
+        // already streamed (even to completion) is refused, keeping every
+        // per-source stream and stat unambiguous.
+        if map.contains_key(&name) {
+            return None;
+        }
+        map.insert(name.clone(), src.clone());
+    }
+    inner.sources_joined.fetch_add(1, Ordering::SeqCst);
+    if let Some(g) = &inner.active_gauge {
+        g.add(1);
+    }
+    inner.emit(
+        rfd_telemetry::event::EventKind::SourceJoined,
+        format!("source {name} joined ({:.3} Msps)", meta.sample_rate / 1e6),
+    );
+    inner.hub.publish(HubMsg::SourceMeta { source: name, meta });
+    Some(src)
+}
+
+/// Ingests one sample chunk for a streaming source: contiguity accounting,
+/// scale conversion, throttle advisories, queue push, periodic acks.
+fn ingest_chunk(
+    inner: &Arc<FleetInner>,
+    c: &mut Conn,
+    src: &Arc<SourceShared>,
+    start_sample: u64,
+    iq: Vec<(i16, i16)>,
+) {
+    c.ingest_t0.get_or_insert_with(Instant::now);
+    inner.stats.chunks_in.add(1);
+    src.chunks_in.fetch_add(1, Ordering::Relaxed);
+    let n = iq.len() as u64;
+    let end = start_sample.saturating_add(n);
+    let expected = src.expected.load(Ordering::Relaxed);
+    if end <= expected {
+        inner.stats.chunks_duplicate.add(1);
+        src.chunks_duplicate.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if start_sample > expected {
+        inner.stats.sample_gaps.add(start_sample - expected);
+        src.sample_gaps
+            .fetch_add(start_sample - expected, Ordering::Relaxed);
+    }
+    let skip = expected.saturating_sub(start_sample) as usize;
+    src.expected.store(end, Ordering::Relaxed);
+    let scale = src.meta.scale;
+    let samples: Vec<Complex32> = iq[skip..]
+        .iter()
+        .map(|&(i, q)| from_i16_iq(i, q).scale(scale))
+        .collect();
+    inner.stats.samples_in.add(samples.len() as u64);
+    src.samples_in
+        .fetch_add(samples.len() as u64, Ordering::Relaxed);
+    if let Some(ctr) = &src.samples_ctr {
+        ctr.add(samples.len() as u64);
+    }
+
+    // Throttle advisory on the saturation rising edge, per source.
+    let depth = src.queue.len();
+    if depth >= src.queue.capacity() {
+        if !c.saturated {
+            c.saturated = true;
+            inner.stats.throttles_sent.add(1);
+            src.throttles.fetch_add(1, Ordering::Relaxed);
+            inner.emit(
+                rfd_telemetry::event::EventKind::ThrottleAdvisory,
+                format!(
+                    "source {} ingest queue at {depth}/{}",
+                    src.name,
+                    src.queue.capacity()
+                ),
+            );
+            let frame = Frame::Throttle {
+                depth: depth as u32,
+                cap: src.queue.capacity() as u32,
+            };
+            c.queue_frame(&inner.stats, &frame);
+        }
+    } else {
+        c.saturated = false;
+    }
+
+    match src.queue.try_push(samples) {
+        Ok(_) => {
+            if let Some(g) = &src.queue_gauge {
+                g.set(src.queue.len() as i64);
+            }
+        }
+        Err(TryPushError::Full(samples)) => {
+            // Backpressure: park the chunk; the socket is not read again
+            // until it fits.
+            c.pending = Some(samples);
+        }
+        Err(TryPushError::Closed(_)) => {
+            c.closing = true;
+            return;
+        }
+    }
+
+    c.chunks_since_ack += 1;
+    if c.chunks_since_ack >= ACK_EVERY {
+        c.chunks_since_ack = 0;
+        inner.stats.acks_sent.add(1);
+        let position = src.expected.load(Ordering::Relaxed);
+        let frame = Frame::Ack {
+            session: 0,
+            position,
+        };
+        c.queue_frame(&inner.stats, &frame);
+    }
+}
+
+/// One source's analysis thread: accumulate the contiguous sample stream,
+/// run the source's private pipeline when the stream ends, publish tagged
+/// records (offline order) and the source's Bye.
+fn analysis_thread(inner: Arc<FleetInner>, src: Arc<SourceShared>) {
+    let mut samples: Vec<Complex32> = Vec::new();
+    while let Some(chunk) = src.queue.pop() {
+        samples.extend_from_slice(&chunk);
+        if let Some(g) = &src.queue_gauge {
+            g.set(src.queue.len() as i64);
+        }
+    }
+    let mut pipeline = (inner.factory)();
+    let records = pipeline.analyze(&src.meta, samples);
+    for rec in records {
+        inner.stats.records_published.add(1);
+        src.records.fetch_add(1, Ordering::Relaxed);
+        if let Some(ctr) = &src.records_ctr {
+            ctr.add(1);
+        }
+        let t0 = Instant::now();
+        inner.hub.publish(HubMsg::SourceRecord {
+            source: src.name.clone(),
+            record: rec,
+        });
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        src.fanout.record(us);
+        if let Some(h) = &inner.fanout_hist {
+            h.record(us);
+        }
+    }
+    inner.hub.publish(HubMsg::SourceBye {
+        source: src.name.clone(),
+    });
+    inner.note_evictions();
+    inner
+        .stats
+        .ingest_signal_us
+        .add((src.expected.load(Ordering::Relaxed) as f64 / src.meta.sample_rate * 1e6) as u64);
+    inner
+        .stats
+        .ingest_wall_us
+        .add(src.ingest_wall_us.load(Ordering::Relaxed));
+    src.done.store(true, Ordering::SeqCst);
+    if let Some(g) = &inner.active_gauge {
+        g.add(-1);
+    }
+    inner.emit(
+        rfd_telemetry::event::EventKind::SourceLeft,
+        format!(
+            "source {} done ({} records)",
+            src.name,
+            src.records.load(Ordering::Relaxed)
+        ),
+    );
+    inner.sources_done.fetch_add(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{RecordSubscriber, SendRate, SubEvent, TraceSender};
+    use crate::frame::RecordMsg;
+
+    fn stub_factory() -> PipelineFactory {
+        Box::new(|| {
+            Box::new(
+                |meta: &StreamMeta, samples: Vec<Complex32>| -> Vec<RecordMsg> {
+                    vec![RecordMsg {
+                        start_us: 0.0,
+                        end_us: samples.len() as f64 / meta.sample_rate * 1e6,
+                        line: format!("session of {} samples", samples.len()),
+                    }]
+                },
+            )
+        })
+    }
+
+    fn meta() -> StreamMeta {
+        StreamMeta {
+            sample_rate: 1e6,
+            center_hz: 0.0,
+            scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn three_sources_merge_with_tags() {
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                expect: Some(3),
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        let mut sub = RecordSubscriber::connect(addr).unwrap();
+        let senders: Vec<_> = (0..3)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let n = 1000 * (k + 1);
+                    let samples = vec![Complex32::new(0.1, -0.1); n];
+                    let mut tx = TraceSender::connect_source(addr, &format!("sensor-{k}")).unwrap();
+                    tx.send_samples(meta(), &samples, SendRate::Max, 256)
+                        .unwrap();
+                    tx.finish().unwrap();
+                })
+            })
+            .collect();
+        for s in senders {
+            s.join().unwrap();
+        }
+
+        let mut by_source: std::collections::BTreeMap<String, Vec<String>> =
+            std::collections::BTreeMap::new();
+        let mut byes = Vec::new();
+        loop {
+            match sub.next_event().unwrap() {
+                SubEvent::SourceRecord { source, record } => {
+                    by_source.entry(source).or_default().push(record.line);
+                }
+                SubEvent::SourceBye { source } => byes.push(source),
+                SubEvent::Bye => break,
+                _ => {}
+            }
+        }
+        for k in 0..3usize {
+            assert_eq!(
+                by_source.get(&format!("sensor-{k}")).map(Vec::as_slice),
+                Some(&[format!("session of {} samples", 1000 * (k + 1))][..]),
+            );
+        }
+        byes.sort();
+        assert_eq!(byes, vec!["sensor-0", "sensor-1", "sensor-2"]);
+
+        let stats = run.join().unwrap();
+        assert_eq!(stats.sources_joined, 3);
+        assert_eq!(stats.sources_done, 3);
+        assert_eq!(stats.net.samples_in, 1000 + 2000 + 3000);
+        assert_eq!(stats.net.decode_errors, 0);
+        assert_eq!(stats.per_source.len(), 3);
+        assert_eq!(stats.per_source[0].source, "sensor-0");
+        assert_eq!(stats.per_source[1].samples_in, 2000);
+        assert!(stats.per_source.iter().all(|s| s.done));
+    }
+
+    #[test]
+    fn duplicate_source_id_is_refused() {
+        let server =
+            FleetServer::bind("127.0.0.1:0", FleetConfig::default(), stub_factory(), None).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        let samples = vec![Complex32::new(0.0, 0.0); 512];
+        let mut tx1 = TraceSender::connect_source(addr, "dup").unwrap();
+        tx1.send_samples(meta(), &samples, SendRate::Max, 128)
+            .unwrap();
+        tx1.finish().unwrap();
+        // Source ids are unique for the life of the server: a second claim
+        // on the id — even after the first completed — is refused.
+        let mut tx2 = TraceSender::connect_source(addr, "dup").unwrap();
+        let second = tx2
+            .send_samples(meta(), &samples, SendRate::Max, 128)
+            .and_then(|_| tx2.finish());
+        // The send may locally "succeed" (socket buffering); the rejection
+        // is authoritative server-side.
+        let _ = second;
+        let t0 = Instant::now();
+        while handle.stats().rejects == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle.shutdown();
+        let stats = run.join().unwrap();
+        assert_eq!(stats.sources_joined, 1);
+        assert_eq!(stats.rejects, 1);
+        assert_eq!(stats.per_source.len(), 1);
+        assert_eq!(stats.net.samples_in, 512);
+    }
+
+    #[test]
+    fn garbage_first_frame_is_dropped_cleanly() {
+        let server =
+            FleetServer::bind("127.0.0.1:0", FleetConfig::default(), stub_factory(), None).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /ingest HTTP/1.1\r\n\r\nnot a frame")
+            .unwrap();
+        drop(s);
+        let t0 = Instant::now();
+        while handle.stats().net.decode_errors == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.stats().net.decode_errors, 1);
+        handle.shutdown();
+        run.join().unwrap();
+    }
+}

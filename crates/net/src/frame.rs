@@ -48,6 +48,17 @@
 //!   `position` is advisory — the server replies with the authoritative Ack);
 //!   a subscriber uses `session = 0` and `position` = the count of stream
 //!   messages already seen (`u64::MAX` means live-only, no replay).
+//! * **SourceHello** — `id_len: u8`, the source id bytes, then the
+//!   StreamMeta layout. A fleet sender's handshake: declares the stable
+//!   source id this connection streams for, plus the stream metadata. The
+//!   id is 1..=[`MAX_SOURCE_ID`] bytes of `[A-Za-z0-9._-]` — validated
+//!   before any allocation beyond the frame payload itself. Also sent
+//!   server → subscriber to announce a source joining the merged stream.
+//! * **SourceRecord** — `id_len: u8`, the source id bytes, then the Record
+//!   layout: a decoded record tagged with the source it came from (fleet
+//!   server → subscriber).
+//! * **SourceBye** — `id_len: u8`, the source id bytes: one source's stream
+//!   ended (fleet server → subscriber); other sources keep flowing.
 
 use rfd_dsp::coding::Crc;
 use std::fmt;
@@ -65,6 +76,28 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 /// of I/Q per frame — small enough to interleave Throttle round-trips,
 /// large enough to amortize the header).
 pub const DEFAULT_CHUNK_SAMPLES: usize = 4096;
+/// Upper bound on a fleet source id, in bytes. Small enough that tagging
+/// every record with the full id stays cheap on the wire.
+pub const MAX_SOURCE_ID: usize = 64;
+
+/// Validates a fleet source id: 1..=[`MAX_SOURCE_ID`] bytes drawn from
+/// `[A-Za-z0-9._-]`. The charset keeps ids safe to embed in metric names,
+/// file names and record-line prefixes without quoting.
+pub fn validate_source_id(id: &str) -> Result<(), FrameError> {
+    if id.is_empty() {
+        return Err(FrameError::BadPayload("empty source id"));
+    }
+    if id.len() > MAX_SOURCE_ID {
+        return Err(FrameError::BadPayload("source id too long"));
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    {
+        return Err(FrameError::BadPayload("source id has invalid characters"));
+    }
+    Ok(())
+}
 
 /// CRC-32/IEEE over `data`, as stored in the frame header.
 pub fn payload_crc(data: &[u8]) -> u32 {
@@ -179,6 +212,29 @@ pub enum Frame {
         /// The client's last known position (see [`Frame::Ack`]).
         position: u64,
     },
+    /// Fleet source handshake: a stable source id plus the stream metadata
+    /// (sender → fleet server), also used server → subscriber to announce a
+    /// source joining the merged stream.
+    SourceHello {
+        /// The stable source id (see [`validate_source_id`]).
+        source: String,
+        /// The source's stream metadata.
+        meta: StreamMeta,
+    },
+    /// A decoded record tagged with the source it came from (fleet server →
+    /// subscriber).
+    SourceRecord {
+        /// The source the record belongs to.
+        source: String,
+        /// The record itself.
+        record: RecordMsg,
+    },
+    /// One source's stream ended; the merged stream continues (fleet server
+    /// → subscriber).
+    SourceBye {
+        /// The source that finished.
+        source: String,
+    },
 }
 
 impl Frame {
@@ -195,6 +251,9 @@ impl Frame {
             Frame::Throttle { .. } => 7,
             Frame::Ack { .. } => 8,
             Frame::Resume { .. } => 9,
+            Frame::SourceHello { .. } => 10,
+            Frame::SourceRecord { .. } => 11,
+            Frame::SourceBye { .. } => 12,
         }
     }
 
@@ -211,6 +270,9 @@ impl Frame {
             Frame::Throttle { .. } => "throttle",
             Frame::Ack { .. } => "ack",
             Frame::Resume { .. } => "resume",
+            Frame::SourceHello { .. } => "source-hello",
+            Frame::SourceRecord { .. } => "source-record",
+            Frame::SourceBye { .. } => "source-bye",
         }
     }
 }
@@ -315,6 +377,35 @@ fn payload_bytes(frame: &Frame) -> Vec<u8> {
             p.extend_from_slice(&position.to_le_bytes());
             p
         }
+        Frame::SourceHello { source, meta } => {
+            let id = source.as_bytes();
+            let mut p = Vec::with_capacity(1 + id.len() + 20);
+            p.push(id.len() as u8);
+            p.extend_from_slice(id);
+            p.extend_from_slice(&meta.sample_rate.to_le_bytes());
+            p.extend_from_slice(&meta.center_hz.to_le_bytes());
+            p.extend_from_slice(&meta.scale.to_le_bytes());
+            p
+        }
+        Frame::SourceRecord { source, record } => {
+            let id = source.as_bytes();
+            let line = record.line.as_bytes();
+            let mut p = Vec::with_capacity(1 + id.len() + 18 + line.len());
+            p.push(id.len() as u8);
+            p.extend_from_slice(id);
+            p.extend_from_slice(&record.start_us.to_le_bytes());
+            p.extend_from_slice(&record.end_us.to_le_bytes());
+            p.extend_from_slice(&(line.len() as u16).to_le_bytes());
+            p.extend_from_slice(line);
+            p
+        }
+        Frame::SourceBye { source } => {
+            let id = source.as_bytes();
+            let mut p = Vec::with_capacity(1 + id.len());
+            p.push(id.len() as u8);
+            p.extend_from_slice(id);
+            p
+        }
     }
 }
 
@@ -399,6 +490,26 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(self.take()?))
     }
 
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::BadPayload("payload truncated"));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// A length-prefixed fleet source id: `u8` length, then that many bytes,
+    /// charset-checked before the `String` is built.
+    fn source_id(&mut self) -> Result<String, FrameError> {
+        let len = self.u8()? as usize;
+        let raw = self.bytes(len)?;
+        let id = std::str::from_utf8(raw)
+            .map_err(|_| FrameError::BadPayload("source id is not UTF-8"))?;
+        validate_source_id(id)?;
+        Ok(id.to_string())
+    }
+
     fn done(&self) -> Result<(), FrameError> {
         if self.remaining() != 0 {
             return Err(FrameError::BadPayload("trailing bytes after payload"));
@@ -473,6 +584,42 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         9 => Frame::Resume {
             session: r.u64()?,
             position: r.u64()?,
+        },
+        10 => {
+            let source = r.source_id()?;
+            let meta = StreamMeta {
+                sample_rate: r.f64()?,
+                center_hz: r.f64()?,
+                scale: r.f32()?,
+            };
+            meta.validate()?;
+            Frame::SourceHello { source, meta }
+        }
+        11 => {
+            let source = r.source_id()?;
+            let start_us = r.f64()?;
+            let end_us = r.f64()?;
+            if !start_us.is_finite() || !end_us.is_finite() {
+                return Err(FrameError::BadPayload("non-finite record times"));
+            }
+            let len = r.u16()? as usize;
+            if r.remaining() != len {
+                return Err(FrameError::BadPayload("line length disagrees with payload"));
+            }
+            let line = std::str::from_utf8(&payload[r.pos..])
+                .map_err(|_| FrameError::BadPayload("record line is not UTF-8"))?
+                .to_string();
+            return Ok(Frame::SourceRecord {
+                source,
+                record: RecordMsg {
+                    start_us,
+                    end_us,
+                    line,
+                },
+            });
+        }
+        12 => Frame::SourceBye {
+            source: r.source_id()?,
         },
         other => return Err(FrameError::BadType(other)),
     };
@@ -555,7 +702,7 @@ impl FrameDecoder {
             return Err(FrameError::BadVersion(avail[4]));
         }
         let ty = avail[5];
-        if ty > 9 {
+        if ty > 12 {
             return Err(FrameError::BadType(ty));
         }
         let flags = u16::from_le_bytes([avail[6], avail[7]]);
@@ -625,6 +772,25 @@ mod tests {
             Frame::Resume {
                 session: 3,
                 position: u64::MAX,
+            },
+            Frame::SourceHello {
+                source: "usrp-roof.2".into(),
+                meta: StreamMeta {
+                    sample_rate: 8e6,
+                    center_hz: 4e6,
+                    scale: 0.5,
+                },
+            },
+            Frame::SourceRecord {
+                source: "usrp-roof.2".into(),
+                record: RecordMsg {
+                    start_us: 10.0,
+                    end_us: 20.0,
+                    line: "    0.000010 bluetooth  ...".into(),
+                },
+            },
+            Frame::SourceBye {
+                source: "a".repeat(MAX_SOURCE_ID),
             },
         ]
     }
@@ -735,6 +901,57 @@ mod tests {
         ] {
             assert!(meta.validate().is_err(), "{meta:?} should fail validation");
         }
+    }
+
+    #[test]
+    fn source_ids_are_validated() {
+        assert!(validate_source_id("usrp-roof.2").is_ok());
+        assert!(validate_source_id(&"x".repeat(MAX_SOURCE_ID)).is_ok());
+        for bad in [
+            "",
+            " ",
+            "a b",
+            "café",
+            "x\0",
+            &"x".repeat(MAX_SOURCE_ID + 1),
+        ] {
+            assert!(
+                validate_source_id(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_source_hello_is_rejected() {
+        // A SourceHello whose id length points past the payload end.
+        let good = encode_frame(
+            &Frame::SourceHello {
+                source: "s1".into(),
+                meta: StreamMeta {
+                    sample_rate: 8e6,
+                    center_hz: 0.0,
+                    scale: 1.0,
+                },
+            },
+            0,
+        );
+        let mut bytes = good.clone();
+        bytes[HEADER_LEN] = 200; // id_len > remaining payload
+        let crc = payload_crc(&bytes[HEADER_LEN..]);
+        bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadPayload(_))));
+
+        // An id with a forbidden byte.
+        let mut bytes = good;
+        bytes[HEADER_LEN + 1] = b' ';
+        let crc = payload_crc(&bytes[HEADER_LEN..]);
+        bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadPayload(_))));
     }
 
     #[test]

@@ -12,9 +12,15 @@ use crate::frame::RecordMsg;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// What flows to subscribers, in publish order.
+///
+/// The single-stream server publishes the untagged variants; a fleet server
+/// publishes the `Source*` variants so each message carries the source it
+/// belongs to and subscribers can filter per source. The untagged `Bye`
+/// stays a *global* end-of-stream marker in both modes — it passes every
+/// filter, so even a filtered subscriber observes server shutdown.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HubMsg {
     /// Stream metadata for the session now starting.
@@ -25,10 +31,57 @@ pub enum HubMsg {
     Stats(String),
     /// The server is shutting the stream down; no further messages follow.
     Bye,
+    /// A fleet source joined the merged stream.
+    SourceMeta {
+        /// The stable source id.
+        source: Arc<str>,
+        /// That source's stream metadata.
+        meta: crate::frame::StreamMeta,
+    },
+    /// One decoded record, tagged with the fleet source it came from.
+    SourceRecord {
+        /// The stable source id.
+        source: Arc<str>,
+        /// The record itself.
+        record: RecordMsg,
+    },
+    /// One fleet source's stream ended; the merged stream continues.
+    SourceBye {
+        /// The stable source id.
+        source: Arc<str>,
+    },
+}
+
+impl HubMsg {
+    /// The source this message is tagged with, if any.
+    pub fn source(&self) -> Option<&str> {
+        match self {
+            HubMsg::SourceMeta { source, .. }
+            | HubMsg::SourceRecord { source, .. }
+            | HubMsg::SourceBye { source } => Some(source),
+            _ => None,
+        }
+    }
+
+    /// Whether a subscription filtered to `filter` should receive this
+    /// message. `None` (unfiltered) receives everything; a source filter
+    /// receives that source's messages plus the global `Bye`.
+    fn passes(&self, filter: Option<&str>) -> bool {
+        match filter {
+            None => true,
+            Some(want) => matches!(self, HubMsg::Bye) || self.source() == Some(want),
+        }
+    }
+}
+
+struct SubEntry {
+    tx: SyncSender<HubMsg>,
+    /// `Some(id)` restricts delivery to one source (plus the global Bye).
+    filter: Option<Arc<str>>,
 }
 
 struct HubInner {
-    subs: HashMap<u64, SyncSender<HubMsg>>,
+    subs: HashMap<u64, SubEntry>,
     next_id: u64,
     /// Bounded replay history of stream messages (Meta/Record/Stats; never
     /// Bye), so a reconnecting subscriber can resume without duplicates or
@@ -84,6 +137,12 @@ impl RecordHub {
         self.subscribe_from(None).0
     }
 
+    /// Registers a subscriber that receives only messages tagged with
+    /// `source` (plus the global `Bye`), live messages only.
+    pub fn subscribe_filtered(&self, source: &str) -> Subscription {
+        self.subscribe_from_filtered(None, Some(source)).0
+    }
+
     /// Registers a subscriber resuming from absolute stream position `pos`
     /// (the count of Meta/Record/Stats messages it has already seen), or
     /// live-only when `pos` is `None`.
@@ -96,7 +155,23 @@ impl RecordHub {
     /// is exactly the stream from that position with no gap and no
     /// duplicate.
     pub fn subscribe_from(&self, pos: Option<u64>) -> (Subscription, Vec<HubMsg>, u64, u64) {
+        self.subscribe_from_filtered(pos, None)
+    }
+
+    /// [`subscribe_from`] with an optional source filter. Positions stay
+    /// *global* (the filter does not renumber the stream): the replay is
+    /// the matching subset of `history[pos..]`, and `start`/`lost` count
+    /// stream messages of every source, so a resume cursor learned from an
+    /// unfiltered subscription remains valid here.
+    ///
+    /// [`subscribe_from`]: RecordHub::subscribe_from
+    pub fn subscribe_from_filtered(
+        &self,
+        pos: Option<u64>,
+        filter: Option<&str>,
+    ) -> (Subscription, Vec<HubMsg>, u64, u64) {
         let (tx, rx) = sync_channel(self.cap);
+        let filter: Option<Arc<str>> = filter.map(Arc::from);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let end = inner.base + inner.history.len() as u64;
         let want = pos.unwrap_or(end).min(end);
@@ -106,11 +181,12 @@ impl RecordHub {
             .history
             .iter()
             .skip((start - inner.base) as usize)
+            .filter(|m| m.passes(filter.as_deref()))
             .cloned()
             .collect();
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.subs.insert(id, tx);
+        inner.subs.insert(id, SubEntry { tx, filter });
         (Subscription { id, rx }, replay, start, lost)
     }
 
@@ -146,8 +222,11 @@ impl RecordHub {
         }
         let mut slow: Vec<u64> = Vec::new();
         let mut delivered = 0usize;
-        for (&id, tx) in inner.subs.iter() {
-            match tx.try_send(msg.clone()) {
+        for (&id, entry) in inner.subs.iter() {
+            if !msg.passes(entry.filter.as_deref()) {
+                continue;
+            }
+            match entry.tx.try_send(msg.clone()) {
                 Ok(()) => delivered += 1,
                 Err(TrySendError::Full(_)) => slow.push(id),
                 // Receiver already gone: connection thread exited; prune.
@@ -282,6 +361,77 @@ mod tests {
         hub.publish(HubMsg::Bye);
         let (_sub, replay, _start, _lost) = hub.subscribe_from(Some(0));
         assert_eq!(replay, vec![rec("a")]);
+    }
+
+    fn srec(source: &str, line: &str) -> HubMsg {
+        HubMsg::SourceRecord {
+            source: source.into(),
+            record: RecordMsg {
+                start_us: 0.0,
+                end_us: 1.0,
+                line: line.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn filtered_subscription_sees_only_its_source_plus_global_bye() {
+        let hub = RecordHub::new(16);
+        let all = hub.subscribe();
+        let only_a = hub.subscribe_filtered("a");
+        hub.publish(srec("a", "a0"));
+        hub.publish(srec("b", "b0"));
+        hub.publish(srec("a", "a1"));
+        hub.publish(HubMsg::SourceBye { source: "a".into() });
+        hub.publish(srec("b", "b1"));
+        hub.publish(HubMsg::Bye);
+        let got: Vec<HubMsg> = only_a.rx.try_iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                srec("a", "a0"),
+                srec("a", "a1"),
+                HubMsg::SourceBye { source: "a".into() },
+                HubMsg::Bye,
+            ],
+        );
+        // The unfiltered subscriber saw everything.
+        assert_eq!(all.rx.try_iter().count(), 6);
+    }
+
+    #[test]
+    fn filtered_replay_keeps_global_positions() {
+        let hub = RecordHub::new(16);
+        hub.publish(srec("a", "a0")); // pos 0
+        hub.publish(srec("b", "b0")); // pos 1
+        hub.publish(srec("a", "a1")); // pos 2
+        hub.publish(srec("b", "b1")); // pos 3
+        let (sub, replay, start, lost) = hub.subscribe_from_filtered(Some(1), Some("a"));
+        // Positions are global: the cursor starts at 1 even though only one
+        // of history[1..] matches the filter.
+        assert_eq!(start, 1);
+        assert_eq!(lost, 0);
+        assert_eq!(replay, vec![srec("a", "a1")]);
+        hub.publish(srec("b", "b2"));
+        hub.publish(srec("a", "a2"));
+        let live: Vec<HubMsg> = sub.rx.try_iter().collect();
+        assert_eq!(live, vec![srec("a", "a2")]);
+    }
+
+    #[test]
+    fn filtered_subscriber_not_evicted_by_other_sources_flood() {
+        // A filtered subscriber with a tiny queue survives a flood of
+        // non-matching traffic: filtering happens before the queue.
+        let hub = RecordHub::new(2);
+        let only_a = hub.subscribe_filtered("a");
+        for i in 0..50 {
+            hub.publish(srec("b", &format!("b{i}")));
+        }
+        assert_eq!(hub.evicted(), 0);
+        assert_eq!(hub.subscriber_count(), 1);
+        hub.publish(srec("a", "a0"));
+        let got: Vec<HubMsg> = only_a.rx.try_iter().collect();
+        assert_eq!(got, vec![srec("a", "a0")]);
     }
 
     #[test]

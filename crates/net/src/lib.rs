@@ -15,6 +15,10 @@
 //!   slow-consumer eviction.
 //! * [`server`] — the TCP server: producers in, subscribers out, one
 //!   [`Pipeline`] in the middle.
+//! * [`fleet`] — the multi-sensor ingest server: one nonblocking readiness
+//!   loop accepts N concurrent capture senders, shards each source onto its
+//!   own pipeline instance, and merges the record streams with per-source
+//!   tags.
 //! * [`client`] — [`TraceSender`] and [`RecordSubscriber`], what the CLI's
 //!   `send` / `watch` modes wrap.
 //!
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod frame;
 pub mod hub;
 pub mod queue;
@@ -37,7 +42,12 @@ pub use client::{
     JournaledSubscriber, RecordSubscriber, ResilientSender, ResilientSubscriber, RetryPolicy,
     SendRate, SendReport, SubEvent, TraceSender,
 };
-pub use frame::{Frame, FrameDecoder, FrameError, RecordMsg, Role, StreamMeta};
+pub use fleet::{
+    FleetConfig, FleetHandle, FleetServer, FleetSnapshot, PipelineFactory, SourceSnapshot,
+};
+pub use frame::{
+    validate_source_id, Frame, FrameDecoder, FrameError, RecordMsg, Role, StreamMeta, MAX_SOURCE_ID,
+};
 pub use hub::{HubMsg, RecordHub, Subscription};
-pub use queue::{ChunkQueue, OverflowPolicy, PushOutcome};
+pub use queue::{ChunkQueue, OverflowPolicy, PushOutcome, TryPushError};
 pub use server::{NetStatsSnapshot, Pipeline, Server, ServerConfig, ServerHandle};

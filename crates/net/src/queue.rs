@@ -58,6 +58,16 @@ pub enum PushOutcome {
     QueuedDroppingOldest,
 }
 
+/// Why a [`ChunkQueue::try_push`] returned the item instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity under [`OverflowPolicy::Block`]; retry when
+    /// the consumer makes room.
+    Full(T),
+    /// The queue is closed; the item can never be enqueued.
+    Closed(T),
+}
+
 struct QueueState<T> {
     q: VecDeque<T>,
     closed: bool,
@@ -127,6 +137,36 @@ impl<T> ChunkQueue<T> {
                         return Err(item);
                     }
                 }
+            }
+        }
+        st.q.push_back(item);
+        drop(st);
+        sh.items.notify_one();
+        Ok(outcome)
+    }
+
+    /// Nonblocking [`push`]: never waits, so a readiness loop can offer an
+    /// item and keep servicing other connections when the queue is full.
+    /// Under [`OverflowPolicy::Block`] a full queue returns
+    /// [`TryPushError::Full`] (the loop's backpressure signal); under
+    /// [`OverflowPolicy::DropOldest`] it behaves exactly like `push`.
+    ///
+    /// [`push`]: ChunkQueue::push
+    pub fn try_push(&self, item: T) -> Result<PushOutcome, TryPushError<T>> {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        let mut outcome = PushOutcome::Queued;
+        if st.q.len() >= sh.cap {
+            match sh.policy {
+                OverflowPolicy::DropOldest => {
+                    st.q.pop_front();
+                    sh.dropped.fetch_add(1, Ordering::Relaxed);
+                    outcome = PushOutcome::QueuedDroppingOldest;
+                }
+                OverflowPolicy::Block => return Err(TryPushError::Full(item)),
             }
         }
         st.q.push_back(item);
@@ -229,6 +269,23 @@ mod tests {
         assert_eq!(q.dropped(), 2);
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn try_push_never_blocks() {
+        let q = ChunkQueue::new(1, OverflowPolicy::Block);
+        assert_eq!(q.try_push(1), Ok(PushOutcome::Queued));
+        assert_eq!(q.try_push(2), Err(TryPushError::Full(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(2), Ok(PushOutcome::Queued));
+        q.close();
+        assert_eq!(q.try_push(3), Err(TryPushError::Closed(3)));
+
+        let lossy = ChunkQueue::new(1, OverflowPolicy::DropOldest);
+        lossy.try_push(1).unwrap();
+        assert_eq!(lossy.try_push(2), Ok(PushOutcome::QueuedDroppingOldest));
+        assert_eq!(lossy.dropped(), 1);
+        assert_eq!(lossy.pop(), Some(2));
     }
 
     #[test]

@@ -64,27 +64,27 @@ where
 // ---------------------------------------------------------------------------
 
 /// One monotone statistic, optionally mirrored into a telemetry counter.
-struct Cell {
+pub(crate) struct Cell {
     v: AtomicU64,
     mirror: Option<Arc<Counter>>,
 }
 
 impl Cell {
-    fn new(reg: Option<&Registry>, name: &str) -> Self {
+    pub(crate) fn new(reg: Option<&Registry>, name: &str) -> Self {
         Self {
             v: AtomicU64::new(0),
             mirror: reg.map(|r| r.counter(name)),
         }
     }
 
-    fn add(&self, n: u64) {
+    pub(crate) fn add(&self, n: u64) {
         self.v.fetch_add(n, Ordering::Relaxed);
         if let Some(c) = &self.mirror {
             c.add(n);
         }
     }
 
-    fn get(&self) -> u64 {
+    pub(crate) fn get(&self) -> u64 {
         self.v.load(Ordering::Relaxed)
     }
 }
@@ -92,37 +92,37 @@ impl Cell {
 /// Live server statistics (all monotone; mirrored into the telemetry
 /// registry under `net.*` when one is attached).
 pub struct NetStats {
-    connections: Cell,
-    producers: Cell,
-    subscribers: Cell,
-    sessions: Cell,
-    frames_in: Cell,
-    bytes_in: Cell,
-    frames_out: Cell,
-    bytes_out: Cell,
-    chunks_in: Cell,
-    samples_in: Cell,
-    chunks_dropped: Cell,
-    throttles_sent: Cell,
-    seq_gaps: Cell,
-    decode_errors: Cell,
-    records_published: Cell,
-    chunks_duplicate: Cell,
-    sample_gaps: Cell,
-    resumes: Cell,
-    sessions_parked: Cell,
-    sessions_expired: Cell,
-    idle_evictions: Cell,
-    acks_sent: Cell,
+    pub(crate) connections: Cell,
+    pub(crate) producers: Cell,
+    pub(crate) subscribers: Cell,
+    pub(crate) sessions: Cell,
+    pub(crate) frames_in: Cell,
+    pub(crate) bytes_in: Cell,
+    pub(crate) frames_out: Cell,
+    pub(crate) bytes_out: Cell,
+    pub(crate) chunks_in: Cell,
+    pub(crate) samples_in: Cell,
+    pub(crate) chunks_dropped: Cell,
+    pub(crate) throttles_sent: Cell,
+    pub(crate) seq_gaps: Cell,
+    pub(crate) decode_errors: Cell,
+    pub(crate) records_published: Cell,
+    pub(crate) chunks_duplicate: Cell,
+    pub(crate) sample_gaps: Cell,
+    pub(crate) resumes: Cell,
+    pub(crate) sessions_parked: Cell,
+    pub(crate) sessions_expired: Cell,
+    pub(crate) idle_evictions: Cell,
+    pub(crate) acks_sent: Cell,
     /// Signal time ingested, µs (samples / sample_rate).
-    ingest_signal_us: Cell,
+    pub(crate) ingest_signal_us: Cell,
     /// Wall time spent ingesting, µs (first chunk to stream close).
-    ingest_wall_us: Cell,
-    queue_gauge: Option<Arc<Gauge>>,
+    pub(crate) ingest_wall_us: Cell,
+    pub(crate) queue_gauge: Option<Arc<Gauge>>,
 }
 
 impl NetStats {
-    fn new(reg: Option<&Registry>) -> Self {
+    pub(crate) fn new(reg: Option<&Registry>) -> Self {
         Self {
             connections: Cell::new(reg, "net.connections"),
             producers: Cell::new(reg, "net.producers"),
@@ -149,6 +149,38 @@ impl NetStats {
             ingest_signal_us: Cell::new(reg, "net.ingest_signal_us"),
             ingest_wall_us: Cell::new(reg, "net.ingest_wall_us"),
             queue_gauge: reg.map(|r| r.gauge("net.ingest.queue_depth")),
+        }
+    }
+
+    /// Point-in-time copy. `subscribers_evicted` comes from the hub, which
+    /// owns that counter.
+    pub(crate) fn snapshot(&self, subscribers_evicted: u64) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections: self.connections.get(),
+            producers: self.producers.get(),
+            subscribers: self.subscribers.get(),
+            sessions: self.sessions.get(),
+            frames_in: self.frames_in.get(),
+            bytes_in: self.bytes_in.get(),
+            frames_out: self.frames_out.get(),
+            bytes_out: self.bytes_out.get(),
+            chunks_in: self.chunks_in.get(),
+            samples_in: self.samples_in.get(),
+            chunks_dropped: self.chunks_dropped.get(),
+            throttles_sent: self.throttles_sent.get(),
+            seq_gaps: self.seq_gaps.get(),
+            decode_errors: self.decode_errors.get(),
+            records_published: self.records_published.get(),
+            chunks_duplicate: self.chunks_duplicate.get(),
+            sample_gaps: self.sample_gaps.get(),
+            resumes: self.resumes.get(),
+            sessions_parked: self.sessions_parked.get(),
+            sessions_expired: self.sessions_expired.get(),
+            idle_evictions: self.idle_evictions.get(),
+            acks_sent: self.acks_sent.get(),
+            subscribers_evicted,
+            ingest_signal_us: self.ingest_signal_us.get(),
+            ingest_wall_us: self.ingest_wall_us.get(),
         }
     }
 }
@@ -384,34 +416,7 @@ impl Inner {
 
 impl Inner {
     fn snapshot(&self) -> NetStatsSnapshot {
-        let s = &self.stats;
-        NetStatsSnapshot {
-            connections: s.connections.get(),
-            producers: s.producers.get(),
-            subscribers: s.subscribers.get(),
-            sessions: s.sessions.get(),
-            frames_in: s.frames_in.get(),
-            bytes_in: s.bytes_in.get(),
-            frames_out: s.frames_out.get(),
-            bytes_out: s.bytes_out.get(),
-            chunks_in: s.chunks_in.get(),
-            samples_in: s.samples_in.get(),
-            chunks_dropped: s.chunks_dropped.get(),
-            throttles_sent: s.throttles_sent.get(),
-            seq_gaps: s.seq_gaps.get(),
-            decode_errors: s.decode_errors.get(),
-            records_published: s.records_published.get(),
-            chunks_duplicate: s.chunks_duplicate.get(),
-            sample_gaps: s.sample_gaps.get(),
-            resumes: s.resumes.get(),
-            sessions_parked: s.sessions_parked.get(),
-            sessions_expired: s.sessions_expired.get(),
-            idle_evictions: s.idle_evictions.get(),
-            acks_sent: s.acks_sent.get(),
-            subscribers_evicted: self.hub.evicted(),
-            ingest_signal_us: s.ingest_signal_us.get(),
-            ingest_wall_us: s.ingest_wall_us.get(),
-        }
+        self.stats.snapshot(self.hub.evicted())
     }
 }
 
@@ -947,8 +952,82 @@ fn analysis_thread(inner: Arc<Inner>, queue: ChunkQueue<Vec<Complex32>>, meta: S
         .publish(HubMsg::Stats(inner.snapshot().to_json().to_json()));
 }
 
-fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDecoder) {
-    inner.stats.subscribers.add(1);
+fn handle_subscriber(inner: &Arc<Inner>, stream: TcpStream, dec: FrameDecoder) {
+    let ctx = SubscriberCtx {
+        hub: &inner.hub,
+        stats: &inner.stats,
+        shutdown: &inner.shutdown,
+        heartbeat: inner.cfg.heartbeat,
+    };
+    serve_subscriber(&ctx, stream, dec);
+}
+
+/// What [`serve_subscriber`] needs from its server — shared between the
+/// single-stream server and the fleet server, which keep different
+/// surrounding state.
+pub(crate) struct SubscriberCtx<'a> {
+    pub(crate) hub: &'a RecordHub,
+    pub(crate) stats: &'a NetStats,
+    pub(crate) shutdown: &'a AtomicBool,
+    pub(crate) heartbeat: Duration,
+}
+
+/// The wire frame for one hub message, plus whether it is the global
+/// end-of-stream marker (after which the connection closes).
+pub(crate) fn hub_msg_frame(msg: HubMsg) -> (Frame, bool) {
+    match msg {
+        HubMsg::Meta(m) => (Frame::StreamMeta(m), false),
+        HubMsg::Record(r) => (Frame::Record(r), false),
+        HubMsg::Stats(s) => (Frame::Stats(s), false),
+        HubMsg::Bye => (Frame::Bye, true),
+        HubMsg::SourceMeta { source, meta } => (
+            Frame::SourceHello {
+                source: source.to_string(),
+                meta,
+            },
+            false,
+        ),
+        HubMsg::SourceRecord { source, record } => (
+            Frame::SourceRecord {
+                source: source.to_string(),
+                record,
+            },
+            false,
+        ),
+        HubMsg::SourceBye { source } => (
+            Frame::SourceBye {
+                source: source.to_string(),
+            },
+            false,
+        ),
+    }
+}
+
+/// Sends one frame on the server→peer direction, tracking counters on a
+/// bare [`NetStats`] (no `Inner` required).
+pub(crate) fn send_frame_on(
+    stats: &NetStats,
+    stream: &mut TcpStream,
+    out_seq: &mut u32,
+    frame: &Frame,
+) -> io::Result<()> {
+    let bytes = encode_frame(frame, *out_seq);
+    *out_seq = out_seq.wrapping_add(1);
+    stream.write_all(&bytes)?;
+    stats.frames_out.add(1);
+    stats.bytes_out.add(bytes.len() as u64);
+    Ok(())
+}
+
+/// Serves one subscriber connection after its Hello: the optional Resume
+/// handshake, the replay backlog, then the live queue with heartbeats and
+/// shutdown drain. Used by both server flavors.
+pub(crate) fn serve_subscriber(
+    ctx: &SubscriberCtx<'_>,
+    mut stream: TcpStream,
+    mut dec: FrameDecoder,
+) {
+    ctx.stats.subscribers.add(1);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     // An optional Resume may follow the Hello: `position` is how many
     // stream messages the subscriber has already seen (u64::MAX, or no
@@ -962,23 +1041,23 @@ fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDe
                 frame: Frame::Resume { position, .. },
                 ..
             })) => {
-                inner.stats.frames_in.add(1);
+                ctx.stats.frames_in.add(1);
                 pos = (position != u64::MAX).then_some(position);
                 break;
             }
             Ok(Some(_)) => {
-                inner.stats.frames_in.add(1);
+                ctx.stats.frames_in.add(1);
                 break;
             }
             Ok(None) => {
-                if Instant::now() >= resume_deadline || inner.shutdown.load(Ordering::SeqCst) {
+                if Instant::now() >= resume_deadline || ctx.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let mut buf = [0u8; 1024];
                 match stream.read(&mut buf) {
                     Ok(0) => return,
                     Ok(n) => {
-                        inner.stats.bytes_in.add(n as u64);
+                        ctx.stats.bytes_in.add(n as u64);
                         dec.push(&buf[..n]);
                     }
                     Err(e)
@@ -989,12 +1068,12 @@ fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDe
                 }
             }
             Err(_) => {
-                inner.stats.decode_errors.add(1);
+                ctx.stats.decode_errors.add(1);
                 return;
             }
         }
     }
-    let (sub, replay, start, _lost) = inner.hub.subscribe_from(pos);
+    let (sub, replay, start, _lost) = ctx.hub.subscribe_from(pos);
     let mut out_seq = 0u32;
     // Ack the Hello the moment the subscription is registered, so a client
     // returning from connect() is guaranteed to see every record published
@@ -1002,9 +1081,9 @@ fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDe
     // before the accept loop registers the subscriber). The Ack that
     // follows tells the client the absolute stream position of the first
     // message it will receive, anchoring its resume counter.
-    if send_frame(inner, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err()
-        || send_frame(
-            inner,
+    if send_frame_on(ctx.stats, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err()
+        || send_frame_on(
+            ctx.stats,
             &mut stream,
             &mut out_seq,
             &Frame::Ack {
@@ -1014,21 +1093,19 @@ fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDe
         )
         .is_err()
     {
-        inner.hub.unsubscribe(sub.id);
+        ctx.hub.unsubscribe(sub.id);
         return;
     }
     // Replay the backlog the reconnecting subscriber missed; the live
     // queue continues seamlessly after it (the hub guarantees no gap and
     // no duplicate between the two).
     for msg in replay {
-        let frame = match msg {
-            HubMsg::Meta(m) => Frame::StreamMeta(m),
-            HubMsg::Record(r) => Frame::Record(r),
-            HubMsg::Stats(s) => Frame::Stats(s),
-            HubMsg::Bye => continue,
-        };
-        if send_frame(inner, &mut stream, &mut out_seq, &frame).is_err() {
-            inner.hub.unsubscribe(sub.id);
+        let (frame, is_bye) = hub_msg_frame(msg);
+        if is_bye {
+            continue;
+        }
+        if send_frame_on(ctx.stats, &mut stream, &mut out_seq, &frame).is_err() {
+            ctx.hub.unsubscribe(sub.id);
             return;
         }
     }
@@ -1038,32 +1115,27 @@ fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDe
         // an immediate Bye here would drop the backlog on the floor. The
         // short timeout only bounds how long a post-Bye subscriber (whose
         // queue will never receive one) waits before being told.
-        let timeout = if inner.shutdown.load(Ordering::SeqCst) {
+        let timeout = if ctx.shutdown.load(Ordering::SeqCst) {
             Duration::from_millis(20)
         } else {
-            inner.cfg.heartbeat
+            ctx.heartbeat
         };
         match sub.rx.recv_timeout(timeout) {
             Ok(msg) => {
-                let (frame, is_bye) = match msg {
-                    HubMsg::Meta(m) => (Frame::StreamMeta(m), false),
-                    HubMsg::Record(r) => (Frame::Record(r), false),
-                    HubMsg::Stats(s) => (Frame::Stats(s), false),
-                    HubMsg::Bye => (Frame::Bye, true),
-                };
-                if send_frame(inner, &mut stream, &mut out_seq, &frame).is_err() || is_bye {
+                let (frame, is_bye) = hub_msg_frame(msg);
+                if send_frame_on(ctx.stats, &mut stream, &mut out_seq, &frame).is_err() || is_bye {
                     break;
                 }
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    let _ = send_frame(inner, &mut stream, &mut out_seq, &Frame::Bye);
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    let _ = send_frame_on(ctx.stats, &mut stream, &mut out_seq, &Frame::Bye);
                     break;
                 }
                 // Idle: heartbeat keeps the connection observably alive and
                 // doubles as a dead-peer probe (the write fails once the
                 // subscriber is gone).
-                if send_frame(inner, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err() {
+                if send_frame_on(ctx.stats, &mut stream, &mut out_seq, &Frame::Heartbeat).is_err() {
                     break;
                 }
             }
@@ -1071,7 +1143,7 @@ fn handle_subscriber(inner: &Arc<Inner>, mut stream: TcpStream, mut dec: FrameDe
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
-    inner.hub.unsubscribe(sub.id);
+    ctx.hub.unsubscribe(sub.id);
 }
 
 #[cfg(test)]
@@ -1134,7 +1206,7 @@ mod tests {
                 SubEvent::Record(r) => lines.push(r.line),
                 SubEvent::Stats(_) => saw_stats = true,
                 SubEvent::Bye => break,
-                SubEvent::Meta(_) | SubEvent::Heartbeat => {}
+                _ => {}
             }
         }
         assert_eq!(lines, vec!["session of 10000 samples".to_string()]);

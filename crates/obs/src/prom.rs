@@ -418,6 +418,36 @@ mod tests {
     }
 
     #[test]
+    fn fleet_source_metrics_expose_cleanly() {
+        // Fleet source ids may contain `.` and `-` (e.g. "van.2",
+        // "lab-3"); the per-source gauges embed them in the instrument
+        // name, so the scrape page must sanitize them into legal,
+        // per-source-distinct families.
+        let reg = Registry::new();
+        reg.gauge("net.fleet.active_sources").set(2);
+        reg.gauge("net.fleet.source.van.2.queue_depth").set(7);
+        reg.gauge("net.fleet.source.lab-3.queue_depth").set(3);
+        reg.counter("net.fleet.source.van.2.records").add(12);
+        let h = reg.histogram("latency.net_fanout_us", || {
+            Histogram::exponential(1.0, 1e7, 28)
+        });
+        h.record(9.0);
+        h.record(17.0);
+        let text = encode_registry(&reg);
+        let exp = validate(&text).expect("fleet scrape page must validate");
+        assert!(exp.has_family("rfd_net_fleet_active_sources"));
+        assert!(exp.has_family("rfd_net_fleet_source_van_2_queue_depth"));
+        assert!(exp.has_family("rfd_net_fleet_source_lab_3_queue_depth"));
+        assert!(exp.has_family("rfd_net_fleet_source_van_2_records"));
+        assert_eq!(
+            exp.families["rfd_latency_net_fanout_us"],
+            FamilyType::Histogram
+        );
+        assert!(text.contains("rfd_net_fleet_source_van_2_queue_depth 7"));
+        assert!(text.contains("rfd_net_fleet_source_lab_3_queue_depth 3"));
+    }
+
+    #[test]
     fn encoded_output_validates() {
         let text = encode_registry(&demo_registry());
         let exp = validate(&text).expect("own output must validate");

@@ -40,6 +40,10 @@ pub enum EventKind {
     JournalDegrade,
     /// A recovery checkpoint was written.
     Checkpoint,
+    /// A fleet source completed its handshake and joined the merged stream.
+    SourceJoined,
+    /// A fleet source's stream ended (analyzed and published).
+    SourceLeft,
 }
 
 impl EventKind {
@@ -56,6 +60,8 @@ impl EventKind {
             EventKind::NetResume => "net_resume",
             EventKind::JournalDegrade => "journal_degrade",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::SourceJoined => "source_joined",
+            EventKind::SourceLeft => "source_left",
         }
     }
 }

@@ -283,6 +283,49 @@ fn main() {
         }
     }
 
+    // Version-8 section: fleet (multi-sensor) ingest rollup.
+    match doc.get("fleet") {
+        Some(JsonValue::Null) | None => {}
+        Some(f) => {
+            println!(
+                "\nfleet: {} source(s) joined, {} done, {} refused",
+                num(f, "sources_joined"),
+                num(f, "sources_done"),
+                num(f, "rejects"),
+            );
+            if let Some(per) = f.get("per_source").and_then(|p| p.as_obj()) {
+                // Sort by source id so the rendering is stable regardless
+                // of document key order.
+                let mut rows: Vec<(&String, &JsonValue)> =
+                    per.iter().map(|(k, v)| (k, v)).collect();
+                rows.sort_by(|a, b| a.0.cmp(b.0));
+                for (source, v) in rows {
+                    println!(
+                        "  {source:<20} {:>10} samples {:>6} records  fan-out p50={:<8.1} p99={:<8.1} µs  {}",
+                        num(v, "samples_in"),
+                        num(v, "records"),
+                        num(v, "fanout_p50_us"),
+                        num(v, "fanout_p99_us"),
+                        if matches!(v.get("done"), Some(JsonValue::Bool(true))) {
+                            "done"
+                        } else {
+                            "live"
+                        },
+                    );
+                    let gaps = num(v, "sample_gaps");
+                    let dropped = num(v, "chunks_dropped");
+                    let throttles = num(v, "throttles");
+                    if gaps > 0.0 || dropped > 0.0 || throttles > 0.0 {
+                        println!(
+                            "  {:<20} {gaps} sample gap(s), {dropped} chunk(s) dropped, {throttles} throttle(s)",
+                            "",
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
         // Sort by name so the rendering is stable regardless of document
         // key order.

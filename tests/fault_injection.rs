@@ -175,7 +175,7 @@ fn injected_disconnects_resume_without_loss_duplication_or_reorder() {
         match sub.next_event().unwrap() {
             SubEvent::Record(r) => lines.push(r.line),
             SubEvent::Bye => break,
-            SubEvent::Meta(_) | SubEvent::Stats(_) | SubEvent::Heartbeat => {}
+            _ => {}
         }
     }
     let stats = run.join().unwrap();
@@ -237,7 +237,7 @@ fn garbage_floods_never_take_the_server_down() {
             SubEvent::Record(_) => records += 1,
             SubEvent::Stats(_) => break, // end-of-session stats frame
             SubEvent::Bye => break,
-            SubEvent::Meta(_) | SubEvent::Heartbeat => {}
+            _ => {}
         }
     }
     assert_eq!(records as usize, offline_lines(&path).len());

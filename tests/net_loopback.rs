@@ -6,10 +6,15 @@
 //! session sorted publish preserve both samples and ordering exactly.
 
 use rfd_integration::{mixed_trace, piconet};
-use rfd_net::{RecordSubscriber, SendRate, Server, ServerConfig, SubEvent, TraceSender};
+use rfd_net::{
+    FleetConfig, FleetServer, HubMsg, RecordSubscriber, SendRate, Server, ServerConfig, SubEvent,
+    TraceSender,
+};
 use rfdump::arch::{run_architecture, ArchConfig};
 use rfdump::live::LivePipeline;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Renders the mixed scene once and stores it as a `.rfdt` file, the way
 /// a real deployment would replay a USRP capture.
@@ -70,7 +75,7 @@ fn loopback_lines(path: &std::path::Path, workers: usize, rate: SendRate) -> Vec
         match sub.next_event().unwrap() {
             SubEvent::Record(r) => lines.push(r.line),
             SubEvent::Bye => break,
-            SubEvent::Meta(_) | SubEvent::Stats(_) | SubEvent::Heartbeat => {}
+            _ => {}
         }
     }
     let stats = run.join().unwrap();
@@ -150,6 +155,130 @@ fn two_subscribers_see_the_same_stream() {
     let stats = run.join().unwrap();
     assert_eq!(stats.subscribers, 2);
     assert_eq!(stats.subscribers_evicted, 0);
+}
+
+/// Renders a distinct scene per fleet source, so cross-source
+/// contamination would be caught by the per-source diffs.
+fn fleet_trace_file(name: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("rfd-net-loopback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let trace = mixed_trace(2, 4, 28.0, seed);
+    rfd_ether::trace::write_trace(
+        &path,
+        trace.band.sample_rate,
+        trace.band.center_hz,
+        &trace.samples,
+    )
+    .unwrap();
+    path
+}
+
+/// The fleet acceptance contract: three concurrent senders, each source's
+/// record stream — whether observed through an in-process filtered hub
+/// subscription or partitioned out of a network subscriber's tagged
+/// stream — must be byte-identical to running that trace alone offline.
+fn fleet_sources_match_offline(workers: usize) {
+    let names = ["roof", "lab-3", "van.2"];
+    let paths: Vec<PathBuf> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| fleet_trace_file(&format!("fleet-{n}-w{workers}.rfdt"), 9000 + i as u64))
+        .collect();
+    let offline: Vec<Vec<String>> = paths.iter().map(|p| offline_lines(p, workers)).collect();
+    assert!(
+        offline.iter().all(|l| !l.is_empty()),
+        "every scene must produce records for the diff to mean anything"
+    );
+
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.telemetry = false;
+    cfg.workers = workers;
+    let slot = Arc::new(Mutex::new(None));
+    let factory = rfdump::fleet::pipeline_factory(cfg, None, slot);
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        FleetConfig {
+            expect: Some(names.len() as u64),
+            ..Default::default()
+        },
+        factory,
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    // One filtered in-process subscription per source...
+    let filtered: Vec<_> = names.iter().map(|n| server.subscribe_filtered(n)).collect();
+    let run = std::thread::spawn(move || server.run().unwrap());
+    // ...plus one network subscriber seeing the whole merged stream (its
+    // handshake needs the readiness loop running).
+    let mut net_sub = RecordSubscriber::connect(addr).unwrap();
+
+    let senders: Vec<_> = names
+        .iter()
+        .zip(paths.iter())
+        .map(|(name, path)| {
+            let name = name.to_string();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut tx = TraceSender::connect_source(addr, &name).unwrap();
+                let report = tx.send_trace_file(&path, SendRate::Max, 1000).unwrap();
+                tx.finish().unwrap();
+                report.samples
+            })
+        })
+        .collect();
+    let sent: u64 = senders.into_iter().map(|t| t.join().unwrap()).sum();
+
+    // Partition the network subscriber's merged stream by tag.
+    let mut by_tag: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    loop {
+        match net_sub.next_event().unwrap() {
+            SubEvent::SourceRecord { source, record } => {
+                by_tag.entry(source).or_default().push(record.line)
+            }
+            SubEvent::Bye => break,
+            _ => {}
+        }
+    }
+    let snap = run.join().unwrap();
+    assert_eq!(snap.sources_joined, names.len() as u64);
+    assert_eq!(snap.sources_done, names.len() as u64);
+    assert_eq!(snap.net.samples_in, sent);
+    assert_eq!(snap.net.decode_errors, 0);
+
+    for ((name, sub), offline) in names.iter().zip(filtered).zip(offline.iter()) {
+        let mut lines = Vec::new();
+        loop {
+            match sub.rx.recv().unwrap() {
+                HubMsg::SourceRecord { record, .. } => lines.push(record.line),
+                HubMsg::SourceBye { .. } | HubMsg::Bye => break,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            &lines, offline,
+            "filtered hub stream for '{name}' must be byte-identical to offline (w={workers})"
+        );
+        assert_eq!(
+            by_tag.get(*name),
+            Some(offline),
+            "tagged network stream for '{name}' must be byte-identical to offline (w={workers})"
+        );
+        let per = snap.per_source.iter().find(|s| s.source == *name).unwrap();
+        assert_eq!(per.records, offline.len() as u64);
+        assert!(per.done);
+    }
+}
+
+#[test]
+fn fleet_sources_are_byte_identical_to_offline_single_threaded() {
+    fleet_sources_match_offline(0);
+}
+
+#[test]
+fn fleet_sources_are_byte_identical_to_offline_with_workers() {
+    fleet_sources_match_offline(4);
 }
 
 #[test]

@@ -32,8 +32,42 @@ fn sample_frames() -> Vec<Frame> {
         Frame::Stats("{\"schema\":\"rfd-stats\"}".into()),
         Frame::Heartbeat,
         Frame::Throttle { depth: 64, cap: 64 },
+        Frame::SourceHello {
+            source: "usrp-roof.2".into(),
+            meta: StreamMeta {
+                sample_rate: 8e6,
+                center_hz: 2.437e9,
+                scale: 0.75,
+            },
+        },
+        Frame::SourceRecord {
+            source: "usrp-roof.2".into(),
+            record: RecordMsg {
+                start_us: 12.5,
+                end_us: 640.0,
+                line: "0012.500 bluetooth slot 3".into(),
+            },
+        },
+        Frame::SourceBye {
+            source: "usrp-roof.2".into(),
+        },
         Frame::Bye,
     ]
+}
+
+/// A raw frame with an arbitrary (possibly malformed) payload behind a
+/// valid header and CRC, so payload parsing itself gets exercised.
+fn raw_frame(ty: u8, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(rfd_net::frame::MAGIC);
+    bytes.push(rfd_net::frame::VERSION);
+    bytes.push(ty);
+    bytes.extend_from_slice(&0u16.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&payload_crc(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
 }
 
 fn encode_stream(frames: &[Frame]) -> Vec<u8> {
@@ -196,6 +230,206 @@ fn random_bytes_behind_a_valid_header_prefix_never_panic() {
         bytes.extend_from_slice(&payload);
         let _ = decode_all(&bytes);
     });
+}
+
+#[test]
+fn malformed_source_ids_never_decode_and_never_panic() {
+    // Hostile id payloads for all three source-tagged frame types: empty,
+    // zero-length id, id length past the payload end, invalid characters,
+    // non-UTF-8 bytes, and an id longer than MAX_SOURCE_ID. Each must
+    // yield a structured error (or, for a length pointing past the end,
+    // at minimum not a bogus frame), never a panic and never an
+    // allocation driven by the hostile length byte.
+    let mut hostiles: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0],
+        vec![5, b'a', b'b'],
+        vec![3, b'a', b' ', b'b'],
+        vec![4, 0xFF, 0xFE, 0xFF, 0xFE],
+    ];
+    let mut oversized = vec![(rfd_net::MAX_SOURCE_ID + 1) as u8];
+    oversized.extend(std::iter::repeat_n(b'x', rfd_net::MAX_SOURCE_ID + 1));
+    hostiles.push(oversized);
+    // A valid id but nothing after it (SourceHello needs a meta too).
+    hostiles.push(vec![4, b'r', b'o', b'o', b'f']);
+    for ty in [10u8, 11, 12] {
+        for payload in &hostiles {
+            let bytes = raw_frame(ty, payload);
+            // SourceBye with exactly a valid id is a valid frame; every
+            // other hostile payload must be rejected.
+            if let Ok(frames) = decode_all(&bytes) {
+                for sf in frames {
+                    match &sf.frame {
+                        Frame::SourceHello { source, .. }
+                        | Frame::SourceRecord { source, .. }
+                        | Frame::SourceBye { source } => {
+                            assert!(rfd_net::validate_source_id(source).is_ok())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzzed_source_id_payloads_never_panic() {
+    seeded_cases(0xF0AA_0004, 300, |rng| {
+        let ty = 10 + rng.next_range(3) as u8;
+        let mut payload = random_bytes(rng, 0, 512);
+        if !payload.is_empty() && rng.next_range(2) == 0 {
+            // Half the cases: make the declared id length wildly wrong.
+            payload[0] = rng.next_range(256) as u8;
+        }
+        let _ = decode_all(&raw_frame(ty, &payload));
+    });
+}
+
+/// A factory of trivial pipelines for server-level robustness tests.
+fn stub_factory() -> rfd_net::PipelineFactory {
+    Box::new(|| {
+        Box::new(|_meta: &StreamMeta, samples: Vec<rfd_dsp::Complex32>| {
+            vec![RecordMsg {
+                start_us: 0.0,
+                end_us: 1.0,
+                line: format!("session of {} samples", samples.len()),
+            }]
+        })
+    })
+}
+
+/// Polls `cond` for up to 5 s; panics with `what` on timeout.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn duplicate_source_handshake_on_one_connection_is_dropped_not_fatal() {
+    use std::io::Write;
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig::default(),
+        stub_factory(),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run().unwrap());
+
+    let meta = StreamMeta {
+        sample_rate: 8e6,
+        center_hz: 0.0,
+        scale: 1.0,
+    };
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(&encode_frame(&Frame::Hello(Role::Producer), 0))
+        .unwrap();
+    s.write_all(&encode_frame(
+        &Frame::SourceHello {
+            source: "twice".into(),
+            meta,
+        },
+        1,
+    ))
+    .unwrap();
+    // A second handshake on the same connection is a protocol violation:
+    // the connection must be dropped, the server must keep running.
+    s.write_all(&encode_frame(
+        &Frame::SourceHello {
+            source: "twice".into(),
+            meta,
+        },
+        2,
+    ))
+    .unwrap();
+    wait_for("duplicate handshake counted as a decode error", || {
+        handle.stats().net.decode_errors >= 1
+    });
+    let snap = handle.stats();
+    assert_eq!(snap.sources_joined, 1);
+    // The server survives: a well-formed producer still completes.
+    let mut tx = rfd_net::TraceSender::connect_source(addr, "after").unwrap();
+    tx.send_samples(
+        meta,
+        &(0..256)
+            .map(|i| rfd_dsp::Complex32::new(i as f32 * 1e-3, 0.0))
+            .collect::<Vec<_>>(),
+        rfd_net::SendRate::Max,
+        128,
+    )
+    .unwrap();
+    tx.finish().unwrap();
+    wait_for("post-violation source completes", || {
+        handle.stats().sources_done >= 2
+    });
+    handle.shutdown();
+    let snap = run.join().unwrap();
+    assert_eq!(snap.sources_joined, 2);
+    assert!(snap.net.decode_errors >= 1);
+}
+
+#[test]
+fn tagged_frames_without_a_handshake_are_dropped_not_fatal() {
+    use std::io::Write;
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig::default(),
+        stub_factory(),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run().unwrap());
+
+    // A producer that skips SourceHello and fires a chunk, and another
+    // that sends a record tagged with a source the server never saw: both
+    // are protocol violations, both must be dropped without registering a
+    // source and without panicking the readiness loop.
+    let mut chunker = std::net::TcpStream::connect(addr).unwrap();
+    chunker
+        .write_all(&encode_frame(&Frame::Hello(Role::Producer), 0))
+        .unwrap();
+    chunker
+        .write_all(&encode_frame(
+            &Frame::SampleChunk {
+                start_sample: 0,
+                iq: vec![(1, -1); 64],
+            },
+            1,
+        ))
+        .unwrap();
+    let mut tagger = std::net::TcpStream::connect(addr).unwrap();
+    tagger
+        .write_all(&encode_frame(&Frame::Hello(Role::Producer), 0))
+        .unwrap();
+    tagger
+        .write_all(&encode_frame(
+            &Frame::SourceRecord {
+                source: "ghost".into(),
+                record: RecordMsg {
+                    start_us: 0.0,
+                    end_us: 1.0,
+                    line: "spoofed".into(),
+                },
+            },
+            1,
+        ))
+        .unwrap();
+    wait_for("both violations counted as decode errors", || {
+        handle.stats().net.decode_errors >= 2
+    });
+    let snap = handle.stats();
+    assert_eq!(snap.sources_joined, 0);
+    assert_eq!(snap.per_source.len(), 0);
+    handle.shutdown();
+    run.join().unwrap();
 }
 
 #[test]
