@@ -24,6 +24,13 @@
 #   6. fleet smoke: a --fleet server ingests three concurrent --source
 #      senders; each per-source `watch --source` stream is diffed
 #      byte-for-byte against the offline run, at --workers 0 and 4.
+#   7. fleet survivability smokes: a churn leg that aborts one of three
+#      fleet senders mid-stream and restarts it with `send --source
+#      --retries` — the restarted process re-handshakes with its source id,
+#      the server resumes the parked session, and every per-source stream
+#      must stay byte-identical to the offline run — and a quarantine leg
+#      where a garbage-flooding sender is quarantined by the health machine
+#      while the clean sources drain unharmed.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -266,6 +273,146 @@ if [ "$rc" = 0 ]; then
 fi
 grep -q "never appeared" "$work/fleet-ghost-log.txt" \
     || { echo "absent-source watch did not explain itself"; exit 1; }
+
+echo "== fleet churn smoke: kill one sender mid-stream, restart with --retries =="
+# One of three fleet sources is aborted by an injected kill fault, then
+# restarted as a fresh process with `send --source --retries`: the restart
+# re-handshakes with the same source id, the server resumes the parked
+# session from its committed sample, and every per-source stream must
+# still be byte-identical to the offline run — sequential and pooled.
+churn_port=17110
+for w in 0 4; do
+    port=$churn_port
+    churn_port=$((churn_port + 1))
+    ./target/release/rfdump serve --listen "127.0.0.1:$port" --fleet --expect 3 \
+        --resume-grace 10 --workers "$w" -q \
+        --stats-json "$work/churn-stats-w$w.json" \
+        > /dev/null 2> "$work/serve-churn-log-w$w.txt" < /dev/null &
+    serve_pid=$!
+    up=0
+    for _ in $(seq 1 100); do
+        if grep -q "serving on" "$work/serve-churn-log-w$w.txt" 2>/dev/null; then up=1; break; fi
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if [ "$up" != 1 ]; then
+        cat "$work/serve-churn-log-w$w.txt" >&2 || true
+        echo "churn server never came up on port $port (workers $w)"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    watch_pids=""
+    for s in alpha beta gamma; do
+        ./target/release/rfdump watch --connect "127.0.0.1:$port" --source "$s" \
+            --wait-source 30 \
+            > "$work/churn-$s-w$w.txt" 2> "$work/churn-$s-log-w$w.txt" &
+        watch_pids="$watch_pids $!"
+    done
+    sleep 0.5
+    send_pids=""
+    for s in alpha beta; do
+        ./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+            --source "$s" "$trace" 2>/dev/null &
+        send_pids="$send_pids $!"
+    done
+    # The gamma sender is aborted outright on its 4th chunk — a process
+    # death, not a recoverable socket error, so --retries cannot save it...
+    if ./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+        --source gamma --retries 5 --chunk 1024 \
+        --chaos "seed=3;kill=net.send.chunk#4" "$trace" 2>/dev/null; then
+        echo "kill fault did not abort the gamma sender (workers $w)"
+        exit 1
+    fi
+    # ...and restarted within the grace window: the fresh process carries no
+    # session state, only the source id, and must resume where gamma died.
+    ./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+        --source gamma --retries 5 --chunk 1024 "$trace" 2>/dev/null \
+        || { echo "restarted gamma sender failed (workers $w)"; exit 1; }
+    for pid in $send_pids; do
+        wait "$pid" || { echo "steady fleet sender failed (workers $w)"; exit 1; }
+    done
+    # --expect 3: the server exits on its own once all sources finalize.
+    wait "$serve_pid" || {
+        cat "$work/serve-churn-log-w$w.txt" >&2 || true
+        echo "churn server exited nonzero (workers $w)"
+        exit 1
+    }
+    for pid in $watch_pids; do
+        wait "$pid" || { echo "churn watch exited nonzero (workers $w)"; exit 1; }
+    done
+    for s in alpha beta gamma; do
+        if ! diff -u "$work/records-w0.txt" "$work/churn-$s-w$w.txt"; then
+            echo "churn source $s stream differs from the offline run (workers $w)"
+            exit 1
+        fi
+    done
+    # The stats document must account for the resume.
+    grep -q '"resumes":1' "$work/churn-stats-w$w.json" \
+        || { echo "stats json did not report the gamma resume (workers $w)"; exit 1; }
+done
+
+echo "== fleet quarantine smoke: garbage-flooding sender is quarantined =="
+# A sender whose every chunk is corrupted on the wire racks up per-source
+# decode errors until the health machine quarantines its source id; its
+# re-handshakes are then refused and the sender must give up with a clean
+# nonzero exit, while the clean sources drain byte-identically.
+port=17112
+./target/release/rfdump serve --listen "127.0.0.1:$port" --fleet --expect 3 \
+    --workers 0 -q --stats-json "$work/quarantine-stats.json" \
+    > /dev/null 2> "$work/serve-quarantine-log.txt" < /dev/null &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+    if grep -q "serving on" "$work/serve-quarantine-log.txt" 2>/dev/null; then up=1; break; fi
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    cat "$work/serve-quarantine-log.txt" >&2 || true
+    echo "quarantine server never came up on port $port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+watch_pids=""
+for s in alpha beta; do
+    ./target/release/rfdump watch --connect "127.0.0.1:$port" --source "$s" \
+        --wait-source 30 \
+        > "$work/quarantine-$s.txt" 2> /dev/null &
+    watch_pids="$watch_pids $!"
+done
+sleep 0.5
+rc=0
+./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+    --source noisy --retries 6 --chunk 1024 \
+    --chaos "seed=2;corrupt=net.send.chunk@1" "$trace" 2>/dev/null || rc=$?
+if [ "$rc" = 0 ]; then
+    echo "garbage-flooding sender should have exited nonzero"
+    exit 1
+fi
+for s in alpha beta; do
+    ./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+        --source "$s" "$trace" 2>/dev/null \
+        || { echo "clean fleet sender $s failed beside the quarantine"; exit 1; }
+done
+# --expect 3: quarantine finalizes the noisy source with whatever landed
+# before the cutoff, so it still counts as done and the bounded run
+# terminates once the two clean sources drain.
+wait "$serve_pid" || {
+    cat "$work/serve-quarantine-log.txt" >&2 || true
+    echo "quarantine server exited nonzero"
+    exit 1
+}
+for pid in $watch_pids; do
+    wait "$pid" || { echo "quarantine watch exited nonzero"; exit 1; }
+done
+for s in alpha beta; do
+    if ! diff -u "$work/records-w0.txt" "$work/quarantine-$s.txt"; then
+        echo "clean source $s stream differs beside a quarantined sender"
+        exit 1
+    fi
+done
+grep -q '"health":"quarantined"' "$work/quarantine-stats.json" \
+    || { echo "stats json did not report the quarantined source"; exit 1; }
 
 echo "== chaos smoke: full test suite under an output-preserving fault plan =="
 # Latency-only faults (slow analyzers, CPU pressure at the detection stage)

@@ -43,7 +43,7 @@ fn main() {
     );
 
     let registry = Arc::new(Registry::new());
-    let factory: rfd_net::PipelineFactory = Box::new(|| {
+    let factory: rfd_net::PipelineFactory = Box::new(|_source: &str| {
         Box::new(|_meta: &StreamMeta, samples: Vec<Complex32>| {
             (0..RECORDS_PER_SOURCE)
                 .map(|i| rfd_net::RecordMsg {

@@ -20,14 +20,16 @@
 //!
 //! ```text
 //! rfdump -r trace.rfdt [options]
-//! rfdump serve --listen ADDR [--once] [--fleet [--expect N]]
+//! rfdump serve --listen ADDR [--once]
+//!              [--fleet [--expect N] [--source-timeout SECS]]
 //!              [--queue-cap N] [--overflow block|drop-oldest]
 //!              [--sub-queue-cap N] [--resume-grace SECS]
 //!              [arch options] [-q]
 //!              [--stats-json F] [--trace-out F] [--metrics-addr ADDR]
 //! rfdump send --connect ADDR [--rate max|real-time] [--chunk N]
 //!             [--retries N] [--source ID] TRACE
-//! rfdump watch --connect ADDR [-q] [--journal DIR] [--source ID]
+//! rfdump watch --connect ADDR [-q] [--journal DIR]
+//!              [--source ID [--wait-source SECS]]
 //! rfdump top --connect ADDR [--interval SECS] [--once]
 //! rfdump kernel
 //!
@@ -67,16 +69,24 @@
 //!                    per-source tags
 //!   --expect N       (serve --fleet) shut down cleanly once N sources
 //!                    have completed (bounded runs; fleet's `--once`)
+//!   --source-timeout S (serve --fleet) evict a source after S seconds of
+//!                    silence (no frames; default 30)
 //!   --source ID      (send) name this capture source; the server shards
 //!                    and tags its records by ID. (watch) print only ID's
 //!                    records, bare — byte-identical to `rfdump -r` on the
 //!                    same trace; exits nonzero if ID never appears
+//!   --wait-source S  (watch --source) retry for up to S seconds until the
+//!                    source appears, instead of failing at first miss
 //!
 //! `serve` shuts down cleanly on SIGINT or on end-of-file of a piped
 //! stdin: subscribers get a Bye, --stats-json / --trace-out are flushed,
 //! and the exit code is 0.
 //! `send` reconnects with capped exponential backoff and resumes from the
 //! server's acknowledged sample (--retries 0 disables, single attempt).
+//! Under `--source`, a reconnecting sender re-handshakes with its source
+//! id and the fleet server resumes its parked session (see
+//! `serve --resume-grace`); the per-source record stream stays
+//! byte-identical to an uninterrupted run.
 //! `watch` resumes its subscription from the last received record.
 //! ```
 
@@ -150,7 +160,8 @@ fn usage() -> ExitCode {
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
          \x20             [--chaos SPEC] [--governor auto|0|1|2]\n\
          \x20             [--journal DIR] [--resume] [--metrics-addr ADDR]\n\
-         \x20      rfdump serve --listen ADDR [--once] [--fleet [--expect N]]\n\
+         \x20      rfdump serve --listen ADDR [--once]\n\
+         \x20             [--fleet [--expect N] [--source-timeout SECS]]\n\
          \x20             [--queue-cap N] [--overflow block|drop-oldest]\n\
          \x20             [--sub-queue-cap N] [--resume-grace SECS]\n\
          \x20             [arch options] [-q]\n\
@@ -159,7 +170,7 @@ fn usage() -> ExitCode {
          \x20      rfdump send --connect ADDR [--rate max|real-time] [--chunk N]\n\
          \x20             [--retries N] [--chaos SPEC] [--source ID] TRACE\n\
          \x20      rfdump watch --connect ADDR [-q] [--chaos SPEC] [--journal DIR]\n\
-         \x20             [--source ID]\n\
+         \x20             [--source ID [--wait-source SECS]]\n\
          \x20      rfdump top --connect ADDR [--interval SECS] [--once]\n\
          \x20      rfdump kernel        (print the resolved DSP kernel backend)\n\
          \x20      rfdump --protocols   (print the protocol feature table)"
@@ -276,6 +287,7 @@ struct ServeOptions {
     metrics_addr: Option<String>,
     fleet: bool,
     expect: Option<u64>,
+    source_timeout: Option<Duration>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -287,7 +299,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut metrics_addr = None;
     let mut fleet = false;
     let mut expect = None;
-    let mut resume_grace_set = false;
+    let mut source_timeout = None;
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
     // The band is a placeholder: each producer session's StreamMeta
@@ -329,6 +341,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                         .parse()
                         .map_err(|_| "--expect needs a positive integer".to_string())?,
                 );
+            }
+            "--source-timeout" => {
+                let secs: f64 = next("seconds")?
+                    .parse()
+                    .map_err(|_| "--source-timeout needs positive seconds".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--source-timeout needs positive seconds".to_string());
+                }
+                source_timeout = Some(Duration::from_secs_f64(secs));
             }
             "--queue-cap" => {
                 net.queue_cap = next("a count")?
@@ -379,7 +400,6 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .parse()
                     .map_err(|_| "--resume-grace needs seconds".to_string())?;
                 net.resume_grace = Duration::from_secs_f64(secs.max(0.0));
-                resume_grace_set = true;
             }
             "--chaos" => {
                 let plan = parse_chaos(next("a spec")?)?;
@@ -408,18 +428,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     if matches!(expect, Some(0)) {
         return Err("--expect needs a positive integer".to_string());
     }
-    if fleet {
-        // Fleet mode shards sessions itself and has no producer resume:
-        // the single-stream lifecycle flags don't apply.
-        if net.once {
-            return Err("--fleet is incompatible with --once (use --expect N)".to_string());
-        }
-        if resume_grace_set {
-            return Err("--fleet has no producer resume; drop --resume-grace".to_string());
-        }
-        if journal.is_some() {
-            return Err("--fleet is incompatible with --journal".to_string());
-        }
+    if fleet && net.once {
+        return Err("--fleet is incompatible with --once (use --expect N)".to_string());
+    }
+    if source_timeout.is_some() && !fleet {
+        return Err("--source-timeout needs --fleet".to_string());
     }
     if journal.is_some() && !matches!(arch.kind, ArchKind::RfDump(_)) {
         return Err("--journal requires the rfdump architecture".to_string());
@@ -449,6 +462,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         metrics_addr,
         fleet,
         expect,
+        source_timeout,
     })
 }
 
@@ -649,14 +663,18 @@ fn cmd_serve_fleet(
 ) -> ExitCode {
     let slot: rfdump::live::SharedOutput = Arc::new(std::sync::Mutex::new(None));
     let factory = rfdump::fleet::pipeline_factory(opts.arch, registry.clone(), slot.clone());
-    let cfg = rfd_net::FleetConfig {
+    let mut cfg = rfd_net::FleetConfig {
         queue_cap: opts.net.queue_cap,
         overflow: opts.net.overflow,
         sub_queue_cap: opts.net.sub_queue_cap,
         expect: opts.expect,
+        resume_grace: opts.net.resume_grace,
         faults: opts.net.faults.clone(),
         ..rfd_net::FleetConfig::default()
     };
+    if let Some(t) = opts.source_timeout {
+        cfg.idle_timeout = t;
+    }
     let server = match rfd_net::FleetServer::bind(&opts.listen, cfg, factory, registry) {
         Ok(s) => s,
         Err(e) => {
@@ -798,7 +816,6 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
     let mut rate = SendRate::Max;
     let mut chunk = rfd_net::frame::DEFAULT_CHUNK_SAMPLES;
     let mut retries = RetryPolicy::default().max_retries;
-    let mut retries_set = false;
     let mut chaos = None;
     let mut source: Option<String> = None;
     let mut it = args.iter();
@@ -827,25 +844,11 @@ fn parse_send_args(args: &[String]) -> Result<SendOptions, String> {
                     .ok_or("--retries needs a count")?
                     .parse()
                     .map_err(|_| "--retries needs a non-negative integer".to_string())?;
-                retries_set = true;
             }
             "--chaos" => chaos = parse_chaos(it.next().ok_or("--chaos needs a spec")?)?,
             other if !other.starts_with('-') && trace.is_none() => trace = Some(other.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
-    }
-    if source.is_some() {
-        // Fleet ingest has no producer resume, so the resilient
-        // reconnect-and-resume path cannot uphold its contract there.
-        if retries_set && retries > 0 {
-            return Err(
-                "--source is incompatible with --retries (fleet ingest has no resume)".to_string(),
-            );
-        }
-        if chaos.is_some() {
-            return Err("--source is incompatible with --chaos".to_string());
-        }
-        retries = 0;
     }
     Ok(SendOptions {
         connect: connect.ok_or("send needs --connect ADDR")?,
@@ -868,8 +871,7 @@ fn cmd_send(args: &[String]) -> ExitCode {
     };
     let path = std::path::Path::new(&opts.trace);
     let report = if opts.retries == 0 && opts.chaos.is_none() {
-        // Plain single-attempt path: any failure is terminal. A named
-        // source always takes this path (validated in parse_send_args).
+        // Plain single-attempt path: any failure is terminal.
         let attempt = match &opts.source {
             Some(id) => TraceSender::connect_source(&opts.connect, id),
             None => TraceSender::connect(&opts.connect),
@@ -899,6 +901,11 @@ fn cmd_send(args: &[String]) -> ExitCode {
             ..RetryPolicy::default()
         };
         let mut tx = ResilientSender::new(&opts.connect).with_retry(retry);
+        if let Some(id) = &opts.source {
+            // Fleet session resume: each reconnect re-handshakes with the
+            // source id and continues from the server's acked sample.
+            tx = tx.with_source(id);
+        }
         if opts.chaos.is_some() {
             tx = tx.with_faults(opts.chaos.clone());
         }
@@ -957,6 +964,7 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     let mut chaos = None;
     let mut journal: Option<String> = None;
     let mut source: Option<String> = None;
+    let mut wait_source: Option<Duration> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -977,6 +985,15 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 },
                 None => {
                     eprintln!("rfdump: --source needs an id");
+                    return usage();
+                }
+            },
+            "--wait-source" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs > 0.0 => {
+                    wait_source = Some(Duration::from_secs_f64(secs))
+                }
+                _ => {
+                    eprintln!("rfdump: --wait-source needs positive seconds");
                     return usage();
                 }
             },
@@ -1015,20 +1032,73 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("rfdump: --source is incompatible with --journal");
         return usage();
     }
-    let mut sub = match &journal {
+    if wait_source.is_some() && source.is_none() {
+        eprintln!("rfdump: --wait-source needs --source ID");
+        return usage();
+    }
+    // With --wait-source the whole watch retries until the deadline when
+    // the server isn't up yet or the source hasn't joined the stream.
+    let deadline = wait_source.map(|d| std::time::Instant::now() + d);
+    loop {
+        match watch_stream(&connect, quiet, &chaos, &journal, &source) {
+            Ok((records, reconnects)) => {
+                eprintln!(
+                    "rfdump: stream ended after {records} record(s), {reconnects} reconnect(s)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(WatchErr::SourceMissing | WatchErr::Connect(_))
+                if deadline.is_some_and(|dl| std::time::Instant::now() < dl) =>
+            {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(WatchErr::SourceMissing) => {
+                let want = source.as_deref().unwrap_or("");
+                eprintln!("rfdump: source '{want}' never appeared in the stream");
+                return ExitCode::FAILURE;
+            }
+            Err(WatchErr::Connect(e)) => {
+                eprintln!("rfdump: cannot connect to {connect}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(WatchErr::Stream(e)) => {
+                eprintln!("rfdump: stream failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+/// Why one pass of [`watch_stream`] gave up.
+enum WatchErr {
+    /// Could not establish the subscription.
+    Connect(std::io::Error),
+    /// The established stream failed mid-flight.
+    Stream(std::io::Error),
+    /// The stream ended without the `--source` id ever appearing.
+    SourceMissing,
+}
+
+/// One full watch pass: subscribe, print, run to stream end.
+/// Returns `(records_printed, reconnects)` on a clean end.
+fn watch_stream(
+    connect: &str,
+    quiet: bool,
+    chaos: &Option<Arc<FaultPlan>>,
+    journal: &Option<String>,
+    source: &Option<String>,
+) -> Result<(u64, u64), WatchErr> {
+    let mut sub = match journal {
         // Durable watch: the subscription position is checkpointed under
         // the journal directory, so a restarted `watch --journal DIR`
         // resumes where the previous process durably left off.
         Some(dir) => {
-            match rfd_net::JournaledSubscriber::connect(&connect[..], std::path::Path::new(dir)) {
+            match rfd_net::JournaledSubscriber::connect(connect, std::path::Path::new(dir)) {
                 Ok(s) => WatchSub::Journaled(s.with_faults(chaos.clone())),
-                Err(e) => {
-                    eprintln!("rfdump: cannot connect to {connect}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return Err(WatchErr::Connect(e)),
             }
         }
-        None => match ResilientSubscriber::connect(&connect[..]) {
+        None => match ResilientSubscriber::connect(connect) {
             Ok(s) => {
                 let s = if chaos.is_some() {
                     s.with_faults(chaos.clone())
@@ -1037,10 +1107,7 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 };
                 WatchSub::Plain(s)
             }
-            Err(e) => {
-                eprintln!("rfdump: cannot connect to {connect}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Err(WatchErr::Connect(e)),
         },
     };
     let mut records = 0u64;
@@ -1105,23 +1172,13 @@ fn cmd_watch(args: &[String]) -> ExitCode {
             },
             Ok(SubEvent::Stats(_) | SubEvent::Heartbeat) => {}
             Ok(SubEvent::Bye) => break,
-            Err(e) => {
-                eprintln!("rfdump: stream failed: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Err(WatchErr::Stream(e)),
         }
     }
-    if let Some(want) = &source {
-        if !source_seen {
-            eprintln!("rfdump: source '{want}' never appeared in the stream");
-            return ExitCode::FAILURE;
-        }
+    if source.is_some() && !source_seen {
+        return Err(WatchErr::SourceMissing);
     }
-    eprintln!(
-        "rfdump: stream ended after {records} record(s), {} reconnect(s)",
-        sub.reconnects()
-    );
-    ExitCode::SUCCESS
+    Ok((records, sub.reconnects()))
 }
 
 /// `rfdump kernel`: prints which DSP kernel backend this process resolves.

@@ -13,8 +13,15 @@
 //!
 //! With several sources the slot holds the *last finished* source's
 //! architecture output; the per-source ingest numbers live in the
-//! stats-json `fleet` section (see [`crate::stats`], v8), which is fed
+//! stats-json `fleet` section (see [`crate::stats`], v9), which is fed
 //! from the [`rfd_net::FleetSnapshot`] instead.
+//!
+//! Durability shards with the pipeline: when `cfg.durability` is set, each
+//! source journals under its own subdirectory (`DIR/<source-id>`), so a
+//! fleet run is resumable per source with the same byte-identical-output
+//! guarantee a single-stream `--journal` run has. Source ids are validated
+//! at the wire (`[A-Za-z0-9._-]`, ≤64 chars), so the join cannot escape
+//! `DIR`.
 
 use crate::arch::ArchConfig;
 use crate::live::{LivePipeline, SharedOutput};
@@ -25,17 +32,22 @@ use std::sync::Arc;
 ///
 /// Each invocation of the returned factory yields an independent
 /// [`LivePipeline`] over a clone of `cfg` (the band placeholder in `cfg`
-/// is overridden by each source's own stream meta). All pipelines share
-/// `slot` for their architecture output and, when given, accumulate
-/// telemetry into the same `registry` the `--metrics-addr` endpoint
-/// serves.
+/// is overridden by each source's own stream meta), with any journal
+/// directory re-rooted to `DIR/<source-id>` so sources never share a
+/// journal. All pipelines share `slot` for their architecture output and,
+/// when given, accumulate telemetry into the same `registry` the
+/// `--metrics-addr` endpoint serves.
 pub fn pipeline_factory(
     cfg: ArchConfig,
     registry: Option<Arc<Registry>>,
     slot: SharedOutput,
 ) -> rfd_net::PipelineFactory {
-    Box::new(move || {
-        let mut pipeline = LivePipeline::new(cfg.clone()).with_output(slot.clone());
+    Box::new(move |source: &str| {
+        let mut cfg = cfg.clone();
+        if let Some(d) = &mut cfg.durability {
+            d.dir = d.dir.join(source);
+        }
+        let mut pipeline = LivePipeline::new(cfg).with_output(slot.clone());
         if let Some(reg) = &registry {
             pipeline = pipeline.with_registry(reg.clone());
         }
@@ -76,8 +88,8 @@ mod tests {
     fn factory_instances_are_independent_and_share_the_output_slot() {
         let slot: SharedOutput = Arc::new(Mutex::new(None));
         let factory = pipeline_factory(test_cfg(), None, slot.clone());
-        let mut a = factory();
-        let mut b = factory();
+        let mut a = factory("roof");
+        let mut b = factory("lab-3");
         let fs = 8e6f64;
         let samples: Vec<Complex32> = (0..40_000)
             .map(|i| {
@@ -105,5 +117,32 @@ mod tests {
             slot.lock().unwrap().is_some(),
             "pipelines must deposit into the shared slot"
         );
+    }
+
+    #[test]
+    fn journal_dir_is_sharded_per_source() {
+        let tmp = std::env::temp_dir().join(format!("rfd-fleet-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let mut cfg = test_cfg();
+        cfg.durability = Some(crate::durability::DurabilityConfig {
+            dir: tmp.clone(),
+            resume: false,
+        });
+        let slot: SharedOutput = Arc::new(Mutex::new(None));
+        let factory = pipeline_factory(cfg, None, slot);
+        let meta = StreamMeta {
+            sample_rate: 8e6,
+            center_hz: 0.0,
+            scale: 1.0,
+        };
+        let samples = vec![Complex32::new(1e-3, 0.0); 20_000];
+        factory("roof").analyze(&meta, samples.clone());
+        factory("van.2").analyze(&meta, samples);
+        assert!(tmp.join("roof").is_dir(), "journal sharded under DIR/roof");
+        assert!(
+            tmp.join("van.2").is_dir(),
+            "journal sharded under DIR/van.2"
+        );
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 }

@@ -48,6 +48,13 @@
 //!   throttles and fan-out latency p50/p99 per source, keys sorted; null
 //!   unless the run was a `serve --fleet` server). This comment is the
 //!   single authoritative record of the v7→v8 bump.
+//! * **9** — fleet survivability: the `fleet` section gains session-resume
+//!   and health rollups (`resumes`, `sources_parked`, `sources_expired`,
+//!   `flapping`, `quarantined`, `evicted`) and each `per_source` row gains
+//!   its health state machine view — `health` (one of `healthy` /
+//!   `flapping` / `quarantined` / `evicted`) plus the `disconnects` /
+//!   `resumes` / `flaps` / `decode_errors` / `rejects` counters that drive
+//!   it. This comment is the single authoritative record of the v8→v9 bump.
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -59,7 +66,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 8;
+pub const STATS_VERSION: u64 = 9;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -669,7 +676,7 @@ mod tests {
     }
 
     #[test]
-    fn v8_fleet_section_is_null_offline_and_populated_for_fleet_runs() {
+    fn v9_fleet_section_is_null_offline_and_populated_for_fleet_runs() {
         let doc = rfd_telemetry::json::parse(&stats_json(&fake_output()).to_json()).unwrap();
         assert!(matches!(
             doc.get("fleet"),
@@ -684,6 +691,12 @@ mod tests {
             sources_joined: 2,
             sources_done: 2,
             rejects: 1,
+            resumes: 1,
+            sources_parked: 0,
+            sources_expired: 0,
+            flapping: 1,
+            quarantined: 0,
+            evicted: 0,
             per_source: vec![
                 rfd_net::SourceSnapshot {
                     source: "lab-3".into(),
@@ -699,6 +712,12 @@ mod tests {
                     fanout_count: 4,
                     fanout_p50_us: 10.0,
                     fanout_p99_us: 50.0,
+                    health: rfd_net::SourceHealth::Healthy,
+                    disconnects: 0,
+                    resumes: 0,
+                    flaps: 0,
+                    decode_errors: 0,
+                    rejects: 0,
                     done: true,
                 },
                 rfd_net::SourceSnapshot {
@@ -715,6 +734,12 @@ mod tests {
                     fanout_count: 7,
                     fanout_p50_us: 12.0,
                     fanout_p99_us: 80.0,
+                    health: rfd_net::SourceHealth::Flapping,
+                    disconnects: 2,
+                    resumes: 1,
+                    flaps: 1,
+                    decode_errors: 0,
+                    rejects: 1,
                     done: true,
                 },
             ],
@@ -736,8 +761,20 @@ mod tests {
         assert_eq!(roof.get("records").unwrap().as_f64(), Some(7.0));
         assert_eq!(roof.get("throttles").unwrap().as_f64(), Some(1.0));
         assert_eq!(roof.get("fanout_p99_us").unwrap().as_f64(), Some(80.0));
+        // v9: per-source health + resume/flap counters.
+        assert_eq!(roof.get("health").unwrap().as_str(), Some("flapping"));
+        assert_eq!(roof.get("disconnects").unwrap().as_f64(), Some(2.0));
+        assert_eq!(roof.get("resumes").unwrap().as_f64(), Some(1.0));
+        assert_eq!(roof.get("flaps").unwrap().as_f64(), Some(1.0));
         let lab = per.get("lab-3").unwrap();
         assert_eq!(lab.get("records").unwrap().as_f64(), Some(4.0));
+        assert_eq!(lab.get("health").unwrap().as_str(), Some("healthy"));
+        // v9: fleet-level survivability rollups.
+        assert_eq!(fleet.get("resumes").unwrap().as_f64(), Some(1.0));
+        assert_eq!(fleet.get("sources_parked").unwrap().as_f64(), Some(0.0));
+        assert_eq!(fleet.get("flapping").unwrap().as_f64(), Some(1.0));
+        assert_eq!(fleet.get("quarantined").unwrap().as_f64(), Some(0.0));
+        assert_eq!(fleet.get("evicted").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -126,31 +126,74 @@ fn serve_expect_without_fleet_is_rejected() {
 }
 
 #[test]
-fn serve_fleet_with_journal_is_rejected() {
-    let out = rfdump(&[
-        "serve",
-        "--listen",
-        "127.0.0.1:0",
-        "--fleet",
-        "--journal",
-        "/tmp/rfd-cli-errors-journal",
-    ]);
-    assert_clean_failure(&out, "fleet with journal", "incompatible with --journal");
+fn serve_source_timeout_without_fleet_is_rejected() {
+    let out = rfdump(&["serve", "--listen", "127.0.0.1:0", "--source-timeout", "30"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert_clean_failure(
+        &out,
+        "--source-timeout without --fleet",
+        "--source-timeout needs --fleet",
+    );
 }
 
 #[test]
-fn send_source_with_retries_is_rejected() {
-    let out = rfdump(&[
-        "send",
-        "--connect",
-        "127.0.0.1:1",
-        "--source",
-        "roof",
-        "--retries",
-        "3",
-        "/tmp/whatever.rfdt",
-    ]);
-    assert_clean_failure(&out, "source with retries", "incompatible with --retries");
+fn serve_fleet_with_invalid_source_timeout_is_rejected() {
+    for bad in ["0", "-3", "soon", ""] {
+        let out = rfdump(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--fleet",
+            "--source-timeout",
+            bad,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage errors exit 2 (--source-timeout {bad:?})"
+        );
+        assert_clean_failure(
+            &out,
+            "bad --source-timeout",
+            "--source-timeout needs positive seconds",
+        );
+    }
+}
+
+#[test]
+fn watch_wait_source_without_source_is_rejected() {
+    let out = rfdump(&["watch", "--connect", "127.0.0.1:1", "--wait-source", "5"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert_clean_failure(
+        &out,
+        "--wait-source without --source",
+        "--wait-source needs --source",
+    );
+}
+
+#[test]
+fn watch_with_invalid_wait_source_is_rejected() {
+    for bad in ["0", "-1", "nan", "later"] {
+        let out = rfdump(&[
+            "watch",
+            "--connect",
+            "127.0.0.1:1",
+            "--source",
+            "roof",
+            "--wait-source",
+            bad,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage errors exit 2 (--wait-source {bad:?})"
+        );
+        assert_clean_failure(
+            &out,
+            "bad --wait-source",
+            "--wait-source needs positive seconds",
+        );
+    }
 }
 
 #[test]
@@ -190,7 +233,7 @@ fn watch_for_absent_source_exits_nonzero_cleanly() {
     // A real fleet session where the watched id never appears: the watcher
     // must drain the stream, print nothing, and fail with a clean one-line
     // error once the fleet-wide Bye proves the source is absent.
-    let factory: rfd_net::PipelineFactory = Box::new(|| {
+    let factory: rfd_net::PipelineFactory = Box::new(|_source: &str| {
         Box::new(
             |_meta: &rfd_net::StreamMeta, samples: Vec<rfd_dsp::Complex32>| {
                 vec![rfd_net::RecordMsg {

@@ -163,8 +163,10 @@ impl TraceSender {
     /// Connects as a fleet capture sender: the stream opens with a
     /// `SourceHello` binding it to the stable source id `source` (validated
     /// here, so a bad id fails before any bytes hit the wire). Requires a
-    /// fleet-mode server (`rfdump serve --fleet`); fleet sessions have no
-    /// resume.
+    /// fleet-mode server (`rfdump serve --fleet`). A sender that reconnects
+    /// and re-handshakes with the same id resumes its session from the
+    /// server's acknowledged position (see [`ResilientSender::with_source`]
+    /// for the automatic version).
     pub fn connect_source<A: ToSocketAddrs>(addr: A, source: &str) -> io::Result<Self> {
         crate::frame::validate_source_id(source).map_err(io::Error::from)?;
         let mut tx = Self::connect(addr)?;
@@ -438,11 +440,18 @@ impl TraceSender {
 /// `Resume`, rewinds the trace file to the server's authoritative
 /// acknowledged sample, and continues. The server deduplicates the overlap,
 /// so the analyzed stream is byte-identical to an uninterrupted send.
+///
+/// With [`ResilientSender::with_source`] the same machinery runs under the
+/// fleet handshake: every (re)connection opens with a `SourceHello` for the
+/// stable source id, the fleet server reattaches the parked session and
+/// acks its committed high-water mark, and the sender seeks the trace to
+/// it — per-source resume.
 pub struct ResilientSender {
     addr: String,
     retry: RetryPolicy,
     faults: Option<Arc<FaultPlan>>,
     registry: Option<Arc<Registry>>,
+    source: Option<String>,
 }
 
 impl ResilientSender {
@@ -454,12 +463,21 @@ impl ResilientSender {
             retry: RetryPolicy::default(),
             faults: FaultPlan::ambient(),
             registry: None,
+            source: None,
         }
     }
 
     /// Overrides the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sends as the fleet source `source`: every (re)connection handshakes
+    /// with a `SourceHello` for this id, so a fleet server resumes the
+    /// session instead of seeing a stranger.
+    pub fn with_source(mut self, source: &str) -> Self {
+        self.source = Some(source.to_string());
         self
     }
 
@@ -494,10 +512,21 @@ impl ResilientSender {
         }
     }
 
+    /// Connects, declaring the fleet source id when one is set.
+    fn connect(&self) -> io::Result<TraceSender> {
+        match &self.source {
+            Some(s) => TraceSender::connect_source(&self.addr[..], s),
+            None => TraceSender::connect(&self.addr[..]),
+        }
+    }
+
     /// Completes the session handshake on a fresh connection: a
-    /// `StreamMeta` when `session` is unknown, a `Resume` otherwise.
-    /// Returns the sender positioned at the server's acknowledged sample
-    /// (written into `pos`).
+    /// `StreamMeta` when `session` is unknown, a `Resume` otherwise. Fleet
+    /// sends open with a `SourceHello` instead — the source id *is* the
+    /// resume token, and the Resume that follows a reconnect only declares
+    /// the client's last-acked position (advisory; the server's ack is
+    /// authoritative either way). Returns the sender positioned at the
+    /// server's acknowledged sample (written into `pos`).
     fn handshake(
         &self,
         mut tx: TraceSender,
@@ -505,11 +534,27 @@ impl ResilientSender {
         session: Option<u64>,
         pos: &mut u64,
     ) -> io::Result<TraceSender> {
-        match session {
-            None => {
+        match (&self.source, session) {
+            (None, None) => {
                 tx.write_frame(&Frame::StreamMeta(meta))?;
             }
-            Some(id) => {
+            (None, Some(id)) => {
+                tx.write_frame(&Frame::Resume {
+                    session: id,
+                    position: *pos,
+                })?;
+            }
+            (Some(s), None) => {
+                tx.write_frame(&Frame::SourceHello {
+                    source: s.clone(),
+                    meta,
+                })?;
+            }
+            (Some(s), Some(id)) => {
+                tx.write_frame(&Frame::SourceHello {
+                    source: s.clone(),
+                    meta,
+                })?;
                 tx.write_frame(&Frame::Resume {
                     session: id,
                     position: *pos,
@@ -540,8 +585,11 @@ impl ResilientSender {
         // ordering, which callers rely on: a dead server surfaces as the
         // connect error, and a live server always observes the connection
         // even when the trace turns out to be unreadable.
+        if let Some(s) = &self.source {
+            crate::frame::validate_source_id(s).map_err(io::Error::from)?;
+        }
         let mut pre = loop {
-            match TraceSender::connect(&self.addr[..]) {
+            match self.connect() {
                 Ok(tx) => break Some(tx),
                 Err(e) => {
                     if attempt >= self.retry.max_retries {
@@ -574,7 +622,7 @@ impl ResilientSender {
         'session: loop {
             let conn = match pre.take() {
                 Some(tx) => Ok(tx),
-                None => TraceSender::connect(&self.addr[..]),
+                None => self.connect(),
             };
             let mut tx = match conn.and_then(|tx| self.handshake(tx, meta, session, &mut pos)) {
                 Ok(tx) => tx,

@@ -19,8 +19,8 @@
 //!   hundred senders cost one thread, not a hundred.
 //! * **A source handshake** ([`Frame::SourceHello`]) binds each connection
 //!   to a stable source id. Ids are unique for the life of the server — a
-//!   duplicate handshake is refused, which keeps per-source streams, stats
-//!   and metrics unambiguous.
+//!   second claim on a live or parked id is treated as the same sensor
+//!   reconnecting (resume), while a completed or evicted id is refused.
 //! * **Per-source sharding**: every source gets its own bounded
 //!   [`ChunkQueue`] and its own [`Pipeline`] instance from the injected
 //!   factory, drained by its own analysis thread. Sources never contend on
@@ -34,6 +34,57 @@
 //!   [`HubMsg::SourceRecord`] so subscribers (and `rfdump watch --source`)
 //!   can filter per source.
 //!
+//! # Per-source resume
+//!
+//! A producer that dies without a clean Bye does not lose its session.
+//! The source is *parked* for [`FleetConfig::resume_grace`]: its ingest
+//! queue stays open and its analysis thread keeps blocking on the queue. A
+//! sender that reconnects and re-handshakes with the same source id is
+//! reattached — the server answers the [`Frame::SourceHello`] with an
+//! [`Frame::Ack`] carrying the contiguous ingest high-water mark, the
+//! client seeks to that position, and any overlap it resends is deduped by
+//! the same contiguity accounting an uninterrupted session uses. The
+//! per-source record stream is therefore byte-identical to a run that never
+//! dropped. Ack positions are truthful: the high-water mark only advances
+//! when a chunk is actually committed to the source queue, so a chunk
+//! parked by backpressure is never covered by an ack it could lose.
+//!
+//! A reconnect that lands *before* the loop notices the old socket died is
+//! a takeover: every attach bumps the source's epoch, and a connection
+//! whose epoch is stale is dropped without touching the source ("newest
+//! connection wins" — deterministic, no grace-timing races).
+//!
+//! # Source health
+//!
+//! Every source carries a four-state health machine driven by its own
+//! misbehavior, so one bad sensor degrades *itself* and not the fleet:
+//!
+//! ```text
+//!   healthy ──flap_score ≥ flap_threshold──▶ flapping
+//!      ▲                                        │
+//!      └──score damps ≤ threshold/2 (progress)──┘
+//!   flapping ──flap_score ≥ quarantine_flaps──▶ quarantined
+//!   any      ──decode errors ≥ quarantine_errors──▶ quarantined
+//!   quarantined ──rejects ≥ evict_rejects──▶ evicted
+//!   parked   ──resume grace expires──▶ evicted
+//! ```
+//!
+//! Disconnects raise a per-source flap score; sustained progress (each ack
+//! boundary) damps it, and the flapping → healthy transition waits for the
+//! score to fall to half the threshold (hysteresis, no state thrash).
+//! Quarantine finalizes the stream immediately — the samples that arrived
+//! are analyzed and published, the id refuses further claims — and enough
+//! refused reconnect attempts evict the id outright. Transitions emit
+//! typed events (`source_flapping` / `source_quarantined` /
+//! `source_evicted` / `source_resumed`) and `net.fleet.*` counters.
+//!
+//! # Chaos sites
+//!
+//! Fault plans can target the fleet plane directly: `net.fleet.accept`
+//! (drop or delay incoming connections) and `net.fleet.source.<id>`
+//! (disconnect / corrupt / slow one source's read path), in addition to the
+//! `net.server.read` site shared with the single-stream server.
+//!
 //! Determinism: each source's samples are accumulated contiguously and
 //! analyzed by a private pipeline exactly like an offline run of that trace
 //! alone, and its records are published in one burst (meta, records in
@@ -42,10 +93,6 @@
 //! byte-identical record stream to `rfdump -r trace` at any worker count.
 //! Merge order *between* sources is arrival order and intentionally
 //! unspecified.
-//!
-//! Resume is not supported on fleet connections (a dropped sender finalizes
-//! its source with the samples that arrived); fleet senders are expected to
-//! retry at the application layer with a fresh source id.
 
 use crate::frame::{Frame, FrameDecoder, Role, SeqFrame, StreamMeta};
 use crate::hub::{HubMsg, RecordHub, Subscription};
@@ -58,12 +105,14 @@ use rfd_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Builds one fresh [`Pipeline`] per fleet source.
-pub type PipelineFactory = Box<dyn Fn() -> Box<dyn Pipeline> + Send + Sync>;
+/// Builds one fresh [`Pipeline`] per fleet source. The source id is passed
+/// so factories can shard side effects (e.g. one journal directory per
+/// source).
+pub type PipelineFactory = Box<dyn Fn(&str) -> Box<dyn Pipeline> + Send + Sync>;
 
 /// Send a producer an Ack every this many ingested chunks (matches the
 /// single-stream server).
@@ -87,9 +136,23 @@ pub struct FleetConfig {
     /// Idle interval after which a subscriber connection gets a Heartbeat.
     pub heartbeat: Duration,
     /// A producer socket silent for this long is evicted (its source is
-    /// finalized with the samples that arrived).
+    /// parked for `resume_grace` like any other disconnect).
     pub idle_timeout: Duration,
-    /// Fault-injection plan for chaos testing (`net.server.read` site).
+    /// How long a dropped source stays parked awaiting a reconnect before
+    /// it is evicted and finalized. Zero disables per-source resume (a
+    /// dropped sender finalizes immediately).
+    pub resume_grace: Duration,
+    /// Flap score at which a source is marked flapping. Each disconnect
+    /// adds one; each ack boundary of progress removes one.
+    pub flap_threshold: u64,
+    /// Flap score at which a flapping source is quarantined.
+    pub quarantine_flaps: u64,
+    /// Attributed decode errors at which a source is quarantined.
+    pub quarantine_errors: u64,
+    /// Refused reconnect attempts at which a quarantined source is evicted.
+    pub evict_rejects: u64,
+    /// Fault-injection plan for chaos testing (`net.server.read`,
+    /// `net.fleet.accept`, `net.fleet.source.<id>` sites).
     pub faults: Option<Arc<FaultPlan>>,
 }
 
@@ -102,7 +165,55 @@ impl Default for FleetConfig {
             expect: None,
             heartbeat: Duration::from_secs(1),
             idle_timeout: Duration::from_secs(30),
+            resume_grace: Duration::from_secs(5),
+            flap_threshold: 3,
+            quarantine_flaps: 8,
+            quarantine_errors: 3,
+            evict_rejects: 5,
             faults: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source health
+// ---------------------------------------------------------------------------
+
+/// The per-source health state machine. States only escalate (except the
+/// damped flapping → healthy recovery); see the module docs for the
+/// transition diagram.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceHealth {
+    /// Streaming normally.
+    Healthy = 0,
+    /// Disconnecting faster than it makes progress.
+    Flapping = 1,
+    /// Misbehaving enough to be cut off: the stream is finalized with the
+    /// samples that arrived and reconnects are refused.
+    Quarantined = 2,
+    /// Gone for good: resume grace expired or a quarantined id kept
+    /// hammering the server.
+    Evicted = 3,
+}
+
+impl SourceHealth {
+    /// The state as its stats-json / event string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SourceHealth::Healthy => "healthy",
+            SourceHealth::Flapping => "flapping",
+            SourceHealth::Quarantined => "quarantined",
+            SourceHealth::Evicted => "evicted",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => SourceHealth::Healthy,
+            1 => SourceHealth::Flapping,
+            2 => SourceHealth::Quarantined,
+            _ => SourceHealth::Evicted,
         }
     }
 }
@@ -117,6 +228,13 @@ struct SourceShared {
     name: Arc<str>,
     meta: StreamMeta,
     queue: ChunkQueue<Vec<Complex32>>,
+    /// Join ordinal, echoed as the Ack session id so a resuming sender can
+    /// tell its session survived.
+    session: u64,
+    /// Attach generation. Bumped on every (re)attach; a connection whose
+    /// recorded epoch is stale has been superseded and must not finalize
+    /// or park the source.
+    epoch: AtomicU64,
     chunks_in: AtomicU64,
     samples_in: AtomicU64,
     chunks_duplicate: AtomicU64,
@@ -124,16 +242,36 @@ struct SourceShared {
     throttles: AtomicU64,
     records: AtomicU64,
     /// Contiguous ingest high-water mark (next expected sample index).
+    /// Advances only when a chunk is committed to the queue, so acks are
+    /// truthful under backpressure.
     expected: AtomicU64,
     /// Ingest wall time, µs (first chunk to stream close).
     ingest_wall_us: AtomicU64,
     done: AtomicBool,
+    /// Queue closed; the stream can no longer be resumed.
+    finalized: AtomicBool,
+    /// Health state machine inputs and state.
+    health: AtomicU8,
+    disconnects: AtomicU64,
+    resumes: AtomicU64,
+    flap_score: AtomicU64,
+    flaps: AtomicU64,
+    decode_errors: AtomicU64,
+    rejects: AtomicU64,
+    /// Cached chaos site name (`net.fleet.source.<id>`).
+    chaos_site: String,
     /// Per-record publish duration, µs — the source's fan-out latency.
     fanout: Histogram,
     /// `net.fleet.source.<id>.queue_depth` when a registry is attached.
     queue_gauge: Option<Arc<Gauge>>,
     samples_ctr: Option<Arc<Counter>>,
     records_ctr: Option<Arc<Counter>>,
+}
+
+impl SourceShared {
+    fn health(&self) -> SourceHealth {
+        SourceHealth::from_u8(self.health.load(Ordering::SeqCst))
+    }
 }
 
 /// Point-in-time statistics for one fleet source.
@@ -165,6 +303,18 @@ pub struct SourceSnapshot {
     pub fanout_p50_us: f64,
     /// Fan-out latency p99, µs.
     pub fanout_p99_us: f64,
+    /// Health state.
+    pub health: SourceHealth,
+    /// Connection losses without a clean Bye.
+    pub disconnects: u64,
+    /// Successful session resumes after a disconnect.
+    pub resumes: u64,
+    /// Healthy → flapping transitions.
+    pub flaps: u64,
+    /// Malformed frames attributed to this source.
+    pub decode_errors: u64,
+    /// Reconnect attempts refused (quarantined/evicted/completed id).
+    pub rejects: u64,
     /// Whether the source's stream has ended and been analyzed.
     pub done: bool,
 }
@@ -186,11 +336,17 @@ impl SourceSnapshot {
             fanout_count: s.fanout.count(),
             fanout_p50_us: s.fanout.quantile(0.5),
             fanout_p99_us: s.fanout.quantile(0.99),
+            health: s.health(),
+            disconnects: s.disconnects.load(Ordering::Relaxed),
+            resumes: s.resumes.load(Ordering::Relaxed),
+            flaps: s.flaps.load(Ordering::Relaxed),
+            decode_errors: s.decode_errors.load(Ordering::Relaxed),
+            rejects: s.rejects.load(Ordering::Relaxed),
             done: s.done.load(Ordering::Relaxed),
         }
     }
 
-    /// The snapshot as a JSON object (one entry of the stats-json v8
+    /// The snapshot as a JSON object (one entry of the stats-json v9
     /// `fleet.per_source` map).
     pub fn to_json(&self) -> rfd_telemetry::json::JsonValue {
         use rfd_telemetry::json::JsonValue as J;
@@ -208,6 +364,12 @@ impl SourceSnapshot {
             ("fanout_count", n(self.fanout_count)),
             ("fanout_p50_us", J::num(self.fanout_p50_us)),
             ("fanout_p99_us", J::num(self.fanout_p99_us)),
+            ("health", J::str(self.health.as_str())),
+            ("disconnects", n(self.disconnects)),
+            ("resumes", n(self.resumes)),
+            ("flaps", n(self.flaps)),
+            ("decode_errors", n(self.decode_errors)),
+            ("rejects", n(self.rejects)),
             ("done", J::Bool(self.done)),
         ])
     }
@@ -223,14 +385,28 @@ pub struct FleetSnapshot {
     pub sources_joined: u64,
     /// Sources whose stream ended and whose records are published.
     pub sources_done: u64,
-    /// Connections refused for a bad or duplicate source handshake.
+    /// Connections refused for a bad, completed or quarantined source
+    /// handshake.
     pub rejects: u64,
+    /// Successful per-source session resumes.
+    pub resumes: u64,
+    /// Sources currently parked awaiting a reconnect.
+    pub sources_parked: u64,
+    /// Parked sources whose resume grace expired (evicted + finalized).
+    pub sources_expired: u64,
+    /// Sources currently in the flapping state.
+    pub flapping: u64,
+    /// Sources quarantined (cumulative — quarantine is terminal short of
+    /// eviction).
+    pub quarantined: u64,
+    /// Sources evicted.
+    pub evicted: u64,
     /// Per-source statistics, sorted by source id.
     pub per_source: Vec<SourceSnapshot>,
 }
 
 impl FleetSnapshot {
-    /// The snapshot as a JSON object (the stats-json v8 `fleet` section).
+    /// The snapshot as a JSON object (the stats-json v9 `fleet` section).
     /// `per_source` keys are sorted, so renderings are stable.
     pub fn to_json(&self) -> rfd_telemetry::json::JsonValue {
         use rfd_telemetry::json::JsonValue as J;
@@ -244,6 +420,12 @@ impl FleetSnapshot {
             ("sources_joined", n(self.sources_joined)),
             ("sources_done", n(self.sources_done)),
             ("rejects", n(self.rejects)),
+            ("resumes", n(self.resumes)),
+            ("sources_parked", n(self.sources_parked)),
+            ("sources_expired", n(self.sources_expired)),
+            ("flapping", n(self.flapping)),
+            ("quarantined", n(self.quarantined)),
+            ("evicted", n(self.evicted)),
             ("per_source", J::Obj(per)),
         ])
     }
@@ -262,12 +444,20 @@ struct FleetInner {
     sources_joined: AtomicU64,
     sources_done: AtomicU64,
     rejects: AtomicU64,
+    expired: AtomicU64,
     sources: Mutex<BTreeMap<Arc<str>, Arc<SourceShared>>>,
+    /// Sources awaiting a reconnect, with their eviction deadline.
+    parked: Mutex<BTreeMap<Arc<str>, Instant>>,
     registry: Option<Arc<Registry>>,
     /// `latency.net_fanout_us`, shared with the single-stream server's
     /// layout so dashboards see one family either way.
     fanout_hist: Option<Arc<Histogram>>,
     active_gauge: Option<Arc<Gauge>>,
+    parked_gauge: Option<Arc<Gauge>>,
+    resumes_ctr: Option<Arc<Counter>>,
+    flap_ctr: Option<Arc<Counter>>,
+    quarantine_ctr: Option<Arc<Counter>>,
+    evict_ctr: Option<Arc<Counter>>,
     evictions_reported: AtomicU64,
 }
 
@@ -308,11 +498,22 @@ impl FleetInner {
             let map = self.sources.lock().unwrap_or_else(|e| e.into_inner());
             map.values().map(|s| SourceSnapshot::of(s)).collect()
         };
+        let parked = {
+            let map = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+            map.len() as u64
+        };
+        let count = |h: SourceHealth| per_source.iter().filter(|s| s.health == h).count() as u64;
         FleetSnapshot {
             net: self.stats.snapshot(self.hub.evicted()),
             sources_joined: self.sources_joined.load(Ordering::Relaxed),
             sources_done: self.sources_done.load(Ordering::Relaxed),
             rejects: self.rejects.load(Ordering::Relaxed),
+            resumes: per_source.iter().map(|s| s.resumes).sum(),
+            sources_parked: parked,
+            sources_expired: self.expired.load(Ordering::Relaxed),
+            flapping: count(SourceHealth::Flapping),
+            quarantined: count(SourceHealth::Quarantined),
+            evicted: count(SourceHealth::Evicted),
             per_source,
         }
     }
@@ -326,9 +527,9 @@ pub struct FleetHandle {
 }
 
 impl FleetHandle {
-    /// Asks the server to stop. In-flight sources are finalized with the
-    /// samples that arrived; subscribers get a final Bye after the last
-    /// record is published.
+    /// Asks the server to stop. In-flight and parked sources are finalized
+    /// with the samples that arrived; subscribers get a final Bye after the
+    /// last record is published.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
     }
@@ -358,11 +559,23 @@ enum ConnState {
 /// What servicing a connection decided.
 enum Verdict {
     Keep,
-    /// Close the connection (source, if any, already finalized).
+    /// Close the connection (source, if any, already parked or finalized).
     Drop,
     /// The connection declared the subscriber role and was handed off to a
     /// blocking subscriber thread.
     Subscriber(std::thread::JoinHandle<()>),
+}
+
+/// A decoded, dedup-adjusted chunk the source queue had no room for. The
+/// commit bookkeeping (high-water mark, ack) is deferred with it so a chunk
+/// lost with its connection is never covered by an ack.
+struct PendingChunk {
+    /// Sample index one past the chunk's last sample (the new high-water
+    /// mark once committed).
+    end: u64,
+    /// Samples missing before this chunk (booked on commit).
+    gap: u64,
+    samples: Vec<Complex32>,
 }
 
 struct Conn {
@@ -373,10 +586,12 @@ struct Conn {
     out: Vec<u8>,
     out_seq: u32,
     state: ConnState,
+    /// The source epoch this connection attached at; stale ⇒ superseded.
+    epoch: u64,
     last_rx: Instant,
     /// A decoded chunk the source queue had no room for; retried before
     /// any further reads from this socket (per-source backpressure).
-    pending: Option<Vec<Complex32>>,
+    pending: Option<PendingChunk>,
     saturated: bool,
     chunks_since_ack: u64,
     expect_seq: Option<u32>,
@@ -393,6 +608,7 @@ impl Conn {
             out: Vec::new(),
             out_seq: 0,
             state: ConnState::Await,
+            epoch: 0,
             last_rx: Instant::now(),
             pending: None,
             saturated: false,
@@ -431,6 +647,15 @@ impl FleetServer {
         let active_gauge = registry
             .as_ref()
             .map(|r| r.gauge("net.fleet.active_sources"));
+        let parked_gauge = registry
+            .as_ref()
+            .map(|r| r.gauge("net.fleet.parked_sources"));
+        let resumes_ctr = registry.as_ref().map(|r| r.counter("net.fleet.resumes"));
+        let flap_ctr = registry.as_ref().map(|r| r.counter("net.fleet.flapping"));
+        let quarantine_ctr = registry
+            .as_ref()
+            .map(|r| r.counter("net.fleet.quarantined"));
+        let evict_ctr = registry.as_ref().map(|r| r.counter("net.fleet.evicted"));
         let inner = Arc::new(FleetInner {
             hub: RecordHub::new(cfg.sub_queue_cap),
             stats: NetStats::new(registry.as_deref()),
@@ -440,10 +665,17 @@ impl FleetServer {
             sources_joined: AtomicU64::new(0),
             sources_done: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             sources: Mutex::new(BTreeMap::new()),
+            parked: Mutex::new(BTreeMap::new()),
             registry,
             fanout_hist,
             active_gauge,
+            parked_gauge,
+            resumes_ctr,
+            flap_ctr,
+            quarantine_ctr,
+            evict_ctr,
             evictions_reported: AtomicU64::new(0),
         });
         Ok(Self { listener, inner })
@@ -492,6 +724,21 @@ impl FleetServer {
             loop {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
+                        if let Some(plan) = &inner.cfg.faults {
+                            match plan.decide("net.fleet.accept") {
+                                Some(Action::Disconnect) | Some(Action::Io) => {
+                                    // Count, then slam the door: the sender
+                                    // sees a connection reset and retries.
+                                    inner.stats.connections.add(1);
+                                    drop(stream);
+                                    progressed = true;
+                                    continue;
+                                }
+                                Some(Action::Slow(d)) => std::thread::sleep(d),
+                                Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+                                _ => {}
+                            }
+                        }
                         inner.stats.connections.add(1);
                         let _ = stream.set_nodelay(true);
                         let _ = stream.set_nonblocking(true);
@@ -511,7 +758,7 @@ impl FleetServer {
                     Verdict::Keep => i += 1,
                     Verdict::Drop => {
                         let c = conns.swap_remove(i);
-                        drop_conn(inner, c);
+                        release_conn(inner, c);
                         progressed = true;
                     }
                     Verdict::Subscriber(t) => {
@@ -523,6 +770,9 @@ impl FleetServer {
             }
             sub_threads.retain(|t| !t.is_finished());
             analysis_threads.retain(|t| !t.is_finished());
+
+            // Evict parked sources whose resume grace expired.
+            sweep_parked(inner);
 
             // Bounded runs: once the expected number of sources has
             // completed (their records are already in subscriber queues),
@@ -543,10 +793,29 @@ impl FleetServer {
             }
         }
 
-        // Teardown: finalize whatever is still streaming, wait for every
-        // analysis thread to publish, then release the subscribers.
+        // Teardown: finalize whatever is still streaming or parked, wait
+        // for every analysis thread to publish, then release the
+        // subscribers.
         for c in conns {
-            drop_conn(inner, c);
+            release_conn(inner, c);
+        }
+        let parked: Vec<Arc<str>> = {
+            let mut map = inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+            let names: Vec<Arc<str>> = map.keys().cloned().collect();
+            map.clear();
+            names
+        };
+        if let Some(g) = &inner.parked_gauge {
+            g.set(0);
+        }
+        for name in parked {
+            let src = {
+                let map = inner.sources.lock().unwrap_or_else(|e| e.into_inner());
+                map.get(&name).cloned()
+            };
+            if let Some(src) = src {
+                finalize_source(inner, &src);
+            }
         }
         for t in analysis_threads {
             let _ = t.join();
@@ -562,27 +831,212 @@ impl FleetServer {
     }
 }
 
-/// Closes a dying connection, finalizing its source if it was streaming.
-fn drop_conn(inner: &Arc<FleetInner>, mut c: Conn) {
+/// Closes a dying connection. A streaming source is parked for the resume
+/// grace (finalized when the grace is zero, the server is shutting down, or
+/// the source's health rules it out). A connection superseded by a newer
+/// attach (stale epoch) releases nothing.
+fn release_conn(inner: &Arc<FleetInner>, mut c: Conn) {
     // Best-effort flush of queued acks so a clean Bye ends with its final
     // Ack delivered.
     let _ = c.stream.write_all(&c.out);
     if let ConnState::Streaming(src) = &c.state {
+        if c.epoch != src.epoch.load(Ordering::SeqCst) {
+            return; // Superseded: the newer connection owns the source.
+        }
         if let Some(t0) = c.ingest_t0 {
             src.ingest_wall_us
                 .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         }
+        if src.done.load(Ordering::SeqCst) || src.finalized.load(Ordering::SeqCst) {
+            return;
+        }
+        if inner.cfg.resume_grace.is_zero() || inner.shutdown.load(Ordering::SeqCst) {
+            finalize_source(inner, src);
+        } else {
+            park_source(inner, src);
+        }
+    }
+}
+
+/// Parks a dropped source awaiting a reconnect, feeding the disconnect into
+/// its health machine first — a source the disconnect quarantines is
+/// finalized instead of parked.
+fn park_source(inner: &Arc<FleetInner>, src: &Arc<SourceShared>) {
+    health_on_disconnect(inner, src);
+    if src.health() >= SourceHealth::Quarantined {
         finalize_source(inner, src);
+        return;
+    }
+    inner.stats.sessions_parked.add(1);
+    let deadline = Instant::now() + inner.cfg.resume_grace;
+    let mut map = inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+    map.insert(src.name.clone(), deadline);
+    if let Some(g) = &inner.parked_gauge {
+        g.set(map.len() as i64);
+    }
+}
+
+/// Evicts parked sources whose resume grace expired.
+fn sweep_parked(inner: &Arc<FleetInner>) {
+    let now = Instant::now();
+    let expired: Vec<Arc<str>> = {
+        let mut map = inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+        let names: Vec<Arc<str>> = map
+            .iter()
+            .filter(|(_, deadline)| now >= **deadline)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in &names {
+            map.remove(name);
+        }
+        if !names.is_empty() {
+            if let Some(g) = &inner.parked_gauge {
+                g.set(map.len() as i64);
+            }
+        }
+        names
+    };
+    for name in expired {
+        inner.stats.sessions_expired.add(1);
+        inner.expired.fetch_add(1, Ordering::Relaxed);
+        let src = {
+            let map = inner.sources.lock().unwrap_or_else(|e| e.into_inner());
+            map.get(&name).cloned()
+        };
+        if let Some(src) = src {
+            raise_health(inner, &src, SourceHealth::Evicted, "resume grace expired");
+            finalize_source(inner, &src);
+        }
     }
 }
 
 /// Closes a source's ingest queue (its analysis thread runs to completion
 /// and publishes) and books session-level stats. Idempotent per source via
-/// the closed queue.
+/// the `finalized` flag.
 fn finalize_source(inner: &Arc<FleetInner>, src: &Arc<SourceShared>) {
+    if src.finalized.swap(true, Ordering::SeqCst) {
+        return;
+    }
     src.queue.close();
     inner.stats.chunks_dropped.add(src.queue.dropped());
     inner.stats.sessions.add(1);
+}
+
+// ---------------------------------------------------------------------------
+// Health state machine
+// ---------------------------------------------------------------------------
+
+/// Escalates a source's health (states never regress through this path).
+/// Returns true when the state actually changed, emitting the transition's
+/// event and counter.
+fn raise_health(
+    inner: &Arc<FleetInner>,
+    src: &Arc<SourceShared>,
+    to: SourceHealth,
+    why: &str,
+) -> bool {
+    loop {
+        let cur = src.health.load(Ordering::SeqCst);
+        if cur >= to as u8 {
+            return false;
+        }
+        if src
+            .health
+            .compare_exchange(cur, to as u8, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            break;
+        }
+    }
+    use rfd_telemetry::event::EventKind;
+    let (kind, ctr) = match to {
+        SourceHealth::Flapping => (EventKind::SourceFlapping, &inner.flap_ctr),
+        SourceHealth::Quarantined => (EventKind::SourceQuarantined, &inner.quarantine_ctr),
+        SourceHealth::Evicted => (EventKind::SourceEvicted, &inner.evict_ctr),
+        SourceHealth::Healthy => return true,
+    };
+    if to == SourceHealth::Flapping {
+        src.flaps.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(c) = ctr {
+        c.add(1);
+    }
+    inner.emit(kind, format!("source {} {}: {why}", src.name, to.as_str()));
+    true
+}
+
+/// Books a disconnect (no clean Bye): raises the flap score and escalates
+/// through flapping to quarantine when the source flaps faster than it
+/// makes progress.
+fn health_on_disconnect(inner: &Arc<FleetInner>, src: &Arc<SourceShared>) {
+    src.disconnects.fetch_add(1, Ordering::Relaxed);
+    let score = src.flap_score.fetch_add(1, Ordering::SeqCst) + 1;
+    if score >= inner.cfg.quarantine_flaps {
+        raise_health(
+            inner,
+            src,
+            SourceHealth::Quarantined,
+            &format!("flap score {score} ≥ {}", inner.cfg.quarantine_flaps),
+        );
+    } else if score >= inner.cfg.flap_threshold {
+        raise_health(
+            inner,
+            src,
+            SourceHealth::Flapping,
+            &format!("flap score {score} ≥ {}", inner.cfg.flap_threshold),
+        );
+    }
+}
+
+/// Books an attributed decode error; enough of them quarantine the source.
+fn health_on_decode_error(inner: &Arc<FleetInner>, src: &Arc<SourceShared>) {
+    let errs = src.decode_errors.fetch_add(1, Ordering::SeqCst) + 1;
+    if errs >= inner.cfg.quarantine_errors {
+        raise_health(
+            inner,
+            src,
+            SourceHealth::Quarantined,
+            &format!("{errs} decode errors"),
+        );
+    }
+}
+
+/// Books sustained progress (one ack boundary): damps the flap score, and
+/// recovers a flapping source once the score falls to half the threshold
+/// (hysteresis — recovering takes more progress than flapping took
+/// disconnects).
+fn health_on_progress(inner: &Arc<FleetInner>, src: &Arc<SourceShared>) {
+    let score = {
+        let mut cur = src.flap_score.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                break 0;
+            }
+            match src
+                .flap_score
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break cur - 1,
+                Err(now) => cur = now,
+            }
+        }
+    };
+    if score <= inner.cfg.flap_threshold / 2
+        && src
+            .health
+            .compare_exchange(
+                SourceHealth::Flapping as u8,
+                SourceHealth::Healthy as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    {
+        inner.emit(
+            rfd_telemetry::event::EventKind::SourceResumed,
+            format!("source {} healthy again (flap score {score})", src.name),
+        );
+    }
 }
 
 /// Services one connection for one sweep: flush the outbox, retry a pending
@@ -593,6 +1047,13 @@ fn service_conn(
     analysis_threads: &mut Vec<std::thread::JoinHandle<()>>,
     progressed: &mut bool,
 ) -> Verdict {
+    // 0. A connection superseded by a newer attach is dead weight.
+    if let ConnState::Streaming(src) = &c.state {
+        if c.epoch != src.epoch.load(Ordering::SeqCst) {
+            return Verdict::Drop;
+        }
+    }
+
     // 1. Flush queued outbound bytes (acks, throttles, byes).
     if !c.out.is_empty() {
         match c.stream.write(&c.out) {
@@ -622,18 +1083,12 @@ fn service_conn(
             _ => None,
         };
         if let Some(src) = src {
-            match src.queue.try_push(chunk) {
-                Ok(_) => {
-                    if let Some(g) = &src.queue_gauge {
-                        g.set(src.queue.len() as i64);
-                    }
-                    *progressed = true;
-                }
-                Err(TryPushError::Full(chunk)) => {
-                    c.pending = Some(chunk);
-                    return Verdict::Keep;
-                }
-                Err(TryPushError::Closed(_)) => return Verdict::Drop,
+            if commit_chunk(inner, c, &src, chunk) {
+                *progressed = true;
+            } else if c.closing {
+                return Verdict::Drop;
+            } else {
+                return Verdict::Keep;
             }
         }
     }
@@ -646,12 +1101,28 @@ fn service_conn(
         return Verdict::Keep;
     }
 
-    // 4. Read more bytes (nonblocking), with the same chaos site as the
-    // blocking server so fault plans apply to either flavor.
+    // 4. Read more bytes (nonblocking). Chaos applies per source
+    // (`net.fleet.source.<id>`) plus the site shared with the blocking
+    // server so fault plans apply to either flavor.
     if let Some(plan) = &inner.cfg.faults {
-        match plan.decide("net.server.read") {
+        let site_action = match &c.state {
+            ConnState::Streaming(src) => plan.decide(&src.chaos_site),
+            _ => None,
+        };
+        let action = site_action.or_else(|| plan.decide("net.server.read"));
+        match action {
             Some(Action::Io) => return Verdict::Drop,
             Some(Action::Disconnect) => return eof_verdict(inner, c),
+            Some(Action::Corrupt) => {
+                // A corrupted read is a decode error attributed to the
+                // source (its health machine sees it), then a drop.
+                inner.stats.decode_errors.add(1);
+                if let ConnState::Streaming(src) = &c.state {
+                    let src = src.clone();
+                    health_on_decode_error(inner, &src);
+                }
+                return Verdict::Drop;
+            }
             Some(Action::Slow(d)) => std::thread::sleep(d),
             Some(Action::Spin(d)) => rfd_fault::spin_for(d),
             _ => {}
@@ -682,8 +1153,9 @@ fn service_conn(
     Verdict::Keep
 }
 
-/// Clean EOF from a peer: for a streaming source this is an implicit Bye
-/// (fleet connections have no resume).
+/// EOF from a peer without a clean Bye: close the connection. The release
+/// path parks the source for the resume grace (or finalizes it when resume
+/// is off).
 fn eof_verdict(_inner: &Arc<FleetInner>, c: &mut Conn) -> Verdict {
     c.closing = true;
     if c.out.is_empty() {
@@ -719,6 +1191,10 @@ fn process_frames(
             Ok(None) => return None,
             Err(_) => {
                 inner.stats.decode_errors.add(1);
+                if let ConnState::Streaming(src) = &c.state {
+                    let src = src.clone();
+                    health_on_decode_error(inner, &src);
+                }
                 return Some(Verdict::Drop);
             }
         };
@@ -767,8 +1243,8 @@ fn process_frames(
                 return Some(Verdict::Subscriber(t));
             }
             (Stage::Producer, Frame::SourceHello { source, meta }) => {
-                match register_source(inner, &source, meta) {
-                    Some(src) => {
+                match admit_source(inner, &source, meta) {
+                    Admission::New(src) => {
                         // Spawn the source's private analysis thread.
                         let t = {
                             let inner = inner.clone();
@@ -784,14 +1260,30 @@ fn process_frames(
                         c.queue_frame(
                             &inner.stats,
                             &Frame::Ack {
-                                session: inner.sources_joined.load(Ordering::Relaxed),
+                                session: src.session,
                                 position: 0,
                             },
                         );
+                        c.epoch = src.epoch.load(Ordering::SeqCst);
                         c.state = ConnState::Streaming(src);
                     }
-                    None => {
-                        // Duplicate source id: refuse cleanly.
+                    Admission::Resumed(src) => {
+                        // Reattach: the authoritative ack carries the
+                        // committed high-water mark; the client seeks to it
+                        // and the contiguity accounting dedupes overlap.
+                        inner.stats.acks_sent.add(1);
+                        c.queue_frame(
+                            &inner.stats,
+                            &Frame::Ack {
+                                session: src.session,
+                                position: src.expected.load(Ordering::SeqCst),
+                            },
+                        );
+                        c.epoch = src.epoch.load(Ordering::SeqCst);
+                        c.chunks_since_ack = 0;
+                        c.state = ConnState::Streaming(src);
+                    }
+                    Admission::Refused => {
                         inner.rejects.fetch_add(1, Ordering::Relaxed);
                         c.queue_frame(&inner.stats, &Frame::Bye);
                         c.closing = true;
@@ -801,6 +1293,13 @@ fn process_frames(
             (Stage::Streaming, Frame::SampleChunk { start_sample, iq }) => {
                 let src = src.expect("streaming state carries its source");
                 ingest_chunk(inner, c, &src, start_sample, iq);
+            }
+            (Stage::Streaming, Frame::Resume { .. }) => {
+                // A resuming client may declare its last-acked position
+                // after the SourceHello. The claim is advisory — the
+                // server's own high-water mark (already acked) is
+                // authoritative and overlap is deduped — so malformed or
+                // beyond-stream positions are harmless noise.
             }
             (Stage::Streaming, Frame::Bye) => {
                 let src = src.expect("streaming state carries its source");
@@ -812,7 +1311,7 @@ fn process_frames(
                 inner.stats.acks_sent.add(1);
                 let position = src.expected.load(Ordering::Relaxed);
                 let ack = Frame::Ack {
-                    session: 0,
+                    session: src.session,
                     position,
                 };
                 c.queue_frame(&inner.stats, &ack);
@@ -829,24 +1328,113 @@ fn process_frames(
             // tag from a producer — is a protocol violation.
             (_, _) => {
                 inner.stats.decode_errors.add(1);
+                if let Some(src) = src {
+                    health_on_decode_error(inner, &src);
+                }
                 return Some(Verdict::Drop);
             }
         }
     }
 }
 
-/// Registers a new source: validates uniqueness, creates its queue, shared
-/// state and per-source metrics, and announces it on the hub.
-fn register_source(
-    inner: &Arc<FleetInner>,
-    source: &str,
-    meta: StreamMeta,
-) -> Option<Arc<SourceShared>> {
+/// What a SourceHello earned.
+enum Admission {
+    /// A brand-new source: registered and announced.
+    New(Arc<SourceShared>),
+    /// A known live or parked source reattaching (resume / takeover).
+    Resumed(Arc<SourceShared>),
+    /// Completed, quarantined or evicted id — refused with a Bye.
+    Refused,
+}
+
+/// Admits a SourceHello: a fresh id registers, a known id resumes (parked)
+/// or takes over (still live — newest connection wins), and a retired or
+/// quarantined id is refused.
+fn admit_source(inner: &Arc<FleetInner>, source: &str, meta: StreamMeta) -> Admission {
+    let existing = {
+        let map = inner.sources.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(source).cloned()
+    };
+    let src = match existing {
+        None => return register_source(inner, source, meta),
+        Some(src) => src,
+    };
+
+    // Quarantined / evicted ids are refused; persistent hammering on a
+    // quarantined id evicts it outright.
+    if src.health() >= SourceHealth::Quarantined {
+        let rejects = src.rejects.fetch_add(1, Ordering::SeqCst) + 1;
+        if src.health() == SourceHealth::Quarantined && rejects >= inner.cfg.evict_rejects {
+            raise_health(
+                inner,
+                &src,
+                SourceHealth::Evicted,
+                &format!("{rejects} refused reconnects"),
+            );
+        }
+        return Admission::Refused;
+    }
+    // A completed or finalized stream cannot be reopened.
+    if src.done.load(Ordering::SeqCst) || src.finalized.load(Ordering::SeqCst) {
+        src.rejects.fetch_add(1, Ordering::Relaxed);
+        return Admission::Refused;
+    }
+    if inner.cfg.resume_grace.is_zero() {
+        src.rejects.fetch_add(1, Ordering::Relaxed);
+        return Admission::Refused;
+    }
+
+    let was_parked = {
+        let mut map = inner.parked.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = map.remove(source).is_some();
+        if hit {
+            if let Some(g) = &inner.parked_gauge {
+                g.set(map.len() as i64);
+            }
+        }
+        hit
+    };
+    if !was_parked {
+        // The old connection is still attached: treat the reattach as the
+        // implied death of the old one (newest connection wins). The epoch
+        // bump below strands the old connection; the disconnect still
+        // counts against the source's health.
+        health_on_disconnect(inner, &src);
+        if src.health() >= SourceHealth::Quarantined {
+            finalize_source(inner, &src);
+            src.rejects.fetch_add(1, Ordering::Relaxed);
+            return Admission::Refused;
+        }
+    }
+    src.epoch.fetch_add(1, Ordering::SeqCst);
+    src.resumes.fetch_add(1, Ordering::Relaxed);
+    inner.stats.resumes.add(1);
+    if let Some(ctr) = &inner.resumes_ctr {
+        ctr.add(1);
+    }
+    inner.emit(
+        rfd_telemetry::event::EventKind::SourceResumed,
+        format!(
+            "source {} resumed at position {} ({})",
+            src.name,
+            src.expected.load(Ordering::SeqCst),
+            if was_parked { "was parked" } else { "takeover" },
+        ),
+    );
+    Admission::Resumed(src)
+}
+
+/// Registers a new source: creates its queue, shared state and per-source
+/// metrics, and announces it on the hub.
+fn register_source(inner: &Arc<FleetInner>, source: &str, meta: StreamMeta) -> Admission {
     let name: Arc<str> = Arc::from(source);
     let reg = inner.registry.as_deref();
+    let session = inner.sources_joined.fetch_add(1, Ordering::SeqCst) + 1;
     let src = Arc::new(SourceShared {
         meta,
         queue: ChunkQueue::new(inner.cfg.queue_cap, inner.cfg.overflow),
+        session,
+        epoch: AtomicU64::new(1),
         chunks_in: AtomicU64::new(0),
         samples_in: AtomicU64::new(0),
         chunks_duplicate: AtomicU64::new(0),
@@ -856,6 +1444,15 @@ fn register_source(
         expected: AtomicU64::new(0),
         ingest_wall_us: AtomicU64::new(0),
         done: AtomicBool::new(false),
+        finalized: AtomicBool::new(false),
+        health: AtomicU8::new(SourceHealth::Healthy as u8),
+        disconnects: AtomicU64::new(0),
+        resumes: AtomicU64::new(0),
+        flap_score: AtomicU64::new(0),
+        flaps: AtomicU64::new(0),
+        decode_errors: AtomicU64::new(0),
+        rejects: AtomicU64::new(0),
+        chaos_site: format!("net.fleet.source.{source}"),
         fanout: Histogram::exponential(1.0, 1e7, 28),
         queue_gauge: reg.map(|r| r.gauge(&format!("net.fleet.source.{source}.queue_depth"))),
         samples_ctr: reg.map(|r| r.counter(&format!("net.fleet.source.{source}.samples_in"))),
@@ -864,15 +1461,8 @@ fn register_source(
     });
     {
         let mut map = inner.sources.lock().unwrap_or_else(|e| e.into_inner());
-        // Source ids are unique for the life of the server — an id that has
-        // already streamed (even to completion) is refused, keeping every
-        // per-source stream and stat unambiguous.
-        if map.contains_key(&name) {
-            return None;
-        }
         map.insert(name.clone(), src.clone());
     }
-    inner.sources_joined.fetch_add(1, Ordering::SeqCst);
     if let Some(g) = &inner.active_gauge {
         g.add(1);
     }
@@ -881,11 +1471,12 @@ fn register_source(
         format!("source {name} joined ({:.3} Msps)", meta.sample_rate / 1e6),
     );
     inner.hub.publish(HubMsg::SourceMeta { source: name, meta });
-    Some(src)
+    Admission::New(src)
 }
 
 /// Ingests one sample chunk for a streaming source: contiguity accounting,
-/// scale conversion, throttle advisories, queue push, periodic acks.
+/// scale conversion, throttle advisories, committed queue push, periodic
+/// acks.
 fn ingest_chunk(
     inner: &Arc<FleetInner>,
     c: &mut Conn,
@@ -904,24 +1495,13 @@ fn ingest_chunk(
         src.chunks_duplicate.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    if start_sample > expected {
-        inner.stats.sample_gaps.add(start_sample - expected);
-        src.sample_gaps
-            .fetch_add(start_sample - expected, Ordering::Relaxed);
-    }
+    let gap = start_sample.saturating_sub(expected);
     let skip = expected.saturating_sub(start_sample) as usize;
-    src.expected.store(end, Ordering::Relaxed);
     let scale = src.meta.scale;
     let samples: Vec<Complex32> = iq[skip..]
         .iter()
         .map(|&(i, q)| from_i16_iq(i, q).scale(scale))
         .collect();
-    inner.stats.samples_in.add(samples.len() as u64);
-    src.samples_in
-        .fetch_add(samples.len() as u64, Ordering::Relaxed);
-    if let Some(ctr) = &src.samples_ctr {
-        ctr.add(samples.len() as u64);
-    }
 
     // Throttle advisory on the saturation rising edge, per source.
     let depth = src.queue.len();
@@ -948,6 +1528,23 @@ fn ingest_chunk(
         c.saturated = false;
     }
 
+    commit_chunk(inner, c, src, PendingChunk { end, gap, samples });
+}
+
+/// Pushes a dedup-adjusted chunk into the source queue and, only on
+/// success, advances the high-water mark and runs the ack/health
+/// bookkeeping — so a chunk parked by backpressure (and possibly lost with
+/// its connection) is never covered by an ack. Returns true when the chunk
+/// was committed; on failure the chunk is re-parked (`Full`) or the
+/// connection starts closing (`Closed`).
+fn commit_chunk(
+    inner: &Arc<FleetInner>,
+    c: &mut Conn,
+    src: &Arc<SourceShared>,
+    chunk: PendingChunk,
+) -> bool {
+    let PendingChunk { end, gap, samples } = chunk;
+    let kept = samples.len() as u64;
     match src.queue.try_push(samples) {
         Ok(_) => {
             if let Some(g) = &src.queue_gauge {
@@ -955,27 +1552,36 @@ fn ingest_chunk(
             }
         }
         Err(TryPushError::Full(samples)) => {
-            // Backpressure: park the chunk; the socket is not read again
-            // until it fits.
-            c.pending = Some(samples);
+            c.pending = Some(PendingChunk { end, gap, samples });
+            return false;
         }
         Err(TryPushError::Closed(_)) => {
             c.closing = true;
-            return;
+            return false;
         }
     }
-
+    if gap > 0 {
+        inner.stats.sample_gaps.add(gap);
+        src.sample_gaps.fetch_add(gap, Ordering::Relaxed);
+    }
+    src.expected.store(end, Ordering::SeqCst);
+    inner.stats.samples_in.add(kept);
+    src.samples_in.fetch_add(kept, Ordering::Relaxed);
+    if let Some(ctr) = &src.samples_ctr {
+        ctr.add(kept);
+    }
     c.chunks_since_ack += 1;
     if c.chunks_since_ack >= ACK_EVERY {
         c.chunks_since_ack = 0;
         inner.stats.acks_sent.add(1);
-        let position = src.expected.load(Ordering::Relaxed);
         let frame = Frame::Ack {
-            session: 0,
-            position,
+            session: src.session,
+            position: end,
         };
         c.queue_frame(&inner.stats, &frame);
+        health_on_progress(inner, src);
     }
+    true
 }
 
 /// One source's analysis thread: accumulate the contiguous sample stream,
@@ -989,8 +1595,15 @@ fn analysis_thread(inner: Arc<FleetInner>, src: Arc<SourceShared>) {
             g.set(src.queue.len() as i64);
         }
     }
-    let mut pipeline = (inner.factory)();
-    let records = pipeline.analyze(&src.meta, samples);
+    // A source cut off before any sample arrived (e.g. quarantined on its
+    // first frames) publishes no records — don't spin up a pipeline (or
+    // its journal directory) for an empty stream.
+    let records = if samples.is_empty() {
+        Vec::new()
+    } else {
+        let mut pipeline = (inner.factory)(&src.name);
+        pipeline.analyze(&src.meta, samples)
+    };
     for rec in records {
         inner.stats.records_published.add(1);
         src.records.fetch_add(1, Ordering::Relaxed);
@@ -1042,7 +1655,7 @@ mod tests {
     use crate::frame::RecordMsg;
 
     fn stub_factory() -> PipelineFactory {
-        Box::new(|| {
+        Box::new(|_source: &str| {
             Box::new(
                 |meta: &StreamMeta, samples: Vec<Complex32>| -> Vec<RecordMsg> {
                     vec![RecordMsg {
@@ -1060,6 +1673,14 @@ mod tests {
             sample_rate: 1e6,
             center_hz: 0.0,
             scale: 1.0,
+        }
+    }
+
+    fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+        let t0 = Instant::now();
+        while !cond() {
+            assert!(t0.elapsed() < Duration::from_secs(10), "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -1126,12 +1747,26 @@ mod tests {
         assert_eq!(stats.per_source[0].source, "sensor-0");
         assert_eq!(stats.per_source[1].samples_in, 2000);
         assert!(stats.per_source.iter().all(|s| s.done));
+        assert!(stats
+            .per_source
+            .iter()
+            .all(|s| s.health == SourceHealth::Healthy));
     }
 
     #[test]
     fn duplicate_source_id_is_refused() {
-        let server =
-            FleetServer::bind("127.0.0.1:0", FleetConfig::default(), stub_factory(), None).unwrap();
+        // With resume off, a second claim on a live or completed id is a
+        // duplicate, not a resume — the PR8 uniqueness contract.
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                resume_grace: Duration::ZERO,
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
         let handle = server.handle();
         let run = std::thread::spawn(move || server.run().unwrap());
@@ -1180,5 +1815,194 @@ mod tests {
         assert_eq!(handle.stats().net.decode_errors, 1);
         handle.shutdown();
         run.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_source_resumes_byte_identical() {
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                expect: Some(1),
+                resume_grace: Duration::from_secs(10),
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+        let mut sub = RecordSubscriber::connect(addr).unwrap();
+
+        let samples = vec![Complex32::new(0.25, -0.25); 3072];
+        // First connection: stream the first 1024 samples, then die without
+        // a Bye. The source is parked.
+        {
+            let mut tx1 = TraceSender::connect_source(addr, "res").unwrap();
+            tx1.send_samples(meta(), &samples[..1024], SendRate::Max, 256)
+                .unwrap();
+            // Dropped without finish(): simulated sender crash.
+        }
+        wait_for("source parked after crash", || {
+            handle.stats().net.sessions_parked == 1
+        });
+
+        // Second connection claims the same id and (like a restarted
+        // sender with no local state) resends from sample zero; the server
+        // dedupes the overlap against its committed high-water mark.
+        let mut tx2 = TraceSender::connect_source(addr, "res").unwrap();
+        tx2.send_samples(meta(), &samples, SendRate::Max, 256)
+            .unwrap();
+        tx2.finish().unwrap();
+
+        // The record stream is byte-identical to an uninterrupted run.
+        let mut lines = Vec::new();
+        loop {
+            match sub.next_event().unwrap() {
+                SubEvent::SourceRecord { source, record } => {
+                    assert_eq!(source, "res");
+                    lines.push(record.line);
+                }
+                SubEvent::Bye => break,
+                _ => {}
+            }
+        }
+        assert_eq!(lines, vec!["session of 3072 samples".to_string()]);
+
+        let stats = run.join().unwrap();
+        assert_eq!(stats.sources_joined, 1);
+        assert_eq!(stats.sources_done, 1);
+        assert_eq!(stats.resumes, 1);
+        assert_eq!(stats.net.sessions_parked, 1);
+        assert_eq!(stats.net.samples_in, 3072);
+        let s = &stats.per_source[0];
+        assert_eq!(s.resumes, 1);
+        assert_eq!(s.disconnects, 1);
+        assert_eq!(s.samples_in, 3072);
+        assert_eq!(s.chunks_duplicate, 4, "the 1024-sample overlap dedupes");
+        assert_eq!(s.health, SourceHealth::Healthy);
+        assert!(s.done);
+    }
+
+    #[test]
+    fn quarantined_source_is_refused_and_finalized() {
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                quarantine_errors: 1,
+                resume_grace: Duration::from_secs(10),
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        // Stream one clean chunk, then flood garbage: the decode error is
+        // attributed to the source and quarantines it immediately
+        // (threshold 1), finalizing the stream with what arrived.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut seq = 0u32;
+        let mut send = |s: &mut TcpStream, f: &Frame| {
+            let b = crate::frame::encode_frame(f, seq);
+            seq = seq.wrapping_add(1);
+            s.write_all(&b).unwrap();
+        };
+        send(&mut s, &Frame::Hello(Role::Producer));
+        send(
+            &mut s,
+            &Frame::SourceHello {
+                source: "noisy".into(),
+                meta: meta(),
+            },
+        );
+        send(
+            &mut s,
+            &Frame::SampleChunk {
+                start_sample: 0,
+                iq: vec![(100, -100); 256],
+            },
+        );
+        s.write_all(b"\xde\xad\xbe\xef garbage flood \xde\xad\xbe\xef")
+            .unwrap();
+        s.flush().unwrap();
+        wait_for("source quarantined and finalized", || {
+            let st = handle.stats();
+            st.quarantined == 1 && st.per_source.first().is_some_and(|s| s.done)
+        });
+        drop(s);
+
+        // Reconnects on a quarantined id are refused.
+        let mut tx = TraceSender::connect_source(addr, "noisy").unwrap();
+        let refused = tx
+            .send_samples(
+                meta(),
+                &vec![Complex32::new(0.0, 0.0); 256],
+                SendRate::Max,
+                128,
+            )
+            .and_then(|_| tx.finish());
+        let _ = refused;
+        wait_for("quarantined reconnect refused", || {
+            handle.stats().rejects >= 1
+        });
+
+        handle.shutdown();
+        let stats = run.join().unwrap();
+        let s = &stats.per_source[0];
+        assert_eq!(s.health, SourceHealth::Quarantined);
+        assert_eq!(s.samples_in, 256, "the clean chunk before the flood kept");
+        assert_eq!(s.records, 1, "partial stream still analyzed");
+        assert!(s.decode_errors >= 1);
+        assert!(s.rejects >= 1);
+        assert!(s.done);
+        assert_eq!(stats.sources_done, 1);
+    }
+
+    #[test]
+    fn grace_expiry_evicts_parked_source() {
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                resume_grace: Duration::from_millis(50),
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        {
+            let mut tx = TraceSender::connect_source(addr, "ghost").unwrap();
+            tx.send_samples(
+                meta(),
+                &vec![Complex32::new(0.5, 0.5); 512],
+                SendRate::Max,
+                128,
+            )
+            .unwrap();
+            // Crash without Bye; nobody resumes within the 50 ms grace.
+        }
+        wait_for("parked source expires and finalizes", || {
+            let st = handle.stats();
+            st.sources_expired == 1 && st.per_source.first().is_some_and(|s| s.done)
+        });
+        handle.shutdown();
+        let stats = run.join().unwrap();
+        assert_eq!(stats.net.sessions_parked, 1);
+        assert_eq!(stats.net.sessions_expired, 1);
+        assert_eq!(stats.sources_expired, 1);
+        let s = &stats.per_source[0];
+        assert_eq!(s.health, SourceHealth::Evicted);
+        assert_eq!(s.samples_in, 512);
+        assert_eq!(s.records, 1, "evicted stream analyzed with what arrived");
+        assert!(s.done);
     }
 }

@@ -44,6 +44,18 @@ pub enum EventKind {
     SourceJoined,
     /// A fleet source's stream ended (analyzed and published).
     SourceLeft,
+    /// A fleet source crossed the flapping threshold (disconnecting faster
+    /// than it makes progress).
+    SourceFlapping,
+    /// A fleet source was quarantined (its stream finalized, reconnects
+    /// refused).
+    SourceQuarantined,
+    /// A fleet source was evicted (resume grace expired or a quarantined
+    /// id kept reconnecting).
+    SourceEvicted,
+    /// A fleet source reattached after a disconnect (session resume) or
+    /// recovered from the flapping state.
+    SourceResumed,
 }
 
 impl EventKind {
@@ -62,6 +74,10 @@ impl EventKind {
             EventKind::Checkpoint => "checkpoint",
             EventKind::SourceJoined => "source_joined",
             EventKind::SourceLeft => "source_left",
+            EventKind::SourceFlapping => "source_flapping",
+            EventKind::SourceQuarantined => "source_quarantined",
+            EventKind::SourceEvicted => "source_evicted",
+            EventKind::SourceResumed => "source_resumed",
         }
     }
 }

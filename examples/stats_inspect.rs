@@ -283,7 +283,8 @@ fn main() {
         }
     }
 
-    // Version-8 section: fleet (multi-sensor) ingest rollup.
+    // Version-8 section: fleet (multi-sensor) ingest rollup; version 9
+    // adds the survivability rollups and per-source health rows.
     match doc.get("fleet") {
         Some(JsonValue::Null) | None => {}
         Some(f) => {
@@ -293,6 +294,18 @@ fn main() {
                 num(f, "sources_done"),
                 num(f, "rejects"),
             );
+            let resumes = num(f, "resumes");
+            let parked = num(f, "sources_parked");
+            let flapping = num(f, "flapping");
+            let quarantined = num(f, "quarantined");
+            let evicted = num(f, "evicted");
+            if resumes > 0.0 || parked > 0.0 || flapping > 0.0 || quarantined > 0.0 || evicted > 0.0
+            {
+                println!(
+                    "  {resumes} resume(s), {parked} parked, {flapping} flapping, \
+                     {quarantined} quarantined, {evicted} evicted",
+                );
+            }
             if let Some(per) = f.get("per_source").and_then(|p| p.as_obj()) {
                 // Sort by source id so the rendering is stable regardless
                 // of document key order.
@@ -300,16 +313,25 @@ fn main() {
                     per.iter().map(|(k, v)| (k, v)).collect();
                 rows.sort_by(|a, b| a.0.cmp(b.0));
                 for (source, v) in rows {
+                    let lifecycle = if matches!(v.get("done"), Some(JsonValue::Bool(true))) {
+                        "done"
+                    } else {
+                        "live"
+                    };
+                    let health = v
+                        .get("health")
+                        .and_then(|h| h.as_str())
+                        .unwrap_or("healthy");
                     println!(
-                        "  {source:<20} {:>10} samples {:>6} records  fan-out p50={:<8.1} p99={:<8.1} µs  {}",
+                        "  {source:<20} {:>10} samples {:>6} records  fan-out p50={:<8.1} p99={:<8.1} µs  {lifecycle}{}",
                         num(v, "samples_in"),
                         num(v, "records"),
                         num(v, "fanout_p50_us"),
                         num(v, "fanout_p99_us"),
-                        if matches!(v.get("done"), Some(JsonValue::Bool(true))) {
-                            "done"
+                        if health == "healthy" {
+                            String::new()
                         } else {
-                            "live"
+                            format!(" ({health})")
                         },
                     );
                     let gaps = num(v, "sample_gaps");
@@ -318,6 +340,23 @@ fn main() {
                     if gaps > 0.0 || dropped > 0.0 || throttles > 0.0 {
                         println!(
                             "  {:<20} {gaps} sample gap(s), {dropped} chunk(s) dropped, {throttles} throttle(s)",
+                            "",
+                        );
+                    }
+                    let disconnects = num(v, "disconnects");
+                    let src_resumes = num(v, "resumes");
+                    let flaps = num(v, "flaps");
+                    let decode_errors = num(v, "decode_errors");
+                    let rejects = num(v, "rejects");
+                    if disconnects > 0.0
+                        || src_resumes > 0.0
+                        || flaps > 0.0
+                        || decode_errors > 0.0
+                        || rejects > 0.0
+                    {
+                        println!(
+                            "  {:<20} {disconnects} disconnect(s), {src_resumes} resume(s), {flaps} flap(s), \
+                             {decode_errors} decode error(s), {rejects} reject(s)",
                             "",
                         );
                     }

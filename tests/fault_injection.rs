@@ -244,3 +244,162 @@ fn garbage_floods_never_take_the_server_down() {
     handle.shutdown();
     run.join().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Fleet chaos: kill one of three senders mid-stream and let it reconnect.
+// ---------------------------------------------------------------------------
+
+/// A distinct seeded scene per source, so cross-source contamination after
+/// a resume would show up in the diffs.
+fn fleet_trace_file(name: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("rfd-fault-injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let trace = mixed_trace(3, 8, 28.0, seed);
+    rfd_ether::trace::write_trace(
+        &path,
+        trace.band.sample_rate,
+        trace.band.center_hz,
+        &trace.samples,
+    )
+    .unwrap();
+    path
+}
+
+fn fleet_offline_lines(path: &std::path::Path, workers: usize) -> Vec<String> {
+    let (header, samples) = rfd_ether::trace::read_trace(path).unwrap();
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.band = rfd_ether::Band {
+        sample_rate: header.sample_rate,
+        center_hz: header.center_hz,
+    };
+    cfg.telemetry = false;
+    cfg.workers = workers;
+    let out = run_architecture(&cfg, &samples, header.sample_rate);
+    out.records.iter().map(|r| r.format_line()).collect()
+}
+
+/// The fleet survivability contract: three concurrent sources, one sender
+/// repeatedly killed by injected disconnects. The resilient sender
+/// re-handshakes with its source id, the server resumes the parked
+/// session, and every source's record stream — the killed one included —
+/// is byte-identical to offline analysis of its trace.
+fn fleet_sender_kill_restart_matches_offline(workers: usize) {
+    use std::collections::BTreeMap;
+    let names = ["roof", "lab-3", "van.2"];
+    let paths: Vec<PathBuf> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            fleet_trace_file(&format!("chaos-fleet-{n}-w{workers}.rfdt"), 7000 + i as u64)
+        })
+        .collect();
+    let offline: Vec<Vec<String>> = paths
+        .iter()
+        .map(|p| fleet_offline_lines(p, workers))
+        .collect();
+    assert!(
+        offline.iter().all(|l| !l.is_empty()),
+        "every scene must produce records for the diff to mean anything"
+    );
+
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.telemetry = false;
+    cfg.workers = workers;
+    let slot = Arc::new(std::sync::Mutex::new(None));
+    let factory = rfdump::fleet::pipeline_factory(cfg, None, slot);
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig {
+            expect: Some(names.len() as u64),
+            resume_grace: Duration::from_secs(10),
+            ..Default::default()
+        },
+        factory,
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let run = std::thread::spawn(move || server.run().unwrap());
+    let mut net_sub = RecordSubscriber::connect(addr).unwrap();
+
+    // Two healthy senders, plus one whose connection is repeatedly dropped
+    // by injected faults (the same plan the single-stream resume test
+    // proves fires at this trace size and chunking).
+    let healthy: Vec<_> = names[..2]
+        .iter()
+        .zip(paths[..2].iter())
+        .map(|(name, path)| {
+            let name = name.to_string();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut tx = rfd_net::TraceSender::connect_source(addr, &name).unwrap();
+                tx.send_trace_file(&path, SendRate::Max, 1000).unwrap();
+                tx.finish().unwrap();
+            })
+        })
+        .collect();
+    let chaotic = {
+        let path = paths[2].clone();
+        let plan = Arc::new(FaultPlan::parse("seed=5;disconnect=net.send.chunk%9x3").unwrap());
+        std::thread::spawn(move || {
+            let tx = ResilientSender::new(addr.to_string())
+                .with_source("van.2")
+                .with_faults(Some(plan));
+            tx.send_trace_file(&path, SendRate::Max, 1000)
+                .expect("fleet resilient send must survive injected disconnects")
+        })
+    };
+    for t in healthy {
+        t.join().unwrap();
+    }
+    let report = chaotic.join().unwrap();
+    assert!(
+        report.reconnects >= 1,
+        "the disconnect faults must actually have fired (w={workers})"
+    );
+
+    // Partition the merged tagged stream by source.
+    let mut by_tag: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    loop {
+        match net_sub.next_event().unwrap() {
+            SubEvent::SourceRecord { source, record } => {
+                by_tag.entry(source).or_default().push(record.line)
+            }
+            SubEvent::Bye => break,
+            _ => {}
+        }
+    }
+    let snap = run.join().unwrap();
+    assert_eq!(snap.sources_done, names.len() as u64, "w={workers}");
+    assert!(
+        snap.resumes >= 1,
+        "the fleet must have resumed the killed source (w={workers})"
+    );
+    let van = snap
+        .per_source
+        .iter()
+        .find(|s| s.source == "van.2")
+        .unwrap();
+    assert!(
+        van.resumes >= 1 && van.disconnects >= 1,
+        "per-source resume accounting must reflect the kills (w={workers})"
+    );
+    for (name, offline) in names.iter().zip(offline.iter()) {
+        assert_eq!(
+            by_tag.get(*name),
+            Some(offline),
+            "stream for '{name}' must be byte-identical to offline after kill/restart (w={workers})"
+        );
+    }
+}
+
+#[test]
+fn fleet_sender_killed_and_restarted_is_byte_identical_single_threaded() {
+    fleet_sender_kill_restart_matches_offline(0);
+}
+
+#[test]
+fn fleet_sender_killed_and_restarted_is_byte_identical_with_workers() {
+    fleet_sender_kill_restart_matches_offline(4);
+}

@@ -288,7 +288,7 @@ fn fuzzed_source_id_payloads_never_panic() {
 
 /// A factory of trivial pipelines for server-level robustness tests.
 fn stub_factory() -> rfd_net::PipelineFactory {
-    Box::new(|| {
+    Box::new(|_source: &str| {
         Box::new(|_meta: &StreamMeta, samples: Vec<rfd_dsp::Complex32>| {
             vec![RecordMsg {
                 start_us: 0.0,
@@ -313,7 +313,12 @@ fn duplicate_source_handshake_on_one_connection_is_dropped_not_fatal() {
     use std::io::Write;
     let server = rfd_net::FleetServer::bind(
         "127.0.0.1:0",
-        rfd_net::FleetConfig::default(),
+        rfd_net::FleetConfig {
+            // Zero grace: the violating connection's source finalizes at
+            // once instead of parking for a resume that never comes.
+            resume_grace: std::time::Duration::ZERO,
+            ..Default::default()
+        },
         stub_factory(),
         None,
     )
@@ -428,6 +433,239 @@ fn tagged_frames_without_a_handshake_are_dropped_not_fatal() {
     let snap = handle.stats();
     assert_eq!(snap.sources_joined, 0);
     assert_eq!(snap.per_source.len(), 0);
+    handle.shutdown();
+    run.join().unwrap();
+}
+
+#[test]
+fn fuzzed_resume_handshakes_never_kill_the_fleet_server() {
+    use std::io::Write;
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig {
+            resume_grace: std::time::Duration::from_secs(30),
+            ..Default::default()
+        },
+        stub_factory(),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run().unwrap());
+    let meta = StreamMeta {
+        sample_rate: 8e6,
+        center_hz: 0.0,
+        scale: 1.0,
+    };
+
+    // One source completes cleanly first, so fuzzed claims of its id also
+    // exercise the "already done" refusal path.
+    let samples: Vec<rfd_dsp::Complex32> = vec![rfd_dsp::Complex32::new(1e-3, 0.0); 256];
+    let mut tx = rfd_net::TraceSender::connect_source(addr, "landed").unwrap();
+    tx.send_samples(meta, &samples, rfd_net::SendRate::Max, 128)
+        .unwrap();
+    tx.finish().unwrap();
+    wait_for("first source done", || handle.stats().sources_done >= 1);
+
+    // Hostile resume handshakes: replayed hellos, garbage session ids,
+    // advisory positions far beyond any stream end, connections that die
+    // mid-handshake. None may panic or wedge the readiness loop.
+    seeded_cases(0xF0AA_0005, 25, |rng| {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let mut seq = 0u32;
+        let send = |s: &mut std::net::TcpStream, f: &Frame, seq: &mut u32| {
+            let _ = s.write_all(&encode_frame(f, *seq));
+            *seq += 1;
+        };
+        send(&mut s, &Frame::Hello(Role::Producer), &mut seq);
+        let name = match rng.next_range(3) {
+            0 => "landed",
+            1 => "fuzz-a",
+            _ => "fuzz-b",
+        };
+        send(
+            &mut s,
+            &Frame::SourceHello {
+                source: name.into(),
+                meta,
+            },
+            &mut seq,
+        );
+        if rng.next_bool(0.3) {
+            // Replayed hello on the same connection (protocol violation).
+            send(
+                &mut s,
+                &Frame::SourceHello {
+                    source: name.into(),
+                    meta,
+                },
+                &mut seq,
+            );
+        }
+        for _ in 0..rng.next_range(3) {
+            let position = match rng.next_range(3) {
+                0 => u64::MAX,
+                1 => rng.next_u64(),
+                _ => 0,
+            };
+            send(
+                &mut s,
+                &Frame::Resume {
+                    session: rng.next_u64(),
+                    position,
+                },
+                &mut seq,
+            );
+        }
+        if rng.next_bool(0.5) {
+            send(
+                &mut s,
+                &Frame::SampleChunk {
+                    start_sample: rng.next_range(1 << 20),
+                    iq: vec![(1, -1); 64],
+                },
+                &mut seq,
+            );
+        }
+        if rng.next_bool(0.5) {
+            send(&mut s, &Frame::Bye, &mut seq);
+        }
+        drop(s);
+    });
+
+    // The loop survived the fuzz: a clean source still completes.
+    let before = handle.stats().sources_done;
+    let mut tx = rfd_net::TraceSender::connect_source(addr, "after-fuzz").unwrap();
+    tx.send_samples(meta, &samples, rfd_net::SendRate::Max, 128)
+        .unwrap();
+    tx.finish().unwrap();
+    wait_for("post-fuzz source completes", || {
+        handle.stats().sources_done > before
+    });
+    handle.shutdown();
+    run.join().unwrap();
+}
+
+#[test]
+fn resume_position_beyond_stream_end_is_overridden_by_the_server_ack() {
+    use std::io::{Read, Write};
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig {
+            resume_grace: std::time::Duration::from_secs(30),
+            ..Default::default()
+        },
+        stub_factory(),
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run().unwrap());
+    let meta = StreamMeta {
+        sample_rate: 8e6,
+        center_hz: 0.0,
+        scale: 1.0,
+    };
+
+    // First incarnation: handshake, one 256-sample chunk, die without Bye.
+    let mut a = std::net::TcpStream::connect(addr).unwrap();
+    a.write_all(&encode_frame(&Frame::Hello(Role::Producer), 0))
+        .unwrap();
+    a.write_all(&encode_frame(
+        &Frame::SourceHello {
+            source: "det".into(),
+            meta,
+        },
+        1,
+    ))
+    .unwrap();
+    a.write_all(&encode_frame(
+        &Frame::SampleChunk {
+            start_sample: 0,
+            iq: vec![(100, -100); 256],
+        },
+        2,
+    ))
+    .unwrap();
+    wait_for("first chunk ingested", || {
+        handle
+            .stats()
+            .per_source
+            .iter()
+            .any(|s| s.source == "det" && s.samples_in == 256)
+    });
+    drop(a);
+    wait_for("source parked", || handle.stats().net.sessions_parked >= 1);
+
+    // Second incarnation claims a position far beyond the stream end. The
+    // server's ack is authoritative: it must answer with its own durable
+    // position (256), not the client's fantasy.
+    let mut b = std::net::TcpStream::connect(addr).unwrap();
+    b.write_all(&encode_frame(&Frame::Hello(Role::Producer), 0))
+        .unwrap();
+    b.write_all(&encode_frame(
+        &Frame::SourceHello {
+            source: "det".into(),
+            meta,
+        },
+        1,
+    ))
+    .unwrap();
+    b.write_all(&encode_frame(
+        &Frame::Resume {
+            session: 424242,
+            position: u64::MAX,
+        },
+        2,
+    ))
+    .unwrap();
+    b.set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .unwrap();
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let acked = 'ack: loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for the resume ack"
+        );
+        match b.read(&mut buf) {
+            Ok(0) => panic!("server closed the resumed connection"),
+            Ok(n) => {
+                dec.push(&buf[..n]);
+                while let Some(sf) = dec.next_frame().unwrap() {
+                    if let Frame::Ack { position, .. } = sf.frame {
+                        break 'ack position;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+    };
+    assert_eq!(acked, 256, "ack must carry the server's position");
+
+    // Continue from the acked position and finish cleanly.
+    b.write_all(&encode_frame(
+        &Frame::SampleChunk {
+            start_sample: 256,
+            iq: vec![(100, -100); 256],
+        },
+        3,
+    ))
+    .unwrap();
+    b.write_all(&encode_frame(&Frame::Bye, 4)).unwrap();
+    wait_for("resumed source completes", || {
+        handle.stats().sources_done >= 1
+    });
+    let snap = handle.stats();
+    let det = snap.per_source.iter().find(|s| s.source == "det").unwrap();
+    assert_eq!(det.samples_in, 512);
+    assert_eq!(det.resumes, 1);
     handle.shutdown();
     run.join().unwrap();
 }
