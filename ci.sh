@@ -31,6 +31,14 @@
 #      must stay byte-identical to the offline run — and a quarantine leg
 #      where a garbage-flooding sender is quarantined by the health machine
 #      while the clean sources drain unharmed.
+#   8. bounded-latency smokes: an offline run under a generous
+#      --latency-budget (with the --chunk-min/--chunk-max bounds plumbed)
+#      must print a record stream byte-identical to the no-budget run at
+#      --workers 0 and 4 with zero violations booked, and a --fleet server
+#      under an injected per-source cpu fault must book budget violations
+#      and shed only the starved source — budget_violated/source_shed
+#      events in stats-json — while the clean source's stream still diffs
+#      byte-identical to the offline run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -413,6 +421,88 @@ for s in alpha beta; do
 done
 grep -q '"health":"quarantined"' "$work/quarantine-stats.json" \
     || { echo "stats json did not report the quarantined source"; exit 1; }
+
+echo "== latency smoke: a generous --latency-budget is record-invisible =="
+# Bounded-latency mode with a budget the pipeline never violates must be
+# free in record terms: the stream stays byte-identical to the no-budget
+# run, sequential and pooled, with the adaptive-chunk bounds plumbed
+# through. The stats document carries the armed-but-idle latency_mode
+# section (zero violations) and the inspector must render it.
+for w in 0 4; do
+    ./target/release/rfdump -r "$trace" --workers "$w" --latency-budget 60000 \
+        --chunk-min 64 --chunk-max 4096 \
+        --stats-json "$work/latency-stats-w$w.json" \
+        > "$work/records-lat-w$w.txt"
+    if ! diff -u "$work/records-w0.txt" "$work/records-lat-w$w.txt"; then
+        echo "record stream changed under an unviolated --latency-budget (workers $w)"
+        exit 1
+    fi
+    grep -q '"violations":0' "$work/latency-stats-w$w.json" \
+        || { echo "generous budget booked violations (workers $w)"; exit 1; }
+done
+cargo run --release -q -p rfd-examples --bin stats_inspect \
+    "$work/latency-stats-w0.json" > "$work/latency-inspect.txt"
+grep -q "latency mode:" "$work/latency-inspect.txt" \
+    || { echo "stats_inspect did not render latency mode"; exit 1; }
+
+echo "== fleet overload smoke: cpu chaos on one source, the clean one diffs clean =="
+# One source's private analysis consumer spins 10 ms on every chunk it
+# pops (an injected cpu fault at its fleet analysis site), blowing the
+# 100 ms deadline budget sweep after sweep. The overload ladder must book
+# budget violations and shed only the starved source — budget_violated and
+# source_shed events land in the stats document — while the unfaulted
+# source stays under budget and its watch stream diffs byte-identical to
+# the offline run.
+port=17113
+./target/release/rfdump serve --listen "127.0.0.1:$port" --fleet --expect 2 \
+    --latency-budget 100 --queue-cap 32 --workers 0 -q \
+    --chaos "seed=11;cpu=net.fleet.analysis.laggy/10ms" \
+    --stats-json "$work/overload-stats.json" \
+    > /dev/null 2> "$work/serve-overload-log.txt" < /dev/null &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+    if grep -q "serving on" "$work/serve-overload-log.txt" 2>/dev/null; then up=1; break; fi
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    cat "$work/serve-overload-log.txt" >&2 || true
+    echo "overload server never came up on port $port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# Watch the clean source only — the starved one's stream is legitimately
+# degraded by drop-oldest shedding, and that visibility is the point.
+./target/release/rfdump watch --connect "127.0.0.1:$port" --source quick \
+    --wait-source 30 \
+    > "$work/overload-quick.txt" 2> "$work/overload-quick-log.txt" &
+watch_pid=$!
+sleep 0.5
+send_pids=""
+for s in laggy quick; do
+    ./target/release/rfdump send --connect "127.0.0.1:$port" --rate max \
+        --source "$s" --chunk 1024 "$trace" 2>/dev/null &
+    send_pids="$send_pids $!"
+done
+for pid in $send_pids; do
+    wait "$pid" || { echo "overload fleet sender failed"; exit 1; }
+done
+# --expect 2: the server exits on its own once both sources finalize.
+wait "$serve_pid" || {
+    cat "$work/serve-overload-log.txt" >&2 || true
+    echo "overload server exited nonzero"
+    exit 1
+}
+wait "$watch_pid" || { echo "overload watch exited nonzero"; exit 1; }
+if ! diff -u "$work/records-w0.txt" "$work/overload-quick.txt"; then
+    echo "clean source stream differs beside a cpu-starved source"
+    exit 1
+fi
+grep -q '"kind":"budget_violated"' "$work/overload-stats.json" \
+    || { echo "stats json carries no budget_violated event"; exit 1; }
+grep -q '"kind":"source_shed"' "$work/overload-stats.json" \
+    || { echo "stats json carries no source_shed event"; exit 1; }
 
 echo "== chaos smoke: full test suite under an output-preserving fault plan =="
 # Latency-only faults (slow analyzers, CPU pressure at the detection stage)

@@ -127,6 +127,7 @@ fn main() {
         workers: 0,
         faults,
         governor: None,
+        chunk_samples: rfdump::CHUNK_SAMPLES,
         durability: None,
     };
     let inert = Arc::new(FaultPlan::parse("seed=1;slow=no-such-site#1/1us").unwrap());

@@ -57,6 +57,7 @@ fn main() {
                 workers: 0,
                 faults: None,
                 governor: None,
+                chunk_samples: rfdump::CHUNK_SAMPLES,
                 durability: None,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);
@@ -107,6 +108,7 @@ fn main() {
             workers,
             faults: None,
             governor: None,
+            chunk_samples: rfdump::CHUNK_SAMPLES,
             durability: None,
         };
         run_architecture(&cfg, &wifi.samples, fs)

@@ -101,6 +101,7 @@ fn main() {
         workers: 0,
         faults: None,
         governor: None,
+        chunk_samples: rfdump::CHUNK_SAMPLES,
         durability,
     };
 

@@ -64,6 +64,7 @@ fn main() {
         workers: 0,
         faults: None,
         governor: None,
+        chunk_samples: rfdump::CHUNK_SAMPLES,
         durability: None,
     };
     let fs = trace.band.sample_rate;

@@ -109,6 +109,7 @@ fn main() {
                 workers: 0,
                 faults: None,
                 governor: None,
+                chunk_samples: rfdump::CHUNK_SAMPLES,
                 durability: None,
             };
             let out = run_architecture(&cfg, &trace.samples, trace.band.sample_rate);

@@ -16,8 +16,9 @@
 //! * **resume accounting** — server-side resumes / disconnects for the
 //!   chaotic source, proving the kills actually exercised the resume path.
 //!
-//! Writes `BENCH_fleet.json` (shared with `fleet_ingest` — last run wins).
-//! Run: `cargo bench -p rfd-bench --bench fleet_churn`
+//! Writes the `fleet_churn` section of the shared `BENCH_fleet.json`
+//! (merged with `fleet_ingest`'s section, whichever ran first). Run:
+//! `cargo bench -p rfd-bench --bench fleet_churn`
 
 use rfd_bench::report::BenchReport;
 use rfd_bench::*;
@@ -222,7 +223,7 @@ fn main() {
         victim.chunks_duplicate,
     );
 
-    let mut doc = BenchReport::new("fleet");
+    let mut doc = BenchReport::new("fleet_churn");
     doc.push("churn_senders", JsonValue::num(senders as f64));
     doc.push("churn_samples", JsonValue::num(sent as f64));
     doc.push("churn_wall_s", JsonValue::num(wall.as_secs_f64()));
@@ -239,7 +240,7 @@ fn main() {
     doc.push("resume_latency_p50_us", JsonValue::num(resume_p50_us));
     doc.push("resume_latency_max_us", JsonValue::num(resume_max_us));
     doc.push("records", JsonValue::num(records as f64));
-    let out = doc.write().unwrap();
+    let out = doc.write_merged("fleet").unwrap();
     println!("  wrote {}", out.display());
     let _ = std::fs::remove_file(&victim_trace);
 }

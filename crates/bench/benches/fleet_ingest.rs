@@ -14,7 +14,8 @@
 //!   both fleet-wide (the `latency.net_fanout_us` histogram) and the
 //!   spread of per-source p50s.
 //!
-//! Writes `BENCH_fleet.json`. Run:
+//! Writes the `fleet_ingest` section of the shared `BENCH_fleet.json`
+//! (merged with `fleet_churn`'s section, whichever ran first). Run:
 //! `cargo bench -p rfd-bench --bench fleet_ingest`
 
 use rfd_bench::report::BenchReport;
@@ -171,7 +172,7 @@ fn main() {
         snap.net.seq_gaps,
     );
 
-    let mut doc = BenchReport::new("fleet");
+    let mut doc = BenchReport::new("fleet_ingest");
     doc.push("senders", JsonValue::num(senders as f64));
     doc.push("samples_per_sender", JsonValue::num(per_sender as f64));
     doc.push("samples", JsonValue::num(sent as f64));
@@ -186,6 +187,6 @@ fn main() {
     doc.push("source_fanout_p50_max_us", JsonValue::num(src_p50_max));
     doc.push("wire_bytes", JsonValue::num(wire_bytes as f64));
     doc.push("throttles", JsonValue::num(throttles as f64));
-    let out = doc.write().unwrap();
+    let out = doc.write_merged("fleet").unwrap();
     println!("  wrote {}", out.display());
 }

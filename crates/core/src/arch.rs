@@ -110,6 +110,13 @@ pub struct ArchConfig {
     /// `Some` lets the [`LoadGovernor`] shed demodulation first and weak
     /// detectors second when the pipeline falls behind real time.
     pub governor: Option<GovernorConfig>,
+    /// Ingest chunk size, samples (default [`crate::CHUNK_SAMPLES`]). A
+    /// pure latency/throughput knob: the peak detector re-blocks
+    /// internally at a fixed [`crate::peak::DETECT_BLOCK`], so the record
+    /// stream is byte-identical at any chunk size. With a latency budget
+    /// the governor additionally steps the live size down/up between
+    /// `GovernorConfig::chunk_min` and this configured value.
+    pub chunk_samples: usize,
     /// Crash-safe durability (RFDump only): journal emitted records and
     /// commit watermarks under a directory, and optionally resume from them.
     /// `None` — the default — journals nothing. See [`crate::durability`].
@@ -143,6 +150,7 @@ impl ArchConfig {
             workers: default_workers(),
             faults: FaultPlan::ambient(),
             governor: None,
+            chunk_samples: crate::CHUNK_SAMPLES,
             durability: None,
         }
     }
@@ -162,6 +170,7 @@ impl ArchConfig {
             workers: default_workers(),
             faults: FaultPlan::ambient(),
             governor: None,
+            chunk_samples: crate::CHUNK_SAMPLES,
             durability: None,
         }
     }
@@ -193,6 +202,8 @@ pub struct ArchOutput {
     pub faults: Option<FaultStats>,
     /// Degradation report, when [`ArchConfig::governor`] was set.
     pub governor: Option<GovernorReport>,
+    /// Bounded-latency mode report, when a latency budget was set.
+    pub latency: Option<crate::governor::LatencyReport>,
     /// Analyzer panics caught by the supervisor (RFDump only).
     pub panics: u64,
     /// Analyzers quarantined after repeated panics, by name (RFDump only).
@@ -244,11 +255,10 @@ pub fn run_architecture_with_registry(
         reg.gauge("kernel.backend")
             .set(i64::from(rfd_dsp::kernels::active() as u8));
     }
-    let chunks = SampleChunk::chunk_trace(samples, fs, crate::CHUNK_SAMPLES);
     let mut out = match cfg.kind {
-        ArchKind::Naive => run_naive(cfg, &registry, chunks, fs, trace_seconds, false),
-        ArchKind::NaiveEnergy => run_naive_energy(cfg, &registry, chunks, fs, trace_seconds),
-        ArchKind::RfDump(set) => run_rfdump(cfg, &registry, set, chunks, fs, trace_seconds),
+        ArchKind::Naive => run_naive(cfg, &registry, samples, fs, trace_seconds, false),
+        ArchKind::NaiveEnergy => run_naive_energy(cfg, &registry, samples, fs, trace_seconds),
+        ArchKind::RfDump(set) => run_rfdump(cfg, &registry, set, samples, fs, trace_seconds),
     };
     out.registry = registry;
     out.faults = cfg.faults.as_ref().map(|p| p.snapshot());
@@ -259,12 +269,43 @@ pub fn run_architecture_with_registry(
 // Shared blocks
 // ---------------------------------------------------------------------------
 
-/// Emits pre-chunked samples.
+/// Emits the trace as chunks, cut incrementally at emission time so the
+/// governor's adaptive chunk size takes effect chunk by chunk. Without a
+/// governor every chunk is the configured size, reproducing the old
+/// pre-chunked stream exactly. Chunk size never affects the record output:
+/// the peak detector re-blocks internally (see [`crate::peak::DETECT_BLOCK`]).
 struct ChunkSource {
-    chunks: std::vec::IntoIter<SampleChunk>,
-    /// Stamp each chunk's ingest time on emission (telemetry runs only, so
-    /// telemetry-off runs pay zero clock reads on the hot path).
+    samples: Vec<Complex32>,
+    fs: f64,
+    pos: usize,
+    seq: u64,
+    /// Configured chunk size (the fixed size without a governor).
+    base: usize,
+    /// Live chunk-size authority in bounded-latency mode.
+    ctl: Option<Arc<LoadGovernor>>,
+    /// Stamp each chunk's ingest time on emission (telemetry or budget
+    /// runs only, so plain runs pay zero clock reads on the hot path).
     stamp: bool,
+}
+
+impl ChunkSource {
+    fn new(
+        samples: &[Complex32],
+        fs: f64,
+        base: usize,
+        ctl: Option<Arc<LoadGovernor>>,
+        stamp: bool,
+    ) -> Self {
+        Self {
+            samples: samples.to_vec(),
+            fs,
+            pos: 0,
+            seq: 0,
+            base: base.max(1),
+            ctl,
+            stamp,
+        }
+    }
 }
 
 impl Block for ChunkSource {
@@ -276,15 +317,24 @@ impl Block for ChunkSource {
     }
     fn work(&mut self, _i: &mut [VecDeque<Payload>], outputs: &mut [Vec<Payload>]) -> WorkStatus {
         for _ in 0..64 {
-            match self.chunks.next() {
-                Some(mut c) => {
-                    if self.stamp {
-                        c.ingest = Some(Instant::now());
-                    }
-                    outputs[0].push(Box::new(c));
-                }
-                None => return WorkStatus::Done,
+            if self.pos >= self.samples.len() {
+                return WorkStatus::Done;
             }
+            let sz = self
+                .ctl
+                .as_ref()
+                .map_or(self.base, |g| g.chunk_size())
+                .max(1);
+            let end = (self.pos + sz).min(self.samples.len());
+            outputs[0].push(Box::new(SampleChunk {
+                seq: self.seq,
+                start: self.pos as u64,
+                samples: Arc::new(self.samples[self.pos..end].to_vec()),
+                sample_rate: self.fs,
+                ingest: self.stamp.then(Instant::now),
+            }));
+            self.seq += 1;
+            self.pos = end;
         }
         WorkStatus::Again
     }
@@ -513,7 +563,7 @@ impl Block for NaiveBtChannelBlock {
 fn run_naive(
     cfg: &ArchConfig,
     registry: &Option<Arc<Registry>>,
-    chunks: Vec<SampleChunk>,
+    samples: &[Complex32],
     fs: f64,
     trace_seconds: f64,
     _gated: bool,
@@ -531,10 +581,13 @@ fn run_naive(
     if let Some(reg) = registry {
         fg.set_telemetry(reg.clone());
     }
-    let src = fg.add(Box::new(ChunkSource {
-        chunks: chunks.into_iter(),
-        stamp: registry.is_some(),
-    }));
+    let src = fg.add(Box::new(ChunkSource::new(
+        samples,
+        fs,
+        cfg.chunk_samples,
+        None,
+        registry.is_some(),
+    )));
     let tee = fg.add(Box::new(ChunkTee {
         n: 1 + bt_channels.len(),
     }));
@@ -584,6 +637,7 @@ fn run_naive(
         pool_stats: None,
         faults: None,
         governor: None,
+        latency: None,
         panics: 0,
         quarantined: Vec::new(),
         recovery: None,
@@ -667,7 +721,7 @@ impl Block for DemodAllBlock {
 fn run_naive_energy(
     cfg: &ArchConfig,
     registry: &Option<Arc<Registry>>,
-    chunks: Vec<SampleChunk>,
+    samples: &[Complex32],
     fs: f64,
     trace_seconds: f64,
 ) -> ArchOutput {
@@ -675,10 +729,13 @@ fn run_naive_energy(
     if let Some(reg) = registry {
         fg.set_telemetry(reg.clone());
     }
-    let src = fg.add(Box::new(ChunkSource {
-        chunks: chunks.into_iter(),
-        stamp: registry.is_some(),
-    }));
+    let src = fg.add(Box::new(ChunkSource::new(
+        samples,
+        fs,
+        cfg.chunk_samples,
+        None,
+        registry.is_some(),
+    )));
     let peak = fg.add(Box::new(PeakDetectBlock::new(cfg, registry, fs)));
     let channels: Vec<u8> = (0..rfd_phy::bluetooth::NUM_CHANNELS)
         .filter(|&ch| {
@@ -714,6 +771,7 @@ fn run_naive_energy(
         pool_stats: None,
         faults: None,
         governor: None,
+        latency: None,
         panics: 0,
         quarantined: Vec::new(),
         recovery: None,
@@ -1126,6 +1184,8 @@ struct PooledAnalyzeBlock {
     e2e_hist: Option<Arc<Histogram>>,
     /// `records.<protocol>` counters, one per output port.
     record_counters: Option<Vec<Arc<Counter>>>,
+    /// Feeds the bounded-latency control loop, when configured.
+    governor: Option<Arc<LoadGovernor>>,
 }
 
 impl PooledAnalyzeBlock {
@@ -1147,7 +1207,14 @@ impl PooledAnalyzeBlock {
             if let Some(h) = &self.e2e_hist {
                 crate::latency::record_since(h, ingest);
             }
+            if let Some(g) = &self.governor {
+                g.record_e2e(ingest);
+            }
             pp[port].push(r);
+        }
+        drop(pp);
+        if let Some(g) = &self.governor {
+            g.latency_tick();
         }
     }
     /// Journals a commit at the pool's merge watermark: submissions are the
@@ -1210,6 +1277,8 @@ struct RecordSinkBlock {
     e2e_hist: Option<Arc<Histogram>>,
     /// `records.<protocol>` counter for this port's protocol.
     record_counter: Option<Arc<Counter>>,
+    /// Feeds the bounded-latency control loop, when configured.
+    governor: Option<Arc<LoadGovernor>>,
 }
 
 impl Block for RecordSinkBlock {
@@ -1224,6 +1293,7 @@ impl Block for RecordSinkBlock {
         inputs: &mut [VecDeque<Payload>],
         _outputs: &mut [Vec<Payload>],
     ) -> WorkStatus {
+        let mut stored = false;
         while let Some(p) = inputs[0].pop_front() {
             let sr = p.downcast::<StampedRecord>().expect("StampedRecord");
             let StampedRecord { rec, ingest } = *sr;
@@ -1239,7 +1309,16 @@ impl Block for RecordSinkBlock {
             if let Some(h) = &self.e2e_hist {
                 crate::latency::record_since(h, ingest);
             }
+            if let Some(g) = &self.governor {
+                g.record_e2e(ingest);
+            }
             self.storage.lock().push(rec);
+            stored = true;
+        }
+        if stored {
+            if let Some(g) = &self.governor {
+                g.latency_tick();
+            }
         }
         WorkStatus::Again
     }
@@ -1309,7 +1388,7 @@ fn run_rfdump(
     cfg: &ArchConfig,
     registry: &Option<Arc<Registry>>,
     set: DetectorSet,
-    chunks: Vec<SampleChunk>,
+    samples: &[Complex32],
     fs: f64,
     trace_seconds: f64,
 ) -> ArchOutput {
@@ -1318,6 +1397,18 @@ fn run_rfdump(
     let ports: Vec<Protocol> = analyzers.iter().map(|a| a.protocol()).collect();
     let pooled = cfg.workers > 0;
     let governor = cfg.governor.map(|g| Arc::new(LoadGovernor::new(g)));
+    if let Some(g) = &governor {
+        g.init_chunk(cfg.chunk_samples);
+        if let Some(reg) = registry {
+            g.set_registry(reg.clone());
+        }
+    }
+    // Bounded-latency mode needs ingest stamps even with telemetry off:
+    // the budget loop is fed by sample->record latencies.
+    let budgeted = governor
+        .as_ref()
+        .is_some_and(|g| g.latency_budget_us().is_some());
+    let stamp = registry.is_some() || budgeted;
 
     // Crash-safe durability: open (or recover) the journal before the graph
     // is built, so recovered record streams can seed the sinks and the
@@ -1325,7 +1416,7 @@ fn run_rfdump(
     // here degrades to a non-durable run rather than failing it.
     let mut recovered = None;
     let journal = cfg.durability.as_ref().and_then(|d| {
-        let n_samples: u64 = chunks.iter().map(|c| c.samples.len() as u64).sum();
+        let n_samples = samples.len() as u64;
         let fingerprint = crate::durability::config_fingerprint(cfg, n_samples, fs);
         // Intermediate sweep commits are only sound on the single-threaded
         // scheduler; the pooled commit path is scheduler-agnostic.
@@ -1416,10 +1507,13 @@ fn run_rfdump(
     if let Some(reg) = registry {
         fg.set_telemetry(reg.clone());
     }
-    let src = fg.add(Box::new(ChunkSource {
-        chunks: chunks.into_iter(),
-        stamp: registry.is_some(),
-    }));
+    let src = fg.add(Box::new(ChunkSource::new(
+        samples,
+        fs,
+        cfg.chunk_samples,
+        governor.clone(),
+        stamp,
+    )));
     let peak = fg.add(Box::new(PeakDetectBlock::new(cfg, registry, fs)));
     let detect = fg.add(Box::new(DetectDispatchBlock {
         detectors,
@@ -1470,6 +1564,7 @@ fn run_rfdump(
             journal_hist,
             e2e_hist,
             record_counters,
+            governor: governor.clone(),
         }));
         fg.connect(detect, 0, blk, 0);
     } else {
@@ -1498,6 +1593,7 @@ fn run_rfdump(
                 journal_hist: journal_hist.clone(),
                 e2e_hist: e2e_hist.clone(),
                 record_counter: record_counters.as_ref().map(|cs| cs[i].clone()),
+                governor: governor.clone(),
             }));
             fg.connect(detect, i, blk, 0);
             fg.connect(blk, 0, k, 0);
@@ -1589,6 +1685,7 @@ fn run_rfdump(
         pool_stats,
         faults: None,
         governor: governor.as_ref().map(|g| g.report()),
+        latency: governor.as_ref().and_then(|g| g.latency_report()),
         panics,
         quarantined,
         recovery: journal.as_ref().map(|j| j.report()),

@@ -133,6 +133,71 @@ fn parse_governor(mode: &str) -> Result<GovernorConfig, String> {
     }
 }
 
+/// Parses a `--latency-budget` value: positive milliseconds.
+fn parse_budget_ms(v: &str) -> Result<f64, String> {
+    let ms: f64 = v
+        .parse()
+        .map_err(|_| format!("--latency-budget needs positive milliseconds, got '{v}'"))?;
+    if !ms.is_finite() || ms <= 0.0 {
+        return Err(format!(
+            "--latency-budget needs positive milliseconds, got '{v}'"
+        ));
+    }
+    Ok(ms)
+}
+
+/// Parses a `--chunk-min`/`--chunk-max` value: a positive sample count.
+fn parse_chunk_bound(flag: &str, v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} needs a positive integer, got '{v}'")),
+    }
+}
+
+/// Folds the bounded-latency flags into the governor config: a budget
+/// turns the governor on (adaptive, unless `--governor` already pinned or
+/// configured it) and carries the chunk ladder bounds.
+///
+/// A budget *without* an explicit `--governor` engages only the latency
+/// ladder: the CPU-ratio watermarks are parked out of reach, so the only
+/// thing that can shed is a measured budget violation. That is what makes
+/// "byte-identical with and without an unviolated `--latency-budget`" a
+/// contract rather than a bet on the host keeping up with real time —
+/// CPU-ratio shedding stays opt-in via `--governor auto`.
+fn apply_latency_flags(
+    governor: &mut Option<GovernorConfig>,
+    budget_ms: Option<f64>,
+    chunk_min: Option<usize>,
+    chunk_max: Option<usize>,
+) -> Result<(), String> {
+    if budget_ms.is_none() {
+        if chunk_min.is_some() || chunk_max.is_some() {
+            return Err("--chunk-min/--chunk-max need --latency-budget".to_string());
+        }
+        return Ok(());
+    }
+    let mut g = governor.take().unwrap_or(GovernorConfig {
+        high_water: f64::INFINITY,
+        low_water: 0.0,
+        ..GovernorConfig::default()
+    });
+    g.latency_budget_us = budget_ms.map(|ms| ms * 1e3);
+    if let Some(m) = chunk_min {
+        g.chunk_min = m;
+    }
+    if let Some(m) = chunk_max {
+        g.chunk_max = m;
+    }
+    if g.chunk_min > g.chunk_max {
+        return Err(format!(
+            "--chunk-min {} exceeds --chunk-max {}",
+            g.chunk_min, g.chunk_max
+        ));
+    }
+    *governor = Some(g);
+    Ok(())
+}
+
 struct Options {
     trace: Option<String>,
     arch: ArchKind,
@@ -148,6 +213,9 @@ struct Options {
     trace_out: Option<String>,
     chaos: Option<Arc<FaultPlan>>,
     governor: Option<GovernorConfig>,
+    latency_budget_ms: Option<f64>,
+    chunk_min: Option<usize>,
+    chunk_max: Option<usize>,
     journal: Option<String>,
     resume: bool,
     metrics_addr: Option<String>,
@@ -159,9 +227,11 @@ fn usage() -> ExitCode {
          \x20             [-n] [-p LAP:UAP]... [-z] [-s] [-q] [-t] [--workers N]\n\
          \x20             [--no-telemetry] [--stats-json FILE] [--trace-out FILE]\n\
          \x20             [--chaos SPEC] [--governor auto|0|1|2]\n\
+         \x20             [--latency-budget MS [--chunk-min N] [--chunk-max N]]\n\
          \x20             [--journal DIR] [--resume] [--metrics-addr ADDR]\n\
          \x20      rfdump serve --listen ADDR [--once]\n\
          \x20             [--fleet [--expect N] [--source-timeout SECS]]\n\
+         \x20             [--latency-budget MS [--chunk-min N] [--chunk-max N]]\n\
          \x20             [--queue-cap N] [--overflow block|drop-oldest]\n\
          \x20             [--sub-queue-cap N] [--resume-grace SECS]\n\
          \x20             [arch options] [-q]\n\
@@ -194,6 +264,9 @@ fn parse_args() -> Result<Options, String> {
         trace_out: None,
         chaos: None,
         governor: None,
+        latency_budget_ms: None,
+        chunk_min: None,
+        chunk_max: None,
         journal: None,
         resume: false,
         metrics_addr: None,
@@ -245,6 +318,23 @@ fn parse_args() -> Result<Options, String> {
                     &args.next().ok_or("--governor needs a mode")?,
                 )?)
             }
+            "--latency-budget" => {
+                opts.latency_budget_ms = Some(parse_budget_ms(
+                    &args.next().ok_or("--latency-budget needs milliseconds")?,
+                )?)
+            }
+            "--chunk-min" => {
+                opts.chunk_min = Some(parse_chunk_bound(
+                    "--chunk-min",
+                    &args.next().ok_or("--chunk-min needs a sample count")?,
+                )?)
+            }
+            "--chunk-max" => {
+                opts.chunk_max = Some(parse_chunk_bound(
+                    "--chunk-max",
+                    &args.next().ok_or("--chunk-max needs a sample count")?,
+                )?)
+            }
             "--journal" => opts.journal = Some(args.next().ok_or("--journal needs a directory")?),
             "--resume" => opts.resume = true,
             "--metrics-addr" => {
@@ -269,6 +359,15 @@ fn parse_args() -> Result<Options, String> {
     if opts.journal.is_some() && !matches!(opts.arch, ArchKind::RfDump(_)) {
         return Err("--journal requires the rfdump architecture".to_string());
     }
+    if opts.latency_budget_ms.is_some() && !matches!(opts.arch, ArchKind::RfDump(_)) {
+        return Err("--latency-budget requires the rfdump architecture".to_string());
+    }
+    apply_latency_flags(
+        &mut opts.governor,
+        opts.latency_budget_ms,
+        opts.chunk_min,
+        opts.chunk_max,
+    )?;
     Ok(opts)
 }
 
@@ -288,6 +387,7 @@ struct ServeOptions {
     fleet: bool,
     expect: Option<u64>,
     source_timeout: Option<Duration>,
+    latency_budget: Option<Duration>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -300,6 +400,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut fleet = false;
     let mut expect = None;
     let mut source_timeout = None;
+    let mut latency_budget_ms = None;
+    let mut chunk_min = None;
+    let mut chunk_max = None;
     let mut detector_set = DetectorSet::TimingAndPhase;
     let mut arch_name = String::from("rfdump");
     // The band is a placeholder: each producer session's StreamMeta
@@ -320,6 +423,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         workers: default_workers(),
         faults: FaultPlan::ambient(),
         governor: None,
+        chunk_samples: rfdump::CHUNK_SAMPLES,
         durability: None,
     };
     let mut journal: Option<String> = None;
@@ -407,6 +511,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 net.faults = plan;
             }
             "--governor" => arch.governor = Some(parse_governor(next("a mode")?)?),
+            "--latency-budget" => latency_budget_ms = Some(parse_budget_ms(next("milliseconds")?)?),
+            "--chunk-min" => {
+                chunk_min = Some(parse_chunk_bound("--chunk-min", next("a sample count")?)?)
+            }
+            "--chunk-max" => {
+                chunk_max = Some(parse_chunk_bound("--chunk-max", next("a sample count")?)?)
+            }
             "--journal" => journal = Some(next("a directory")?.to_string()),
             "--resume" => resume = true,
             "--metrics-addr" => metrics_addr = Some(next("host:port")?.to_string()),
@@ -437,6 +548,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     if journal.is_some() && !matches!(arch.kind, ArchKind::RfDump(_)) {
         return Err("--journal requires the rfdump architecture".to_string());
     }
+    if latency_budget_ms.is_some() && net.once {
+        // `--once` is a bounded one-shot run; bounded-latency mode is a
+        // steady-state control loop and has nothing to govern there.
+        return Err("--latency-budget is incompatible with --once".to_string());
+    }
+    if latency_budget_ms.is_some() && !matches!(arch.kind, ArchKind::RfDump(_)) {
+        return Err("--latency-budget requires the rfdump architecture".to_string());
+    }
+    apply_latency_flags(&mut arch.governor, latency_budget_ms, chunk_min, chunk_max)?;
     arch.durability = journal.map(|dir| DurabilityConfig {
         dir: std::path::PathBuf::from(dir),
         resume,
@@ -463,6 +583,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         fleet,
         expect,
         source_timeout,
+        latency_budget: latency_budget_ms.map(|ms| Duration::from_secs_f64(ms / 1e3)),
     })
 }
 
@@ -513,7 +634,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return usage();
         }
     };
+    // The shared registry exists whenever anything will consume it: a
+    // scrape endpoint, or a stats/trace document — the document's events
+    // section must capture net-layer and fleet overload events (resumes,
+    // budget violations, sheds, admission refusals), which are emitted
+    // into this registry, never into a pipeline's private one.
     let (metrics, registry) = match &opts.metrics_addr {
+        None if opts.stats_json.is_some() || opts.trace_out.is_some() => {
+            (None, Some(Arc::new(rfd_telemetry::Registry::new())))
+        }
         None => (None, None),
         Some(addr) => match bind_metrics(addr) {
             Ok((handle, reg)) => (Some(handle), Some(reg)),
@@ -670,6 +799,7 @@ fn cmd_serve_fleet(
         expect: opts.expect,
         resume_grace: opts.net.resume_grace,
         faults: opts.net.faults.clone(),
+        latency_budget: opts.latency_budget,
         ..rfd_net::FleetConfig::default()
     };
     if let Some(t) = opts.source_timeout {
@@ -1323,6 +1453,7 @@ fn main() -> ExitCode {
         workers: opts.workers,
         faults: opts.chaos.clone().or_else(FaultPlan::ambient),
         governor: opts.governor,
+        chunk_samples: rfdump::CHUNK_SAMPLES,
         durability: opts.journal.as_ref().map(|dir| DurabilityConfig {
             dir: std::path::PathBuf::from(dir),
             resume: opts.resume,

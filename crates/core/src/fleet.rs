@@ -80,6 +80,7 @@ mod tests {
             workers: 0,
             faults: None,
             governor: None,
+            chunk_samples: crate::CHUNK_SAMPLES,
             durability: None,
         }
     }

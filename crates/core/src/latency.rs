@@ -12,6 +12,16 @@
 //! The one exception is `latency.net_fanout_us`, which is a plain duration
 //! (the cost of one publish call) because records crossing the network
 //! boundary no longer carry stamps.
+//!
+//! All of these histograms are *cumulative*, which is the right shape for
+//! scrape endpoints but useless for a control loop: bounded-latency mode
+//! (`--latency-budget`) needs the p99 of the last window, not of the whole
+//! run. [`HistogramWindow`] (re-exported here) turns any cumulative
+//! histogram into a cheap streaming quantile window by diffing bucket
+//! counts between snapshots; the [`crate::governor::LoadGovernor`] drives
+//! its shed ladder from exactly that windowed p99.
+
+pub use rfd_telemetry::{HistogramWindow, WindowSnapshot};
 
 use rfd_telemetry::{Histogram, Registry};
 use std::sync::Arc;

@@ -125,6 +125,7 @@ mod tests {
             workers: 0,
             faults: None,
             governor: None,
+            chunk_samples: crate::CHUNK_SAMPLES,
             durability: None,
         };
         let offline = crate::arch::run_architecture(&cfg, &samples, fs);

@@ -1,19 +1,35 @@
 //! The protocol-agnostic peak detector with integrated energy filtering
 //! (paper §4.2-§4.3).
 //!
-//! Per chunk, the detector first checks whether the average energy of the
-//! last window of samples clears the threshold (noise floor + 4 dB); only
-//! then is the chunk examined sample-by-sample, using both the windowed
-//! average (for robustness to fades inside a packet) and the instantaneous
+//! The detector re-blocks whatever chunking the pipeline delivers into
+//! fixed [`DETECT_BLOCK`]-sample detection blocks before any decision is
+//! made. Per block, it first checks whether the average energy of the last
+//! window of samples clears the threshold (noise floor + 4 dB); only then
+//! is the block examined sample-by-sample, using both the windowed average
+//! (for robustness to fades inside a packet) and the instantaneous
 //! magnitude (for precise peak-edge location). Completed peaks are emitted
 //! as [`PeakBlock`]s carrying their samples; the peak history (start/end
 //! timestamps) that the timing detectors search lives in the detectors
 //! themselves, fed from these blocks.
+//!
+//! The internal re-blocking is what makes the pipeline's chunk size a pure
+//! latency/throughput knob: the online noise floor (per-block averages),
+//! the energy gate, the coarse hot scan and every per-sample decision see
+//! identical block boundaries no matter how the stream was chunked, so the
+//! emitted peaks — and therefore the records — are byte-identical across
+//! chunk sizes (`tests/differential_scheduler.rs` proves it). The adaptive
+//! `--latency-budget` chunk ladder relies on this.
 
 use crate::chunk::{Peak, PeakBlock, SampleChunk};
 use rfd_dsp::energy::{db_to_power, RunningPower};
 use rfd_dsp::Complex32;
 use std::sync::Arc;
+
+/// Detection-block length in samples: the paper's 200-sample (25 µs at
+/// 8 Msps) granularity. Inbound chunks of any size are re-blocked to this
+/// before detection, so detector state — and the records downstream — do
+/// not depend on the pipeline's (possibly adaptive) chunk size.
+pub const DETECT_BLOCK: usize = crate::CHUNK_SAMPLES;
 
 /// Peak detector configuration.
 #[derive(Debug, Clone, Copy)]
@@ -67,11 +83,21 @@ pub struct PeakDetector {
     /// Ring of recent raw samples for peak-start margin.
     tail: Vec<Complex32>,
     next_id: u64,
-    /// Absolute index of the next sample to be pushed.
+    /// Absolute index of the next sample to enter a detection block.
     cursor: u64,
     sample_rate: f64,
-    /// Scratch for the fused per-chunk instantaneous-power pass.
+    /// Scratch for the fused per-block instantaneous-power pass.
     power: Vec<f32>,
+    /// Samples awaiting a full [`DETECT_BLOCK`]; covers
+    /// `[cursor, cursor + pend.len())`.
+    pend: Vec<Complex32>,
+    /// Ingest stamp of the most recent inbound chunk (stamps the final
+    /// partial block at `finish`; telemetry only).
+    last_ingest: Option<std::time::Instant>,
+    /// Whether this stream is being driven through the unfused reference
+    /// path (chosen by the first push; the partial final block in `finish`
+    /// must use the same path).
+    unfused_mode: bool,
 }
 
 /// Sequential `f64` mean of precomputed instantaneous powers — the
@@ -142,6 +168,9 @@ impl PeakDetector {
             cfg,
             sample_rate,
             power: Vec::new(),
+            pend: Vec::new(),
+            last_ingest: None,
+            unfused_mode: false,
         }
     }
 
@@ -150,14 +179,19 @@ impl PeakDetector {
         self.floor
     }
 
-    /// Processes one chunk; returns any peaks completed within it.
+    /// Processes one chunk of any length; returns any peaks completed
+    /// within it. Chunks must be contiguous, but their size is free: the
+    /// detector re-blocks internally to [`DETECT_BLOCK`] samples, so output
+    /// is byte-identical no matter how the stream was chunked (trailing
+    /// samples short of a block are held until the next chunk or
+    /// [`finish`](Self::finish)).
     ///
-    /// The cheap path: if the chunk's trailing-window average is below
-    /// threshold and no peak is open, the chunk is skipped without
+    /// The cheap path: if a detection block's trailing-window average is
+    /// below threshold and no peak is open, the block is skipped without
     /// per-sample work (the paper's integrated energy filter).
     ///
     /// This is the **fused** pass: instantaneous power is materialized once
-    /// per chunk through the vectorized [`rfd_dsp::kernels::power_into`]
+    /// per block through the vectorized [`rfd_dsp::kernels::power_into`]
     /// kernel and every downstream consumer — the online noise floor, the
     /// energy gate, the windowed average, start refinement and the adaptive
     /// instantaneous threshold — reads from that single array instead of
@@ -165,27 +199,82 @@ impl PeakDetector {
     /// historical sequential order, so the output is bit-identical to
     /// [`PeakDetector::push_chunk_unfused`].
     pub fn push_chunk(&mut self, chunk: &SampleChunk, out: &mut Vec<PeakBlock>) {
-        let mut power = std::mem::take(&mut self.power);
-        rfd_dsp::kernels::power_into(chunk.samples.as_slice(), &mut power);
-        self.push_chunk_inner(chunk, &power, out);
-        self.power = power;
+        self.unfused_mode = false;
+        self.reblock(chunk, out);
     }
 
-    fn push_chunk_inner(&mut self, chunk: &SampleChunk, power: &[f32], out: &mut Vec<PeakBlock>) {
-        let samples = chunk.samples.as_slice();
-        debug_assert_eq!(chunk.start, self.cursor, "chunks must be contiguous");
+    /// Feeds `chunk` through the fixed-size re-blocker, running each
+    /// completed [`DETECT_BLOCK`] through the active (fused or unfused)
+    /// per-block pass. Full blocks aligned with the inbound chunk are
+    /// processed straight from its buffer — the default 200-sample chunking
+    /// pays no copy.
+    fn reblock(&mut self, chunk: &SampleChunk, out: &mut Vec<PeakBlock>) {
+        let s = chunk.samples.as_slice();
+        debug_assert_eq!(
+            chunk.start,
+            self.cursor + self.pend.len() as u64,
+            "chunks must be contiguous"
+        );
+        self.last_ingest = chunk.ingest;
+        let mut off = 0usize;
+        if !self.pend.is_empty() {
+            let need = DETECT_BLOCK - self.pend.len();
+            let take = need.min(s.len());
+            self.pend.extend_from_slice(&s[..take]);
+            off = take;
+            if self.pend.len() == DETECT_BLOCK {
+                let full = std::mem::take(&mut self.pend);
+                self.run_block(&full, chunk.ingest, out);
+                self.pend = full;
+                self.pend.clear();
+            }
+        }
+        while s.len() - off >= DETECT_BLOCK {
+            self.run_block(&s[off..off + DETECT_BLOCK], chunk.ingest, out);
+            off += DETECT_BLOCK;
+        }
+        self.pend.extend_from_slice(&s[off..]);
+    }
 
-        // Online noise floor: the minimum chunk-average power over a sliding
+    /// Runs one detection block through whichever per-block pass this
+    /// stream uses.
+    fn run_block(
+        &mut self,
+        samples: &[Complex32],
+        ingest: Option<std::time::Instant>,
+        out: &mut Vec<PeakBlock>,
+    ) {
+        if self.unfused_mode {
+            self.push_block_unfused(samples, ingest, out);
+        } else {
+            let mut power = std::mem::take(&mut self.power);
+            rfd_dsp::kernels::power_into(samples, &mut power);
+            self.push_block_fused(samples, &power, ingest, out);
+            self.power = power;
+        }
+    }
+
+    fn push_block_fused(
+        &mut self,
+        samples: &[Complex32],
+        power: &[f32],
+        ingest: Option<std::time::Instant>,
+        out: &mut Vec<PeakBlock>,
+    ) {
+        let block_start = self.cursor;
+
+        // Online noise floor: the minimum block-average power over a sliding
         // window longer than any packet (so a long transmission cannot drag
-        // the floor up). Updated before thresholding so the very first chunk
-        // already has a sane floor.
+        // the floor up). Updated before thresholding so the very first block
+        // already has a sane floor. Blocks are fixed-size, so the floor
+        // trajectory is independent of the inbound chunking.
         if !self.floor_fixed {
-            let chunk_avg = seq_mean(power);
-            if chunk_avg > 0.0 {
+            let block_avg = seq_mean(power);
+            if block_avg > 0.0 {
                 if self.recent_avgs.len() >= 800 {
                     self.recent_avgs.pop_front();
                 }
-                self.recent_avgs.push_back(chunk_avg);
+                self.recent_avgs.push_back(block_avg);
                 let min = self
                     .recent_avgs
                     .iter()
@@ -195,7 +284,7 @@ impl PeakDetector {
         }
         let threshold = self.floor * db_to_power(self.cfg.threshold_db);
 
-        // Energy filter: average of the last window in the chunk.
+        // Energy filter: average of the last window in the block.
         let w = self.cfg.avg_window.min(samples.len());
         let tail_avg = if w == 0 {
             0.0
@@ -204,11 +293,11 @@ impl PeakDetector {
         };
 
         if self.open.is_none() && tail_avg <= threshold {
-            // Also make sure no peak *started and ended* inside the chunk:
-            // chunks (25 us) are shorter than the smallest packet we care
-            // about, so a transmission touching this chunk necessarily
-            // raises the trailing window of this or the next chunk — except
-            // a burst that ends early in the chunk. Guard: check the max
+            // Also make sure no peak *started and ended* inside the block:
+            // blocks (25 us) are shorter than the smallest packet we care
+            // about, so a transmission touching this block necessarily
+            // raises the trailing window of this or the next block — except
+            // a burst that ends early in the block. Guard: check the max
             // windowed average cheaply via a coarse stride.
             let mut hot = false;
             let stride = self.cfg.avg_window.max(1);
@@ -236,7 +325,7 @@ impl PeakDetector {
         for (k, &z) in samples.iter().enumerate() {
             let p = power[k];
             let avg = self.avg.push_power(p);
-            let idx = chunk.start + k as u64;
+            let idx = block_start + k as u64;
             match &mut self.open {
                 None => {
                     if avg > threshold {
@@ -246,7 +335,7 @@ impl PeakDetector {
                         let start = self.refine_start(power, k, idx, threshold);
                         let buf_start = start.saturating_sub(self.cfg.margin as u64);
                         let mut buf = Vec::with_capacity(512);
-                        self.copy_history(buf_start, chunk.start, samples, k, &mut buf);
+                        self.copy_history(buf_start, block_start, samples, k, &mut buf);
                         self.open = Some(OpenPeak {
                             start,
                             buf,
@@ -255,7 +344,7 @@ impl PeakDetector {
                             hot_run: 0,
                             power_acc: p as f64,
                             n_acc: 1,
-                            ingest: chunk.ingest,
+                            ingest,
                         });
                         self.below = 0;
                     }
@@ -287,22 +376,32 @@ impl PeakDetector {
         self.cursor += samples.len() as u64;
     }
 
-    /// The pre-fusion reference pass: walks the chunk's samples once per
+    /// The pre-fusion reference pass: walks each block's samples once per
     /// consumer (noise floor, energy gate, per-sample scan), recomputing
     /// `|z|²` at each use. Kept verbatim as the differential oracle for the
     /// fused [`PeakDetector::push_chunk`] — `tests/pipeline_properties.rs`
     /// drives both over adversarial chunkings and requires identical output.
+    /// Re-blocks exactly like the fused path.
     pub fn push_chunk_unfused(&mut self, chunk: &SampleChunk, out: &mut Vec<PeakBlock>) {
-        let samples = chunk.samples.as_slice();
-        debug_assert_eq!(chunk.start, self.cursor, "chunks must be contiguous");
+        self.unfused_mode = true;
+        self.reblock(chunk, out);
+    }
+
+    fn push_block_unfused(
+        &mut self,
+        samples: &[Complex32],
+        ingest: Option<std::time::Instant>,
+        out: &mut Vec<PeakBlock>,
+    ) {
+        let block_start = self.cursor;
 
         if !self.floor_fixed {
-            let chunk_avg = seq_mean_samples(samples);
-            if chunk_avg > 0.0 {
+            let block_avg = seq_mean_samples(samples);
+            if block_avg > 0.0 {
                 if self.recent_avgs.len() >= 800 {
                     self.recent_avgs.pop_front();
                 }
-                self.recent_avgs.push_back(chunk_avg);
+                self.recent_avgs.push_back(block_avg);
                 let min = self
                     .recent_avgs
                     .iter()
@@ -342,14 +441,14 @@ impl PeakDetector {
 
         for (k, &z) in samples.iter().enumerate() {
             let avg = self.avg.push(z);
-            let idx = chunk.start + k as u64;
+            let idx = block_start + k as u64;
             match &mut self.open {
                 None => {
                     if avg > threshold {
                         let start = self.refine_start_unfused(samples, k, idx, threshold);
                         let buf_start = start.saturating_sub(self.cfg.margin as u64);
                         let mut buf = Vec::with_capacity(512);
-                        self.copy_history(buf_start, chunk.start, samples, k, &mut buf);
+                        self.copy_history(buf_start, block_start, samples, k, &mut buf);
                         self.open = Some(OpenPeak {
                             start,
                             buf,
@@ -358,7 +457,7 @@ impl PeakDetector {
                             hot_run: 0,
                             power_acc: z.norm_sqr() as f64,
                             n_acc: 1,
-                            ingest: chunk.ingest,
+                            ingest,
                         });
                         self.below = 0;
                     }
@@ -391,8 +490,14 @@ impl PeakDetector {
         self.cursor += samples.len() as u64;
     }
 
-    /// Flushes an open peak at end of stream.
+    /// Flushes the trailing partial detection block and any open peak at
+    /// end of stream.
     pub fn finish(&mut self, out: &mut Vec<PeakBlock>) {
+        if !self.pend.is_empty() {
+            let rest = std::mem::take(&mut self.pend);
+            let ingest = self.last_ingest;
+            self.run_block(&rest, ingest, out);
+        }
         if self.open.is_some() {
             self.close_peak(out);
         }

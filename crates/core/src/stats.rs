@@ -55,6 +55,16 @@
 //!   `flapping` / `quarantined` / `evicted`) plus the `disconnects` /
 //!   `resumes` / `flaps` / `decode_errors` / `rejects` counters that drive
 //!   it. This comment is the single authoritative record of the v8→v9 bump.
+//! * **10** — bounded-latency mode: adds `latency_mode` (null unless a
+//!   `--latency-budget` was configured): the budget in µs, windowed-p99
+//!   budget `violations`, the latest windowed p99, and the adaptive-chunk
+//!   trajectory (`chunk.size` / `chunk.base` / `chunk.min` plus
+//!   `chunk.shrinks` / `chunk.grows` step counters). Fleet servers add a
+//!   `fleet` sub-object with overload-control rollups (`shed_throttle`,
+//!   `shed_drop`, `admission_refused`, `admission_paused`), and each
+//!   `fleet.per_source` row gains `deadline_p99_us` and its current `shed`
+//!   rung (`none` / `throttle` / `drop-oldest`). This comment is the
+//!   single authoritative record of the v9→v10 bump.
 
 use crate::arch::ArchOutput;
 use crate::records::PacketInfo;
@@ -66,7 +76,7 @@ use std::path::Path;
 /// Schema identifier carried in every stats document.
 pub const STATS_SCHEMA: &str = "rfd-stats";
 /// Current stats document version.
-pub const STATS_VERSION: u64 = 9;
+pub const STATS_VERSION: u64 = 10;
 
 /// The pipeline stage a block belongs to: the block-name prefix before the
 /// first `:` (`detect:peak/energy` → `detect`).
@@ -319,6 +329,24 @@ pub fn stats_json_full(
         Some(g) => doc.push("degradation", g.to_json()),
     }
 
+    // Bounded-latency mode (v10; null unless a budget was configured).
+    // Fleet servers report the per-pipeline view plus overload-control
+    // rollups; the per-source deadline rows live in `fleet.per_source`.
+    let fleet_latency = fleet.and_then(|f| f.latency.as_ref());
+    if out.latency.is_none() && fleet_latency.is_none() {
+        doc.push("latency_mode", JsonValue::Null);
+    } else {
+        let mut lm = match &out.latency {
+            Some(l) => l.to_json(),
+            None => JsonValue::Obj(Vec::new()),
+        };
+        match fleet_latency {
+            None => lm.push("fleet", JsonValue::Null),
+            Some(fl) => lm.push("fleet", fl.to_json()),
+        }
+        doc.push("latency_mode", lm);
+    }
+
     // Supervision outcome — always present so harnesses can assert zero.
     doc.push(
         "supervision",
@@ -470,6 +498,7 @@ mod tests {
             pool_stats: None,
             faults: None,
             governor: None,
+            latency: None,
             panics: 0,
             quarantined: Vec::new(),
             recovery: None,
@@ -697,6 +726,14 @@ mod tests {
             flapping: 1,
             quarantined: 0,
             evicted: 0,
+            latency: Some(rfd_net::FleetLatencySnapshot {
+                budget_us: 5_000.0,
+                violations: 4,
+                shed_throttle: 2,
+                shed_drop: 1,
+                admission_refused: 1,
+                admission_paused: false,
+            }),
             per_source: vec![
                 rfd_net::SourceSnapshot {
                     source: "lab-3".into(),
@@ -712,6 +749,9 @@ mod tests {
                     fanout_count: 4,
                     fanout_p50_us: 10.0,
                     fanout_p99_us: 50.0,
+                    deadline_count: 4,
+                    deadline_p99_us: 900.0,
+                    shed: "none".into(),
                     health: rfd_net::SourceHealth::Healthy,
                     disconnects: 0,
                     resumes: 0,
@@ -734,6 +774,9 @@ mod tests {
                     fanout_count: 7,
                     fanout_p50_us: 12.0,
                     fanout_p99_us: 80.0,
+                    deadline_count: 7,
+                    deadline_p99_us: 6_400.0,
+                    shed: "throttle".into(),
                     health: rfd_net::SourceHealth::Flapping,
                     disconnects: 2,
                     resumes: 1,

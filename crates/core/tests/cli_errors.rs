@@ -161,6 +161,116 @@ fn serve_fleet_with_invalid_source_timeout_is_rejected() {
 }
 
 #[test]
+fn invalid_latency_budget_is_rejected() {
+    for bad in ["0", "-5", "inf", "soon", ""] {
+        let out = rfdump(&["-r", "/tmp/whatever.rfdt", "--latency-budget", bad]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage errors exit 2 (--latency-budget {bad:?})"
+        );
+        assert_clean_failure(
+            &out,
+            "bad --latency-budget",
+            "--latency-budget needs positive milliseconds",
+        );
+    }
+}
+
+#[test]
+fn chunk_bounds_without_budget_are_rejected() {
+    for flag in ["--chunk-min", "--chunk-max"] {
+        let out = rfdump(&["-r", "/tmp/whatever.rfdt", flag, "128"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage errors exit 2 ({flag} without budget)"
+        );
+        assert_clean_failure(
+            &out,
+            "chunk bound without budget",
+            "--chunk-min/--chunk-max need --latency-budget",
+        );
+    }
+}
+
+#[test]
+fn inverted_chunk_bounds_are_rejected() {
+    let out = rfdump(&[
+        "-r",
+        "/tmp/whatever.rfdt",
+        "--latency-budget",
+        "50",
+        "--chunk-min",
+        "512",
+        "--chunk-max",
+        "128",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert_clean_failure(&out, "inverted chunk bounds", "exceeds --chunk-max");
+}
+
+#[test]
+fn invalid_chunk_bound_values_are_rejected() {
+    for bad in ["0", "-64", "tiny", ""] {
+        let out = rfdump(&[
+            "-r",
+            "/tmp/whatever.rfdt",
+            "--latency-budget",
+            "50",
+            "--chunk-min",
+            bad,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage errors exit 2 (--chunk-min {bad:?})"
+        );
+        assert_clean_failure(
+            &out,
+            "bad --chunk-min",
+            "--chunk-min needs a positive integer",
+        );
+    }
+}
+
+#[test]
+fn latency_budget_with_naive_architecture_is_rejected() {
+    let out = rfdump(&[
+        "-r",
+        "/tmp/whatever.rfdt",
+        "-a",
+        "naive",
+        "--latency-budget",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert_clean_failure(
+        &out,
+        "budget with naive arch",
+        "--latency-budget requires the rfdump architecture",
+    );
+}
+
+#[test]
+fn serve_latency_budget_with_once_is_rejected() {
+    let out = rfdump(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--once",
+        "--latency-budget",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert_clean_failure(
+        &out,
+        "budget with --once",
+        "--latency-budget is incompatible with --once",
+    );
+}
+
+#[test]
 fn watch_wait_source_without_source_is_rejected() {
     let out = rfdump(&["watch", "--connect", "127.0.0.1:1", "--wait-source", "5"]);
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");

@@ -78,12 +78,43 @@
 //! typed events (`source_flapping` / `source_quarantined` /
 //! `source_evicted` / `source_resumed`) and `net.fleet.*` counters.
 //!
+//! # Overload admission control (bounded-latency mode)
+//!
+//! With [`FleetConfig::latency_budget`] set, every source also carries a
+//! *deadline* histogram: per-chunk queue wait (committed → popped by the
+//! analysis thread) plus per-record finalize → publish lag. A periodic
+//! sweep in the readiness loop diffs each histogram through a
+//! [`HistogramWindow`] and compares the windowed p99 against the budget,
+//! walking a per-source shed ladder with the same streak hysteresis the
+//! in-process governor uses:
+//!
+//! ```text
+//!   none ──p99 over budget (2 sweeps)──▶ throttle ──again──▶ drop-oldest
+//!     ▲                                     │                    │
+//!     └────────── p99 < 0.8 × budget for 4 sweeps ◀──────────────┘
+//! ```
+//!
+//! Only the *worst* offender escalates per sweep, so a fleet-wide stall
+//! sheds the source that is actually blowing the budget first. The rungs:
+//! **throttle** repeats Throttle advisories to the sender each violating
+//! sweep (beyond the saturation rising edge); **drop-oldest** forcibly
+//! discards the oldest queued chunk when that source's queue is full, even
+//! under the lossless Block policy — the shed source trades fidelity for
+//! latency while every unshed source stays byte-identical. While any
+//! source is over budget the fleet refuses admission to *new* source ids
+//! (`admission_refused` events; resumes of known sources are still
+//! honored). Shedding never escalates the health machine — a slow source
+//! is not a misbehaving source.
+//!
 //! # Chaos sites
 //!
 //! Fault plans can target the fleet plane directly: `net.fleet.accept`
-//! (drop or delay incoming connections) and `net.fleet.source.<id>`
-//! (disconnect / corrupt / slow one source's read path), in addition to the
-//! `net.server.read` site shared with the single-stream server.
+//! (drop or delay incoming connections), `net.fleet.source.<id>`
+//! (disconnect / corrupt / slow one source's read path), and
+//! `net.fleet.analysis.<id>` (slow/cpu-starve one source's consumer per
+//! popped chunk — the overload knob for bounded-latency chaos tests), in
+//! addition to the `net.server.read` site shared with the single-stream
+//! server.
 //!
 //! Determinism: each source's samples are accumulated contiguously and
 //! analyzed by a private pipeline exactly like an offline run of that trace
@@ -101,11 +132,11 @@ use crate::server::{serve_subscriber, NetStats, NetStatsSnapshot, Pipeline, Subs
 use rfd_dsp::complex::from_i16_iq;
 use rfd_dsp::Complex32;
 use rfd_fault::{Action, FaultPlan};
-use rfd_telemetry::{Counter, Gauge, Histogram, Registry};
+use rfd_telemetry::{Counter, Gauge, Histogram, HistogramWindow, Registry};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -120,6 +151,33 @@ const ACK_EVERY: u64 = 16;
 
 /// Idle sleep between readiness sweeps when no socket made progress.
 const POLL: Duration = Duration::from_millis(1);
+
+/// Cadence of the bounded-latency deadline sweep (budget runs only).
+const LATENCY_SWEEP: Duration = Duration::from_millis(50);
+
+/// Consecutive violating sweeps before a source's shed rung escalates.
+const SHED_VIOLATE_STREAK: u32 = 2;
+
+/// Consecutive clean sweeps before a source's shed rung relaxes.
+const SHED_RESTORE_STREAK: u32 = 4;
+
+/// A sweep counts as clean only below this fraction of the budget
+/// (hysteresis: the dead zone between here and the budget holds state).
+const SHED_LOW_WATER: f64 = 0.8;
+
+/// Shed ladder rungs (per source, `SourceShared::shed`).
+const SHED_NONE: u8 = 0;
+const SHED_THROTTLE: u8 = 1;
+const SHED_DROP: u8 = 2;
+
+/// A shed rung as its stats-json / event string.
+fn shed_str(rung: u8) -> &'static str {
+    match rung {
+        SHED_THROTTLE => "throttle",
+        SHED_DROP => "drop-oldest",
+        _ => "none",
+    }
+}
 
 /// Fleet server knobs.
 #[derive(Debug, Clone)]
@@ -154,6 +212,12 @@ pub struct FleetConfig {
     /// Fault-injection plan for chaos testing (`net.server.read`,
     /// `net.fleet.accept`, `net.fleet.source.<id>` sites).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Bounded-latency mode: per-source deadline budget. When set, the
+    /// deadline sweep sheds sources whose windowed p99 (queue wait +
+    /// finalize → publish lag) exceeds this budget and refuses admission
+    /// to new sources while the fleet is over budget. `None` (the
+    /// default) disables overload control entirely.
+    pub latency_budget: Option<Duration>,
 }
 
 impl Default for FleetConfig {
@@ -171,6 +235,7 @@ impl Default for FleetConfig {
             quarantine_errors: 3,
             evict_rejects: 5,
             faults: None,
+            latency_budget: None,
         }
     }
 }
@@ -227,7 +292,9 @@ impl SourceHealth {
 struct SourceShared {
     name: Arc<str>,
     meta: StreamMeta,
-    queue: ChunkQueue<Vec<Complex32>>,
+    /// Ingest queue. Items carry their commit instant so the analysis
+    /// thread can record queue wait into the deadline histogram.
+    queue: ChunkQueue<(Instant, Vec<Complex32>)>,
     /// Join ordinal, echoed as the Ack session id so a resuming sender can
     /// tell its session survived.
     session: u64,
@@ -262,6 +329,24 @@ struct SourceShared {
     chaos_site: String,
     /// Per-record publish duration, µs — the source's fan-out latency.
     fanout: Histogram,
+    /// Deadline samples, µs: per-chunk queue wait plus per-record
+    /// finalize → publish lag. The overload sweep reads this through
+    /// `deadline_win`; recorded unconditionally (it is two `Instant`
+    /// reads per chunk) so snapshots are populated even without a budget.
+    deadline: Histogram,
+    /// The sweep's windowed view over `deadline` (sweep thread only).
+    deadline_win: Mutex<HistogramWindow>,
+    /// Last windowed deadline p99 the sweep saw, µs (f64 bits).
+    deadline_p99_bits: AtomicU64,
+    /// Current shed rung (`SHED_NONE` / `SHED_THROTTLE` / `SHED_DROP`).
+    shed: AtomicU8,
+    /// Consecutive violating sweeps (escalation hysteresis).
+    shed_violate: AtomicU32,
+    /// Consecutive clean sweeps (restore hysteresis).
+    shed_clean: AtomicU32,
+    /// Set by the sweep when a Throttle advisory is owed; the ingest path
+    /// consumes it so the frame rides the source's own connection.
+    shed_throttle_pending: AtomicBool,
     /// `net.fleet.source.<id>.queue_depth` when a registry is attached.
     queue_gauge: Option<Arc<Gauge>>,
     samples_ctr: Option<Arc<Counter>>,
@@ -271,6 +356,10 @@ struct SourceShared {
 impl SourceShared {
     fn health(&self) -> SourceHealth {
         SourceHealth::from_u8(self.health.load(Ordering::SeqCst))
+    }
+
+    fn shed_rung(&self) -> u8 {
+        self.shed.load(Ordering::SeqCst)
     }
 }
 
@@ -303,6 +392,13 @@ pub struct SourceSnapshot {
     pub fanout_p50_us: f64,
     /// Fan-out latency p99, µs.
     pub fanout_p99_us: f64,
+    /// Deadline samples recorded (queue waits + publish lags).
+    pub deadline_count: u64,
+    /// Last windowed deadline p99 the overload sweep saw, µs (0 before
+    /// the first sweep or without a budget).
+    pub deadline_p99_us: f64,
+    /// Current shed rung (`"none"` / `"throttle"` / `"drop-oldest"`).
+    pub shed: String,
     /// Health state.
     pub health: SourceHealth,
     /// Connection losses without a clean Bye.
@@ -336,6 +432,9 @@ impl SourceSnapshot {
             fanout_count: s.fanout.count(),
             fanout_p50_us: s.fanout.quantile(0.5),
             fanout_p99_us: s.fanout.quantile(0.99),
+            deadline_count: s.deadline.count(),
+            deadline_p99_us: f64::from_bits(s.deadline_p99_bits.load(Ordering::Relaxed)),
+            shed: shed_str(s.shed_rung()).to_string(),
             health: s.health(),
             disconnects: s.disconnects.load(Ordering::Relaxed),
             resumes: s.resumes.load(Ordering::Relaxed),
@@ -364,6 +463,9 @@ impl SourceSnapshot {
             ("fanout_count", n(self.fanout_count)),
             ("fanout_p50_us", J::num(self.fanout_p50_us)),
             ("fanout_p99_us", J::num(self.fanout_p99_us)),
+            ("deadline_count", n(self.deadline_count)),
+            ("deadline_p99_us", J::num(self.deadline_p99_us)),
+            ("shed", J::str(&self.shed)),
             ("health", J::str(self.health.as_str())),
             ("disconnects", n(self.disconnects)),
             ("resumes", n(self.resumes)),
@@ -401,8 +503,45 @@ pub struct FleetSnapshot {
     pub quarantined: u64,
     /// Sources evicted.
     pub evicted: u64,
+    /// Bounded-latency overload control counters (`None` without a
+    /// [`FleetConfig::latency_budget`]).
+    pub latency: Option<FleetLatencySnapshot>,
     /// Per-source statistics, sorted by source id.
     pub per_source: Vec<SourceSnapshot>,
+}
+
+/// Fleet-level bounded-latency counters (the stats-json
+/// `latency_mode.fleet` sub-object).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetLatencySnapshot {
+    /// The configured deadline budget, µs.
+    pub budget_us: f64,
+    /// Sweeps that found at least one source over budget.
+    pub violations: u64,
+    /// Throttle advisories sent by the shed ladder (rung 1).
+    pub shed_throttle: u64,
+    /// Chunks force-dropped by the shed ladder (rung 2).
+    pub shed_drop: u64,
+    /// New-source admissions refused while the fleet was over budget.
+    pub admission_refused: u64,
+    /// Whether admission of new sources is currently paused.
+    pub admission_paused: bool,
+}
+
+impl FleetLatencySnapshot {
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> rfd_telemetry::json::JsonValue {
+        use rfd_telemetry::json::JsonValue as J;
+        let n = |v: u64| J::num(v as f64);
+        J::obj(vec![
+            ("budget_us", J::num(self.budget_us)),
+            ("violations", n(self.violations)),
+            ("shed_throttle", n(self.shed_throttle)),
+            ("shed_drop", n(self.shed_drop)),
+            ("admission_refused", n(self.admission_refused)),
+            ("admission_paused", J::Bool(self.admission_paused)),
+        ])
+    }
 }
 
 impl FleetSnapshot {
@@ -426,6 +565,13 @@ impl FleetSnapshot {
             ("flapping", n(self.flapping)),
             ("quarantined", n(self.quarantined)),
             ("evicted", n(self.evicted)),
+            (
+                "latency",
+                match &self.latency {
+                    None => J::Null,
+                    Some(l) => l.to_json(),
+                },
+            ),
             ("per_source", J::Obj(per)),
         ])
     }
@@ -459,6 +605,17 @@ struct FleetInner {
     quarantine_ctr: Option<Arc<Counter>>,
     evict_ctr: Option<Arc<Counter>>,
     evictions_reported: AtomicU64,
+    /// Bounded-latency sweep state (budget runs only).
+    last_sweep: Mutex<Instant>,
+    budget_violations: AtomicU64,
+    shed_throttle: AtomicU64,
+    shed_drop: AtomicU64,
+    admission_refused: AtomicU64,
+    admission_paused: AtomicBool,
+    shed_throttle_ctr: Option<Arc<Counter>>,
+    shed_drop_ctr: Option<Arc<Counter>>,
+    admission_refused_ctr: Option<Arc<Counter>>,
+    admission_paused_gauge: Option<Arc<Gauge>>,
 }
 
 impl FleetInner {
@@ -514,6 +671,14 @@ impl FleetInner {
             flapping: count(SourceHealth::Flapping),
             quarantined: count(SourceHealth::Quarantined),
             evicted: count(SourceHealth::Evicted),
+            latency: self.cfg.latency_budget.map(|b| FleetLatencySnapshot {
+                budget_us: b.as_secs_f64() * 1e6,
+                violations: self.budget_violations.load(Ordering::Relaxed),
+                shed_throttle: self.shed_throttle.load(Ordering::Relaxed),
+                shed_drop: self.shed_drop.load(Ordering::Relaxed),
+                admission_refused: self.admission_refused.load(Ordering::Relaxed),
+                admission_paused: self.admission_paused.load(Ordering::SeqCst),
+            }),
             per_source,
         }
     }
@@ -656,6 +821,16 @@ impl FleetServer {
             .as_ref()
             .map(|r| r.counter("net.fleet.quarantined"));
         let evict_ctr = registry.as_ref().map(|r| r.counter("net.fleet.evicted"));
+        let shed_throttle_ctr = registry
+            .as_ref()
+            .map(|r| r.counter("net.fleet.shed_throttle"));
+        let shed_drop_ctr = registry.as_ref().map(|r| r.counter("net.fleet.shed_drop"));
+        let admission_refused_ctr = registry
+            .as_ref()
+            .map(|r| r.counter("net.fleet.admission_refused"));
+        let admission_paused_gauge = registry
+            .as_ref()
+            .map(|r| r.gauge("net.fleet.admission_paused"));
         let inner = Arc::new(FleetInner {
             hub: RecordHub::new(cfg.sub_queue_cap),
             stats: NetStats::new(registry.as_deref()),
@@ -677,6 +852,16 @@ impl FleetServer {
             quarantine_ctr,
             evict_ctr,
             evictions_reported: AtomicU64::new(0),
+            last_sweep: Mutex::new(Instant::now()),
+            budget_violations: AtomicU64::new(0),
+            shed_throttle: AtomicU64::new(0),
+            shed_drop: AtomicU64::new(0),
+            admission_refused: AtomicU64::new(0),
+            admission_paused: AtomicBool::new(false),
+            shed_throttle_ctr,
+            shed_drop_ctr,
+            admission_refused_ctr,
+            admission_paused_gauge,
         });
         Ok(Self { listener, inner })
     }
@@ -774,6 +959,10 @@ impl FleetServer {
             // Evict parked sources whose resume grace expired.
             sweep_parked(inner);
 
+            // Bounded-latency mode: walk the shed ladder from the latest
+            // deadline windows.
+            latency_sweep(inner, false);
+
             // Bounded runs: once the expected number of sources has
             // completed (their records are already in subscriber queues),
             // publish the global Bye *before* raising shutdown so every
@@ -820,6 +1009,10 @@ impl FleetServer {
         for t in analysis_threads {
             let _ = t.join();
         }
+        // One forced sweep after every analysis thread published, so
+        // violations recorded in the final burst (e.g. a chaos-slowed
+        // pipeline's publish lag) still reach the counters and event log.
+        latency_sweep(inner, true);
         inner.note_evictions();
         if !bye_published {
             inner.hub.publish(HubMsg::Bye);
@@ -906,6 +1099,129 @@ fn sweep_parked(inner: &Arc<FleetInner>) {
         if let Some(src) = src {
             raise_health(inner, &src, SourceHealth::Evicted, "resume grace expired");
             finalize_source(inner, &src);
+        }
+    }
+}
+
+/// The bounded-latency overload sweep: diff every live source's deadline
+/// histogram, escalate the worst offender's shed rung on sustained budget
+/// violations, relax rungs on sustained recovery, and pause admission of
+/// new sources while any source is over budget. No-op without a budget;
+/// rate-limited to [`LATENCY_SWEEP`] unless `forced` (the end-of-run
+/// sweep, which must not miss violations recorded after the last tick).
+fn latency_sweep(inner: &Arc<FleetInner>, forced: bool) {
+    use rfd_telemetry::event::EventKind;
+    let Some(budget) = inner.cfg.latency_budget else {
+        return;
+    };
+    {
+        let mut last = inner.last_sweep.lock().unwrap_or_else(|e| e.into_inner());
+        if !forced && last.elapsed() < LATENCY_SWEEP {
+            return;
+        }
+        *last = Instant::now();
+    }
+    let budget_us = budget.as_secs_f64() * 1e6;
+    let sources: Vec<Arc<SourceShared>> = {
+        let map = inner.sources.lock().unwrap_or_else(|e| e.into_inner());
+        map.values().cloned().collect()
+    };
+    let mut worst: Option<(Arc<SourceShared>, f64)> = None;
+    let mut any_over = false;
+    for src in &sources {
+        // Quarantined/evicted sources are already cut off; shedding them
+        // would double-punish and skew the admission signal.
+        if src.health() >= SourceHealth::Quarantined {
+            continue;
+        }
+        let snap = {
+            let mut win = src.deadline_win.lock().unwrap_or_else(|e| e.into_inner());
+            win.advance(&src.deadline)
+        };
+        if snap.count == 0 {
+            continue; // An empty window is no signal, not a clean one.
+        }
+        src.deadline_p99_bits
+            .store(snap.p99.to_bits(), Ordering::Relaxed);
+        if snap.p99 > budget_us {
+            any_over = true;
+            src.shed_clean.store(0, Ordering::Relaxed);
+            let streak = src.shed_violate.fetch_add(1, Ordering::Relaxed) + 1;
+            inner.budget_violations.fetch_add(1, Ordering::Relaxed);
+            inner.emit(
+                EventKind::BudgetViolated,
+                format!(
+                    "source {} deadline p99 {:.0}us over budget {budget_us:.0}us",
+                    src.name, snap.p99
+                ),
+            );
+            // A throttled source gets a fresh advisory every violating
+            // sweep, not just on the rung transition.
+            if src.shed_rung() >= SHED_THROTTLE {
+                src.shed_throttle_pending.store(true, Ordering::SeqCst);
+            }
+            if streak >= SHED_VIOLATE_STREAK && src.shed_rung() < SHED_DROP {
+                let is_worse = worst.as_ref().is_none_or(|(_, p)| snap.p99 > *p);
+                if is_worse {
+                    worst = Some((src.clone(), snap.p99));
+                }
+            }
+        } else if snap.p99 < SHED_LOW_WATER * budget_us {
+            src.shed_violate.store(0, Ordering::Relaxed);
+            let streak = src.shed_clean.fetch_add(1, Ordering::Relaxed) + 1;
+            if streak >= SHED_RESTORE_STREAK {
+                src.shed_clean.store(0, Ordering::Relaxed);
+                let rung = src.shed_rung();
+                if rung > SHED_NONE {
+                    src.shed.store(rung - 1, Ordering::SeqCst);
+                    inner.emit(
+                        EventKind::SourceShed,
+                        format!(
+                            "source {} shed relaxed {} -> {} (deadline p99 {:.0}us)",
+                            src.name,
+                            shed_str(rung),
+                            shed_str(rung - 1),
+                            snap.p99
+                        ),
+                    );
+                }
+            }
+        } else {
+            // Dead zone between low water and the budget: hold state.
+            src.shed_violate.store(0, Ordering::Relaxed);
+            src.shed_clean.store(0, Ordering::Relaxed);
+        }
+    }
+    // Escalate only the worst offender this sweep: a fleet-wide stall
+    // sheds the source actually blowing the budget before touching the
+    // rest.
+    if let Some((src, p99)) = worst {
+        src.shed_violate.store(0, Ordering::Relaxed);
+        let rung = src.shed_rung();
+        if rung < SHED_DROP {
+            src.shed.store(rung + 1, Ordering::SeqCst);
+            if rung + 1 == SHED_THROTTLE {
+                src.shed_throttle_pending.store(true, Ordering::SeqCst);
+            }
+            inner.emit(
+                EventKind::SourceShed,
+                format!(
+                    "source {} shed {} -> {} (deadline p99 {p99:.0}us over {budget_us:.0}us)",
+                    src.name,
+                    shed_str(rung),
+                    shed_str(rung + 1)
+                ),
+            );
+        }
+    }
+    // Admission follows the current sweep's verdict: paused while any
+    // eligible source is over budget, reopened the first sweep none is —
+    // including sweeps with no signal at all (an idle or fully
+    // quarantined fleet must not hold the gate shut forever).
+    let was = inner.admission_paused.swap(any_over, Ordering::SeqCst);
+    if was != any_over {
+        if let Some(g) = &inner.admission_paused_gauge {
+            g.set(i64::from(any_over));
         }
     }
 }
@@ -1356,7 +1672,24 @@ fn admit_source(inner: &Arc<FleetInner>, source: &str, meta: StreamMeta) -> Admi
         map.get(source).cloned()
     };
     let src = match existing {
-        None => return register_source(inner, source, meta),
+        None => {
+            // Overload admission control: while the fleet is over its
+            // latency budget, brand-new ids are refused. Known sources
+            // resuming fall through — refusing a resume would turn a
+            // transient overload into data loss.
+            if inner.admission_paused.load(Ordering::SeqCst) {
+                inner.admission_refused.fetch_add(1, Ordering::Relaxed);
+                if let Some(ctr) = &inner.admission_refused_ctr {
+                    ctr.add(1);
+                }
+                inner.emit(
+                    rfd_telemetry::event::EventKind::AdmissionRefused,
+                    format!("source {source} refused: fleet over latency budget"),
+                );
+                return Admission::Refused;
+            }
+            return register_source(inner, source, meta);
+        }
         Some(src) => src,
     };
 
@@ -1454,6 +1787,13 @@ fn register_source(inner: &Arc<FleetInner>, source: &str, meta: StreamMeta) -> A
         rejects: AtomicU64::new(0),
         chaos_site: format!("net.fleet.source.{source}"),
         fanout: Histogram::exponential(1.0, 1e7, 28),
+        deadline: Histogram::exponential(1.0, 1e7, 28),
+        deadline_win: Mutex::new(HistogramWindow::new()),
+        deadline_p99_bits: AtomicU64::new(0),
+        shed: AtomicU8::new(SHED_NONE),
+        shed_violate: AtomicU32::new(0),
+        shed_clean: AtomicU32::new(0),
+        shed_throttle_pending: AtomicBool::new(false),
         queue_gauge: reg.map(|r| r.gauge(&format!("net.fleet.source.{source}.queue_depth"))),
         samples_ctr: reg.map(|r| r.counter(&format!("net.fleet.source.{source}.samples_in"))),
         records_ctr: reg.map(|r| r.counter(&format!("net.fleet.source.{source}.records"))),
@@ -1528,6 +1868,23 @@ fn ingest_chunk(
         c.saturated = false;
     }
 
+    // Shed rung 1: the overload sweep owes this sender a Throttle
+    // advisory (repeated every violating sweep, independent of queue
+    // saturation — the budget, not the queue bound, is the constraint).
+    if src.shed_rung() >= SHED_THROTTLE && src.shed_throttle_pending.swap(false, Ordering::SeqCst) {
+        inner.stats.throttles_sent.add(1);
+        src.throttles.fetch_add(1, Ordering::Relaxed);
+        inner.shed_throttle.fetch_add(1, Ordering::Relaxed);
+        if let Some(ctr) = &inner.shed_throttle_ctr {
+            ctr.add(1);
+        }
+        let frame = Frame::Throttle {
+            depth: depth as u32,
+            cap: src.queue.capacity() as u32,
+        };
+        c.queue_frame(&inner.stats, &frame);
+    }
+
     commit_chunk(inner, c, src, PendingChunk { end, gap, samples });
 }
 
@@ -1545,13 +1902,24 @@ fn commit_chunk(
 ) -> bool {
     let PendingChunk { end, gap, samples } = chunk;
     let kept = samples.len() as u64;
-    match src.queue.try_push(samples) {
+    // Shed rung 2: a drop-oldest source forces room instead of parking
+    // the chunk — latency is the contract now, the oldest backlog pays.
+    if src.shed_rung() >= SHED_DROP
+        && src.queue.len() >= src.queue.capacity()
+        && src.queue.drop_oldest()
+    {
+        inner.shed_drop.fetch_add(1, Ordering::Relaxed);
+        if let Some(ctr) = &inner.shed_drop_ctr {
+            ctr.add(1);
+        }
+    }
+    match src.queue.try_push((Instant::now(), samples)) {
         Ok(_) => {
             if let Some(g) = &src.queue_gauge {
                 g.set(src.queue.len() as i64);
             }
         }
-        Err(TryPushError::Full(samples)) => {
+        Err(TryPushError::Full((_, samples))) => {
             c.pending = Some(PendingChunk { end, gap, samples });
             return false;
         }
@@ -1588,8 +1956,21 @@ fn commit_chunk(
 /// run the source's private pipeline when the stream ends, publish tagged
 /// records (offline order) and the source's Bye.
 fn analysis_thread(inner: Arc<FleetInner>, src: Arc<SourceShared>) {
+    let analysis_site = format!("net.fleet.analysis.{}", src.name);
     let mut samples: Vec<Complex32> = Vec::new();
-    while let Some(chunk) = src.queue.pop() {
+    while let Some((committed, chunk)) = src.queue.pop() {
+        // Chaos: a slow/cpu fault here starves this source's consumer so
+        // its queue wait — and only its — blows the deadline budget.
+        if let Some(plan) = &inner.cfg.faults {
+            match plan.decide(&analysis_site) {
+                Some(Action::Slow(d)) => std::thread::sleep(d),
+                Some(Action::Spin(d)) => rfd_fault::spin_for(d),
+                _ => {}
+            }
+        }
+        // Queue wait is the first half of the deadline metric: how long a
+        // committed chunk sat before this thread consumed it.
+        src.deadline.record(committed.elapsed().as_secs_f64() * 1e6);
         samples.extend_from_slice(&chunk);
         if let Some(g) = &src.queue_gauge {
             g.set(src.queue.len() as i64);
@@ -1598,6 +1979,7 @@ fn analysis_thread(inner: Arc<FleetInner>, src: Arc<SourceShared>) {
     // A source cut off before any sample arrived (e.g. quarantined on its
     // first frames) publishes no records — don't spin up a pipeline (or
     // its journal directory) for an empty stream.
+    let finalized_at = Instant::now();
     let records = if samples.is_empty() {
         Vec::new()
     } else {
@@ -1605,6 +1987,10 @@ fn analysis_thread(inner: Arc<FleetInner>, src: Arc<SourceShared>) {
         pipeline.analyze(&src.meta, samples)
     };
     for rec in records {
+        // Finalize → publish lag is the second half of the deadline
+        // metric: a chaos-slowed pipeline shows up here.
+        src.deadline
+            .record(finalized_at.elapsed().as_secs_f64() * 1e6);
         inner.stats.records_published.add(1);
         src.records.fetch_add(1, Ordering::Relaxed);
         if let Some(ctr) = &src.records_ctr {
@@ -2004,5 +2390,195 @@ mod tests {
         assert_eq!(s.samples_in, 512);
         assert_eq!(s.records, 1, "evicted stream analyzed with what arrived");
         assert!(s.done);
+    }
+
+    #[test]
+    fn shed_ladder_escalates_worst_source_and_recovers_with_hysteresis() {
+        // Drive the sweep directly (forced ticks) against a bound-but-idle
+        // server: deterministic rung walking without socket timing.
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                latency_budget: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
+        let inner = server.inner.clone();
+        let hot = match register_source(&inner, "hot", meta()) {
+            Admission::New(s) => s,
+            _ => panic!("fresh id must register"),
+        };
+        let tick = |us: f64| {
+            hot.deadline.record(us);
+            latency_sweep(&inner, true);
+        };
+
+        // Violations escalate only after the streak, worst-first.
+        tick(50_000.0);
+        assert_eq!(hot.shed_rung(), SHED_NONE, "one violating sweep holds");
+        assert!(
+            inner.admission_paused.load(Ordering::SeqCst),
+            "admission pauses on the first over-budget sweep"
+        );
+        tick(50_000.0);
+        assert_eq!(hot.shed_rung(), SHED_THROTTLE);
+        assert!(hot.shed_throttle_pending.load(Ordering::SeqCst));
+        tick(50_000.0);
+        tick(50_000.0);
+        assert_eq!(hot.shed_rung(), SHED_DROP);
+        tick(50_000.0);
+        assert_eq!(hot.shed_rung(), SHED_DROP, "drop-oldest is the top rung");
+
+        // New ids are refused while paused; the counter and snapshot agree.
+        match admit_source(&inner, "newcomer", meta()) {
+            Admission::Refused => {}
+            _ => panic!("new id must be refused while over budget"),
+        }
+        assert_eq!(inner.admission_refused.load(Ordering::Relaxed), 1);
+
+        // Recovery retraces the ladder one rung per restore streak, and
+        // the first clean sweep reopens admission.
+        for _ in 0..SHED_RESTORE_STREAK {
+            tick(10.0);
+        }
+        assert_eq!(hot.shed_rung(), SHED_THROTTLE);
+        assert!(!inner.admission_paused.load(Ordering::SeqCst));
+        for _ in 0..SHED_RESTORE_STREAK {
+            tick(10.0);
+        }
+        assert_eq!(hot.shed_rung(), SHED_NONE);
+        match admit_source(&inner, "newcomer", meta()) {
+            Admission::New(_) => {}
+            _ => panic!("admission must reopen once under budget"),
+        }
+
+        let snap = inner.snapshot();
+        let lat = snap.latency.expect("budget run must carry latency stats");
+        assert_eq!(lat.budget_us, 5_000.0);
+        assert!(lat.violations >= 5);
+        assert_eq!(lat.admission_refused, 1);
+        assert!(!lat.admission_paused);
+        let row = snap
+            .per_source
+            .iter()
+            .find(|s| s.source == "hot")
+            .expect("per-source row");
+        assert_eq!(row.shed, "none");
+        assert!(row.deadline_p99_us < 5_000.0, "last window was clean");
+    }
+
+    #[test]
+    fn shed_never_escalates_health_and_skips_quarantined_sources() {
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                latency_budget: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+            stub_factory(),
+            None,
+        )
+        .unwrap();
+        let inner = server.inner.clone();
+        let src = match register_source(&inner, "sick", meta()) {
+            Admission::New(s) => s,
+            _ => panic!("fresh id must register"),
+        };
+        for _ in 0..4 {
+            src.deadline.record(50_000.0);
+            latency_sweep(&inner, true);
+        }
+        assert_eq!(src.shed_rung(), SHED_DROP);
+        assert_eq!(
+            src.health(),
+            SourceHealth::Healthy,
+            "shedding is not a health violation"
+        );
+        // Once quarantined, the sweep ignores the source entirely: its
+        // rung freezes and its violations stop pausing admission.
+        raise_health(&inner, &src, SourceHealth::Quarantined, "test");
+        src.deadline.record(50_000.0);
+        latency_sweep(&inner, true);
+        src.deadline.record(10.0);
+        latency_sweep(&inner, true);
+        assert!(
+            !inner.admission_paused.load(Ordering::SeqCst),
+            "a quarantined source cannot hold the admission gate"
+        );
+    }
+
+    #[test]
+    fn slow_pipeline_overload_is_visible_end_to_end() {
+        use rfd_telemetry::Registry;
+        // "laggy" gets a pipeline that stalls well past the 2 ms budget;
+        // "quick" is untouched. The run must finish with the violation
+        // booked, the laggy row over budget, and the quick row clean.
+        let reg = Arc::new(Registry::new());
+        let factory: PipelineFactory = Box::new(|source: &str| {
+            let slow = source == "laggy";
+            Box::new(
+                move |meta: &StreamMeta, samples: Vec<Complex32>| -> Vec<RecordMsg> {
+                    if slow {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    vec![RecordMsg {
+                        start_us: 0.0,
+                        end_us: samples.len() as f64 / meta.sample_rate * 1e6,
+                        line: format!("session of {} samples", samples.len()),
+                    }]
+                },
+            )
+        });
+        let server = FleetServer::bind(
+            "127.0.0.1:0",
+            FleetConfig {
+                latency_budget: Some(Duration::from_millis(2)),
+                expect: Some(2),
+                ..Default::default()
+            },
+            factory,
+            Some(reg.clone()),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let run = std::thread::spawn(move || server.run().unwrap());
+
+        let senders: Vec<_> = ["laggy", "quick"]
+            .into_iter()
+            .map(|name| {
+                std::thread::spawn(move || {
+                    let samples = vec![Complex32::new(0.1, -0.1); 2048];
+                    let mut tx = TraceSender::connect_source(addr, name).unwrap();
+                    tx.send_samples(meta(), &samples, SendRate::Max, 256)
+                        .unwrap();
+                    tx.finish().unwrap();
+                })
+            })
+            .collect();
+        for s in senders {
+            s.join().unwrap();
+        }
+
+        let stats = run.join().unwrap();
+        let lat = stats.latency.expect("budget run must carry latency stats");
+        assert!(lat.violations >= 1, "the stalled publish must be booked");
+        assert!(reg.counter("events.budget_violated").get() >= 1);
+        let row = |name: &str| {
+            stats
+                .per_source
+                .iter()
+                .find(|s| s.source == name)
+                .unwrap()
+                .clone()
+        };
+        assert!(row("laggy").deadline_p99_us > 2_000.0);
+        assert_eq!(row("quick").records, 1, "unshed source publishes clean");
+        assert!(stats
+            .per_source
+            .iter()
+            .all(|s| s.health == SourceHealth::Healthy));
     }
 }

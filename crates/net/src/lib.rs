@@ -43,8 +43,8 @@ pub use client::{
     SendRate, SendReport, SubEvent, TraceSender,
 };
 pub use fleet::{
-    FleetConfig, FleetHandle, FleetServer, FleetSnapshot, PipelineFactory, SourceHealth,
-    SourceSnapshot,
+    FleetConfig, FleetHandle, FleetLatencySnapshot, FleetServer, FleetSnapshot, PipelineFactory,
+    SourceHealth, SourceSnapshot,
 };
 pub use frame::{
     validate_source_id, Frame, FrameDecoder, FrameError, RecordMsg, Role, StreamMeta, MAX_SOURCE_ID,

@@ -175,6 +175,25 @@ impl<T> ChunkQueue<T> {
         Ok(outcome)
     }
 
+    /// Discards the oldest queued item to make room, regardless of policy.
+    /// This is the fleet shed ladder's drop-oldest rung: a queue built with
+    /// [`OverflowPolicy::Block`] (lossless by default) can still be forced
+    /// to trade its oldest chunk for latency when a source is being shed.
+    /// Returns whether anything was dropped; the drop counts toward
+    /// [`dropped`](Self::dropped).
+    pub fn drop_oldest(&self) -> bool {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.q.pop_front().is_some() {
+            sh.dropped.fetch_add(1, Ordering::Relaxed);
+            drop(st);
+            sh.room.notify_one();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Blocks for the next item; `None` once the queue is closed and
     /// drained.
     pub fn pop(&self) -> Option<T> {
@@ -286,6 +305,21 @@ mod tests {
         assert_eq!(lossy.try_push(2), Ok(PushOutcome::QueuedDroppingOldest));
         assert_eq!(lossy.dropped(), 1);
         assert_eq!(lossy.pop(), Some(2));
+    }
+
+    #[test]
+    fn drop_oldest_helper_forces_room_under_block_policy() {
+        let q = ChunkQueue::new(2, OverflowPolicy::Block);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert!(q.drop_oldest());
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.try_push(3), Ok(PushOutcome::Queued));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(!q.drop_oldest(), "empty queue has nothing to drop");
+        assert_eq!(q.dropped(), 1);
     }
 
     #[test]

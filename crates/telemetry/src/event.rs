@@ -56,6 +56,17 @@ pub enum EventKind {
     /// A fleet source reattached after a disconnect (session resume) or
     /// recovered from the flapping state.
     SourceResumed,
+    /// Windowed p99 sample→record latency exceeded the configured budget.
+    BudgetViolated,
+    /// The latency governor stepped the pipeline chunk size (the cheapest
+    /// degradation rung) down or up.
+    ChunkResized,
+    /// Fleet overload control shed load from a deadline-violating source
+    /// (throttle advisory or drop-oldest).
+    SourceShed,
+    /// A new fleet `SourceHello` was refused while the server was over its
+    /// latency budget.
+    AdmissionRefused,
 }
 
 impl EventKind {
@@ -78,6 +89,10 @@ impl EventKind {
             EventKind::SourceQuarantined => "source_quarantined",
             EventKind::SourceEvicted => "source_evicted",
             EventKind::SourceResumed => "source_resumed",
+            EventKind::BudgetViolated => "budget_violated",
+            EventKind::ChunkResized => "chunk_resized",
+            EventKind::SourceShed => "source_shed",
+            EventKind::AdmissionRefused => "admission_refused",
         }
     }
 }

@@ -246,6 +246,96 @@ impl Histogram {
     }
 }
 
+/// Windowed delta view over a cumulative [`Histogram`].
+///
+/// The pipeline's histograms are cumulative — right for dashboards, wrong
+/// for control loops: a latency governor must react to the *recent* tail,
+/// not the run-lifetime tail, or one slow startup window would pin p99
+/// forever. A `HistogramWindow` remembers the bucket counts it last saw and
+/// returns quantiles over the delta since then, turning any cumulative
+/// histogram into a cheap streaming window without touching the record
+/// path (snapshots read the same atomics recording writes).
+///
+/// Counts are diffed with `saturating_sub`, so a histogram that was reset
+/// or replaced between snapshots yields an empty window rather than a
+/// bogus giant one.
+#[derive(Debug, Default)]
+pub struct HistogramWindow {
+    /// Bucket counts (finite + overflow) at the previous snapshot.
+    prev_counts: Vec<u64>,
+    /// Total count at the previous snapshot.
+    prev_total: u64,
+    /// Sum at the previous snapshot.
+    prev_sum: f64,
+}
+
+/// Quantiles over one window of a [`HistogramWindow`] advance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// Observations recorded inside the window.
+    pub count: u64,
+    /// Mean over the window (0 when empty).
+    pub mean: f64,
+    /// Estimated median over the window (0 when empty).
+    pub p50: f64,
+    /// Estimated 99th percentile over the window (0 when empty).
+    pub p99: f64,
+}
+
+impl HistogramWindow {
+    /// An empty window baseline: the first [`advance`](Self::advance) covers
+    /// everything the histogram has ever recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the observations recorded in `h` since the previous call
+    /// and returns the window's quantiles. The baseline moves: each
+    /// observation is counted in exactly one window.
+    pub fn advance(&mut self, h: &Histogram) -> WindowSnapshot {
+        let counts: Vec<u64> = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total = h.count();
+        let sum = h.sum();
+        self.prev_counts.resize(counts.len(), 0);
+        let delta: Vec<u64> = counts
+            .iter()
+            .zip(self.prev_counts.iter())
+            .map(|(&now, &then)| now.saturating_sub(then))
+            .collect();
+        let n: u64 = delta.iter().sum();
+        let win_sum = sum - self.prev_sum;
+        let quantile = |q: f64| -> f64 {
+            if n == 0 {
+                return 0.0;
+            }
+            let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in delta.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    return h.bounds[i.min(h.bounds.len() - 1)];
+                }
+            }
+            *h.bounds.last().unwrap()
+        };
+        let snap = WindowSnapshot {
+            count: n,
+            mean: if n == 0 { 0.0 } else { win_sum / n as f64 },
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+        };
+        self.prev_counts = counts;
+        self.prev_total = total;
+        self.prev_sum = sum;
+        snap
+    }
+
+    /// Total observations the baseline has consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.prev_total
+    }
+}
+
 /// Point-in-time view of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
@@ -514,6 +604,73 @@ mod tests {
         let h = doc.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(h.get("counts").unwrap().as_arr().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn window_consumes_each_observation_exactly_once() {
+        let h = Histogram::exponential(1.0, 1e6, 16);
+        let mut w = HistogramWindow::new();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        let a = w.advance(&h);
+        assert_eq!(a.count, 3);
+        assert!((a.mean - 20.0).abs() < 1e-9);
+        h.record(5000.0);
+        let b = w.advance(&h);
+        assert_eq!(b.count, 1, "second window sees only the new sample");
+        assert!(b.p99 >= 5000.0, "p99 {} must cover 5000", b.p99);
+        assert_eq!(w.consumed(), 4);
+    }
+
+    #[test]
+    fn empty_window_is_all_zeros() {
+        let h = Histogram::exponential(1.0, 1e6, 16);
+        let mut w = HistogramWindow::new();
+        // Empty histogram, empty window.
+        let s = w.advance(&h);
+        assert_eq!((s.count, s.mean, s.p50, s.p99), (0, 0.0, 0.0, 0.0));
+        // Non-empty histogram but nothing new since the last advance.
+        h.record(42.0);
+        w.advance(&h);
+        let s = w.advance(&h);
+        assert_eq!((s.count, s.p50, s.p99), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn single_sample_window_puts_every_quantile_in_its_bucket() {
+        let h = Histogram::exponential(1.0, 1e6, 16);
+        let mut w = HistogramWindow::new();
+        h.record(777.0);
+        let s = w.advance(&h);
+        assert_eq!(s.count, 1);
+        assert!((s.mean - 777.0).abs() < 1e-9);
+        assert_eq!(s.p50, s.p99, "one sample: all quantiles agree");
+        assert!(s.p50 >= 777.0, "bucket upper bound covers the sample");
+    }
+
+    #[test]
+    fn window_saturates_instead_of_underflowing() {
+        // A window primed on one histogram then advanced over a fresh one
+        // (fewer counts than the baseline) must saturate to empty, not wrap.
+        let a = Histogram::linear(0.0, 10.0, 4);
+        for _ in 0..100 {
+            a.record(3.0);
+        }
+        let mut w = HistogramWindow::new();
+        w.advance(&a);
+        let b = Histogram::linear(0.0, 10.0, 4);
+        b.record(9.0);
+        let s = w.advance(&b);
+        assert_eq!(s.count, 1, "only the bucket with *more* counts registers");
+        assert!(s.p99 <= 10.0);
+        // Overflow values land (and stay) in the last bucket's bound.
+        let c = Histogram::linear(0.0, 10.0, 4);
+        let mut w2 = HistogramWindow::new();
+        c.record(1e18);
+        let s = w2.advance(&c);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p99, 10.0, "overflow reports the last finite bound");
     }
 
     #[test]

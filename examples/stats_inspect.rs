@@ -283,8 +283,53 @@ fn main() {
         }
     }
 
+    // Version-10 section: bounded-latency mode — the budget, the windowed
+    // p99 it polices, the adaptive-chunk trajectory, and (for fleet runs)
+    // the overload admission-control rollup.
+    match doc.get("latency_mode") {
+        Some(JsonValue::Null) | None => {}
+        Some(lm) => {
+            if lm.get("budget_us").is_some() {
+                println!(
+                    "\nlatency mode: budget {:.1} ms, {} violation(s), last windowed p99 {:.1} ms",
+                    num(lm, "budget_us") / 1e3,
+                    num(lm, "violations"),
+                    num(lm, "last_p99_us") / 1e3,
+                );
+            }
+            if let Some(c) = lm.get("chunk") {
+                println!(
+                    "  chunk: {} samples (base {}, floor {}), {} shrink(s), {} grow(s)",
+                    num(c, "size"),
+                    num(c, "base"),
+                    num(c, "min"),
+                    num(c, "shrinks"),
+                    num(c, "grows"),
+                );
+            }
+            match lm.get("fleet") {
+                Some(JsonValue::Null) | None => {}
+                Some(fl) => println!(
+                    "  fleet: budget {:.1} ms, {} violation(s), {} throttle(s), \
+                     {} drop(s), {} admission refusal(s){}",
+                    num(fl, "budget_us") / 1e3,
+                    num(fl, "violations"),
+                    num(fl, "shed_throttle"),
+                    num(fl, "shed_drop"),
+                    num(fl, "admission_refused"),
+                    if matches!(fl.get("admission_paused"), Some(JsonValue::Bool(true))) {
+                        " — admission PAUSED"
+                    } else {
+                        ""
+                    },
+                ),
+            }
+        }
+    }
+
     // Version-8 section: fleet (multi-sensor) ingest rollup; version 9
-    // adds the survivability rollups and per-source health rows.
+    // adds the survivability rollups and per-source health rows; version
+    // 10 adds each source's shed rung under a latency budget.
     match doc.get("fleet") {
         Some(JsonValue::Null) | None => {}
         Some(f) => {
@@ -322,8 +367,9 @@ fn main() {
                         .get("health")
                         .and_then(|h| h.as_str())
                         .unwrap_or("healthy");
+                    let shed = v.get("shed").and_then(|s| s.as_str()).unwrap_or("none");
                     println!(
-                        "  {source:<20} {:>10} samples {:>6} records  fan-out p50={:<8.1} p99={:<8.1} µs  {lifecycle}{}",
+                        "  {source:<20} {:>10} samples {:>6} records  fan-out p50={:<8.1} p99={:<8.1} µs  {lifecycle}{}{}",
                         num(v, "samples_in"),
                         num(v, "records"),
                         num(v, "fanout_p50_us"),
@@ -332,6 +378,11 @@ fn main() {
                             String::new()
                         } else {
                             format!(" ({health})")
+                        },
+                        if shed == "none" {
+                            String::new()
+                        } else {
+                            format!(" [shed: {shed}]")
                         },
                     );
                     let gaps = num(v, "sample_gaps");

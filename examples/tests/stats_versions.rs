@@ -1,0 +1,118 @@
+//! The `stats_inspect` example is the repo's reference `--stats-json`
+//! consumer, and the schema's compatibility promise is additive: a reader
+//! built against version N must accept every document from version 1 up to
+//! N (older documents simply lack the newer, version-gated sections) and
+//! refuse documents newer than itself. This harness feeds the example one
+//! document per version and checks exactly that.
+
+use std::process::Command;
+
+/// Runs the example binary over a document, returning (success, stdout).
+fn inspect(doc: &str) -> (bool, String) {
+    let dir = std::env::temp_dir().join("rfd-stats-versions");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "doc-{}-{}.json",
+        std::process::id(),
+        doc.len() // cheap uniqueness across the documents of one test run
+    ));
+    std::fs::write(&path, doc).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_stats_inspect"))
+        .arg(&path)
+        .output()
+        .expect("spawn stats_inspect");
+    let _ = std::fs::remove_file(&path);
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// The sections every version has carried since v1 — the only ones the
+/// reader hard-requires.
+fn minimal_doc(version: u64) -> String {
+    format!(
+        concat!(
+            r#"{{"schema":"rfd-stats","version":{},"#,
+            r#""trace":{{"seconds":0.01,"sample_rate":8000000,"samples":80000}},"#,
+            r#""total":{{"cpu_ms":1.5,"wall_ms":2.0,"cpu_over_realtime":0.15}}}}"#
+        ),
+        version
+    )
+}
+
+#[test]
+fn reader_accepts_every_document_version_up_to_current() {
+    assert_eq!(
+        rfdump::stats::STATS_VERSION,
+        10,
+        "a version bump must extend this harness with the new version's sections"
+    );
+    for version in 1..=rfdump::stats::STATS_VERSION {
+        let (ok, stdout) = inspect(&minimal_doc(version));
+        assert!(ok, "reader rejected a version-{version} document");
+        assert!(
+            stdout.contains("trace:"),
+            "version {version}: no trace line in output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn reader_refuses_documents_newer_than_itself() {
+    let (ok, _) = inspect(&minimal_doc(rfdump::stats::STATS_VERSION + 1));
+    assert!(
+        !ok,
+        "a reader must not pretend to understand future versions"
+    );
+}
+
+#[test]
+fn v10_latency_mode_sections_are_rendered() {
+    let doc = concat!(
+        r#"{"schema":"rfd-stats","version":10,"#,
+        r#""trace":{"seconds":0.01,"sample_rate":8000000,"samples":80000},"#,
+        r#""total":{"cpu_ms":1.5,"wall_ms":2.0,"cpu_over_realtime":0.15},"#,
+        r#""latency_mode":{"budget_us":5000,"violations":3,"last_p99_us":6200,"#,
+        r#""chunk":{"size":100,"base":200,"min":64,"shrinks":1,"grows":0},"#,
+        r#""fleet":{"budget_us":5000,"violations":4,"shed_throttle":2,"#,
+        r#""shed_drop":1,"admission_refused":1,"admission_paused":true}},"#,
+        r#""fleet":{"sources_joined":1,"sources_done":1,"rejects":0,"per_source":{"#,
+        r#""laggy":{"samples_in":1000,"records":4,"fanout_p50_us":10,"#,
+        r#""fanout_p99_us":20,"done":true,"health":"healthy","shed":"throttle"}}}}"#
+    );
+    let (ok, stdout) = inspect(doc);
+    assert!(ok, "v10 document rejected:\n{stdout}");
+    assert!(
+        stdout.contains("latency mode: budget 5.0 ms"),
+        "missing latency-mode line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("chunk: 100 samples (base 200, floor 64)"),
+        "missing chunk trajectory:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("admission PAUSED"),
+        "missing fleet admission state:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[shed: throttle]"),
+        "missing per-source shed rung:\n{stdout}"
+    );
+}
+
+#[test]
+fn current_pipeline_document_renders_end_to_end() {
+    // No argument: the example generates a live document by running the
+    // pipeline itself, so this covers whatever STATS_VERSION now emits.
+    let out = Command::new(env!("CARGO_BIN_EXE_stats_inspect"))
+        .output()
+        .expect("spawn stats_inspect");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "self-generated run failed:\n{stdout}");
+    assert!(stdout.contains("trace:"), "no trace line:\n{stdout}");
+    assert!(
+        stdout.contains("per-stage CPU"),
+        "no stage table:\n{stdout}"
+    );
+}

@@ -223,6 +223,97 @@ fn campus_trace_is_kernel_backend_independent() {
     assert_kernel_differential("campus", &cfg, &trace.samples, trace.band.sample_rate);
 }
 
+/// Chunk-size differential: the record stream must be byte-identical at
+/// any ingest chunk size, at any worker count, budget or no budget. This
+/// is the adaptive-chunking contract behind `--latency-budget`: the peak
+/// detector re-blocks internally at a fixed block size, so chunk size is a
+/// pure latency/throughput knob the governor may resize mid-run without
+/// ever touching what is reported.
+fn assert_chunk_differential(
+    label: &str,
+    cfg: &ArchConfig,
+    samples: &[rfd_dsp::Complex32],
+    fs: f64,
+) {
+    let baseline = run(cfg, samples, fs, 0);
+    let want = serialized(&baseline);
+    assert!(
+        !baseline.records.is_empty(),
+        "{label}: baseline produced no records — the differential is vacuous"
+    );
+    for &w in &[0usize, 4] {
+        for chunk in [64usize, 100, 200, 512, 1024] {
+            let sized = ArchConfig {
+                chunk_samples: chunk,
+                workers: w,
+                ..cfg.clone()
+            };
+            let out = run_architecture(&sized, samples, fs);
+            assert_eq!(
+                serialized(&out),
+                want,
+                "{label}: record stream diverged at chunk {chunk}, {w} workers"
+            );
+        }
+        // An unviolated (generous) budget must also change nothing: the
+        // governor arms its latency machinery but never walks the ladder.
+        let budgeted = ArchConfig {
+            workers: w,
+            governor: Some(rfdump::governor::GovernorConfig {
+                latency_budget_us: Some(60_000_000.0),
+                ..Default::default()
+            }),
+            ..cfg.clone()
+        };
+        let out = run_architecture(&budgeted, samples, fs);
+        assert_eq!(
+            serialized(&out),
+            want,
+            "{label}: an unviolated budget changed the record stream at {w} workers"
+        );
+        let report = out.latency.expect("budget run must carry a latency report");
+        assert_eq!(
+            report.violations, 0,
+            "{label}: a 60 s budget must never be violated in a test run"
+        );
+        assert_eq!(
+            report.chunk_size, report.chunk_base,
+            "{label}: chunk size must be untouched under an unviolated budget"
+        );
+    }
+}
+
+#[test]
+fn three_protocol_trace_is_chunk_size_independent() {
+    let (trace, cfg) = three_protocol_trace();
+    assert_chunk_differential(
+        "wifi+bt+zigbee",
+        &cfg,
+        &trace.samples,
+        trace.band.sample_rate,
+    );
+}
+
+#[test]
+fn campus_trace_is_chunk_size_independent() {
+    let (trace, cfg) = campus();
+    assert_chunk_differential("campus", &cfg, &trace.samples, trace.band.sample_rate);
+}
+
+#[test]
+fn online_noise_floor_is_chunk_size_independent() {
+    // No pre-computed floor: the online estimator sees the same fixed
+    // detector blocks whatever the ingest chunk size, so even the
+    // data-derived floor cannot smuggle chunking into the records.
+    let trace = mixed_trace(3, 8, 28.0, 404);
+    let cfg = ArchConfig {
+        band: trace.band,
+        noise_floor: None,
+        ..ArchConfig::rfdump(vec![piconet()])
+    };
+    assert_chunk_differential("online-floor", &cfg, &trace.samples, trace.band.sample_rate);
+}
+
 #[test]
 fn detection_only_mode_is_scheduler_independent() {
     // `-n` (no demodulation): pooled analysis still emits tentative

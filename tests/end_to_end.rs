@@ -217,6 +217,7 @@ fn efficiency_ordering_holds_on_a_light_trace() {
             workers: rfdump::arch::default_workers(),
             faults: rfd_fault::FaultPlan::ambient(),
             governor: None,
+            chunk_samples: rfdump::CHUNK_SAMPLES,
             durability: None,
         };
         run_architecture(&cfg, &trace.samples, trace.band.sample_rate).cpu_over_realtime()

@@ -394,6 +394,120 @@ fn fleet_sender_kill_restart_matches_offline(workers: usize) {
     }
 }
 
+/// The bounded-latency overload contract: one source's consumer is
+/// cpu-starved by injected faults, blowing its deadline budget sweep after
+/// sweep. The shed ladder must engage (budget violations booked, throttle
+/// advisories sent, drop-oldest forcing room), while the unfaulted source
+/// stays under budget and its record stream stays byte-identical to
+/// offline analysis.
+#[test]
+fn fleet_cpu_chaos_sheds_the_starved_source_and_keeps_the_clean_one_byte_identical() {
+    use std::collections::BTreeMap;
+    let laggy_path = fleet_trace_file("chaos-overload-laggy.rfdt", 7100);
+    let quick_path = fleet_trace_file("chaos-overload-quick.rfdt", 7101);
+    let quick_offline = fleet_offline_lines(&quick_path, 0);
+    assert!(!quick_offline.is_empty());
+
+    let mut cfg = ArchConfig::rfdump(vec![piconet()]);
+    cfg.telemetry = false;
+    cfg.workers = 0;
+    let slot = Arc::new(std::sync::Mutex::new(None));
+    let factory = rfdump::fleet::pipeline_factory(cfg, None, slot);
+    let reg = Arc::new(rfd_telemetry::Registry::new());
+    // Spin 10 ms on every chunk popped for "laggy" only: its queue waits
+    // pile up to queue_cap × 10 ms ≫ the 100 ms budget, while "quick"'s
+    // consumer (its own thread) is untouched.
+    let plan = Arc::new(FaultPlan::parse("seed=11;cpu=net.fleet.analysis.laggy/10ms").unwrap());
+    let server = rfd_net::FleetServer::bind(
+        "127.0.0.1:0",
+        rfd_net::FleetConfig {
+            expect: Some(2),
+            queue_cap: 32,
+            latency_budget: Some(Duration::from_millis(100)),
+            faults: Some(plan),
+            ..Default::default()
+        },
+        factory,
+        Some(reg.clone()),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let run = std::thread::spawn(move || server.run().unwrap());
+    let mut net_sub = RecordSubscriber::connect(addr).unwrap();
+
+    let senders: Vec<_> = [("laggy", &laggy_path), ("quick", &quick_path)]
+        .into_iter()
+        .map(|(name, path)| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut tx = rfd_net::TraceSender::connect_source(addr, name).unwrap();
+                tx.send_trace_file(&path, SendRate::Max, 1000).unwrap();
+                tx.finish().unwrap();
+            })
+        })
+        .collect();
+    for t in senders {
+        t.join().unwrap();
+    }
+
+    let mut by_tag: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    loop {
+        match net_sub.next_event().unwrap() {
+            SubEvent::SourceRecord { source, record } => {
+                by_tag.entry(source).or_default().push(record.line)
+            }
+            SubEvent::Bye => break,
+            _ => {}
+        }
+    }
+    let snap = run.join().unwrap();
+    let lat = snap.latency.expect("budget run must carry latency stats");
+    assert!(
+        lat.violations >= 2,
+        "the starved source must violate across sweeps, got {}",
+        lat.violations
+    );
+    assert!(
+        lat.shed_throttle >= 1,
+        "the throttle rung must have fired an advisory"
+    );
+    assert!(
+        reg.counter("events.budget_violated").get() >= 1,
+        "budget_violated events must reach the registry"
+    );
+    assert!(
+        reg.counter("events.source_shed").get() >= 1,
+        "source_shed events must reach the registry"
+    );
+    let row = |name: &str| snap.per_source.iter().find(|s| s.source == name).unwrap();
+    assert!(
+        row("laggy").deadline_p99_us > 100_000.0,
+        "the starved source's deadline p99 must be over budget, got {}",
+        row("laggy").deadline_p99_us
+    );
+    assert!(
+        row("quick").deadline_p99_us < 100_000.0,
+        "the clean source must stay under budget, got {}",
+        row("quick").deadline_p99_us
+    );
+    assert_eq!(row("quick").shed, "none", "only the offender is shed");
+    assert!(
+        snap.per_source
+            .iter()
+            .all(|s| s.health == rfd_net::SourceHealth::Healthy),
+        "shedding must never escalate the health machine"
+    );
+    assert_eq!(
+        by_tag.get("quick"),
+        Some(&quick_offline),
+        "the unfaulted source's stream must be byte-identical to offline"
+    );
+    assert!(
+        !by_tag.get("laggy").is_none_or(Vec::is_empty),
+        "the shed source still publishes what survived"
+    );
+}
+
 #[test]
 fn fleet_sender_killed_and_restarted_is_byte_identical_single_threaded() {
     fleet_sender_kill_restart_matches_offline(0);
